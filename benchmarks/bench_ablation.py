@@ -1,0 +1,68 @@
+"""Benchmarks for the ablation experiments (A1/A2 in DESIGN.md).
+
+A1 is evaluated on a fast link (250 MB/s), where client-side decompression
+dominates pull latency — the regime the paper's §IV-A argument addresses.
+On slower links compression always wins (see examples/compression_study.py
+for the full link-speed sweep).
+"""
+
+from repro.core.ablation import popularity_cache, uncompressed_small_layers
+from repro.downloader.session import NetworkModel
+from repro.util.units import format_size
+
+FAST_LINK = NetworkModel(bandwidth_bytes_per_s=250e6)
+
+
+class TestA1UncompressedSmallLayers:
+    def test_uncompressed_small_layers(self, bench_dataset, benchmark, capsys):
+        points = benchmark.pedantic(
+            uncompressed_small_layers,
+            args=(bench_dataset,),
+            kwargs={"network": FAST_LINK},
+            rounds=1,
+            iterations=1,
+        )
+        with capsys.disabled():
+            print()
+            print("A1  store small layers uncompressed (§IV-A; 250 MB/s link)")
+            for p in points:
+                label = (
+                    "none" if p.threshold_bytes == 0 else format_size(p.threshold_bytes)
+                )
+                print(
+                    f"  T={label:>9}: {p.layers_uncompressed_fraction:6.1%} layers "
+                    f"uncompressed, mean pull {p.mean_pull_latency_s:7.3f}s, "
+                    f"storage {p.registry_blowup:5.2f}x"
+                )
+        baseline = points[0]
+        # a moderate threshold must beat all-compressed on mean pull latency
+        mid = next(p for p in points if p.threshold_bytes == 4_000_000)
+        assert mid.mean_pull_latency_s < baseline.mean_pull_latency_s
+        # and cost bounded storage (uncompressing everything costs the full
+        # FLS/CLS ratio; a 4 MB threshold should cost far less)
+        assert mid.registry_blowup < 1.5
+
+    def test_storage_monotone(self, bench_dataset):
+        points = uncompressed_small_layers(bench_dataset)
+        blowups = [p.registry_blowup for p in points]
+        assert blowups == sorted(blowups)
+
+
+class TestA2PopularityCache:
+    def test_popularity_cache(self, bench_dataset, benchmark, capsys):
+        points = benchmark.pedantic(
+            popularity_cache, args=(bench_dataset,), rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print("A2  most-popular-first repository cache (§IV-B)")
+            for p in points:
+                print(
+                    f"  cache {p.cached_fraction:6.1%} ({p.cached_repositories:5,} repos): "
+                    f"hit ratio {p.hit_ratio:6.1%}, pinned {format_size(p.cache_bytes)}"
+                )
+        # the skew claim: ~1 % of repositories absorbs most pulls
+        one_percent = next(p for p in points if abs(p.cached_fraction - 0.01) < 0.005)
+        assert one_percent.hit_ratio > 0.5
+        ratios = [p.hit_ratio for p in points]
+        assert ratios == sorted(ratios)

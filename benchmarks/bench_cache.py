@@ -1,0 +1,70 @@
+"""Benchmarks for the cache-performance extension (the paper's stated
+future work: "extend our image popularity analysis to cache performance
+analysis")."""
+
+from repro.cache.simulate import sweep
+from repro.cache.trace import generate_trace
+from repro.util.units import format_size
+
+POLICIES = ["fifo", "lru", "lfu", "gdsf"]
+
+
+class TestImageCache:
+    def test_image_cache_policies(self, bench_dataset, benchmark, capsys):
+        trace = generate_trace(bench_dataset, 50_000, locality=0.2, seed=7)
+        ws = trace.working_set_bytes()
+        capacities = [int(0.01 * ws), int(0.05 * ws), int(0.20 * ws)]
+        results = benchmark.pedantic(
+            sweep, args=(trace, POLICIES, capacities), rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(
+                f"cache sweep  image granularity, {trace.n_requests:,} requests, "
+                f"working set {format_size(ws)}"
+            )
+            for r in results:
+                print(
+                    f"  {r.policy:>10} @ {format_size(r.capacity_bytes):>9}: "
+                    f"hit {r.hit_ratio:6.1%}  byte-hit {r.byte_hit_ratio:6.1%}"
+                )
+        by_key = {(r.policy, r.capacity_bytes): r for r in results}
+        for capacity in capacities:
+            # a frequency-aware policy must beat FIFO on this skewed trace
+            assert (
+                max(
+                    by_key[("lfu", capacity)].hit_ratio,
+                    by_key[("gdsf", capacity)].hit_ratio,
+                )
+                >= by_key[("fifo", capacity)].hit_ratio - 0.02
+            )
+        # hit ratios broadly improve with capacity for every policy
+        for policy in POLICIES:
+            ratios = [by_key[(policy, c)].hit_ratio for c in capacities]
+            assert ratios[-1] >= ratios[0]
+
+
+class TestLayerCache:
+    def test_layer_cache_policies(self, bench_dataset, benchmark, capsys):
+        trace = generate_trace(
+            bench_dataset, 50_000, granularity="layer", locality=0.2, seed=7
+        )
+        ws = trace.working_set_bytes()
+        capacity = int(0.05 * ws)
+        results = benchmark.pedantic(
+            sweep, args=(trace, POLICIES, [capacity]), rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(
+                f"cache sweep  layer granularity, cache {format_size(capacity)} "
+                f"(5% of {format_size(ws)} working set)"
+            )
+            for r in results:
+                print(
+                    f"  {r.policy:>10}: hit {r.hit_ratio:6.1%}  "
+                    f"byte-hit {r.byte_hit_ratio:6.1%}"
+                )
+        # layer sharing makes even a small layer cache effective
+        best = max(r.hit_ratio for r in results)
+        assert best > 0.3

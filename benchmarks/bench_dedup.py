@@ -1,0 +1,86 @@
+"""Benchmarks regenerating the deduplication figures (§V, Figs. 23-29)."""
+
+
+class TestFig23:
+    def test_fig23_layer_sharing(self, run_figure):
+        result = run_figure("fig23")
+        m = result.metrics
+        assert m["single_ref_fraction"] > 0.85  # paper: ~90 %
+        assert 0.4 <= m["empty_layer_ref_share"] <= 0.6  # paper: 52 %
+        assert 0.05 <= m["top_stack_ref_share"] <= 0.2  # paper: ~9 %
+        assert 1.3 <= m["sharing_ratio"] <= 2.3  # paper: 1.8x
+
+
+class TestFig24:
+    def test_fig24_file_dedup(self, run_figure):
+        result = run_figure("fig24")
+        m = result.metrics
+        # headline: only a few % of files are unique
+        assert m["unique_fraction"] < 0.10  # paper: 3.2 %
+        assert m["count_ratio"] > 10  # paper: 31.5x (scale-dependent, Fig. 25)
+        assert 4 <= m["capacity_ratio"] <= 11  # paper: 6.9x
+        assert m["count_ratio"] > m["capacity_ratio"]  # small files repeat more
+        assert m["copies_median"] == 4  # paper: exactly 4
+        assert m["multi_copy_fraction"] > 0.98  # paper: 99.4 %
+        # the most-repeated file holds ~1 % of all occurrences and is empty
+        assert 0.003 <= m["max_repeat_occurrence_share"] <= 0.03
+        assert result.series["report"].max_repeat_is_empty
+
+
+class TestFig25:
+    def test_fig25_dedup_growth(self, run_figure):
+        result = run_figure("fig25")
+        m = result.metrics
+        # dedup ratios grow with dataset size — the section's whole point
+        assert m["count_ratio_full"] > 2 * m["count_ratio_small"]
+        assert m["capacity_ratio_full"] > m["capacity_ratio_small"]
+        points = result.series["points"]
+        ratios = [p.count_ratio for p in points]
+        # broadly increasing: each point at least 60 % of the running max
+        running = 0.0
+        for ratio in ratios:
+            running = max(running, ratio)
+            assert ratio > 0.6 * running
+
+
+class TestFig26:
+    def test_fig26_cross_duplicates(self, run_figure):
+        result = run_figure("fig26")
+        m = result.metrics
+        assert m["layer_p10"] > 0.9  # paper: 97.6 %
+        assert m["image_p10"] > 0.95  # paper: 99.4 %
+
+
+class TestFig27:
+    def test_fig27_dedup_by_group(self, run_figure):
+        result = run_figure("fig27")
+        m = result.metrics
+        # ordering: scripts/source highest, database lowest (Fig. 27)
+        assert m["script"] > m["database"]
+        assert m["source"] > m["database"]
+        assert m["script"] > m["archive"]
+        assert 0.75 <= m["overall"] <= 0.95  # paper: 85.69 %
+        assert 0.6 <= m["database"] <= 0.85  # paper: 76 %
+
+
+class TestFig28:
+    def test_fig28_eol_dedup(self, run_figure):
+        result = run_figure("fig28")
+        m = result.metrics
+        # ELF/Com./PE dedup well; libraries and COFF poorly (Fig. 28)
+        assert m["elf"] > m["library"]
+        assert m["com"] > m["library"]
+        assert m["elf"] > 0.75  # paper: 87 %
+        assert m["library"] < 0.75  # paper: 53.5 %
+        # redundant ELF bytes dominate the group's savings (paper: 73.4 %)
+        assert m["elf_redundant_capacity_share"] > 0.5
+
+
+class TestFig29:
+    def test_fig29_source_dedup(self, run_figure):
+        result = run_figure("fig29")
+        m = result.metrics
+        assert m["c_cpp"] > 0.85  # paper: > 90 %
+        assert m["perl5"] > 0.85
+        # redundant C/C++ dominates source savings (paper: 77 %)
+        assert m["c_cpp_redundant_capacity_share"] > 0.6

@@ -1,0 +1,100 @@
+"""Benchmarks regenerating the file-type figures (§IV-C, Figs. 13-22)."""
+
+
+class TestFig13:
+    def test_fig13_taxonomy(self, run_figure):
+        result = run_figure("fig13")
+        m = result.metrics
+        # paper: 133 common types hold 98.4 % of capacity (of ~1,500 types)
+        assert m["common_capacity_share"] >= 0.95
+        assert m["common_type_count"] < m["total_type_count"]
+        assert m["total_type_count"] > 500  # the rare long tail exists
+
+
+class TestFig14:
+    def test_fig14_group_shares(self, run_figure):
+        result = run_figure("fig14")
+        m = result.metrics
+        # count ordering (Fig. 14(a)): documents 44 % >> source 13 % > EOL 11 %
+        assert m["count_share_document"] > m["count_share_source"]
+        assert m["count_share_document"] > 0.35
+        # capacity ordering (Fig. 14(b)): EOL 37 % > archive 23 % > docs 14 %
+        assert m["capacity_share_eol"] > m["capacity_share_archive"]
+        assert m["capacity_share_eol"] > m["capacity_share_document"]
+
+
+class TestFig15:
+    def test_fig15_group_avg_sizes(self, run_figure):
+        result = run_figure("fig15")
+        m = result.metrics
+        # paper: database files are by far the biggest (978.8 KB)
+        others = [v for k, v in m.items() if k != "avg_size_database"]
+        assert m["avg_size_database"] > max(others)
+        assert m["avg_size_database"] > 500_000
+
+
+class TestFig16:
+    def test_fig16_eol(self, run_figure):
+        result = run_figure("fig16")
+        m = result.metrics
+        # Com. (intermediate representations) dominate count, ELF capacity
+        assert m["count_share_com"] > m["count_share_elf"]
+        assert m["capacity_share_elf"] > 0.6  # paper: 84 %
+        assert m["avg_size_elf"] > 20 * m["avg_size_com"]  # 312 KB vs 9 KB
+
+
+class TestFig17:
+    def test_fig17_source(self, run_figure):
+        result = run_figure("fig17")
+        m = result.metrics
+        assert m["count_share_c_cpp"] > 0.7  # paper: 80.3 %
+        assert m["capacity_share_c_cpp"] > 0.6  # paper: ~80 %
+        assert m["capacity_share_perl5"] > m["capacity_share_ruby"]  # 11 % vs 3 %
+
+
+class TestFig18:
+    def test_fig18_scripts(self, run_figure):
+        result = run_figure("fig18")
+        m = result.metrics
+        assert m["count_share_python"] > 0.45  # paper: 53.5 %
+        assert m["capacity_share_python"] > m["count_share_python"]  # 66 % vs 53.5 %
+        assert m["count_share_shell"] > m["capacity_share_shell"]  # 20 % vs 6 %
+
+
+class TestFig19:
+    def test_fig19_documents(self, run_figure):
+        result = run_figure("fig19")
+        m = result.metrics
+        assert m["count_share_ascii"] > 0.7  # paper: 80 %
+        assert m["capacity_share_xml_html"] > m["count_share_xml_html"]  # 18 % vs 13 %
+        assert m["text_capacity_share"] > 0.5  # paper: 70 %
+
+
+class TestFig20:
+    def test_fig20_archives(self, run_figure):
+        result = run_figure("fig20")
+        m = result.metrics
+        assert m["count_share_zip_gzip"] > 0.9  # paper: 96.3 %
+        assert m["capacity_share_zip_gzip"] < m["count_share_zip_gzip"]  # 70 % vs 96.3 %
+        # per-type average sizes, as quoted in §IV-C(f)
+        assert m["avg_size_zip_gzip"] < m["avg_size_bzip2"] < m["avg_size_tar"]
+        assert m["avg_size_xz"] > m["avg_size_tar"]
+
+
+class TestFig21:
+    def test_fig21_databases(self, run_figure):
+        result = run_figure("fig21")
+        m = result.metrics
+        # BDB+MySQL dominate count; SQLite dominates capacity (57 %)
+        assert m["count_share_berkeley"] + m["count_share_mysql"] > 0.5
+        assert m["capacity_share_sqlite"] > 0.4
+        assert m["capacity_share_sqlite"] > m["count_share_sqlite"]
+
+
+class TestFig22:
+    def test_fig22_media(self, run_figure):
+        result = run_figure("fig22")
+        m = result.metrics
+        assert m["count_share_png"] > 0.5  # paper: 67 %
+        assert m["capacity_share_png"] < m["count_share_png"]  # 45 % vs 67 %
+        assert m["capacity_share_jpeg"] > m["count_share_jpeg"]  # JPEGs are bigger

@@ -1,0 +1,63 @@
+"""Benchmark: registry HTTP API throughput on localhost.
+
+Not a network benchmark (it's loopback) — it measures the substrate's
+request-handling overhead, which bounds how fast the materialized pipeline
+can run over HTTP.
+"""
+
+import pytest
+
+from repro.model.manifest import Manifest, ManifestLayerRef
+from repro.registry.http import HTTPSession, RegistryHTTPServer
+from repro.registry.registry import Registry
+from repro.registry.tarball import layer_from_files
+
+
+@pytest.fixture(scope="module")
+def server():
+    registry = Registry()
+    layer, blob = layer_from_files([("bin/app", b"\x7fELF" + b"x" * 60_000)])
+    registry.push_blob(blob)
+    manifest = Manifest(
+        layers=(ManifestLayerRef(digest=layer.digest, size=layer.compressed_size),)
+    )
+    registry.create_repository("bench/app")
+    registry.push_manifest("bench/app", "latest", manifest)
+    with RegistryHTTPServer(registry) as srv:
+        yield srv
+
+
+class TestHTTPThroughput:
+    def test_manifest_fetch_rate(self, server, benchmark, capsys):
+        session = HTTPSession(server.base_url)
+
+        def fetch_100():
+            for _ in range(100):
+                session.get_manifest("bench/app", "latest")
+
+        benchmark.pedantic(fetch_100, rounds=1, iterations=1)
+        stats = session.stats()
+        with capsys.disabled():
+            print()
+            print(f"http  manifest fetches: {stats['requests']:,} requests")
+        assert stats["requests"] == 100
+
+    def test_blob_fetch_rate(self, server, benchmark):
+        session = HTTPSession(server.base_url)
+        manifest = session.get_manifest("bench/app", "latest")
+        digest = manifest.layers[0].digest
+
+        def fetch_50():
+            for _ in range(50):
+                session.get_blob(digest)
+
+        benchmark.pedantic(fetch_50, rounds=1, iterations=1)
+
+    def test_push_rate(self, server, benchmark):
+        session = HTTPSession(server.base_url)
+
+        def push_20():
+            for i in range(20):
+                session.push_blob(b"blob-%d-" % i + b"y" * 10_000)
+
+        benchmark.pedantic(push_20, rounds=1, iterations=1)

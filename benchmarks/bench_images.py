@@ -1,0 +1,51 @@
+"""Benchmarks regenerating the image figures (§IV-B, Figs. 8-12)."""
+
+
+class TestFig8:
+    def test_fig8_popularity(self, run_figure):
+        result = run_figure("fig8")
+        m = result.metrics
+        assert 20 <= m["pulls_median"] <= 80  # paper: 40
+        assert 150 <= m["pulls_p90"] <= 700  # paper: 333
+        assert m["pulls_max"] == 650_000_000  # nginx, verbatim
+        # the skew that motivates caching: max is ~7 orders above the median
+        assert m["pulls_max"] > 1e6 * m["pulls_median"]
+
+
+class TestFig9:
+    def test_fig9_image_sizes(self, run_figure):
+        result = run_figure("fig9")
+        m = result.metrics
+        # shape: compressed < uncompressed; long right tail
+        assert m["cis_median"] < m["fis_median"]
+        assert m["fis_p90"] > 5 * m["fis_median"]
+        # paper: p90 FIS 1.3 GB — same order of magnitude
+        assert 2e8 <= m["fis_p90"] <= 5e9
+
+
+class TestFig10:
+    def test_fig10_image_layer_counts(self, run_figure):
+        result = run_figure("fig10")
+        m = result.metrics
+        assert m["layers_median"] == 8  # paper: 8
+        assert m["layers_mode"] == 8  # paper: 8 (the Fig. 10(b) spike)
+        assert 14 <= m["layers_p90"] <= 24  # paper: 18
+        assert m["layers_max"] <= 120  # paper max: 120
+        assert 0.01 <= m["single_layer_fraction"] <= 0.04  # paper: ~2 %
+
+
+class TestFig11:
+    def test_fig11_image_dir_counts(self, run_figure):
+        result = run_figure("fig11")
+        m = result.metrics
+        # paper: median 296, p90 7,344 — a ~25x spread
+        assert m["dirs_p90"] > 4 * m["dirs_median"]
+
+
+class TestFig12:
+    def test_fig12_image_file_counts(self, run_figure):
+        result = run_figure("fig12")
+        m = result.metrics
+        # paper: median 1,090, p90 64,780 — a ~60x spread
+        assert m["files_p90"] > 5 * m["files_median"]
+        assert 500 <= m["files_median"] <= 20_000

@@ -1,0 +1,56 @@
+"""Benchmarks regenerating the layer figures (§IV-A, Figs. 3-7).
+
+Each benchmark recomputes one figure on the bench-scale dataset, prints the
+paper-vs-measured rows, and asserts the *shape* claims the paper makes.
+"""
+
+
+class TestFig3:
+    def test_fig3_layer_sizes(self, run_figure):
+        result = run_figure("fig3")
+        m = result.metrics
+        # shape: half the layers are small in BOTH formats, and compressed
+        # sizes sit below uncompressed sizes at every quantile the paper cites
+        assert m["frac_cls_below_4mb"] >= 0.5
+        assert m["frac_fls_below_4mb"] >= 0.5
+        assert m["cls_median"] < m["fls_median"]
+        assert m["cls_p90"] < m["fls_p90"]
+
+
+class TestFig4:
+    def test_fig4_compression_ratios(self, run_figure):
+        result = run_figure("fig4")
+        m = result.metrics
+        # shape: low ratios dominate (median in the 2-3 band the paper
+        # reports), with rare extreme outliers
+        assert 1.5 <= m["ratio_median"] <= 3.5  # paper: 2.6
+        assert m["ratio_p90"] <= 6.0  # paper: 4
+        assert m["ratio_max"] > 50  # paper: 1026
+        assert m["frac_2_3"] > 0.2
+
+
+class TestFig5:
+    def test_fig5_layer_file_counts(self, run_figure):
+        result = run_figure("fig5")
+        m = result.metrics
+        assert 15 <= m["files_median"] <= 60  # paper: 30
+        assert m["files_p90"] > 50 * m["files_median"]  # heavy tail
+        assert 0.04 <= m["empty_fraction"] <= 0.10  # paper: 7 %
+        assert 0.20 <= m["single_fraction"] <= 0.32  # paper: 27 %
+
+
+class TestFig6:
+    def test_fig6_layer_dir_counts(self, run_figure):
+        result = run_figure("fig6")
+        m = result.metrics
+        assert 6 <= m["dirs_median"] <= 20  # paper: 11
+        assert m["dirs_p90"] > 10 * m["dirs_median"]  # paper: 826 vs 11
+
+
+class TestFig7:
+    def test_fig7_layer_depths(self, run_figure):
+        result = run_figure("fig7")
+        m = result.metrics
+        assert m["depth_mode"] == 3  # paper: most frequent depth is 3
+        assert m["depth_median"] <= 5  # paper: < 4
+        assert m["depth_p90"] <= 12  # paper: < 10

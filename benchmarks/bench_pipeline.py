@@ -1,0 +1,70 @@
+"""Benchmarks for the §III pipeline: dataset totals (Table-1-style) plus the
+throughput of generation, download, and analysis."""
+
+import pytest
+
+from repro.core.pipeline import run_materialized_pipeline
+from repro.synth import SyntheticHubConfig, generate_dataset
+
+
+class TestDatasetTotals:
+    def test_dataset_totals(self, bench_dataset, benchmark, capsys):
+        """T1: the §III headline accounting, on the bench dataset."""
+        totals = benchmark.pedantic(bench_dataset.totals, rounds=1, iterations=1)
+        with capsys.disabled():
+            print()
+            print("table1  Dataset totals (§III; paper at ~140x our image count)")
+            print(f"  images                 {totals.n_images:,}   (paper 355,319)")
+            print(f"  unique layers          {totals.n_layers:,}   (paper 1,792,609)")
+            print(
+                f"  file occurrences       {totals.n_file_occurrences:,}"
+                "   (paper 5,278,465,130)"
+            )
+            print(
+                f"  layers per image       {totals.n_layers / totals.n_images:.2f}"
+                "   (paper 5.04)"
+            )
+            print(
+                f"  overall FLS/CLS        "
+                f"{totals.uncompressed_bytes / totals.compressed_bytes:.2f}"
+                "   (paper 167TB/47TB = 3.55)"
+            )
+        # structural ratios that should be scale-free
+        assert 3 <= totals.n_layers / totals.n_images <= 9  # paper: 5.04
+        assert totals.uncompressed_bytes > totals.compressed_bytes
+
+
+class TestPipelineThroughput:
+    def test_generation_throughput(self, benchmark):
+        """How fast the calibrated generator mints a small hub."""
+        dataset = benchmark.pedantic(
+            generate_dataset,
+            args=(SyntheticHubConfig.small(seed=3),),
+            rounds=1,
+            iterations=1,
+        )
+        assert dataset.n_images == 300
+
+    def test_materialized_pipeline_end_to_end(self, benchmark, capsys):
+        """Crawl -> download -> extract -> analyze on real tarballs."""
+        result = benchmark.pedantic(
+            run_materialized_pipeline,
+            args=(SyntheticHubConfig.tiny(seed=3),),
+            kwargs={"compute_figures": False},
+            rounds=1,
+            iterations=1,
+        )
+        stats = result.download_stats
+        with capsys.disabled():
+            print()
+            print("pipeline  end-to-end on real bytes (tiny scale)")
+            print(f"  attempted/succeeded    {stats.attempted}/{stats.succeeded}")
+            print(
+                f"  failure split          {stats.failed_auth} auth / "
+                f"{stats.failed_no_latest} no-latest   (paper 13%/87%)"
+            )
+            print(f"  unique layers fetched  {stats.unique_layers_fetched}")
+        assert stats.succeeded == result.truth.n_images
+        # §III-B failure split: no-latest dominates auth
+        assert stats.failed_no_latest > stats.failed_auth
+        assert stats.failed / stats.attempted == pytest.approx(0.239, abs=0.08)

@@ -1,0 +1,59 @@
+"""Benchmark fixtures: one calibrated bench-scale dataset, generated once.
+
+Every ``test_figN`` benchmark times the figure computation on this dataset
+and prints the paper-vs-measured rows for the figure it regenerates.
+pytest-benchmark's timings answer "how fast is the analysis at 10⁴ layers /
+10⁷ occurrences"; the printed tables are the reproduction record (also
+written to EXPERIMENTS.md by examples/run_all_experiments.py).
+"""
+
+import pytest
+
+from repro.core.figures import FigureResult, compute_figure
+from repro.core.report import render_figure
+from repro.synth import SyntheticHubConfig, generate_dataset
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-seed",
+        action="store",
+        default="2017",
+        help="seed for the benchmark dataset",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(request):
+    seed = int(request.config.getoption("--bench-seed"))
+    dataset = generate_dataset(SyntheticHubConfig.bench(seed=seed))
+    # warm the cached derived arrays so benchmarks time the figure math,
+    # not the first-touch gathers
+    _ = (
+        dataset.layer_fls,
+        dataset.occurrence_sizes,
+        dataset.occurrence_types,
+        dataset.layer_ref_counts,
+        dataset.image_fls,
+        dataset.image_cls,
+        dataset.image_file_counts,
+        dataset.image_dir_counts,
+        dataset.file_repeat_counts,
+    )
+    return dataset
+
+
+@pytest.fixture
+def run_figure(bench_dataset, benchmark, capsys):
+    """Benchmark one figure computation and print its comparison block."""
+
+    def _run(figure_id: str) -> FigureResult:
+        result = benchmark.pedantic(
+            compute_figure, args=(bench_dataset, figure_id), rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(render_figure(result))
+        return result
+
+    return _run

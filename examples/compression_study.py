@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Compression-method study — future work the paper names explicitly.
+
+Materializes a small hub, takes every layer's raw tar stream, recompresses
+it with store/gzip-1/gzip-6/gzip-9/bzip2/xz, and reports measured ratios,
+(de)compression throughput, and the modeled mean pull latency on three
+client link speeds. The §IV-A trade-off becomes quantitative: slow links
+want density, fast links want cheap (or no) decompression.
+
+    python examples/compression_study.py [--seed N]
+"""
+
+import argparse
+
+from repro.core.compression_study import (
+    best_codec_by_latency,
+    decompress_gzip_layers,
+    study_compression,
+)
+from repro.downloader.session import NetworkModel
+from repro.synth import SyntheticHubConfig, generate_dataset, materialize_registry
+from repro.util.units import format_size
+
+LINKS = {
+    "3G-ish (1 MB/s)": NetworkModel(bandwidth_bytes_per_s=1e6),
+    "broadband (30 MB/s)": NetworkModel(bandwidth_bytes_per_s=30e6),
+    "datacenter (1 GB/s)": NetworkModel(bandwidth_bytes_per_s=1e9),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=2017)
+    args = parser.parse_args()
+
+    dataset = generate_dataset(SyntheticHubConfig.tiny(seed=args.seed))
+    registry, truth = materialize_registry(dataset, fail_share=0.0, seed=args.seed)
+    blobs = [registry.get_blob(d) for d in sorted(truth.layers)]
+    raws = decompress_gzip_layers(blobs)
+    print(
+        f"{len(raws)} layers, {format_size(sum(len(r) for r in raws))} of raw tar"
+    )
+
+    results = study_compression(raws)
+    print(f"\n{'codec':>8} {'size':>10} {'ratio':>6} {'comp MB/s':>10} {'decomp MB/s':>12}")
+    for r in results:
+        comp_tput = r.raw_bytes / r.compress_seconds / 1e6 if r.compress_seconds else float("inf")
+        dec_tput = r.decompress_throughput / 1e6
+        print(
+            f"{r.codec:>8} {format_size(r.compressed_bytes):>10} {r.ratio:>6.2f} "
+            f"{comp_tput:>10.1f} {dec_tput:>12.1f}"
+        )
+
+    print(f"\nmean pull latency per layer (transfer + client decompression):")
+    header = f"{'codec':>8}" + "".join(f" {name:>22}" for name in LINKS)
+    print(header)
+    for r in results:
+        row = f"{r.codec:>8}"
+        for network in LINKS.values():
+            row += f" {r.mean_pull_latency(network):>21.3f}s"
+        print(row)
+    for name, network in LINKS.items():
+        best = best_codec_by_latency(results, network)
+        print(f"best on {name:<22} -> {best.codec}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Registry capacity planning from the paper's growth observation (§I).
+
+Docker Hub grew linearly at 1,241 public repositories/day during the
+paper's measurement window. Combining that rate with this dataset's
+measured per-repo footprint, sharing ratio, and (scale-dependent, Fig. 25)
+dedup ratio yields storage demand projections for three registry designs.
+
+    python examples/growth_projection.py [--seed N] [--days N]
+"""
+
+import argparse
+
+from repro.core.growth_projection import project_growth
+from repro.synth import SyntheticHubConfig, generate_dataset
+from repro.util.units import format_size
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=2017)
+    parser.add_argument("--days", type=int, default=730)
+    args = parser.parse_args()
+
+    dataset = generate_dataset(SyntheticHubConfig.small(seed=args.seed))
+    projection = project_growth(dataset, days=args.days, n_points=9, seed=args.seed)
+
+    print(
+        f"measured economics: {format_size(projection.bytes_per_repo_compressed)}"
+        f"/repo compressed, sharing saves {projection.sharing_ratio:.2f}x, "
+        f"dedup scale exponent {projection.dedup_exponent:.2f}"
+    )
+    print(f"\n{'day':>6} {'repos':>12} {'no sharing':>12} {'layers shared':>14} {'+file dedup':>12}")
+    for p in projection.points:
+        print(
+            f"{p.day:>6.0f} {p.repositories:>12,.0f} "
+            f"{format_size(p.no_sharing_bytes):>12} "
+            f"{format_size(p.shared_layers_bytes):>14} "
+            f"{format_size(p.file_dedup_bytes):>12}"
+        )
+    print(
+        f"\nat day {args.days}, file-level dedup cuts the shared-layer design's"
+        f" demand by {projection.final_savings():.1%} — and the saving grows"
+        " with the registry (Fig. 25)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Ablations: the design ideas the paper's discussion motivates.
+
+A1 (§IV-A): store small layers uncompressed — most layers are small with
+low compression ratios, and decompression dominates pull latency; sweep the
+store-uncompressed size threshold and report pull latency vs. registry
+storage cost.
+
+A2 (§IV-B): popularity caching — pulls are heavily skewed; sweep the size
+of a most-popular-first repository cache and report the pull hit ratio.
+
+    python examples/popularity_caching.py [--seed N]
+"""
+
+import argparse
+
+from repro.core.ablation import popularity_cache, uncompressed_small_layers
+from repro.synth import SyntheticHubConfig, generate_dataset
+from repro.util.units import format_size
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=2017)
+    args = parser.parse_args()
+
+    dataset = generate_dataset(SyntheticHubConfig.small(seed=args.seed))
+
+    print("A1 — store layers smaller than T uncompressed (§IV-A):")
+    print(f"  {'threshold':>12} {'uncompressed':>13} {'mean pull':>10} {'p90 pull':>9} {'storage':>9}")
+    for point in uncompressed_small_layers(dataset):
+        label = "none" if point.threshold_bytes == 0 else format_size(point.threshold_bytes)
+        print(
+            f"  {label:>12} {point.layers_uncompressed_fraction:>12.1%} "
+            f"{point.mean_pull_latency_s:>9.3f}s {point.p90_pull_latency_s:>8.3f}s "
+            f"{point.registry_blowup:>8.2f}x"
+        )
+
+    print("\nA2 — cache the most-popular repositories (§IV-B):")
+    print(f"  {'cache size':>11} {'repos':>7} {'hit ratio':>10} {'cache bytes':>12}")
+    for point in popularity_cache(dataset):
+        print(
+            f"  {point.cached_fraction:>10.1%} {point.cached_repositories:>7,} "
+            f"{point.hit_ratio:>9.1%} {format_size(point.cache_bytes):>12}"
+        )
+    print(
+        "\nReading: the skew means a cache of ~1% of repositories already"
+        " absorbs the bulk of pull traffic — the paper's caching argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: generate a synthetic Docker Hub, compute the paper's figures.
+
+Runs in a few seconds on a laptop.
+
+    python examples/quickstart.py [--seed N]
+"""
+
+import argparse
+
+from repro.core import compute_all_figures, render_report
+from repro.synth import SyntheticHubConfig, generate_dataset
+from repro.util.units import format_size
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=2017)
+    args = parser.parse_args()
+
+    # A small-scale calibrated hub: same distribution shapes, fewer images.
+    config = SyntheticHubConfig.small(seed=args.seed)
+    dataset = generate_dataset(config)
+    totals = dataset.totals()
+    print(
+        f"generated {totals.n_images} images / {totals.n_layers} unique layers / "
+        f"{totals.n_file_occurrences:,} file occurrences "
+        f"({format_size(totals.uncompressed_bytes)} uncompressed, "
+        f"{format_size(totals.compressed_bytes)} compressed)"
+    )
+    print(
+        f"file-level dedup leaves {totals.n_unique_files:,} unique files "
+        f"({totals.n_unique_files / totals.n_file_occurrences:.1%}), "
+        f"{format_size(totals.unique_file_bytes)}"
+    )
+    print()
+    results = compute_all_figures(dataset)
+    print(render_report(results))
+
+    # a taste of the figures themselves, as ASCII charts
+    from repro.core.plots import render_cdf, render_share_bars
+    from repro.core.characterization import group_breakdown
+
+    fig3 = next(r for r in results if r.figure_id == "fig3")
+    print()
+    print(render_cdf(fig3.series["cls_cdf"], title="Fig 3(a): CDF of layers by CLS", as_bytes=True))
+    print()
+    print(render_share_bars(group_breakdown(dataset), title="Fig 14(a): file count share by type group"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Layer restructuring study — carving layers from co-occurrence (§V sequel).
+
+Compares three registry storage designs on one calibrated dataset:
+
+  1. today's layout        — layers as-is, blobs deduplicated by digest;
+  2. carved layout         — layers re-cut so files that always travel
+                             together share a layer (greedy, bounded by
+                             Docker's per-image layer cap);
+  3. file-level dedup      — the paper's proposal: store every unique file
+                             once, layers as recipes (the floor).
+
+The gap between (2) and (3) is the quantitative argument for the paper's
+conclusion: layer re-carving helps, but only registry-side file dedup
+reaches the full 6.9x.
+
+    python examples/restructure_study.py [--seed N]
+"""
+
+import argparse
+
+from repro.dedup import file_dedup_report
+from repro.restructure import CarveConfig, restructure
+from repro.synth import SyntheticHubConfig, generate_dataset
+from repro.util.units import format_size
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=2017)
+    args = parser.parse_args()
+
+    dataset = generate_dataset(SyntheticHubConfig.small(seed=args.seed))
+    result = restructure(dataset, CarveConfig(min_group_bytes=4096))
+    dedup = file_dedup_report(dataset)
+
+    print("registry storage (uncompressed file bytes):")
+    print(f"  1. today's layers        {format_size(result.original_layer_bytes)}")
+    print(
+        f"  2. carved layout         {format_size(result.restructured_bytes)} "
+        f"(saves {result.savings_vs_original:.1%}; "
+        f"{result.n_shared_layers:,} shared layers)"
+    )
+    print(
+        f"  3. file-level dedup      {format_size(result.perfect_dedup_bytes)} "
+        f"(saves {dedup.eliminated_capacity_fraction:.1%})"
+    )
+    print()
+    print("layers per image:")
+    print(
+        f"  today: median {result.original_layers_per_image_p50:.0f}, "
+        f"max {result.original_layers_per_image_max}"
+    )
+    print(
+        f"  carved: median {result.layers_per_image_p50:.0f}, "
+        f"max {result.layers_per_image_max} (bound: Docker's layer cap)"
+    )
+    print()
+    print(
+        f"carving still stores {result.overhead_vs_perfect:.1f}x the perfect-"
+        "dedup floor: co-occurrence sets are too fragmented to pack into a"
+        " bounded number of layers — the paper's case for file-level dedup."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Regenerate every paper figure at benchmark scale and write EXPERIMENTS.md.
+
+This is the repo's paper-vs-measured record. Takes ~30 s.
+
+    python examples/run_all_experiments.py [--seed N] [--out EXPERIMENTS.md]
+"""
+
+import argparse
+from pathlib import Path
+
+from repro.core.experiments import write_experiments
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=2017)
+    parser.add_argument("--out", type=Path, default=Path("EXPERIMENTS.md"))
+    parser.add_argument(
+        "--scale", choices=["tiny", "small", "bench"], default="bench",
+        help="population preset (bench for the official record)",
+    )
+    args = parser.parse_args()
+    out = write_experiments(args.out, seed=args.seed, scale=args.scale)
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Multi-version image analysis — the paper's first future-work item.
+
+Materializes a registry where half the repositories carry historical tags
+(v1 … v3; older builds share base layers but have older top layers),
+downloads *every* tag, and quantifies cross-version relationships:
+layer sharing between adjacent versions, the storage cost of history, and
+how much of that cost file-level dedup recovers.
+
+    python examples/version_study.py [--seed N]
+"""
+
+import argparse
+
+from repro.analyzer import Analyzer
+from repro.dedup.versions import analyze_versions
+from repro.downloader import Downloader, SimulatedSession
+from repro.synth import SyntheticHubConfig, generate_dataset, materialize_registry
+from repro.util.units import format_size
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=2017)
+    args = parser.parse_args()
+
+    dataset = generate_dataset(SyntheticHubConfig.tiny(seed=args.seed))
+    registry, truth = materialize_registry(
+        dataset, fail_share=0.0, version_share=0.5, max_versions=3, seed=args.seed
+    )
+    downloader = Downloader(SimulatedSession(registry))
+    images = downloader.download_all_versions(sorted(truth.images))
+    result = Analyzer(downloader.dest).analyze(images)
+    analysis = analyze_versions(images, result.store)
+
+    print(f"repositories with history   {analysis.n_repositories}")
+    print(f"version pairs analyzed      {analysis.n_version_pairs}")
+    if analysis.pair_jaccard_cdf:
+        print(
+            "layer sharing per pair      "
+            f"median {analysis.pair_jaccard_cdf.median():.1%}, "
+            f"p10 {analysis.pair_jaccard_cdf.percentile(10):.1%}"
+        )
+    print(
+        f"layer storage, latest only  {format_size(analysis.latest_only_bytes)}"
+    )
+    print(
+        f"layer storage, all tags     {format_size(analysis.all_versions_bytes)} "
+        f"({analysis.history_overhead:.2f}x)"
+    )
+    print(
+        f"file dedup across versions  saves {analysis.file_dedup_savings:.1%} "
+        f"of {format_size(analysis.all_versions_file_bytes)}"
+    )
+    print(
+        "\nReading: version churn rewrites top layers, but those layers are"
+        " near-duplicates — file-level dedup makes history nearly free,"
+        " which strengthens the paper's dedup argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools 65 without the ``wheel`` package, so
+PEP 660 editable installs (which must build a wheel) fail. This shim lets
+``pip install -e . --no-use-pep517`` fall back to ``setup.py develop``.
+Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""repro — reproduction of *Large-Scale Analysis of the Docker Hub Dataset*
+(Zhao et al., CLUSTER 2019).
+
+The package provides:
+
+* a Docker registry substrate (:mod:`repro.registry`) with content-addressed
+  blob storage, schema-v2 manifests and a Hub-like search engine;
+* a calibrated synthetic Docker Hub generator (:mod:`repro.synth`);
+* the paper's measurement pipeline — crawler (:mod:`repro.crawler`),
+  downloader (:mod:`repro.downloader`), analyzer (:mod:`repro.analyzer`);
+* deduplication analytics (:mod:`repro.dedup`) and the figure/report layer
+  (:mod:`repro.core`).
+
+Quickstart::
+
+    from repro import synth, core
+
+    hub = synth.generate_dataset(synth.SyntheticHubConfig.small(seed=7))
+    results = core.compute_all_figures(hub)
+    print(core.render_report(results))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,22 @@
+"""The analyzer: decompress layers, build layer/image profiles (§III-C)."""
+
+from repro.analyzer.analyzer import AnalysisResult, Analyzer
+from repro.analyzer.extract import extract_and_profile
+from repro.analyzer.profiles import (
+    DirectoryRecord,
+    FileRecord,
+    ImageProfile,
+    LayerProfile,
+    ProfileStore,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "Analyzer",
+    "DirectoryRecord",
+    "FileRecord",
+    "ImageProfile",
+    "LayerProfile",
+    "ProfileStore",
+    "extract_and_profile",
+]

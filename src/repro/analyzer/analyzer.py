@@ -1,0 +1,121 @@
+"""The analyzer driver: profile every unique layer, then every image.
+
+Mirrors §III-C's two-phase structure: layers are extracted/profiled once
+(in parallel — extraction and hashing are the CPU cost), image profiles are
+then assembled from manifest metadata plus pointers to the layer profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analyzer.extract import extract_and_profile
+from repro.analyzer.profiles import ImageProfile, ProfileStore
+from repro.downloader.downloader import DownloadedImage
+from repro.filetypes.catalog import TypeCatalog, default_catalog
+from repro.model.dataset import HubDataset
+from repro.parallel.pool import ParallelConfig, parallel_map
+from repro.registry.blobstore import BlobStore
+
+
+@dataclass
+class AnalysisResult:
+    """The analyzer's output: the profile store and its columnar dataset.
+
+    ``failed_layers`` records layers whose blobs could not be extracted
+    (missing, corrupt gzip, malformed tar); ``skipped_images`` the images
+    that referenced them. At 1.8 M real-world layers some breakage is a
+    certainty, and a 30-day analysis job must survive it.
+    """
+
+    store: ProfileStore
+    dataset: HubDataset
+    failed_layers: dict[str, str] = None  # type: ignore[assignment]
+    skipped_images: list[str] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.failed_layers is None:
+            self.failed_layers = {}
+        if self.skipped_images is None:
+            self.skipped_images = []
+
+    @property
+    def n_layers(self) -> int:
+        return self.store.n_layers
+
+    @property
+    def n_images(self) -> int:
+        return self.store.n_images
+
+
+class Analyzer:
+    """Profiles downloaded images from a local blob store."""
+
+    def __init__(
+        self,
+        blobs: BlobStore,
+        *,
+        catalog: TypeCatalog | None = None,
+        parallel: ParallelConfig | None = None,
+    ):
+        self.blobs = blobs
+        self.catalog = catalog or default_catalog()
+        # extraction is CPU-bound, but profiles must come back ordered;
+        # threads still help because gzip/hashlib release the GIL.
+        self.parallel = parallel or ParallelConfig(mode="thread", chunk_size=8)
+
+    def analyze(
+        self,
+        images: list[DownloadedImage],
+        pull_counts: dict[str, int] | None = None,
+    ) -> AnalysisResult:
+        """Profile all unique layers referenced by *images*, then build
+        image profiles and the columnar dataset.
+
+        ``pull_counts`` (repo → pulls) attaches popularity metadata, which
+        the crawler/registry knows but the blobs do not.
+        """
+        store = ProfileStore()
+
+        unique_digests: list[str] = []
+        seen: set[str] = set()
+        for image in images:
+            for digest in image.manifest.layer_digests:
+                if digest not in seen:
+                    seen.add(digest)
+                    unique_digests.append(digest)
+
+        def _profile(digest: str):
+            try:
+                return extract_and_profile(digest, self.blobs.get(digest), self.catalog)
+            except Exception as exc:  # corrupt gzip/tar, missing blob, ...
+                return (digest, f"{type(exc).__name__}: {exc}")
+
+        failed: dict[str, str] = {}
+        for result in parallel_map(_profile, unique_digests, self.parallel):
+            if isinstance(result, tuple):
+                digest, error = result
+                failed[digest] = error
+            else:
+                store.add_layer(result)
+
+        pull_counts = pull_counts or {}
+        skipped: list[str] = []
+        for image in images:
+            if any(d in failed for d in image.manifest.layer_digests):
+                skipped.append(image.repository)
+                continue
+            store.add_image(
+                ImageProfile(
+                    name=image.repository,
+                    layer_digests=list(image.manifest.layer_digests),
+                    compressed_size=image.manifest.total_layer_size,
+                    pull_count=pull_counts.get(image.repository, 0),
+                )
+            )
+        return AnalysisResult(
+            store=store,
+            dataset=store.to_dataset(),
+            failed_layers=failed,
+            skipped_images=skipped,
+        )

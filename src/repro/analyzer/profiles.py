@@ -1,0 +1,177 @@
+"""Layer and image profiles — the analyzer's §III-C output records.
+
+A *layer profile* carries layer metadata (digest, FLS, CLS, directory count,
+file count, max depth), the compression ratio, per-directory metadata and
+per-file metadata, exactly the fields the paper's analyzer emitted.
+
+:class:`ProfileStore` accumulates profiles and converts them into the
+columnar :class:`~repro.model.dataset.HubDataset`, so every downstream
+figure computation is agnostic to whether data came from real extracted
+tarballs or the synthetic generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model.dataset import HubDataset
+
+
+@dataclass(frozen=True)
+class FileRecord:
+    """Per-file metadata: { name, digest, type, size } (§III-C)."""
+
+    path: str
+    digest: str
+    size: int
+    type_code: int
+
+
+@dataclass(frozen=True)
+class DirectoryRecord:
+    """Per-directory metadata: { name, depth, file count } (§III-C)."""
+
+    path: str
+    depth: int
+    file_count: int
+
+
+@dataclass
+class LayerProfile:
+    """Everything the analyzer measured about one layer."""
+
+    digest: str
+    compressed_size: int  # CLS
+    files_size: int  # FLS
+    file_count: int
+    directory_count: int
+    max_depth: int
+    files: list[FileRecord] = field(default_factory=list)
+    directories: list[DirectoryRecord] = field(default_factory=list)
+
+    @property
+    def compression_ratio(self) -> float:
+        """FLS-to-CLS (0 when CLS unknown)."""
+        if self.compressed_size <= 0:
+            return 0.0
+        return self.files_size / self.compressed_size
+
+
+@dataclass
+class ImageProfile:
+    """Image metadata plus pointers (digests) to its layer profiles."""
+
+    name: str
+    layer_digests: list[str]
+    compressed_size: int  # CIS: sum of manifest layer sizes
+    pull_count: int = 0
+
+
+class ProfileStore:
+    """Accumulates profiles; converts to the columnar dataset.
+
+    Layers are stored once per digest (the dataset of *unique* layers, as
+    downloaded); images reference layers by digest.
+    """
+
+    def __init__(self) -> None:
+        self._layers: dict[str, LayerProfile] = {}
+        self._layer_order: list[str] = []
+        self._images: list[ImageProfile] = []
+
+    # -- accumulation -----------------------------------------------------------
+
+    def add_layer(self, profile: LayerProfile) -> bool:
+        """Record a layer profile; returns False if the digest was already
+        profiled (duplicate work detected)."""
+        if profile.digest in self._layers:
+            return False
+        self._layers[profile.digest] = profile
+        self._layer_order.append(profile.digest)
+        return True
+
+    def add_image(self, profile: ImageProfile) -> None:
+        for digest in profile.layer_digests:
+            if digest not in self._layers:
+                raise KeyError(
+                    f"image {profile.name!r} references unprofiled layer {digest}"
+                )
+        self._images.append(profile)
+
+    def has_layer(self, digest: str) -> bool:
+        return digest in self._layers
+
+    @property
+    def n_layers(self) -> int:
+        return len(self._layers)
+
+    @property
+    def n_images(self) -> int:
+        return len(self._images)
+
+    def layer(self, digest: str) -> LayerProfile:
+        return self._layers[digest]
+
+    def layers(self) -> list[LayerProfile]:
+        return [self._layers[d] for d in self._layer_order]
+
+    def images(self) -> list[ImageProfile]:
+        return list(self._images)
+
+    # -- conversion --------------------------------------------------------------
+
+    def to_dataset(self) -> HubDataset:
+        """Build the columnar dataset: unique files keyed by content digest."""
+        file_id_by_digest: dict[str, int] = {}
+        file_sizes: list[int] = []
+        file_types: list[int] = []
+
+        layer_index = {d: i for i, d in enumerate(self._layer_order)}
+        layer_file_ids: list[int] = []
+        layer_offsets = [0]
+        layer_cls = np.zeros(len(self._layer_order), dtype=np.int64)
+        layer_dirs = np.zeros(len(self._layer_order), dtype=np.int64)
+        layer_depths = np.zeros(len(self._layer_order), dtype=np.int64)
+
+        for i, digest in enumerate(self._layer_order):
+            profile = self._layers[digest]
+            for record in profile.files:
+                fid = file_id_by_digest.get(record.digest)
+                if fid is None:
+                    fid = len(file_sizes)
+                    file_id_by_digest[record.digest] = fid
+                    file_sizes.append(record.size)
+                    file_types.append(record.type_code)
+                layer_file_ids.append(fid)
+            layer_offsets.append(len(layer_file_ids))
+            layer_cls[i] = profile.compressed_size
+            layer_dirs[i] = profile.directory_count
+            layer_depths[i] = profile.max_depth
+
+        image_layer_ids: list[int] = []
+        image_offsets = [0]
+        names: list[str] = []
+        pulls: list[int] = []
+        for image in self._images:
+            image_layer_ids.extend(layer_index[d] for d in image.layer_digests)
+            image_offsets.append(len(image_layer_ids))
+            names.append(image.name)
+            pulls.append(image.pull_count)
+
+        dataset = HubDataset(
+            file_sizes=np.asarray(file_sizes, dtype=np.int64),
+            file_types=np.asarray(file_types, dtype=np.int32),
+            layer_file_offsets=np.asarray(layer_offsets, dtype=np.int64),
+            layer_file_ids=np.asarray(layer_file_ids, dtype=np.int64),
+            layer_cls=layer_cls,
+            layer_dir_counts=layer_dirs,
+            layer_max_depths=layer_depths,
+            image_layer_offsets=np.asarray(image_offsets, dtype=np.int64),
+            image_layer_ids=np.asarray(image_layer_ids, dtype=np.int64),
+            repo_names=names,
+            pull_counts=np.asarray(pulls, dtype=np.int64),
+        )
+        dataset.validate()
+        return dataset

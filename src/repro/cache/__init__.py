@@ -1,0 +1,41 @@
+"""Registry cache simulation.
+
+The paper's popularity analysis (Fig. 8) motivates caching popular images;
+its stated future work is to "extend our image popularity analysis to cache
+performance analysis". This package does that extension:
+
+* :mod:`trace` — synthesize pull-request traces from a dataset's measured
+  popularity (with optional temporal locality), at image or layer
+  granularity;
+* :mod:`policies` — byte-capacity cache policies: FIFO, LRU, LFU, GDSF
+  (size-aware), plus the static most-popular oracle;
+* :mod:`simulate` — run traces through policies, report request/byte hit
+  ratios, sweep capacities.
+"""
+
+from repro.cache.policies import (
+    CachePolicy,
+    FIFOCache,
+    GDSFCache,
+    LFUCache,
+    LRUCache,
+    StaticTopCache,
+    make_policy,
+)
+from repro.cache.simulate import CacheSimResult, simulate, sweep
+from repro.cache.trace import PullTrace, generate_trace
+
+__all__ = [
+    "CachePolicy",
+    "CacheSimResult",
+    "FIFOCache",
+    "GDSFCache",
+    "LFUCache",
+    "LRUCache",
+    "PullTrace",
+    "StaticTopCache",
+    "generate_trace",
+    "make_policy",
+    "simulate",
+    "sweep",
+]

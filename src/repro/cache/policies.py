@@ -1,0 +1,238 @@
+"""Byte-capacity cache replacement policies.
+
+All policies share one interface: ``request(key, size) -> bool`` (True on
+hit). Objects larger than the capacity are never admitted. Implemented:
+
+* **FIFO** — evict in insertion order;
+* **LRU** — evict least-recently-used (OrderedDict, O(1));
+* **LFU** — evict least-frequently-used, ties by recency;
+* **GDSF** — Greedy-Dual-Size-Frequency (Cherkasova '98): priority
+  ``L + frequency / size`` with an inflation clock, the classic web-cache
+  policy for heterogeneous object sizes — relevant here because layer sizes
+  span six orders of magnitude;
+* **StaticTop** — an admission-only oracle preloaded with the globally most
+  popular objects; the upper-bound reference the A2 ablation computes
+  analytically.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+from collections import OrderedDict
+
+
+class CachePolicy(abc.ABC):
+    """A byte-capacity cache."""
+
+    name: str = "base"
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity = int(capacity_bytes)
+        self.used = 0
+
+    @abc.abstractmethod
+    def request(self, key: int, size: int) -> bool:
+        """Process one request; returns True on hit. Misses are admitted
+        (evicting as needed) unless the object exceeds capacity."""
+
+    @abc.abstractmethod
+    def __contains__(self, key: int) -> bool:
+        ...
+
+    def _check_size(self, size: int) -> None:
+        if size < 0:
+            raise ValueError(f"negative object size: {size}")
+
+
+class FIFOCache(CachePolicy):
+    name = "fifo"
+
+    def __init__(self, capacity_bytes: int):
+        super().__init__(capacity_bytes)
+        self._entries: OrderedDict[int, int] = OrderedDict()
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._entries
+
+    def request(self, key: int, size: int) -> bool:
+        self._check_size(size)
+        if key in self._entries:
+            return True
+        if size > self.capacity:
+            return False
+        while self.used + size > self.capacity:
+            _, evicted = self._entries.popitem(last=False)
+            self.used -= evicted
+        self._entries[key] = size
+        self.used += size
+        return False
+
+
+class LRUCache(CachePolicy):
+    name = "lru"
+
+    def __init__(self, capacity_bytes: int):
+        super().__init__(capacity_bytes)
+        self._entries: OrderedDict[int, int] = OrderedDict()
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._entries
+
+    def request(self, key: int, size: int) -> bool:
+        self._check_size(size)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return True
+        if size > self.capacity:
+            return False
+        while self.used + size > self.capacity:
+            _, evicted = self._entries.popitem(last=False)
+            self.used -= evicted
+        self._entries[key] = size
+        self.used += size
+        return False
+
+
+class LFUCache(CachePolicy):
+    """LFU with recency tie-break, via a lazy heap of (freq, tick, key)."""
+
+    name = "lfu"
+
+    def __init__(self, capacity_bytes: int):
+        super().__init__(capacity_bytes)
+        self._sizes: dict[int, int] = {}
+        self._freq: dict[int, int] = {}
+        self._tick = 0
+        self._heap: list[tuple[int, int, int]] = []
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._sizes
+
+    def _push(self, key: int) -> None:
+        self._tick += 1
+        heapq.heappush(self._heap, (self._freq[key], self._tick, key))
+
+    def _evict_one(self) -> None:
+        while True:
+            freq, _, key = heapq.heappop(self._heap)
+            # lazy deletion: skip stale entries
+            if key in self._sizes and self._freq[key] == freq:
+                self.used -= self._sizes.pop(key)
+                del self._freq[key]
+                return
+
+    def request(self, key: int, size: int) -> bool:
+        self._check_size(size)
+        if key in self._sizes:
+            self._freq[key] += 1
+            self._push(key)
+            return True
+        if size > self.capacity:
+            return False
+        while self.used + size > self.capacity:
+            self._evict_one()
+        self._sizes[key] = size
+        self._freq[key] = 1
+        self.used += size
+        self._push(key)
+        return False
+
+
+class GDSFCache(CachePolicy):
+    """Greedy-Dual-Size-Frequency: priority = clock + freq / size."""
+
+    name = "gdsf"
+
+    def __init__(self, capacity_bytes: int):
+        super().__init__(capacity_bytes)
+        self._sizes: dict[int, int] = {}
+        self._freq: dict[int, int] = {}
+        self._prio: dict[int, float] = {}
+        self._clock = 0.0
+        self._tick = 0
+        self._heap: list[tuple[float, int, int]] = []
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._sizes
+
+    def _priority(self, key: int, size: int) -> float:
+        return self._clock + self._freq[key] / max(1, size)
+
+    def _push(self, key: int) -> None:
+        self._tick += 1
+        heapq.heappush(self._heap, (self._prio[key], self._tick, key))
+
+    def _evict_one(self) -> None:
+        while True:
+            prio, _, key = heapq.heappop(self._heap)
+            if key in self._sizes and self._prio[key] == prio:
+                self._clock = max(self._clock, prio)  # inflation
+                self.used -= self._sizes.pop(key)
+                del self._freq[key]
+                del self._prio[key]
+                return
+
+    def request(self, key: int, size: int) -> bool:
+        self._check_size(size)
+        if key in self._sizes:
+            self._freq[key] += 1
+            self._prio[key] = self._priority(key, self._sizes[key])
+            self._push(key)
+            return True
+        if size > self.capacity:
+            return False
+        while self.used + size > self.capacity:
+            self._evict_one()
+        self._sizes[key] = size
+        self._freq[key] = 1
+        self._prio[key] = self._priority(key, size)
+        self.used += size
+        self._push(key)
+        return False
+
+
+class StaticTopCache(CachePolicy):
+    """Preloaded with a fixed set of keys; never admits anything else.
+
+    The online equivalent of the A2 ablation's most-popular-first analysis —
+    a reference point for the adaptive policies.
+    """
+
+    name = "static-top"
+
+    def __init__(self, capacity_bytes: int, preload: list[tuple[int, int]] = ()):
+        super().__init__(capacity_bytes)
+        self._keys: set[int] = set()
+        for key, size in preload:
+            if self.used + size <= self.capacity:
+                self._keys.add(key)
+                self.used += size
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._keys
+
+    def request(self, key: int, size: int) -> bool:
+        self._check_size(size)
+        return key in self._keys
+
+
+_POLICIES = {
+    "fifo": FIFOCache,
+    "lru": LRUCache,
+    "lfu": LFUCache,
+    "gdsf": GDSFCache,
+}
+
+
+def make_policy(name: str, capacity_bytes: int) -> CachePolicy:
+    """Instantiate an adaptive policy by name (fifo/lru/lfu/gdsf)."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; known: {sorted(_POLICIES)}"
+        ) from None
+    return cls(capacity_bytes)

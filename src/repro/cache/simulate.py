@@ -1,0 +1,79 @@
+"""Trace-driven cache simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cache.policies import CachePolicy, StaticTopCache, make_policy
+from repro.cache.trace import PullTrace
+
+
+@dataclass(frozen=True)
+class CacheSimResult:
+    policy: str
+    capacity_bytes: int
+    n_requests: int
+    hits: int
+    byte_hits: int
+    bytes_requested: int
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.n_requests if self.n_requests else 0.0
+
+    @property
+    def byte_hit_ratio(self) -> float:
+        """Fraction of requested bytes served from cache — what actually
+        cuts registry egress."""
+        return self.byte_hits / self.bytes_requested if self.bytes_requested else 0.0
+
+
+def simulate(trace: PullTrace, policy: CachePolicy) -> CacheSimResult:
+    """Run a trace through a policy instance."""
+    hits = 0
+    byte_hits = 0
+    bytes_requested = 0
+    sizes = trace.object_sizes
+    for key in trace.object_ids:
+        size = int(sizes[key])
+        bytes_requested += size
+        if policy.request(int(key), size):
+            hits += 1
+            byte_hits += size
+    return CacheSimResult(
+        policy=policy.name,
+        capacity_bytes=policy.capacity,
+        n_requests=trace.n_requests,
+        hits=hits,
+        byte_hits=byte_hits,
+        bytes_requested=bytes_requested,
+    )
+
+
+def static_top_policy(trace: PullTrace, capacity_bytes: int) -> StaticTopCache:
+    """Build the most-popular-first oracle for a trace."""
+    counts = np.bincount(trace.object_ids, minlength=trace.n_objects)
+    order = np.argsort(counts)[::-1]
+    preload = [
+        (int(k), int(trace.object_sizes[k])) for k in order if counts[k] > 0
+    ]
+    return StaticTopCache(capacity_bytes, preload=preload)
+
+
+def sweep(
+    trace: PullTrace,
+    policies: list[str],
+    capacities: list[int],
+    *,
+    include_static_top: bool = True,
+) -> list[CacheSimResult]:
+    """Simulate every (policy, capacity) combination on one trace."""
+    results: list[CacheSimResult] = []
+    for capacity in capacities:
+        for name in policies:
+            results.append(simulate(trace, make_policy(name, capacity)))
+        if include_static_top:
+            results.append(simulate(trace, static_top_policy(trace, capacity)))
+    return results

@@ -1,0 +1,10 @@
+"""Command-line interface: ``repro <subcommand>``.
+
+Wraps the library's main entry points so the whole reproduction is drivable
+without writing Python: generate datasets, run the materialized pipeline,
+compute figures, study dedup, run ablations, regenerate EXPERIMENTS.md.
+"""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["build_parser", "main"]

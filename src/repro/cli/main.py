@@ -1,0 +1,426 @@
+"""The ``repro`` command-line tool.
+
+Subcommands::
+
+    repro generate    --scale small --out hub.npz       # synthesize a dataset
+    repro info        hub.npz                           # headline totals
+    repro figures     hub.npz [--figure fig24] [--markdown]
+    repro dedup       hub.npz                           # the §V study
+    repro ablate      hub.npz [--experiment a1|a2]
+    repro pipeline    --scale tiny [--dataset out.npz] [--profiles out.jsonl]
+    repro experiments --out EXPERIMENTS.md              # full paper-vs-measured
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.util.units import format_size
+
+
+def _add_seed(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=2017, help="generation seed")
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=["tiny", "small", "bench"],
+        default="small",
+        help="population preset (see SyntheticHubConfig)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Large-Scale Analysis of the Docker Hub "
+        "Dataset' (CLUSTER 2019)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="synthesize a calibrated dataset")
+    _add_scale(p)
+    _add_seed(p)
+    p.add_argument("--out", type=Path, required=True, help="output .npz path")
+
+    p = sub.add_parser("info", help="print a dataset's headline totals")
+    p.add_argument("dataset", type=Path)
+
+    p = sub.add_parser("figures", help="compute paper figures on a dataset")
+    p.add_argument("dataset", type=Path)
+    p.add_argument("--figure", action="append", help="figure id (repeatable)")
+    p.add_argument("--markdown", action="store_true", help="emit markdown tables")
+    p.add_argument(
+        "--charts", action="store_true", help="render ASCII charts of the series"
+    )
+
+    p = sub.add_parser("dedup", help="run the §V deduplication study")
+    p.add_argument("dataset", type=Path)
+
+    p = sub.add_parser("ablate", help="run the A1/A2 ablation experiments")
+    p.add_argument("dataset", type=Path)
+    p.add_argument("--experiment", choices=["a1", "a2", "all"], default="all")
+
+    p = sub.add_parser(
+        "pipeline", help="run crawl->download->analyze on a materialized registry"
+    )
+    _add_seed(p)
+    p.add_argument("--scale", choices=["tiny", "small"], default="tiny")
+    p.add_argument("--dataset", type=Path, help="write the measured dataset (.npz)")
+    p.add_argument("--profiles", type=Path, help="write layer/image profiles (.jsonl)")
+
+    p = sub.add_parser("experiments", help="regenerate the EXPERIMENTS.md record")
+    _add_seed(p)
+    p.add_argument("--out", type=Path, default=Path("EXPERIMENTS.md"))
+    p.add_argument("--scale", choices=["tiny", "small", "bench"], default="bench")
+
+    p = sub.add_parser("cache", help="simulate cache policies on a pull trace")
+    p.add_argument("dataset", type=Path)
+    p.add_argument("--requests", type=int, default=20_000)
+    p.add_argument("--granularity", choices=["image", "layer"], default="image")
+    _add_seed(p)
+
+    p = sub.add_parser("restructure", help="carve shared layers from co-occurrence")
+    p.add_argument("dataset", type=Path)
+    p.add_argument("--min-group-kb", type=int, default=16)
+    p.add_argument("--max-layers", type=int, default=100)
+
+    p = sub.add_parser("project", help="project registry growth (§I, 1,241 repos/day)")
+    p.add_argument("dataset", type=Path)
+    p.add_argument("--days", type=int, default=365)
+    _add_seed(p)
+
+    p = sub.add_parser(
+        "serve", help="serve a materialized hub over the Docker Registry v2 HTTP API"
+    )
+    _add_seed(p)
+    p.add_argument("--scale", choices=["tiny", "small"], default="tiny")
+    p.add_argument("--port", type=int, default=5000)
+    p.add_argument(
+        "--print-and-exit",
+        action="store_true",
+        help="start, print the endpoint summary, and shut down (for scripts/tests)",
+    )
+
+    return parser
+
+
+# -- subcommand implementations -------------------------------------------------
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.model.io import save_dataset
+    from repro.synth import SyntheticHubConfig, generate_dataset
+
+    config = getattr(SyntheticHubConfig, args.scale)(seed=args.seed)
+    dataset = generate_dataset(config)
+    save_dataset(dataset, args.out)
+    totals = dataset.totals()
+    print(
+        f"wrote {args.out}: {totals.n_images:,} images, "
+        f"{totals.n_layers:,} layers, {totals.n_file_occurrences:,} file occurrences"
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.model.io import load_dataset
+
+    totals = load_dataset(args.dataset).totals()
+    print(f"images            {totals.n_images:,}")
+    print(f"unique layers     {totals.n_layers:,}")
+    print(f"file occurrences  {totals.n_file_occurrences:,}")
+    print(f"unique files      {totals.n_unique_files:,}")
+    print(f"uncompressed      {format_size(totals.uncompressed_bytes)}")
+    print(f"compressed        {format_size(totals.compressed_bytes)}")
+    print(f"deduplicated      {format_size(totals.unique_file_bytes)}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.core.figures import FIGURES, compute_figure
+    from repro.core.report import render_experiments_markdown, render_report
+    from repro.model.io import load_dataset
+
+    dataset = load_dataset(args.dataset)
+    figure_ids = args.figure or list(FIGURES)
+    unknown = [f for f in figure_ids if f not in FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(FIGURES)}", file=sys.stderr)
+        return 2
+    results = [compute_figure(dataset, fid) for fid in figure_ids]
+    if args.markdown:
+        print(render_experiments_markdown(results))
+    else:
+        print(render_report(results))
+    if args.charts:
+        from repro.core.characterization import Breakdown
+        from repro.core.plots import render_cdf, render_histogram, render_share_bars
+        from repro.stats.cdf import EmpiricalCDF
+        from repro.stats.histogram import Histogram
+
+        for result in results:
+            for name, series in result.series.items():
+                as_bytes = any(tok in name for tok in ("cls", "fls", "cis", "fis"))
+                if isinstance(series, EmpiricalCDF):
+                    print()
+                    print(
+                        render_cdf(
+                            series,
+                            title=f"{result.figure_id} {name}",
+                            as_bytes=as_bytes,
+                        )
+                    )
+                elif isinstance(series, Histogram):
+                    print()
+                    print(
+                        render_histogram(
+                            series, title=f"{result.figure_id} {name}", as_bytes=as_bytes
+                        )
+                    )
+                elif isinstance(series, Breakdown):
+                    print()
+                    print(
+                        render_share_bars(
+                            series, title=f"{result.figure_id} {name} (count share)"
+                        )
+                    )
+    return 0
+
+
+def _cmd_dedup(args: argparse.Namespace) -> int:
+    from repro.dedup import (
+        cross_duplicate_report,
+        dedup_by_group,
+        dedup_growth,
+        file_dedup_report,
+        layer_sharing_report,
+    )
+    from repro.model.io import load_dataset
+
+    dataset = load_dataset(args.dataset)
+    sharing = layer_sharing_report(dataset)
+    print(
+        f"layer sharing: {sharing.single_ref_fraction:.1%} single-ref, "
+        f"saves {sharing.sharing_ratio:.2f}x (paper 1.8x)"
+    )
+    dedup = file_dedup_report(dataset)
+    print(
+        f"file dedup: {dedup.unique_fraction:.1%} unique, "
+        f"{dedup.count_ratio:.1f}x count / {dedup.capacity_ratio:.1f}x capacity "
+        f"(paper 3.2% / 31.5x / 6.9x)"
+    )
+    print("growth:")
+    for point in dedup_growth(dataset):
+        print(
+            f"  {point.n_layers:>8,} layers -> count {point.count_ratio:5.1f}x, "
+            f"capacity {point.capacity_ratio:4.1f}x"
+        )
+    cross = cross_duplicate_report(dataset)
+    print(
+        f"cross duplicates: layer p10 {cross.layer_p10:.1%} (paper 97.6%), "
+        f"image p10 {cross.image_p10:.1%} (paper 99.4%)"
+    )
+    print("by group (capacity eliminated):")
+    for row in dedup_by_group(dataset):
+        print(f"  {row.label:<6} {row.eliminated_capacity_fraction:6.1%}")
+    return 0
+
+
+def _cmd_ablate(args: argparse.Namespace) -> int:
+    from repro.core.ablation import popularity_cache, uncompressed_small_layers
+    from repro.model.io import load_dataset
+
+    dataset = load_dataset(args.dataset)
+    if args.experiment in ("a1", "all"):
+        print("A1: store small layers uncompressed")
+        for p in uncompressed_small_layers(dataset):
+            label = "none" if p.threshold_bytes == 0 else format_size(p.threshold_bytes)
+            print(
+                f"  T={label:>9}: mean pull {p.mean_pull_latency_s:7.3f}s, "
+                f"storage {p.registry_blowup:.2f}x"
+            )
+    if args.experiment in ("a2", "all"):
+        print("A2: popularity cache")
+        for p in popularity_cache(dataset):
+            print(
+                f"  cache {p.cached_fraction:6.1%}: hit ratio {p.hit_ratio:6.1%}, "
+                f"pinned {format_size(p.cache_bytes)}"
+            )
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import run_materialized_pipeline
+    from repro.model.io import save_dataset, save_profiles_jsonl
+    from repro.synth import SyntheticHubConfig
+
+    config = getattr(SyntheticHubConfig, args.scale)(seed=args.seed)
+    result = run_materialized_pipeline(config, compute_figures=False)
+    crawl = result.crawl.summary()
+    stats = result.download_stats
+    print(
+        f"crawl: {crawl['distinct_repositories']:,} repos "
+        f"({crawl['duplicates_removed']:,} duplicate rows removed)"
+    )
+    print(
+        f"download: {stats.succeeded:,}/{stats.attempted:,} ok, "
+        f"{stats.failed_auth} auth / {stats.failed_no_latest} no-latest failures, "
+        f"{stats.unique_layers_fetched:,} unique layers "
+        f"({format_size(stats.layer_bytes_fetched)})"
+    )
+    totals = result.totals()
+    print(
+        f"analyze: {totals.n_images:,} images, {totals.n_layers:,} layers, "
+        f"{totals.n_file_occurrences:,} files, "
+        f"{format_size(totals.uncompressed_bytes)} uncompressed"
+    )
+    if args.dataset:
+        save_dataset(result.dataset, args.dataset)
+        print(f"wrote dataset: {args.dataset}")
+    if args.profiles:
+        save_profiles_jsonl(
+            args.profiles,
+            result.analysis.store.layers(),
+            result.analysis.store.images(),
+        )
+        print(f"wrote profiles: {args.profiles}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.core.experiments import write_experiments
+
+    out = write_experiments(args.out, seed=args.seed, scale=args.scale)
+    print(f"wrote {out}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import generate_trace, sweep
+    from repro.model.io import load_dataset
+
+    dataset = load_dataset(args.dataset)
+    trace = generate_trace(
+        dataset, args.requests, granularity=args.granularity,
+        locality=0.2, seed=args.seed,
+    )
+    ws = trace.working_set_bytes()
+    capacities = [int(0.01 * ws), int(0.05 * ws), int(0.20 * ws)]
+    print(
+        f"{trace.n_requests:,} {args.granularity} requests, "
+        f"working set {format_size(ws)}"
+    )
+    for result in sweep(trace, ["fifo", "lru", "lfu", "gdsf"], capacities):
+        print(
+            f"  {result.policy:>10} @ {format_size(result.capacity_bytes):>9}: "
+            f"hit {result.hit_ratio:6.1%}  byte-hit {result.byte_hit_ratio:6.1%}"
+        )
+    return 0
+
+
+def _cmd_restructure(args: argparse.Namespace) -> int:
+    from repro.model.io import load_dataset
+    from repro.restructure import CarveConfig, restructure
+
+    dataset = load_dataset(args.dataset)
+    result = restructure(
+        dataset,
+        CarveConfig(
+            min_group_bytes=args.min_group_kb * 1024,
+            max_layers_per_image=args.max_layers,
+        ),
+    )
+    print(f"today's layout     {format_size(result.original_layer_bytes)}")
+    print(
+        f"carved layout      {format_size(result.restructured_bytes)} "
+        f"({result.savings_vs_original:.1%} saved, "
+        f"{result.n_shared_layers:,} shared layers, "
+        f"max {result.layers_per_image_max} layers/image)"
+    )
+    print(f"file-dedup floor   {format_size(result.perfect_dedup_bytes)}")
+    return 0
+
+
+def _cmd_project(args: argparse.Namespace) -> int:
+    from repro.core.growth_projection import project_growth
+    from repro.model.io import load_dataset
+
+    dataset = load_dataset(args.dataset)
+    projection = project_growth(dataset, days=args.days, n_points=9, seed=args.seed)
+    print(f"{'day':>6} {'repos':>12} {'no sharing':>12} {'shared':>12} {'+dedup':>12}")
+    for p in projection.points:
+        print(
+            f"{p.day:>6.0f} {p.repositories:>12,.0f} "
+            f"{format_size(p.no_sharing_bytes):>12} "
+            f"{format_size(p.shared_layers_bytes):>12} "
+            f"{format_size(p.file_dedup_bytes):>12}"
+        )
+    print(f"final dedup saving: {projection.final_savings():.1%}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.registry.http import RegistryHTTPServer
+    from repro.registry.search import HubSearchEngine
+    from repro.synth import SyntheticHubConfig, generate_dataset, materialize_registry
+
+    config = getattr(SyntheticHubConfig, args.scale)(seed=args.seed)
+    dataset = generate_dataset(config)
+    registry, truth = materialize_registry(
+        dataset,
+        fail_share=config.fail_share,
+        fail_auth_share=config.fail_auth_share,
+        seed=config.seed,
+    )
+    search = HubSearchEngine(registry, seed=config.seed)
+    server = RegistryHTTPServer(registry, search, port=args.port).start()
+    try:
+        print(f"registry:   {server.base_url}/v2/")
+        print(f"catalog:    {server.base_url}/v2/_catalog")
+        print(f"search:     {server.base_url}/search?q=/&page=1")
+        example = next(iter(truth.images))
+        print(f"manifest:   {server.base_url}/v2/{example}/manifests/latest")
+        print(
+            f"{truth.n_images} images, {truth.n_unique_layers} unique layers, "
+            f"{len(truth.auth_repos)} auth-gated repos"
+        )
+        if args.print_and_exit:
+            return 0
+        print("Ctrl+C to stop")
+        import time
+
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        server.stop()
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "info": _cmd_info,
+    "figures": _cmd_figures,
+    "dedup": _cmd_dedup,
+    "ablate": _cmd_ablate,
+    "pipeline": _cmd_pipeline,
+    "experiments": _cmd_experiments,
+    "cache": _cmd_cache,
+    "restructure": _cmd_restructure,
+    "project": _cmd_project,
+    "serve": _cmd_serve,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

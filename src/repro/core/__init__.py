@@ -1,0 +1,51 @@
+"""The figure/report layer: everything §IV–§V reports, reproducible.
+
+* :mod:`paper_targets` — every number the paper publishes, keyed by figure;
+* :mod:`characterization` — shared breakdown helpers (type shares, sizes);
+* :mod:`figures` — one compute function per paper figure, returning series
+  plus headline metrics side-by-side with the paper's values;
+* :mod:`report` — text/markdown rendering (EXPERIMENTS.md comes from here);
+* :mod:`pipeline` — the end-to-end crawl→download→analyze→characterize run;
+* :mod:`ablation` — the design-choice experiments the paper's discussion
+  motivates (uncompressed small layers, popularity caching).
+"""
+
+from repro.core.figures import FIGURES, FigureResult, compute_all_figures, compute_figure
+from repro.core.paper_targets import PAPER_TARGETS, paper_value
+from repro.core.pipeline import (
+    ColumnarPipelineResult,
+    MaterializedPipelineResult,
+    run_columnar_pipeline,
+    run_http_pipeline,
+    run_materialized_pipeline,
+)
+from repro.core.experiments import write_experiments
+from repro.core.growth_projection import GrowthProjection, project_growth
+from repro.core.paper_curves import (
+    PAPER_CURVES,
+    score_figure_curves,
+    worst_scale_free_deviation,
+)
+from repro.core.report import render_experiments_markdown, render_report
+
+__all__ = [
+    "FIGURES",
+    "ColumnarPipelineResult",
+    "FigureResult",
+    "GrowthProjection",
+    "MaterializedPipelineResult",
+    "PAPER_CURVES",
+    "PAPER_TARGETS",
+    "compute_all_figures",
+    "compute_figure",
+    "paper_value",
+    "project_growth",
+    "render_experiments_markdown",
+    "render_report",
+    "run_columnar_pipeline",
+    "run_http_pipeline",
+    "run_materialized_pipeline",
+    "score_figure_curves",
+    "worst_scale_free_deviation",
+    "write_experiments",
+]

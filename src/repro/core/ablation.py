@@ -1,0 +1,139 @@
+"""Ablation experiments for the design choices the paper's analysis motivates.
+
+A1 — *store small layers uncompressed* (§IV-A discussion): the paper
+observes that most layers are small with low compression ratios, and that
+client-side decompression dominates pull latency, so storing small layers
+uncompressed could cut pull latency at a modest storage cost. We model pull
+latency as network transfer + client decompression and sweep the
+"store-uncompressed-below-T" threshold.
+
+A2 — *popularity caching* (§IV-B discussion): pulls are extremely skewed, so
+a small cache of popular repositories absorbs most pull traffic. We sweep
+the cache size (most-popular-first, the offline-optimal policy for a static
+popularity distribution) and report the request hit ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.downloader.session import NetworkModel
+from repro.model.dataset import HubDataset
+
+#: Client-side gunzip throughput; the paper cites decompression as a major
+#: pull-latency source (via Slacker). ~60 MB/s of *uncompressed* output is a
+#: representative single-core figure for gzip -6 era hardware.
+DECOMPRESS_BYTES_PER_S = 60e6
+
+
+@dataclass(frozen=True)
+class UncompressedPoint:
+    """One threshold of the A1 sweep."""
+
+    threshold_bytes: int
+    layers_uncompressed_fraction: float
+    mean_pull_latency_s: float
+    p90_pull_latency_s: float
+    registry_bytes: int
+    registry_blowup: float  # vs all-compressed storage
+
+
+def pull_latency_model(
+    cls: np.ndarray,
+    fls: np.ndarray,
+    uncompressed: np.ndarray,
+    network: NetworkModel,
+) -> np.ndarray:
+    """Per-layer pull latency.
+
+    Compressed layers: transfer CLS bytes, then decompress to FLS bytes.
+    Uncompressed layers: transfer FLS bytes, no decompression.
+    """
+    transfer_bytes = np.where(uncompressed, fls, cls)
+    latency = network.request_overhead_s + transfer_bytes / network.bandwidth_bytes_per_s
+    latency = latency + np.where(uncompressed, 0.0, fls / DECOMPRESS_BYTES_PER_S)
+    return latency
+
+
+def uncompressed_small_layers(
+    dataset: HubDataset,
+    thresholds: list[int] | None = None,
+    network: NetworkModel | None = None,
+) -> list[UncompressedPoint]:
+    """A1: sweep the store-uncompressed threshold.
+
+    Latency is averaged over layer *pulls* — each unique layer weighted by
+    its image reference count, since popular base layers are pulled more.
+    """
+    network = network or NetworkModel()
+    cls = dataset.layer_cls.astype(np.float64)
+    fls = dataset.layer_fls.astype(np.float64)
+    weights = np.maximum(dataset.layer_ref_counts, 1).astype(np.float64)
+    if thresholds is None:
+        thresholds = [0, 1_000_000, 4_000_000, 16_000_000, 64_000_000, int(fls.max()) + 1]
+
+    points: list[UncompressedPoint] = []
+    baseline_storage = float(cls.sum())
+    for threshold in thresholds:
+        uncompressed = fls < threshold
+        latency = pull_latency_model(cls, fls, uncompressed, network)
+        registry_bytes = float(np.where(uncompressed, fls, cls).sum())
+        order = np.argsort(latency)
+        csum = np.cumsum(weights[order])
+        p90_idx = int(np.searchsorted(csum, 0.9 * csum[-1]))
+        points.append(
+            UncompressedPoint(
+                threshold_bytes=int(threshold),
+                layers_uncompressed_fraction=float(uncompressed.mean()),
+                mean_pull_latency_s=float(np.average(latency, weights=weights)),
+                p90_pull_latency_s=float(latency[order][min(p90_idx, latency.size - 1)]),
+                registry_bytes=int(registry_bytes),
+                registry_blowup=registry_bytes / baseline_storage if baseline_storage else 0.0,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class CachePoint:
+    """One cache size of the A2 sweep."""
+
+    cached_repositories: int
+    cached_fraction: float
+    hit_ratio: float  # fraction of pulls served from cache
+    cache_bytes: int  # compressed bytes pinned
+
+
+def popularity_cache(
+    dataset: HubDataset,
+    cache_fractions: list[float] | None = None,
+) -> list[CachePoint]:
+    """A2: hit ratio of a most-popular-first repository cache."""
+    pulls = dataset.pull_counts.astype(np.float64)
+    if pulls.size == 0 or pulls.sum() == 0:
+        raise ValueError("dataset carries no pull counts")
+    if cache_fractions is None:
+        cache_fractions = [0.001, 0.01, 0.05, 0.10, 0.25, 0.50]
+    order = np.argsort(pulls)[::-1]
+    sorted_pulls = pulls[order]
+    image_bytes = dataset.image_cls.astype(np.float64)[order]
+    cum_pulls = np.cumsum(sorted_pulls)
+    cum_bytes = np.cumsum(image_bytes)
+    total = cum_pulls[-1]
+
+    points: list[CachePoint] = []
+    for fraction in cache_fractions:
+        if not (0 < fraction <= 1):
+            raise ValueError(f"cache fraction out of (0,1]: {fraction}")
+        k = max(1, int(round(fraction * pulls.size)))
+        points.append(
+            CachePoint(
+                cached_repositories=k,
+                cached_fraction=k / pulls.size,
+                hit_ratio=float(cum_pulls[k - 1] / total),
+                cache_bytes=int(cum_bytes[k - 1]),
+            )
+        )
+    return points

@@ -1,0 +1,166 @@
+"""Shared breakdown helpers for the file-level figures (Figs. 13–22).
+
+All functions are vectorized over the columnar dataset and aggregate by
+type group or by a group's figure labels (the categories the paper plots,
+e.g. ELF / Com. / PE / COFF / Pkg. / Lib. for Fig. 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.filetypes.catalog import RARE_TYPE_BASE, TypeCatalog, TypeGroup, default_catalog
+from repro.model.dataset import HubDataset
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    """One bar of a count/capacity breakdown figure."""
+
+    label: str
+    count: int
+    bytes: int
+
+    def avg_size(self) -> float:
+        return self.bytes / self.count if self.count else 0.0
+
+
+@dataclass(frozen=True)
+class Breakdown:
+    rows: list[BreakdownRow]
+
+    @property
+    def total_count(self) -> int:
+        return sum(r.count for r in self.rows)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.bytes for r in self.rows)
+
+    def count_share(self, label: str) -> float:
+        total = self.total_count
+        return self._row(label).count / total if total else 0.0
+
+    def capacity_share(self, label: str) -> float:
+        total = self.total_bytes
+        return self._row(label).bytes / total if total else 0.0
+
+    def avg_size(self, label: str) -> float:
+        return self._row(label).avg_size()
+
+    def labels(self) -> list[str]:
+        return [r.label for r in self.rows]
+
+    def _row(self, label: str) -> BreakdownRow:
+        for row in self.rows:
+            if row.label == label:
+                return row
+        raise KeyError(f"no row labelled {label!r}")
+
+
+def _aggregate(
+    dataset: HubDataset, key_of_code: np.ndarray, labels: dict[int, str]
+) -> Breakdown:
+    occ_keys = key_of_code[dataset.occurrence_types]
+    sizes = dataset.occurrence_sizes
+    valid = occ_keys >= 0
+    n_keys = max(labels) + 1 if labels else 0
+    if n_keys == 0:
+        return Breakdown(rows=[])
+    counts = np.bincount(occ_keys[valid], minlength=n_keys)
+    nbytes = np.bincount(occ_keys[valid], weights=sizes[valid], minlength=n_keys)
+    rows = [
+        BreakdownRow(label=labels[k], count=int(counts[k]), bytes=int(nbytes[k]))
+        for k in sorted(labels)
+        if counts[k] > 0
+    ]
+    rows.sort(key=lambda r: -r.count)
+    return Breakdown(rows=rows)
+
+
+def _max_code(dataset: HubDataset) -> int:
+    return int(dataset.file_types.max()) if dataset.n_files else 0
+
+
+def group_breakdown(
+    dataset: HubDataset, catalog: TypeCatalog | None = None
+) -> Breakdown:
+    """Fig. 14: occurrences and capacity per type group."""
+    catalog = catalog or default_catalog()
+    key_of_code = catalog.group_of_code_table(_max_code(dataset)).astype(np.int64)
+    labels = {int(g): g.name.lower() for g in TypeGroup}
+    return _aggregate(dataset, key_of_code, labels)
+
+
+def label_breakdown(
+    dataset: HubDataset, group: TypeGroup, catalog: TypeCatalog | None = None
+) -> Breakdown:
+    """Figs. 16–22: occurrences and capacity per figure label inside a group."""
+    catalog = catalog or default_catalog()
+    codes = np.arange(_max_code(dataset) + 1)
+    key_of_code = np.full(codes.size, -1)
+    label_keys: dict[str, int] = {}
+    labels: dict[int, str] = {}
+    for c in codes:
+        ftype = catalog.try_by_code(int(c))
+        if ftype is None or ftype.group is not group:
+            continue
+        key = label_keys.setdefault(ftype.figure_label, len(label_keys))
+        labels[key] = ftype.figure_label
+        key_of_code[c] = key
+    return _aggregate(dataset, key_of_code, labels)
+
+
+@dataclass(frozen=True)
+class TaxonomySummary:
+    """Fig. 13's headline: how concentrated capacity is in common types."""
+
+    total_types: int
+    common_types: int
+    common_capacity_share: float
+    common_count_share: float
+
+
+def taxonomy_summary(
+    dataset: HubDataset,
+    catalog: TypeCatalog | None = None,
+    *,
+    capacity_threshold_share: float | None = None,
+) -> TaxonomySummary:
+    """Classify types into common/non-common by capacity.
+
+    The paper's criterion is absolute (> 7 GB per type at 167 TB total,
+    i.e. ~0.004 % of total capacity); we apply the same *relative*
+    threshold so the split scales with dataset size.
+    """
+    catalog = catalog or default_catalog()
+    threshold_share = (
+        capacity_threshold_share if capacity_threshold_share is not None else 7e9 / 167e12
+    )
+    occ_types = dataset.occurrence_types
+    sizes = dataset.occurrence_sizes
+    n_codes = _max_code(dataset) + 1
+    type_bytes = np.bincount(occ_types, weights=sizes, minlength=n_codes)
+    type_counts = np.bincount(occ_types, minlength=n_codes)
+    present = type_counts > 0
+    total_bytes = type_bytes.sum()
+    threshold = threshold_share * total_bytes
+    common = present & (type_bytes >= threshold)
+    return TaxonomySummary(
+        total_types=int(present.sum()),
+        common_types=int(common.sum()),
+        common_capacity_share=float(type_bytes[common].sum() / total_bytes)
+        if total_bytes
+        else 0.0,
+        common_count_share=float(type_counts[common].sum() / type_counts.sum())
+        if type_counts.sum()
+        else 0.0,
+    )
+
+
+def rare_type_count(dataset: HubDataset) -> int:
+    """Distinct non-common (synthetic long-tail) types present."""
+    occ_types = np.unique(dataset.occurrence_types)
+    return int((occ_types >= RARE_TYPE_BASE).sum())

@@ -1,0 +1,130 @@
+"""Compression-method study — future work the paper names explicitly:
+"we will further analyze how layer hierarchy and compression methods impact
+access latency."
+
+Given real layer tarballs, recompress each layer's uncompressed tar stream
+with every candidate codec (store/gzip at several levels/bzip2/lzma),
+measure actual compression ratios and (de)compression wall time, and fold
+both into the pull-latency model: a pull transfers the compressed bytes and
+then decompresses them client-side, so the best codec depends on the
+client's bandwidth — fast links favour cheap decompression, slow links
+favour density.
+"""
+
+from __future__ import annotations
+
+import bz2
+import gzip
+import lzma
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.downloader.session import NetworkModel
+
+#: codec name -> (compress, decompress)
+_CODECS: dict[str, tuple[Callable[[bytes], bytes], Callable[[bytes], bytes]]] = {
+    "store": (lambda data: data, lambda data: data),
+    "gzip-1": (lambda data: gzip.compress(data, compresslevel=1), gzip.decompress),
+    "gzip-6": (lambda data: gzip.compress(data, compresslevel=6), gzip.decompress),
+    "gzip-9": (lambda data: gzip.compress(data, compresslevel=9), gzip.decompress),
+    "bzip2": (bz2.compress, bz2.decompress),
+    "xz": (
+        lambda data: lzma.compress(data, preset=1),
+        lzma.decompress,
+    ),
+}
+
+
+def codec_names() -> list[str]:
+    return list(_CODECS)
+
+
+@dataclass(frozen=True)
+class CodecResult:
+    """Aggregate measurements for one codec over a layer sample."""
+
+    codec: str
+    n_layers: int
+    raw_bytes: int  # uncompressed tar bytes
+    compressed_bytes: int
+    compress_seconds: float
+    decompress_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        return self.raw_bytes / self.compressed_bytes if self.compressed_bytes else 0.0
+
+    @property
+    def decompress_throughput(self) -> float:
+        """Uncompressed bytes produced per second of decompression."""
+        if self.decompress_seconds <= 0:
+            return float("inf")
+        return self.raw_bytes / self.decompress_seconds
+
+    def mean_pull_latency(self, network: NetworkModel) -> float:
+        """Per-layer pull latency: request + transfer + client decompress."""
+        if self.n_layers == 0:
+            return 0.0
+        transfer = self.compressed_bytes / network.bandwidth_bytes_per_s
+        return (
+            network.request_overhead_s
+            + (transfer + self.decompress_seconds) / self.n_layers
+        )
+
+
+def study_compression(
+    raw_layers: list[bytes],
+    codecs: list[str] | None = None,
+) -> list[CodecResult]:
+    """Measure every codec over *uncompressed* layer tar streams."""
+    if not raw_layers:
+        raise ValueError("need at least one layer to study")
+    names = codecs if codecs is not None else codec_names()
+    results: list[CodecResult] = []
+    for name in names:
+        try:
+            compress, decompress = _CODECS[name]
+        except KeyError:
+            raise ValueError(f"unknown codec {name!r}; known: {codec_names()}") from None
+        raw_total = 0
+        compressed_total = 0
+        compress_s = 0.0
+        decompress_s = 0.0
+        for raw in raw_layers:
+            raw_total += len(raw)
+            t0 = time.perf_counter()
+            packed = compress(raw)
+            compress_s += time.perf_counter() - t0
+            compressed_total += len(packed)
+            t0 = time.perf_counter()
+            out = decompress(packed)
+            decompress_s += time.perf_counter() - t0
+            if out != raw:
+                raise AssertionError(f"codec {name} is not lossless")
+        results.append(
+            CodecResult(
+                codec=name,
+                n_layers=len(raw_layers),
+                raw_bytes=raw_total,
+                compressed_bytes=compressed_total,
+                compress_seconds=compress_s,
+                decompress_seconds=decompress_s,
+            )
+        )
+    return results
+
+
+def decompress_gzip_layers(blobs: list[bytes]) -> list[bytes]:
+    """Registry layers travel gzip'd; recover the raw tar streams."""
+    return [gzip.decompress(blob) for blob in blobs]
+
+
+def best_codec_by_latency(
+    results: list[CodecResult], network: NetworkModel
+) -> CodecResult:
+    """The codec minimizing mean pull latency under a given network."""
+    if not results:
+        raise ValueError("no codec results to compare")
+    return min(results, key=lambda r: r.mean_pull_latency(network))

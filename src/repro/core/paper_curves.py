@@ -1,0 +1,186 @@
+"""Anchor points read off the paper's CDF figures, and agreement scoring.
+
+Scalar metrics (medians, p90s) compare magnitudes; the *curves* carry more
+information. For each CDF figure we record the anchor points the paper
+states in its text ("90 % of layers are smaller than 177 MB", "half of the
+layers have less than 30 files", ...) as ``(x, F(x))`` pairs, and score a
+measured CDF by the vertical deviation at each anchor — the same quantity a
+reader checks by eye when comparing plots.
+
+Vertical deviation is the right metric here: horizontal (x) deviation
+conflates scale (our corpus is ~0.7 % of the paper's) with shape, while
+``F(x)`` at a given x is exactly the fraction statement the paper makes.
+Anchors marked ``scale_free=False`` involve absolute sizes that shift with
+corpus scale and are reported but not held to the tight band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.figures import FigureResult
+from repro.stats.cdf import EmpiricalCDF
+
+MB = 1_000_000
+GB = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class CurveAnchor:
+    """One published point of a CDF: ``F(x) == fraction`` per the paper."""
+
+    x: float
+    fraction: float
+    source: str  # the sentence/figure the anchor comes from
+    scale_free: bool = True
+
+
+@dataclass(frozen=True)
+class AnchorScore:
+    anchor: CurveAnchor
+    measured_fraction: float
+
+    @property
+    def deviation(self) -> float:
+        return abs(self.measured_fraction - self.anchor.fraction)
+
+
+#: figure id -> series name -> anchors
+PAPER_CURVES: dict[str, dict[str, list[CurveAnchor]]] = {
+    "fig3": {
+        "cls_cdf": [
+            CurveAnchor(4 * MB, 0.50, "§IV-A: ~half of layers < 4 MB compressed", False),
+            CurveAnchor(63 * MB, 0.90, "§IV-A: 90% of layers < 63 MB compressed", False),
+        ],
+        "fls_cdf": [
+            CurveAnchor(4 * MB, 0.50, "§IV-A: ~half of layers < 4 MB uncompressed", False),
+            CurveAnchor(177 * MB, 0.90, "§IV-A: 90% of layers < 177 MB uncompressed", False),
+        ],
+    },
+    "fig4": {
+        "ratio_cdf": [
+            CurveAnchor(2.6, 0.50, "§IV-A: median compression ratio 2.6"),
+            CurveAnchor(4.0, 0.90, "§IV-A: 90% of layers have ratio < 4"),
+        ],
+    },
+    "fig5": {
+        "files_cdf": [
+            CurveAnchor(1, 0.34, "§IV-A: 7% empty + 27% single-file layers"),
+            # the small/tiny presets scale per-layer counts down, so the
+            # count anchors are meaningful only at bench scale
+            CurveAnchor(30, 0.50, "§IV-A: half of layers have < 30 files", False),
+            CurveAnchor(7410, 0.90, "§IV-A: 90% of layers < 7,410 files", False),
+        ],
+    },
+    "fig6": {
+        "dirs_cdf": [
+            CurveAnchor(11, 0.50, "§IV-A: half of layers < 11 directories", False),
+            CurveAnchor(826, 0.90, "§IV-A: 90% of layers < 826 directories", False),
+        ],
+    },
+    "fig7": {
+        "depth_cdf": [
+            CurveAnchor(4, 0.50, "§IV-A: 50% of layers have depth < 4"),
+            CurveAnchor(10, 0.90, "§IV-A: 90% of layers have depth < 10"),
+        ],
+    },
+    "fig8": {
+        "pulls_cdf": [
+            CurveAnchor(40, 0.50, "§IV-B: median image pulled 40 times"),
+            CurveAnchor(333, 0.90, "§IV-B: p90 pull count 333"),
+        ],
+    },
+    "fig9": {
+        "cis_cdf": [
+            CurveAnchor(17 * MB, 0.50, "§IV-B: median compressed image 17 MB", False),
+            CurveAnchor(0.48 * GB, 0.90, "§IV-B: 90% of compressed images < 0.48 GB", False),
+        ],
+        "fis_cdf": [
+            CurveAnchor(94 * MB, 0.50, "§IV-B: median uncompressed image 94 MB", False),
+            CurveAnchor(1.3 * GB, 0.90, "§IV-B: 90% of images < 1.3 GB", False),
+        ],
+    },
+    "fig10": {
+        "layers_cdf": [
+            CurveAnchor(8, 0.50, "§IV-B: half of images have < 8 layers"),
+            CurveAnchor(18, 0.90, "§IV-B: 90% of images < 18 layers"),
+        ],
+    },
+    "fig11": {
+        "dirs_cdf": [
+            CurveAnchor(296, 0.50, "§IV-B: median 296 directories per image", False),
+            CurveAnchor(7344, 0.90, "§IV-B: 90% of images < 7,344 directories", False),
+        ],
+    },
+    "fig12": {
+        "files_cdf": [
+            CurveAnchor(1090, 0.50, "§IV-B: median 1,090 files per image", False),
+            CurveAnchor(64_780, 0.90, "§IV-B: 90% of images < 64,780 files", False),
+        ],
+    },
+    "fig24": {
+        # Fig 24's CDF is over unique files by repeat count
+        "repeat_cdf": [
+            CurveAnchor(1, 0.006, "§V-B: >99.4% of files have more than one copy"),
+            CurveAnchor(4, 0.50, "§V-B: ~50% of files have exactly 4 copies"),
+            CurveAnchor(10, 0.90, "§V-B: 90% of files have <= 10 copies"),
+        ],
+    },
+}
+
+
+def _series_cdf(result: FigureResult, series_name: str) -> EmpiricalCDF:
+    if series_name == "repeat_cdf":
+        return result.series["report"].repeat_cdf
+    series = result.series[series_name]
+    if not isinstance(series, EmpiricalCDF):
+        raise TypeError(f"{result.figure_id}/{series_name} is not a CDF")
+    return series
+
+
+def score_figure_curves(result: FigureResult) -> dict[str, list[AnchorScore]]:
+    """Deviation at every anchor the paper publishes for this figure."""
+    anchors = PAPER_CURVES.get(result.figure_id)
+    if not anchors:
+        return {}
+    out: dict[str, list[AnchorScore]] = {}
+    for series_name, points in anchors.items():
+        cdf = _series_cdf(result, series_name)
+        out[series_name] = [
+            AnchorScore(
+                anchor=anchor,
+                measured_fraction=cdf.fraction_at_most(anchor.x),
+            )
+            for anchor in points
+        ]
+    return out
+
+
+def worst_scale_free_deviation(results: list[FigureResult]) -> float:
+    """The largest anchor deviation among scale-free anchors — the single
+    number summarizing how faithfully the curve shapes reproduce."""
+    worst = 0.0
+    for result in results:
+        for scores in score_figure_curves(result).values():
+            for score in scores:
+                if score.anchor.scale_free:
+                    worst = max(worst, score.deviation)
+    return worst
+
+
+def curves_markdown(results: list[FigureResult]) -> str:
+    """A per-anchor markdown table for EXPERIMENTS.md."""
+    lines = ["## Curve anchors: F(x) at the paper's published points", ""]
+    lines.append("| figure | series | x | paper F(x) | measured F(x) | deviation | scale-free |")
+    lines.append("|---|---|---:|---:|---:|---:|---|")
+    for result in results:
+        for series_name, scores in score_figure_curves(result).items():
+            for score in scores:
+                a = score.anchor
+                lines.append(
+                    f"| {result.figure_id} | {series_name} | {a.x:g} "
+                    f"| {a.fraction:.3f} | {score.measured_fraction:.3f} "
+                    f"| {score.deviation:.3f} | {'yes' if a.scale_free else 'no'} |"
+                )
+    lines.append("")
+    return "\n".join(lines)

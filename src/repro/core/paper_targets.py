@@ -1,0 +1,212 @@
+"""Every number the paper publishes, keyed by figure id and metric name.
+
+These are the comparison baselines EXPERIMENTS.md reports against. Units are
+bytes for sizes, plain counts/ratios otherwise; names match the keys the
+figure compute functions emit.
+"""
+
+from __future__ import annotations
+
+MB = 1_000_000
+GB = 1_000_000_000
+
+#: figure id -> {metric name -> paper value}
+PAPER_TARGETS: dict[str, dict[str, float]] = {
+    "fig3": {  # layer size distribution
+        "cls_median": 4 * MB,
+        "cls_p90": 63 * MB,
+        "fls_median": 4 * MB,
+        "fls_p90": 177 * MB,
+    },
+    "fig4": {  # compression ratios
+        "ratio_median": 2.6,
+        "ratio_p90": 4.0,
+        "ratio_max": 1026.0,
+        "frac_1_2": 300_000 / 1_792_609,
+        "frac_2_3": 600_000 / 1_792_609,
+    },
+    "fig5": {  # files per layer
+        "files_median": 30,
+        "files_p90": 7410,
+        "empty_fraction": 0.07,
+        "single_fraction": 0.27,
+        "files_max": 826_196,
+    },
+    "fig6": {  # directories per layer
+        "dirs_median": 11,
+        "dirs_p90": 826,
+        "dirs_max": 111_940,
+    },
+    "fig7": {  # layer directory depth
+        "depth_median": 4,
+        "depth_p90": 10,
+        "depth_mode": 3,
+    },
+    "fig8": {  # repository popularity
+        "pulls_median": 40,
+        "pulls_p90": 333,
+        "pulls_max": 650e6,
+    },
+    "fig9": {  # image sizes
+        "cis_median": 17 * MB,
+        "cis_p90": 0.48 * GB,
+        "fis_median": 94 * MB,
+        "fis_p90": 1.3 * GB,
+        "fis_max": 498 * GB,
+    },
+    "fig10": {  # layers per image
+        "layers_median": 8,
+        "layers_p90": 18,
+        "layers_mode": 8,
+        "layers_max": 120,
+        "single_layer_fraction": 7_060 / 355_319,
+    },
+    "fig11": {  # directories per image
+        "dirs_median": 296,
+        "dirs_p90": 7_344,
+    },
+    "fig12": {  # files per image
+        "files_median": 1_090,
+        "files_p90": 64_780,
+    },
+    "fig13": {  # taxonomy
+        "common_type_count": 133,
+        "common_capacity_share": 0.984,
+        "total_type_count": 1_500,
+    },
+    "fig14": {  # type-group shares
+        "count_share_document": 0.44,
+        "count_share_source": 0.13,
+        "count_share_eol": 0.11,
+        "count_share_script": 0.09,
+        "count_share_media": 0.04,
+        "capacity_share_eol": 0.37,
+        "capacity_share_archive": 0.23,
+        "capacity_share_document": 0.14,
+    },
+    "fig15": {  # average file size by group (bytes)
+        "avg_size_database": 978_800,
+        "avg_size_eol": 100_000,
+        "avg_size_archive": 100_000,
+    },
+    "fig16": {  # EOL types
+        "count_share_com": 0.64,
+        "count_share_elf": 0.30,
+        "capacity_share_elf": 0.84,
+        "count_share_pe": 0.02,
+        "avg_size_elf": 312_000,
+        "avg_size_com": 9_000,
+    },
+    "fig17": {  # source code types
+        "count_share_c_cpp": 0.803,
+        "capacity_share_c_cpp": 0.80,
+        "count_share_perl5": 0.09,
+        "capacity_share_perl5": 0.11,
+        "count_share_ruby": 0.08,
+        "capacity_share_ruby": 0.03,
+    },
+    "fig18": {  # script types
+        "count_share_python": 0.535,
+        "capacity_share_python": 0.66,
+        "count_share_shell": 0.20,
+        "capacity_share_shell": 0.06,
+        "count_share_ruby": 0.10,
+        "capacity_share_ruby": 0.05,
+    },
+    "fig19": {  # document types
+        "count_share_ascii": 0.80,
+        "count_share_utf": 0.05,
+        "count_share_xml_html": 0.13,
+        "capacity_share_xml_html": 0.18,
+        "text_capacity_share": 0.70,
+    },
+    "fig20": {  # archival types
+        "count_share_zip_gzip": 0.963,
+        "capacity_share_zip_gzip": 0.70,
+        "avg_size_zip_gzip": 67_000,
+        "avg_size_bzip2": 199_000,
+        "avg_size_tar": 466_000,
+        "avg_size_xz": 534_000,
+    },
+    "fig21": {  # database types
+        "count_share_berkeley": 0.33,
+        "count_share_mysql": 0.30,
+        "count_share_sqlite": 0.07,
+        "capacity_share_sqlite": 0.57,
+    },
+    "fig22": {  # media types
+        "count_share_png": 0.67,
+        "capacity_share_png": 0.45,
+        "capacity_share_jpeg": 0.20,
+    },
+    "fig23": {  # layer sharing
+        "single_ref_fraction": 0.90,
+        "double_ref_fraction": 0.05,
+        "empty_layer_ref_share": 184_171 / 355_319,
+        "top_stack_ref_share": 33_413 / 355_319,
+        "sharing_ratio": 85 / 47,
+    },
+    "fig24": {  # file-level dedup
+        "unique_fraction": 0.032,
+        "count_ratio": 31.5,
+        "capacity_ratio": 6.9,
+        "copies_median": 4,
+        "copies_p90": 10,
+        "multi_copy_fraction": 0.994,
+        "max_repeat_occurrence_share": 53_654_306 / 5_278_465_130,
+    },
+    "fig25": {  # dedup growth
+        "count_ratio_small": 3.6,
+        "count_ratio_full": 31.5,
+        "capacity_ratio_small": 1.9,
+        "capacity_ratio_full": 6.9,
+    },
+    "fig26": {  # cross-layer/image duplicates
+        "layer_p10": 0.976,
+        "image_p10": 0.994,
+    },
+    "fig27": {  # dedup by group (eliminated capacity fraction)
+        "overall": 0.8569,
+        "script": 0.98,
+        "source": 0.968,
+        "document": 0.92,
+        "eol": 0.86,
+        "archive": 0.86,
+        "media": 0.86,
+        "database": 0.76,
+    },
+    "fig28": {  # EOL dedup
+        "elf": 0.87,
+        "com": 0.87,
+        "pe": 0.87,
+        "coff": 0.61,
+        "library": 0.535,
+        "elf_redundant_capacity_share": 0.734,
+    },
+    "fig29": {  # source-code dedup
+        "c_cpp": 0.90,
+        "perl5": 0.90,
+        "ruby": 0.90,
+        "c_cpp_redundant_capacity_share": 0.77,
+    },
+    "table1": {  # §III dataset totals
+        "distinct_repositories": 457_627,
+        "raw_search_results": 634_412,
+        "images_downloaded": 355_319,
+        "images_failed": 111_384,
+        "failed_auth_share": 0.13,
+        "failed_no_latest_share": 0.87,
+        "unique_layers": 1_792_609,
+        "file_occurrences": 5_278_465_130,
+        "compressed_bytes": 47e12,
+        "uncompressed_bytes": 167e12,
+    },
+}
+
+
+def paper_value(figure_id: str, metric: str) -> float:
+    """Look up one published number; raises KeyError with a helpful message."""
+    try:
+        return PAPER_TARGETS[figure_id][metric]
+    except KeyError:
+        raise KeyError(f"no paper target for {figure_id}/{metric}") from None

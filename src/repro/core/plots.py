@@ -1,0 +1,150 @@
+"""ASCII rendering of the paper's figure types.
+
+No plotting dependency is available offline, so the report layer renders
+CDFs and histograms as fixed-width terminal charts — enough to eyeball the
+shapes against the paper's figures (log-x CDFs, bar histograms, share
+bars).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.characterization import Breakdown
+from repro.stats.cdf import EmpiricalCDF
+from repro.stats.histogram import Histogram
+from repro.util.units import format_size
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def _format_x(value: float, as_bytes: bool) -> str:
+    if as_bytes:
+        return format_size(value)
+    if value >= 1e6 or (value != 0 and abs(value) < 1e-2):
+        return f"{value:.2g}"
+    if float(value).is_integer():
+        return f"{int(value):,}"
+    return f"{value:.2f}"
+
+
+def render_cdf(
+    cdf: EmpiricalCDF,
+    *,
+    title: str = "",
+    width: int = 60,
+    height: int = 12,
+    log_x: bool = True,
+    as_bytes: bool = False,
+) -> str:
+    """Render an empirical CDF as an ASCII curve (log x-axis by default,
+    matching the paper's size/count CDF plots)."""
+    if width < 12 or height < 4:
+        raise ValueError("chart too small to draw")
+    x, frac = cdf.steps(max_points=4 * width)
+    x = x.astype(np.float64)
+    lo = max(float(x.min()), 1e-12)
+    hi = max(float(x.max()), lo * (1 + 1e-9))
+    use_log = log_x and hi / lo > 10
+
+    def to_col(value: float) -> int:
+        if hi == lo:
+            return 0
+        if use_log:
+            pos = (math.log10(max(value, lo)) - math.log10(lo)) / (
+                math.log10(hi) - math.log10(lo)
+            )
+        else:
+            pos = (value - lo) / (hi - lo)
+        return min(width - 1, max(0, int(round(pos * (width - 1)))))
+
+    # per column, the max CDF value reached
+    levels = np.zeros(width)
+    for value, f in zip(x, frac):
+        col = to_col(float(value))
+        levels[col] = max(levels[col], f)
+    # forward-fill so the curve is monotone across empty columns
+    running = 0.0
+    for i in range(width):
+        running = max(running, levels[i])
+        levels[i] = running
+
+    rows: list[str] = []
+    if title:
+        rows.append(title)
+    for row in range(height, 0, -1):
+        threshold = row / height
+        line = "".join(_BAR if level >= threshold - 1e-12 else " " for level in levels)
+        label = f"{threshold:4.0%} |" if row in (height, height // 2, 1) else "     |"
+        rows.append(label + line)
+    axis = "     +" + "-" * width
+    rows.append(axis)
+    left = _format_x(lo, as_bytes)
+    right = _format_x(hi, as_bytes)
+    mid = _format_x(math.sqrt(lo * hi) if use_log else (lo + hi) / 2, as_bytes)
+    gap = max(1, width - len(left) - len(mid) - len(right))
+    rows.append(
+        "      " + left + " " * (gap // 2) + mid + " " * (gap - gap // 2) + right
+        + ("  (log)" if use_log else "")
+    )
+    return "\n".join(rows)
+
+
+def render_histogram(
+    hist: Histogram,
+    *,
+    title: str = "",
+    width: int = 48,
+    max_rows: int = 16,
+    as_bytes: bool = False,
+) -> str:
+    """Render a histogram as horizontal bars (top-count bins, in order)."""
+    rows: list[str] = []
+    if title:
+        rows.append(title)
+    counts = hist.counts
+    if counts.size == 0 or counts.max() == 0:
+        return (title + "\n" if title else "") + "  (empty)"
+    keep = min(max_rows, counts.size)
+    peak = counts.max()
+    for i in range(keep):
+        lo, hi = hist.edges[i], hist.edges[i + 1]
+        label = f"[{_format_x(lo, as_bytes)}, {_format_x(hi, as_bytes)})"
+        filled = counts[i] / peak * width
+        bar = _BAR * int(filled) + (_HALF if filled - int(filled) >= 0.5 else "")
+        rows.append(f"  {label:>24} {bar:<{width}} {counts[i]:,}")
+    hidden = counts.size - keep
+    tail = int(counts[keep:].sum()) + hist.overflow
+    if hidden > 0 or hist.overflow:
+        rows.append(f"  {'...':>24} ({hidden} more bins / {tail:,} values)")
+    return "\n".join(rows)
+
+
+def render_share_bars(
+    breakdown: Breakdown,
+    *,
+    title: str = "",
+    by: str = "count",
+    width: int = 40,
+) -> str:
+    """Render a count/capacity share breakdown (Figs. 14-22 style)."""
+    if by not in ("count", "bytes"):
+        raise ValueError(f"by must be 'count' or 'bytes', got {by!r}")
+    rows: list[str] = []
+    if title:
+        rows.append(title)
+    total = breakdown.total_count if by == "count" else breakdown.total_bytes
+    if total == 0:
+        return (title + "\n" if title else "") + "  (empty)"
+    ordered = sorted(
+        breakdown.rows, key=lambda r: -(r.count if by == "count" else r.bytes)
+    )
+    for row in ordered:
+        value = row.count if by == "count" else row.bytes
+        share = value / total
+        bar = _BAR * max(1 if value else 0, int(round(share * width)))
+        rows.append(f"  {row.label:>12} {bar:<{width}} {share:6.1%}")
+    return "\n".join(rows)

@@ -1,0 +1,68 @@
+"""Rendering: figure results → terminal report / EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from repro.core.figures import FigureResult
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "-"
+    if abs(value) >= 1e12 or (value != 0 and abs(value) < 1e-3):
+        return f"{value:.3g}"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if float(value).is_integer():
+        return f"{int(value)}"
+    return f"{value:.3f}"
+
+
+def render_figure(result: FigureResult) -> str:
+    """One figure's paper-vs-measured block, as fixed-width text."""
+    lines = [f"{result.figure_id}  {result.title}"]
+    for metric, measured in result.metrics.items():
+        target = result.paper.get(metric)
+        if target is not None and target != 0:
+            lines.append(
+                f"  {metric:<34} measured {_fmt(measured):>14}"
+                f"   paper {_fmt(target):>14}   x{measured / target:.2f}"
+            )
+        else:
+            lines.append(f"  {metric:<34} measured {_fmt(measured):>14}")
+    return "\n".join(lines)
+
+
+def render_report(results: list[FigureResult]) -> str:
+    """The full multi-figure text report."""
+    return "\n\n".join(render_figure(r) for r in results)
+
+
+def render_experiments_markdown(
+    results: list[FigureResult],
+    *,
+    preamble: str = "",
+) -> str:
+    """EXPERIMENTS.md body: one table per figure, paper vs measured.
+
+    Only metrics with a paper target get a ratio column; extra measured
+    metrics are listed for completeness.
+    """
+    out: list[str] = ["# EXPERIMENTS — paper vs. measured", ""]
+    if preamble:
+        out += [preamble, ""]
+    for result in results:
+        out.append(f"## {result.figure_id}: {result.title}")
+        out.append("")
+        out.append("| metric | measured | paper | measured/paper |")
+        out.append("|---|---:|---:|---:|")
+        for metric, measured in result.metrics.items():
+            target = result.paper.get(metric)
+            if target:
+                out.append(
+                    f"| {metric} | {_fmt(measured)} | {_fmt(target)} "
+                    f"| {measured / target:.2f} |"
+                )
+            else:
+                out.append(f"| {metric} | {_fmt(measured)} | – | – |")
+        out.append("")
+    return "\n".join(out)

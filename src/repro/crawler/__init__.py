@@ -1,0 +1,5 @@
+"""The crawler: enumerate every repository in the Hub (§III-A)."""
+
+from repro.crawler.crawler import CrawlResult, HubCrawler
+
+__all__ = ["CrawlResult", "HubCrawler"]

@@ -1,0 +1,42 @@
+"""Deduplication analytics (§V).
+
+Everything operates on the columnar :class:`~repro.model.dataset.HubDataset`:
+
+* :mod:`engine` — file-level dedup ratios and repeat counts (Fig. 24);
+* :mod:`layer_sharing` — reference counts and the no-sharing blowup (Fig. 23);
+* :mod:`growth` — dedup ratio vs dataset size (Fig. 25);
+* :mod:`cross` — cross-layer / cross-image duplicate ratios (Fig. 26);
+* :mod:`bytype` — dedup by type group and specific type (Figs. 27–29).
+"""
+
+from repro.dedup.chunking import (
+    ChunkDedupResult,
+    compare_granularities,
+    fixed_chunks,
+    gear_chunks,
+)
+from repro.dedup.engine import FileDedupReport, file_dedup_report
+from repro.dedup.versions import VersionAnalysis, analyze_versions
+from repro.dedup.layer_sharing import LayerSharingReport, layer_sharing_report
+from repro.dedup.growth import GrowthPoint, dedup_growth
+from repro.dedup.cross import CrossDuplicateReport, cross_duplicate_report
+from repro.dedup.bytype import TypeDedupRow, dedup_by_figure_label, dedup_by_group
+
+__all__ = [
+    "ChunkDedupResult",
+    "CrossDuplicateReport",
+    "FileDedupReport",
+    "GrowthPoint",
+    "LayerSharingReport",
+    "TypeDedupRow",
+    "VersionAnalysis",
+    "analyze_versions",
+    "compare_granularities",
+    "cross_duplicate_report",
+    "dedup_by_figure_label",
+    "dedup_by_group",
+    "dedup_growth",
+    "file_dedup_report",
+    "fixed_chunks",
+    "gear_chunks",
+]

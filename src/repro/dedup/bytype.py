@@ -1,0 +1,121 @@
+"""Deduplication by file type (§V-E, Figs. 27–29).
+
+For each type group (Fig. 27) or each specific type within a group
+(Fig. 28 for EOL, Fig. 29 for source code), report the capacity occupied by
+all occurrences, the capacity after dedup, and the eliminated fraction — the
+y-axes the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.filetypes.catalog import TypeCatalog, TypeGroup, default_catalog
+from repro.model.dataset import HubDataset
+
+
+@dataclass(frozen=True)
+class TypeDedupRow:
+    label: str
+    occurrence_count: int
+    occurrence_bytes: int
+    unique_count: int
+    unique_bytes: int
+
+    @property
+    def count_ratio(self) -> float:
+        return self.occurrence_count / self.unique_count if self.unique_count else 0.0
+
+    @property
+    def eliminated_capacity_fraction(self) -> float:
+        """The paper's per-type "deduplication ratio" (fraction of capacity
+        removed by file-level dedup)."""
+        if self.occurrence_bytes == 0:
+            return 0.0
+        return 1.0 - self.unique_bytes / self.occurrence_bytes
+
+    @property
+    def redundant_bytes(self) -> int:
+        return self.occurrence_bytes - self.unique_bytes
+
+
+def _rows(
+    dataset: HubDataset,
+    key_of_code: np.ndarray,
+    labels: dict[int, str],
+) -> list[TypeDedupRow]:
+    """Aggregate occurrences and uniques by an integer key per type code."""
+    occ_keys = key_of_code[dataset.occurrence_types]
+    occ_sizes = dataset.occurrence_sizes
+    used = dataset.file_repeat_counts > 0
+    uniq_keys = key_of_code[dataset.file_types[used]]
+    uniq_sizes = dataset.file_sizes[used]
+
+    n_keys = max(
+        int(key_of_code.max()) + 1 if key_of_code.size else 0,
+        max(labels) + 1 if labels else 0,
+    )
+    if n_keys <= 0:
+        return []
+    occ_count = np.bincount(occ_keys[occ_keys >= 0], minlength=n_keys)
+    occ_bytes = np.bincount(
+        occ_keys[occ_keys >= 0], weights=occ_sizes[occ_keys >= 0], minlength=n_keys
+    )
+    uniq_count = np.bincount(uniq_keys[uniq_keys >= 0], minlength=n_keys)
+    uniq_bytes = np.bincount(
+        uniq_keys[uniq_keys >= 0], weights=uniq_sizes[uniq_keys >= 0], minlength=n_keys
+    )
+    rows = []
+    for key, label in labels.items():
+        if occ_count[key] == 0:
+            continue
+        rows.append(
+            TypeDedupRow(
+                label=label,
+                occurrence_count=int(occ_count[key]),
+                occurrence_bytes=int(occ_bytes[key]),
+                unique_count=int(uniq_count[key]),
+                unique_bytes=int(uniq_bytes[key]),
+            )
+        )
+    rows.sort(key=lambda r: -r.occurrence_bytes)
+    return rows
+
+
+def _code_table(dataset: HubDataset, catalog: TypeCatalog) -> np.ndarray:
+    """Max type code present, for building dense lookup tables."""
+    max_code = int(dataset.file_types.max()) if dataset.n_files else 0
+    return np.arange(max_code + 1)
+
+
+def dedup_by_group(
+    dataset: HubDataset, catalog: TypeCatalog | None = None
+) -> list[TypeDedupRow]:
+    """Fig. 27: capacity and dedup ratio per type group."""
+    catalog = catalog or default_catalog()
+    max_code = int(dataset.file_types.max()) if dataset.n_files else 0
+    key_of_code = catalog.group_of_code_table(max_code).astype(np.int64)
+    labels = {int(g): g.paper_label for g in TypeGroup}
+    return _rows(dataset, key_of_code, labels)
+
+
+def dedup_by_figure_label(
+    dataset: HubDataset, group: TypeGroup, catalog: TypeCatalog | None = None
+) -> list[TypeDedupRow]:
+    """Figs. 28/29-style: dedup per specific type (figure label) within one
+    group. Works for any group, not just EOL and source code."""
+    catalog = catalog or default_catalog()
+    codes = _code_table(dataset, catalog)
+    label_keys: dict[str, int] = {}
+    labels: dict[int, str] = {}
+    key_of_code = np.full(codes.size, -1)
+    for c in codes:
+        ftype = catalog.try_by_code(int(c))
+        if ftype is None or ftype.group is not group:
+            continue
+        key = label_keys.setdefault(ftype.figure_label, len(label_keys))
+        labels[key] = ftype.figure_label
+        key_of_code[c] = key
+    return _rows(dataset, key_of_code, labels)

@@ -1,0 +1,122 @@
+"""Cross-layer and cross-image duplicate files (§V-D, Fig. 26).
+
+A file occurrence is a *cross-layer duplicate* if the same content also
+exists in at least one other layer; Fig. 26(a) plots, per layer, the
+fraction of its files that are such duplicates (90 % of layers are above
+97.6 %). Fig. 26(b) is the per-image analogue (90 % of images above 99.4 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.dataset import HubDataset
+from repro.stats.cdf import EmpiricalCDF
+
+
+@dataclass(frozen=True)
+class CrossDuplicateReport:
+    layer_ratio_cdf: EmpiricalCDF  # per non-empty layer
+    image_ratio_cdf: EmpiricalCDF  # per image with files
+    layer_p10: float  # value such that 90 % of layers are above it
+    image_p10: float
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "layer_p10": self.layer_p10,
+            "image_p10": self.image_p10,
+            "layer_median": self.layer_ratio_cdf.median(),
+            "image_median": self.image_ratio_cdf.median(),
+        }
+
+
+def _distinct_sorted(values: np.ndarray) -> np.ndarray:
+    """Distinct values via sort + neighbour mask.
+
+    Equivalent to ``np.unique`` but ~20x faster on large integer arrays in
+    this environment (np.unique's path is far slower than a raw sort here).
+    """
+    if values.size == 0:
+        return values
+    s = np.sort(values)
+    mask = np.empty(s.size, dtype=bool)
+    mask[0] = True
+    np.not_equal(s[1:], s[:-1], out=mask[1:])
+    return s[mask]
+
+
+def _segment_means(flags: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    csum = np.zeros(flags.size + 1, dtype=np.int64)
+    np.cumsum(flags, out=csum[1:])
+    counts = np.diff(offsets)
+    sums = csum[offsets[1:]] - csum[offsets[:-1]]
+    out = np.full(counts.size, np.nan)
+    nonzero = counts > 0
+    out[nonzero] = sums[nonzero] / counts[nonzero]
+    return out
+
+
+def cross_duplicate_report(dataset: HubDataset) -> CrossDuplicateReport:
+    """Compute Fig. 26(a) and (b)."""
+    if dataset.n_file_occurrences == 0:
+        raise ValueError("dataset has no file occurrences")
+
+    # -- cross-layer: content present in >= 2 distinct layers -------------------
+    # A file repeated only within one layer is NOT a cross-layer duplicate, so
+    # count distinct layers per file, not raw repeats.
+    layer_of_occurrence = np.repeat(
+        np.arange(dataset.n_layers, dtype=np.int64), dataset.layer_file_counts
+    )
+    pair_keys = layer_of_occurrence * dataset.n_files + dataset.layer_file_ids
+    distinct_pairs = _distinct_sorted(pair_keys)
+    files_of_pairs = (distinct_pairs % dataset.n_files).astype(np.int64)
+    layers_per_file = np.bincount(files_of_pairs, minlength=dataset.n_files)
+    occ_is_cross_layer = layers_per_file[dataset.layer_file_ids] >= 2
+
+    layer_ratios = _segment_means(
+        occ_is_cross_layer.astype(np.int64), dataset.layer_file_offsets
+    )
+    layer_ratios = layer_ratios[~np.isnan(layer_ratios)]
+
+    # -- cross-image: content present in >= 2 distinct images --------------------
+    # Map occurrences to images through the layer->image reference lists.
+    image_of_slot = np.repeat(
+        np.arange(dataset.n_images, dtype=np.int64), dataset.image_layer_counts
+    )
+    # per (image, layer) slot, expand that layer's files
+    slot_layers = dataset.image_layer_ids
+    slot_counts = dataset.layer_file_counts[slot_layers]
+    occ_image = np.repeat(image_of_slot, slot_counts)
+    # vectorized gather of each slot's file-id run
+    total = int(slot_counts.sum())
+    if total:
+        seg_starts = np.concatenate([[0], np.cumsum(slot_counts[:-1])])
+        within = np.arange(total, dtype=np.int64) - np.repeat(seg_starts, slot_counts)
+        take_idx = np.repeat(dataset.layer_file_offsets[slot_layers], slot_counts) + within
+        occ_file = dataset.layer_file_ids[take_idx]
+        del take_idx, within
+    else:
+        occ_file = np.zeros(0, dtype=np.int64)
+    pair_keys = occ_image * dataset.n_files + occ_file
+    distinct_pairs = _distinct_sorted(pair_keys)
+    files_of_pairs = (distinct_pairs % dataset.n_files).astype(np.int64)
+    images_per_file = np.bincount(files_of_pairs, minlength=dataset.n_files)
+    flag = (images_per_file[occ_file] >= 2).astype(np.int64)
+    slot_csum = np.zeros(slot_counts.size + 1, dtype=np.int64)
+    np.cumsum(slot_counts, out=slot_csum[1:])
+    image_offsets = slot_csum[dataset.image_layer_offsets]
+    image_ratios = _segment_means(flag, image_offsets)
+    image_ratios = image_ratios[~np.isnan(image_ratios)]
+
+    if layer_ratios.size == 0 or image_ratios.size == 0:
+        raise ValueError("no non-empty layers/images to analyze")
+    layer_cdf = EmpiricalCDF(layer_ratios)
+    image_cdf = EmpiricalCDF(image_ratios)
+    return CrossDuplicateReport(
+        layer_ratio_cdf=layer_cdf,
+        image_ratio_cdf=image_cdf,
+        layer_p10=float(layer_cdf.percentile(10)),
+        image_p10=float(image_cdf.percentile(10)),
+    )

@@ -1,0 +1,85 @@
+"""File-level deduplication (§V-B, Fig. 24).
+
+The dedup key is the file content digest (a unique-file id in the columnar
+dataset). Ratios are computed over the dataset of *unique layers*, exactly
+the corpus the paper deduplicated: 5,278,465,130 occurrences → 3.2 % unique,
+31.5× by count, 6.9× by capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.dataset import HubDataset
+from repro.stats.cdf import EmpiricalCDF
+
+
+@dataclass(frozen=True)
+class FileDedupReport:
+    n_occurrences: int
+    n_unique: int
+    total_bytes: int  # capacity of all occurrences
+    unique_bytes: int  # capacity after dedup
+    repeat_cdf: EmpiricalCDF  # copies per unique (used) file
+    max_repeat: int
+    max_repeat_is_empty: bool
+
+    @property
+    def unique_fraction(self) -> float:
+        return self.n_unique / self.n_occurrences if self.n_occurrences else 0.0
+
+    @property
+    def count_ratio(self) -> float:
+        """Dedup ratio by file count (paper: 31.5x)."""
+        return self.n_occurrences / self.n_unique if self.n_unique else 0.0
+
+    @property
+    def capacity_ratio(self) -> float:
+        """Dedup ratio by capacity (paper: 6.9x)."""
+        return self.total_bytes / self.unique_bytes if self.unique_bytes else 0.0
+
+    @property
+    def eliminated_capacity_fraction(self) -> float:
+        """Fraction of bytes removable by file-level dedup (paper: 85.69 %)."""
+        if self.total_bytes == 0:
+            return 0.0
+        return 1.0 - self.unique_bytes / self.total_bytes
+
+    @property
+    def multi_copy_fraction(self) -> float:
+        """Fraction of unique files with more than one copy (paper: >99.4 %)."""
+        return 1.0 - self.repeat_cdf.fraction_at_most(1)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "occurrences": self.n_occurrences,
+            "unique_files": self.n_unique,
+            "unique_fraction": self.unique_fraction,
+            "count_ratio": self.count_ratio,
+            "capacity_ratio": self.capacity_ratio,
+            "eliminated_capacity_fraction": self.eliminated_capacity_fraction,
+            "median_copies": self.repeat_cdf.median(),
+            "p90_copies": self.repeat_cdf.percentile(90),
+            "max_repeat": self.max_repeat,
+        }
+
+
+def file_dedup_report(dataset: HubDataset) -> FileDedupReport:
+    """Deduplicate the dataset's file occurrences by content id."""
+    repeats = dataset.file_repeat_counts
+    used = repeats > 0
+    used_repeats = repeats[used]
+    if used_repeats.size == 0:
+        raise ValueError("dataset has no file occurrences to deduplicate")
+    max_idx = int(np.argmax(repeats))
+    return FileDedupReport(
+        n_occurrences=dataset.n_file_occurrences,
+        n_unique=int(np.count_nonzero(used)),
+        total_bytes=int(dataset.occurrence_sizes.sum()),
+        unique_bytes=int(dataset.file_sizes[used].sum()),
+        repeat_cdf=EmpiricalCDF(used_repeats),
+        max_repeat=int(repeats[max_idx]),
+        max_repeat_is_empty=bool(dataset.file_sizes[max_idx] == 0),
+    )

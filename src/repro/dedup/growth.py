@@ -1,0 +1,72 @@
+"""Dedup-ratio growth with dataset size (§V-C, Fig. 25).
+
+The paper drew four random layer samples plus the full dataset and observed
+the dedup ratio climbing almost linearly with the (log-scaled) sample size:
+count 3.6×→31.5×, capacity 1.9×→6.9× from 1,000 to 1.7 M layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dedup.engine import file_dedup_report
+from repro.model.dataset import HubDataset
+
+
+@dataclass(frozen=True)
+class GrowthPoint:
+    n_layers: int
+    n_occurrences: int
+    count_ratio: float
+    capacity_ratio: float
+
+
+def default_sample_sizes(n_layers: int, n_points: int = 5) -> list[int]:
+    """Log-spaced sample sizes from ~n/256 up to the full dataset."""
+    if n_layers < 2:
+        return [n_layers]
+    low = max(2, n_layers // 256)
+    sizes = np.unique(
+        np.round(np.logspace(np.log10(low), np.log10(n_layers), n_points)).astype(int)
+    )
+    return [int(s) for s in sizes]
+
+
+def dedup_growth(
+    dataset: HubDataset,
+    sample_sizes: list[int] | None = None,
+    *,
+    seed: int = 0,
+) -> list[GrowthPoint]:
+    """Deduplicate random layer samples of increasing size.
+
+    Sampling is without replacement and nested is *not* required by the
+    paper (they drew independent random samples); we draw independently too.
+    """
+    sizes = sample_sizes or default_sample_sizes(dataset.n_layers)
+    rng = np.random.default_rng(seed)
+    points: list[GrowthPoint] = []
+    for size in sizes:
+        if not (0 < size <= dataset.n_layers):
+            raise ValueError(
+                f"sample size {size} out of range (1..{dataset.n_layers})"
+            )
+        if size == dataset.n_layers:
+            subset = dataset
+        else:
+            layer_ids = rng.choice(dataset.n_layers, size=size, replace=False)
+            subset = dataset.layer_subset(np.sort(layer_ids))
+        if subset.n_file_occurrences == 0:
+            continue  # a sample of only empty layers has nothing to dedup
+        report = file_dedup_report(subset)
+        points.append(
+            GrowthPoint(
+                n_layers=size,
+                n_occurrences=report.n_occurrences,
+                count_ratio=report.count_ratio,
+                capacity_ratio=report.capacity_ratio,
+            )
+        )
+    return points

@@ -1,0 +1,28 @@
+"""A file-level deduplicating layer store.
+
+The paper's closing argument: file-level dedup could eliminate ~97 % of
+files and ~86 % of capacity in the registry, but layers-as-blobs can't
+exploit it. This package implements the storage design that can — layers
+are stored as *recipes* (member lists referencing content-addressed file
+chunks) over a shared chunk store, so a file stored by any layer is stored
+once, registry-wide. Restores rebuild the exact tarball bytes for layers
+produced by this repo's deterministic tarball codec.
+"""
+
+from repro.dedupstore.blobstore import DedupBlobStore
+from repro.dedupstore.store import (
+    ChunkStore,
+    DedupLayerStore,
+    IngestResult,
+    LayerRecipe,
+    StoreStats,
+)
+
+__all__ = [
+    "ChunkStore",
+    "DedupBlobStore",
+    "DedupLayerStore",
+    "IngestResult",
+    "LayerRecipe",
+    "StoreStats",
+]

@@ -1,0 +1,16 @@
+"""The downloader: fetch manifests and unique layers in parallel (§III-B)."""
+
+from repro.downloader.session import NetworkModel, SimulatedSession, TransientNetworkError
+from repro.downloader.downloader import DownloadedImage, Downloader, DownloadStats
+from repro.downloader.proxy import CachingProxySession, ProxyStats
+
+__all__ = [
+    "CachingProxySession",
+    "DownloadedImage",
+    "Downloader",
+    "DownloadStats",
+    "NetworkModel",
+    "ProxyStats",
+    "SimulatedSession",
+    "TransientNetworkError",
+]

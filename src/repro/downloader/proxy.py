@@ -1,0 +1,86 @@
+"""A pull-through caching registry proxy.
+
+Sits between the downloader and any session (simulated or HTTP), keeping a
+byte-capacity cache of layer blobs under a pluggable policy from
+:mod:`repro.cache.policies`. This is the §IV-B caching argument wired into
+the *actual* pipeline rather than a trace simulation: repeated image pulls
+(clients re-pulling, CI rebuilding) hit the proxy instead of the upstream
+registry.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.cache.policies import CachePolicy, LRUCache
+from repro.model.manifest import Manifest
+
+
+@dataclass
+class ProxyStats:
+    blob_requests: int = 0
+    blob_hits: int = 0
+    bytes_served: int = 0
+    bytes_from_upstream: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.blob_hits / self.blob_requests if self.blob_requests else 0.0
+
+    @property
+    def upstream_bytes_saved(self) -> float:
+        if self.bytes_served == 0:
+            return 0.0
+        return 1.0 - self.bytes_from_upstream / self.bytes_served
+
+
+class CachingProxySession:
+    """Session wrapper with a policy-managed blob cache.
+
+    Manifests and tag operations pass straight through (they are tiny and
+    must stay fresh); blobs are immutable and content-addressed, so caching
+    them is always safe.
+    """
+
+    def __init__(self, upstream, policy: CachePolicy | None = None, *, capacity_bytes: int = 1 << 30):
+        self.upstream = upstream
+        self.policy = policy if policy is not None else LRUCache(capacity_bytes)
+        self._blobs: dict[str, bytes] = {}
+        self._lock = threading.Lock()
+        self.stats = ProxyStats()
+
+    # -- pass-through ------------------------------------------------------------
+
+    def resolve_tag(self, repo: str, tag: str) -> str:
+        return self.upstream.resolve_tag(repo, tag)
+
+    def get_manifest(self, repo: str, reference: str) -> Manifest:
+        return self.upstream.get_manifest(repo, reference)
+
+    def list_tags(self, repo: str) -> list[str]:
+        return self.upstream.list_tags(repo)
+
+    # -- the cached path -----------------------------------------------------------
+
+    def get_blob(self, digest: str) -> bytes:
+        with self._lock:
+            self.stats.blob_requests += 1
+            cached = self._blobs.get(digest)
+            if cached is not None and self.policy.request(digest, len(cached)):
+                self.stats.blob_hits += 1
+                self.stats.bytes_served += len(cached)
+                return cached
+        blob = self.upstream.get_blob(digest)
+        with self._lock:
+            self.stats.bytes_served += len(blob)
+            self.stats.bytes_from_upstream += len(blob)
+            if self.policy.request(digest, len(blob)) or digest in self.policy:
+                self._blobs[digest] = blob
+            self._evict_dropped()
+        return blob
+
+    def _evict_dropped(self) -> None:
+        """Drop byte payloads the policy no longer tracks."""
+        for digest in [d for d in self._blobs if d not in self.policy]:
+            del self._blobs[digest]

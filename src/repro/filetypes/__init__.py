@@ -1,0 +1,31 @@
+"""File-type identification and the paper's three-level taxonomy.
+
+Level 1: *common* vs *non-common* types (by total capacity).
+Level 2: eight type groups — EOL (executables/object code/libraries), source
+code, scripts, documents, archival, images (media), databases, others.
+Level 3: specific types (ELF, Python bytecode, C/C++ source, PNG, ...).
+
+:mod:`repro.filetypes.magic` identifies real bytes the way ``file(1)`` does
+(magic numbers, shebangs, text-encoding sniffing); the
+:class:`~repro.filetypes.catalog.TypeCatalog` gives every specific type a
+stable integer code so columnar datasets can store types as ``int16``.
+"""
+
+from repro.filetypes.catalog import (
+    FileType,
+    TypeCatalog,
+    TypeGroup,
+    default_catalog,
+)
+from repro.filetypes.classifier import classify_bytes, classify_path
+from repro.filetypes.magic import sniff_bytes
+
+__all__ = [
+    "FileType",
+    "TypeCatalog",
+    "TypeGroup",
+    "classify_bytes",
+    "classify_path",
+    "default_catalog",
+    "sniff_bytes",
+]

@@ -1,0 +1,237 @@
+"""The specific-type catalog: stable codes, groups, and figure labels.
+
+The paper identified ~1,500 distinct types of which 133 "common" types hold
+98.4 % of capacity, grouped into eight classes (Fig. 13). We register every
+specific type the paper names explicitly, give each a stable integer code,
+and reserve a code band for synthetic "rare" types so the generator can
+reproduce the common-vs-non-common capacity split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterator
+
+
+class TypeGroup(IntEnum):
+    """Level-2 taxonomy: the paper's eight type groups (Fig. 13/14)."""
+
+    EOL = 0  # executables, object code, and libraries
+    SOURCE = 1  # source code
+    SCRIPT = 2  # scripts
+    DOCUMENT = 3  # documents
+    ARCHIVE = 4  # archival
+    MEDIA = 5  # image/video data files (the paper's "Images" group)
+    DATABASE = 6  # database files
+    OTHER = 7  # everything else, incl. empty files and rare types
+
+    @property
+    def paper_label(self) -> str:
+        return _GROUP_LABELS[self]
+
+
+_GROUP_LABELS = {
+    TypeGroup.EOL: "EOL",
+    TypeGroup.SOURCE: "SC.",
+    TypeGroup.SCRIPT: "Scr.",
+    TypeGroup.DOCUMENT: "Doc.",
+    TypeGroup.ARCHIVE: "Arch.",
+    TypeGroup.MEDIA: "Img.",
+    TypeGroup.DATABASE: "DB.",
+    TypeGroup.OTHER: "Oth.",
+}
+
+
+@dataclass(frozen=True)
+class FileType:
+    """A level-3 specific type.
+
+    ``figure_label`` is the category the per-group figures aggregate this
+    type into (e.g. ``python_bytecode``/``java_class``/``terminfo`` all plot
+    as "Com." — compiled intermediate representations — in Fig. 16).
+    """
+
+    code: int
+    name: str
+    group: TypeGroup
+    figure_label: str
+    common: bool = True
+    description: str = ""
+
+
+#: First code reserved for synthetic rare types (the long tail of ~1,400
+#: non-common types in Fig. 13).
+RARE_TYPE_BASE = 1000
+
+_SPEC: list[tuple[str, TypeGroup, str, str]] = [
+    # --- EOL (Fig. 16) ----------------------------------------------------
+    ("elf", TypeGroup.EOL, "ELF", "ELF relocatables, shared objects, executables"),
+    ("python_bytecode", TypeGroup.EOL, "Com.", "Python byte-compiled .pyc"),
+    ("java_class", TypeGroup.EOL, "Com.", "compiled Java class"),
+    ("terminfo", TypeGroup.EOL, "Com.", "compiled terminfo entry"),
+    ("pe", TypeGroup.EOL, "PE", "Microsoft PE executable"),
+    ("coff", TypeGroup.EOL, "COFF", "COFF object file"),
+    ("macho", TypeGroup.EOL, "Mach-O", "Mach-O binary"),
+    ("deb", TypeGroup.EOL, "Pkg.", "Debian binary package"),
+    ("rpm", TypeGroup.EOL, "Pkg.", "RPM binary package"),
+    ("library", TypeGroup.EOL, "Lib.", "libraries (GNU C, OCaml, Palm OS dynamic, ar archives)"),
+    ("eol_other", TypeGroup.EOL, "Oth.", "other executables/object code"),
+    # --- Source code (Fig. 17) ---------------------------------------------
+    ("c_cpp", TypeGroup.SOURCE, "C/C++", "C/C++ source"),
+    ("perl5_module", TypeGroup.SOURCE, "Perl5", "Perl5 module source"),
+    ("ruby_module", TypeGroup.SOURCE, "Ruby", "Ruby module source"),
+    ("pascal", TypeGroup.SOURCE, "Pascal", "Pascal source"),
+    ("fortran", TypeGroup.SOURCE, "Fortran", "Fortran source"),
+    ("applesoft_basic", TypeGroup.SOURCE, "Basic", "Applesoft BASIC program"),
+    ("lisp_scheme", TypeGroup.SOURCE, "Lisp", "Lisp/Scheme source"),
+    ("source_other", TypeGroup.SOURCE, "Oth.", "other source code"),
+    # --- Scripts (Fig. 18) --------------------------------------------------
+    ("python_script", TypeGroup.SCRIPT, "Python", "Python script"),
+    ("shell", TypeGroup.SCRIPT, "Bash/shell", "Bourne/Bash shell script"),
+    ("ruby_script", TypeGroup.SCRIPT, "Ruby", "Ruby script"),
+    ("perl_script", TypeGroup.SCRIPT, "Perl", "Perl script"),
+    ("php", TypeGroup.SCRIPT, "PHP", "PHP script"),
+    ("awk", TypeGroup.SCRIPT, "AWK", "AWK program"),
+    ("makefile", TypeGroup.SCRIPT, "Make", "Makefile"),
+    ("m4", TypeGroup.SCRIPT, "M4", "M4 macro file"),
+    ("node_js", TypeGroup.SCRIPT, "Node", "Node.js script"),
+    ("tcl", TypeGroup.SCRIPT, "Tcl", "Tcl script"),
+    ("script_other", TypeGroup.SCRIPT, "Oth.", "other scripts"),
+    # --- Documents (Fig. 19) -------------------------------------------------
+    ("ascii_text", TypeGroup.DOCUMENT, "ASCII", "plain ASCII text"),
+    ("utf_text", TypeGroup.DOCUMENT, "UTF8/16", "UTF-8/UTF-16 text"),
+    ("iso8859_text", TypeGroup.DOCUMENT, "ISO-8859", "ISO-8859 text"),
+    ("xml_html", TypeGroup.DOCUMENT, "XML/HTML", "XML/HTML/XHTML documents"),
+    ("pdf_ps", TypeGroup.DOCUMENT, "PDF/PS", "PDF and PostScript documents"),
+    ("latex", TypeGroup.DOCUMENT, "LaTeX", "LaTeX source documents"),
+    ("doc_other", TypeGroup.DOCUMENT, "Oth.", "other documents (office files, ...)"),
+    # --- Archival (Fig. 20) ---------------------------------------------------
+    ("zip_gzip", TypeGroup.ARCHIVE, "Zip/Gzip", "zip and gzip archives"),
+    ("bzip2", TypeGroup.ARCHIVE, "Bzip2", "bzip2 archives"),
+    ("xz", TypeGroup.ARCHIVE, "XZ", "xz archives"),
+    ("tar", TypeGroup.ARCHIVE, "Tar", "uncompressed tar archives"),
+    ("archive_other", TypeGroup.ARCHIVE, "Oth.", "other archives"),
+    # --- Media (Fig. 22; the paper's "Images") --------------------------------
+    ("png", TypeGroup.MEDIA, "PNG", "PNG images"),
+    ("jpeg", TypeGroup.MEDIA, "JPEG", "JPEG images"),
+    ("svg", TypeGroup.MEDIA, "SVG", "SVG images"),
+    ("gif", TypeGroup.MEDIA, "GIF", "GIF images"),
+    ("video", TypeGroup.MEDIA, "Video", "AVI/MPEG video files"),
+    ("media_other", TypeGroup.MEDIA, "Oth.", "other image data"),
+    # --- Databases (Fig. 21) ----------------------------------------------------
+    ("berkeley_db", TypeGroup.DATABASE, "BerkeleyDB", "Berkeley DB files"),
+    ("mysql", TypeGroup.DATABASE, "MySQL", "MySQL table/format files"),
+    ("sqlite", TypeGroup.DATABASE, "SQLite", "SQLite 3 databases"),
+    ("db_other", TypeGroup.DATABASE, "Oth.", "other database files"),
+    # --- Other -------------------------------------------------------------------
+    ("empty", TypeGroup.OTHER, "Empty", "zero-byte files"),
+    ("data", TypeGroup.OTHER, "Data", "unidentified binary data"),
+]
+
+
+class TypeCatalog:
+    """Registry of specific file types with stable integer codes.
+
+    Codes below :data:`RARE_TYPE_BASE` are the explicitly named types above;
+    codes at or above it denote synthetic rare types (``rare_0000``, ...)
+    created on demand by :meth:`rare_type`.
+    """
+
+    def __init__(self) -> None:
+        self._by_code: dict[int, FileType] = {}
+        self._by_name: dict[str, FileType] = {}
+        for code, (name, group, label, desc) in enumerate(_SPEC):
+            self._register(FileType(code, name, group, label, True, desc))
+
+    def _register(self, ftype: FileType) -> None:
+        if ftype.code in self._by_code:
+            raise ValueError(f"duplicate type code {ftype.code}")
+        if ftype.name in self._by_name:
+            raise ValueError(f"duplicate type name {ftype.name!r}")
+        self._by_code[ftype.code] = ftype
+        self._by_name[ftype.name] = ftype
+
+    # -- lookups -------------------------------------------------------------
+
+    def by_code(self, code: int) -> FileType:
+        try:
+            return self._by_code[code]
+        except KeyError:
+            if code >= RARE_TYPE_BASE:
+                return self.rare_type(code - RARE_TYPE_BASE)
+            raise KeyError(f"unknown type code {code}") from None
+
+    def by_name(self, name: str) -> FileType:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown type name {name!r}") from None
+
+    def code(self, name: str) -> int:
+        return self.by_name(name).code
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[FileType]:
+        return iter(sorted(self._by_code.values(), key=lambda t: t.code))
+
+    def named_types(self) -> list[FileType]:
+        """All explicitly named (non-rare) types."""
+        return [t for t in self if t.code < RARE_TYPE_BASE]
+
+    def group_types(self, group: TypeGroup) -> list[FileType]:
+        """Named types belonging to *group*, in code order."""
+        return [t for t in self.named_types() if t.group is group]
+
+    def try_by_code(self, code: int) -> FileType | None:
+        """Like :meth:`by_code` but None for gap codes (codes between the
+        named band and :data:`RARE_TYPE_BASE` that no type occupies)."""
+        try:
+            return self.by_code(code)
+        except KeyError:
+            return None
+
+    def group_of_code_table(self, max_code: int) -> "np.ndarray":
+        """Dense ``code -> TypeGroup`` int lookup table for vectorized
+        aggregation; gap codes map to OTHER."""
+        import numpy as np
+
+        table = np.full(max_code + 1, int(TypeGroup.OTHER), dtype=np.int8)
+        for code in range(max_code + 1):
+            ftype = self.try_by_code(code)
+            if ftype is not None:
+                table[code] = int(ftype.group)
+        return table
+
+    # -- rare (non-common) types ----------------------------------------------
+
+    def rare_type(self, index: int) -> FileType:
+        """Get-or-create the synthetic rare type with the given index."""
+        if index < 0:
+            raise ValueError(f"rare type index must be >= 0, got {index}")
+        code = RARE_TYPE_BASE + index
+        ftype = self._by_code.get(code)
+        if ftype is None:
+            ftype = FileType(
+                code=code,
+                name=f"rare_{index:04d}",
+                group=TypeGroup.OTHER,
+                figure_label="Oth.",
+                common=False,
+                description="synthetic long-tail type",
+            )
+            self._register(ftype)
+        return ftype
+
+
+_DEFAULT: TypeCatalog | None = None
+
+
+def default_catalog() -> TypeCatalog:
+    """The process-wide shared catalog (codes are stable across instances)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = TypeCatalog()
+    return _DEFAULT

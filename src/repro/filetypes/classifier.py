@@ -1,0 +1,113 @@
+"""Combine magic sniffing, file-name rules, and text heuristics.
+
+``file(1)`` identifies source code by tokenizing text; we approximate that
+with extension rules applied when content sniffing only says "some kind of
+text" (or when no content is available at all, as in metadata-only mode).
+Precedence:
+
+1. binary magic / shebang (content is authoritative),
+2. extension rules on text-ish or unidentified content,
+3. the text encoding the sniffer found,
+4. ``data`` (unidentified binary).
+"""
+
+from __future__ import annotations
+
+import posixpath
+
+from repro.filetypes.catalog import FileType, TypeCatalog, default_catalog
+from repro.filetypes.magic import sniff_bytes
+
+#: Extension → specific type name. Only consulted when content looks like
+#: text or is unavailable; a .c file full of ELF bytes is still an ELF.
+_EXTENSION_RULES: dict[str, str] = {
+    # source code
+    ".c": "c_cpp",
+    ".h": "c_cpp",
+    ".cc": "c_cpp",
+    ".cpp": "c_cpp",
+    ".cxx": "c_cpp",
+    ".hpp": "c_cpp",
+    ".hh": "c_cpp",
+    ".pm": "perl5_module",
+    ".pod": "perl5_module",
+    ".rake": "ruby_module",
+    ".gemspec": "ruby_module",
+    ".pas": "pascal",
+    ".pp": "pascal",
+    ".f": "fortran",
+    ".f77": "fortran",
+    ".f90": "fortran",
+    ".f95": "fortran",
+    ".bas": "applesoft_basic",
+    ".lisp": "lisp_scheme",
+    ".lsp": "lisp_scheme",
+    ".scm": "lisp_scheme",
+    ".el": "lisp_scheme",
+    # scripts
+    ".py": "python_script",
+    ".sh": "shell",
+    ".bash": "shell",
+    ".rb": "ruby_script",
+    ".pl": "perl_script",
+    ".php": "php",
+    ".awk": "awk",
+    ".m4": "m4",
+    ".js": "node_js",
+    ".tcl": "tcl",
+    ".mk": "makefile",
+    # documents
+    ".xml": "xml_html",
+    ".html": "xml_html",
+    ".htm": "xml_html",
+    ".xhtml": "xml_html",
+    ".tex": "latex",
+    ".sty": "latex",
+    # media
+    ".svg": "svg",
+}
+
+#: Exact basenames that identify a type regardless of extension.
+_BASENAME_RULES: dict[str, str] = {
+    "makefile": "makefile",
+    "gnumakefile": "makefile",
+    "rakefile": "ruby_module",
+    "gemfile": "ruby_module",
+}
+
+#: Types the sniffer can return that are "just text" — weak evidence that an
+#: extension rule is allowed to override.
+_TEXT_TYPES = frozenset({"ascii_text", "utf_text", "iso8859_text"})
+
+
+def classify_path(path: str, catalog: TypeCatalog | None = None) -> FileType | None:
+    """Classify by file name alone; None when no name rule applies."""
+    catalog = catalog or default_catalog()
+    base = posixpath.basename(path).lower()
+    name = _BASENAME_RULES.get(base)
+    if name is None:
+        _, ext = posixpath.splitext(base)
+        name = _EXTENSION_RULES.get(ext)
+    return catalog.by_name(name) if name is not None else None
+
+
+def classify_bytes(
+    path: str, data: bytes, catalog: TypeCatalog | None = None
+) -> FileType:
+    """Classify a file from its path and (a prefix of) its content.
+
+    Never returns None: unidentified non-empty binary content classifies as
+    ``data``; empty content as ``empty``.
+    """
+    catalog = catalog or default_catalog()
+    sniffed = sniff_bytes(data)
+    if sniffed == "empty":
+        return catalog.by_name("empty")
+    if sniffed is not None and sniffed not in _TEXT_TYPES:
+        return catalog.by_name(sniffed)
+    by_name = classify_path(path, catalog)
+    if by_name is not None:
+        return by_name
+    if sniffed is not None:  # plain text with no telling name
+        return catalog.by_name(sniffed)
+    return catalog.by_name("data")

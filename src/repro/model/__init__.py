@@ -1,0 +1,43 @@
+"""Data model for the Docker Hub reproduction.
+
+Two representations share one vocabulary:
+
+* **Object model** (:class:`FileEntry`, :class:`Layer`, :class:`Image`,
+  :class:`Manifest`, :class:`Repository`) — used wherever real bytes flow:
+  the registry substrate, the materializer, the downloader and the tar
+  extractor.
+* **Columnar model** (:class:`HubDataset`) — NumPy struct-of-arrays over the
+  whole population, used by characterization and deduplication analytics at
+  scale. The analyzer converts extracted object-model profiles into the same
+  columnar form, so every figure computation has a single input type.
+"""
+
+from repro.model.file_entry import FileEntry
+from repro.model.layer import Layer, dir_count, max_depth, parent_dirs
+from repro.model.manifest import (
+    CONFIG_MEDIA_TYPE,
+    LAYER_MEDIA_TYPE,
+    MANIFEST_MEDIA_TYPE,
+    Manifest,
+    ManifestLayerRef,
+)
+from repro.model.image import Image
+from repro.model.repository import Repository
+from repro.model.dataset import DatasetTotals, HubDataset
+
+__all__ = [
+    "CONFIG_MEDIA_TYPE",
+    "DatasetTotals",
+    "FileEntry",
+    "HubDataset",
+    "Image",
+    "LAYER_MEDIA_TYPE",
+    "Layer",
+    "MANIFEST_MEDIA_TYPE",
+    "Manifest",
+    "ManifestLayerRef",
+    "Repository",
+    "dir_count",
+    "max_depth",
+    "parent_dirs",
+]

@@ -1,0 +1,268 @@
+"""Columnar (struct-of-arrays) representation of a whole Docker Hub crawl.
+
+The figure computations and deduplication analytics all consume this type.
+It is produced two ways:
+
+* directly by :mod:`repro.synth` at large scale, and
+* by :class:`repro.analyzer.profiles.ProfileStore` from real extracted
+  layers, so the materialized end-to-end path lands in the same structure.
+
+Layout
+------
+Unique files form a universe indexed ``0..n_files-1``; ``file_sizes`` and
+``file_types`` are parallel arrays. A file's index *is* its content digest id
+(two occurrences of the same index are byte-identical copies).
+
+Layers are CSR lists of file ids: layer *k* contains
+``layer_file_ids[layer_file_offsets[k]:layer_file_offsets[k+1]]``. Only
+*unique* layers are stored — exactly what the paper's downloader fetched.
+
+Images are CSR lists of layer ids, ordered base-first, plus one repository
+name and pull count per image (the crawl downloads the ``latest`` tag only,
+so repository↔image is 1:1 here, as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+
+def _segment_sums(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Sum *values* over CSR segments defined by *offsets* (empty-safe)."""
+    csum = np.zeros(values.size + 1, dtype=np.int64)
+    np.cumsum(values, out=csum[1:])
+    return csum[offsets[1:]] - csum[offsets[:-1]]
+
+
+@dataclass(frozen=True)
+class DatasetTotals:
+    """Headline totals, the paper's §III summary table."""
+
+    n_images: int
+    n_layers: int
+    n_file_occurrences: int
+    n_unique_files: int
+    uncompressed_bytes: int  # sum of FLS over unique layers
+    compressed_bytes: int  # sum of CLS over unique layers
+    unique_file_bytes: int  # capacity of the deduplicated file universe
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "images": self.n_images,
+            "layers": self.n_layers,
+            "file_occurrences": self.n_file_occurrences,
+            "unique_files": self.n_unique_files,
+            "uncompressed_bytes": self.uncompressed_bytes,
+            "compressed_bytes": self.compressed_bytes,
+            "unique_file_bytes": self.unique_file_bytes,
+        }
+
+
+@dataclass
+class HubDataset:
+    """See module docstring for the layout contract."""
+
+    # unique file universe
+    file_sizes: np.ndarray  # int64 [n_files]
+    file_types: np.ndarray  # int32 [n_files]
+    # unique layers (CSR of file ids)
+    layer_file_offsets: np.ndarray  # int64 [n_layers + 1]
+    layer_file_ids: np.ndarray  # int64 [n_refs]
+    layer_cls: np.ndarray  # int64 [n_layers]
+    layer_dir_counts: np.ndarray  # int64 [n_layers]
+    layer_max_depths: np.ndarray  # int64 [n_layers]
+    # images (CSR of layer ids)
+    image_layer_offsets: np.ndarray  # int64 [n_images + 1]
+    image_layer_ids: np.ndarray  # int64 [sum of layer counts]
+    repo_names: list[str] = field(default_factory=list)
+    pull_counts: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+
+    # -- shape ----------------------------------------------------------------
+
+    @property
+    def n_files(self) -> int:
+        return int(self.file_sizes.size)
+
+    @property
+    def n_layers(self) -> int:
+        return int(self.layer_file_offsets.size - 1)
+
+    @property
+    def n_images(self) -> int:
+        return int(self.image_layer_offsets.size - 1)
+
+    @property
+    def n_file_occurrences(self) -> int:
+        return int(self.layer_file_ids.size)
+
+    def validate(self) -> None:
+        """Check every structural invariant; raises ValueError on breakage."""
+        def _csr(offsets: np.ndarray, ids: np.ndarray, nmax: int, what: str) -> None:
+            if offsets.ndim != 1 or offsets.size < 1:
+                raise ValueError(f"{what}: offsets must be 1-D and non-empty")
+            if offsets[0] != 0 or offsets[-1] != ids.size:
+                raise ValueError(
+                    f"{what}: offsets must start at 0 and end at {ids.size}, "
+                    f"got [{offsets[0]}, {offsets[-1]}]"
+                )
+            if np.any(np.diff(offsets) < 0):
+                raise ValueError(f"{what}: offsets must be non-decreasing")
+            if ids.size and (ids.min() < 0 or ids.max() >= nmax):
+                raise ValueError(f"{what}: ids out of range [0, {nmax})")
+
+        if self.file_sizes.shape != self.file_types.shape:
+            raise ValueError("file_sizes and file_types must be parallel")
+        if self.file_sizes.size and self.file_sizes.min() < 0:
+            raise ValueError("negative file size in universe")
+        _csr(self.layer_file_offsets, self.layer_file_ids, self.n_files, "layers")
+        _csr(self.image_layer_offsets, self.image_layer_ids, self.n_layers, "images")
+        for name in ("layer_cls", "layer_dir_counts", "layer_max_depths"):
+            arr = getattr(self, name)
+            if arr.size != self.n_layers:
+                raise ValueError(f"{name} has {arr.size} entries for {self.n_layers} layers")
+            if arr.size and arr.min() < 0:
+                raise ValueError(f"{name} contains negative values")
+        if len(self.repo_names) not in (0, self.n_images):
+            raise ValueError(
+                f"{len(self.repo_names)} repo names for {self.n_images} images"
+            )
+        if self.pull_counts.size not in (0, self.n_images):
+            raise ValueError(
+                f"{self.pull_counts.size} pull counts for {self.n_images} images"
+            )
+        if self.pull_counts.size and self.pull_counts.min() < 0:
+            raise ValueError("negative pull count")
+
+    # -- layer metrics -----------------------------------------------------------
+
+    @cached_property
+    def layer_file_counts(self) -> np.ndarray:
+        """Files per unique layer."""
+        return np.diff(self.layer_file_offsets)
+
+    @cached_property
+    def occurrence_sizes(self) -> np.ndarray:
+        """Size of each file occurrence (gathered from the universe)."""
+        return self.file_sizes[self.layer_file_ids]
+
+    @cached_property
+    def occurrence_types(self) -> np.ndarray:
+        """Type code of each file occurrence (gathered from the universe)."""
+        return self.file_types[self.layer_file_ids]
+
+    @cached_property
+    def layer_fls(self) -> np.ndarray:
+        """FLS per layer: sum of contained file sizes."""
+        return _segment_sums(self.occurrence_sizes, self.layer_file_offsets)
+
+    @cached_property
+    def compression_ratios(self) -> np.ndarray:
+        """FLS-to-CLS ratio per layer (0 where CLS is 0)."""
+        cls = self.layer_cls.astype(np.float64)
+        out = np.zeros(self.n_layers, dtype=np.float64)
+        np.divide(self.layer_fls, cls, out=out, where=cls > 0)
+        return out
+
+    @cached_property
+    def layer_ref_counts(self) -> np.ndarray:
+        """How many images reference each unique layer (Fig. 23)."""
+        return np.bincount(self.image_layer_ids, minlength=self.n_layers).astype(
+            np.int64
+        )
+
+    # -- image metrics ---------------------------------------------------------------
+
+    @cached_property
+    def image_layer_counts(self) -> np.ndarray:
+        return np.diff(self.image_layer_offsets)
+
+    @cached_property
+    def image_cls(self) -> np.ndarray:
+        """CIS per image: sum of its layers' compressed sizes."""
+        return _segment_sums(self.layer_cls[self.image_layer_ids], self.image_layer_offsets)
+
+    @cached_property
+    def image_fls(self) -> np.ndarray:
+        """FIS per image: sum of its layers' FLS."""
+        return _segment_sums(self.layer_fls[self.image_layer_ids], self.image_layer_offsets)
+
+    @cached_property
+    def image_file_counts(self) -> np.ndarray:
+        return _segment_sums(
+            self.layer_file_counts[self.image_layer_ids], self.image_layer_offsets
+        )
+
+    @cached_property
+    def image_dir_counts(self) -> np.ndarray:
+        """Directories per image.
+
+        At metadata scale this sums per-layer directory counts rather than
+        unioning the filesystem trees (the union requires the actual paths);
+        the overcount is small because layers of one image rarely share
+        directories beyond the handful of top-level ones.
+        """
+        return _segment_sums(
+            self.layer_dir_counts[self.image_layer_ids], self.image_layer_offsets
+        )
+
+    # -- dedup primitives ------------------------------------------------------------------
+
+    @cached_property
+    def file_repeat_counts(self) -> np.ndarray:
+        """Copies per unique file across all unique layers (0 = never used)."""
+        return np.bincount(self.layer_file_ids, minlength=self.n_files).astype(np.int64)
+
+    # -- totals ----------------------------------------------------------------------------
+
+    def totals(self) -> DatasetTotals:
+        used = self.file_repeat_counts > 0
+        return DatasetTotals(
+            n_images=self.n_images,
+            n_layers=self.n_layers,
+            n_file_occurrences=self.n_file_occurrences,
+            n_unique_files=int(np.count_nonzero(used)),
+            uncompressed_bytes=int(self.layer_fls.sum()),
+            compressed_bytes=int(self.layer_cls.sum()),
+            unique_file_bytes=int(self.file_sizes[used].sum()),
+        )
+
+    # -- subsetting --------------------------------------------------------------------------
+
+    def layer_subset(self, layer_ids: np.ndarray) -> "HubDataset":
+        """A dataset containing only the given layers (images dropped).
+
+        Used by the dedup-growth experiment (Fig. 25), which deduplicates
+        random layer samples of increasing size. The file universe is kept
+        whole — ids stay valid and unused files simply have zero repeats.
+        """
+        layer_ids = np.asarray(layer_ids, dtype=np.int64)
+        if layer_ids.size and (layer_ids.min() < 0 or layer_ids.max() >= self.n_layers):
+            raise ValueError("layer ids out of range")
+        counts = self.layer_file_counts[layer_ids]
+        offsets = np.zeros(layer_ids.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        # vectorized gather of each selected layer's id run
+        total = int(counts.sum())
+        if total:
+            seg_starts = offsets[:-1]
+            within = np.arange(total, dtype=np.int64) - np.repeat(seg_starts, counts)
+            take = np.repeat(self.layer_file_offsets[layer_ids], counts) + within
+            ids = self.layer_file_ids[take]
+        else:
+            ids = np.zeros(0, dtype=np.int64)
+        return HubDataset(
+            file_sizes=self.file_sizes,
+            file_types=self.file_types,
+            layer_file_offsets=offsets,
+            layer_file_ids=ids,
+            layer_cls=self.layer_cls[layer_ids],
+            layer_dir_counts=self.layer_dir_counts[layer_ids],
+            layer_max_depths=self.layer_max_depths[layer_ids],
+            image_layer_offsets=np.zeros(1, dtype=np.int64),
+            image_layer_ids=np.zeros(0, dtype=np.int64),
+            repo_names=[],
+            pull_counts=np.zeros(0, dtype=np.int64),
+        )

@@ -1,0 +1,36 @@
+"""A single file inside a layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.digest import parse_digest
+
+
+@dataclass(frozen=True)
+class FileEntry:
+    """One regular file in a layer's filesystem tree.
+
+    ``path`` is layer-relative, POSIX-style, without a leading slash
+    (``usr/lib/libc.so.6``). ``digest`` addresses the file *content* and is
+    what file-level deduplication keys on. ``type_code`` indexes the
+    :class:`~repro.filetypes.catalog.TypeCatalog`.
+    """
+
+    path: str
+    size: int
+    digest: str
+    type_code: int
+
+    def __post_init__(self) -> None:
+        if not self.path or self.path.startswith("/"):
+            raise ValueError(f"path must be relative and non-empty: {self.path!r}")
+        if self.size < 0:
+            raise ValueError(f"negative file size: {self.size}")
+        parse_digest(self.digest)  # validates format
+
+    @property
+    def depth(self) -> int:
+        """Directory depth of the file: ``etc/passwd`` has depth 1 (one
+        directory above the file), a root-level file depth 0."""
+        return self.path.count("/")

@@ -1,0 +1,66 @@
+"""Images: a named, tagged stack of layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.layer import Layer
+from repro.model.manifest import Manifest
+
+
+@dataclass
+class Image:
+    """An image as the analyzer sees it: manifest plus resolved layers.
+
+    ``layers`` are ordered base-first, matching the manifest. Layer objects
+    may be shared between Image instances (that is the point of layer
+    sharing); metrics that aggregate over an image count each *occurrence*,
+    like the paper's per-image file counts do.
+    """
+
+    name: str
+    manifest: Manifest
+    layers: list[Layer] = field(default_factory=list)
+    tag: str = "latest"
+
+    def __post_init__(self) -> None:
+        if len(self.layers) != len(self.manifest.layers):
+            raise ValueError(
+                f"image {self.name!r}: {len(self.layers)} layers resolved but "
+                f"manifest references {len(self.manifest.layers)}"
+            )
+        for layer, ref in zip(self.layers, self.manifest.layers):
+            if layer.digest != ref.digest:
+                raise ValueError(
+                    f"image {self.name!r}: layer order mismatch "
+                    f"({layer.digest} != {ref.digest})"
+                )
+
+    @property
+    def layer_count(self) -> int:
+        return len(self.layers)
+
+    @property
+    def compressed_size(self) -> int:
+        """CIS: sum of the compressed sizes of the image's layers."""
+        return self.manifest.total_layer_size
+
+    @property
+    def files_size(self) -> int:
+        """FIS: sum of contained file sizes across all layers."""
+        return sum(layer.files_size for layer in self.layers)
+
+    @property
+    def file_count(self) -> int:
+        return sum(layer.file_count for layer in self.layers)
+
+    @property
+    def directory_count(self) -> int:
+        """Distinct directories in the unioned filesystem tree."""
+        dirs: set[str] = set()
+        for layer in self.layers:
+            for entry in layer.entries:
+                parts = entry.path.split("/")[:-1]
+                for i in range(len(parts)):
+                    dirs.add("/".join(parts[: i + 1]))
+        return len(dirs)

@@ -1,0 +1,166 @@
+"""Dataset persistence.
+
+A crawl of this size is expensive to recompute (the paper's took 30 days);
+analysis artifacts must be storable. ``HubDataset`` round-trips through a
+single ``.npz`` (columnar arrays compress well and load zero-copy);
+layer/image profiles round-trip through JSONL, one record per line, so
+multi-gigabyte profile dumps stream instead of loading wholesale.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.analyzer.profiles import (
+    DirectoryRecord,
+    FileRecord,
+    ImageProfile,
+    LayerProfile,
+)
+from repro.model.dataset import HubDataset
+
+#: format marker stored inside every .npz so stale files fail loudly
+_FORMAT_VERSION = 1
+
+_ARRAY_FIELDS = [
+    "file_sizes",
+    "file_types",
+    "layer_file_offsets",
+    "layer_file_ids",
+    "layer_cls",
+    "layer_dir_counts",
+    "layer_max_depths",
+    "image_layer_offsets",
+    "image_layer_ids",
+    "pull_counts",
+]
+
+
+def save_dataset(dataset: HubDataset, path: str | Path) -> None:
+    """Write a dataset to ``path`` (.npz, compressed)."""
+    arrays = {name: getattr(dataset, name) for name in _ARRAY_FIELDS}
+    arrays["repo_names"] = np.asarray(dataset.repo_names, dtype=object)
+    arrays["format_version"] = np.asarray(_FORMAT_VERSION)
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_dataset(path: str | Path) -> HubDataset:
+    """Load a dataset written by :func:`save_dataset`; validates on load."""
+    with np.load(Path(path), allow_pickle=True) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset format v{version} (expected v{_FORMAT_VERSION})"
+            )
+        kwargs = {name: archive[name] for name in _ARRAY_FIELDS}
+        kwargs["repo_names"] = [str(n) for n in archive["repo_names"]]
+    dataset = HubDataset(**kwargs)
+    dataset.validate()
+    return dataset
+
+
+# -- profile JSONL -----------------------------------------------------------
+
+
+def _layer_to_json(profile: LayerProfile) -> dict:
+    return {
+        "kind": "layer",
+        "digest": profile.digest,
+        "cls": profile.compressed_size,
+        "fls": profile.files_size,
+        "file_count": profile.file_count,
+        "dir_count": profile.directory_count,
+        "max_depth": profile.max_depth,
+        "files": [
+            [f.path, f.digest, f.size, f.type_code] for f in profile.files
+        ],
+        "dirs": [[d.path, d.depth, d.file_count] for d in profile.directories],
+    }
+
+
+def _layer_from_json(doc: dict) -> LayerProfile:
+    return LayerProfile(
+        digest=doc["digest"],
+        compressed_size=doc["cls"],
+        files_size=doc["fls"],
+        file_count=doc["file_count"],
+        directory_count=doc["dir_count"],
+        max_depth=doc["max_depth"],
+        files=[
+            FileRecord(path=p, digest=d, size=s, type_code=t)
+            for p, d, s, t in doc["files"]
+        ],
+        directories=[
+            DirectoryRecord(path=p, depth=d, file_count=c)
+            for p, d, c in doc["dirs"]
+        ],
+    )
+
+
+def _image_to_json(profile: ImageProfile) -> dict:
+    return {
+        "kind": "image",
+        "name": profile.name,
+        "layers": profile.layer_digests,
+        "cis": profile.compressed_size,
+        "pulls": profile.pull_count,
+    }
+
+
+def _image_from_json(doc: dict) -> ImageProfile:
+    return ImageProfile(
+        name=doc["name"],
+        layer_digests=list(doc["layers"]),
+        compressed_size=doc["cis"],
+        pull_count=doc.get("pulls", 0),
+    )
+
+
+def save_profiles_jsonl(
+    path: str | Path,
+    layers: list[LayerProfile],
+    images: list[ImageProfile],
+) -> None:
+    """Stream layer then image profiles to a JSONL file."""
+    with open(Path(path), "w") as handle:
+        for layer in layers:
+            handle.write(json.dumps(_layer_to_json(layer)) + "\n")
+        for image in images:
+            handle.write(json.dumps(_image_to_json(image)) + "\n")
+
+
+def iter_profiles_jsonl(
+    path: str | Path,
+) -> Iterator[LayerProfile | ImageProfile]:
+    """Stream profiles back out of a JSONL file, one record at a time."""
+    with open(Path(path)) as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            doc = json.loads(line)
+            kind = doc.get("kind")
+            if kind == "layer":
+                yield _layer_from_json(doc)
+            elif kind == "image":
+                yield _image_from_json(doc)
+            else:
+                raise ValueError(f"{path}:{line_no}: unknown record kind {kind!r}")
+
+
+def load_profiles_jsonl(
+    path: str | Path,
+) -> tuple[list[LayerProfile], list[ImageProfile]]:
+    """Load a whole JSONL profile dump into memory."""
+    layers: list[LayerProfile] = []
+    images: list[ImageProfile] = []
+    for record in iter_profiles_jsonl(path):
+        if isinstance(record, LayerProfile):
+            layers.append(record)
+        else:
+            images.append(record)
+    return layers, images

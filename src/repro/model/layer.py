@@ -1,0 +1,83 @@
+"""Layers: read-only filesystem deltas identified by content digest."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.file_entry import FileEntry
+from repro.util.digest import parse_digest
+
+
+def parent_dirs(path: str) -> list[str]:
+    """All ancestor directories of a layer-relative path, shallowest first.
+
+    >>> parent_dirs("usr/lib/x/libc.so")
+    ['usr', 'usr/lib', 'usr/lib/x']
+    """
+    parts = path.split("/")[:-1]
+    return ["/".join(parts[: i + 1]) for i in range(len(parts))]
+
+
+def dir_count(entries: list[FileEntry]) -> int:
+    """Number of distinct directories implied by the entries' paths.
+
+    Counts every ancestor directory once; an empty layer has zero
+    directories (the tar root is not counted, matching the paper's minimum
+    of a single directory for non-empty layers... the minimum arises because
+    any file at depth >= 1 implies at least one directory).
+    """
+    dirs: set[str] = set()
+    for entry in entries:
+        dirs.update(parent_dirs(entry.path))
+    return len(dirs)
+
+
+def max_depth(entries: list[FileEntry]) -> int:
+    """Maximum directory depth across entries (0 for an empty layer)."""
+    return max((e.depth for e in entries), default=0)
+
+
+@dataclass
+class Layer:
+    """A layer's logical content plus its on-the-wire identity.
+
+    ``digest`` is the digest of the *compressed tarball* (what manifests
+    reference and what the registry stores); ``compressed_size`` its byte
+    size (CLS). ``files_size`` (FLS) is the sum of contained file sizes.
+    """
+
+    digest: str
+    entries: list[FileEntry] = field(default_factory=list)
+    compressed_size: int = 0
+
+    def __post_init__(self) -> None:
+        parse_digest(self.digest)
+        if self.compressed_size < 0:
+            raise ValueError(f"negative compressed size: {self.compressed_size}")
+
+    @property
+    def file_count(self) -> int:
+        return len(self.entries)
+
+    @property
+    def files_size(self) -> int:
+        """FLS: sum of the sizes of files contained in the layer."""
+        return sum(e.size for e in self.entries)
+
+    @property
+    def directory_count(self) -> int:
+        return dir_count(self.entries)
+
+    @property
+    def max_directory_depth(self) -> int:
+        return max_depth(self.entries)
+
+    @property
+    def compression_ratio(self) -> float:
+        """FLS-to-CLS ratio; 0.0 when the compressed size is unknown/zero."""
+        if self.compressed_size <= 0:
+            return 0.0
+        return self.files_size / self.compressed_size
+
+    def is_empty(self) -> bool:
+        return not self.entries

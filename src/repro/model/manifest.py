@@ -1,0 +1,95 @@
+"""Image manifests (Docker distribution manifest schema v2).
+
+A manifest lists the digests and compressed sizes of the layers an image is
+assembled from, plus a config blob describing platform parameters. We keep
+the JSON wire format faithful enough that real tooling concepts (digest of
+the canonical JSON bytes, media types) carry over.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.util.digest import parse_digest, sha256_bytes
+
+MANIFEST_MEDIA_TYPE = "application/vnd.docker.distribution.manifest.v2+json"
+CONFIG_MEDIA_TYPE = "application/vnd.docker.container.image.v1+json"
+LAYER_MEDIA_TYPE = "application/vnd.docker.image.rootfs.diff.tar.gzip"
+
+
+@dataclass(frozen=True)
+class ManifestLayerRef:
+    """A manifest's pointer to one layer blob."""
+
+    digest: str
+    size: int
+    media_type: str = LAYER_MEDIA_TYPE
+
+    def __post_init__(self) -> None:
+        parse_digest(self.digest)
+        if self.size < 0:
+            raise ValueError(f"negative layer size: {self.size}")
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """Schema-v2 manifest: ordered layer references plus platform config."""
+
+    layers: tuple[ManifestLayerRef, ...]
+    config: dict = field(default_factory=dict)
+    os: str = "linux"
+    architecture: str = "amd64"
+
+    @property
+    def layer_digests(self) -> list[str]:
+        return [ref.digest for ref in self.layers]
+
+    @property
+    def total_layer_size(self) -> int:
+        """CIS: sum of compressed layer sizes referenced by the manifest."""
+        return sum(ref.size for ref in self.layers)
+
+    def to_json(self) -> bytes:
+        """Canonical JSON bytes (sorted keys, no whitespace churn)."""
+        doc = {
+            "schemaVersion": 2,
+            "mediaType": MANIFEST_MEDIA_TYPE,
+            "config": {
+                "mediaType": CONFIG_MEDIA_TYPE,
+                "os": self.os,
+                "architecture": self.architecture,
+                "config": self.config,
+            },
+            "layers": [
+                {"mediaType": ref.media_type, "size": ref.size, "digest": ref.digest}
+                for ref in self.layers
+            ],
+        }
+        return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+
+    def digest(self) -> str:
+        """Content digest of the canonical JSON — how registries address
+        manifests."""
+        return sha256_bytes(self.to_json())
+
+    @classmethod
+    def from_json(cls, data: bytes) -> "Manifest":
+        doc = json.loads(data)
+        if doc.get("schemaVersion") != 2:
+            raise ValueError(f"unsupported manifest schema: {doc.get('schemaVersion')}")
+        config = doc.get("config", {})
+        layers = tuple(
+            ManifestLayerRef(
+                digest=entry["digest"],
+                size=int(entry["size"]),
+                media_type=entry.get("mediaType", LAYER_MEDIA_TYPE),
+            )
+            for entry in doc.get("layers", [])
+        )
+        return cls(
+            layers=layers,
+            config=config.get("config", {}),
+            os=config.get("os", "linux"),
+            architecture=config.get("architecture", "amd64"),
+        )

@@ -1,0 +1,46 @@
+"""Repositories: named collections of tagged images, with popularity."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Repository:
+    """A Docker Hub repository.
+
+    Official repositories are plain names (``nginx``); user repositories are
+    namespaced (``user/app``). ``tags`` maps tag names to manifest digests.
+    ``requires_auth`` models the 13 % of the failed-download population that
+    needed authentication in the paper's crawl.
+    """
+
+    name: str
+    tags: dict[str, str] = field(default_factory=dict)
+    pull_count: int = 0
+    requires_auth: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or self.name.count("/") > 1:
+            raise ValueError(f"invalid repository name: {self.name!r}")
+        if self.pull_count < 0:
+            raise ValueError(f"negative pull count: {self.pull_count}")
+
+    @property
+    def is_official(self) -> bool:
+        """Official repositories have no ``user/`` namespace prefix."""
+        return "/" not in self.name
+
+    @property
+    def namespace(self) -> str:
+        """The user namespace, or ``library`` for official repositories."""
+        return self.name.split("/")[0] if "/" in self.name else "library"
+
+    def has_latest(self) -> bool:
+        return "latest" in self.tags
+
+    def latest_manifest_digest(self) -> str:
+        try:
+            return self.tags["latest"]
+        except KeyError:
+            raise KeyError(f"repository {self.name!r} has no 'latest' tag") from None

@@ -1,0 +1,17 @@
+"""Parallel execution substrate.
+
+The paper's tooling downloaded and analyzed images with heavy parallelism
+(30 days of wall-clock even so). This package provides the worker-pool
+primitives the downloader and analyzer build on: ordered parallel map with
+chunking, bounded thread/process pools, and deterministic reductions.
+"""
+
+from repro.parallel.pool import ParallelConfig, parallel_map
+from repro.parallel.partition import chunk_indices, partition_work
+
+__all__ = [
+    "ParallelConfig",
+    "chunk_indices",
+    "parallel_map",
+    "partition_work",
+]

@@ -1,0 +1,47 @@
+"""Work partitioning helpers."""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def chunk_indices(n_items: int, chunk_size: int) -> list[tuple[int, int]]:
+    """Split ``range(n_items)`` into ``[start, stop)`` chunks."""
+    if chunk_size <= 0:
+        raise ValueError(f"chunk size must be positive, got {chunk_size}")
+    if n_items < 0:
+        raise ValueError(f"negative item count: {n_items}")
+    return [(lo, min(lo + chunk_size, n_items)) for lo in range(0, n_items, chunk_size)]
+
+
+def partition_work(
+    items: Sequence[T], n_parts: int, weights: Sequence[float] | None = None
+) -> list[list[T]]:
+    """Partition *items* into *n_parts* lists with near-equal total weight.
+
+    Uses greedy longest-processing-time assignment when weights are given
+    (good for skewed layer sizes — one 800k-file layer should not share a
+    worker with another giant); round-robin otherwise. Order within a part
+    follows the input order.
+    """
+    if n_parts <= 0:
+        raise ValueError(f"need at least one part, got {n_parts}")
+    parts: list[list[T]] = [[] for _ in range(n_parts)]
+    if weights is None:
+        for i, item in enumerate(items):
+            parts[i % n_parts].append(item)
+        return parts
+    if len(weights) != len(items):
+        raise ValueError(f"{len(weights)} weights for {len(items)} items")
+    loads = [0.0] * n_parts
+    order = sorted(range(len(items)), key=lambda i: -float(weights[i]))
+    assigned: list[list[int]] = [[] for _ in range(n_parts)]
+    for i in order:
+        target = min(range(n_parts), key=loads.__getitem__)
+        assigned[target].append(i)
+        loads[target] += float(weights[i])
+    for p, idxs in enumerate(assigned):
+        parts[p] = [items[i] for i in sorted(idxs)]
+    return parts

@@ -1,0 +1,48 @@
+"""Docker registry substrate.
+
+An in-process registry faithful to the concepts the paper's tooling relied
+on: content-addressable blob storage, schema-v2 manifests addressed by tag or
+digest, a repository catalog, and the Docker Hub web search engine (complete
+with the duplicate-entry quirk the paper's crawler had to deduplicate).
+"""
+
+from repro.registry.blobstore import BlobStore, DiskBlobStore, MemoryBlobStore
+from repro.registry.errors import (
+    AuthRequiredError,
+    BlobNotFoundError,
+    DigestMismatchError,
+    ManifestNotFoundError,
+    RegistryError,
+    RepositoryNotFoundError,
+    TagNotFoundError,
+)
+from repro.registry.http import HTTPSearchClient, HTTPSession, RegistryHTTPServer
+from repro.registry.registry import Registry
+from repro.registry.search import HubSearchEngine, SearchPage
+from repro.registry.tarball import (
+    build_layer_tarball,
+    extract_layer_tarball,
+    layer_from_files,
+)
+
+__all__ = [
+    "AuthRequiredError",
+    "BlobNotFoundError",
+    "BlobStore",
+    "DigestMismatchError",
+    "DiskBlobStore",
+    "HTTPSearchClient",
+    "HTTPSession",
+    "HubSearchEngine",
+    "RegistryHTTPServer",
+    "ManifestNotFoundError",
+    "MemoryBlobStore",
+    "Registry",
+    "RegistryError",
+    "RepositoryNotFoundError",
+    "SearchPage",
+    "TagNotFoundError",
+    "build_layer_tarball",
+    "extract_layer_tarball",
+    "layer_from_files",
+]

@@ -1,0 +1,544 @@
+"""Docker Registry HTTP API v2 over a real socket.
+
+The paper's downloader "calls the Docker registry API directly" — this
+module provides that API as an actual HTTP service so the pipeline can run
+across a genuine network boundary:
+
+* ``RegistryHTTPServer`` — serves a :class:`Registry` (and its Hub search
+  engine) on localhost: ``/v2/`` version check, manifests by tag/digest
+  (GET/HEAD/PUT, with ``Docker-Content-Digest``), blobs by digest, the blob
+  upload protocol (``POST /blobs/uploads/`` → ``PATCH`` chunks → ``PUT``
+  finalize with digest verification), ``tags/list``, a paginated
+  ``/v2/_catalog``, and the Hub web search at ``/search``;
+* ``HTTPSession`` — the downloader-facing client with the same method
+  surface (and error mapping) as
+  :class:`~repro.downloader.session.SimulatedSession`;
+* ``HTTPSearchClient`` — the crawler-facing search client, duck-compatible
+  with :class:`~repro.registry.search.HubSearchEngine`.
+
+Auth mirrors the registry's model: repositories flagged ``requires_auth``
+return 401 unless a ``Bearer`` token is presented.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import urllib.error
+import urllib.parse
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.model.manifest import MANIFEST_MEDIA_TYPE, Manifest
+from repro.registry.errors import (
+    AuthRequiredError,
+    BlobNotFoundError,
+    ManifestNotFoundError,
+    RegistryError,
+    RepositoryNotFoundError,
+    TagNotFoundError,
+)
+from repro.registry.registry import Registry
+from repro.registry.search import HubSearchEngine, SearchPage
+
+_MANIFEST_RE = re.compile(r"^/v2/(?P<name>.+)/manifests/(?P<ref>[^/]+)$")
+_BLOB_RE = re.compile(r"^/v2/(?P<name>.+)/blobs/(?P<digest>sha256:[^/]+)$")
+_TAGS_RE = re.compile(r"^/v2/(?P<name>.+)/tags/list$")
+_UPLOAD_START_RE = re.compile(r"^/v2/(?P<name>.+)/blobs/uploads/$")
+_UPLOAD_RE = re.compile(r"^/v2/(?P<name>.+)/blobs/uploads/(?P<uuid>[0-9a-f-]+)$")
+
+#: registry error -> (HTTP status, v2 error code)
+_ERROR_MAP: list[tuple[type, int, str]] = [
+    (AuthRequiredError, 401, "UNAUTHORIZED"),
+    (RepositoryNotFoundError, 404, "NAME_UNKNOWN"),
+    (TagNotFoundError, 404, "MANIFEST_UNKNOWN"),
+    (ManifestNotFoundError, 404, "MANIFEST_UNKNOWN"),
+    (BlobNotFoundError, 404, "BLOB_UNKNOWN"),
+]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to a server carrying the registry."""
+
+    server: "RegistryHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep test output clean
+
+    def _token(self) -> str | None:
+        header = self.headers.get("Authorization", "")
+        if header.startswith("Bearer "):
+            return header[len("Bearer ") :]
+        return None
+
+    def _send(self, status: int, body: bytes, content_type: str, extra: dict | None = None) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (extra or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        if self.command != "HEAD":
+            self.wfile.write(body)
+
+    def _send_json(self, status: int, doc: dict, extra: dict | None = None) -> None:
+        self._send(status, json.dumps(doc).encode(), "application/json", extra)
+
+    def _send_error(self, exc: RegistryError) -> None:
+        for cls, status, code in _ERROR_MAP:
+            if isinstance(exc, cls):
+                self._send_json(
+                    status, {"errors": [{"code": code, "message": str(exc)}]}
+                )
+                return
+        self._send_json(
+            500, {"errors": [{"code": "UNKNOWN", "message": str(exc)}]}
+        )
+
+    # -- routing ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802
+        self._route()
+
+    def do_HEAD(self) -> None:  # noqa: N802
+        self._route()
+
+    def _body(self) -> bytes:
+        length = int(self.headers.get("Content-Length", "0"))
+        return self.rfile.read(length) if length else b""
+
+    def do_POST(self) -> None:  # noqa: N802
+        match = _UPLOAD_START_RE.match(urllib.parse.urlparse(self.path).path)
+        if not match:
+            self._send_json(404, {"errors": [{"code": "NOT_FOUND", "message": self.path}]})
+            return
+        self._body()  # drain
+        uuid = self.server.start_upload()
+        self._send(
+            202, b"", "text/plain",
+            {"Location": f"/v2/{match['name']}/blobs/uploads/{uuid}"},
+        )
+
+    def do_PATCH(self) -> None:  # noqa: N802
+        match = _UPLOAD_RE.match(urllib.parse.urlparse(self.path).path)
+        if not match:
+            self._send_json(404, {"errors": [{"code": "NOT_FOUND", "message": self.path}]})
+            return
+        chunk = self._body()
+        total = self.server.append_upload(match["uuid"], chunk)
+        if total is None:
+            self._send_json(
+                404, {"errors": [{"code": "BLOB_UPLOAD_UNKNOWN", "message": match["uuid"]}]}
+            )
+            return
+        self._send(
+            202, b"", "text/plain",
+            {
+                "Location": f"/v2/{match['name']}/blobs/uploads/{match['uuid']}",
+                "Range": f"0-{total - 1}",
+            },
+        )
+
+    def do_PUT(self) -> None:  # noqa: N802
+        parsed = urllib.parse.urlparse(self.path)
+        query = urllib.parse.parse_qs(parsed.query)
+        registry = self.server.registry
+        match = _UPLOAD_RE.match(parsed.path)
+        if match:
+            expected = query.get("digest", [""])[0]
+            final_chunk = self._body()
+            data = self.server.finish_upload(match["uuid"], final_chunk)
+            if data is None:
+                self._send_json(
+                    404,
+                    {"errors": [{"code": "BLOB_UPLOAD_UNKNOWN", "message": match["uuid"]}]},
+                )
+                return
+            actual = registry.push_blob(data)
+            if expected and expected != actual:
+                self._send_json(
+                    400,
+                    {"errors": [{"code": "DIGEST_INVALID", "message": actual}]},
+                )
+                return
+            self._send(
+                201, b"", "text/plain",
+                {
+                    "Location": f"/v2/{match['name']}/blobs/{actual}",
+                    "Docker-Content-Digest": actual,
+                },
+            )
+            return
+        match = _MANIFEST_RE.match(parsed.path)
+        if match:
+            body = self._body()
+            try:
+                manifest = Manifest.from_json(body)
+            except (ValueError, KeyError) as exc:
+                self._send_json(
+                    400, {"errors": [{"code": "MANIFEST_INVALID", "message": str(exc)}]}
+                )
+                return
+            missing = [
+                ref.digest
+                for ref in manifest.layers
+                if not registry.has_blob(ref.digest)
+            ]
+            if missing:
+                self._send_json(
+                    400,
+                    {"errors": [{"code": "MANIFEST_BLOB_UNKNOWN", "message": missing[0]}]},
+                )
+                return
+            name = match["name"]
+            if name not in registry.catalog():
+                registry.create_repository(name)  # Hub creates on first push
+            digest = registry.push_manifest(name, match["ref"], manifest)
+            self._send(
+                201, b"", "text/plain", {"Docker-Content-Digest": digest}
+            )
+            return
+        self._send_json(404, {"errors": [{"code": "NOT_FOUND", "message": self.path}]})
+
+    def _route(self) -> None:
+        parsed = urllib.parse.urlparse(self.path)
+        path = parsed.path
+        query = urllib.parse.parse_qs(parsed.query)
+        registry = self.server.registry
+        try:
+            if path == "/v2/" or path == "/v2":
+                self._send_json(200, {})
+                return
+            if path == "/v2/_catalog":
+                self._catalog(query)
+                return
+            if path == "/search":
+                self._search(query)
+                return
+            match = _MANIFEST_RE.match(path)
+            if match:
+                self._manifest(registry, match["name"], match["ref"])
+                return
+            match = _BLOB_RE.match(path)
+            if match:
+                blob = registry.get_blob(match["digest"])
+                self._send(200, blob, "application/octet-stream")
+                return
+            match = _TAGS_RE.match(path)
+            if match:
+                tags = registry.list_tags(match["name"], token=self._token())
+                self._send_json(200, {"name": match["name"], "tags": tags})
+                return
+            self._send_json(404, {"errors": [{"code": "NOT_FOUND", "message": path}]})
+        except RegistryError as exc:
+            self._send_error(exc)
+
+    def _manifest(self, registry: Registry, name: str, ref: str) -> None:
+        manifest = registry.get_manifest(name, ref, token=self._token())
+        body = manifest.to_json()
+        self._send(
+            200,
+            body,
+            MANIFEST_MEDIA_TYPE,
+            {"Docker-Content-Digest": manifest.digest()},
+        )
+
+    def _catalog(self, query: dict) -> None:
+        repos = self.server.registry.catalog()
+        n = int(query.get("n", ["100"])[0])
+        last = query.get("last", [""])[0]
+        start = repos.index(last) + 1 if last in repos else 0
+        page = repos[start : start + n]
+        self._send_json(200, {"repositories": page})
+
+    def _search(self, query: dict) -> None:
+        q = query.get("q", [""])[0]
+        page_num = int(query.get("page", ["1"])[0])
+        if q == "" and "official" in query:
+            self._send_json(
+                200, {"results": self.server.search.official_repositories()}
+            )
+            return
+        page = self.server.search.search(q, page=page_num)
+        self._send_json(
+            200,
+            {
+                "query": page.query,
+                "page": page.page,
+                "results": page.results,
+                "has_next": page.has_next,
+            },
+        )
+
+
+class RegistryHTTPServer:
+    """Serve a registry over HTTP on 127.0.0.1 (ephemeral port by default)."""
+
+    def __init__(
+        self,
+        registry: Registry,
+        search: HubSearchEngine | None = None,
+        *,
+        port: int = 0,
+    ):
+        self.registry = registry
+        self.search = search if search is not None else HubSearchEngine(registry)
+        self._httpd = ThreadingHTTPServer(("127.0.0.1", port), _Handler)
+        # expose registry/search/uploads to handlers through the server object
+        self._httpd.registry = registry  # type: ignore[attr-defined]
+        self._httpd.search = self.search  # type: ignore[attr-defined]
+        self._uploads: dict[str, bytearray] = {}
+        self._uploads_lock = threading.Lock()
+        self._httpd.start_upload = self._start_upload  # type: ignore[attr-defined]
+        self._httpd.append_upload = self._append_upload  # type: ignore[attr-defined]
+        self._httpd.finish_upload = self._finish_upload  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    # -- blob upload sessions ---------------------------------------------------
+
+    def _start_upload(self) -> str:
+        import uuid as uuid_module
+
+        upload_id = str(uuid_module.uuid4())
+        with self._uploads_lock:
+            self._uploads[upload_id] = bytearray()
+        return upload_id
+
+    def _append_upload(self, upload_id: str, chunk: bytes) -> int | None:
+        with self._uploads_lock:
+            buffer = self._uploads.get(upload_id)
+            if buffer is None:
+                return None
+            buffer.extend(chunk)
+            return len(buffer)
+
+    def _finish_upload(self, upload_id: str, final_chunk: bytes) -> bytes | None:
+        with self._uploads_lock:
+            buffer = self._uploads.pop(upload_id, None)
+            if buffer is None:
+                return None
+            buffer.extend(final_chunk)
+            return bytes(buffer)
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def base_url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def start(self) -> "RegistryHTTPServer":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(target=self._httpd.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join()
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "RegistryHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+class _HTTPBase:
+    def __init__(self, base_url: str, *, token: str | None = None, timeout: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        self.token = token
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.bytes_transferred = 0
+
+    def _fetch(
+        self,
+        path: str,
+        *,
+        method: str = "GET",
+        data: bytes | None = None,
+        content_type: str | None = None,
+        return_headers: bool = False,
+    ):
+        request = urllib.request.Request(self.base_url + path, data=data, method=method)
+        if self.token:
+            request.add_header("Authorization", f"Bearer {self.token}")
+        if content_type:
+            request.add_header("Content-Type", content_type)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                body = response.read()
+                headers = dict(response.headers)
+        except urllib.error.HTTPError as exc:
+            raise _error_from_response(exc) from None
+        except urllib.error.URLError as exc:
+            raise RegistryError(f"connection failed: {exc.reason}") from None
+        with self._lock:
+            self.requests += 1
+            self.bytes_transferred += len(body) + (len(data) if data else 0)
+        if return_headers:
+            return body, headers
+        return body
+
+    def stats(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "bytes_transferred": self.bytes_transferred,
+            }
+
+
+def _error_from_response(exc: urllib.error.HTTPError) -> RegistryError:
+    """Map a v2 error payload back onto the registry error hierarchy."""
+    try:
+        doc = json.loads(exc.read().decode())
+        code = doc["errors"][0]["code"]
+        message = doc["errors"][0].get("message", "")
+    except Exception:
+        code, message = "UNKNOWN", str(exc)
+    if code == "UNAUTHORIZED":
+        return AuthRequiredError(message or "repository")
+    if code == "MANIFEST_UNKNOWN":
+        # TagNotFoundError needs repo/tag; reconstruct loosely from message
+        return TagNotFoundError(repo=message, tag="")
+    if code == "BLOB_UNKNOWN":
+        return BlobNotFoundError(message or "sha256:0")
+    if code == "NAME_UNKNOWN":
+        return RepositoryNotFoundError(message)
+    return RegistryError(f"{code}: {message}")
+
+
+class HTTPSession(_HTTPBase):
+    """Registry client over HTTP — the downloader's session interface."""
+
+    def ping(self) -> bool:
+        self._fetch("/v2/")
+        return True
+
+    def _quote(self, repo: str) -> str:
+        return urllib.parse.quote(repo, safe="/")
+
+    def resolve_tag(self, repo: str, tag: str) -> str:
+        manifest = self.get_manifest(repo, tag)
+        return manifest.digest()
+
+    def get_manifest(self, repo: str, reference: str) -> Manifest:
+        body = self._fetch(f"/v2/{self._quote(repo)}/manifests/{reference}")
+        return Manifest.from_json(body)
+
+    def get_blob(self, digest: str) -> bytes:
+        # blob fetch needs a repository scope in the URL; any name works for
+        # a shared-blob registry — use the library namespace
+        return self._fetch(f"/v2/library/blobs/{digest}")
+
+    def list_tags(self, repo: str) -> list[str]:
+        body = self._fetch(f"/v2/{self._quote(repo)}/tags/list")
+        return list(json.loads(body)["tags"])
+
+    # -- push side -------------------------------------------------------------
+
+    def push_blob(self, data: bytes, *, chunk_size: int | None = None) -> str:
+        """Upload a blob via the v2 upload protocol; returns its digest.
+
+        ``chunk_size`` splits the body over PATCH requests (resumable-style);
+        by default the whole blob goes in the finalizing PUT (monolithic).
+        """
+        from repro.util.digest import sha256_bytes
+
+        digest = sha256_bytes(data)
+        _, headers = self._fetch(
+            "/v2/library/blobs/uploads/", method="POST", data=b"", return_headers=True
+        )
+        location = headers["Location"]
+        if chunk_size:
+            for i in range(0, len(data), chunk_size):
+                self._fetch(
+                    location,
+                    method="PATCH",
+                    data=data[i : i + chunk_size],
+                    content_type="application/octet-stream",
+                )
+            final = b""
+        else:
+            final = data
+        _, headers = self._fetch(
+            f"{location}?digest={urllib.parse.quote(digest)}",
+            method="PUT",
+            data=final,
+            content_type="application/octet-stream",
+            return_headers=True,
+        )
+        return headers["Docker-Content-Digest"]
+
+    def push_manifest(self, repo: str, tag: str, manifest: Manifest) -> str:
+        """Upload a manifest under ``repo:tag``; returns its digest."""
+        _, headers = self._fetch(
+            f"/v2/{self._quote(repo)}/manifests/{tag}",
+            method="PUT",
+            data=manifest.to_json(),
+            content_type=MANIFEST_MEDIA_TYPE,
+            return_headers=True,
+        )
+        return headers["Docker-Content-Digest"]
+
+    def push_image(
+        self, repo: str, tag: str, files_per_layer: list[list[tuple[str, bytes]]]
+    ) -> Manifest:
+        """Build an image from file lists and push it layer by layer — the
+        Fig. 1 *push* arrow, end to end over HTTP."""
+        from repro.model.manifest import ManifestLayerRef
+        from repro.registry.tarball import layer_from_files
+
+        refs = []
+        for files in files_per_layer:
+            layer, blob = layer_from_files(files)
+            self.push_blob(blob)
+            refs.append(
+                ManifestLayerRef(digest=layer.digest, size=layer.compressed_size)
+            )
+        manifest = Manifest(layers=tuple(refs))
+        self.push_manifest(repo, tag, manifest)
+        return manifest
+
+    def catalog(self) -> list[str]:
+        """Walk the paginated /v2/_catalog endpoint."""
+        out: list[str] = []
+        last = ""
+        while True:
+            suffix = f"?n=100&last={urllib.parse.quote(last)}" if last else "?n=100"
+            page = json.loads(self._fetch("/v2/_catalog" + suffix))["repositories"]
+            if not page:
+                return out
+            out.extend(page)
+            last = page[-1]
+
+
+class HTTPSearchClient(_HTTPBase):
+    """Hub search over HTTP — the crawler's search interface."""
+
+    def search(self, query: str, page: int = 1) -> SearchPage:
+        body = self._fetch(
+            f"/search?q={urllib.parse.quote(query)}&page={page}"
+        )
+        doc = json.loads(body)
+        return SearchPage(
+            query=doc["query"],
+            page=doc["page"],
+            results=list(doc["results"]),
+            has_next=bool(doc["has_next"]),
+        )
+
+    def official_repositories(self) -> list[str]:
+        body = self._fetch("/search?official=1")
+        return list(json.loads(body)["results"])

@@ -1,0 +1,186 @@
+"""The registry proper: repositories, tags, manifests, blobs.
+
+The method surface mirrors the Docker Registry HTTP API v2 that the paper's
+downloader called directly: resolve a tag to a manifest, fetch the manifest,
+fetch each referenced layer blob. Authentication is modeled as a per-
+repository flag plus a token check, enough to reproduce the paper's 13 %
+auth-failure population.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.model.manifest import Manifest
+from repro.model.repository import Repository
+from repro.registry.blobstore import BlobStore, MemoryBlobStore
+from repro.registry.errors import (
+    AuthRequiredError,
+    ManifestNotFoundError,
+    RepositoryNotFoundError,
+    TagNotFoundError,
+)
+from repro.util.digest import is_digest
+
+
+class Registry:
+    """An in-process Docker registry."""
+
+    def __init__(self, blobstore: BlobStore | None = None):
+        self.blobs: BlobStore = blobstore if blobstore is not None else MemoryBlobStore()
+        self._repos: dict[str, Repository] = {}
+        self._manifests: dict[str, bytes] = {}
+        #: pull accounting: manifest fetches by repository name
+        self.manifest_pulls: dict[str, int] = {}
+
+    # -- repository management ------------------------------------------------
+
+    def create_repository(
+        self,
+        name: str,
+        *,
+        pull_count: int = 0,
+        requires_auth: bool = False,
+    ) -> Repository:
+        if name in self._repos:
+            raise ValueError(f"repository already exists: {name!r}")
+        repo = Repository(
+            name=name, pull_count=pull_count, requires_auth=requires_auth
+        )
+        self._repos[name] = repo
+        return repo
+
+    def repository(self, name: str) -> Repository:
+        try:
+            return self._repos[name]
+        except KeyError:
+            raise RepositoryNotFoundError(name) from None
+
+    def repositories(self) -> list[Repository]:
+        return list(self._repos.values())
+
+    def catalog(self) -> list[str]:
+        """All repository names (the v2 ``/_catalog`` endpoint)."""
+        return sorted(self._repos)
+
+    # -- push side ---------------------------------------------------------------
+
+    def push_manifest(self, repo_name: str, tag: str, manifest: Manifest) -> str:
+        """Store a manifest and point ``repo:tag`` at it; returns its digest."""
+        repo = self.repository(repo_name)
+        data = manifest.to_json()
+        digest = manifest.digest()
+        self._manifests[digest] = data
+        repo.tags[tag] = digest
+        return digest
+
+    def push_blob(self, data: bytes) -> str:
+        return self.blobs.put(data)
+
+    # -- deletion + garbage collection ------------------------------------------
+
+    def delete_tag(self, repo_name: str, tag: str) -> None:
+        """Remove a tag; the manifest/blobs linger until :meth:`collect_garbage`
+        (registries separate untagging from space reclamation on purpose —
+        concurrent pulls may still hold references)."""
+        repo = self.repository(repo_name)
+        if tag not in repo.tags:
+            raise TagNotFoundError(repo_name, tag)
+        del repo.tags[tag]
+
+    def delete_repository(self, name: str) -> None:
+        """Drop a repository and all its tags (blobs await GC)."""
+        self.repository(name)  # raises if missing
+        del self._repos[name]
+        self.manifest_pulls.pop(name, None)
+
+    def collect_garbage(self) -> dict[str, int]:
+        """Mark-and-sweep: drop manifests no tag references, then blobs no
+        manifest references. Returns reclamation accounting."""
+        live_manifests: set[str] = set()
+        for repo in self._repos.values():
+            live_manifests.update(repo.tags.values())
+        dead_manifests = [d for d in self._manifests if d not in live_manifests]
+        for digest in dead_manifests:
+            del self._manifests[digest]
+
+        live_blobs = self.unique_layer_digests()
+        dead_blobs = [d for d in self.blobs.digests() if d not in live_blobs]
+        freed = 0
+        for digest in dead_blobs:
+            freed += self.blobs.size(digest)
+            self.blobs.delete(digest)
+        return {
+            "manifests_deleted": len(dead_manifests),
+            "blobs_deleted": len(dead_blobs),
+            "bytes_freed": freed,
+        }
+
+    # -- pull side (the v2 API the downloader speaks) ------------------------------
+
+    def _check_auth(self, repo: Repository, token: str | None) -> None:
+        if repo.requires_auth and not token:
+            raise AuthRequiredError(repo.name)
+
+    def list_tags(self, repo_name: str, *, token: str | None = None) -> list[str]:
+        """All tags in a repository (the v2 ``/tags/list`` endpoint)."""
+        repo = self.repository(repo_name)
+        self._check_auth(repo, token)
+        return sorted(repo.tags)
+
+    def resolve_tag(self, repo_name: str, tag: str, *, token: str | None = None) -> str:
+        """Tag → manifest digest (a HEAD on ``/v2/<name>/manifests/<tag>``)."""
+        repo = self.repository(repo_name)
+        self._check_auth(repo, token)
+        try:
+            return repo.tags[tag]
+        except KeyError:
+            raise TagNotFoundError(repo_name, tag) from None
+
+    def get_manifest(
+        self, repo_name: str, reference: str, *, token: str | None = None
+    ) -> Manifest:
+        """Fetch a manifest by tag or digest; counts as a pull."""
+        repo = self.repository(repo_name)
+        self._check_auth(repo, token)
+        digest = reference if is_digest(reference) else None
+        if digest is None:
+            try:
+                digest = repo.tags[reference]
+            except KeyError:
+                raise TagNotFoundError(repo_name, reference) from None
+        try:
+            data = self._manifests[digest]
+        except KeyError:
+            raise ManifestNotFoundError(digest) from None
+        self.manifest_pulls[repo_name] = self.manifest_pulls.get(repo_name, 0) + 1
+        return Manifest.from_json(data)
+
+    def get_blob(self, digest: str) -> bytes:
+        """Fetch a layer/config blob by digest (blobs are not auth-scoped
+        here; deduplicated cross-repo blob storage is why)."""
+        return self.blobs.get(digest)
+
+    def blob_size(self, digest: str) -> int:
+        return self.blobs.size(digest)
+
+    def has_blob(self, digest: str) -> bool:
+        return self.blobs.has(digest)
+
+    # -- stats -------------------------------------------------------------------------
+
+    def manifest_count(self) -> int:
+        return len(self._manifests)
+
+    def unique_layer_digests(self) -> set[str]:
+        """Digests of all layers referenced by any stored manifest."""
+        out: set[str] = set()
+        for data in self._manifests.values():
+            out.update(Manifest.from_json(data).layer_digests)
+        return out
+
+    def storage_bytes(self, digests: Iterable[str] | None = None) -> int:
+        """Total blob bytes, optionally restricted to the given digests."""
+        if digests is None:
+            return self.blobs.total_bytes()
+        return sum(self.blobs.size(d) for d in digests if self.blobs.has(d))

@@ -1,0 +1,107 @@
+"""Docker Hub's web search engine, as the paper's crawler experienced it.
+
+Docker Hub had no API to enumerate repositories; the paper's crawler searched
+for ``"/"`` (every non-official repository name contains one) and paged
+through the results. Hub's indexing logic returned *duplicate entries* across
+pages — the crawler got 634,412 rows for 457,627 distinct repositories, a
+~1.39× duplication factor. We reproduce both behaviours: substring search
+with pagination, and index-shard duplication that re-serves a fraction of
+repositories on multiple pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.registry.registry import Registry
+
+
+@dataclass(frozen=True)
+class SearchPage:
+    """One page of search results."""
+
+    query: str
+    page: int
+    results: list[str]
+    has_next: bool
+
+
+class HubSearchEngine:
+    """Paginated substring search over a registry's repository names.
+
+    ``duplication_factor`` controls how many extra (duplicate) rows the
+    index emits, mimicking Hub's sharded indexing; duplicates are spread
+    deterministically (seeded) through the result stream so they can land on
+    different pages than the originals.
+    """
+
+    def __init__(
+        self,
+        registry: Registry,
+        *,
+        page_size: int = 100,
+        duplication_factor: float = 1.39,
+        seed: int = 0,
+    ):
+        if page_size <= 0:
+            raise ValueError(f"page size must be positive, got {page_size}")
+        if duplication_factor < 1.0:
+            raise ValueError(
+                f"duplication factor must be >= 1, got {duplication_factor}"
+            )
+        self.registry = registry
+        self.page_size = page_size
+        self.duplication_factor = duplication_factor
+        self.seed = seed
+        self._index_cache: dict[str, list[str]] = {}
+
+    # -- index construction -----------------------------------------------------
+
+    def _build_index(self, query: str) -> list[str]:
+        """The full (duplicated) result stream for a query."""
+        matches = [name for name in self.registry.catalog() if query in name]
+        n_extra = int(round(len(matches) * (self.duplication_factor - 1.0)))
+        if n_extra == 0 or not matches:
+            return matches
+        rng = np.random.default_rng(self.seed ^ hash(query) % (2**32))
+        dup_idx = rng.integers(0, len(matches), size=n_extra)
+        stream = matches + [matches[i] for i in dup_idx]
+        # Shuffle so duplicates interleave across pages like a sharded index.
+        rng.shuffle(stream)
+        return stream
+
+    def _index(self, query: str) -> list[str]:
+        if query not in self._index_cache:
+            self._index_cache[query] = self._build_index(query)
+        return self._index_cache[query]
+
+    # -- public API ------------------------------------------------------------------
+
+    def result_count(self, query: str) -> int:
+        """Total rows the index reports (includes duplicates)."""
+        return len(self._index(query))
+
+    def page_count(self, query: str) -> int:
+        total = self.result_count(query)
+        return max(1, -(-total // self.page_size))
+
+    def search(self, query: str, page: int = 1) -> SearchPage:
+        """Fetch one page (1-based) of results."""
+        if page < 1:
+            raise ValueError(f"pages are 1-based, got {page}")
+        stream = self._index(query)
+        start = (page - 1) * self.page_size
+        results = stream[start : start + self.page_size]
+        return SearchPage(
+            query=query,
+            page=page,
+            results=results,
+            has_next=start + self.page_size < len(stream),
+        )
+
+    def official_repositories(self) -> list[str]:
+        """Official repositories are listed on a separate curated page (no
+        crawl needed — the paper notes there are fewer than 200)."""
+        return [name for name in self.registry.catalog() if "/" not in name]

@@ -1,0 +1,24 @@
+"""Layer restructuring: turn the paper's dedup findings into a layout.
+
+§V-D shows >97 % of layer files are duplicated across layers — layer-level
+sharing can't see file-level redundancy. The fix the paper's ecosystem
+proposed (Skourtis et al., HotCloud'19 — reference [30]) is to *re-carve*
+layers: group files by which images actually need them, emit one shared
+layer per co-occurrence group, and keep per-image leftovers private. This
+package implements that restructuring over the columnar dataset and
+quantifies the storage/layer-count trade-off.
+"""
+
+from repro.restructure.carve import (
+    CarveConfig,
+    RestructureResult,
+    file_image_signatures,
+    restructure,
+)
+
+__all__ = [
+    "CarveConfig",
+    "RestructureResult",
+    "file_image_signatures",
+    "restructure",
+]

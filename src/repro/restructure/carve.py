@@ -1,0 +1,205 @@
+"""Carving layers from file↔image co-occurrence.
+
+Algorithm (the Skourtis-style ideal, made laptop-scale):
+
+1. Compute each unique file's *image signature* — the exact set of images
+   whose layers contain it. Files with identical signatures always travel
+   together, so they can share a layer with zero pull overhead. Signatures
+   are computed vectorized: distinct (file, image) pairs are sorted by
+   file, and a commutative 128-bit hash of each file's image-id run stands
+   in for the set itself (two independent random projections; collision
+   probability ~2^-64 per pair).
+2. Signature groups referenced by >= ``min_shared_images`` images and at
+   least ``min_group_bytes`` big are *candidate shared layers*. Candidates
+   are accepted greedily by the registry bytes they save
+   (``bytes * (images - 1)``), subject to every member image's layer
+   budget (``max_layers_per_image - 1``; Docker caps layers per image) —
+   the knapsack-flavoured heart of the carving problem.
+3. Everything else joins each image's single **private layer** (duplicated
+   per image that needs it, like today's private layers).
+
+The result quantifies the §V headline end to end: how close a real layout
+can get to perfect file dedup, and what it costs in layers per image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.dataset import HubDataset
+
+
+@dataclass(frozen=True)
+class CarveConfig:
+    min_shared_images: int = 2
+    min_group_bytes: int = 64 * 1024
+    max_layers_per_image: int = 100  # Docker caps layers per image at ~127
+
+
+@dataclass(frozen=True)
+class RestructureResult:
+    # original layout
+    original_layer_bytes: int  # sum of unique layers' FLS today
+    original_layers_per_image_p50: float
+    original_layers_per_image_max: int
+    # restructured layout
+    n_shared_layers: int
+    shared_bytes: int  # stored once
+    private_bytes: int  # stored once per image needing it
+    layers_per_image_p50: float
+    layers_per_image_max: int
+    # bounds
+    perfect_dedup_bytes: int  # every unique file exactly once
+    final_min_group_bytes: int
+
+    @property
+    def restructured_bytes(self) -> int:
+        return self.shared_bytes + self.private_bytes
+
+    @property
+    def savings_vs_original(self) -> float:
+        if self.original_layer_bytes == 0:
+            return 0.0
+        return 1.0 - self.restructured_bytes / self.original_layer_bytes
+
+    @property
+    def overhead_vs_perfect(self) -> float:
+        """How far above the perfect-dedup floor the layout lands (1.0 = at
+        the floor)."""
+        if self.perfect_dedup_bytes == 0:
+            return 0.0
+        return self.restructured_bytes / self.perfect_dedup_bytes
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "original_bytes": self.original_layer_bytes,
+            "restructured_bytes": self.restructured_bytes,
+            "perfect_dedup_bytes": self.perfect_dedup_bytes,
+            "savings_vs_original": self.savings_vs_original,
+            "overhead_vs_perfect": self.overhead_vs_perfect,
+            "shared_layers": self.n_shared_layers,
+            "layers_per_image_p50": self.layers_per_image_p50,
+            "layers_per_image_max": self.layers_per_image_max,
+        }
+
+
+def _distinct_file_image_pairs(ds: HubDataset) -> tuple[np.ndarray, np.ndarray]:
+    """Distinct (file, image) pairs, sorted by file then image."""
+    image_of_slot = np.repeat(
+        np.arange(ds.n_images, dtype=np.int64), ds.image_layer_counts
+    )
+    slot_layers = ds.image_layer_ids
+    slot_counts = ds.layer_file_counts[slot_layers]
+    total = int(slot_counts.sum())
+    if total == 0:
+        return np.zeros(0, np.int64), np.zeros(0, np.int64)
+    seg_starts = np.concatenate([[0], np.cumsum(slot_counts[:-1])])
+    within = np.arange(total, dtype=np.int64) - np.repeat(seg_starts, slot_counts)
+    take = np.repeat(ds.layer_file_offsets[slot_layers], slot_counts) + within
+    occ_file = ds.layer_file_ids[take]
+    occ_image = np.repeat(image_of_slot, slot_counts)
+    keys = occ_file * ds.n_images + occ_image
+    keys = np.sort(keys)
+    mask = np.empty(keys.size, dtype=bool)
+    mask[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=mask[1:])
+    keys = keys[mask]
+    return keys // ds.n_images, keys % ds.n_images
+
+
+def file_image_signatures(ds: HubDataset, *, seed: int = 0) -> np.ndarray:
+    """128-bit-ish commutative signature of each unique file's image set.
+
+    Returns a complex-viewable (n_files, 2) uint64 array; files sharing a
+    row share an image set (w.h.p.). Unused files get the zero signature.
+    """
+    pair_files, pair_images = _distinct_file_image_pairs(ds)
+    rng = np.random.default_rng(seed)
+    h1 = rng.integers(1, 2**63 - 1, size=ds.n_images, dtype=np.int64).astype(np.uint64)
+    h2 = rng.integers(1, 2**63 - 1, size=ds.n_images, dtype=np.int64).astype(np.uint64)
+    sig = np.zeros((ds.n_files, 2), dtype=np.uint64)
+    np.add.at(sig[:, 0], pair_files, h1[pair_images])
+    np.add.at(sig[:, 1], pair_files, h2[pair_images] * h2[pair_images])
+    return sig
+
+
+def restructure(ds: HubDataset, config: CarveConfig | None = None) -> RestructureResult:
+    """Carve a shared/private layer layout and measure it."""
+    config = config or CarveConfig()
+    pair_files, pair_images = _distinct_file_image_pairs(ds)
+    if pair_files.size == 0:
+        raise ValueError("dataset has no file occurrences to restructure")
+
+    used = ds.file_repeat_counts > 0
+    images_per_file = np.bincount(pair_files, minlength=ds.n_files)
+
+    sig = file_image_signatures(ds)
+    # group id per unique file: index into the distinct signature table
+    flat = sig[:, 0] * np.uint64(0x9E3779B97F4A7C15) ^ sig[:, 1]
+    _, group_of_file = np.unique(flat, return_inverse=True)
+    n_groups = int(group_of_file.max()) + 1
+
+    sizes = ds.file_sizes
+    group_bytes = np.bincount(
+        group_of_file[used], weights=sizes[used], minlength=n_groups
+    )
+    # images per group == images per file for any member (identical sets)
+    group_images = np.zeros(n_groups, dtype=np.int64)
+    group_images[group_of_file[used]] = images_per_file[used]
+
+    # every quantity is over image-reachable content: a layer no manifest
+    # references was never downloaded, so it belongs to no storage design
+    reachable_files = np.unique(pair_files)
+    perfect = int(sizes[reachable_files].sum())
+    original = int(ds.layer_fls[ds.layer_ref_counts > 0].sum())
+    lc = ds.image_layer_counts
+
+    # distinct (group, image) membership, CSR by group
+    pair_group = group_of_file[pair_files]
+    keys = np.unique(pair_group * np.int64(ds.n_images) + pair_images)
+    member_group = (keys // ds.n_images).astype(np.int64)
+    member_image = (keys % ds.n_images).astype(np.int64)
+    group_member_offsets = np.searchsorted(
+        member_group, np.arange(n_groups + 1, dtype=np.int64)
+    )
+
+    # greedy acceptance: biggest registry savings first, within layer budgets
+    candidates = np.flatnonzero(
+        (group_images >= config.min_shared_images)
+        & (group_bytes >= config.min_group_bytes)
+    )
+    savings = group_bytes[candidates] * (group_images[candidates] - 1)
+    order = candidates[np.argsort(savings)[::-1]]
+    budget = np.full(ds.n_images, config.max_layers_per_image - 1, dtype=np.int64)
+    shared_mask = np.zeros(n_groups, dtype=bool)
+    for g in order:
+        members = member_image[group_member_offsets[g] : group_member_offsets[g + 1]]
+        if (budget[members] > 0).all():
+            shared_mask[g] = True
+            budget[members] -= 1
+
+    # layers per image: one private layer + its accepted shared groups
+    shared_layers_per_image = (
+        config.max_layers_per_image - 1 - budget
+    ) + 1  # accepted groups + the private layer
+    layers_per_image = shared_layers_per_image
+
+    shared_bytes = int(group_bytes[shared_mask].sum())
+    # private files are stored once per image that needs them
+    pair_is_shared = shared_mask[pair_group]
+    private_bytes = int(sizes[pair_files[~pair_is_shared]].sum())
+
+    return RestructureResult(
+        original_layer_bytes=original,
+        original_layers_per_image_p50=float(np.median(lc)),
+        original_layers_per_image_max=int(lc.max()),
+        n_shared_layers=int(shared_mask.sum()),
+        shared_bytes=shared_bytes,
+        private_bytes=private_bytes,
+        layers_per_image_p50=float(np.median(layers_per_image)),
+        layers_per_image_max=int(layers_per_image.max()),
+        perfect_dedup_bytes=perfect,
+        final_min_group_bytes=int(config.min_group_bytes),
+    )

@@ -1,0 +1,101 @@
+"""Empirical cumulative distribution functions.
+
+The paper presents nearly every result as a CDF ("90% of layers are smaller
+than 63 MB"). :class:`EmpiricalCDF` stores the sorted sample once and answers
+both directions of that sentence — ``fraction_below(63 MB)`` and
+``percentile(90)`` — with a binary search.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+class EmpiricalCDF:
+    """Empirical CDF over a numeric sample.
+
+    Values may repeat; the CDF is right-continuous: ``fraction_at_most(x)`` is
+    ``P[X <= x]`` under the empirical measure.
+    """
+
+    def __init__(self, values: Iterable[float] | np.ndarray):
+        arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values)
+        if arr.size == 0:
+            raise ValueError("EmpiricalCDF requires at least one value")
+        if arr.ndim != 1:
+            raise ValueError(f"expected 1-D sample, got shape {arr.shape}")
+        if not np.all(np.isfinite(arr.astype(np.float64))):
+            raise ValueError("sample contains non-finite values")
+        self._sorted = np.sort(arr)
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Sample size."""
+        return int(self._sorted.size)
+
+    @property
+    def min(self) -> float:
+        return float(self._sorted[0])
+
+    @property
+    def max(self) -> float:
+        return float(self._sorted[-1])
+
+    @property
+    def values(self) -> np.ndarray:
+        """The sorted sample (read-only view)."""
+        view = self._sorted.view()
+        view.flags.writeable = False
+        return view
+
+    # -- queries --------------------------------------------------------------
+
+    def fraction_at_most(self, x: float) -> float:
+        """``P[X <= x]``."""
+        return float(np.searchsorted(self._sorted, x, side="right")) / self.n
+
+    def fraction_below(self, x: float) -> float:
+        """``P[X < x]``."""
+        return float(np.searchsorted(self._sorted, x, side="left")) / self.n
+
+    def percentile(self, q: float | Sequence[float]) -> float | np.ndarray:
+        """Inverse CDF; *q* in [0, 100]. Uses the 'inverted_cdf' method: the
+        smallest observed value x with ``F(x) >= q/100`` — exactly how one
+        reads a plotted empirical CDF."""
+        result = np.percentile(self._sorted, q, method="inverted_cdf")
+        if np.ndim(result) == 0:
+            return float(result)
+        return result
+
+    def median(self) -> float:
+        return float(self.percentile(50))
+
+    def quantile_table(self, qs: Sequence[float] = (10, 25, 50, 75, 90, 99)) -> dict[float, float]:
+        """Convenience table of percentiles keyed by q."""
+        vals = np.percentile(self._sorted, qs, method="inverted_cdf")
+        return {float(q): float(v) for q, v in zip(qs, vals)}
+
+    def steps(self, max_points: int = 2048) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(x, F(x))`` arrays suitable for plotting the CDF curve.
+
+        Large samples are thinned to at most *max_points* evenly spaced
+        order statistics; endpoints are always included.
+        """
+        n = self.n
+        if n <= max_points:
+            idx = np.arange(n)
+        else:
+            idx = np.unique(np.linspace(0, n - 1, max_points).astype(np.int64))
+        x = self._sorted[idx]
+        frac = (idx + 1) / n
+        return x, frac
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"EmpiricalCDF(n={self.n}, min={self.min:g}, "
+            f"median={self.median():g}, max={self.max:g})"
+        )

@@ -1,0 +1,118 @@
+"""Distribution fitting and goodness-of-fit, for calibration validation.
+
+The synthetic generator claims its marginals match the paper's published
+distributions; this module provides the machinery to *check* such claims:
+
+* :func:`ks_distance` — two-sample Kolmogorov–Smirnov statistic between
+  empirical CDFs (the natural "are these two shapes alike" metric);
+* :func:`fit_lognormal` — MLE for lognormal (mu, sigma) on positive data;
+* :func:`fit_powerlaw_tail` — Hill's estimator for the tail index of a
+  heavy-tailed sample above a threshold (used to sanity-check the copy-count
+  and popularity tails);
+* :func:`quantile_relative_errors` — per-quantile measured/target ratios,
+  the per-figure comparison EXPERIMENTS.md tabulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.cdf import EmpiricalCDF
+
+
+def ks_distance(a: EmpiricalCDF | np.ndarray, b: EmpiricalCDF | np.ndarray) -> float:
+    """Two-sample KS statistic: sup_x |F_a(x) - F_b(x)|."""
+    cdf_a = a if isinstance(a, EmpiricalCDF) else EmpiricalCDF(np.asarray(a))
+    cdf_b = b if isinstance(b, EmpiricalCDF) else EmpiricalCDF(np.asarray(b))
+    grid = np.union1d(cdf_a.values, cdf_b.values)
+    fa = np.searchsorted(cdf_a.values, grid, side="right") / cdf_a.n
+    fb = np.searchsorted(cdf_b.values, grid, side="right") / cdf_b.n
+    return float(np.abs(fa - fb).max())
+
+
+@dataclass(frozen=True)
+class LognormalFit:
+    mu: float
+    sigma: float
+    n: int
+
+    @property
+    def median(self) -> float:
+        return float(np.exp(self.mu))
+
+    @property
+    def mean(self) -> float:
+        return float(np.exp(self.mu + self.sigma**2 / 2))
+
+    def percentile(self, q: float) -> float:
+        from math import erf, sqrt
+
+        # inverse standard normal via binary search on the CDF (no scipy dep)
+        target = q / 100.0
+        lo, hi = -10.0, 10.0
+        for _ in range(80):
+            mid = (lo + hi) / 2
+            if 0.5 * (1 + erf(mid / sqrt(2))) < target:
+                lo = mid
+            else:
+                hi = mid
+        return float(np.exp(self.mu + self.sigma * (lo + hi) / 2))
+
+
+def fit_lognormal(values: np.ndarray) -> LognormalFit:
+    """Maximum-likelihood lognormal fit over strictly positive values."""
+    arr = np.asarray(values, dtype=np.float64)
+    arr = arr[arr > 0]
+    if arr.size < 2:
+        raise ValueError("need at least two positive values to fit")
+    logs = np.log(arr)
+    return LognormalFit(
+        mu=float(logs.mean()), sigma=float(logs.std(ddof=1)), n=int(arr.size)
+    )
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    alpha: float  # P(X > x) ~ x^-alpha
+    xmin: float
+    n_tail: int
+
+
+def fit_powerlaw_tail(values: np.ndarray, xmin: float) -> PowerLawFit:
+    """Hill's estimator for the tail index above *xmin*.
+
+    alpha_hat = n / sum(ln(x_i / xmin)) over the tail sample. For the
+    paper's heavy tails (copy counts, pull counts) this is the standard
+    quick check that a generated tail has roughly the intended weight.
+    """
+    if xmin <= 0:
+        raise ValueError(f"xmin must be positive, got {xmin}")
+    arr = np.asarray(values, dtype=np.float64)
+    tail = arr[arr >= xmin]
+    if tail.size < 2:
+        raise ValueError(f"too few tail observations above {xmin} ({tail.size})")
+    logs = np.log(tail / xmin)
+    total = float(logs.sum())
+    if total <= 0:
+        raise ValueError("degenerate tail: all observations equal xmin")
+    return PowerLawFit(alpha=tail.size / total, xmin=float(xmin), n_tail=int(tail.size))
+
+
+def quantile_relative_errors(
+    measured: np.ndarray | EmpiricalCDF,
+    targets: dict[float, float],
+) -> dict[float, float]:
+    """measured/target ratio at each target quantile (q -> paper value)."""
+    cdf = (
+        measured
+        if isinstance(measured, EmpiricalCDF)
+        else EmpiricalCDF(np.asarray(measured))
+    )
+    out: dict[float, float] = {}
+    for q, target in targets.items():
+        if target == 0:
+            raise ValueError(f"target at q={q} is zero; ratio undefined")
+        out[q] = float(cdf.percentile(q)) / target
+    return out

@@ -1,0 +1,83 @@
+"""Binned histograms with the linear and logarithmic binnings the paper uses.
+
+Figure 3(b) and friends are frequency histograms over ranges like 0–128 MB;
+popularity histograms (Fig. 8(b)) need log-spaced bins because pull counts
+span nine orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def linear_bins(low: float, high: float, width: float) -> np.ndarray:
+    """Bin edges ``[low, low+width, ...]`` covering ``[low, high]``."""
+    if width <= 0:
+        raise ValueError(f"bin width must be positive, got {width}")
+    if high <= low:
+        raise ValueError(f"need high > low, got [{low}, {high}]")
+    nbins = int(np.ceil((high - low) / width))
+    return low + width * np.arange(nbins + 1)
+
+
+def log_bins(low: float, high: float, per_decade: int = 10) -> np.ndarray:
+    """Logarithmically spaced bin edges from *low* to *high* (both > 0)."""
+    if low <= 0 or high <= low:
+        raise ValueError(f"need 0 < low < high, got [{low}, {high}]")
+    ndecades = np.log10(high / low)
+    nbins = max(1, int(np.ceil(ndecades * per_decade)))
+    return low * np.logspace(0, ndecades, nbins + 1, base=10.0)
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Counts per bin plus under/overflow tallies.
+
+    ``edges`` has ``len(counts) + 1`` entries; bin *i* covers
+    ``[edges[i], edges[i+1])`` except the last bin which is closed on the
+    right, matching :func:`numpy.histogram`.
+    """
+
+    edges: np.ndarray
+    counts: np.ndarray
+    underflow: int
+    overflow: int
+
+    @classmethod
+    def from_values(cls, values: np.ndarray, edges: np.ndarray) -> "Histogram":
+        values = np.asarray(values)
+        edges = np.asarray(edges, dtype=np.float64)
+        if edges.ndim != 1 or edges.size < 2:
+            raise ValueError("edges must be a 1-D array of at least two values")
+        if np.any(np.diff(edges) <= 0):
+            raise ValueError("edges must be strictly increasing")
+        inside = values[(values >= edges[0]) & (values <= edges[-1])]
+        counts, _ = np.histogram(inside, bins=edges)
+        return cls(
+            edges=edges,
+            counts=counts.astype(np.int64),
+            underflow=int(np.count_nonzero(values < edges[0])),
+            overflow=int(np.count_nonzero(values > edges[-1])),
+        )
+
+    @property
+    def total(self) -> int:
+        """All values seen, including under/overflow."""
+        return int(self.counts.sum()) + self.underflow + self.overflow
+
+    def mode_bin(self) -> tuple[float, float, int]:
+        """Return ``(lo, hi, count)`` for the fullest bin."""
+        i = int(np.argmax(self.counts))
+        return float(self.edges[i]), float(self.edges[i + 1]), int(self.counts[i])
+
+    def bin_centers(self) -> np.ndarray:
+        return (self.edges[:-1] + self.edges[1:]) / 2.0
+
+    def as_rows(self) -> list[tuple[float, float, int]]:
+        """``(lo, hi, count)`` rows, for report rendering."""
+        return [
+            (float(self.edges[i]), float(self.edges[i + 1]), int(c))
+            for i, c in enumerate(self.counts)
+        ]

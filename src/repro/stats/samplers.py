@@ -1,0 +1,157 @@
+"""Distribution samplers used by the synthetic-hub generator.
+
+Calibration is the point: each sampler can be constructed from the kind of
+facts the paper publishes (a median and a 90th percentile, a mode, a share),
+rather than raw distribution parameters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+#: z-score of the 90th percentile of the standard normal; used to fit a
+#: lognormal from (median, p90) pairs.
+_Z90 = 1.2815515655446004
+
+
+def lognormal_from_median_p90(median: float, p90: float) -> tuple[float, float]:
+    """Fit lognormal ``(mu, sigma)`` so the distribution has the given
+    median and 90th percentile.
+
+    For a lognormal, ``median = exp(mu)`` and ``p90 = exp(mu + z90 * sigma)``.
+    """
+    if median <= 0 or p90 <= median:
+        raise ValueError(f"need 0 < median < p90, got median={median}, p90={p90}")
+    mu = math.log(median)
+    sigma = (math.log(p90) - mu) / _Z90
+    return mu, sigma
+
+
+@dataclass(frozen=True)
+class LognormalSpec:
+    """A lognormal described by its median and p90, with optional clamping."""
+
+    median: float
+    p90: float
+    low: float = 0.0
+    high: float = math.inf
+
+    def params(self) -> tuple[float, float]:
+        return lognormal_from_median_p90(self.median, self.p90)
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        mu, sigma = self.params()
+        out = rng.lognormal(mean=mu, sigma=sigma, size=n)
+        return np.clip(out, self.low, self.high)
+
+
+@dataclass(frozen=True)
+class ParetoTailSpec:
+    """A Pareto (power-law) tail starting at ``xmin`` with shape ``alpha``."""
+
+    xmin: float
+    alpha: float
+    high: float = math.inf
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if self.xmin <= 0 or self.alpha <= 0:
+            raise ValueError("ParetoTailSpec requires xmin > 0 and alpha > 0")
+        out = self.xmin * (1.0 + rng.pareto(self.alpha, size=n))
+        return np.minimum(out, self.high)
+
+
+@dataclass(frozen=True)
+class MixtureSpec:
+    """A finite mixture of point masses and continuous components.
+
+    ``atoms`` are ``(value, weight)`` point masses (e.g. the paper's 7 % of
+    layers with zero files and 27 % with exactly one); ``components`` are
+    ``(spec, weight)`` pairs of continuous samplers. Weights need not sum to
+    one — they are normalized.
+    """
+
+    atoms: Sequence[tuple[float, float]] = field(default_factory=tuple)
+    components: Sequence[tuple[LognormalSpec | ParetoTailSpec, float]] = field(
+        default_factory=tuple
+    )
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        weights = np.array(
+            [w for _, w in self.atoms] + [w for _, w in self.components], dtype=np.float64
+        )
+        if weights.size == 0:
+            raise ValueError("MixtureSpec has no components")
+        if np.any(weights < 0) or weights.sum() <= 0:
+            raise ValueError("mixture weights must be non-negative and not all zero")
+        probs = weights / weights.sum()
+        choice = rng.choice(weights.size, size=n, p=probs)
+        out = np.empty(n, dtype=np.float64)
+        natoms = len(self.atoms)
+        for i, (value, _) in enumerate(self.atoms):
+            out[choice == i] = value
+        for j, (spec, _) in enumerate(self.components):
+            mask = choice == natoms + j
+            k = int(np.count_nonzero(mask))
+            if k:
+                out[mask] = spec.sample(rng, k)
+        return out
+
+
+def bounded_zipf_weights(n: int, alpha: float) -> np.ndarray:
+    """Normalized Zipf weights ``w_r ∝ r^-alpha`` for ranks ``1..n``.
+
+    Used to give unique files / base layer stacks a popularity ordering: a
+    small head accounts for most occurrences, producing the heavy-tailed copy
+    counts of Fig. 24 and the reference counts of Fig. 23.
+    """
+    if n <= 0:
+        raise ValueError(f"need n > 0, got {n}")
+    if alpha < 0:
+        raise ValueError(f"need alpha >= 0, got {alpha}")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks**-alpha
+    return weights / weights.sum()
+
+
+def sample_zipf_ranks(
+    rng: np.random.Generator, n_draws: int, n_ranks: int, alpha: float
+) -> np.ndarray:
+    """Draw *n_draws* ranks in ``[0, n_ranks)`` with Zipf(alpha) probabilities.
+
+    Implemented via inverse-CDF lookup on the cumulative weight table, which
+    is O(n_ranks + n_draws log n_ranks) and vectorized — fine up to tens of
+    millions of draws.
+    """
+    weights = bounded_zipf_weights(n_ranks, alpha)
+    cdf = np.cumsum(weights)
+    cdf[-1] = 1.0  # guard against float round-off excluding the last rank
+    u = rng.random(n_draws)
+    return np.searchsorted(cdf, u, side="right").astype(np.int64)
+
+
+def sample_lognormal(
+    rng: np.random.Generator,
+    n: int,
+    *,
+    median: float,
+    p90: float,
+    low: float = 0.0,
+    high: float = math.inf,
+) -> np.ndarray:
+    """One-shot helper equivalent to ``LognormalSpec(median, p90, low, high)``."""
+    return LognormalSpec(median=median, p90=p90, low=low, high=high).sample(rng, n)
+
+
+def sample_mixture(
+    rng: np.random.Generator,
+    n: int,
+    *,
+    atoms: Sequence[tuple[float, float]] = (),
+    components: Sequence[tuple[LognormalSpec | ParetoTailSpec, float]] = (),
+) -> np.ndarray:
+    """One-shot helper equivalent to ``MixtureSpec(atoms, components)``."""
+    return MixtureSpec(atoms=atoms, components=components).sample(rng, n)

@@ -1,0 +1,69 @@
+"""Compact summary statistics for a numeric population.
+
+Every figure module returns a :class:`SummaryStats` alongside its series so
+reports can print the same sentences the paper does ("median 2.6, 90 % below
+4, max 1026").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    n: int
+    mean: float
+    minimum: float
+    p10: float
+    p25: float
+    median: float
+    p75: float
+    p90: float
+    p99: float
+    maximum: float
+    total: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "min": self.minimum,
+            "p10": self.p10,
+            "p25": self.p25,
+            "median": self.median,
+            "p75": self.p75,
+            "p90": self.p90,
+            "p99": self.p99,
+            "max": self.maximum,
+            "total": self.total,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} mean={self.mean:.4g} median={self.median:.4g} "
+            f"p90={self.p90:.4g} max={self.maximum:.4g}"
+        )
+
+
+def summarize(values: np.ndarray) -> SummaryStats:
+    """Compute a :class:`SummaryStats` over a 1-D numeric array."""
+    arr = np.asarray(values)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty population")
+    qs = np.percentile(arr, [10, 25, 50, 75, 90, 99], method="inverted_cdf")
+    return SummaryStats(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        minimum=float(arr.min()),
+        p10=float(qs[0]),
+        p25=float(qs[1]),
+        median=float(qs[2]),
+        p75=float(qs[3]),
+        p90=float(qs[4]),
+        p99=float(qs[5]),
+        maximum=float(arr.max()),
+        total=float(arr.sum()),
+    )

@@ -1,0 +1,116 @@
+"""Calibration self-check: measured vs paper, as structured rows.
+
+The generator's contract is that its marginals track the paper's published
+numbers. This module measures a generated dataset against every headline
+target and reports the ratios — the same table ``tools/calibrate.py``
+prints, but as data, so tests can pin the calibration and regressions fail
+loudly instead of drifting silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.filetypes.catalog import TypeCatalog, TypeGroup, default_catalog
+from repro.model.dataset import HubDataset
+
+
+@dataclass(frozen=True)
+class CalibrationRow:
+    name: str
+    target: float
+    measured: float
+    #: acceptable measured/target band for the shape claim to hold
+    low: float
+    high: float
+
+    @property
+    def ratio(self) -> float:
+        return self.measured / self.target if self.target else float("nan")
+
+    @property
+    def ok(self) -> bool:
+        return self.low <= self.ratio <= self.high
+
+
+def _pct(values: np.ndarray, q: float) -> float:
+    return float(np.percentile(values, q, method="inverted_cdf"))
+
+
+def calibration_report(
+    dataset: HubDataset, catalog: TypeCatalog | None = None
+) -> list[CalibrationRow]:
+    """Measure every pinned calibration quantity.
+
+    Bands are intentionally generous for absolute quantities (scale-
+    dependent) and tight for the shares/ratios/orderings the reproduction
+    stakes its claims on.
+    """
+    catalog = catalog or default_catalog()
+    rows: list[CalibrationRow] = []
+
+    def add(name: str, target: float, measured: float, low: float, high: float) -> None:
+        rows.append(
+            CalibrationRow(
+                name=name, target=target, measured=float(measured), low=low, high=high
+            )
+        )
+
+    # -- layers ---------------------------------------------------------------
+    fc = dataset.layer_file_counts
+    add("frac_empty_layers", 0.07, (fc == 0).mean(), 0.6, 1.5)
+    add("frac_single_file_layers", 0.27, (fc == 1).mean(), 0.7, 1.3)
+    ratios = dataset.compression_ratios[dataset.layer_fls > 0]
+    add("compression_median", 2.6, float(np.median(ratios)), 0.6, 1.4)
+    depths = dataset.layer_max_depths[fc > 0]
+    values, counts = np.unique(depths, return_counts=True)
+    add("depth_mode", 3, float(values[np.argmax(counts)]), 0.99, 1.35)
+
+    # -- images ------------------------------------------------------------------
+    lc = dataset.image_layer_counts
+    add("layers_per_image_median", 8, float(np.median(lc)), 0.85, 1.15)
+    if dataset.pull_counts.size:
+        add("pulls_median", 40, float(np.median(dataset.pull_counts)), 0.6, 1.6)
+        add("pulls_p90", 333, _pct(dataset.pull_counts, 90), 0.5, 2.0)
+
+    # -- type mix -----------------------------------------------------------------
+    group_of_code = catalog.group_of_code_table(int(dataset.file_types.max()))
+    gocc = group_of_code[dataset.occurrence_types]
+    n_occ = gocc.size
+    sizes = dataset.occurrence_sizes
+    total_cap = float(sizes.sum())
+    add("count_share_document", 0.44, (gocc == int(TypeGroup.DOCUMENT)).sum() / n_occ, 0.9, 1.1)
+    add("count_share_source", 0.13, (gocc == int(TypeGroup.SOURCE)).sum() / n_occ, 0.9, 1.1)
+    add("count_share_eol", 0.11, (gocc == int(TypeGroup.EOL)).sum() / n_occ, 0.9, 1.1)
+    add(
+        "capacity_share_eol", 0.37,
+        float(sizes[gocc == int(TypeGroup.EOL)].sum()) / total_cap, 0.7, 1.4,
+    )
+
+    # -- dedup ------------------------------------------------------------------------
+    repeats = dataset.file_repeat_counts
+    used = repeats > 0
+    add("copies_median", 4, float(np.median(repeats[used])), 0.75, 1.5)
+    add("multi_copy_fraction", 0.994, (repeats[used] > 1).mean(), 0.97, 1.01)
+    occ = dataset.n_file_occurrences
+    uniq = int(used.sum())
+    add("count_dedup_ratio", 31.5, occ / uniq, 0.35, 1.3)  # grows with scale (Fig. 25)
+    add(
+        "capacity_dedup_ratio", 6.9,
+        total_cap / float(dataset.file_sizes[used].sum()), 0.55, 1.6,
+    )
+    refs = dataset.layer_ref_counts
+    add("single_ref_fraction", 0.90, (refs[refs > 0] == 1).mean(), 0.9, 1.15)
+    add(
+        "empty_layer_ref_share", 0.518,
+        refs[0] / max(1, dataset.n_images), 0.8, 1.2,
+    )
+    slots = float(dataset.layer_cls[dataset.image_layer_ids].sum())
+    add("sharing_ratio", 85 / 47, slots / float(dataset.layer_cls.sum()), 0.7, 1.4)
+    return rows
+
+
+def failed_rows(rows: list[CalibrationRow]) -> list[CalibrationRow]:
+    return [row for row in rows if not row.ok]

@@ -1,0 +1,232 @@
+"""Generation configuration: every knob, and the paper target it is fit to.
+
+The presets scale the *population size*, never the *shape*: ``small()`` and
+``tiny()`` shrink counts for tests while keeping the calibrated marginal
+distributions, except where a distribution's tail would dwarf the tiny
+population (file-count caps scale down with the layer count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.synth.typeprofiles import TypeProfile, default_type_profiles
+
+
+@dataclass(frozen=True)
+class LayerShapeConfig:
+    """Per-layer structural distributions (§IV-A).
+
+    Fit targets: 7 % of layers empty, 27 % single-file, overall median 30
+    files and p90 7,410 (Fig. 5); median 11 / p90 826 directories (Fig. 6);
+    depth mode 3, median < 4, p90 < 10 (Fig. 7).
+    """
+
+    empty_share: float = 0.07
+    single_share: float = 0.27
+    #: lognormal body of the file-count distribution for *private* layers
+    #: (Dockerfile RUN steps: mostly small). Base-stack layers use the
+    #: stack_body distribution below; the overall per-layer marginal
+    #: (Fig. 5: median 30, p90 7,410) is the mixture of the two.
+    body_median: float = 150.0
+    body_p90: float = 9_000.0
+    #: images vary in overall size: a per-image lognormal factor (this
+    #: sigma) scales all of an image's private layers together, so big
+    #: layers concentrate in few images — reconciling the heavy per-layer
+    #: tail (Fig. 5) with the paper's small *median* image (1,090 files).
+    #: The per-layer body sigma is reduced so the marginal per-layer
+    #: distribution keeps the configured (body_median, body_p90).
+    image_size_sigma: float = 3.0
+    #: lognormal body for base-stack layers (OS/base images: big) — this is
+    #: where the dataset's file mass lives, which is what reconciles the
+    #: paper's tiny median image (1,090 files) with its huge mean.
+    stack_body_median: float = 120.0
+    stack_body_p90: float = 1_200.0
+    #: hard cap on files per layer — bounds memory; the paper's max (826,196)
+    #: is only reachable at paper scale.
+    max_files: int = 30_000
+    #: share of layers whose tarball is anomalously compressible (sparse VM
+    #: images and the like) — the source of the paper's max ratio of 1,026.
+    sparse_layer_share: float = 0.001
+    #: directories ≈ dir_factor * files^dir_exponent * lognoise(dir_sigma).
+    dir_exponent: float = 0.75
+    dir_factor: float = 0.62
+    dir_sigma: float = 0.75
+    #: P(max depth = d) for d = 1.. for non-empty layers (empty layers get 0).
+    depth_pmf: tuple[float, ...] = (
+        0.09,  # 1
+        0.13,  # 2
+        0.19,  # 3  <- mode (Fig. 7(b): ~313k layers)
+        0.13,  # 4
+        0.11,  # 5
+        0.10,  # 6
+        0.08,  # 7
+        0.05,  # 8
+        0.04,  # 9
+        0.025,  # 10
+        0.015,  # 11
+        0.010,  # 12
+        0.008,  # 13
+        0.006,  # 14
+        0.016,  # 15+ spread tail
+    )
+    #: tar framing per member and gzip stream overhead (bytes) added to CLS.
+    tar_overhead_per_file: int = 512
+    gzip_overhead: int = 32
+
+
+@dataclass(frozen=True)
+class SharingConfig:
+    """Image composition and layer sharing (§IV-B, §V-A).
+
+    Fit targets: median 8 / mode 8 / p90 18 layers per image, max 120,
+    ~2 % single-layer images (Fig. 10); one empty layer present in ~52 % of
+    images (184,171 / 355,319 in the paper); 90 % of layers referenced by a
+    single image (Fig. 23); layer-sharing dedup ≈ 1.8×.
+    """
+
+    layer_count_median: float = 8.0
+    layer_count_p90: float = 18.0
+    max_layers: int = 120
+    single_layer_share: float = 0.02
+    #: extra point mass at exactly 8 layers — Fig. 10(b)'s spike (51,300
+    #: images; a popular Dockerfile/base-image pattern), which makes 8 the
+    #: mode and not just the median.
+    eight_layer_share: float = 0.08
+    empty_layer_share: float = 0.52
+    #: number of shared base stacks per image (multiplied by n_images).
+    stacks_per_image: float = 0.50
+    #: Zipf exponent of base-stack popularity; the head stack lands near the
+    #: paper's 29k–33k references (~8–9 % of images).
+    stack_alpha: float = 0.95
+    #: geometric mean of stack depth (layers per base stack).
+    stack_depth_mean: float = 3.5
+    max_stack_depth: int = 12
+    #: popular base stacks are bigger (Ubuntu-class, heavily shared — where
+    #: the 1.8× layer-sharing saving lives); unpopular ones alpine-small
+    #: (the paper's *median* image is only 17 MB compressed). Stack layer
+    #: file counts are multiplied by (median_rank/rank)^stack_rank_exp.
+    stack_rank_exp: float = 0.55
+    max_stack_boost: float = 25.0
+
+
+@dataclass(frozen=True)
+class PopularityConfig:
+    """Repository pull-count model (Fig. 8).
+
+    A four-component mixture: a geometric mass of barely-pulled repos (the
+    0–2 and 3–5 histogram peaks), a Poisson(37) bump (the paper's
+    unexplained second peak — consistent with CI automation pulling on a
+    fixed cadence), a lognormal bulk, and a Pareto celebrity tail. The
+    paper's named top repositories get their published pull counts verbatim.
+    """
+
+    geometric_weight: float = 0.25
+    geometric_mean: float = 3.0
+    poisson_weight: float = 0.13
+    poisson_lam: float = 37.0
+    bulk_weight: float = 0.615
+    bulk_median: float = 80.0
+    bulk_p90: float = 500.0
+    tail_weight: float = 0.005
+    tail_xmin: float = 400.0
+    tail_alpha: float = 0.6
+    tail_cap: float = 7.0e8
+    #: (repository name, pull count) — §IV-B(a).
+    top_repositories: tuple[tuple[str, int], ...] = (
+        ("nginx", 650_000_000),
+        ("google/cadvisor", 434_000_000),
+        ("redis", 264_000_000),
+        ("gliderlabs/registrator", 212_000_000),
+        ("ubuntu", 28_000_000),
+    )
+
+    def weights(self) -> tuple[float, float, float, float]:
+        total = (
+            self.geometric_weight
+            + self.poisson_weight
+            + self.bulk_weight
+            + self.tail_weight
+        )
+        return (
+            self.geometric_weight / total,
+            self.poisson_weight / total,
+            self.bulk_weight / total,
+            self.tail_weight / total,
+        )
+
+
+@dataclass(frozen=True)
+class SyntheticHubConfig:
+    """Top-level generation config."""
+
+    seed: int = 2017
+    #: images successfully downloaded (paper: 355,319).
+    n_images: int = 2_500
+    #: distinct non-common ("rare") types in the long tail (paper: ~1,400).
+    n_rare_types: int = 1_400
+    #: official repositories (paper: < 200).
+    n_official: int = 150
+    #: fraction of *attempted* repositories whose download fails
+    #: (paper: 111,384 / 466,703 ≈ 23.9 %)...
+    fail_share: float = 0.239
+    #: ...split 13 % auth-required / 87 % missing-latest-tag (§III-B).
+    fail_auth_share: float = 0.13
+
+    layer_shape: LayerShapeConfig = field(default_factory=LayerShapeConfig)
+    sharing: SharingConfig = field(default_factory=SharingConfig)
+    popularity: PopularityConfig = field(default_factory=PopularityConfig)
+    profiles: tuple[TypeProfile, ...] = field(
+        default_factory=lambda: tuple(default_type_profiles())
+    )
+
+    def __post_init__(self) -> None:
+        if self.n_images <= 0:
+            raise ValueError("population sizes must be positive")
+        if not (0 <= self.fail_share < 1) or not (0 <= self.fail_auth_share <= 1):
+            raise ValueError("failure shares out of range")
+
+    # -- presets ---------------------------------------------------------------
+
+    @classmethod
+    def bench(cls, seed: int = 2017) -> "SyntheticHubConfig":
+        """Benchmark scale: ~2.5k images / ~15k layers / tens of millions of
+        file occurrences. Roughly 0.7 % of paper scale in images."""
+        return cls(seed=seed)
+
+    @classmethod
+    def small(cls, seed: int = 2017) -> "SyntheticHubConfig":
+        """Integration-test scale: hundreds of images, seconds to generate."""
+        return cls(
+            seed=seed,
+            n_images=300,
+            n_rare_types=100,
+            n_official=15,
+            layer_shape=LayerShapeConfig(
+                body_median=30.0,
+                body_p90=800.0,
+                image_size_sigma=1.2,
+                stack_body_median=40.0,
+                stack_body_p90=400.0,
+                max_files=3_000,
+            ),
+        )
+
+    @classmethod
+    def tiny(cls, seed: int = 2017) -> "SyntheticHubConfig":
+        """Unit-test / materialization scale: tens of images, millisecond
+        analyses, small enough to build real tarballs for every layer."""
+        return cls(
+            seed=seed,
+            n_images=30,
+            n_rare_types=10,
+            n_official=5,
+            layer_shape=LayerShapeConfig(
+                body_median=6.0,
+                body_p90=60.0,
+                image_size_sigma=0.8,
+                stack_body_median=10.0,
+                stack_body_p90=60.0,
+                max_files=200,
+            ),
+        )

@@ -1,0 +1,284 @@
+"""The unique-file universe, generated copy-count-first.
+
+Given the total number of file occurrences the layer population needs, each
+type profile receives an occurrence quota (its Fig. 14 share). Unique files
+are then minted with explicit copy counts
+
+    c = copy_median · lognoise(copy_sigma) · (median_size/size)^gamma · tail
+
+until the quota is exactly met. The resulting multiset of occurrences is what
+layers are dealt from — so the copy-count distribution of Fig. 24 (median 4,
+p90 10, heavy tail to millions for the canonical empty file) is generated
+*by construction*, not hoped for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.filetypes.catalog import RARE_TYPE_BASE, TypeCatalog, default_catalog
+from repro.synth.typeprofiles import RARE_PROFILE_NAME, TypeProfile
+from repro.util.rng import RngTree
+
+#: Copy-count bias clip: a tiny file repeats at most 6x more than the
+#: median-sized file of its type (before the Pareto tail).
+_BIAS_CLIP = (1.0 / 6.0, 6.0)
+#: Cap on a single non-empty file's tail copy count (keeps it safely below
+#: the canonical empty file's — the paper's maximum-repeat file, at ~1 % of
+#: all occurrences, is empty).
+_TAIL_CAP = 20_000.0
+#: Where the Pareto tail starts, as a multiple of the type's copy median —
+#: ~the body's 90th percentile, so "90 % of files have <= 10 copies" (Fig.
+#: 24) while the tail carries the 31.5× mean.
+_TAIL_START = 2.2
+#: Global multiplier on every profile's tail probability and additive shift
+#: on its Pareto index — the calibration levers that set the overall
+#: count-dedup ratio (31.5×) without touching the per-type medians that fix
+#: Fig. 24's body or the per-type *ordering* of Figs. 27–29.
+_TAIL_P_BOOST = 1.0
+_TAIL_ALPHA_SHIFT = -0.08
+_TAIL_ALPHA_FLOOR = 0.35
+#: The canonical empty file's share of all empty-file occurrences (the
+#: paper's max-repeat file, 53.65M copies, is an empty file).
+_CANONICAL_EMPTY_SHARE = 0.30
+
+#: Fraction of highly-compressible ("sparse") files among text-like types;
+#: produces the compression-ratio outliers (the paper's max is 1026).
+_SPARSE_SHARE = 0.002
+_SPARSE_RATIO_RANGE = (200.0, 1200.0)
+
+
+@dataclass
+class FilePool:
+    """Parallel arrays over the unique-file universe plus the occurrence
+    multiset each type group contributes."""
+
+    sizes: np.ndarray  # int64 [n]
+    type_codes: np.ndarray  # int32 [n]
+    compressed_sizes: np.ndarray  # int64 [n]
+    group_ids: np.ndarray  # int8 [n]
+    copy_counts: np.ndarray  # int64 [n] — occurrences per unique file
+    occurrences_by_group: dict[int, np.ndarray]  # group -> shuffled file ids
+
+    @property
+    def n(self) -> int:
+        return int(self.sizes.size)
+
+    @property
+    def total_occurrences(self) -> int:
+        return int(self.copy_counts.sum())
+
+    def validate(self) -> None:
+        if self.n == 0:
+            raise ValueError("empty file pool")
+        if self.copy_counts.min() < 1:
+            raise ValueError("every unique file must occur at least once")
+        occ_total = sum(len(a) for a in self.occurrences_by_group.values())
+        if occ_total != self.total_occurrences:
+            raise ValueError(
+                f"occurrence arrays ({occ_total}) disagree with copy counts "
+                f"({self.total_occurrences})"
+            )
+
+
+#: Fraction of unique files with exactly one copy. The paper's Fig. 24 found
+#: over 99.4 % of files have more than one copy — open-source provenance
+#: means nearly everything in a Docker image exists somewhere else too.
+_SINGLETON_SHARE = 0.006
+
+
+def _sample_copies(
+    rng: np.random.Generator,
+    profile: TypeProfile,
+    sizes: np.ndarray,
+    quota: int,
+) -> np.ndarray:
+    """Copy counts for freshly minted unique files of one profile.
+
+    Shape (Fig. 24): a tight lognormal body around ``copy_median`` keeps 90 %
+    of files at ~10 copies or fewer; with probability ``copy_tail_p`` a file
+    instead sits on a Pareto(``copy_tail_alpha``) tail starting near the
+    body's p90 — that tail is what carries the 31.5× mean and the
+    multi-million-repeat outliers.
+    """
+    n = sizes.size
+    bias = np.ones(n)
+    if profile.size_gamma > 0 and profile.avg_size > 0:
+        median_size = np.exp(
+            np.log(profile.avg_size)
+            - profile.size_sigma**2 / 2.0
+            + profile.size_gamma * profile.size_sigma**2
+        )
+        raw = np.power(median_size / np.maximum(sizes, 1), profile.size_gamma)
+        bias = np.clip(raw, *_BIAS_CLIP)
+    copies = profile.copy_median * rng.lognormal(0.0, profile.copy_sigma, n) * bias
+    if profile.copy_tail_p > 0:
+        tail = rng.random(n) < min(1.0, profile.copy_tail_p * _TAIL_P_BOOST)
+        n_tail = int(tail.sum())
+        start = _TAIL_START * profile.copy_median * bias[tail]
+        alpha = max(_TAIL_ALPHA_FLOOR, profile.copy_tail_alpha + _TAIL_ALPHA_SHIFT)
+        # scale-aware cap: at small scales no ordinary file may rival the
+        # canonical empty file's repeat count (the paper's maximum is empty)
+        cap = min(_TAIL_CAP, max(50.0, quota / 50.0))
+        copies[tail] = np.minimum(
+            start * (1.0 + rng.pareto(alpha, n_tail)), cap
+        )
+    out = np.maximum(2, np.round(copies)).astype(np.int64)
+    out[rng.random(n) < _SINGLETON_SHARE] = 1
+    return out
+
+
+def _sample_sizes(
+    rng: np.random.Generator, profile: TypeProfile, n: int
+) -> np.ndarray:
+    """Unique-file sizes whose *occurrence-weighted* mean hits avg_size.
+
+    The small-file copy bias tilts occurrences toward small files by a factor
+    ``exp(-gamma * sigma^2)``; the unique-size location compensates so the
+    occurrence-weighted mean still matches the paper's per-type averages.
+    """
+    if profile.avg_size <= 0:
+        return np.zeros(n, dtype=np.int64)
+    sigma = profile.size_sigma
+    mu = (
+        np.log(profile.avg_size)
+        - sigma**2 / 2.0
+        + profile.size_gamma * sigma**2
+    )
+    return np.maximum(16, rng.lognormal(mu, sigma, n)).astype(np.int64)
+
+
+def _mint_profile(
+    rng: np.random.Generator, profile: TypeProfile, quota: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Mint unique files until their copies sum to exactly *quota*.
+
+    Returns (sizes, copies).
+    """
+    sizes_parts: list[np.ndarray] = []
+    copies_parts: list[np.ndarray] = []
+    total = 0
+    # crude mean-copy estimate to size the first draw
+    est = max(1.0, profile.copy_median * float(np.exp(profile.copy_sigma**2 / 2)))
+    while total < quota:
+        n_draw = max(64, int((quota - total) / est * 1.2))
+        sizes = _sample_sizes(rng, profile, n_draw)
+        copies = _sample_copies(rng, profile, sizes, quota)
+        sizes_parts.append(sizes)
+        copies_parts.append(copies)
+        total += int(copies.sum())
+    sizes = np.concatenate(sizes_parts)
+    copies = np.concatenate(copies_parts)
+    if profile.name == "empty" and quota >= 4:
+        # the canonical empty file: one colossal repeat count (Fig. 24 max)
+        copies[0] = max(copies[0], int(quota * _CANONICAL_EMPTY_SHARE))
+    # trim to the exact quota
+    csum = np.cumsum(copies)
+    cut = int(np.searchsorted(csum, quota))
+    overshoot = int(csum[cut]) - quota
+    copies = copies[: cut + 1].copy()
+    sizes = sizes[: cut + 1]
+    copies[cut] -= overshoot
+    if copies[cut] == 0:
+        copies = copies[:cut]
+        sizes = sizes[:cut]
+    # Rescale sizes so the *occurrence-weighted* mean hits the profile's
+    # published average exactly (the analytic compensation in _sample_sizes
+    # is thrown off by the copy-bias clipping).
+    if profile.avg_size > 0 and copies.size:
+        occ_mean = float((copies * sizes).sum()) / float(copies.sum())
+        if occ_mean > 0:
+            sizes = np.maximum(
+                16, np.round(sizes * (profile.avg_size / occ_mean))
+            ).astype(np.int64)
+    return sizes, copies
+
+
+def _quotas(profiles: tuple[TypeProfile, ...], total: int) -> np.ndarray:
+    """Integer occurrence quotas per profile summing exactly to *total*."""
+    shares = np.array([p.occ_share for p in profiles])
+    raw = shares / shares.sum() * total
+    quotas = np.floor(raw).astype(np.int64)
+    remainder = total - int(quotas.sum())
+    order = np.argsort(raw - quotas)[::-1]
+    quotas[order[:remainder]] += 1
+    return quotas
+
+
+def generate_file_pool(
+    profiles: tuple[TypeProfile, ...],
+    total_occurrences: int,
+    tree: RngTree,
+    *,
+    n_rare_types: int = 1_400,
+    catalog: TypeCatalog | None = None,
+) -> FilePool:
+    """Generate the unique-file universe backing *total_occurrences* file
+    occurrences, distributed over *profiles* per their Fig. 14 shares."""
+    if total_occurrences <= 0:
+        raise ValueError("need a positive occurrence budget")
+    catalog = catalog or default_catalog()
+    quotas = _quotas(profiles, total_occurrences)
+
+    sizes_parts: list[np.ndarray] = []
+    types_parts: list[np.ndarray] = []
+    copies_parts: list[np.ndarray] = []
+    csize_parts: list[np.ndarray] = []
+    group_parts: list[np.ndarray] = []
+
+    for pi, (profile, quota) in enumerate(zip(profiles, quotas)):
+        if quota == 0:
+            continue
+        rng = tree.child(profile.name, pi).generator()
+        sizes, copies = _mint_profile(rng, profile, int(quota))
+        n_p = sizes.size
+
+        if profile.name == RARE_PROFILE_NAME:
+            n_rare = max(1, n_rare_types)
+            type_codes = (RARE_TYPE_BASE + (np.arange(n_p) % n_rare)).astype(np.int32)
+            group = int(catalog.rare_type(0).group)
+        else:
+            type_codes = np.full(n_p, catalog.code(profile.name), dtype=np.int32)
+            group = int(catalog.by_name(profile.name).group)
+
+        ratios = profile.compress_ratio * rng.lognormal(
+            -profile.compress_sigma**2 / 2.0, profile.compress_sigma, n_p
+        )
+        if profile.compress_ratio >= 3.0 and n_p > 1:
+            sparse = rng.random(n_p) < _SPARSE_SHARE
+            ratios[sparse] = rng.uniform(*_SPARSE_RATIO_RANGE, int(sparse.sum()))
+        ratios = np.maximum(1.0, ratios)
+        csizes = np.ceil(sizes / ratios).astype(np.int64)
+        csizes[sizes == 0] = 0
+
+        sizes_parts.append(sizes)
+        types_parts.append(type_codes)
+        copies_parts.append(copies)
+        csize_parts.append(csizes)
+        group_parts.append(np.full(n_p, group, dtype=np.int8))
+
+    sizes = np.concatenate(sizes_parts)
+    copies = np.concatenate(copies_parts)
+    group_ids = np.concatenate(group_parts)
+
+    # -- occurrence multisets, shuffled per group ------------------------------
+    occurrences: dict[int, np.ndarray] = {}
+    all_ids = np.arange(sizes.size, dtype=np.int64)
+    for g in np.unique(group_ids):
+        mask = group_ids == g
+        occ = np.repeat(all_ids[mask], copies[mask])
+        tree.child("shuffle", int(g)).generator().shuffle(occ)
+        occurrences[int(g)] = occ
+
+    pool = FilePool(
+        sizes=sizes,
+        type_codes=np.concatenate(types_parts),
+        compressed_sizes=np.concatenate(csize_parts),
+        group_ids=group_ids,
+        copy_counts=copies,
+        occurrences_by_group=occurrences,
+    )
+    pool.validate()
+    return pool

@@ -1,0 +1,126 @@
+"""Top-level synthetic dataset assembly.
+
+``generate_dataset`` wires the stages together, in dependency order:
+
+1. :mod:`imagegen` plans image compositions (sizing the layer pool; base-
+   stack layers are identified here),
+2. unreferenced planned layers are pruned (the paper's downloader only ever
+   saw layers some manifest referenced),
+3. :mod:`layergen` samples every layer's *structure* (file/dir counts,
+   depths), which fixes the total occurrence budget,
+4. :mod:`filepool` mints exactly that many occurrences as unique files with
+   explicit copy counts,
+5. :mod:`layergen` deals the occurrences out to layers (themed),
+6. :mod:`popularity` names the repositories and assigns pull counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.filetypes.catalog import TypeCatalog, default_catalog
+from repro.model.dataset import HubDataset
+from repro.synth.config import SyntheticHubConfig
+from repro.synth.filepool import generate_file_pool
+from repro.synth.imagegen import ImagePlan, plan_images
+from repro.synth.layergen import assemble_layers, deal_layer_files, generate_structure
+from repro.synth.popularity import generate_pull_counts, generate_repo_names
+from repro.util.rng import RngTree
+
+
+def _prune_unreferenced_layers(
+    plan: ImagePlan,
+) -> tuple[np.ndarray, int, np.ndarray, np.ndarray, np.ndarray]:
+    """Relabel planned layer ids so only referenced layers remain.
+
+    Returns the relabelled ``image_layer_ids``, the kept-layer count, the new
+    indices of kept base-stack layers, those layers' stack ranks, and the
+    per-kept-layer owning image (-1 for shared layers). Layer 0 (canonical
+    empty) is kept unconditionally so the invariant "index 0 is the empty
+    layer" holds.
+    """
+    refs = np.bincount(plan.image_layer_ids, minlength=plan.n_layers_total)
+    keep = refs > 0
+    keep[0] = True
+    new_ids = np.cumsum(keep) - 1  # old id -> new id
+    stack_old = np.arange(1, 1 + plan.n_stack_layers)
+    kept_mask = keep[stack_old]
+    stack_new = new_ids[stack_old[kept_mask]]
+    stack_ranks = plan.stack_ranks[kept_mask]
+    return (
+        new_ids[plan.image_layer_ids],
+        int(keep.sum()),
+        stack_new,
+        stack_ranks,
+        plan.layer_owner[keep],
+    )
+
+
+def generate_dataset(
+    config: SyntheticHubConfig, catalog: TypeCatalog | None = None
+) -> HubDataset:
+    """Generate a calibrated columnar Docker Hub dataset.
+
+    Deterministic in ``config.seed``; every subsystem draws from an
+    independent named RNG stream, so tweaking one stage's parameters never
+    reshuffles another stage's output.
+    """
+    catalog = catalog or default_catalog()
+    tree = RngTree(config.seed)
+
+    plan = plan_images(tree.child("images"), config.n_images, config.sharing)
+    image_layer_ids, n_layers, stack_layer_ids, stack_ranks, layer_owner = (
+        _prune_unreferenced_layers(plan)
+    )
+
+    layer_tree = tree.child("layers")
+    # per-image size factor, applied to all of an image's private layers
+    z_img = layer_tree.child("imagescale").generator().standard_normal(config.n_images)
+    layer_scale = np.ones(n_layers)
+    owned = layer_owner >= 0
+    layer_scale[owned] = np.exp(
+        config.layer_shape.image_size_sigma * z_img[layer_owner[owned]]
+    )
+
+    n_stacks = max(1, int(round(config.n_images * config.sharing.stacks_per_image)))
+    structure = generate_structure(
+        layer_tree,
+        n_layers,
+        config.layer_shape,
+        stack_layers=stack_layer_ids,
+        stack_ranks=stack_ranks,
+        n_stacks=n_stacks,
+        stack_rank_exp=config.sharing.stack_rank_exp,
+        max_stack_boost=config.sharing.max_stack_boost,
+        layer_scale=layer_scale,
+    )
+    pool = generate_file_pool(
+        config.profiles,
+        structure.total_files,
+        tree.child("filepool"),
+        n_rare_types=config.n_rare_types,
+        catalog=catalog,
+    )
+    ids = deal_layer_files(layer_tree, pool, structure)
+    layers = assemble_layers(layer_tree, pool, structure, ids, config.layer_shape)
+
+    names = generate_repo_names(
+        tree.child("popularity"), config.n_images, config.n_official, config.popularity
+    )
+    pulls = generate_pull_counts(tree.child("popularity"), names, config.popularity)
+
+    dataset = HubDataset(
+        file_sizes=pool.sizes,
+        file_types=pool.type_codes,
+        layer_file_offsets=layers.file_offsets,
+        layer_file_ids=layers.file_ids,
+        layer_cls=layers.cls,
+        layer_dir_counts=layers.dir_counts,
+        layer_max_depths=layers.max_depths,
+        image_layer_offsets=plan.image_layer_offsets,
+        image_layer_ids=image_layer_ids,
+        repo_names=names,
+        pull_counts=pulls,
+    )
+    dataset.validate()
+    return dataset

@@ -1,0 +1,137 @@
+"""Image composition: base stacks, the shared empty layer, private layers.
+
+The sharing structure is the whole story of Fig. 23 and the 1.8× layer-
+sharing saving: a small pool of popular base stacks (Ubuntu/Debian/Alpine-
+style layer chains) is reused Zipf-fashion across images, one canonical
+empty layer lands in ~52 % of images, and everything else is private.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.samplers import lognormal_from_median_p90, sample_zipf_ranks
+from repro.synth.config import SharingConfig
+from repro.util.rng import RngTree
+
+
+@dataclass
+class ImagePlan:
+    """The composition decision for every image, before layers exist.
+
+    ``n_layers_total`` is the number of unique layers to generate:
+    index 0 the canonical empty layer, indices ``1 .. n_stack_layers`` the
+    stack layers (stack k owns the contiguous run ``stack_offsets[k] ..
+    stack_offsets[k+1]-1``), and the rest private layers.
+    """
+
+    image_layer_offsets: np.ndarray  # int64 [n_images + 1]
+    image_layer_ids: np.ndarray  # int64 [total slots]
+    n_layers_total: int
+    n_stack_layers: int
+    #: for each stack layer (planned ids 1..n_stack_layers, in order), the
+    #: popularity rank of the stack that owns it (0 = most popular)
+    stack_ranks: np.ndarray
+    #: owning image per planned layer id (-1 for shared layers: the empty
+    #: layer and stack layers)
+    layer_owner: np.ndarray
+
+    @property
+    def n_images(self) -> int:
+        return int(self.image_layer_offsets.size - 1)
+
+
+def sample_image_layer_counts(
+    rng: np.random.Generator, n: int, sharing: SharingConfig
+) -> np.ndarray:
+    """Layers per image (Fig. 10): a single-layer atom, a point mass at 8
+    (the histogram's spike), and a lognormal body."""
+    u = rng.random(n)
+    counts = np.ones(n, dtype=np.int64)
+    eight = (u >= sharing.single_layer_share) & (
+        u < sharing.single_layer_share + sharing.eight_layer_share
+    )
+    counts[eight] = 8
+    body_mask = u >= sharing.single_layer_share + sharing.eight_layer_share
+    n_body = int(body_mask.sum())
+    if n_body:
+        mu, sigma = lognormal_from_median_p90(
+            sharing.layer_count_median, sharing.layer_count_p90
+        )
+        body = rng.lognormal(mu, sigma, n_body)
+        counts[body_mask] = np.clip(np.round(body), 2, sharing.max_layers).astype(
+            np.int64
+        )
+    return counts
+
+
+def plan_images(tree: RngTree, n_images: int, sharing: SharingConfig) -> ImagePlan:
+    """Decide every image's layer list (by layer id), sizing the layer pool."""
+    rng = tree.child("plan").generator()
+    layer_counts = sample_image_layer_counts(rng, n_images, sharing)
+
+    # -- shared empty layer membership ----------------------------------------
+    has_empty = (rng.random(n_images) < sharing.empty_layer_share) & (layer_counts >= 2)
+
+    # -- base stacks -------------------------------------------------------------
+    n_stacks = max(1, int(round(n_images * sharing.stacks_per_image)))
+    stack_depths = np.clip(
+        rng.geometric(1.0 / sharing.stack_depth_mean, n_stacks),
+        1,
+        sharing.max_stack_depth,
+    ).astype(np.int64)
+    stack_offsets = np.zeros(n_stacks + 1, dtype=np.int64)
+    np.cumsum(stack_depths, out=stack_offsets[1:])
+    n_stack_layers = int(stack_offsets[-1])
+
+    # stack choice per image; images too small for (stack + private) go alone
+    stack_choice = sample_zipf_ranks(rng, n_images, n_stacks, sharing.stack_alpha)
+    room = layer_counts - has_empty.astype(np.int64) - 1  # leave >= 1 private
+    use_stack = room >= 1
+    take = np.minimum(stack_depths[stack_choice], np.maximum(room, 0))
+    take[~use_stack] = 0
+
+    n_private = layer_counts - has_empty.astype(np.int64) - take
+    assert (n_private >= 1).all(), "every image keeps at least one private layer"
+
+    # -- assemble per-image layer id lists ---------------------------------------
+    private_base = 1 + n_stack_layers
+    private_starts = private_base + np.concatenate(
+        [[0], np.cumsum(n_private[:-1])]
+    ).astype(np.int64)
+    total_slots = int(layer_counts.sum())
+    ids = np.empty(total_slots, dtype=np.int64)
+    offsets = np.zeros(n_images + 1, dtype=np.int64)
+    np.cumsum(layer_counts, out=offsets[1:])
+
+    pos = 0
+    for i in range(n_images):
+        # base-first ordering: stack, then the empty RUN layer, then private
+        t = int(take[i])
+        if t:
+            start = 1 + int(stack_offsets[stack_choice[i]])
+            ids[pos : pos + t] = np.arange(start, start + t)
+            pos += t
+        if has_empty[i]:
+            ids[pos] = 0
+            pos += 1
+        p = int(n_private[i])
+        ids[pos : pos + p] = np.arange(private_starts[i], private_starts[i] + p)
+        pos += p
+    assert pos == total_slots
+
+    n_layers_total = private_base + int(n_private.sum())
+    layer_owner = np.full(n_layers_total, -1, dtype=np.int64)
+    layer_owner[private_base:] = np.repeat(
+        np.arange(n_images, dtype=np.int64), n_private
+    )
+    return ImagePlan(
+        image_layer_offsets=offsets,
+        image_layer_ids=ids,
+        n_layers_total=n_layers_total,
+        n_stack_layers=n_stack_layers,
+        stack_ranks=np.repeat(np.arange(n_stacks, dtype=np.int64), stack_depths),
+        layer_owner=layer_owner,
+    )

@@ -1,0 +1,349 @@
+"""Layer generation: structural shape plus exact occurrence dealing.
+
+Stage 1 (:func:`generate_structure`) fixes every layer's file count,
+directory count and max depth from the Fig. 5–7 distributions — before any
+file exists. The total file count then sizes the unique-file pool.
+
+Stage 2 (:func:`deal_layer_files`) deals the pool's occurrence multisets out
+to layers. Each layer has a *dominant-group theme* (real layers hold one
+package — an ELF bundle, a Python library, a data archive), drawing most of
+its files from one type group and the rest from the global mix. Dealing is
+exact: every occurrence the pool minted lands in exactly one layer slot, so
+per-file copy counts are reproduced by construction.
+
+Layer index 0 is always *the* canonical empty layer; the image generator
+wires it into the configured share of images (the paper found one empty
+layer referenced by 184,171 images).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.samplers import lognormal_from_median_p90
+from repro.synth.config import LayerShapeConfig
+from repro.synth.filepool import FilePool
+from repro.util.rng import RngTree
+
+
+@dataclass
+class LayerStructure:
+    """Stage-1 output: per-layer shape, no content yet."""
+
+    file_counts: np.ndarray  # int64 [n_layers]
+    dir_counts: np.ndarray  # int64 [n_layers]
+    max_depths: np.ndarray  # int64 [n_layers]
+
+    @property
+    def n_layers(self) -> int:
+        return int(self.file_counts.size)
+
+    @property
+    def total_files(self) -> int:
+        return int(self.file_counts.sum())
+
+    def offsets(self) -> np.ndarray:
+        out = np.zeros(self.n_layers + 1, dtype=np.int64)
+        np.cumsum(self.file_counts, out=out[1:])
+        return out
+
+
+@dataclass
+class LayerBlock:
+    """CSR layer population (same field contracts as HubDataset's layers)."""
+
+    file_offsets: np.ndarray  # int64 [n_layers + 1]
+    file_ids: np.ndarray  # int64 [n_refs]
+    cls: np.ndarray  # int64 [n_layers]
+    dir_counts: np.ndarray  # int64 [n_layers]
+    max_depths: np.ndarray  # int64 [n_layers]
+
+    @property
+    def n_layers(self) -> int:
+        return int(self.file_offsets.size - 1)
+
+    @property
+    def file_counts(self) -> np.ndarray:
+        return np.diff(self.file_offsets)
+
+
+def sample_layer_file_counts(
+    rng: np.random.Generator,
+    n: int,
+    shape: LayerShapeConfig,
+    layer_scale: np.ndarray | None = None,
+) -> np.ndarray:
+    """File counts per layer: atoms at 0 and 1, lognormal body, hard cap.
+
+    ``layer_scale`` is a per-layer multiplier (the image-level size factor);
+    its lognormal sigma is subtracted in quadrature from the marginal body
+    sigma so the *marginal* per-layer distribution still matches
+    (body_median, body_p90).
+    """
+    u = rng.random(n)
+    counts = np.zeros(n, dtype=np.int64)
+    single = (u >= shape.empty_share) & (u < shape.empty_share + shape.single_share)
+    counts[single] = 1
+    body_mask = u >= shape.empty_share + shape.single_share
+    n_body = int(body_mask.sum())
+    if n_body:
+        mu, sigma = lognormal_from_median_p90(shape.body_median, shape.body_p90)
+        if layer_scale is not None:
+            residual = max(0.0, sigma**2 - shape.image_size_sigma**2)
+            sigma = residual**0.5
+        body = rng.lognormal(mu, sigma, n_body)
+        if layer_scale is not None:
+            body *= layer_scale[body_mask]
+        counts[body_mask] = np.clip(np.round(body), 2, shape.max_files).astype(np.int64)
+    return counts
+
+
+def sample_max_depths(
+    rng: np.random.Generator, file_counts: np.ndarray, shape: LayerShapeConfig
+) -> np.ndarray:
+    """Max directory depth per layer (Fig. 7): pmf over 1..K with a spread
+    tail for the last bucket; 0-file layers handled separately."""
+    n = file_counts.size
+    pmf = np.asarray(shape.depth_pmf, dtype=np.float64)
+    pmf = pmf / pmf.sum()
+    depths = rng.choice(np.arange(1, pmf.size + 1), size=n, p=pmf).astype(np.int64)
+    # spread the final bucket out to ~2x its depth
+    tail = depths == pmf.size
+    depths[tail] += rng.geometric(0.25, int(tail.sum()))
+    # empty layers: mostly a couple of bare directories, sometimes nothing
+    empty = file_counts == 0
+    depths[empty] = rng.integers(0, 3, int(empty.sum()))
+    return depths
+
+
+def sample_dir_counts(
+    rng: np.random.Generator,
+    file_counts: np.ndarray,
+    max_depths: np.ndarray,
+    shape: LayerShapeConfig,
+) -> np.ndarray:
+    """Directory counts per layer (Fig. 6): sublinear in file count,
+    ``dirs ≈ factor * files^exponent``, floored at the layer's max depth
+    (a path of depth d implies at least d directories)."""
+    n = file_counts.size
+    noise = rng.lognormal(0.0, shape.dir_sigma, n)
+    dirs = np.round(
+        shape.dir_factor * np.power(np.maximum(file_counts, 1), shape.dir_exponent) * noise
+    ).astype(np.int64)
+    dirs = np.maximum(dirs, 1)
+    empty = file_counts == 0
+    # empty layers carry whatever bare directories their depth implies
+    dirs[empty] = max_depths[empty]
+    return np.maximum(dirs, max_depths)
+
+
+def generate_structure(
+    tree: RngTree,
+    n_layers: int,
+    shape: LayerShapeConfig,
+    *,
+    stack_layers: np.ndarray | None = None,
+    stack_ranks: np.ndarray | None = None,
+    n_stacks: int = 0,
+    stack_rank_exp: float = 0.40,
+    max_stack_boost: float = 60.0,
+    layer_scale: np.ndarray | None = None,
+) -> LayerStructure:
+    """Sample every layer's shape.
+
+    Private layers (Dockerfile RUN steps) draw from the small body
+    distribution; base-stack layers (``stack_layers``, with their owning
+    stack's popularity rank in ``stack_ranks``) draw from the big
+    ``stack_body`` distribution, scaled by ``(median_rank/rank)^exp`` so the
+    most-shared stacks are Ubuntu-class giants and the tail stays
+    alpine-small. That correlation is what makes layer sharing save real
+    bytes (the paper's 1.8×) while the *median* image stays tiny.
+    """
+    if n_layers < 1:
+        raise ValueError(f"need at least the canonical empty layer, got {n_layers}")
+    rng = tree.child("structure").generator()
+    counts = sample_layer_file_counts(rng, n_layers, shape, layer_scale)
+    counts[0] = 0  # the canonical empty layer
+    if stack_layers is not None and stack_layers.size:
+        if stack_ranks is None or stack_ranks.size != stack_layers.size:
+            raise ValueError("stack_ranks must parallel stack_layers")
+        mu, sigma = lognormal_from_median_p90(
+            shape.stack_body_median, shape.stack_body_p90
+        )
+        base = rng.lognormal(mu, sigma, stack_layers.size)
+        median_rank = max(1.0, n_stacks / 2.0)
+        boost = np.minimum(
+            np.power(median_rank / (stack_ranks + 1.0), stack_rank_exp),
+            max_stack_boost,
+        )
+        counts[stack_layers] = np.clip(
+            np.round(base * boost), 1, shape.max_files
+        ).astype(np.int64)
+    depths = sample_max_depths(rng, counts, shape)
+    depths[0] = 0
+    dirs = sample_dir_counts(rng, counts, depths, shape)
+    dirs[0] = 0
+    return LayerStructure(file_counts=counts, dir_counts=dirs, max_depths=depths)
+
+
+def _segment_positions(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Flat indices of per-segment runs: for each segment i, positions
+    ``starts[i] .. starts[i]+lengths[i]-1``, concatenated."""
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    seg_starts = np.concatenate([[0], np.cumsum(lengths[:-1])])
+    offset_within = np.arange(total, dtype=np.int64) - np.repeat(seg_starts, lengths)
+    return np.repeat(starts, lengths) + offset_within
+
+
+def deal_layer_files(
+    tree: RngTree,
+    pool: FilePool,
+    structure: LayerStructure,
+    *,
+    theme_frac_range: tuple[float, float] = (0.65, 0.95),
+) -> np.ndarray:
+    """Deal the pool's occurrence multisets to layers, themed by group.
+
+    The pool's total occurrence count must equal the structure's total file
+    count — every minted occurrence lands exactly once.
+    """
+    if pool.total_occurrences != structure.total_files:
+        raise ValueError(
+            f"pool has {pool.total_occurrences} occurrences for "
+            f"{structure.total_files} layer file slots"
+        )
+    rng = tree.child("deal").generator()
+    counts = structure.file_counts
+    n_layers = counts.size
+    offsets = structure.offsets()
+
+    groups = np.array(sorted(pool.occurrences_by_group))
+    masses = np.array(
+        [len(pool.occurrences_by_group[int(g)]) for g in groups], dtype=np.float64
+    )
+    # Few-file layers skew toward big-file content (a RUN step dropping one
+    # binary or archive), many-file layers toward source/doc trees — this
+    # negative count↔size correlation is why the paper's *median layer* is
+    # 4 MB despite holding only ~30 files of ~30 KB average.  Totals are
+    # unaffected: dealing still consumes each group's multiset exactly.
+    from repro.filetypes.catalog import TypeGroup  # local import avoids cycle
+
+    small_layer_tilt = {
+        int(TypeGroup.EOL): 6.0,  # a RUN step installing one binary bundle
+        int(TypeGroup.DATABASE): 5.0,
+        int(TypeGroup.ARCHIVE): 2.5,
+        int(TypeGroup.MEDIA): 2.5,
+        int(TypeGroup.DOCUMENT): 0.5,
+        int(TypeGroup.SOURCE): 0.5,
+        int(TypeGroup.SCRIPT): 0.5,
+    }
+    big_layer_tilt = {
+        int(TypeGroup.DOCUMENT): 2.0,  # vendored source/doc trees
+        int(TypeGroup.SOURCE): 2.0,
+        int(TypeGroup.SCRIPT): 2.0,
+        int(TypeGroup.EOL): 0.5,
+        int(TypeGroup.ARCHIVE): 0.5,
+        int(TypeGroup.DATABASE): 0.5,
+        int(TypeGroup.MEDIA): 0.5,
+    }
+    p_plain = masses / masses.sum()
+    p_small_layers = p_plain * np.array(
+        [small_layer_tilt.get(int(g), 1.0) for g in groups]
+    )
+    p_small_layers /= p_small_layers.sum()
+    p_big_layers = p_plain * np.array(
+        [big_layer_tilt.get(int(g), 1.0) for g in groups]
+    )
+    p_big_layers /= p_big_layers.sum()
+
+    themes = groups[rng.choice(groups.size, size=n_layers, p=p_plain)]
+    is_small = (counts >= 1) & (counts <= 50)
+    n_small = int(is_small.sum())
+    if n_small:
+        themes[is_small] = groups[rng.choice(groups.size, n_small, p=p_small_layers)]
+    is_big = counts > 500
+    n_big = int(is_big.sum())
+    if n_big:
+        themes[is_big] = groups[rng.choice(groups.size, n_big, p=p_big_layers)]
+
+    frac = rng.uniform(*theme_frac_range, n_layers)
+    n_dom = rng.binomial(counts, frac).astype(np.int64)
+
+    ids = np.empty(structure.total_files, dtype=np.int64)
+    cursors: dict[int, int] = {int(g): 0 for g in groups}
+    deficit_positions: list[np.ndarray] = []
+
+    for g in groups:
+        gi = int(g)
+        occ = pool.occurrences_by_group[gi]
+        mask = themes == g
+        pos = _segment_positions(offsets[:-1][mask], n_dom[mask])
+        take = min(pos.size, occ.size)
+        if take:
+            ids[pos[:take]] = occ[:take]
+            cursors[gi] = take
+        if take < pos.size:
+            deficit_positions.append(pos[take:])
+
+    # global remainder: unserved positions take the leftover occurrences
+    pos_global = _segment_positions(offsets[:-1] + n_dom, counts - n_dom)
+    all_pos = (
+        np.concatenate([pos_global] + deficit_positions)
+        if deficit_positions
+        else pos_global
+    )
+    leftover = np.concatenate(
+        [pool.occurrences_by_group[int(g)][cursors[int(g)] :] for g in groups]
+    )
+    if leftover.size != all_pos.size:
+        raise AssertionError(
+            f"dealing imbalance: {leftover.size} leftovers for {all_pos.size} slots"
+        )
+    rng.shuffle(leftover)
+    ids[all_pos] = leftover
+    return ids
+
+
+def assemble_layers(
+    tree: RngTree,
+    pool: FilePool,
+    structure: LayerStructure,
+    ids: np.ndarray,
+    shape: LayerShapeConfig,
+) -> LayerBlock:
+    """Compute CLS and package the CSR block.
+
+    CLS = compressed file footprints + (compressible) tar member framing +
+    gzip stream overhead. Tar headers are 512 B/member uncompressed but
+    highly repetitive; ~12:1 under gzip. A small share of layers is
+    anomalously sparse (VM images full of zero pages), producing the
+    compression-ratio outliers up to the paper's max of 1,026.
+    """
+    rng = tree.child("cls").generator()
+    offsets = structure.offsets()
+    csum = np.zeros(ids.size + 1, dtype=np.int64)
+    np.cumsum(pool.compressed_sizes[ids], out=csum[1:])
+    compressed_content = csum[offsets[1:]] - csum[offsets[:-1]]
+    framing = (structure.file_counts + structure.dir_counts) * (
+        shape.tar_overhead_per_file // 12
+    )
+    cls = compressed_content + framing + shape.gzip_overhead
+    sparse = (rng.random(structure.n_layers) < shape.sparse_layer_share) & (
+        structure.file_counts > 0
+    )
+    n_sparse = int(sparse.sum())
+    if n_sparse:
+        cls[sparse] = np.maximum(
+            shape.gzip_overhead, cls[sparse] // rng.integers(50, 400, n_sparse)
+        )
+    return LayerBlock(
+        file_offsets=offsets,
+        file_ids=ids,
+        cls=cls.astype(np.int64),
+        dir_counts=structure.dir_counts,
+        max_depths=structure.max_depths,
+    )

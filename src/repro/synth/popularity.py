@@ -1,0 +1,73 @@
+"""Repository popularity: pull counts and repository naming (Fig. 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats.samplers import lognormal_from_median_p90
+from repro.synth.config import PopularityConfig
+from repro.util.rng import RngTree
+
+
+def sample_pull_counts(
+    rng: np.random.Generator, n: int, pop: PopularityConfig
+) -> np.ndarray:
+    """Sample per-repository pull counts from the four-component mixture."""
+    w_geo, w_pois, w_bulk, w_tail = pop.weights()
+    choice = rng.choice(4, size=n, p=[w_geo, w_pois, w_bulk, w_tail])
+    out = np.zeros(n, dtype=np.int64)
+
+    geo = choice == 0
+    # geometric starting at 0: the 0–2 pull peak of Fig. 8(b)
+    out[geo] = rng.geometric(1.0 / (pop.geometric_mean + 1.0), int(geo.sum())) - 1
+
+    pois = choice == 1
+    out[pois] = rng.poisson(pop.poisson_lam, int(pois.sum()))
+
+    bulk = choice == 2
+    mu, sigma = lognormal_from_median_p90(pop.bulk_median, pop.bulk_p90)
+    out[bulk] = np.round(rng.lognormal(mu, sigma, int(bulk.sum()))).astype(np.int64)
+
+    tail = choice == 3
+    n_tail = int(tail.sum())
+    if n_tail:
+        draws = pop.tail_xmin * (1.0 + rng.pareto(pop.tail_alpha, n_tail))
+        out[tail] = np.minimum(draws, pop.tail_cap).astype(np.int64)
+    return out
+
+
+def generate_repo_names(
+    tree: RngTree, n_images: int, n_official: int, pop: PopularityConfig
+) -> list[str]:
+    """Name every image's repository.
+
+    The paper's named top repositories come first (they exist in the real
+    Hub and anchor the popularity tail), then the remaining official
+    repositories, then user-namespaced repositories.
+    """
+    rng = tree.child("names").generator()
+    named = [name for name, _ in pop.top_repositories]
+    names: list[str] = list(named[:n_images])
+    official_left = max(0, min(n_official, n_images) - sum("/" not in n for n in names))
+    names.extend(f"official-{i}" for i in range(official_left))
+    i = 0
+    n_users = max(1, n_images // 3)
+    while len(names) < n_images:
+        user = int(rng.integers(0, n_users))
+        names.append(f"user{user}/repo{i}")
+        i += 1
+    return names[:n_images]
+
+
+def generate_pull_counts(
+    tree: RngTree, names: list[str], pop: PopularityConfig
+) -> np.ndarray:
+    """Pull counts aligned with *names*; named top repos get their published
+    counts verbatim."""
+    rng = tree.child("pulls").generator()
+    counts = sample_pull_counts(rng, len(names), pop)
+    published = dict(pop.top_repositories)
+    for i, name in enumerate(names):
+        if name in published:
+            counts[i] = published[name]
+    return counts

@@ -1,0 +1,197 @@
+"""Per-type generation profiles, calibrated to the paper's Figures 14–22/27–29.
+
+Each :class:`TypeProfile` fixes, for one specific file type:
+
+* ``occ_share`` — its share of *all file occurrences* in the dataset
+  (Fig. 14(a) gives the group-level shares; Figs. 16–22 the within-group
+  splits; the table below multiplies them out);
+* ``avg_size``/``size_sigma`` — a lognormal size model whose mean matches the
+  per-type average sizes the paper reports (Fig. 15 group averages, plus the
+  specific numbers quoted in §IV-C: ELF 312 KB, intermediate representations
+  9 KB, zip/gzip 67 KB, bzip2 199 KB, tar 466 KB, xz 534 KB, SQLite ≫ others).
+  Capacity shares (Fig. 14(b), 16(b)–22(b)) then *emerge* from count-share ×
+  average size instead of being forced;
+* the **copy model** — every unique file gets an explicit copy count
+  ``c = median · lognoise(copy_sigma) · bias(size) · [pareto tail]``.
+  Copy-count-first generation is what reproduces Fig. 24's striking shape
+  (median 4 copies, p90 ≤ 10, almost no singletons, yet mean ≈ 31.5 via a
+  heavy tail): i.i.d. popularity sampling cannot produce it. The per-type
+  medians/tails drive the dedup ratios of Figs. 27–29 (scripts ≈ 98 %
+  eliminated … libraries ≈ 53.5 %, DB ≈ 76 %);
+* ``size_gamma`` — strength of the small-files-repeat-more bias
+  (``bias ∝ (median_size/size)^gamma``). This is why the paper's capacity
+  dedup (6.9×) is so much lower than its count dedup (31.5×);
+* ``compress_ratio``/``compress_sigma`` — per-type gzip compressibility used
+  to derive layer CLS from content, so the layer compression-ratio
+  distribution (Fig. 4: median 2.6) emerges from the type mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.filetypes.catalog import TypeCatalog, default_catalog
+
+
+@dataclass(frozen=True)
+class TypeProfile:
+    name: str
+    occ_share: float  # share of all file occurrences
+    avg_size: float  # mean file size, bytes (occurrence-weighted target)
+    size_sigma: float  # lognormal sigma of the size distribution
+    copy_median: float  # median copies per unique file
+    copy_sigma: float  # lognormal sigma of the copy-count body
+    copy_tail_p: float  # probability of a Pareto tail multiplier
+    copy_tail_alpha: float  # Pareto index of that tail (smaller = heavier)
+    size_gamma: float  # small-file duplication bias exponent
+    compress_ratio: float  # mean uncompressed/compressed for this content
+    compress_sigma: float = 0.25  # lognormal sigma of per-file compressibility
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.occ_share <= 1):
+            raise ValueError(f"{self.name}: occ_share out of [0,1]")
+        if self.avg_size < 0 or self.size_sigma < 0:
+            raise ValueError(f"{self.name}: negative size parameter")
+        if self.copy_median < 1:
+            raise ValueError(f"{self.name}: copy_median must be >= 1")
+        if not (0 <= self.copy_tail_p <= 1):
+            raise ValueError(f"{self.name}: copy_tail_p out of [0,1]")
+        if self.copy_tail_p > 0 and self.copy_tail_alpha <= 0:
+            raise ValueError(f"{self.name}: copy_tail_alpha must be positive")
+        if self.size_gamma < 0:
+            raise ValueError(f"{self.name}: size_gamma must be >= 0")
+        if self.compress_ratio < 1:
+            raise ValueError(f"{self.name}: compress_ratio must be >= 1")
+
+
+# Group-level occurrence shares (Fig. 14(a); archival/DB/other back-solved
+# from the capacity shares in Fig. 14(b) and the average sizes in Fig. 15).
+_GROUP_SHARE = {
+    "document": 0.44,
+    "source": 0.13,
+    "eol": 0.11,
+    "script": 0.09,
+    "media": 0.04,
+    "archive": 0.085,
+    "database": 0.001,
+    "other": 0.104,  # empty files + unidentified data + the rare-type tail
+}
+
+# (group, name, within-group count share, avg size, size sigma,
+#  copy median, copy sigma, tail p, tail alpha, size gamma, compress ratio)
+_TABLE: list[tuple[str, str, float, float, float, float, float, float, float, float, float]] = [
+    # --- EOL: Fig. 16 — IR 64 % of count (pyc/java/terminfo), ELF 30 % & 84 % of cap
+    ("eol", "elf", 0.30, 312_000, 1.3, 4.0, 0.45, 0.09, 0.95, 0.45, 3.47),
+    ("eol", "python_bytecode", 0.45, 9_000, 1.1, 4.5, 0.45, 0.10, 0.90, 0.55, 3.14),
+    ("eol", "java_class", 0.15, 8_000, 1.1, 4.5, 0.45, 0.10, 0.90, 0.55, 2.69),
+    ("eol", "terminfo", 0.04, 2_000, 0.5, 4.5, 0.45, 0.10, 0.90, 0.55, 2.8),
+    ("eol", "pe", 0.02, 150_000, 1.2, 4.0, 0.45, 0.09, 0.95, 0.45, 2.58),
+    ("eol", "coff", 0.010, 50_000, 1.0, 2.0, 0.45, 0.008, 1.2, 0.20, 2.69),
+    ("eol", "macho", 0.0001, 100_000, 1.0, 2.0, 0.45, 0.008, 1.2, 0.20, 2.58),
+    ("eol", "deb", 0.005, 300_000, 1.2, 3.0, 0.45, 0.05, 1.0, 0.35, 1.03),
+    ("eol", "rpm", 0.005, 300_000, 1.2, 3.0, 0.45, 0.05, 1.0, 0.35, 1.03),
+    ("eol", "library", 0.015, 180_000, 1.1, 1.8, 0.40, 0.006, 1.3, 0.15, 2.8),
+    ("eol", "eol_other", 0.005, 40_000, 1.0, 3.0, 0.45, 0.05, 1.0, 0.35, 2.35),
+    # --- Source code: Fig. 17 — C/C++ 80.3 % of count and ~80 % of cap
+    ("source", "c_cpp", 0.803, 4_000, 1.5, 5.0, 0.45, 0.14, 0.85, 0.60, 4.7),
+    ("source", "perl5_module", 0.09, 4_900, 1.3, 5.0, 0.45, 0.14, 0.85, 0.60, 4.59),
+    ("source", "ruby_module", 0.08, 1_500, 1.3, 4.8, 0.45, 0.13, 0.85, 0.60, 4.14),
+    ("source", "pascal", 0.010, 4_000, 1.2, 4.5, 0.45, 0.12, 0.90, 0.55, 4.26),
+    ("source", "fortran", 0.007, 6_000, 1.2, 4.5, 0.45, 0.12, 0.90, 0.55, 4.26),
+    ("source", "applesoft_basic", 0.003, 2_000, 1.2, 4.5, 0.45, 0.12, 0.90, 0.55, 3.81),
+    ("source", "lisp_scheme", 0.005, 8_000, 1.0, 3.0, 0.45, 0.03, 1.1, 0.40, 4.14),
+    ("source", "source_other", 0.002, 4_000, 1.0, 4.5, 0.45, 0.12, 0.90, 0.55, 4.14),
+    # --- Scripts: Fig. 18 — Python 53.5 % count / 66 % cap
+    ("script", "python_script", 0.535, 6_200, 1.4, 5.5, 0.45, 0.17, 0.82, 0.65, 4.37),
+    ("script", "shell", 0.20, 1_500, 1.2, 5.5, 0.45, 0.17, 0.82, 0.65, 3.92),
+    ("script", "ruby_script", 0.10, 2_500, 1.2, 5.5, 0.45, 0.16, 0.82, 0.65, 4.03),
+    ("script", "perl_script", 0.05, 5_000, 1.2, 5.0, 0.45, 0.14, 0.85, 0.60, 4.14),
+    ("script", "php", 0.04, 5_000, 1.2, 5.0, 0.45, 0.14, 0.85, 0.60, 4.14),
+    ("script", "awk", 0.005, 3_000, 1.0, 5.0, 0.45, 0.12, 0.90, 0.55, 3.92),
+    ("script", "makefile", 0.03, 3_000, 1.0, 5.5, 0.45, 0.14, 0.85, 0.60, 4.03),
+    ("script", "m4", 0.010, 8_000, 1.0, 5.0, 0.45, 0.13, 0.85, 0.55, 4.26),
+    ("script", "node_js", 0.02, 6_000, 1.2, 5.5, 0.45, 0.14, 0.85, 0.60, 4.14),
+    ("script", "tcl", 0.005, 4_000, 1.0, 5.0, 0.45, 0.12, 0.90, 0.55, 4.03),
+    ("script", "script_other", 0.005, 4_000, 1.0, 5.0, 0.45, 0.12, 0.90, 0.55, 3.92),
+    # --- Documents: Fig. 19 — ASCII 80 %, XML/HTML 13 % count / 18 % cap
+    ("document", "ascii_text", 0.80, 8_500, 1.6, 4.2, 0.45, 0.10, 0.90, 0.55, 4.82),
+    ("document", "utf_text", 0.05, 9_000, 1.5, 4.0, 0.45, 0.09, 0.90, 0.55, 4.37),
+    ("document", "iso8859_text", 0.004, 9_000, 1.5, 4.0, 0.45, 0.09, 0.90, 0.55, 4.37),
+    ("document", "xml_html", 0.13, 14_000, 1.5, 4.2, 0.45, 0.10, 0.90, 0.55, 5.6),
+    ("document", "pdf_ps", 0.005, 200_000, 1.2, 3.0, 0.45, 0.04, 1.05, 0.30, 1.12),
+    ("document", "latex", 0.003, 15_000, 1.0, 3.5, 0.45, 0.06, 1.0, 0.45, 4.37),
+    ("document", "doc_other", 0.008, 50_000, 1.2, 3.0, 0.45, 0.05, 1.0, 0.40, 2.35),
+    # --- Archival: Fig. 20 — zip/gzip 96.3 % count / 70 % cap; avg sizes quoted
+    ("archive", "zip_gzip", 0.963, 67_000, 1.4, 4.0, 0.45, 0.08, 0.95, 0.40, 1.03),
+    ("archive", "bzip2", 0.012, 199_000, 1.2, 3.5, 0.45, 0.07, 1.0, 0.35, 1.03),
+    ("archive", "tar", 0.015, 466_000, 1.2, 3.5, 0.45, 0.07, 1.0, 0.35, 3.47),
+    ("archive", "xz", 0.008, 534_000, 1.2, 3.5, 0.45, 0.07, 1.0, 0.35, 1.02),
+    ("archive", "archive_other", 0.002, 100_000, 1.2, 3.5, 0.45, 0.07, 1.0, 0.35, 1.2),
+    # --- Media: Fig. 22 — PNG 67 % count / 45 % cap, JPEG ~20 % cap
+    ("media", "png", 0.67, 17_000, 1.3, 4.0, 0.45, 0.08, 0.95, 0.45, 1.05),
+    ("media", "jpeg", 0.13, 38_000, 1.3, 3.8, 0.45, 0.07, 0.95, 0.40, 1.02),
+    ("media", "svg", 0.10, 5_000, 1.1, 4.2, 0.45, 0.08, 0.92, 0.50, 4.82),
+    ("media", "gif", 0.07, 10_000, 1.1, 3.8, 0.45, 0.07, 0.95, 0.40, 1.06),
+    ("media", "video", 0.001, 2_000_000, 1.2, 1.8, 0.40, 0.00, 1.0, 0.10, 1.02),
+    ("media", "media_other", 0.029, 30_000, 1.2, 3.5, 0.45, 0.06, 1.0, 0.35, 1.3),
+    # --- Databases: Fig. 21 — BDB 33 % / MySQL 30 % count, SQLite 57 % cap
+    ("database", "berkeley_db", 0.33, 593_000, 1.0, 3.0, 0.45, 0.025, 1.1, 0.20, 3.36),
+    ("database", "mysql", 0.30, 587_000, 1.0, 3.0, 0.45, 0.025, 1.1, 0.20, 3.36),
+    ("database", "sqlite", 0.07, 7_970_000, 1.0, 2.8, 0.45, 0.02, 1.1, 0.20, 3.58),
+    ("database", "db_other", 0.30, 163_000, 1.0, 2.8, 0.45, 0.02, 1.1, 0.20, 2.8),
+    # --- Other: empty files (extreme dedup: the max-repeat file is empty),
+    #     unidentified data, and the ~1,400-type rare tail
+    ("other", "empty", 0.337, 0, 0.0, 8.0, 1.0, 0.12, 0.8, 0.00, 1.0),
+    ("other", "data", 0.481, 20_000, 1.4, 4.0, 0.45, 0.09, 0.95, 0.50, 2.91),
+    ("other", "__rare__", 0.182, 27_000, 1.3, 2.2, 0.45, 0.015, 1.1, 0.25, 2.8),
+]
+
+#: Sentinel profile name for the non-common long tail.
+RARE_PROFILE_NAME = "__rare__"
+
+
+def default_type_profiles(catalog: TypeCatalog | None = None) -> list[TypeProfile]:
+    """The calibrated profile table with global occurrence shares.
+
+    Shares are normalized to sum to exactly 1.0; every non-rare profile name
+    must exist in the catalog (guards against typos drifting from the
+    catalog).
+    """
+    catalog = catalog or default_catalog()
+    profiles: list[TypeProfile] = []
+    for (
+        group, name, within, avg, sigma, cmed, csig, tailp, taila, gamma, cratio,
+    ) in _TABLE:
+        if name != RARE_PROFILE_NAME and name not in catalog:
+            raise ValueError(f"profile references unknown type {name!r}")
+        profiles.append(
+            TypeProfile(
+                name=name,
+                occ_share=_GROUP_SHARE[group] * within,
+                avg_size=avg,
+                size_sigma=sigma,
+                copy_median=cmed,
+                copy_sigma=csig,
+                copy_tail_p=tailp,
+                copy_tail_alpha=taila,
+                size_gamma=gamma,
+                compress_ratio=cratio,
+            )
+        )
+    total = sum(p.occ_share for p in profiles)
+    return [
+        TypeProfile(
+            name=p.name,
+            occ_share=p.occ_share / total,
+            avg_size=p.avg_size,
+            size_sigma=p.size_sigma,
+            copy_median=p.copy_median,
+            copy_sigma=p.copy_sigma,
+            copy_tail_p=p.copy_tail_p,
+            copy_tail_alpha=p.copy_tail_alpha,
+            size_gamma=p.size_gamma,
+            compress_ratio=p.compress_ratio,
+            compress_sigma=p.compress_sigma,
+        )
+        for p in profiles
+    ]

@@ -1,0 +1,44 @@
+"""Shared low-level utilities: digests, size units, seeded RNG trees, timers.
+
+These helpers are deliberately dependency-light; every other subsystem builds
+on them.
+"""
+
+from repro.util.digest import (
+    DigestError,
+    format_digest,
+    is_digest,
+    parse_digest,
+    sha256_bytes,
+    sha256_stream,
+    short_digest,
+)
+from repro.util.rng import RngTree, derive_seed
+from repro.util.timer import Timer
+from repro.util.units import (
+    GiB,
+    KiB,
+    MiB,
+    TiB,
+    format_size,
+    parse_size,
+)
+
+__all__ = [
+    "DigestError",
+    "GiB",
+    "KiB",
+    "MiB",
+    "RngTree",
+    "TiB",
+    "Timer",
+    "derive_seed",
+    "format_digest",
+    "format_size",
+    "is_digest",
+    "parse_digest",
+    "parse_size",
+    "sha256_bytes",
+    "sha256_stream",
+    "short_digest",
+]

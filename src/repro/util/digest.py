@@ -1,0 +1,95 @@
+"""Content-addressing helpers.
+
+Docker registries identify every blob (layer tarball, manifest, config) by a
+digest string ``<algorithm>:<hex>``, in practice always ``sha256:<64 hex>``.
+This module implements that format plus streaming hashing so large tarballs
+never have to be held in memory at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from typing import BinaryIO
+
+_DIGEST_RE = re.compile(r"^(?P<algo>[a-z0-9+._-]+):(?P<hex>[0-9a-f]+)$")
+
+#: Chunk size used when hashing streams; 1 MiB balances syscall overhead
+#: against peak memory.
+_STREAM_CHUNK = 1 << 20
+
+
+class DigestError(ValueError):
+    """Raised when a digest string is malformed or uses an unknown algorithm."""
+
+
+def sha256_bytes(data: bytes) -> str:
+    """Return the canonical ``sha256:<hex>`` digest of *data*."""
+    return "sha256:" + hashlib.sha256(data).hexdigest()
+
+
+def sha256_stream(stream: BinaryIO) -> str:
+    """Hash a binary stream chunk-wise and return its ``sha256:`` digest.
+
+    The stream is consumed from its current position to EOF.
+    """
+    hasher = hashlib.sha256()
+    while True:
+        chunk = stream.read(_STREAM_CHUNK)
+        if not chunk:
+            break
+        hasher.update(chunk)
+    return "sha256:" + hasher.hexdigest()
+
+
+def parse_digest(digest: str) -> tuple[str, str]:
+    """Split a digest into ``(algorithm, hex)``.
+
+    Raises:
+        DigestError: if the string is not ``<algo>:<hex>`` or the hex part has
+            the wrong length for a known algorithm.
+    """
+    match = _DIGEST_RE.match(digest)
+    if match is None:
+        raise DigestError(f"malformed digest: {digest!r}")
+    algo, hexpart = match.group("algo"), match.group("hex")
+    if algo == "sha256" and len(hexpart) != 64:
+        raise DigestError(
+            f"sha256 digest must have 64 hex chars, got {len(hexpart)}: {digest!r}"
+        )
+    return algo, hexpart
+
+
+def is_digest(value: str) -> bool:
+    """Return True if *value* parses as a well-formed digest string."""
+    try:
+        parse_digest(value)
+    except DigestError:
+        return False
+    return True
+
+
+def format_digest(hex_or_int: str | int, *, algo: str = "sha256") -> str:
+    """Build a digest string from a hex string or an integer id.
+
+    Integer ids are used by the synthetic (columnar) dataset, where computing
+    real SHA-256 hashes for billions of virtual files would be pointless: the
+    analysis only needs *distinctness*. The id is zero-padded into a valid
+    64-hex-character payload so the result round-trips through
+    :func:`parse_digest`.
+    """
+    if isinstance(hex_or_int, int):
+        if hex_or_int < 0:
+            raise DigestError(f"digest id must be non-negative, got {hex_or_int}")
+        hexpart = format(hex_or_int, "064x")
+    else:
+        hexpart = hex_or_int
+    digest = f"{algo}:{hexpart}"
+    parse_digest(digest)
+    return digest
+
+
+def short_digest(digest: str, length: int = 12) -> str:
+    """Return the abbreviated hex prefix Docker tooling prints (default 12)."""
+    _, hexpart = parse_digest(digest)
+    return hexpart[:length]

@@ -1,0 +1,31 @@
+"""A tiny wall-clock timer used by the pipeline and the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    >>> with Timer() as t:
+    ...     work()
+    >>> t.elapsed  # seconds, float
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None, "Timer exited without being entered"
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+    def running(self) -> bool:
+        """True while inside the ``with`` block."""
+        return self._start is not None

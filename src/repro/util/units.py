@@ -1,0 +1,77 @@
+"""Byte-size constants, parsing and human-readable formatting.
+
+The paper reports sizes in decimal-flavoured units ("4 MB", "47 TB"); Docker
+tooling uses binary units. We standardize internally on *bytes* and on binary
+multiples for constants, and accept both unit families when parsing.
+"""
+
+from __future__ import annotations
+
+import re
+
+KiB = 1 << 10
+MiB = 1 << 20
+GiB = 1 << 30
+TiB = 1 << 40
+
+_UNITS: dict[str, int] = {
+    "": 1,
+    "b": 1,
+    "k": 1000,
+    "kb": 1000,
+    "kib": KiB,
+    "m": 1000**2,
+    "mb": 1000**2,
+    "mib": MiB,
+    "g": 1000**3,
+    "gb": 1000**3,
+    "gib": GiB,
+    "t": 1000**4,
+    "tb": 1000**4,
+    "tib": TiB,
+    "pb": 1000**5,
+    "pib": 1 << 50,
+}
+
+_SIZE_RE = re.compile(r"^\s*(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>[a-zA-Z]*)\s*$")
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human-readable size ("63 MB", "4MiB", "1.5 GB") into bytes.
+
+    Integers and floats pass through (floats are rounded). Decimal units
+    (kB/MB/GB/TB) are powers of 1000; binary units (KiB/MiB/...) powers of
+    1024, matching common convention.
+    """
+    if isinstance(text, (int, float)):
+        return int(round(text))
+    match = _SIZE_RE.match(text)
+    if match is None:
+        raise ValueError(f"unparseable size: {text!r}")
+    unit = match.group("unit").lower()
+    if unit not in _UNITS:
+        raise ValueError(f"unknown size unit {match.group('unit')!r} in {text!r}")
+    return int(round(float(match.group("num")) * _UNITS[unit]))
+
+
+def format_size(nbytes: int | float, *, binary: bool = False, precision: int = 1) -> str:
+    """Format a byte count for humans, e.g. ``format_size(63_000_000) == '63.0 MB'``.
+
+    With ``binary=True`` uses KiB/MiB/... steps of 1024 instead.
+    """
+    if nbytes < 0:
+        return "-" + format_size(-nbytes, binary=binary, precision=precision)
+    step = 1024 if binary else 1000
+    suffixes = (
+        ["B", "KiB", "MiB", "GiB", "TiB", "PiB"]
+        if binary
+        else ["B", "kB", "MB", "GB", "TB", "PB"]
+    )
+    value = float(nbytes)
+    for suffix in suffixes:
+        if value < step or suffix == suffixes[-1]:
+            if suffix == "B":
+                return f"{int(value)} B"
+            return f"{value:.{precision}f} {suffix}"
+        value /= step
+    raise AssertionError("unreachable")

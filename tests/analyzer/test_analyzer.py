@@ -1,0 +1,87 @@
+"""Analyzer driver tests against a materialized registry."""
+
+import pytest
+
+from repro.analyzer.analyzer import Analyzer
+from repro.downloader.downloader import Downloader
+from repro.downloader.session import SimulatedSession
+from repro.parallel.pool import ParallelConfig
+
+
+@pytest.fixture(scope="module")
+def analyzed(materialized):
+    registry, truth = materialized
+    downloader = Downloader(SimulatedSession(registry))
+    images = downloader.download_all(sorted(truth.images))
+    analyzer = Analyzer(downloader.dest)
+    pulls = {r.name: r.pull_count for r in registry.repositories()}
+    return truth, images, analyzer.analyze(images, pulls)
+
+
+class TestAnalysis:
+    def test_all_images_profiled(self, analyzed):
+        truth, images, result = analyzed
+        assert result.n_images == len(images) == truth.n_images
+
+    def test_unique_layers_profiled_once(self, analyzed):
+        truth, _, result = analyzed
+        assert result.n_layers == truth.n_unique_layers
+
+    def test_layer_profiles_match_ground_truth(self, analyzed):
+        """Analyzer measurements equal what the materializer built."""
+        truth, _, result = analyzed
+        for digest, expected in truth.layers.items():
+            profile = result.store.layer(digest)
+            assert profile.file_count == expected.file_count
+            assert profile.files_size == expected.files_size
+            assert profile.compressed_size == expected.compressed_size
+            assert profile.directory_count == expected.directory_count
+            assert profile.max_depth == expected.max_directory_depth
+
+    def test_file_digests_match_ground_truth(self, analyzed):
+        truth, _, result = analyzed
+        digest = next(d for d, l in truth.layers.items() if l.file_count > 2)
+        expected = {(e.path, e.digest) for e in truth.layers[digest].entries}
+        measured = {(r.path, r.digest) for r in result.store.layer(digest).files}
+        assert measured == expected
+
+    def test_type_codes_match_ground_truth(self, analyzed):
+        """The analyzer's magic-number typing agrees with the materializer's
+        producer-side classification (same classifier, independent paths)."""
+        truth, _, result = analyzed
+        mismatches = 0
+        total = 0
+        for digest, expected in truth.layers.items():
+            measured = {r.path: r.type_code for r in result.store.layer(digest).files}
+            for entry in expected.entries:
+                total += 1
+                if measured[entry.path] != entry.type_code:
+                    mismatches += 1
+        assert total > 0
+        assert mismatches == 0
+
+    def test_pull_counts_attached(self, analyzed, tiny_dataset):
+        _, _, result = analyzed
+        ds = result.dataset
+        idx = ds.repo_names.index("nginx")
+        assert ds.pull_counts[idx] == 650_000_000
+
+    def test_dataset_validates(self, analyzed):
+        _, _, result = analyzed
+        result.dataset.validate()
+
+
+class TestParallelConsistency:
+    def test_serial_and_threaded_agree(self, materialized):
+        registry, truth = materialized
+        repos = sorted(truth.images)[:10]
+
+        def run(parallel):
+            downloader = Downloader(SimulatedSession(registry), parallel=parallel)
+            images = downloader.download_all(repos)
+            return Analyzer(downloader.dest, parallel=parallel).analyze(images)
+
+        serial = run(ParallelConfig(mode="serial"))
+        threaded = run(ParallelConfig(mode="thread", workers=4, min_parallel_items=0))
+        assert serial.n_layers == threaded.n_layers
+        assert serial.dataset.layer_fls.tolist() == threaded.dataset.layer_fls.tolist()

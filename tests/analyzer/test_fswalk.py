@@ -1,0 +1,79 @@
+"""On-disk analyzer tests: the filesystem walk must agree with the
+in-memory fast path, record for record."""
+
+import pytest
+
+from repro.analyzer.extract import extract_and_profile
+from repro.analyzer.fswalk import (
+    extract_and_profile_on_disk,
+    extract_to_directory,
+    profile_directory,
+)
+from repro.registry.tarball import build_layer_tarball
+from repro.util.digest import sha256_bytes
+
+FILES = [
+    ("usr/bin/tool", b"\x7fELF" + b"\x00" * 150),
+    ("usr/lib/deep/nest/libx.so", b"\x7fELF" + b"\x01" * 80),
+    ("etc/conf", b"key=value\n"),
+    ("README", b"hello\n"),
+]
+
+
+@pytest.fixture(scope="module")
+def blob():
+    return build_layer_tarball(FILES)
+
+
+class TestExtractToDirectory:
+    def test_files_written(self, blob, tmp_path):
+        root = extract_to_directory(blob, tmp_path / "layer")
+        assert (root / "usr/bin/tool").read_bytes() == FILES[0][1]
+        assert (root / "README").read_bytes() == b"hello\n"
+
+    def test_nested_dirs_created(self, blob, tmp_path):
+        root = extract_to_directory(blob, tmp_path / "layer")
+        assert (root / "usr/lib/deep/nest").is_dir()
+
+
+class TestEquivalenceWithInMemoryPath:
+    def test_profiles_identical(self, blob, tmp_path):
+        digest = sha256_bytes(blob)
+        fast = extract_and_profile(digest, blob)
+        slow = extract_and_profile_on_disk(digest, blob, tmp_path)
+        assert slow.file_count == fast.file_count
+        assert slow.files_size == fast.files_size
+        assert slow.directory_count == fast.directory_count
+        assert slow.max_depth == fast.max_depth
+        assert slow.files == fast.files
+        assert slow.directories == fast.directories
+
+    def test_equivalence_on_materialized_layers(self, materialized, tmp_path):
+        """Sample real generated layers: both analyzer paths agree."""
+        registry, truth = materialized
+        digests = sorted(truth.layers)[:10]
+        for digest in digests:
+            blob = registry.get_blob(digest)
+            fast = extract_and_profile(digest, blob)
+            slow = extract_and_profile_on_disk(digest, blob, tmp_path)
+            assert slow.files == fast.files, digest
+            assert slow.directory_count == fast.directory_count, digest
+
+
+class TestProfileDirectory:
+    def test_empty_directory(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        profile = profile_directory("sha256:" + "0" * 64, 32, tmp_path / "empty")
+        assert profile.file_count == 0
+        assert profile.directory_count == 0
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(NotADirectoryError):
+            profile_directory("sha256:" + "0" * 64, 0, tmp_path / "nope")
+
+    def test_bare_directories_counted(self, tmp_path):
+        root = tmp_path / "layer"
+        (root / "var" / "empty").mkdir(parents=True)
+        profile = profile_directory("sha256:" + "0" * 64, 32, root)
+        assert profile.file_count == 0
+        assert profile.directory_count == 2  # var, var/empty

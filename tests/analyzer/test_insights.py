@@ -1,0 +1,95 @@
+"""Tests for anecdote extraction."""
+
+import pytest
+
+from repro.analyzer.insights import extract_insights
+from repro.analyzer.profiles import ImageProfile, ProfileStore
+from repro.analyzer.extract import extract_and_profile
+from repro.registry.tarball import build_layer_tarball
+from repro.util.digest import sha256_bytes
+
+
+def build_store() -> ProfileStore:
+    store = ProfileStore()
+    layouts = [
+        # the empty-file story: __init__.py everywhere
+        [("pkg/__init__.py", b""), ("pkg/mod.py", b"#!/usr/bin/env python\nx=1\n")],
+        [("lib/__init__.py", b""), ("lib/util.py", b"#!/usr/bin/env python\ny=2\n")],
+        [("app/__init__.py", b""), ("app/.gitkeep", b"")],
+        # the big layer
+        [(f"usr/share/f{i}", bytes([i % 251]) * 10) for i in range(40)],
+        # the deep layer
+        [("a/b/c/d/e/f/g/deep.txt", b"deep file\n")],
+    ]
+    digests = []
+    for files in layouts:
+        blob = build_layer_tarball(files)
+        profile = extract_and_profile(sha256_bytes(blob), blob)
+        store.add_layer(profile)
+        digests.append(profile.digest)
+    # shared base: layer 0 in three images
+    for i, extra in enumerate((1, 2, 3)):
+        store.add_image(
+            ImageProfile(
+                name=f"u/app{i}",
+                layer_digests=[digests[0], digests[extra]],
+                compressed_size=100,
+            )
+        )
+    return store
+
+
+@pytest.fixture(scope="module")
+def insights():
+    return extract_insights(build_store())
+
+
+class TestInsights:
+    def test_most_repeated_is_empty(self, insights):
+        top = insights.top_repeated_files[0]
+        assert top.is_empty
+        assert top.copies == 4  # three __init__.py + one .gitkeep
+
+    def test_init_py_named(self, insights):
+        assert insights.empty_file_top_names[0][0] == "__init__.py"
+        assert insights.empty_file_top_names[0][1] == 3
+        assert insights.empty_file_copies == 4
+
+    def test_biggest_layer(self, insights):
+        assert insights.biggest_layer_files == 40
+
+    def test_deepest_layer(self, insights):
+        assert insights.deepest_layer_depth == 7
+
+    def test_top_shared_layer(self, insights):
+        digest, refs = insights.top_shared_layers[0]
+        assert refs == 3
+
+    def test_summary_lines(self, insights):
+        lines = insights.summary_lines()
+        assert any("most repeated file" in l for l in lines)
+        assert any("__init__.py" in l for l in lines)
+
+    def test_empty_store_rejected(self):
+        with pytest.raises(ValueError):
+            extract_insights(ProfileStore())
+
+
+class TestOnMaterializedHub:
+    def test_paper_shaped_anecdotes(self, materialized):
+        """On the calibrated hub the paper's headline anecdotes reproduce:
+        the most-repeated file is empty and layers share heavily."""
+        from repro.analyzer.analyzer import Analyzer
+        from repro.downloader import Downloader, SimulatedSession
+
+        registry, truth = materialized
+        downloader = Downloader(SimulatedSession(registry))
+        images = downloader.download_all(sorted(truth.images))
+        result = Analyzer(downloader.dest).analyze(images)
+        insights = extract_insights(result.store)
+        assert insights.top_repeated_files[0].is_empty  # §V-B's finding
+        assert insights.top_shared_empty_refs > 0.3 * len(images)  # §V-A's
+        # §V-B's name-level anecdote: __init__.py among the empty files
+        assert any(
+            name == "__init__.py" for name, _ in insights.empty_file_top_names
+        )

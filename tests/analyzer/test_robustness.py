@@ -1,0 +1,71 @@
+"""Analyzer failure handling: corrupt layers are recorded, not fatal."""
+
+import pytest
+
+from repro.analyzer.analyzer import Analyzer
+from repro.downloader.downloader import DownloadedImage
+from repro.model.manifest import Manifest, ManifestLayerRef
+from repro.registry.blobstore import MemoryBlobStore
+from repro.registry.tarball import layer_from_files
+from repro.util.digest import sha256_bytes
+
+
+def setup_store():
+    """Two images: one healthy, one whose private layer is corrupt."""
+    store = MemoryBlobStore()
+    good_layer, good_blob = layer_from_files([("usr/ok", b"fine" * 50)])
+    store.put(good_blob)
+    corrupt_blob = b"\x1f\x8bthis is not a gzip stream at all"
+    corrupt_digest = store.put(corrupt_blob)
+
+    healthy = DownloadedImage(
+        repository="u/healthy",
+        manifest=Manifest(
+            layers=(
+                ManifestLayerRef(digest=good_layer.digest, size=len(good_blob)),
+            )
+        ),
+    )
+    broken = DownloadedImage(
+        repository="u/broken",
+        manifest=Manifest(
+            layers=(
+                ManifestLayerRef(digest=good_layer.digest, size=len(good_blob)),
+                ManifestLayerRef(digest=corrupt_digest, size=len(corrupt_blob)),
+            )
+        ),
+    )
+    return store, healthy, broken, corrupt_digest
+
+
+class TestCorruptLayers:
+    def test_corrupt_layer_recorded(self):
+        store, healthy, broken, corrupt_digest = setup_store()
+        result = Analyzer(store).analyze([healthy, broken])
+        assert corrupt_digest in result.failed_layers
+        assert "Error" in result.failed_layers[corrupt_digest] or ":" in result.failed_layers[corrupt_digest]
+
+    def test_healthy_images_still_profiled(self):
+        store, healthy, broken, _ = setup_store()
+        result = Analyzer(store).analyze([healthy, broken])
+        assert result.n_images == 1
+        assert result.skipped_images == ["u/broken"]
+        assert result.dataset.repo_names == ["u/healthy"]
+
+    def test_missing_blob_recorded(self):
+        store, healthy, _, _ = setup_store()
+        ghost = DownloadedImage(
+            repository="u/ghost",
+            manifest=Manifest(
+                layers=(ManifestLayerRef(digest=sha256_bytes(b"never stored"), size=5),)
+            ),
+        )
+        result = Analyzer(store).analyze([healthy, ghost])
+        assert result.skipped_images == ["u/ghost"]
+        assert any("BlobNotFound" in e for e in result.failed_layers.values())
+
+    def test_all_healthy_reports_clean(self):
+        store, healthy, _, _ = setup_store()
+        result = Analyzer(store).analyze([healthy])
+        assert result.failed_layers == {}
+        assert result.skipped_images == []

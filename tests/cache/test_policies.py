@@ -1,0 +1,131 @@
+"""Unit and property tests for cache policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.policies import (
+    FIFOCache,
+    GDSFCache,
+    LFUCache,
+    LRUCache,
+    StaticTopCache,
+    make_policy,
+)
+
+ALL_ADAPTIVE = [FIFOCache, LRUCache, LFUCache, GDSFCache]
+
+
+class TestBasics:
+    @pytest.mark.parametrize("cls", ALL_ADAPTIVE)
+    def test_miss_then_hit(self, cls):
+        cache = cls(100)
+        assert not cache.request(1, 10)
+        assert cache.request(1, 10)
+        assert 1 in cache
+
+    @pytest.mark.parametrize("cls", ALL_ADAPTIVE)
+    def test_capacity_respected(self, cls):
+        cache = cls(100)
+        for key in range(20):
+            cache.request(key, 10)
+        assert cache.used <= 100
+
+    @pytest.mark.parametrize("cls", ALL_ADAPTIVE)
+    def test_oversized_object_bypasses(self, cls):
+        cache = cls(100)
+        assert not cache.request(1, 150)
+        assert 1 not in cache
+        assert cache.used == 0
+
+    @pytest.mark.parametrize("cls", ALL_ADAPTIVE)
+    def test_rejects_bad_capacity(self, cls):
+        with pytest.raises(ValueError):
+            cls(0)
+
+    @pytest.mark.parametrize("cls", ALL_ADAPTIVE)
+    def test_rejects_negative_size(self, cls):
+        with pytest.raises(ValueError):
+            cls(10).request(1, -1)
+
+    def test_make_policy(self):
+        assert make_policy("lru", 10).name == "lru"
+        with pytest.raises(ValueError):
+            make_policy("belady", 10)
+
+
+class TestEvictionOrder:
+    def test_fifo_evicts_oldest(self):
+        cache = FIFOCache(30)
+        cache.request(1, 10)
+        cache.request(2, 10)
+        cache.request(3, 10)
+        cache.request(1, 10)  # hit; FIFO order unchanged
+        cache.request(4, 10)  # evicts 1 (oldest inserted)
+        assert 1 not in cache and 2 in cache
+
+    def test_lru_evicts_least_recent(self):
+        cache = LRUCache(30)
+        cache.request(1, 10)
+        cache.request(2, 10)
+        cache.request(3, 10)
+        cache.request(1, 10)  # refresh 1
+        cache.request(4, 10)  # evicts 2
+        assert 2 not in cache and 1 in cache
+
+    def test_lfu_evicts_least_frequent(self):
+        cache = LFUCache(30)
+        cache.request(1, 10)
+        cache.request(1, 10)
+        cache.request(1, 10)
+        cache.request(2, 10)
+        cache.request(3, 10)
+        cache.request(4, 10)  # evicts 2 or 3 (freq 1), never 1 (freq 3)
+        assert 1 in cache
+
+    def test_gdsf_prefers_evicting_large_cold_objects(self):
+        cache = GDSFCache(100)
+        cache.request(1, 80)  # large, cold
+        cache.request(2, 10)
+        cache.request(2, 10)
+        cache.request(3, 10)
+        cache.request(4, 20)  # needs room: the large cold object goes first
+        assert 1 not in cache
+        assert 2 in cache
+
+
+class TestStaticTop:
+    def test_preload_capacity(self):
+        cache = StaticTopCache(25, preload=[(1, 10), (2, 10), (3, 10)])
+        assert 1 in cache and 2 in cache and 3 not in cache
+
+    def test_never_admits(self):
+        cache = StaticTopCache(100, preload=[(1, 10)])
+        assert not cache.request(2, 10)
+        assert not cache.request(2, 10)
+        assert cache.request(1, 10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 30), st.integers(1, 40)),
+        min_size=1,
+        max_size=300,
+    ),
+    st.sampled_from(["fifo", "lru", "lfu", "gdsf"]),
+    st.integers(40, 200),
+)
+def test_invariants_hold_under_random_traces(requests, policy_name, capacity):
+    """Capacity is never exceeded and hits imply prior admission."""
+    sizes = {}
+    cache = make_policy(policy_name, capacity)
+    seen_admitted: set[int] = set()
+    for key, size in requests:
+        size = sizes.setdefault(key, size)  # stable size per key
+        hit = cache.request(key, size)
+        assert cache.used <= capacity
+        if hit:
+            assert key in seen_admitted
+        elif size <= capacity:
+            seen_admitted.add(key)

@@ -1,0 +1,155 @@
+"""CLI tests: every subcommand drives the library end to end."""
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def dataset_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "hub.npz"
+    assert main(["generate", "--scale", "tiny", "--seed", "5", "--out", str(path)]) == 0
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["generate", "--out", "x.npz"],
+            ["info", "x.npz"],
+            ["figures", "x.npz", "--figure", "fig24"],
+            ["dedup", "x.npz"],
+            ["ablate", "x.npz", "--experiment", "a1"],
+            ["pipeline", "--scale", "tiny"],
+            ["experiments", "--out", "E.md"],
+        ],
+    )
+    def test_accepts_documented_forms(self, argv):
+        args = build_parser().parse_args(argv)
+        assert args.command == argv[0]
+
+
+class TestGenerateInfo:
+    def test_generate_writes_npz(self, dataset_file, capsys):
+        assert dataset_file.exists()
+
+    def test_info_prints_totals(self, dataset_file, capsys):
+        assert main(["info", str(dataset_file)]) == 0
+        out = capsys.readouterr().out
+        assert "images" in out and "unique layers" in out
+        assert "30" in out  # tiny scale
+
+
+class TestFigures:
+    def test_single_figure(self, dataset_file, capsys):
+        assert main(["figures", str(dataset_file), "--figure", "fig24"]) == 0
+        out = capsys.readouterr().out
+        assert "fig24" in out and "count_ratio" in out
+
+    def test_markdown_output(self, dataset_file, capsys):
+        assert main(
+            ["figures", str(dataset_file), "--figure", "fig5", "--markdown"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "| metric | measured | paper" in out
+
+    def test_unknown_figure_fails(self, dataset_file, capsys):
+        assert main(["figures", str(dataset_file), "--figure", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_all_figures_default(self, dataset_file, capsys):
+        assert main(["figures", str(dataset_file)]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "fig29" in out
+
+
+class TestDedupAblate:
+    def test_dedup_study(self, dataset_file, capsys):
+        assert main(["dedup", str(dataset_file)]) == 0
+        out = capsys.readouterr().out
+        assert "file dedup" in out and "layer sharing" in out
+
+    def test_ablate_a1_only(self, dataset_file, capsys):
+        assert main(["ablate", str(dataset_file), "--experiment", "a1"]) == 0
+        out = capsys.readouterr().out
+        assert "A1" in out and "A2" not in out
+
+    def test_ablate_all(self, dataset_file, capsys):
+        assert main(["ablate", str(dataset_file)]) == 0
+        out = capsys.readouterr().out
+        assert "A1" in out and "A2" in out
+
+
+class TestStudySubcommands:
+    def test_cache(self, dataset_file, capsys):
+        assert main(
+            ["cache", str(dataset_file), "--requests", "2000", "--seed", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "gdsf" in out and "hit" in out
+
+    def test_cache_layer_granularity(self, dataset_file, capsys):
+        assert main(
+            ["cache", str(dataset_file), "--requests", "2000",
+             "--granularity", "layer", "--seed", "5"]
+        ) == 0
+        assert "layer requests" in capsys.readouterr().out
+
+    def test_restructure(self, dataset_file, capsys):
+        assert main(["restructure", str(dataset_file), "--min-group-kb", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "carved layout" in out and "file-dedup floor" in out
+
+    def test_project(self, dataset_file, capsys):
+        assert main(["project", str(dataset_file), "--days", "90"]) == 0
+        out = capsys.readouterr().out
+        assert "final dedup saving" in out
+
+    def test_serve_print_and_exit(self, capsys):
+        assert main(
+            ["serve", "--scale", "tiny", "--seed", "5", "--port", "0",
+             "--print-and-exit"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "/v2/" in out and "search" in out
+
+    def test_serve_endpoints_live(self, capsys):
+        """While serving, the v2 endpoints actually answer."""
+        import json
+        import threading
+        import urllib.request
+
+        from repro.registry.http import RegistryHTTPServer
+        from repro.registry.registry import Registry
+
+        with RegistryHTTPServer(Registry()) as server:
+            with urllib.request.urlopen(server.base_url + "/v2/") as response:
+                assert json.loads(response.read()) == {}
+
+
+class TestPipeline:
+    def test_pipeline_with_outputs(self, tmp_path, capsys):
+        ds_out = tmp_path / "measured.npz"
+        profiles_out = tmp_path / "profiles.jsonl"
+        assert main(
+            [
+                "pipeline", "--scale", "tiny", "--seed", "5",
+                "--dataset", str(ds_out), "--profiles", str(profiles_out),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "crawl:" in out and "download:" in out and "analyze:" in out
+        assert ds_out.exists() and profiles_out.exists()
+
+        # the written dataset is loadable and consistent
+        from repro.model.io import load_dataset, load_profiles_jsonl
+
+        dataset = load_dataset(ds_out)
+        layers, images = load_profiles_jsonl(profiles_out)
+        assert dataset.n_layers == len(layers)
+        assert dataset.n_images == len(images)

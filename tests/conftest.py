@@ -1,0 +1,37 @@
+"""Shared fixtures: session-scoped datasets so expensive generation runs once."""
+
+import pytest
+
+from repro.synth import SyntheticHubConfig, generate_dataset, materialize_registry
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    return SyntheticHubConfig.tiny(seed=1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_config):
+    return generate_dataset(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    return SyntheticHubConfig.small(seed=1234)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_config):
+    return generate_dataset(small_config)
+
+
+@pytest.fixture(scope="session")
+def materialized(tiny_config, tiny_dataset):
+    """A real registry populated from the tiny dataset, plus ground truth."""
+    registry, truth = materialize_registry(
+        tiny_dataset,
+        fail_share=tiny_config.fail_share,
+        fail_auth_share=tiny_config.fail_auth_share,
+        seed=tiny_config.seed,
+    )
+    return registry, truth

@@ -1,0 +1,62 @@
+"""Unit tests for characterization breakdowns."""
+
+import pytest
+
+from repro.core.characterization import (
+    group_breakdown,
+    label_breakdown,
+    rare_type_count,
+    taxonomy_summary,
+)
+from repro.filetypes.catalog import TypeGroup
+from tests.dedup.test_bytype import build_typed
+
+
+class TestGroupBreakdown:
+    def test_exact_shares(self):
+        ds = build_typed([("elf", 100, 3), ("png", 50, 1)])
+        breakdown = group_breakdown(ds)
+        assert breakdown.total_count == 4
+        assert breakdown.count_share("eol") == pytest.approx(0.75)
+        assert breakdown.capacity_share("eol") == pytest.approx(300 / 350)
+        assert breakdown.avg_size("media") == 50
+
+    def test_missing_label_raises(self):
+        ds = build_typed([("elf", 100, 1)])
+        with pytest.raises(KeyError):
+            group_breakdown(ds).count_share("database")
+
+    def test_synthetic_shares_match_config(self, small_dataset):
+        """Fig. 14(a): occurrence shares land on the calibrated quotas."""
+        breakdown = group_breakdown(small_dataset)
+        assert breakdown.count_share("document") == pytest.approx(0.44, abs=0.02)
+        assert breakdown.count_share("eol") == pytest.approx(0.11, abs=0.02)
+
+
+class TestLabelBreakdown:
+    def test_figure_label_grouping(self):
+        ds = build_typed(
+            [("python_bytecode", 10, 2), ("java_class", 10, 1), ("elf", 100, 1)]
+        )
+        breakdown = label_breakdown(ds, TypeGroup.EOL)
+        assert breakdown.count_share("Com.") == pytest.approx(0.75)
+        assert breakdown.count_share("ELF") == pytest.approx(0.25)
+
+    def test_excludes_other_groups(self):
+        ds = build_typed([("elf", 100, 1), ("png", 10, 5)])
+        breakdown = label_breakdown(ds, TypeGroup.EOL)
+        assert breakdown.labels() == ["ELF"]
+
+
+class TestTaxonomy:
+    def test_common_types_concentrate_capacity(self, small_dataset):
+        summary = taxonomy_summary(small_dataset)
+        assert summary.common_types < summary.total_types
+        assert summary.common_capacity_share > 0.9  # paper: 0.984
+
+    def test_rare_types_present(self, small_dataset, small_config):
+        assert 0 < rare_type_count(small_dataset) <= small_config.n_rare_types
+
+    def test_threshold_override(self, small_dataset):
+        lenient = taxonomy_summary(small_dataset, capacity_threshold_share=0.0)
+        assert lenient.common_types == lenient.total_types

@@ -1,0 +1,89 @@
+"""Tests for the compression-method study."""
+
+import pytest
+
+from repro.core.compression_study import (
+    best_codec_by_latency,
+    codec_names,
+    decompress_gzip_layers,
+    study_compression,
+)
+from repro.downloader.session import NetworkModel
+from repro.registry.tarball import build_layer_tarball
+from repro.synth.content import synthesize_file_bytes
+
+
+@pytest.fixture(scope="module")
+def raw_layers():
+    """Uncompressed tar streams of two synthetic layers."""
+    import gzip
+
+    layers = []
+    for salt in (1, 2):
+        files = [
+            (f"usr/share/doc/f{salt}{i}.txt",
+             synthesize_file_bytes("ascii_text", 20_000, salt=salt * 100 + i,
+                                   compress_ratio=4.0))
+            for i in range(5)
+        ] + [
+            (f"usr/lib/lib{salt}.so",
+             synthesize_file_bytes("elf", 50_000, salt=salt, compress_ratio=2.5)),
+        ]
+        layers.append(gzip.decompress(build_layer_tarball(files)))
+    return layers
+
+
+class TestStudy:
+    def test_all_codecs_lossless_and_measured(self, raw_layers):
+        results = study_compression(raw_layers)
+        assert [r.codec for r in results] == codec_names()
+        for result in results:
+            assert result.raw_bytes == sum(len(r) for r in raw_layers)
+            assert result.compressed_bytes > 0
+
+    def test_store_ratio_is_one(self, raw_layers):
+        store = study_compression(raw_layers, codecs=["store"])[0]
+        assert store.ratio == pytest.approx(1.0)
+        assert store.decompress_seconds < 0.01
+
+    def test_gzip_levels_trade_size_for_time(self, raw_layers):
+        results = {r.codec: r for r in study_compression(raw_layers)}
+        assert results["gzip-9"].compressed_bytes <= results["gzip-1"].compressed_bytes
+        assert results["gzip-6"].ratio > 1.5  # text-heavy layers compress
+
+    def test_xz_denser_than_gzip(self, raw_layers):
+        results = {r.codec: r for r in study_compression(raw_layers)}
+        assert results["xz"].compressed_bytes <= results["gzip-6"].compressed_bytes * 1.1
+
+    def test_unknown_codec_rejected(self, raw_layers):
+        with pytest.raises(ValueError, match="unknown codec"):
+            study_compression(raw_layers, codecs=["zstd"])
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            study_compression([])
+
+
+class TestLatencyModel:
+    def test_slow_link_prefers_density(self, raw_layers):
+        results = study_compression(raw_layers)
+        slow = NetworkModel(request_overhead_s=0.05, bandwidth_bytes_per_s=100e3)
+        best_slow = best_codec_by_latency(results, slow)
+        assert best_slow.codec != "store"  # 100 kB/s: always compress
+
+    def test_fast_link_prefers_cheap_decompression(self, raw_layers):
+        results = study_compression(raw_layers)
+        fast = NetworkModel(request_overhead_s=0.0, bandwidth_bytes_per_s=100e9)
+        best_fast = best_codec_by_latency(results, fast)
+        # at 100 GB/s the transfer is free; decompression dominates
+        assert best_fast.codec in ("store", "gzip-1")
+
+
+class TestGzipRecovery:
+    def test_registry_blobs_recoverable(self, materialized):
+        registry, truth = materialized
+        digests = sorted(truth.layers)[:5]
+        blobs = [registry.get_blob(d) for d in digests]
+        raws = decompress_gzip_layers(blobs)
+        for raw, digest in zip(raws, digests):
+            assert len(raw) >= truth.layers[digest].files_size

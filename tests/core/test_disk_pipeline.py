@@ -1,0 +1,58 @@
+"""Pipeline with on-disk stores: registry blobs and downloads on real disk."""
+
+import pytest
+
+from repro.analyzer.analyzer import Analyzer
+from repro.crawler.crawler import HubCrawler
+from repro.downloader.downloader import Downloader
+from repro.downloader.session import SimulatedSession
+from repro.registry.blobstore import DiskBlobStore
+from repro.registry.registry import Registry
+from repro.registry.search import HubSearchEngine
+from repro.synth import SyntheticHubConfig, generate_dataset, materialize_registry
+
+
+@pytest.fixture(scope="module")
+def disk_pipeline(tmp_path_factory):
+    root = tmp_path_factory.mktemp("disk-hub")
+    config = SyntheticHubConfig.tiny(seed=55)
+    dataset = generate_dataset(config)
+    registry, truth = materialize_registry(
+        dataset,
+        Registry(DiskBlobStore(root / "registry-blobs")),
+        fail_share=0.1,
+        seed=55,
+    )
+    crawl = HubCrawler(HubSearchEngine(registry, seed=55)).crawl()
+    downloader = Downloader(
+        SimulatedSession(registry), dest=DiskBlobStore(root / "downloaded")
+    )
+    images = downloader.download_all(crawl.repositories)
+    analysis = Analyzer(downloader.dest).analyze(images)
+    return root, truth, downloader, analysis
+
+
+class TestDiskPipeline:
+    def test_registry_blobs_on_disk(self, disk_pipeline):
+        root, truth, _, _ = disk_pipeline
+        stored = list((root / "registry-blobs").rglob("*"))
+        assert sum(1 for p in stored if p.is_file()) >= truth.n_unique_layers
+
+    def test_downloads_land_on_disk(self, disk_pipeline):
+        root, truth, downloader, _ = disk_pipeline
+        assert downloader.dest.count() == truth.n_unique_layers
+        files = [p for p in (root / "downloaded").rglob("*") if p.is_file()]
+        assert len(files) == truth.n_unique_layers
+
+    def test_analysis_matches_truth(self, disk_pipeline):
+        _, truth, _, analysis = disk_pipeline
+        assert analysis.n_layers == truth.n_unique_layers
+        assert analysis.failed_layers == {}
+        for digest, expected in list(truth.layers.items())[:20]:
+            profile = analysis.store.layer(digest)
+            assert profile.file_count == expected.file_count
+
+    def test_disk_blobs_verify(self, disk_pipeline):
+        root, truth, downloader, _ = disk_pipeline
+        digest = next(iter(truth.layers))
+        assert downloader.dest.get_verified(digest)

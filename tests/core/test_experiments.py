@@ -1,0 +1,29 @@
+"""Unit tests for EXPERIMENTS.md generation."""
+
+import pytest
+
+from repro.core.experiments import PREAMBLE, ablation_markdown, write_experiments
+from repro.synth import SyntheticHubConfig, generate_dataset
+
+
+class TestWriteExperiments:
+    def test_writes_complete_record(self, tmp_path):
+        out = write_experiments(tmp_path / "E.md", seed=5, scale="tiny")
+        body = out.read_text()
+        assert body.startswith("# EXPERIMENTS")
+        for fig in ("fig3", "fig14", "fig24", "fig29"):
+            assert f"## {fig}" in body
+        assert "## A1" in body and "## A2" in body
+        assert "measured/paper" in body
+
+    def test_preamble_warns_about_scale(self):
+        assert "shape" in PREAMBLE.lower()
+        assert "Fig. 25" in PREAMBLE
+
+
+class TestAblationMarkdown:
+    def test_tables_render(self, tiny_dataset):
+        body = ablation_markdown(tiny_dataset)
+        assert "| threshold |" in body
+        assert "| cached repos |" in body
+        assert "1.00x" in body  # the all-compressed baseline row

@@ -1,0 +1,57 @@
+"""Tests for the registry growth projection."""
+
+import pytest
+
+from repro.core.growth_projection import (
+    PAPER_REPOS_PER_DAY,
+    project_growth,
+)
+
+
+@pytest.fixture(scope="module")
+def projection(small_dataset):
+    return project_growth(small_dataset, days=365, seed=1)
+
+
+class TestProjection:
+    def test_paper_rate_constant(self):
+        assert PAPER_REPOS_PER_DAY == 1_241.0
+
+    def test_point_grid(self, projection):
+        assert len(projection.points) == 13
+        assert projection.points[0].day == 0
+        assert projection.points[-1].day == 365
+
+    def test_growth_is_monotone(self, projection):
+        repos = [p.repositories for p in projection.points]
+        assert repos == sorted(repos)
+        demand = [p.shared_layers_bytes for p in projection.points]
+        assert demand == sorted(demand)
+
+    def test_design_ordering_everywhere(self, projection):
+        """no-sharing > sharing > sharing+dedup at every horizon."""
+        for p in projection.points:
+            assert p.no_sharing_bytes > p.shared_layers_bytes > p.file_dedup_bytes
+
+    def test_linear_repo_growth(self, projection, small_dataset):
+        first, last = projection.points[0], projection.points[-1]
+        expected = PAPER_REPOS_PER_DAY * 365 + small_dataset.n_images
+        assert last.repositories == pytest.approx(expected)
+        assert first.repositories == small_dataset.n_images
+
+    def test_dedup_savings_substantial(self, projection):
+        assert projection.final_savings() > 0.5  # paper: 6.9x => 85.5 %
+
+    def test_dedup_ratio_grows_with_scale(self, projection):
+        """Fig. 25 folded in: the dedup design's share of demand shrinks."""
+        first, last = projection.points[1], projection.points[-1]
+        ratio_first = first.file_dedup_bytes / first.shared_layers_bytes
+        ratio_last = last.file_dedup_bytes / last.shared_layers_bytes
+        assert ratio_last <= ratio_first + 1e-9
+        assert 0.0 <= projection.dedup_exponent <= 0.5
+
+    def test_validation(self, small_dataset):
+        with pytest.raises(ValueError):
+            project_growth(small_dataset, days=0)
+        with pytest.raises(ValueError):
+            project_growth(small_dataset, n_points=1)

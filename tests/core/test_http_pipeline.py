@@ -1,0 +1,43 @@
+"""End-to-end pipeline over a real HTTP socket, verified against the
+in-process pipeline — both must measure identical datasets."""
+
+import pytest
+
+from repro.core.pipeline import run_http_pipeline, run_materialized_pipeline
+from repro.synth import SyntheticHubConfig
+
+
+@pytest.fixture(scope="module")
+def both_pipelines():
+    config = SyntheticHubConfig.tiny(seed=88)
+    http = run_http_pipeline(config, compute_figures=False)
+    inproc = run_materialized_pipeline(config, compute_figures=False)
+    return http, inproc
+
+
+class TestHTTPPipeline:
+    def test_crawl_identical(self, both_pipelines):
+        http, inproc = both_pipelines
+        assert sorted(http.crawl.repositories) == sorted(inproc.crawl.repositories)
+        assert http.crawl.duplicate_count == inproc.crawl.duplicate_count
+
+    def test_download_accounting_identical(self, both_pipelines):
+        http, inproc = both_pipelines
+        assert http.download_stats.succeeded == inproc.download_stats.succeeded
+        assert http.download_stats.failed_auth == inproc.download_stats.failed_auth
+        assert (
+            http.download_stats.failed_no_latest
+            == inproc.download_stats.failed_no_latest
+        )
+        assert (
+            http.download_stats.unique_layers_fetched
+            == inproc.download_stats.unique_layers_fetched
+        )
+
+    def test_measured_datasets_identical(self, both_pipelines):
+        http, inproc = both_pipelines
+        assert http.dataset.totals() == inproc.dataset.totals()
+
+    def test_no_corruption_seen(self, both_pipelines):
+        http, _ = both_pipelines
+        assert http.download_stats.corrupt_blobs == 0

@@ -1,0 +1,34 @@
+"""Unit tests for the paper-target tables."""
+
+import pytest
+
+from repro.core.figures import FIGURES
+from repro.core.paper_targets import PAPER_TARGETS, paper_value
+
+
+class TestCoverage:
+    def test_every_figure_has_targets(self):
+        for figure_id in FIGURES:
+            assert figure_id in PAPER_TARGETS, f"{figure_id} missing targets"
+
+    def test_table1_headlines(self):
+        assert paper_value("table1", "images_downloaded") == 355_319
+        assert paper_value("table1", "unique_layers") == 1_792_609
+        assert paper_value("table1", "file_occurrences") == 5_278_465_130
+
+    def test_dedup_headlines(self):
+        assert paper_value("fig24", "count_ratio") == 31.5
+        assert paper_value("fig24", "capacity_ratio") == 6.9
+        assert paper_value("fig24", "unique_fraction") == 0.032
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(KeyError, match="fig24/nope"):
+            paper_value("fig24", "nope")
+        with pytest.raises(KeyError):
+            paper_value("fig99", "x")
+
+    def test_fractions_in_unit_interval(self):
+        for fig, metrics in PAPER_TARGETS.items():
+            for name, value in metrics.items():
+                if "share" in name or "fraction" in name:
+                    assert 0 <= value <= 1, f"{fig}/{name} = {value}"

@@ -1,0 +1,104 @@
+"""Tests for ASCII chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.characterization import Breakdown, BreakdownRow
+from repro.core.plots import render_cdf, render_histogram, render_share_bars
+from repro.stats.cdf import EmpiricalCDF
+from repro.stats.histogram import Histogram, linear_bins
+
+
+class TestRenderCdf:
+    def test_basic_shape(self):
+        cdf = EmpiricalCDF(np.logspace(0, 6, 500))
+        out = render_cdf(cdf, title="sizes", height=8, width=40)
+        lines = out.splitlines()
+        assert lines[0] == "sizes"
+        assert len(lines) == 1 + 8 + 2  # title + rows + axis + labels
+        assert "(log)" in lines[-1]
+
+    def test_monotone_curve(self):
+        """Each chart row's filled region must contain the row above's."""
+        cdf = EmpiricalCDF(np.random.default_rng(0).lognormal(10, 2, 1000))
+        lines = render_cdf(cdf, height=10, width=50).splitlines()
+        body = [l.split("|", 1)[1] for l in lines if "|" in l]
+        for upper, lower in zip(body, body[1:]):
+            for cu, cl in zip(upper, lower):
+                assert not (cu == "█" and cl == " "), "curve must be monotone"
+
+    def test_full_coverage_rightmost(self):
+        cdf = EmpiricalCDF([1, 10, 100])
+        lines = render_cdf(cdf, height=6, width=30).splitlines()
+        top = next(l for l in lines if l.startswith("100%"))
+        assert top.rstrip().endswith("█")
+
+    def test_linear_axis_for_narrow_range(self):
+        cdf = EmpiricalCDF([10, 11, 12, 13])
+        out = render_cdf(cdf)
+        assert "(log)" not in out
+
+    def test_bytes_labels(self):
+        cdf = EmpiricalCDF([1_000, 1_000_000_000])
+        out = render_cdf(cdf, as_bytes=True)
+        assert "GB" in out or "MB" in out
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            render_cdf(EmpiricalCDF([1, 2]), width=5)
+
+
+class TestRenderHistogram:
+    def test_bars_scale_with_counts(self):
+        hist = Histogram.from_values(
+            np.array([1.0] * 90 + [6.0] * 30), edges=linear_bins(0, 10, 5)
+        )
+        out = render_histogram(hist)
+        lines = out.splitlines()
+        first_bar = lines[0].count("█")
+        second_bar = lines[1].count("█")
+        assert first_bar == 3 * second_bar
+
+    def test_row_cap_and_tail_note(self):
+        values = np.arange(0, 100, 0.5)
+        hist = Histogram.from_values(values, edges=linear_bins(0, 100, 2))
+        out = render_histogram(hist, max_rows=5)
+        assert "more bins" in out
+
+    def test_counts_printed(self):
+        hist = Histogram.from_values(np.array([1.0, 1.0]), edges=linear_bins(0, 10, 5))
+        assert "2" in render_histogram(hist)
+
+    def test_empty(self):
+        hist = Histogram.from_values(np.array([]), edges=linear_bins(0, 10, 5))
+        assert "(empty)" in render_histogram(hist, title="t")
+
+
+class TestRenderShareBars:
+    def _breakdown(self):
+        return Breakdown(
+            rows=[
+                BreakdownRow(label="doc", count=80, bytes=100),
+                BreakdownRow(label="eol", count=20, bytes=400),
+            ]
+        )
+
+    def test_count_shares(self):
+        out = render_share_bars(self._breakdown(), by="count")
+        lines = out.splitlines()
+        assert "doc" in lines[0] and "80.0%" in lines[0]
+        assert "eol" in lines[1] and "20.0%" in lines[1]
+
+    def test_capacity_ordering_differs(self):
+        out = render_share_bars(self._breakdown(), by="bytes")
+        assert out.splitlines()[0].lstrip().startswith("eol")
+
+    def test_bad_axis_rejected(self):
+        with pytest.raises(ValueError):
+            render_share_bars(self._breakdown(), by="files")
+
+    def test_renders_from_real_dataset(self, small_dataset):
+        from repro.core.characterization import group_breakdown
+
+        out = render_share_bars(group_breakdown(small_dataset), title="Fig14a")
+        assert "document" in out and "Fig14a" in out

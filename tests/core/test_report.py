@@ -1,0 +1,45 @@
+"""Unit tests for report rendering."""
+
+from repro.core.figures import FigureResult
+from repro.core.report import render_experiments_markdown, render_figure, render_report
+
+
+def make_result() -> FigureResult:
+    return FigureResult(
+        figure_id="fig24",
+        title="File-level deduplication",
+        metrics={"count_ratio": 28.0, "extra_metric": 0.5},
+        paper={"count_ratio": 31.5},
+    )
+
+
+class TestTextReport:
+    def test_figure_block_contains_comparison(self):
+        text = render_figure(make_result())
+        assert "fig24" in text
+        assert "count_ratio" in text
+        assert "x0.89" in text  # 28/31.5
+
+    def test_metric_without_target_has_no_ratio(self):
+        text = render_figure(make_result())
+        line = next(l for l in text.splitlines() if "extra_metric" in l)
+        assert "paper" not in line
+
+    def test_multi_figure_report(self):
+        text = render_report([make_result(), make_result()])
+        assert text.count("fig24") == 2
+
+
+class TestMarkdown:
+    def test_table_structure(self):
+        md = render_experiments_markdown([make_result()])
+        assert "## fig24: File-level deduplication" in md
+        assert "| count_ratio | 28 | 31.500 | 0.89 |" in md
+
+    def test_preamble_included(self):
+        md = render_experiments_markdown([make_result()], preamble="NOTE")
+        assert "NOTE" in md
+
+    def test_no_target_renders_dash(self):
+        md = render_experiments_markdown([make_result()])
+        assert "| extra_metric | 0.500 | – | – |" in md

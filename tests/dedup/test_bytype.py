@@ -1,0 +1,104 @@
+"""Unit tests for per-type deduplication (Figs. 27-29)."""
+
+import numpy as np
+import pytest
+
+from repro.dedup.bytype import dedup_by_figure_label, dedup_by_group
+from repro.filetypes.catalog import TypeGroup, default_catalog
+from repro.model.dataset import HubDataset
+
+
+def build_typed(occurrences: list[tuple[str, int, int]]) -> HubDataset:
+    """occurrences: (type_name, size, n_copies) per unique file, all in one
+    layer stream."""
+    catalog = default_catalog()
+    sizes, types, ids = [], [], []
+    for fid, (name, size, copies) in enumerate(occurrences):
+        sizes.append(size)
+        types.append(catalog.code(name))
+        ids.extend([fid] * copies)
+    n = len(ids)
+    return HubDataset(
+        file_sizes=np.array(sizes, dtype=np.int64),
+        file_types=np.array(types, dtype=np.int32),
+        layer_file_offsets=np.array([0, n], dtype=np.int64),
+        layer_file_ids=np.array(ids, dtype=np.int64),
+        layer_cls=np.array([1], dtype=np.int64),
+        layer_dir_counts=np.array([1], dtype=np.int64),
+        layer_max_depths=np.array([1], dtype=np.int64),
+        image_layer_offsets=np.array([0, 1], dtype=np.int64),
+        image_layer_ids=np.array([0], dtype=np.int64),
+    )
+
+
+class TestByGroup:
+    def test_exact_aggregation(self):
+        ds = build_typed(
+            [
+                ("elf", 100, 4),  # EOL: occ 400B, unique 100B
+                ("python_script", 10, 10),  # Script: occ 100B, unique 10B
+            ]
+        )
+        rows = {r.label: r for r in dedup_by_group(ds)}
+        eol = rows["EOL"]
+        assert eol.occurrence_count == 4
+        assert eol.occurrence_bytes == 400
+        assert eol.unique_bytes == 100
+        assert eol.eliminated_capacity_fraction == pytest.approx(0.75)
+        scr = rows["Scr."]
+        assert scr.eliminated_capacity_fraction == pytest.approx(0.9)
+        assert scr.count_ratio == pytest.approx(10.0)
+
+    def test_rows_sorted_by_capacity(self, small_dataset):
+        rows = dedup_by_group(small_dataset)
+        caps = [r.occurrence_bytes for r in rows]
+        assert caps == sorted(caps, reverse=True)
+
+    def test_paper_ordering_on_synthetic(self, small_dataset):
+        """Fig. 27 ordering: scripts/source dedup hardest, DB least."""
+        rows = {r.label: r for r in dedup_by_group(small_dataset)}
+        assert (
+            rows["Scr."].eliminated_capacity_fraction
+            > rows["DB."].eliminated_capacity_fraction
+        )
+        assert (
+            rows["SC."].eliminated_capacity_fraction
+            > rows["DB."].eliminated_capacity_fraction
+        )
+
+
+class TestByFigureLabel:
+    def test_com_aggregates_intermediates(self):
+        ds = build_typed(
+            [
+                ("python_bytecode", 10, 2),
+                ("java_class", 10, 2),
+                ("terminfo", 10, 2),
+                ("elf", 100, 2),
+            ]
+        )
+        rows = {r.label: r for r in dedup_by_figure_label(ds, TypeGroup.EOL)}
+        assert rows["Com."].occurrence_count == 6
+        assert rows["ELF"].occurrence_count == 2
+
+    def test_other_groups_excluded(self):
+        ds = build_typed([("elf", 100, 2), ("png", 50, 3)])
+        rows = dedup_by_figure_label(ds, TypeGroup.EOL)
+        assert [r.label for r in rows] == ["ELF"]
+
+    def test_source_labels(self, small_dataset):
+        rows = {r.label for r in dedup_by_figure_label(small_dataset, TypeGroup.SOURCE)}
+        assert "C/C++" in rows
+
+    def test_library_low_dedup_on_synthetic(self, small_dataset):
+        """Fig. 28: libraries dedup worst within EOL."""
+        rows = {r.label: r for r in dedup_by_figure_label(small_dataset, TypeGroup.EOL)}
+        if "Lib." in rows and "ELF" in rows:
+            assert (
+                rows["Lib."].eliminated_capacity_fraction
+                < rows["ELF"].eliminated_capacity_fraction
+            )
+
+    def test_empty_dataset_group(self):
+        ds = build_typed([("elf", 100, 2)])
+        assert dedup_by_figure_label(ds, TypeGroup.DATABASE) == []

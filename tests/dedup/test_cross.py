@@ -1,0 +1,92 @@
+"""Unit tests for cross-layer/cross-image duplicate analysis."""
+
+import numpy as np
+import pytest
+
+from repro.dedup.cross import _distinct_sorted, cross_duplicate_report
+from repro.model.dataset import HubDataset
+
+
+def build(layer_files: list[list[int]], image_layers: list[list[int]], n_files: int) -> HubDataset:
+    lf_offsets = np.cumsum([0] + [len(f) for f in layer_files]).astype(np.int64)
+    il_offsets = np.cumsum([0] + [len(l) for l in image_layers]).astype(np.int64)
+    n_layers = len(layer_files)
+    return HubDataset(
+        file_sizes=np.full(n_files, 10, dtype=np.int64),
+        file_types=np.zeros(n_files, dtype=np.int32),
+        layer_file_offsets=lf_offsets,
+        layer_file_ids=np.array([f for fs in layer_files for f in fs], dtype=np.int64),
+        layer_cls=np.full(n_layers, 5, dtype=np.int64),
+        layer_dir_counts=np.ones(n_layers, dtype=np.int64),
+        layer_max_depths=np.ones(n_layers, dtype=np.int64),
+        image_layer_offsets=il_offsets,
+        image_layer_ids=np.array([l for ls in image_layers for l in ls], dtype=np.int64),
+    )
+
+
+class TestDistinctSorted:
+    def test_matches_numpy_unique(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 50, 1000)
+        assert (_distinct_sorted(values) == np.unique(values)).all()
+
+    def test_empty(self):
+        assert _distinct_sorted(np.zeros(0, dtype=np.int64)).size == 0
+
+
+class TestCrossLayer:
+    def test_fully_shared(self):
+        # both layers hold the same file -> 100% cross-layer duplicates
+        ds = build([[0], [0]], [[0], [1]], n_files=1)
+        report = cross_duplicate_report(ds)
+        assert report.layer_ratio_cdf.min == 1.0
+
+    def test_fully_private(self):
+        ds = build([[0], [1]], [[0], [1]], n_files=2)
+        report = cross_duplicate_report(ds)
+        assert report.layer_ratio_cdf.max == 0.0
+
+    def test_intra_layer_repeat_not_cross_layer(self):
+        """A file repeated twice inside ONE layer is not a cross-layer dup."""
+        ds = build([[0, 0], [1]], [[0], [1]], n_files=2)
+        report = cross_duplicate_report(ds)
+        assert report.layer_ratio_cdf.max == 0.0
+
+    def test_mixed_layer(self):
+        # layer0: shared file 0 + private file 1 -> ratio 0.5
+        ds = build([[0, 1], [0]], [[0], [1]], n_files=2)
+        report = cross_duplicate_report(ds)
+        assert 0.5 in report.layer_ratio_cdf.values
+
+
+class TestCrossImage:
+    def test_shared_layer_makes_cross_image_dups(self):
+        # one layer shared by both images -> its files are cross-image dups
+        ds = build([[0]], [[0], [0]], n_files=1)
+        report = cross_duplicate_report(ds)
+        assert report.image_ratio_cdf.min == 1.0
+
+    def test_private_content_not_cross_image(self):
+        ds = build([[0], [1]], [[0], [1]], n_files=2)
+        report = cross_duplicate_report(ds)
+        assert report.image_ratio_cdf.max == 0.0
+
+    def test_same_file_two_layers_one_image(self):
+        """Duplicates across layers of the SAME image are not cross-image."""
+        ds = build([[0], [0]], [[0, 1]], n_files=1)
+        report = cross_duplicate_report(ds)
+        assert report.image_ratio_cdf.max == 0.0
+        # but they ARE cross-layer
+        assert report.layer_ratio_cdf.min == 1.0
+
+
+class TestSyntheticDataset:
+    def test_paper_shape(self, small_dataset):
+        """90 % of layers/images should be dominated by duplicates."""
+        report = cross_duplicate_report(small_dataset)
+        assert report.layer_p10 > 0.8  # paper: 0.976
+        assert report.image_p10 > 0.9  # paper: 0.994
+
+    def test_summary_keys(self, small_dataset):
+        report = cross_duplicate_report(small_dataset)
+        assert {"layer_p10", "image_p10"} <= set(report.summary())

@@ -1,0 +1,51 @@
+"""Unit tests for dedup-ratio growth (Fig. 25)."""
+
+import pytest
+
+from repro.dedup.growth import dedup_growth, default_sample_sizes
+
+
+class TestSampleSizes:
+    def test_full_dataset_included(self):
+        sizes = default_sample_sizes(10_000)
+        assert sizes[-1] == 10_000
+
+    def test_log_spaced_increasing(self):
+        sizes = default_sample_sizes(10_000)
+        assert sizes == sorted(sizes)
+        assert len(sizes) >= 3
+
+    def test_degenerate_small(self):
+        assert default_sample_sizes(1) == [1]
+
+
+class TestGrowth:
+    def test_ratio_grows_with_size(self, small_dataset):
+        """The paper's headline: dedup ratio increases with dataset size."""
+        points = dedup_growth(small_dataset, seed=1)
+        assert len(points) >= 3
+        assert points[-1].count_ratio > points[0].count_ratio
+        assert points[-1].capacity_ratio > points[0].capacity_ratio
+
+    def test_full_point_matches_whole_dataset(self, small_dataset):
+        from repro.dedup.engine import file_dedup_report
+
+        points = dedup_growth(small_dataset, seed=1)
+        full = file_dedup_report(small_dataset)
+        assert points[-1].count_ratio == pytest.approx(full.count_ratio)
+        assert points[-1].n_layers == small_dataset.n_layers
+
+    def test_custom_sizes(self, small_dataset):
+        points = dedup_growth(small_dataset, sample_sizes=[10, 100], seed=1)
+        assert [p.n_layers for p in points] == [10, 100]
+
+    def test_deterministic_given_seed(self, small_dataset):
+        a = dedup_growth(small_dataset, sample_sizes=[50], seed=3)
+        b = dedup_growth(small_dataset, sample_sizes=[50], seed=3)
+        assert a[0].count_ratio == b[0].count_ratio
+
+    def test_invalid_size_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            dedup_growth(small_dataset, sample_sizes=[0])
+        with pytest.raises(ValueError):
+            dedup_growth(small_dataset, sample_sizes=[small_dataset.n_layers + 1])

@@ -1,0 +1,45 @@
+"""Unit tests for layer-sharing analysis."""
+
+import pytest
+
+from repro.dedup.layer_sharing import layer_sharing_report
+from tests.model.test_dataset import tiny_dataset as build_tiny
+
+
+class TestTinyDataset:
+    """tiny: refcounts [2,1,1]; layer 2 is empty; cls [15,20,32]."""
+
+    def test_ref_fractions(self):
+        report = layer_sharing_report(build_tiny())
+        assert report.single_ref_fraction == pytest.approx(2 / 3)
+        assert report.double_ref_fraction == pytest.approx(1 / 3)
+
+    def test_sharing_ratio(self):
+        report = layer_sharing_report(build_tiny())
+        # slots: image0 [0,1] + image1 [0,2] -> 15+20+15+32 = 82; unique 67
+        assert report.shared_bytes == 82
+        assert report.unique_bytes == 67
+        assert report.sharing_ratio == pytest.approx(82 / 67)
+
+    def test_empty_layer_detected(self):
+        report = layer_sharing_report(build_tiny())
+        assert report.empty_layer_refs == 1  # layer 2 (empty) has 1 ref
+
+    def test_top_refs_sorted(self):
+        report = layer_sharing_report(build_tiny())
+        counts = [c for _, c in report.top_refs]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestSyntheticDataset:
+    def test_mostly_single_referenced(self, small_dataset):
+        report = layer_sharing_report(small_dataset)
+        assert report.single_ref_fraction > 0.8  # paper: ~0.90
+
+    def test_canonical_empty_layer_heavily_shared(self, small_dataset):
+        report = layer_sharing_report(small_dataset)
+        assert report.empty_layer_refs > 0.3 * small_dataset.n_images
+
+    def test_sharing_saves_storage(self, small_dataset):
+        report = layer_sharing_report(small_dataset)
+        assert 1.2 < report.sharing_ratio < 3.0  # paper: 1.8

@@ -1,0 +1,148 @@
+"""Differential tests: vectorized dedup analytics vs naive references.
+
+Hypothesis builds random small datasets; pure-Python dict/set
+implementations define ground truth for every dedup quantity, and the
+NumPy engines must agree exactly.
+"""
+
+from collections import defaultdict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dedup.cross import cross_duplicate_report
+from repro.dedup.engine import file_dedup_report
+from repro.dedup.layer_sharing import layer_sharing_report
+from repro.model.dataset import HubDataset
+
+
+@st.composite
+def random_dataset(draw):
+    n_files = draw(st.integers(1, 20))
+    n_layers = draw(st.integers(1, 12))
+    n_images = draw(st.integers(1, 8))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+
+    layer_files = [
+        list(rng.integers(0, n_files, size=rng.integers(0, 8)))
+        for _ in range(n_layers)
+    ]
+    image_layers = []
+    for _ in range(n_images):
+        k = int(rng.integers(1, n_layers + 1))
+        image_layers.append(list(rng.choice(n_layers, size=k, replace=False)))
+
+    lf_offsets = np.cumsum([0] + [len(f) for f in layer_files]).astype(np.int64)
+    il_offsets = np.cumsum([0] + [len(l) for l in image_layers]).astype(np.int64)
+    ds = HubDataset(
+        file_sizes=rng.integers(0, 1000, size=n_files).astype(np.int64),
+        file_types=np.zeros(n_files, dtype=np.int32),
+        layer_file_offsets=lf_offsets,
+        layer_file_ids=np.array(
+            [f for fs in layer_files for f in fs], dtype=np.int64
+        ),
+        layer_cls=rng.integers(1, 500, size=n_layers).astype(np.int64),
+        layer_dir_counts=np.ones(n_layers, dtype=np.int64),
+        layer_max_depths=np.ones(n_layers, dtype=np.int64),
+        image_layer_offsets=il_offsets,
+        image_layer_ids=np.array(
+            [l for ls in image_layers for l in ls], dtype=np.int64
+        ),
+    )
+    ds.validate()
+    return ds, layer_files, image_layers
+
+
+def occurrences(layer_files):
+    return [f for fs in layer_files for f in fs]
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dataset())
+def test_file_dedup_matches_reference(case):
+    ds, layer_files, _ = case
+    occ = occurrences(layer_files)
+    if not occ:
+        with pytest.raises(ValueError):
+            file_dedup_report(ds)
+        return
+    report = file_dedup_report(ds)
+    unique = set(occ)
+    assert report.n_occurrences == len(occ)
+    assert report.n_unique == len(unique)
+    assert report.total_bytes == sum(int(ds.file_sizes[f]) for f in occ)
+    assert report.unique_bytes == sum(int(ds.file_sizes[f]) for f in unique)
+    counts = defaultdict(int)
+    for f in occ:
+        counts[f] += 1
+    assert report.max_repeat == max(counts.values())
+    assert sorted(report.repeat_cdf.values.tolist()) == sorted(counts.values())
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dataset())
+def test_layer_sharing_matches_reference(case):
+    ds, layer_files, image_layers = case
+    refs = defaultdict(int)
+    for layers in image_layers:
+        for layer in layers:
+            refs[layer] += 1
+    report = layer_sharing_report(ds)
+    referenced = [c for c in refs.values()]
+    assert report.ref_cdf.n == len(referenced)
+    assert report.single_ref_fraction == pytest.approx(
+        sum(1 for c in referenced if c == 1) / len(referenced)
+    )
+    expected_slots = sum(
+        int(ds.layer_cls[layer]) for layers in image_layers for layer in layers
+    )
+    assert report.shared_bytes == expected_slots
+    assert report.unique_bytes == sum(int(ds.layer_cls[l]) for l in refs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_dataset())
+def test_cross_duplicates_match_reference(case):
+    ds, layer_files, image_layers = case
+    if not occurrences(layer_files):
+        with pytest.raises(ValueError):
+            cross_duplicate_report(ds)
+        return
+
+    layers_of_file = defaultdict(set)
+    for layer_id, files in enumerate(layer_files):
+        for f in files:
+            layers_of_file[f].add(layer_id)
+    layer_ratios = []
+    for files in layer_files:
+        if files:
+            layer_ratios.append(
+                sum(1 for f in files if len(layers_of_file[f]) >= 2) / len(files)
+            )
+
+    images_of_file = defaultdict(set)
+    for image_id, layers in enumerate(image_layers):
+        for layer in layers:
+            for f in layer_files[layer]:
+                images_of_file[f].add(image_id)
+    image_ratios = []
+    for layers in image_layers:
+        occ = [f for layer in layers for f in layer_files[layer]]
+        if occ:
+            image_ratios.append(
+                sum(1 for f in occ if len(images_of_file[f]) >= 2) / len(occ)
+            )
+
+    if not layer_ratios or not image_ratios:
+        with pytest.raises(ValueError):
+            cross_duplicate_report(ds)
+        return
+    report = cross_duplicate_report(ds)
+    assert sorted(report.layer_ratio_cdf.values.tolist()) == pytest.approx(
+        sorted(layer_ratios)
+    )
+    assert sorted(report.image_ratio_cdf.values.tolist()) == pytest.approx(
+        sorted(image_ratios)
+    )

@@ -1,0 +1,129 @@
+"""Unit tests for the parallel downloader."""
+
+import pytest
+
+from repro.downloader.downloader import Downloader
+from repro.downloader.session import NetworkModel, SimulatedSession
+from repro.model.manifest import Manifest, ManifestLayerRef
+from repro.parallel.pool import ParallelConfig
+from repro.registry.registry import Registry
+from repro.registry.tarball import layer_from_files
+
+
+def build_registry() -> tuple[Registry, dict[str, Manifest]]:
+    """Three public repos sharing one base layer, plus failure repos."""
+    reg = Registry()
+    base_layer, base_blob = layer_from_files([("base/os", b"\x7fELF" + b"b" * 400)])
+    reg.push_blob(base_blob)
+    base_ref = ManifestLayerRef(digest=base_layer.digest, size=base_layer.compressed_size)
+
+    manifests: dict[str, Manifest] = {}
+    for i, repo in enumerate(["user/a", "user/b", "user/c"]):
+        own_layer, own_blob = layer_from_files([(f"app/bin{i}", b"#!" + bytes([65 + i]) * 100)])
+        reg.push_blob(own_blob)
+        manifest = Manifest(
+            layers=(
+                base_ref,
+                ManifestLayerRef(digest=own_layer.digest, size=own_layer.compressed_size),
+            )
+        )
+        reg.create_repository(repo)
+        reg.push_manifest(repo, "latest", manifest)
+        manifests[repo] = manifest
+
+    reg.create_repository("priv/x", requires_auth=True)
+    reg.push_manifest("priv/x", "latest", manifests["user/a"])
+    reg.create_repository("old/y")
+    reg.push_manifest("old/y", "v1", manifests["user/a"])
+    return reg, manifests
+
+
+class TestDownload:
+    def test_successful_downloads(self):
+        reg, manifests = build_registry()
+        downloader = Downloader(SimulatedSession(reg))
+        images = downloader.download_all(list(manifests) + ["priv/x", "old/y"])
+        assert {img.repository for img in images} == set(manifests)
+        for img in images:
+            assert img.manifest == manifests[img.repository]
+
+    def test_failure_accounting(self):
+        reg, manifests = build_registry()
+        downloader = Downloader(SimulatedSession(reg))
+        downloader.download_all(list(manifests) + ["priv/x", "old/y"])
+        stats = downloader.stats
+        assert stats.attempted == 5
+        assert stats.succeeded == 3
+        assert stats.failed_auth == 1
+        assert stats.failed_no_latest == 1
+        assert stats.failed == 2
+
+    def test_unique_layer_cache(self):
+        """The shared base layer must be fetched exactly once (§III-B)."""
+        reg, manifests = build_registry()
+        downloader = Downloader(SimulatedSession(reg))
+        downloader.download_all(list(manifests))
+        stats = downloader.stats
+        assert stats.unique_layers_fetched == 4  # 1 base + 3 private
+        assert stats.duplicate_layer_hits == 2  # base re-hit by b and c
+
+    def test_blobs_land_in_dest(self):
+        reg, manifests = build_registry()
+        downloader = Downloader(SimulatedSession(reg))
+        downloader.download_all(list(manifests))
+        for manifest in manifests.values():
+            for ref in manifest.layers:
+                assert downloader.dest.has(ref.digest)
+                assert downloader.dest.size(ref.digest) == ref.size
+
+    def test_bytes_accounted(self):
+        reg, manifests = build_registry()
+        downloader = Downloader(SimulatedSession(reg))
+        downloader.download_all(list(manifests))
+        expected = sum(
+            ref.size
+            for manifest in manifests.values()
+            for ref in manifest.layers
+        ) - 2 * manifests["user/a"].layers[0].size  # shared base counted once
+        assert downloader.stats.layer_bytes_fetched == expected
+
+    def test_unknown_repo_counts_as_other_failure(self):
+        reg, _ = build_registry()
+        downloader = Downloader(SimulatedSession(reg))
+        assert downloader.download_image("ghost/app") is None
+        assert downloader.stats.failed_other == 1
+
+
+class TestRetries:
+    def test_transient_failures_retried(self):
+        reg, manifests = build_registry()
+        model = NetworkModel(transient_failure_rate=0.3)
+        session = SimulatedSession(reg, model, seed=5)
+        downloader = Downloader(session, max_retries=20)
+        images = downloader.download_all(list(manifests))
+        assert len(images) == 3
+        assert session.stats()["transient_failures"] > 0
+
+    def test_exhausted_retries_fail_image(self):
+        reg, manifests = build_registry()
+        model = NetworkModel(transient_failure_rate=1.0)
+        downloader = Downloader(SimulatedSession(reg, model, seed=5), max_retries=2)
+        assert downloader.download_image("user/a") is None
+        assert downloader.stats.failed_other == 1
+
+    def test_max_retries_validated(self):
+        reg, _ = build_registry()
+        with pytest.raises(ValueError):
+            Downloader(SimulatedSession(reg), max_retries=0)
+
+
+class TestParallelModes:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_results_identical_across_parallelism(self, workers):
+        reg, manifests = build_registry()
+        downloader = Downloader(
+            SimulatedSession(reg),
+            parallel=ParallelConfig(mode="thread", workers=workers, min_parallel_items=0, chunk_size=1),
+        )
+        images = downloader.download_all(sorted(manifests))
+        assert [img.repository for img in images] == sorted(manifests)

@@ -1,0 +1,61 @@
+"""Corruption-injection tests: the downloader must detect and retry
+content that does not hash to its advertised digest."""
+
+import pytest
+
+from repro.downloader.downloader import Downloader
+from repro.downloader.session import SimulatedSession
+from repro.model.manifest import Manifest, ManifestLayerRef
+from repro.registry.registry import Registry
+from repro.registry.tarball import layer_from_files
+
+
+class CorruptingSession(SimulatedSession):
+    """Returns garbage for the first N blob fetches, then behaves."""
+
+    def __init__(self, registry, corrupt_first: int):
+        super().__init__(registry)
+        self._remaining = corrupt_first
+
+    def get_blob(self, digest: str) -> bytes:
+        blob = super().get_blob(digest)
+        if self._remaining > 0:
+            self._remaining -= 1
+            return blob[:-1] + bytes([blob[-1] ^ 0xFF])
+        return blob
+
+
+@pytest.fixture
+def registry():
+    reg = Registry()
+    layer, blob = layer_from_files([("bin/x", b"\x7fELF" + b"z" * 100)])
+    reg.push_blob(blob)
+    manifest = Manifest(
+        layers=(ManifestLayerRef(digest=layer.digest, size=layer.compressed_size),)
+    )
+    reg.create_repository("user/app")
+    reg.push_manifest("user/app", "latest", manifest)
+    return reg
+
+
+class TestDigestVerification:
+    def test_transient_corruption_retried(self, registry):
+        downloader = Downloader(CorruptingSession(registry, corrupt_first=2))
+        image = downloader.download_image("user/app")
+        assert image is not None
+        assert downloader.stats.corrupt_blobs == 2
+        # the stored blob is the clean one
+        digest = image.manifest.layers[0].digest
+        from repro.util.digest import sha256_bytes
+
+        assert sha256_bytes(downloader.dest.get(digest)) == digest
+
+    def test_persistent_corruption_fails_image(self, registry):
+        downloader = Downloader(
+            CorruptingSession(registry, corrupt_first=10**9), max_retries=3
+        )
+        # manifest fetch succeeds; the layer never verifies -> image fails
+        assert downloader.download_image("user/app") is None
+        assert downloader.stats.failed_other == 1
+        assert downloader.stats.succeeded == 0
+        assert downloader.stats.corrupt_blobs >= 3

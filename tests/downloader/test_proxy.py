@@ -1,0 +1,65 @@
+"""Caching-proxy tests: repeated pulls stop hitting the upstream."""
+
+import pytest
+
+from repro.cache.policies import LRUCache
+from repro.downloader.downloader import Downloader
+from repro.downloader.proxy import CachingProxySession
+from repro.downloader.session import SimulatedSession
+from repro.registry.blobstore import MemoryBlobStore
+from tests.downloader.test_downloader import build_registry
+
+
+@pytest.fixture
+def upstream():
+    registry, manifests = build_registry()
+    return SimulatedSession(registry), manifests
+
+
+class TestProxy:
+    def test_first_pull_misses_second_hits(self, upstream):
+        session, manifests = upstream
+        proxy = CachingProxySession(session)
+        downloader_a = Downloader(proxy, dest=MemoryBlobStore())
+        downloader_a.download_all(sorted(manifests))
+        assert proxy.stats.blob_hits == 0
+
+        # a second client pulls the same images through the same proxy
+        downloader_b = Downloader(proxy, dest=MemoryBlobStore())
+        downloader_b.download_all(sorted(manifests))
+        assert proxy.stats.hit_ratio == pytest.approx(0.5)  # all re-pulls hit
+        assert proxy.stats.upstream_bytes_saved > 0.4
+
+    def test_upstream_sees_each_blob_once(self, upstream):
+        session, manifests = upstream
+        proxy = CachingProxySession(session)
+        for _ in range(3):
+            Downloader(proxy, dest=MemoryBlobStore()).download_all(sorted(manifests))
+        upstream_blob_bytes = proxy.stats.bytes_from_upstream
+        served = proxy.stats.bytes_served
+        assert served == pytest.approx(3 * upstream_blob_bytes, rel=1e-9)
+
+    def test_capacity_bound_evicts_payloads(self, upstream):
+        session, manifests = upstream
+        proxy = CachingProxySession(session, LRUCache(1))  # nothing fits
+        Downloader(proxy, dest=MemoryBlobStore()).download_all(sorted(manifests))
+        Downloader(proxy, dest=MemoryBlobStore()).download_all(sorted(manifests))
+        assert proxy.stats.blob_hits == 0
+        assert proxy._blobs == {}
+
+    def test_manifests_pass_through(self, upstream):
+        session, manifests = upstream
+        proxy = CachingProxySession(session)
+        manifest = proxy.get_manifest("user/a", "latest")
+        assert manifest == manifests["user/a"]
+
+    def test_content_identical_through_proxy(self, upstream):
+        session, manifests = upstream
+        proxy = CachingProxySession(session)
+        digest = manifests["user/a"].layers[0].digest
+        first = proxy.get_blob(digest)
+        second = proxy.get_blob(digest)
+        assert first == second
+        from repro.util.digest import sha256_bytes
+
+        assert sha256_bytes(first) == digest

@@ -1,0 +1,94 @@
+"""Unit tests for the simulated network session."""
+
+import pytest
+
+from repro.downloader.session import NetworkModel, SimulatedSession, TransientNetworkError
+from repro.model.manifest import Manifest, ManifestLayerRef
+from repro.registry.registry import Registry
+from repro.registry.tarball import layer_from_files
+
+
+@pytest.fixture
+def registry():
+    reg = Registry()
+    reg.create_repository("user/app")
+    layer, blob = layer_from_files([("bin/tool", b"\x7fELF" + b"x" * 500)])
+    reg.push_blob(blob)
+    manifest = Manifest(
+        layers=(ManifestLayerRef(digest=layer.digest, size=layer.compressed_size),)
+    )
+    reg.push_manifest("user/app", "latest", manifest)
+    return reg
+
+
+class TestAccounting:
+    def test_counts_requests_and_bytes(self, registry):
+        session = SimulatedSession(registry)
+        manifest = session.get_manifest("user/app", "latest")
+        blob = session.get_blob(manifest.layers[0].digest)
+        stats = session.stats()
+        assert stats["requests"] == 2
+        assert stats["bytes_transferred"] == len(manifest.to_json()) + len(blob)
+
+    def test_virtual_latency_model(self, registry):
+        model = NetworkModel(request_overhead_s=0.1, bandwidth_bytes_per_s=1000)
+        session = SimulatedSession(registry, model)
+        manifest = session.get_manifest("user/app", "latest")
+        expected = 0.1 + len(manifest.to_json()) / 1000
+        assert session.virtual_seconds == pytest.approx(expected)
+
+    def test_resolve_tag_costs_a_request(self, registry):
+        session = SimulatedSession(registry)
+        session.resolve_tag("user/app", "latest")
+        assert session.stats()["requests"] == 1
+
+    def test_cost_model(self):
+        model = NetworkModel(request_overhead_s=0.08, bandwidth_bytes_per_s=30e6)
+        assert model.cost(0) == pytest.approx(0.08)
+        assert model.cost(30_000_000) == pytest.approx(1.08)
+
+
+class TestFailureInjection:
+    def test_no_failures_by_default(self, registry):
+        session = SimulatedSession(registry)
+        for _ in range(50):
+            session.get_manifest("user/app", "latest")
+        assert session.stats()["transient_failures"] == 0
+
+    def test_injected_failures_raise(self, registry):
+        model = NetworkModel(transient_failure_rate=1.0)
+        session = SimulatedSession(registry, model, seed=1)
+        with pytest.raises(TransientNetworkError):
+            session.get_manifest("user/app", "latest")
+        assert session.stats()["transient_failures"] == 1
+
+    def test_failure_rate_approximate(self, registry):
+        model = NetworkModel(transient_failure_rate=0.3)
+        session = SimulatedSession(registry, model, seed=7)
+        failures = 0
+        for _ in range(500):
+            try:
+                session.resolve_tag("user/app", "latest")
+            except TransientNetworkError:
+                failures += 1
+        assert failures / 500 == pytest.approx(0.3, abs=0.06)
+
+    def test_auth_not_injected_here(self, registry):
+        """Auth errors come from the repository flag, not the network."""
+        registry.create_repository("private/app", requires_auth=True)
+        session = SimulatedSession(registry)
+        from repro.registry.errors import AuthRequiredError
+
+        with pytest.raises(AuthRequiredError):
+            session.resolve_tag("private/app", "latest")
+
+    def test_token_passthrough(self, registry):
+        registry.create_repository("private/app", requires_auth=True)
+        layer, blob = layer_from_files([("f", b"x")])
+        registry.push_blob(blob)
+        manifest = Manifest(
+            layers=(ManifestLayerRef(digest=layer.digest, size=layer.compressed_size),)
+        )
+        registry.push_manifest("private/app", "latest", manifest)
+        session = SimulatedSession(registry, token="secret")
+        assert session.get_manifest("private/app", "latest") == manifest

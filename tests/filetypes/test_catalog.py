@@ -1,0 +1,83 @@
+"""Unit tests for the type catalog and taxonomy structure."""
+
+import pytest
+
+from repro.filetypes.catalog import (
+    RARE_TYPE_BASE,
+    TypeCatalog,
+    TypeGroup,
+    default_catalog,
+)
+
+
+class TestCatalogStructure:
+    def test_eight_groups(self):
+        assert len(TypeGroup) == 8
+
+    def test_codes_stable_across_instances(self):
+        a, b = TypeCatalog(), TypeCatalog()
+        for ta, tb in zip(a.named_types(), b.named_types()):
+            assert (ta.code, ta.name) == (tb.code, tb.name)
+
+    def test_every_group_has_types(self):
+        catalog = default_catalog()
+        for group in TypeGroup:
+            assert catalog.group_types(group), f"no types in {group.name}"
+
+    def test_paper_named_types_present(self):
+        catalog = default_catalog()
+        for name in [
+            "elf", "python_bytecode", "java_class", "terminfo", "pe", "coff",
+            "macho", "library", "c_cpp", "perl5_module", "ruby_module",
+            "pascal", "fortran", "applesoft_basic", "lisp_scheme",
+            "python_script", "shell", "awk", "m4", "node_js", "tcl",
+            "ascii_text", "utf_text", "iso8859_text", "xml_html", "pdf_ps",
+            "latex", "zip_gzip", "bzip2", "xz", "tar", "png", "jpeg", "svg",
+            "berkeley_db", "mysql", "sqlite", "empty",
+        ]:
+            assert name in catalog, name
+
+    def test_lookup_symmetry(self):
+        catalog = default_catalog()
+        for ftype in catalog.named_types():
+            assert catalog.by_code(ftype.code) is ftype
+            assert catalog.by_name(ftype.name) is ftype
+            assert catalog.code(ftype.name) == ftype.code
+
+    def test_unknown_lookups_raise(self):
+        catalog = default_catalog()
+        with pytest.raises(KeyError):
+            catalog.by_name("nope")
+        with pytest.raises(KeyError):
+            catalog.by_code(999)
+
+    def test_group_labels_match_paper(self):
+        assert TypeGroup.EOL.paper_label == "EOL"
+        assert TypeGroup.DOCUMENT.paper_label == "Doc."
+        assert TypeGroup.MEDIA.paper_label == "Img."
+
+
+class TestRareTypes:
+    def test_rare_type_creation(self):
+        catalog = TypeCatalog()
+        rare = catalog.rare_type(3)
+        assert rare.code == RARE_TYPE_BASE + 3
+        assert not rare.common
+        assert rare.group is TypeGroup.OTHER
+
+    def test_rare_type_idempotent(self):
+        catalog = TypeCatalog()
+        assert catalog.rare_type(5) is catalog.rare_type(5)
+
+    def test_by_code_autocreates_rare(self):
+        catalog = TypeCatalog()
+        assert catalog.by_code(RARE_TYPE_BASE + 7).name == "rare_0007"
+
+    def test_negative_rare_index_rejected(self):
+        with pytest.raises(ValueError):
+            TypeCatalog().rare_type(-1)
+
+    def test_named_types_exclude_rare(self):
+        catalog = TypeCatalog()
+        catalog.rare_type(0)
+        assert all(t.code < RARE_TYPE_BASE for t in catalog.named_types())

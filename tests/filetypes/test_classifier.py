@@ -1,0 +1,68 @@
+"""Unit tests for the combined classifier."""
+
+import pytest
+
+from repro.filetypes.classifier import classify_bytes, classify_path
+
+
+class TestClassifyPath:
+    @pytest.mark.parametrize(
+        "path,expected",
+        [
+            ("src/main.c", "c_cpp"),
+            ("include/lib.hpp", "c_cpp"),
+            ("lib/Foo.pm", "perl5_module"),
+            ("app/model.rb", "ruby_script"),
+            ("prog.pas", "pascal"),
+            ("sim.f90", "fortran"),
+            ("game.bas", "applesoft_basic"),
+            ("init.el", "lisp_scheme"),
+            ("setup.py", "python_script"),
+            ("run.sh", "shell"),
+            ("config.m4", "m4"),
+            ("index.js", "node_js"),
+            ("gui.tcl", "tcl"),
+            ("doc.html", "xml_html"),
+            ("paper.tex", "latex"),
+            ("logo.svg", "svg"),
+            ("Makefile", "makefile"),
+            ("GNUmakefile", "makefile"),
+            ("Gemfile", "ruby_module"),
+            ("rules.mk", "makefile"),
+        ],
+    )
+    def test_name_rules(self, path, expected):
+        result = classify_path(path)
+        assert result is not None and result.name == expected
+
+    def test_unknown_name_returns_none(self):
+        assert classify_path("data.bin") is None
+
+    def test_case_insensitive(self):
+        result = classify_path("SRC/MAIN.C")
+        assert result is not None and result.name == "c_cpp"
+
+
+class TestClassifyBytes:
+    def test_magic_beats_extension(self):
+        # ELF content in a .c file is still an ELF.
+        assert classify_bytes("trick.c", b"\x7fELF" + b"\x00" * 32).name == "elf"
+
+    def test_extension_refines_plain_text(self):
+        assert classify_bytes("main.c", b"int main() { return 0; }\n").name == "c_cpp"
+
+    def test_shebang_beats_extension(self):
+        assert classify_bytes("tool.c", b"#!/bin/sh\necho hi\n").name == "shell"
+
+    def test_plain_text_without_name_rule(self):
+        assert classify_bytes("README", b"hello world\n").name == "ascii_text"
+
+    def test_empty_file(self):
+        assert classify_bytes("__init__.py", b"").name == "empty"
+
+    def test_unidentified_binary_is_data(self):
+        assert classify_bytes("blob.bin", b"\x00\x01\x02" * 32).name == "data"
+
+    def test_metadata_only_classification(self):
+        # No content knowledge: classify_path covers the metadata-only mode.
+        assert classify_bytes("x.py", b"print(1)\n").name == "python_script"

@@ -1,0 +1,136 @@
+"""Unit tests for the magic-number sniffer."""
+
+import gzip
+import io
+import tarfile
+import zlib
+
+import pytest
+
+from repro.filetypes.magic import sniff_bytes
+
+
+def _tarball() -> bytes:
+    buf = io.BytesIO()
+    with tarfile.open(fileobj=buf, mode="w") as tar:
+        info = tarfile.TarInfo("f")
+        info.size = 1
+        tar.addfile(info, io.BytesIO(b"x"))
+    return buf.getvalue()
+
+
+class TestBinarySignatures:
+    @pytest.mark.parametrize(
+        "data,expected",
+        [
+            (b"\x7fELF\x02\x01\x01" + b"\x00" * 64, "elf"),
+            (b"MZ\x90\x00" + b"\x00" * 64, "pe"),
+            (b"\xca\xfe\xba\xbe\x00\x00\x00\x34", "java_class"),
+            (b"\x1a\x01\x30\x00", "terminfo"),
+            (b"\xfe\xed\xfa\xcf" + b"\x00" * 16, "macho"),
+            (b"\xcf\xfa\xed\xfe" + b"\x00" * 16, "macho"),
+            (b"\xed\xab\xee\xdb\x03\x00", "rpm"),
+            (b"!<arch>\ndebian-binary   123", "deb"),
+            (b"!<arch>\nlibfoo.o/      ", "library"),
+            (b"BZh91AY&SY", "bzip2"),
+            (b"\xfd7zXZ\x00\x00", "xz"),
+            (b"\x89PNG\r\n\x1a\n" + b"\x00" * 16, "png"),
+            (b"\xff\xd8\xff\xe0\x00\x10JFIF", "jpeg"),
+            (b"GIF89a\x01\x00", "gif"),
+            (b"%PDF-1.4\n", "pdf_ps"),
+            (b"%!PS-Adobe-3.0\n", "pdf_ps"),
+            (b"SQLite format 3\x00" + b"\x00" * 32, "sqlite"),
+            (b"\xfe\x01\x00\x00" + b"\x00" * 16, "mysql"),
+            (b"RIFF\x24\x00\x00\x00AVI LIST", "video"),
+            (b"\x00\x00\x01\xba\x44", "video"),
+        ],
+    )
+    def test_signatures(self, data, expected):
+        assert sniff_bytes(data) == expected
+
+    def test_gzip_real_bytes(self):
+        assert sniff_bytes(gzip.compress(b"payload")) == "zip_gzip"
+
+    def test_zip_magic(self):
+        assert sniff_bytes(b"PK\x03\x04" + b"\x00" * 16) == "zip_gzip"
+
+    def test_tar_magic_at_offset(self):
+        assert sniff_bytes(_tarball()) == "tar"
+
+    def test_riff_wav_is_not_video(self):
+        assert sniff_bytes(b"RIFF\x24\x00\x00\x00WAVEfmt ") != "video"
+
+    def test_berkeley_db_offset_magic(self):
+        data = b"\x00" * 12 + b"\x00\x05\x31\x62" + b"\x00" * 32
+        assert sniff_bytes(data) == "berkeley_db"
+
+    def test_python_bytecode(self):
+        # CPython pyc: 2-byte version magic + b"\r\n" + metadata + marshal
+        data = b"\xa7\x0d\x0d\x0a" + b"\x00" * 12 + zlib.compress(b"code")
+        assert sniff_bytes(data) == "python_bytecode"
+
+
+class TestShebangs:
+    @pytest.mark.parametrize(
+        "line,expected",
+        [
+            (b"#!/usr/bin/python\n", "python_script"),
+            (b"#!/usr/bin/python3.9\n", "python_script"),
+            (b"#!/usr/bin/env python\n", "python_script"),
+            (b"#!/bin/sh\n", "shell"),
+            (b"#!/bin/bash\n", "shell"),
+            (b"#!/usr/bin/env zsh\n", "shell"),
+            (b"#!/usr/bin/ruby2.5\n", "ruby_script"),
+            (b"#!/usr/bin/perl -w\n", "perl_script"),
+            (b"#!/usr/bin/php\n", "php"),
+            (b"#!/usr/bin/awk -f\n", "awk"),
+            (b"#!/usr/bin/gawk -f\n", "awk"),
+            (b"#!/usr/bin/env node\n", "node_js"),
+            (b"#!/usr/bin/tclsh8.6\n", "tcl"),
+            (b"#!/usr/bin/wish\n", "tcl"),
+            (b"#!/opt/weird/interp\n", "script_other"),
+        ],
+    )
+    def test_interpreters(self, line, expected):
+        assert sniff_bytes(line + b"body\n") == expected
+
+    def test_bare_shebang(self):
+        assert sniff_bytes(b"#!\n") == "shell"
+
+
+class TestTextSniffing:
+    def test_empty(self):
+        assert sniff_bytes(b"") == "empty"
+
+    def test_ascii(self):
+        assert sniff_bytes(b"plain readme text\nwith lines\n") == "ascii_text"
+
+    def test_utf8(self):
+        assert sniff_bytes("naïve café\n".encode("utf-8")) == "utf_text"
+
+    def test_utf16_bom(self):
+        assert sniff_bytes("hello".encode("utf-16")) == "utf_text"
+
+    def test_iso8859(self):
+        assert sniff_bytes(b"caf\xe9 au lait\n") == "iso8859_text"
+
+    def test_xml(self):
+        assert sniff_bytes(b'<?xml version="1.0"?>\n<root/>') == "xml_html"
+
+    def test_html(self):
+        assert sniff_bytes(b"<!DOCTYPE html>\n<html></html>") == "xml_html"
+
+    def test_svg_with_xml_prolog(self):
+        assert sniff_bytes(b'<?xml version="1.0"?>\n<svg xmlns="x"></svg>') == "svg"
+
+    def test_svg_bare(self):
+        assert sniff_bytes(b'<svg xmlns="x"></svg>') == "svg"
+
+    def test_php_tag(self):
+        assert sniff_bytes(b"<?php echo 1; ?>") == "php"
+
+    def test_latex(self):
+        assert sniff_bytes(b"\\documentclass{article}\n") == "latex"
+
+    def test_unidentified_binary_returns_none(self):
+        assert sniff_bytes(b"\x00\x01\x02\x03\x04" * 10) is None

@@ -1,0 +1,178 @@
+"""Unit and property tests for the columnar HubDataset."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.dataset import HubDataset
+
+
+def tiny_dataset() -> HubDataset:
+    """3 unique files, 3 layers (one empty), 2 images sharing layer 0.
+
+    layer 0: files [0, 1]   sizes 10+20=30, cls 15
+    layer 1: files [1, 2]   sizes 20+40=60, cls 20
+    layer 2: (empty)        fls 0,  cls 32
+    image 0: layers [0, 1]
+    image 1: layers [0, 2]
+    """
+    return HubDataset(
+        file_sizes=np.array([10, 20, 40], dtype=np.int64),
+        file_types=np.array([0, 1, 2], dtype=np.int32),
+        layer_file_offsets=np.array([0, 2, 4, 4], dtype=np.int64),
+        layer_file_ids=np.array([0, 1, 1, 2], dtype=np.int64),
+        layer_cls=np.array([15, 20, 32], dtype=np.int64),
+        layer_dir_counts=np.array([2, 1, 0], dtype=np.int64),
+        layer_max_depths=np.array([2, 1, 0], dtype=np.int64),
+        image_layer_offsets=np.array([0, 2, 4], dtype=np.int64),
+        image_layer_ids=np.array([0, 1, 0, 2], dtype=np.int64),
+        repo_names=["user/a", "user/b"],
+        pull_counts=np.array([5, 100], dtype=np.int64),
+    )
+
+
+class TestShapes:
+    def test_counts(self):
+        ds = tiny_dataset()
+        assert ds.n_files == 3
+        assert ds.n_layers == 3
+        assert ds.n_images == 2
+        assert ds.n_file_occurrences == 4
+
+    def test_validate_accepts_good(self):
+        tiny_dataset().validate()
+
+
+class TestLayerMetrics:
+    def test_file_counts(self):
+        assert tiny_dataset().layer_file_counts.tolist() == [2, 2, 0]
+
+    def test_fls(self):
+        assert tiny_dataset().layer_fls.tolist() == [30, 60, 0]
+
+    def test_compression_ratios(self):
+        ratios = tiny_dataset().compression_ratios
+        assert ratios[0] == pytest.approx(2.0)
+        assert ratios[1] == pytest.approx(3.0)
+        assert ratios[2] == 0.0
+
+    def test_ref_counts(self):
+        assert tiny_dataset().layer_ref_counts.tolist() == [2, 1, 1]
+
+
+class TestImageMetrics:
+    def test_layer_counts(self):
+        assert tiny_dataset().image_layer_counts.tolist() == [2, 2]
+
+    def test_cis(self):
+        assert tiny_dataset().image_cls.tolist() == [35, 47]
+
+    def test_fis(self):
+        assert tiny_dataset().image_fls.tolist() == [90, 30]
+
+    def test_file_counts(self):
+        assert tiny_dataset().image_file_counts.tolist() == [4, 2]
+
+    def test_dir_counts(self):
+        assert tiny_dataset().image_dir_counts.tolist() == [3, 2]
+
+
+class TestDedupPrimitives:
+    def test_repeat_counts(self):
+        assert tiny_dataset().file_repeat_counts.tolist() == [1, 2, 1]
+
+    def test_totals(self):
+        totals = tiny_dataset().totals()
+        assert totals.n_images == 2
+        assert totals.n_layers == 3
+        assert totals.n_file_occurrences == 4
+        assert totals.n_unique_files == 3
+        assert totals.uncompressed_bytes == 90
+        assert totals.compressed_bytes == 67
+        assert totals.unique_file_bytes == 70
+        assert set(totals.as_dict()) >= {"images", "layers", "unique_files"}
+
+
+class TestValidation:
+    def test_bad_offsets_rejected(self):
+        ds = tiny_dataset()
+        ds.layer_file_offsets = np.array([1, 2, 4, 4], dtype=np.int64)
+        with pytest.raises(ValueError):
+            ds.validate()
+
+    def test_out_of_range_ids_rejected(self):
+        ds = tiny_dataset()
+        ds.layer_file_ids = np.array([0, 1, 1, 99], dtype=np.int64)
+        with pytest.raises(ValueError):
+            ds.validate()
+
+    def test_parallel_array_mismatch_rejected(self):
+        ds = tiny_dataset()
+        ds.layer_cls = np.array([1, 2], dtype=np.int64)
+        with pytest.raises(ValueError):
+            ds.validate()
+
+    def test_negative_sizes_rejected(self):
+        ds = tiny_dataset()
+        ds.file_sizes = np.array([10, -1, 40], dtype=np.int64)
+        with pytest.raises(ValueError):
+            ds.validate()
+
+    def test_pull_count_shape_rejected(self):
+        ds = tiny_dataset()
+        ds.pull_counts = np.array([1, 2, 3], dtype=np.int64)
+        with pytest.raises(ValueError):
+            ds.validate()
+
+
+class TestLayerSubset:
+    def test_subset_preserves_layer_content(self):
+        ds = tiny_dataset()
+        sub = ds.layer_subset(np.array([1, 2]))
+        assert sub.n_layers == 2
+        assert sub.layer_file_counts.tolist() == [2, 0]
+        assert sub.layer_fls.tolist() == [60, 0]
+        assert sub.n_images == 0
+        sub.validate()
+
+    def test_subset_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            tiny_dataset().layer_subset(np.array([5]))
+
+    def test_empty_subset(self):
+        sub = tiny_dataset().layer_subset(np.array([], dtype=np.int64))
+        assert sub.n_layers == 0
+        assert sub.n_file_occurrences == 0
+
+
+@settings(max_examples=30)
+@given(st.data())
+def test_random_dataset_invariants(data):
+    """Segment sums must always agree with a python-side recomputation."""
+    rng_seed = data.draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(rng_seed)
+    n_files = data.draw(st.integers(1, 50))
+    n_layers = data.draw(st.integers(1, 20))
+    counts = rng.integers(0, 8, size=n_layers)
+    offsets = np.zeros(n_layers + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    ids = rng.integers(0, n_files, size=int(counts.sum()))
+    sizes = rng.integers(0, 1000, size=n_files)
+    ds = HubDataset(
+        file_sizes=sizes.astype(np.int64),
+        file_types=np.zeros(n_files, dtype=np.int32),
+        layer_file_offsets=offsets,
+        layer_file_ids=ids.astype(np.int64),
+        layer_cls=rng.integers(1, 100, size=n_layers).astype(np.int64),
+        layer_dir_counts=np.zeros(n_layers, dtype=np.int64),
+        layer_max_depths=np.zeros(n_layers, dtype=np.int64),
+        image_layer_offsets=np.array([0], dtype=np.int64),
+        image_layer_ids=np.zeros(0, dtype=np.int64),
+    )
+    ds.validate()
+    expected_fls = [
+        int(sizes[ids[offsets[k] : offsets[k + 1]]].sum()) for k in range(n_layers)
+    ]
+    assert ds.layer_fls.tolist() == expected_fls
+    assert int(ds.file_repeat_counts.sum()) == ds.n_file_occurrences

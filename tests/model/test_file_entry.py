@@ -1,0 +1,39 @@
+"""Unit tests for FileEntry."""
+
+import pytest
+
+from repro.model.file_entry import FileEntry
+from repro.util.digest import sha256_bytes
+
+GOOD = sha256_bytes(b"content")
+
+
+class TestValidation:
+    def test_valid_entry(self):
+        entry = FileEntry(path="usr/bin/app", size=10, digest=GOOD, type_code=0)
+        assert entry.size == 10
+
+    def test_rejects_absolute_path(self):
+        with pytest.raises(ValueError):
+            FileEntry(path="/etc/passwd", size=1, digest=GOOD, type_code=0)
+
+    def test_rejects_empty_path(self):
+        with pytest.raises(ValueError):
+            FileEntry(path="", size=1, digest=GOOD, type_code=0)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            FileEntry(path="a", size=-1, digest=GOOD, type_code=0)
+
+    def test_rejects_bad_digest(self):
+        with pytest.raises(Exception):
+            FileEntry(path="a", size=1, digest="nope", type_code=0)
+
+
+class TestDepth:
+    @pytest.mark.parametrize(
+        "path,depth",
+        [("file", 0), ("etc/passwd", 1), ("usr/lib/x86/libc.so", 3)],
+    )
+    def test_depth(self, path, depth):
+        assert FileEntry(path=path, size=0, digest=GOOD, type_code=0).depth == depth

@@ -1,0 +1,87 @@
+"""Unit tests for Image and Repository."""
+
+import pytest
+
+from repro.model.file_entry import FileEntry
+from repro.model.image import Image
+from repro.model.layer import Layer
+from repro.model.manifest import Manifest, ManifestLayerRef
+from repro.model.repository import Repository
+from repro.util.digest import format_digest, sha256_bytes
+
+
+def _layer(i: int, paths: list[str]) -> Layer:
+    entries = [
+        FileEntry(path=p, size=10, digest=sha256_bytes(p.encode()), type_code=0)
+        for p in paths
+    ]
+    return Layer(digest=format_digest(i), entries=entries, compressed_size=40)
+
+
+def _image(layers: list[Layer], name: str = "user/app") -> Image:
+    manifest = Manifest(
+        layers=tuple(
+            ManifestLayerRef(digest=l.digest, size=l.compressed_size) for l in layers
+        )
+    )
+    return Image(name=name, manifest=manifest, layers=layers)
+
+
+class TestImage:
+    def test_aggregates(self):
+        img = _image([_layer(1, ["usr/a", "usr/b"]), _layer(2, ["etc/c"])])
+        assert img.layer_count == 2
+        assert img.file_count == 3
+        assert img.files_size == 30
+        assert img.compressed_size == 80
+
+    def test_directory_union_across_layers(self):
+        img = _image([_layer(1, ["usr/lib/a"]), _layer(2, ["usr/lib/b", "opt/c"])])
+        # usr, usr/lib, opt — shared dirs counted once.
+        assert img.directory_count == 3
+
+    def test_layer_count_mismatch_rejected(self):
+        manifest = Manifest(layers=(ManifestLayerRef(digest=format_digest(1), size=1),))
+        with pytest.raises(ValueError):
+            Image(name="x", manifest=manifest, layers=[])
+
+    def test_layer_order_mismatch_rejected(self):
+        l1, l2 = _layer(1, ["a"]), _layer(2, ["b"])
+        manifest = Manifest(
+            layers=(
+                ManifestLayerRef(digest=l2.digest, size=l2.compressed_size),
+                ManifestLayerRef(digest=l1.digest, size=l1.compressed_size),
+            )
+        )
+        with pytest.raises(ValueError):
+            Image(name="x", manifest=manifest, layers=[l1, l2])
+
+
+class TestRepository:
+    def test_official_vs_user(self):
+        assert Repository(name="nginx").is_official
+        assert not Repository(name="user/app").is_official
+
+    def test_namespace(self):
+        assert Repository(name="nginx").namespace == "library"
+        assert Repository(name="alice/web").namespace == "alice"
+
+    def test_latest_tag(self):
+        repo = Repository(name="a/b", tags={"latest": format_digest(1)})
+        assert repo.has_latest()
+        assert repo.latest_manifest_digest() == format_digest(1)
+
+    def test_missing_latest_raises(self):
+        repo = Repository(name="a/b", tags={"v1": format_digest(1)})
+        assert not repo.has_latest()
+        with pytest.raises(KeyError):
+            repo.latest_manifest_digest()
+
+    @pytest.mark.parametrize("bad", ["", "a/b/c"])
+    def test_invalid_names(self, bad):
+        with pytest.raises(ValueError):
+            Repository(name=bad)
+
+    def test_negative_pulls_rejected(self):
+        with pytest.raises(ValueError):
+            Repository(name="a/b", pull_count=-1)

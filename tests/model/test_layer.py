@@ -1,0 +1,63 @@
+"""Unit tests for Layer and path helpers."""
+
+import pytest
+
+from repro.model.file_entry import FileEntry
+from repro.model.layer import Layer, dir_count, max_depth, parent_dirs
+from repro.util.digest import format_digest, sha256_bytes
+
+
+def _entry(path: str, size: int = 1) -> FileEntry:
+    return FileEntry(path=path, size=size, digest=sha256_bytes(path.encode()), type_code=0)
+
+
+class TestPathHelpers:
+    def test_parent_dirs(self):
+        assert parent_dirs("usr/lib/x/libc.so") == ["usr", "usr/lib", "usr/lib/x"]
+
+    def test_parent_dirs_root_file(self):
+        assert parent_dirs("file") == []
+
+    def test_dir_count_dedups_shared_ancestors(self):
+        entries = [_entry("usr/lib/a"), _entry("usr/lib/b"), _entry("usr/bin/c")]
+        assert dir_count(entries) == 3  # usr, usr/lib, usr/bin
+
+    def test_dir_count_empty(self):
+        assert dir_count([]) == 0
+
+    def test_max_depth(self):
+        assert max_depth([_entry("a/b/c/d"), _entry("x")]) == 3
+        assert max_depth([]) == 0
+
+
+class TestLayer:
+    def test_metrics(self):
+        layer = Layer(
+            digest=format_digest(1),
+            entries=[_entry("usr/bin/app", 100), _entry("etc/conf", 50)],
+            compressed_size=60,
+        )
+        assert layer.file_count == 2
+        assert layer.files_size == 150
+        assert layer.directory_count == 3
+        assert layer.max_directory_depth == 2
+        assert layer.compression_ratio == pytest.approx(2.5)
+        assert not layer.is_empty()
+
+    def test_empty_layer(self):
+        layer = Layer(digest=format_digest(2), compressed_size=32)
+        assert layer.is_empty()
+        assert layer.files_size == 0
+        assert layer.max_directory_depth == 0
+
+    def test_zero_cls_ratio(self):
+        layer = Layer(digest=format_digest(3), entries=[_entry("a", 10)])
+        assert layer.compression_ratio == 0.0
+
+    def test_rejects_negative_compressed_size(self):
+        with pytest.raises(ValueError):
+            Layer(digest=format_digest(4), compressed_size=-1)
+
+    def test_rejects_bad_digest(self):
+        with pytest.raises(Exception):
+            Layer(digest="bogus")

@@ -1,0 +1,65 @@
+"""Unit tests for manifest serialization and digesting."""
+
+import json
+
+import pytest
+
+from repro.model.manifest import (
+    LAYER_MEDIA_TYPE,
+    MANIFEST_MEDIA_TYPE,
+    Manifest,
+    ManifestLayerRef,
+)
+from repro.util.digest import format_digest, is_digest
+
+
+def _manifest(n_layers: int = 2) -> Manifest:
+    return Manifest(
+        layers=tuple(
+            ManifestLayerRef(digest=format_digest(i + 1), size=100 * (i + 1))
+            for i in range(n_layers)
+        ),
+        config={"Env": ["PATH=/usr/bin"]},
+    )
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        m = _manifest()
+        again = Manifest.from_json(m.to_json())
+        assert again == m
+
+    def test_wire_format_fields(self):
+        doc = json.loads(_manifest().to_json())
+        assert doc["schemaVersion"] == 2
+        assert doc["mediaType"] == MANIFEST_MEDIA_TYPE
+        assert doc["layers"][0]["mediaType"] == LAYER_MEDIA_TYPE
+        assert doc["config"]["os"] == "linux"
+
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ValueError):
+            Manifest.from_json(json.dumps({"schemaVersion": 1}).encode())
+
+    def test_canonical_json_stable(self):
+        assert _manifest().to_json() == _manifest().to_json()
+
+
+class TestDigest:
+    def test_digest_is_wellformed(self):
+        assert is_digest(_manifest().digest())
+
+    def test_digest_depends_on_content(self):
+        assert _manifest(1).digest() != _manifest(2).digest()
+
+
+class TestDerived:
+    def test_layer_digests_ordered(self):
+        m = _manifest(3)
+        assert m.layer_digests == [format_digest(1), format_digest(2), format_digest(3)]
+
+    def test_total_layer_size(self):
+        assert _manifest(3).total_layer_size == 100 + 200 + 300
+
+    def test_layer_ref_validation(self):
+        with pytest.raises(ValueError):
+            ManifestLayerRef(digest=format_digest(1), size=-1)

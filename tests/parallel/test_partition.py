@@ -1,0 +1,65 @@
+"""Unit tests for work partitioning."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel.partition import chunk_indices, partition_work
+
+
+class TestChunkIndices:
+    def test_exact_division(self):
+        assert chunk_indices(10, 5) == [(0, 5), (5, 10)]
+
+    def test_remainder(self):
+        assert chunk_indices(7, 3) == [(0, 3), (3, 6), (6, 7)]
+
+    def test_empty(self):
+        assert chunk_indices(0, 4) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk_indices(5, 0)
+        with pytest.raises(ValueError):
+            chunk_indices(-1, 2)
+
+    @given(st.integers(0, 1000), st.integers(1, 100))
+    def test_covers_range_exactly(self, n, size):
+        chunks = chunk_indices(n, size)
+        covered = [i for lo, hi in chunks for i in range(lo, hi)]
+        assert covered == list(range(n))
+
+
+class TestPartitionWork:
+    def test_round_robin_without_weights(self):
+        parts = partition_work([1, 2, 3, 4, 5], 2)
+        assert parts == [[1, 3, 5], [2, 4]]
+
+    def test_all_items_assigned_once(self):
+        items = list(range(100))
+        parts = partition_work(items, 7, weights=[i % 13 + 1 for i in items])
+        flat = sorted(x for p in parts for x in p)
+        assert flat == items
+
+    def test_weighted_balance(self):
+        # one giant item must not share a part with another giant
+        weights = [1000, 1000, 1, 1, 1, 1]
+        parts = partition_work(list(range(6)), 2, weights=weights)
+        loads = [sum(weights[i] for i in p) for p in parts]
+        assert max(loads) / min(loads) < 1.1
+
+    def test_more_parts_than_items(self):
+        parts = partition_work([1], 3)
+        assert sum(len(p) for p in parts) == 1
+        assert len(parts) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_work([1], 0)
+        with pytest.raises(ValueError):
+            partition_work([1, 2], 2, weights=[1.0])
+
+    def test_order_within_part_preserved(self):
+        parts = partition_work(list(range(20)), 3, weights=[1.0] * 20)
+        for part in parts:
+            assert part == sorted(part)

@@ -1,0 +1,100 @@
+"""Unit tests for the parallel map substrate."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.pool import ParallelConfig, parallel_map
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+class TestConfig:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(mode="gpu")
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(workers=0)
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(chunk_size=0)
+
+    def test_effective_workers_default_positive(self):
+        assert ParallelConfig().effective_workers() >= 1
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_matches_builtin_map(self, mode):
+        config = ParallelConfig(mode=mode, workers=2, chunk_size=3, min_parallel_items=0)
+        items = list(range(57))
+        assert parallel_map(square, items, config) == [x * x for x in items]
+
+    def test_order_preserved_despite_uneven_work(self):
+        import time
+
+        def slow_for_small(x: int) -> int:
+            time.sleep(0.001 * (5 - x % 5))
+            return x
+
+        config = ParallelConfig(mode="thread", workers=4, chunk_size=1, min_parallel_items=0)
+        items = list(range(40))
+        assert parallel_map(slow_for_small, items, config) == items
+
+    def test_empty_input(self):
+        assert parallel_map(square, []) == []
+
+    def test_small_input_short_circuits_to_serial(self):
+        seen_threads = set()
+
+        def record(x):
+            seen_threads.add(threading.get_ident())
+            return x
+
+        config = ParallelConfig(mode="thread", workers=4, min_parallel_items=100)
+        parallel_map(record, list(range(10)), config)
+        assert seen_threads == {threading.get_ident()}
+
+
+class TestThreadsActuallyUsed:
+    def test_multiple_threads_engaged(self):
+        import time
+
+        seen = set()
+        lock = threading.Lock()
+
+        def record(x):
+            with lock:
+                seen.add(threading.get_ident())
+            time.sleep(0.005)
+            return x
+
+        config = ParallelConfig(mode="thread", workers=4, chunk_size=1, min_parallel_items=0)
+        parallel_map(record, list(range(16)), config)
+        assert len(seen) > 1
+
+
+class TestErrors:
+    def test_exception_propagates(self):
+        def boom(x):
+            if x == 13:
+                raise RuntimeError("unlucky")
+            return x
+
+        config = ParallelConfig(mode="thread", workers=2, chunk_size=4, min_parallel_items=0)
+        with pytest.raises(RuntimeError, match="unlucky"):
+            parallel_map(boom, list(range(20)), config)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(), max_size=100), st.integers(1, 10))
+def test_property_equivalence(items, chunk):
+    config = ParallelConfig(mode="thread", workers=2, chunk_size=chunk, min_parallel_items=0)
+    assert parallel_map(square, items, config) == [x * x for x in items]

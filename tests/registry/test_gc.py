@@ -1,0 +1,121 @@
+"""Registry deletion + garbage-collection tests."""
+
+import pytest
+
+from repro.model.manifest import Manifest, ManifestLayerRef
+from repro.registry.errors import (
+    BlobNotFoundError,
+    RepositoryNotFoundError,
+    TagNotFoundError,
+)
+from repro.registry.registry import Registry
+from repro.registry.tarball import layer_from_files
+
+
+def push(reg: Registry, repo: str, tag: str, files) -> Manifest:
+    layer, blob = layer_from_files(files)
+    reg.push_blob(blob)
+    manifest = Manifest(
+        layers=(ManifestLayerRef(digest=layer.digest, size=layer.compressed_size),)
+    )
+    if repo not in reg.catalog():
+        reg.create_repository(repo)
+    reg.push_manifest(repo, tag, manifest)
+    return manifest
+
+
+class TestDeletion:
+    def test_delete_tag(self):
+        reg = Registry()
+        push(reg, "u/a", "latest", [("f", b"1")])
+        reg.delete_tag("u/a", "latest")
+        with pytest.raises(TagNotFoundError):
+            reg.get_manifest("u/a", "latest")
+
+    def test_delete_missing_tag_raises(self):
+        reg = Registry()
+        reg.create_repository("u/a")
+        with pytest.raises(TagNotFoundError):
+            reg.delete_tag("u/a", "latest")
+
+    def test_delete_repository(self):
+        reg = Registry()
+        push(reg, "u/a", "latest", [("f", b"1")])
+        reg.delete_repository("u/a")
+        with pytest.raises(RepositoryNotFoundError):
+            reg.repository("u/a")
+
+    def test_delete_missing_repository_raises(self):
+        with pytest.raises(RepositoryNotFoundError):
+            Registry().delete_repository("ghost")
+
+
+class TestGarbageCollection:
+    def test_untagged_blobs_reclaimed(self):
+        reg = Registry()
+        m1 = push(reg, "u/a", "latest", [("f", b"only-in-a")])
+        push(reg, "u/b", "latest", [("f", b"only-in-b")])
+        reg.delete_tag("u/a", "latest")
+        report = reg.collect_garbage()
+        assert report["manifests_deleted"] == 1
+        assert report["blobs_deleted"] == 1
+        assert report["bytes_freed"] == m1.layers[0].size
+        with pytest.raises(BlobNotFoundError):
+            reg.get_blob(m1.layers[0].digest)
+
+    def test_shared_layer_survives_partial_deletion(self):
+        reg = Registry()
+        shared_files = [("base", b"shared-bytes")]
+        m1 = push(reg, "u/a", "latest", shared_files)
+        push(reg, "u/b", "latest", shared_files)  # same layer digest
+        reg.delete_repository("u/a")
+        report = reg.collect_garbage()
+        assert report["blobs_deleted"] == 0
+        assert reg.has_blob(m1.layers[0].digest)
+
+    def test_gc_idempotent(self):
+        reg = Registry()
+        push(reg, "u/a", "latest", [("f", b"1")])
+        reg.delete_repository("u/a")
+        first = reg.collect_garbage()
+        second = reg.collect_garbage()
+        assert first["blobs_deleted"] == 1
+        assert second == {"manifests_deleted": 0, "blobs_deleted": 0, "bytes_freed": 0}
+
+    def test_gc_with_nothing_dead(self):
+        reg = Registry()
+        push(reg, "u/a", "latest", [("f", b"1")])
+        report = reg.collect_garbage()
+        assert report["blobs_deleted"] == 0
+        assert reg.get_manifest("u/a", "latest")
+
+    def test_multi_tag_manifest_kept_until_last_tag_gone(self):
+        reg = Registry()
+        manifest = push(reg, "u/a", "latest", [("f", b"1")])
+        reg.repository("u/a").tags["stable"] = manifest.digest()
+        reg.delete_tag("u/a", "latest")
+        assert reg.collect_garbage()["manifests_deleted"] == 0
+        reg.delete_tag("u/a", "stable")
+        assert reg.collect_garbage()["manifests_deleted"] == 1
+
+
+class TestBlobDelete:
+    def test_memory_delete(self):
+        from repro.registry.blobstore import MemoryBlobStore
+
+        store = MemoryBlobStore()
+        digest = store.put(b"x")
+        store.delete(digest)
+        assert not store.has(digest)
+        with pytest.raises(BlobNotFoundError):
+            store.delete(digest)
+
+    def test_disk_delete(self, tmp_path):
+        from repro.registry.blobstore import DiskBlobStore
+
+        store = DiskBlobStore(tmp_path)
+        digest = store.put(b"x")
+        store.delete(digest)
+        assert not store.has(digest)
+        with pytest.raises(BlobNotFoundError):
+            store.delete(digest)

@@ -1,0 +1,148 @@
+"""HTTP registry tests: the v2 API over a real socket."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.crawler.crawler import HubCrawler
+from repro.downloader.downloader import Downloader
+from repro.registry.errors import AuthRequiredError, RegistryError, TagNotFoundError
+from repro.registry.http import HTTPSearchClient, HTTPSession, RegistryHTTPServer
+from repro.registry.registry import Registry
+from repro.registry.search import HubSearchEngine
+from repro.model.manifest import Manifest, ManifestLayerRef
+from repro.registry.tarball import layer_from_files
+
+
+def _build_registry() -> Registry:
+    reg = Registry()
+    layer, blob = layer_from_files([("bin/app", b"\x7fELF" + b"x" * 300)])
+    reg.push_blob(blob)
+    manifest = Manifest(
+        layers=(ManifestLayerRef(digest=layer.digest, size=layer.compressed_size),)
+    )
+    for name in ["nginx", "user/app", "user/web"]:
+        reg.create_repository(name)
+        reg.push_manifest(name, "latest", manifest)
+        reg.push_manifest(name, "v1", manifest)
+    reg.create_repository("priv/x", requires_auth=True)
+    reg.push_manifest("priv/x", "latest", manifest)
+    return reg
+
+
+@pytest.fixture(scope="module")
+def server():
+    registry = _build_registry()
+    search = HubSearchEngine(registry, duplication_factor=1.2, seed=1)
+    with RegistryHTTPServer(registry, search) as srv:
+        yield srv
+
+
+@pytest.fixture
+def session(server):
+    return HTTPSession(server.base_url)
+
+
+class TestEndpoints:
+    def test_version_check(self, server, session):
+        assert session.ping()
+
+    def test_manifest_roundtrip(self, server, session):
+        manifest = session.get_manifest("user/app", "latest")
+        assert manifest.layers[0].size > 0
+
+    def test_manifest_by_digest(self, server, session):
+        manifest = session.get_manifest("user/app", "latest")
+        again = session.get_manifest("user/app", manifest.digest())
+        assert again == manifest
+
+    def test_content_digest_header(self, server):
+        with urllib.request.urlopen(
+            server.base_url + "/v2/user/app/manifests/latest"
+        ) as response:
+            digest = response.headers["Docker-Content-Digest"]
+            body = response.read()
+        assert Manifest.from_json(body).digest() == digest
+
+    def test_blob_fetch(self, server, session):
+        manifest = session.get_manifest("user/app", "latest")
+        blob = session.get_blob(manifest.layers[0].digest)
+        assert len(blob) == manifest.layers[0].size
+
+    def test_tags_list(self, server, session):
+        assert session.list_tags("user/app") == ["latest", "v1"]
+
+    def test_catalog_paginated(self, server, session):
+        assert session.catalog() == ["nginx", "priv/x", "user/app", "user/web"]
+
+    def test_head_manifest(self, server):
+        request = urllib.request.Request(
+            server.base_url + "/v2/nginx/manifests/latest", method="HEAD"
+        )
+        with urllib.request.urlopen(request) as response:
+            assert response.status == 200
+            assert response.headers["Docker-Content-Digest"].startswith("sha256:")
+
+
+class TestErrors:
+    def test_unknown_repo_404(self, session):
+        with pytest.raises(RegistryError):
+            session.get_manifest("ghost/app", "latest")
+
+    def test_missing_tag_maps_to_tag_error(self, session):
+        with pytest.raises(TagNotFoundError):
+            session.get_manifest("user/app", "v99")
+
+    def test_auth_401(self, session):
+        with pytest.raises(AuthRequiredError):
+            session.get_manifest("priv/x", "latest")
+
+    def test_bearer_token_grants_access(self, server):
+        session = HTTPSession(server.base_url, token="secret")
+        assert session.get_manifest("priv/x", "latest")
+
+    def test_unknown_path_404(self, server):
+        import urllib.error
+
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(server.base_url + "/nope")
+
+    def test_connection_refused_maps_to_registry_error(self):
+        dead = HTTPSession("http://127.0.0.1:9")  # discard port, nothing listens
+        with pytest.raises(RegistryError, match="connection failed"):
+            dead.ping()
+
+
+class TestSearchOverHTTP:
+    def test_search_pages(self, server):
+        client = HTTPSearchClient(server.base_url)
+        page = client.search("/", page=1)
+        assert set(page.results) <= {"user/app", "user/web", "priv/x"}
+        assert not page.has_next or page.page == 1
+
+    def test_officials(self, server):
+        client = HTTPSearchClient(server.base_url)
+        assert client.official_repositories() == ["nginx"]
+
+    def test_crawler_over_http(self, server):
+        crawler = HubCrawler(HTTPSearchClient(server.base_url))
+        result = crawler.crawl()
+        assert sorted(result.repositories) == ["nginx", "priv/x", "user/app", "user/web"]
+
+
+class TestDownloaderOverHTTP:
+    def test_end_to_end_download(self, server):
+        downloader = Downloader(HTTPSession(server.base_url))
+        images = downloader.download_all(["nginx", "user/app", "user/web", "priv/x"])
+        assert {img.repository for img in images} == {"nginx", "user/app", "user/web"}
+        stats = downloader.stats
+        assert stats.failed_auth == 1
+        # the shared layer crossed the wire exactly once
+        assert stats.unique_layers_fetched == 1
+        assert stats.duplicate_layer_hits == 2
+
+    def test_all_tags_over_http(self, server):
+        downloader = Downloader(HTTPSession(server.base_url))
+        images = downloader.download_all_tags("user/app")
+        assert {img.tag for img in images} == {"latest", "v1"}

@@ -1,0 +1,141 @@
+"""Unit tests for the registry facade."""
+
+import pytest
+
+from repro.model.manifest import Manifest, ManifestLayerRef
+from repro.registry.errors import (
+    AuthRequiredError,
+    ManifestNotFoundError,
+    RepositoryNotFoundError,
+    TagNotFoundError,
+)
+from repro.registry.registry import Registry
+from repro.registry.tarball import layer_from_files
+
+
+@pytest.fixture
+def registry():
+    return Registry()
+
+
+def push_image(registry: Registry, repo: str, files_per_layer) -> Manifest:
+    refs = []
+    for files in files_per_layer:
+        layer, blob = layer_from_files(files)
+        registry.push_blob(blob)
+        refs.append(ManifestLayerRef(digest=layer.digest, size=layer.compressed_size))
+    manifest = Manifest(layers=tuple(refs))
+    registry.push_manifest(repo, "latest", manifest)
+    return manifest
+
+
+class TestRepositories:
+    def test_create_and_lookup(self, registry):
+        registry.create_repository("user/app")
+        assert registry.repository("user/app").name == "user/app"
+
+    def test_duplicate_create_rejected(self, registry):
+        registry.create_repository("user/app")
+        with pytest.raises(ValueError):
+            registry.create_repository("user/app")
+
+    def test_missing_repo_raises(self, registry):
+        with pytest.raises(RepositoryNotFoundError):
+            registry.repository("ghost/app")
+
+    def test_catalog_sorted(self, registry):
+        for name in ["zeta/app", "alpha/app", "nginx"]:
+            registry.create_repository(name)
+        assert registry.catalog() == ["alpha/app", "nginx", "zeta/app"]
+
+
+class TestPushPull:
+    def test_push_and_pull_manifest(self, registry):
+        registry.create_repository("user/app")
+        manifest = push_image(registry, "user/app", [[("a", b"1")], [("b", b"2")]])
+        fetched = registry.get_manifest("user/app", "latest")
+        assert fetched == manifest
+
+    def test_pull_by_digest(self, registry):
+        registry.create_repository("user/app")
+        manifest = push_image(registry, "user/app", [[("a", b"1")]])
+        assert registry.get_manifest("user/app", manifest.digest()) == manifest
+
+    def test_resolve_tag(self, registry):
+        registry.create_repository("user/app")
+        manifest = push_image(registry, "user/app", [[("a", b"1")]])
+        assert registry.resolve_tag("user/app", "latest") == manifest.digest()
+
+    def test_missing_tag(self, registry):
+        registry.create_repository("user/app")
+        with pytest.raises(TagNotFoundError):
+            registry.get_manifest("user/app", "latest")
+
+    def test_missing_manifest_digest(self, registry):
+        registry.create_repository("user/app")
+        push_image(registry, "user/app", [[("a", b"1")]])
+        from repro.util.digest import sha256_bytes
+
+        with pytest.raises(ManifestNotFoundError):
+            registry.get_manifest("user/app", sha256_bytes(b"other"))
+
+    def test_blob_fetch(self, registry):
+        registry.create_repository("user/app")
+        manifest = push_image(registry, "user/app", [[("a", b"1")]])
+        digest = manifest.layers[0].digest
+        assert registry.has_blob(digest)
+        assert registry.blob_size(digest) == manifest.layers[0].size
+        assert len(registry.get_blob(digest)) == manifest.layers[0].size
+
+    def test_pull_accounting(self, registry):
+        registry.create_repository("user/app")
+        push_image(registry, "user/app", [[("a", b"1")]])
+        registry.get_manifest("user/app", "latest")
+        registry.get_manifest("user/app", "latest")
+        assert registry.manifest_pulls["user/app"] == 2
+
+
+class TestAuth:
+    def test_auth_required(self, registry):
+        registry.create_repository("private/app", requires_auth=True)
+        push_image_ok = False
+        try:
+            push_image(registry, "private/app", [[("a", b"1")]])
+            push_image_ok = True
+            registry.get_manifest("private/app", "latest")
+        except AuthRequiredError:
+            pass
+        assert push_image_ok, "push side should not require the pull token"
+        with pytest.raises(AuthRequiredError):
+            registry.get_manifest("private/app", "latest")
+
+    def test_token_grants_access(self, registry):
+        registry.create_repository("private/app", requires_auth=True)
+        manifest = push_image(registry, "private/app", [[("a", b"1")]])
+        fetched = registry.get_manifest("private/app", "latest", token="secret")
+        assert fetched == manifest
+
+    def test_resolve_tag_checks_auth(self, registry):
+        registry.create_repository("private/app", requires_auth=True)
+        push_image(registry, "private/app", [[("a", b"1")]])
+        with pytest.raises(AuthRequiredError):
+            registry.resolve_tag("private/app", "latest")
+
+
+class TestStats:
+    def test_unique_layer_digests_across_repos(self, registry):
+        registry.create_repository("a/x")
+        registry.create_repository("b/y")
+        shared = [("base", b"shared-bytes")]
+        m1 = push_image(registry, "a/x", [shared, [("own1", b"1")]])
+        m2 = push_image(registry, "b/y", [shared, [("own2", b"2")]])
+        digests = registry.unique_layer_digests()
+        assert len(digests) == 3  # shared layer counted once
+        assert m1.layers[0].digest == m2.layers[0].digest
+
+    def test_storage_bytes(self, registry):
+        registry.create_repository("a/x")
+        manifest = push_image(registry, "a/x", [[("a", b"1")], [("b", b"2")]])
+        total = registry.storage_bytes(manifest.layer_digests)
+        assert total == manifest.total_layer_size
+        assert registry.storage_bytes() == total

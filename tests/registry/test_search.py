@@ -1,0 +1,84 @@
+"""Unit tests for the Hub search engine (pagination + duplicate quirk)."""
+
+import pytest
+
+from repro.registry.registry import Registry
+from repro.registry.search import HubSearchEngine
+
+
+@pytest.fixture
+def registry():
+    reg = Registry()
+    for i in range(250):
+        reg.create_repository(f"user{i % 25}/repo{i}")
+    for name in ["nginx", "redis", "ubuntu"]:
+        reg.create_repository(name)
+    return reg
+
+
+class TestPagination:
+    def test_page_size_respected(self, registry):
+        engine = HubSearchEngine(registry, page_size=100, duplication_factor=1.0)
+        page = engine.search("/", page=1)
+        assert len(page.results) == 100
+        assert page.has_next
+
+    def test_last_page(self, registry):
+        engine = HubSearchEngine(registry, page_size=100, duplication_factor=1.0)
+        last = engine.search("/", page=engine.page_count("/"))
+        assert not last.has_next
+        assert 0 < len(last.results) <= 100
+
+    def test_page_out_of_range_is_empty(self, registry):
+        engine = HubSearchEngine(registry, page_size=100, duplication_factor=1.0)
+        page = engine.search("/", page=999)
+        assert page.results == [] and not page.has_next
+
+    def test_pages_are_one_based(self, registry):
+        engine = HubSearchEngine(registry)
+        with pytest.raises(ValueError):
+            engine.search("/", page=0)
+
+
+class TestSlashQuery:
+    def test_slash_finds_only_nonofficial(self, registry):
+        engine = HubSearchEngine(registry, duplication_factor=1.0)
+        all_results = []
+        page_num = 1
+        while True:
+            page = engine.search("/", page=page_num)
+            all_results.extend(page.results)
+            if not page.has_next:
+                break
+            page_num += 1
+        assert set(all_results) == {n for n in registry.catalog() if "/" in n}
+
+    def test_official_listed_separately(self, registry):
+        engine = HubSearchEngine(registry)
+        assert set(engine.official_repositories()) == {"nginx", "redis", "ubuntu"}
+
+
+class TestDuplicationQuirk:
+    def test_duplicates_inflate_result_count(self, registry):
+        engine = HubSearchEngine(registry, duplication_factor=1.39, seed=1)
+        n_distinct = len([n for n in registry.catalog() if "/" in n])
+        assert engine.result_count("/") == pytest.approx(n_distinct * 1.39, rel=0.02)
+
+    def test_distinct_set_preserved(self, registry):
+        engine = HubSearchEngine(registry, duplication_factor=1.5, seed=1)
+        results = []
+        for p in range(1, engine.page_count("/") + 1):
+            results.extend(engine.search("/", page=p).results)
+        assert set(results) == {n for n in registry.catalog() if "/" in n}
+        assert len(results) > len(set(results))
+
+    def test_deterministic_given_seed(self, registry):
+        e1 = HubSearchEngine(registry, duplication_factor=1.39, seed=9)
+        e2 = HubSearchEngine(registry, duplication_factor=1.39, seed=9)
+        assert e1.search("/", 1).results == e2.search("/", 1).results
+
+    def test_validation(self, registry):
+        with pytest.raises(ValueError):
+            HubSearchEngine(registry, page_size=0)
+        with pytest.raises(ValueError):
+            HubSearchEngine(registry, duplication_factor=0.5)

@@ -1,0 +1,118 @@
+"""Tests for layer restructuring (carving)."""
+
+import numpy as np
+import pytest
+
+from repro.model.dataset import HubDataset
+from repro.restructure import CarveConfig, file_image_signatures, restructure
+
+
+def build(layer_files, image_layers, sizes) -> HubDataset:
+    lf_offsets = np.cumsum([0] + [len(f) for f in layer_files]).astype(np.int64)
+    il_offsets = np.cumsum([0] + [len(l) for l in image_layers]).astype(np.int64)
+    n_layers = len(layer_files)
+    return HubDataset(
+        file_sizes=np.asarray(sizes, dtype=np.int64),
+        file_types=np.zeros(len(sizes), dtype=np.int32),
+        layer_file_offsets=lf_offsets,
+        layer_file_ids=np.array([f for fs in layer_files for f in fs], dtype=np.int64),
+        layer_cls=np.full(n_layers, 10, dtype=np.int64),
+        layer_dir_counts=np.ones(n_layers, dtype=np.int64),
+        layer_max_depths=np.ones(n_layers, dtype=np.int64),
+        image_layer_offsets=il_offsets,
+        image_layer_ids=np.array([l for ls in image_layers for l in ls], dtype=np.int64),
+    )
+
+
+class TestSignatures:
+    def test_cooccurring_files_share_signature(self):
+        # files 0,1 both in both images; file 2 only in image 1
+        ds = build(
+            layer_files=[[0, 1], [0, 1, 2]],
+            image_layers=[[0], [1]],
+            sizes=[100, 100, 100],
+        )
+        sig = file_image_signatures(ds)
+        assert (sig[0] == sig[1]).all()
+        assert not (sig[0] == sig[2]).all()
+
+    def test_same_set_through_different_layers(self):
+        # file 0 via layer 0, file 1 via layer 1 — but both end up in both images
+        ds = build(
+            layer_files=[[0], [1]],
+            image_layers=[[0, 1], [0, 1]],
+            sizes=[100, 100],
+        )
+        sig = file_image_signatures(ds)
+        assert (sig[0] == sig[1]).all()
+
+    def test_unused_file_zero_signature(self):
+        ds = build(layer_files=[[0]], image_layers=[[0]], sizes=[100, 50])
+        sig = file_image_signatures(ds)
+        assert (sig[1] == 0).all()
+
+
+class TestRestructure:
+    def test_shared_group_stored_once(self):
+        # 3 images, each via its own layer containing the same big file plus
+        # a private small file -> one shared layer + 3 private layers
+        ds = build(
+            layer_files=[[0, 1], [0, 2], [0, 3]],
+            image_layers=[[0], [1], [2]],
+            sizes=[100_000, 10, 10, 10],
+        )
+        result = restructure(ds, CarveConfig(min_group_bytes=1000))
+        assert result.n_shared_layers == 1
+        assert result.shared_bytes == 100_000
+        assert result.private_bytes == 30
+        assert result.restructured_bytes < result.original_layer_bytes
+        assert result.layers_per_image_max == 2  # shared + private
+
+    def test_small_groups_stay_private(self):
+        ds = build(
+            layer_files=[[0, 1], [0, 2]],
+            image_layers=[[0], [1]],
+            sizes=[50, 10, 10],  # shared file below the byte threshold
+        )
+        result = restructure(ds, CarveConfig(min_group_bytes=1000))
+        assert result.n_shared_layers == 0
+        assert result.private_bytes == 50 * 2 + 10 + 10
+
+    def test_perfect_dedup_bound_respected(self, small_dataset):
+        result = restructure(small_dataset, CarveConfig(min_group_bytes=4096))
+        assert result.perfect_dedup_bytes <= result.restructured_bytes
+        assert result.restructured_bytes <= result.original_layer_bytes
+        assert result.overhead_vs_perfect >= 1.0
+
+    def test_substantial_savings_on_synthetic(self, small_dataset):
+        """Restructuring recovers a large share of the §V waste — but the
+        residual gap to perfect file dedup (overhead_vs_perfect) is the
+        point: exact carving under Docker's layer cap cannot reach what
+        registry-side file-level dedup reaches, which is the paper's case
+        for the latter."""
+        result = restructure(small_dataset, CarveConfig(min_group_bytes=4096))
+        assert result.savings_vs_original > 0.35
+        assert 1.5 < result.overhead_vs_perfect < 5.0
+
+    def test_layer_bound_enforced(self, small_dataset):
+        tight = restructure(
+            small_dataset,
+            CarveConfig(min_group_bytes=256, max_layers_per_image=20),
+        )
+        assert tight.layers_per_image_max <= 20
+        # loosening the bound admits more shared groups, never fewer
+        loose = restructure(
+            small_dataset,
+            CarveConfig(min_group_bytes=256, max_layers_per_image=1000),
+        )
+        assert loose.n_shared_layers >= tight.n_shared_layers
+        assert loose.savings_vs_original >= tight.savings_vs_original - 1e-9
+
+    def test_summary_keys(self, small_dataset):
+        result = restructure(small_dataset)
+        assert {"savings_vs_original", "shared_layers"} <= set(result.summary())
+
+    def test_empty_dataset_rejected(self):
+        ds = build(layer_files=[[]], image_layers=[[0]], sizes=[1])
+        with pytest.raises(ValueError):
+            restructure(ds)

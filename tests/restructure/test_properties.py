@@ -1,0 +1,64 @@
+"""Property tests for restructuring: bounds hold on arbitrary datasets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.dataset import HubDataset
+from repro.restructure import CarveConfig, restructure
+
+
+@st.composite
+def carveable_dataset(draw):
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    n_files = draw(st.integers(2, 30))
+    n_layers = draw(st.integers(1, 10))
+    n_images = draw(st.integers(1, 6))
+    layer_files = [
+        list(rng.integers(0, n_files, size=rng.integers(1, 10)))
+        for _ in range(n_layers)
+    ]
+    image_layers = []
+    for _ in range(n_images):
+        k = int(rng.integers(1, n_layers + 1))
+        image_layers.append(sorted(rng.choice(n_layers, size=k, replace=False)))
+    lf_offsets = np.cumsum([0] + [len(f) for f in layer_files]).astype(np.int64)
+    il_offsets = np.cumsum([0] + [len(l) for l in image_layers]).astype(np.int64)
+    ds = HubDataset(
+        file_sizes=rng.integers(1, 100_000, size=n_files).astype(np.int64),
+        file_types=np.zeros(n_files, dtype=np.int32),
+        layer_file_offsets=lf_offsets,
+        layer_file_ids=np.array([f for fs in layer_files for f in fs], dtype=np.int64),
+        layer_cls=np.full(n_layers, 10, dtype=np.int64),
+        layer_dir_counts=np.ones(n_layers, dtype=np.int64),
+        layer_max_depths=np.ones(n_layers, dtype=np.int64),
+        image_layer_offsets=il_offsets,
+        image_layer_ids=np.array([l for ls in image_layers for l in ls], dtype=np.int64),
+    )
+    ds.validate()
+    return ds
+
+
+@settings(max_examples=50, deadline=None)
+@given(carveable_dataset(), st.integers(2, 10))
+def test_restructure_bounds(ds, max_layers):
+    result = restructure(
+        ds, CarveConfig(min_group_bytes=1, max_layers_per_image=max_layers)
+    )
+    # the floor and the ceiling always bracket the layout
+    assert result.perfect_dedup_bytes <= result.restructured_bytes + 1e-9
+    assert result.layers_per_image_max <= max_layers
+    assert result.shared_bytes >= 0 and result.private_bytes >= 0
+    # conservation: shared + private covers exactly the distinct
+    # (file, image) byte demand
+    assert result.restructured_bytes >= result.perfect_dedup_bytes
+
+
+@settings(max_examples=30, deadline=None)
+@given(carveable_dataset())
+def test_no_sharing_when_budget_is_minimal(ds):
+    """max_layers_per_image=1 leaves room for nothing but the private layer."""
+    result = restructure(ds, CarveConfig(min_group_bytes=1, max_layers_per_image=1))
+    assert result.n_shared_layers == 0
+    assert result.shared_bytes == 0

@@ -1,0 +1,93 @@
+"""Unit and property tests for EmpiricalCDF."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.cdf import EmpiricalCDF
+
+
+class TestBasics:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF(np.zeros((2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([1.0, float("nan")])
+
+    def test_min_max_median(self):
+        cdf = EmpiricalCDF([5, 1, 3])
+        assert cdf.min == 1 and cdf.max == 5 and cdf.median() == 3
+
+    def test_values_view_is_readonly(self):
+        cdf = EmpiricalCDF([3, 1, 2])
+        with pytest.raises(ValueError):
+            cdf.values[0] = 99
+
+
+class TestQueries:
+    def test_fraction_at_most(self):
+        cdf = EmpiricalCDF([1, 2, 2, 3])
+        assert cdf.fraction_at_most(2) == 0.75
+        assert cdf.fraction_at_most(0) == 0.0
+        assert cdf.fraction_at_most(3) == 1.0
+
+    def test_fraction_below_excludes_ties(self):
+        cdf = EmpiricalCDF([1, 2, 2, 3])
+        assert cdf.fraction_below(2) == 0.25
+
+    def test_percentile_is_observed_value(self):
+        cdf = EmpiricalCDF([10, 20, 30, 40])
+        assert cdf.percentile(50) in (10, 20, 30, 40)
+
+    def test_percentile_vector(self):
+        cdf = EmpiricalCDF(np.arange(100))
+        result = cdf.percentile([10, 90])
+        assert list(result) == [9, 89]
+
+    def test_quantile_table(self):
+        table = EmpiricalCDF(np.arange(1000)).quantile_table()
+        assert set(table) == {10, 25, 50, 75, 90, 99}
+        assert table[50] == 499
+
+    def test_paper_style_sentence(self):
+        # "90% of layers are smaller than X" == percentile(90)
+        sizes = np.arange(1, 101)
+        cdf = EmpiricalCDF(sizes)
+        p90 = cdf.percentile(90)
+        assert cdf.fraction_at_most(p90) >= 0.90
+
+
+class TestSteps:
+    def test_small_sample_full_resolution(self):
+        cdf = EmpiricalCDF([1, 2, 3])
+        x, f = cdf.steps()
+        assert list(x) == [1, 2, 3]
+        assert f[-1] == 1.0
+
+    def test_thinning_keeps_endpoints(self):
+        cdf = EmpiricalCDF(np.arange(100_000))
+        x, f = cdf.steps(max_points=100)
+        assert len(x) <= 100
+        assert x[0] == 0 and x[-1] == 99_999
+        assert f[-1] == 1.0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=200))
+def test_cdf_properties(sample):
+    cdf = EmpiricalCDF(sample)
+    # monotone non-decreasing in query point
+    assert cdf.fraction_at_most(cdf.min - 1) == 0.0
+    assert cdf.fraction_at_most(cdf.max) == 1.0
+    # percentile stays within the observed range
+    for q in (0, 25, 50, 75, 100):
+        assert cdf.min <= cdf.percentile(q) <= cdf.max
+    # fraction_at_most(percentile(q)) >= q/100
+    for q in (10, 50, 90):
+        assert cdf.fraction_at_most(cdf.percentile(q)) >= q / 100 - 1e-12

@@ -1,0 +1,135 @@
+"""Tests for the fitting/goodness-of-fit toolkit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.cdf import EmpiricalCDF
+from repro.stats.fit import (
+    fit_lognormal,
+    fit_powerlaw_tail,
+    ks_distance,
+    quantile_relative_errors,
+)
+
+
+class TestKS:
+    def test_identical_samples_zero(self):
+        values = np.random.default_rng(0).normal(size=500)
+        assert ks_distance(values, values) == 0.0
+
+    def test_disjoint_samples_one(self):
+        assert ks_distance(np.zeros(10), np.ones(10)) == pytest.approx(1.0)
+
+    def test_same_distribution_small(self):
+        rng = np.random.default_rng(1)
+        a = rng.lognormal(0, 1, 5_000)
+        b = rng.lognormal(0, 1, 5_000)
+        assert ks_distance(a, b) < 0.05
+
+    def test_different_distributions_large(self):
+        rng = np.random.default_rng(1)
+        a = rng.lognormal(0, 1, 5_000)
+        b = rng.lognormal(2, 1, 5_000)
+        assert ks_distance(a, b) > 0.5
+
+    def test_accepts_cdf_objects(self):
+        a = EmpiricalCDF([1, 2, 3])
+        assert ks_distance(a, a) == 0.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(size=100), rng.normal(1, 1, 100)
+        assert ks_distance(a, b) == pytest.approx(ks_distance(b, a))
+
+
+class TestLognormalFit:
+    def test_recovers_parameters(self):
+        rng = np.random.default_rng(3)
+        sample = rng.lognormal(mean=2.5, sigma=0.8, size=50_000)
+        fit = fit_lognormal(sample)
+        assert fit.mu == pytest.approx(2.5, abs=0.02)
+        assert fit.sigma == pytest.approx(0.8, abs=0.02)
+        assert fit.median == pytest.approx(np.exp(2.5), rel=0.03)
+        assert fit.mean == pytest.approx(np.exp(2.5 + 0.32), rel=0.05)
+
+    def test_percentile_inverse(self):
+        fit = fit_lognormal(np.random.default_rng(4).lognormal(1, 0.5, 20_000))
+        # p50 == median by construction
+        assert fit.percentile(50) == pytest.approx(fit.median, rel=1e-3)
+        assert fit.percentile(90) > fit.percentile(50)
+
+    def test_ignores_nonpositive(self):
+        fit = fit_lognormal(np.array([0.0, -5.0, 1.0, np.e]))
+        assert fit.n == 2
+        assert fit.mu == pytest.approx(0.5)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            fit_lognormal(np.array([1.0]))
+
+
+class TestPowerLawFit:
+    def test_recovers_alpha(self):
+        rng = np.random.default_rng(5)
+        alpha = 1.5
+        sample = (1.0 - rng.random(100_000)) ** (-1.0 / alpha)  # Pareto(alpha), xmin=1
+        fit = fit_powerlaw_tail(sample, xmin=1.0)
+        assert fit.alpha == pytest.approx(alpha, rel=0.05)
+
+    def test_xmin_filters_tail(self):
+        rng = np.random.default_rng(6)
+        sample = np.concatenate([np.full(1000, 0.5), (1 - rng.random(2000)) ** -1.0])
+        fit = fit_powerlaw_tail(sample, xmin=1.0)
+        assert fit.n_tail == 2000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_powerlaw_tail(np.array([1.0, 2.0]), xmin=0)
+        with pytest.raises(ValueError):
+            fit_powerlaw_tail(np.array([0.1, 0.2]), xmin=1.0)
+        with pytest.raises(ValueError):
+            fit_powerlaw_tail(np.array([1.0, 1.0, 1.0]), xmin=1.0)
+
+
+class TestQuantileErrors:
+    def test_exact_match_gives_ones(self):
+        values = np.arange(1, 101)
+        ratios = quantile_relative_errors(values, {50: 50, 90: 90})
+        assert ratios[50] == pytest.approx(1.0)
+        assert ratios[90] == pytest.approx(1.0)
+
+    def test_zero_target_rejected(self):
+        with pytest.raises(ValueError):
+            quantile_relative_errors(np.arange(10), {50: 0})
+
+
+class TestCalibrationValidation:
+    """Use the toolkit on the generator itself: the advertised shapes hold."""
+
+    def test_layer_count_tail_is_heavy(self, small_dataset):
+        counts = small_dataset.layer_file_counts
+        fit = fit_powerlaw_tail(counts[counts > 0].astype(float), xmin=50)
+        assert 0.2 < fit.alpha < 2.5  # genuinely heavy-tailed
+
+    def test_copy_counts_quantiles(self, small_dataset):
+        repeats = small_dataset.file_repeat_counts
+        ratios = quantile_relative_errors(
+            repeats[repeats > 0], {50: 4, 90: 10}  # paper Fig. 24
+        )
+        assert 0.5 <= ratios[50] <= 1.6
+        assert 0.5 <= ratios[90] <= 2.5
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    mu=st.floats(-2, 4),
+    sigma=st.floats(0.1, 2.0),
+    seed=st.integers(0, 2**31),
+)
+def test_lognormal_fit_property(mu, sigma, seed):
+    sample = np.random.default_rng(seed).lognormal(mu, sigma, 20_000)
+    fit = fit_lognormal(sample)
+    assert fit.mu == pytest.approx(mu, abs=0.1)
+    assert fit.sigma == pytest.approx(sigma, abs=0.1)

@@ -1,0 +1,75 @@
+"""Unit tests for histograms and binning helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.histogram import Histogram, linear_bins, log_bins
+
+
+class TestBins:
+    def test_linear_bins_cover_range(self):
+        edges = linear_bins(0, 128, 5)
+        assert edges[0] == 0
+        assert edges[-1] >= 128
+        assert np.allclose(np.diff(edges), 5)
+
+    def test_linear_bins_validation(self):
+        with pytest.raises(ValueError):
+            linear_bins(0, 10, 0)
+        with pytest.raises(ValueError):
+            linear_bins(10, 10, 1)
+
+    def test_log_bins_monotone(self):
+        edges = log_bins(1, 10**6, per_decade=5)
+        assert np.all(np.diff(edges) > 0)
+        assert edges[0] == pytest.approx(1)
+        assert edges[-1] == pytest.approx(10**6)
+
+    def test_log_bins_validation(self):
+        with pytest.raises(ValueError):
+            log_bins(0, 10)
+        with pytest.raises(ValueError):
+            log_bins(10, 1)
+
+
+class TestHistogram:
+    def test_counts_and_flows(self):
+        hist = Histogram.from_values(
+            np.array([-1, 0, 1, 2, 5, 10, 11]), edges=np.array([0.0, 5.0, 10.0])
+        )
+        assert hist.counts.tolist() == [3, 2]  # [0,5): {0,1,2}; [5,10]: {5,10}
+        assert hist.underflow == 1
+        assert hist.overflow == 1
+        assert hist.total == 7
+
+    def test_mode_bin(self):
+        hist = Histogram.from_values(
+            np.array([1, 1, 1, 6]), edges=np.array([0.0, 5.0, 10.0])
+        )
+        lo, hi, count = hist.mode_bin()
+        assert (lo, hi, count) == (0.0, 5.0, 3)
+
+    def test_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            Histogram.from_values(np.array([1.0]), edges=np.array([0.0, 0.0, 1.0]))
+        with pytest.raises(ValueError):
+            Histogram.from_values(np.array([1.0]), edges=np.array([3.0]))
+
+    def test_as_rows(self):
+        hist = Histogram.from_values(np.array([1, 7]), edges=np.array([0.0, 5.0, 10.0]))
+        rows = hist.as_rows()
+        assert rows == [(0.0, 5.0, 1), (5.0, 10.0, 1)]
+
+    def test_bin_centers(self):
+        hist = Histogram.from_values(np.array([1.0]), edges=np.array([0.0, 2.0, 4.0]))
+        assert hist.bin_centers().tolist() == [1.0, 3.0]
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=1000, allow_nan=False), min_size=1, max_size=300)
+)
+def test_total_conservation(values):
+    hist = Histogram.from_values(np.array(values), edges=np.array([0.0, 250.0, 500.0, 1000.0]))
+    assert hist.total == len(values)

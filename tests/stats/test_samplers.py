@@ -1,0 +1,117 @@
+"""Unit and property tests for distribution samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.samplers import (
+    LognormalSpec,
+    MixtureSpec,
+    ParetoTailSpec,
+    bounded_zipf_weights,
+    lognormal_from_median_p90,
+    sample_zipf_ranks,
+)
+
+
+class TestLognormalFit:
+    def test_fit_recovers_targets(self):
+        rng = np.random.default_rng(0)
+        spec = LognormalSpec(median=4e6, p90=63e6)
+        sample = spec.sample(rng, 200_000)
+        assert np.median(sample) == pytest.approx(4e6, rel=0.05)
+        assert np.percentile(sample, 90) == pytest.approx(63e6, rel=0.05)
+
+    def test_clamping(self):
+        rng = np.random.default_rng(0)
+        spec = LognormalSpec(median=10, p90=100, low=5, high=50)
+        sample = spec.sample(rng, 10_000)
+        assert sample.min() >= 5 and sample.max() <= 50
+
+    @pytest.mark.parametrize("median,p90", [(0, 1), (5, 5), (5, 4), (-1, 3)])
+    def test_rejects_bad_targets(self, median, p90):
+        with pytest.raises(ValueError):
+            lognormal_from_median_p90(median, p90)
+
+
+class TestParetoTail:
+    def test_support_starts_at_xmin(self):
+        rng = np.random.default_rng(0)
+        sample = ParetoTailSpec(xmin=100, alpha=1.5).sample(rng, 10_000)
+        assert sample.min() >= 100
+
+    def test_high_clamp(self):
+        rng = np.random.default_rng(0)
+        sample = ParetoTailSpec(xmin=100, alpha=0.5, high=10_000).sample(rng, 10_000)
+        assert sample.max() <= 10_000
+
+    def test_heavier_tail_with_smaller_alpha(self):
+        rng = np.random.default_rng(0)
+        light = ParetoTailSpec(xmin=1, alpha=3.0).sample(rng, 50_000)
+        heavy = ParetoTailSpec(xmin=1, alpha=0.8).sample(rng, 50_000)
+        assert np.percentile(heavy, 99) > np.percentile(light, 99)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            ParetoTailSpec(xmin=0, alpha=1).sample(rng, 10)
+
+
+class TestMixture:
+    def test_atom_shares(self):
+        rng = np.random.default_rng(0)
+        mix = MixtureSpec(
+            atoms=[(0.0, 0.07), (1.0, 0.27)],
+            components=[(LognormalSpec(median=30, p90=7000), 0.66)],
+        )
+        sample = mix.sample(rng, 100_000)
+        assert np.mean(sample == 0.0) == pytest.approx(0.07, abs=0.01)
+        assert np.mean(sample == 1.0) == pytest.approx(0.27, abs=0.01)
+
+    def test_empty_mixture_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            MixtureSpec().sample(rng, 10)
+
+    def test_negative_weight_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            MixtureSpec(atoms=[(0.0, -1.0)]).sample(rng, 10)
+
+
+class TestZipf:
+    def test_weights_normalized_and_decreasing(self):
+        w = bounded_zipf_weights(1000, 1.2)
+        assert w.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(w) <= 0)
+
+    def test_alpha_zero_is_uniform(self):
+        w = bounded_zipf_weights(10, 0.0)
+        assert np.allclose(w, 0.1)
+
+    def test_rank_sampling_respects_weights(self):
+        rng = np.random.default_rng(0)
+        ranks = sample_zipf_ranks(rng, 100_000, n_ranks=100, alpha=1.0)
+        counts = np.bincount(ranks, minlength=100)
+        assert counts[0] > counts[10] > counts[99]
+        assert ranks.min() >= 0 and ranks.max() < 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bounded_zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            bounded_zipf_weights(10, -1.0)
+
+
+@settings(max_examples=25)
+@given(
+    n_ranks=st.integers(min_value=1, max_value=500),
+    alpha=st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_zipf_ranks_always_in_range(n_ranks, alpha, seed):
+    rng = np.random.default_rng(seed)
+    ranks = sample_zipf_ranks(rng, 1000, n_ranks=n_ranks, alpha=alpha)
+    assert ranks.min() >= 0
+    assert ranks.max() < n_ranks

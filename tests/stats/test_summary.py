@@ -1,0 +1,41 @@
+"""Unit tests for SummaryStats."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.summary import summarize
+
+
+def test_known_values():
+    stats = summarize(np.arange(1, 101))
+    assert stats.n == 100
+    assert stats.minimum == 1 and stats.maximum == 100
+    assert stats.median == 50
+    assert stats.p90 == 90
+    assert stats.total == 5050
+    assert stats.mean == pytest.approx(50.5)
+
+
+def test_rejects_empty():
+    with pytest.raises(ValueError):
+        summarize(np.array([]))
+
+
+def test_as_dict_keys():
+    stats = summarize(np.array([1.0, 2.0]))
+    assert set(stats.as_dict()) == {
+        "n", "mean", "min", "p10", "p25", "median", "p75", "p90", "p99", "max", "total",
+    }
+
+
+def test_str_contains_headline_numbers():
+    text = str(summarize(np.array([1, 2, 3])))
+    assert "median=2" in text and "n=3" in text
+
+
+@given(st.lists(st.floats(min_value=-1e9, max_value=1e9, allow_nan=False), min_size=1))
+def test_percentiles_ordered(sample):
+    s = summarize(np.array(sample))
+    assert s.minimum <= s.p10 <= s.p25 <= s.median <= s.p75 <= s.p90 <= s.p99 <= s.maximum

@@ -1,0 +1,50 @@
+"""Bench-scale calibration pin.
+
+EXPERIMENTS.md and the benchmark harness run at ``SyntheticHubConfig.bench``
+scale; the small-scale calibration tests don't exercise the same tails, so
+this single (slower, ~30 s) test pins the headline bands at the scale the
+record is published from.
+"""
+
+import numpy as np
+import pytest
+
+from repro.synth import SyntheticHubConfig, generate_dataset
+from repro.synth.calibration import calibration_report, failed_rows
+
+
+@pytest.fixture(scope="module")
+def bench_dataset():
+    return generate_dataset(SyntheticHubConfig.bench(seed=2017))
+
+
+def test_bench_scale_calibration_bands(bench_dataset):
+    failures = failed_rows(calibration_report(bench_dataset))
+    message = "\n".join(
+        f"{row.name}: measured {row.measured:.4g} vs target {row.target:.4g} "
+        f"(x{row.ratio:.2f}, band [{row.low}, {row.high}])"
+        for row in failures
+    )
+    assert not failures, f"bench-scale calibration drifted:\n{message}"
+
+
+def test_bench_scale_headline_dedup(bench_dataset):
+    """The §V headline at publication scale: a few percent unique, capacity
+    dedup in the 6-8x band, the max-repeat file empty."""
+    repeats = bench_dataset.file_repeat_counts
+    used = repeats > 0
+    unique_fraction = used.sum() / bench_dataset.n_file_occurrences
+    assert unique_fraction < 0.08  # paper: 3.2 %
+    capacity_ratio = (
+        bench_dataset.occurrence_sizes.sum()
+        / bench_dataset.file_sizes[used].sum()
+    )
+    assert 5.5 <= capacity_ratio <= 8.5  # paper: 6.9
+    assert bench_dataset.file_sizes[int(np.argmax(repeats))] == 0
+
+
+def test_bench_scale_figure10_spike(bench_dataset):
+    """Fig. 10(b)'s mode at 8 layers survives at scale."""
+    counts = bench_dataset.image_layer_counts
+    values, freq = np.unique(counts, return_counts=True)
+    assert values[np.argmax(freq)] == 8

@@ -1,0 +1,47 @@
+"""The calibration contract: every pinned shape claim holds at small scale.
+
+This is the regression net for the generator — a parameter tweak that
+drifts any headline distribution out of its band fails here, by name.
+"""
+
+import pytest
+
+from repro.synth.calibration import calibration_report, failed_rows
+
+
+@pytest.fixture(scope="module")
+def report(small_dataset):
+    return calibration_report(small_dataset)
+
+
+def test_all_calibration_bands_hold(report):
+    failures = failed_rows(report)
+    message = "\n".join(
+        f"{row.name}: measured {row.measured:.4g} vs target {row.target:.4g} "
+        f"(x{row.ratio:.2f}, band [{row.low}, {row.high}])"
+        for row in failures
+    )
+    assert not failures, f"calibration drifted:\n{message}"
+
+
+def test_report_covers_all_sections(report):
+    names = {row.name for row in report}
+    assert {"frac_empty_layers", "layers_per_image_median", "count_share_document",
+            "copies_median", "sharing_ratio"} <= names
+
+
+def test_rows_carry_ratios(report):
+    for row in report:
+        assert row.ratio == pytest.approx(row.measured / row.target)
+
+
+@pytest.mark.parametrize("seed", [1, 99, 31337])
+def test_calibration_stable_across_seeds(seed):
+    """The bands must hold for any seed, not just the fixture's."""
+    from repro.synth import SyntheticHubConfig, generate_dataset
+
+    dataset = generate_dataset(SyntheticHubConfig.small(seed=seed))
+    failures = failed_rows(calibration_report(dataset))
+    assert not failures, [
+        (row.name, round(row.ratio, 2)) for row in failures
+    ]

@@ -1,0 +1,68 @@
+"""Unit tests for generation configs."""
+
+import pytest
+
+from repro.synth.config import (
+    LayerShapeConfig,
+    PopularityConfig,
+    SharingConfig,
+    SyntheticHubConfig,
+)
+
+
+class TestPresets:
+    @pytest.mark.parametrize("preset", ["bench", "small", "tiny"])
+    def test_presets_construct(self, preset):
+        config = getattr(SyntheticHubConfig, preset)(seed=5)
+        assert config.seed == 5
+        assert config.n_images > 0
+
+    def test_scale_ordering(self):
+        assert (
+            SyntheticHubConfig.tiny().n_images
+            < SyntheticHubConfig.small().n_images
+            < SyntheticHubConfig.bench().n_images
+        )
+
+    def test_profiles_share_sum(self):
+        config = SyntheticHubConfig()
+        total = sum(p.occ_share for p in config.profiles)
+        assert total == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_images(self):
+        with pytest.raises(ValueError):
+            SyntheticHubConfig(n_images=0)
+
+    def test_rejects_bad_fail_share(self):
+        with pytest.raises(ValueError):
+            SyntheticHubConfig(fail_share=1.0)
+        with pytest.raises(ValueError):
+            SyntheticHubConfig(fail_auth_share=1.5)
+
+
+class TestPopularityConfig:
+    def test_weights_normalized(self):
+        pop = PopularityConfig()
+        assert sum(pop.weights()) == pytest.approx(1.0)
+
+    def test_named_top_repositories(self):
+        pop = PopularityConfig()
+        names = [n for n, _ in pop.top_repositories]
+        assert "nginx" in names
+        counts = dict(pop.top_repositories)
+        assert counts["nginx"] == 650_000_000
+
+
+class TestSubConfigs:
+    def test_layer_shape_defaults_are_calibrated(self):
+        shape = LayerShapeConfig()
+        assert shape.empty_share == pytest.approx(0.07)
+        assert shape.single_share == pytest.approx(0.27)
+        assert abs(sum(shape.depth_pmf) - 1.0) < 0.05
+
+    def test_sharing_defaults(self):
+        sharing = SharingConfig()
+        assert sharing.empty_layer_share == pytest.approx(0.52)
+        assert sharing.layer_count_median == 8.0

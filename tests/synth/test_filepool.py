@@ -1,0 +1,102 @@
+"""Unit tests for the copy-count-first file pool."""
+
+import numpy as np
+import pytest
+
+from repro.filetypes.catalog import RARE_TYPE_BASE, TypeGroup, default_catalog
+from repro.synth.config import SyntheticHubConfig
+from repro.synth.filepool import generate_file_pool
+from repro.util.rng import RngTree
+
+
+@pytest.fixture(scope="module")
+def pool():
+    config = SyntheticHubConfig.small(seed=9)
+    return generate_file_pool(
+        config.profiles, 200_000, RngTree(9).child("filepool"), n_rare_types=50
+    )
+
+
+class TestInvariants:
+    def test_exact_occurrence_budget(self, pool):
+        assert pool.total_occurrences == 200_000
+
+    def test_validate_passes(self, pool):
+        pool.validate()
+
+    def test_every_file_occurs(self, pool):
+        assert pool.copy_counts.min() >= 1
+
+    def test_occurrence_arrays_match_copies(self, pool):
+        for g, occ in pool.occurrences_by_group.items():
+            mask = pool.group_ids == g
+            expected = pool.copy_counts[mask].sum()
+            assert occ.size == expected
+
+    def test_compressed_never_exceeds_size(self, pool):
+        assert (pool.compressed_sizes <= pool.sizes).all()
+
+    def test_empty_files_have_zero_compressed(self, pool):
+        empty = pool.sizes == 0
+        assert empty.any()
+        assert (pool.compressed_sizes[empty] == 0).all()
+
+
+class TestCalibration:
+    def test_group_occurrence_shares(self, pool):
+        """Fig. 14(a): occurrence shares per group hit the configured quotas."""
+        total = pool.total_occurrences
+        doc = pool.occurrences_by_group[int(TypeGroup.DOCUMENT)].size / total
+        eol = pool.occurrences_by_group[int(TypeGroup.EOL)].size / total
+        assert doc == pytest.approx(0.44, abs=0.01)
+        assert eol == pytest.approx(0.11, abs=0.01)
+
+    def test_copy_median_near_four(self, pool):
+        """Fig. 24: the unique-file copy median is 4."""
+        assert 3 <= np.median(pool.copy_counts) <= 6
+
+    def test_singletons_are_rare(self, pool):
+        """Fig. 24: over 99.4 % of files have more than one copy."""
+        assert (pool.copy_counts == 1).mean() < 0.02
+
+    def test_canonical_empty_file_dominates(self, pool):
+        """The paper's max-repeat file is an empty file."""
+        top = int(np.argmax(pool.copy_counts))
+        assert pool.sizes[top] == 0
+
+    def test_rare_types_in_rare_band(self, pool):
+        rare = pool.type_codes >= RARE_TYPE_BASE
+        assert rare.any()
+        assert np.unique(pool.type_codes[rare]).size <= 50
+
+    def test_occurrence_weighted_avg_sizes(self, pool):
+        """Per-type occurrence-weighted mean sizes match the published
+        averages (the explicit rescale in _mint_profile)."""
+        catalog = default_catalog()
+        elf_code = catalog.code("elf")
+        mask = pool.type_codes == elf_code
+        occ_mean = float(
+            (pool.sizes[mask] * pool.copy_counts[mask]).sum()
+            / pool.copy_counts[mask].sum()
+        )
+        assert occ_mean == pytest.approx(312_000, rel=0.05)
+
+
+class TestSampling:
+    def test_group_sampling_restricted(self, pool):
+        # occurrences of a group only reference that group's files
+        g = int(TypeGroup.SOURCE)
+        occ = pool.occurrences_by_group[g]
+        assert (pool.group_ids[occ] == g).all()
+
+    def test_deterministic(self):
+        config = SyntheticHubConfig.tiny(seed=3)
+        p1 = generate_file_pool(config.profiles, 5_000, RngTree(3).child("fp"))
+        p2 = generate_file_pool(config.profiles, 5_000, RngTree(3).child("fp"))
+        assert (p1.sizes == p2.sizes).all()
+        assert (p1.copy_counts == p2.copy_counts).all()
+
+    def test_rejects_zero_budget(self):
+        config = SyntheticHubConfig.tiny(seed=3)
+        with pytest.raises(ValueError):
+            generate_file_pool(config.profiles, 0, RngTree(3))

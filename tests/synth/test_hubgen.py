@@ -1,0 +1,82 @@
+"""Integration tests for whole-dataset generation."""
+
+import numpy as np
+import pytest
+
+from repro.synth import SyntheticHubConfig, generate_dataset
+
+
+class TestDatasetShape:
+    def test_validates(self, small_dataset):
+        small_dataset.validate()
+
+    def test_counts(self, small_dataset, small_config):
+        assert small_dataset.n_images == small_config.n_images
+        assert small_dataset.n_layers > small_config.n_images  # layers dominate
+
+    def test_layer_zero_is_empty(self, small_dataset):
+        assert small_dataset.layer_file_counts[0] == 0
+        assert small_dataset.layer_cls[0] > 0  # empty tarball still has bytes
+
+    def test_every_layer_referenced(self, small_dataset):
+        refs = small_dataset.layer_ref_counts
+        # pruning removes unreferenced layers (index 0 is kept by contract)
+        assert (refs[1:] > 0).all()
+
+    def test_repo_names_unique(self, small_dataset):
+        assert len(set(small_dataset.repo_names)) == small_dataset.n_images
+
+    def test_named_top_repo_present(self, small_dataset):
+        idx = small_dataset.repo_names.index("nginx")
+        assert small_dataset.pull_counts[idx] == 650_000_000
+
+
+class TestDeterminism:
+    def test_same_seed_same_dataset(self):
+        a = generate_dataset(SyntheticHubConfig.tiny(seed=42))
+        b = generate_dataset(SyntheticHubConfig.tiny(seed=42))
+        assert (a.layer_file_ids == b.layer_file_ids).all()
+        assert (a.layer_cls == b.layer_cls).all()
+        assert (a.pull_counts == b.pull_counts).all()
+        assert a.repo_names == b.repo_names
+
+    def test_different_seed_different_dataset(self):
+        a = generate_dataset(SyntheticHubConfig.tiny(seed=42))
+        b = generate_dataset(SyntheticHubConfig.tiny(seed=43))
+        assert a.n_layers != b.n_layers or not (a.layer_cls == b.layer_cls).all()
+
+
+class TestCalibratedShape:
+    """Distribution-shape checks at small scale (loose tolerances)."""
+
+    def test_layers_per_image(self, small_dataset):
+        counts = small_dataset.image_layer_counts
+        assert 6 <= np.median(counts) <= 10  # paper: 8
+
+    def test_empty_layer_share(self, small_dataset):
+        fc = small_dataset.layer_file_counts
+        assert 0.03 <= (fc == 0).mean() <= 0.12  # paper: 0.07
+
+    def test_single_file_share(self, small_dataset):
+        fc = small_dataset.layer_file_counts
+        assert 0.15 <= (fc == 1).mean() <= 0.35  # paper: 0.27
+
+    def test_most_layers_referenced_once(self, small_dataset):
+        refs = small_dataset.layer_ref_counts
+        assert (refs == 1).mean() > 0.85  # paper: ~0.90
+
+    def test_copies_median(self, small_dataset):
+        rep = small_dataset.file_repeat_counts
+        rep = rep[rep > 0]
+        assert 3 <= np.median(rep) <= 6  # paper: 4
+
+    def test_depth_mode_three(self, small_dataset):
+        depths = small_dataset.layer_max_depths
+        nonempty = depths[small_dataset.layer_file_counts > 0]
+        values, counts = np.unique(nonempty, return_counts=True)
+        assert values[np.argmax(counts)] == 3  # paper: mode 3
+
+    def test_compression_sane(self, small_dataset):
+        ratios = small_dataset.compression_ratios
+        ratios = ratios[small_dataset.layer_fls > 0]
+        assert 1.5 <= np.median(ratios) <= 3.5  # paper: 2.6

@@ -1,0 +1,99 @@
+"""Unit tests for image composition planning."""
+
+import numpy as np
+import pytest
+
+from repro.synth.config import SharingConfig
+from repro.synth.imagegen import plan_images, sample_image_layer_counts
+from repro.util.rng import RngTree
+
+SHARING = SharingConfig()
+
+
+class TestLayerCounts:
+    def test_single_layer_share(self):
+        rng = np.random.default_rng(0)
+        counts = sample_image_layer_counts(rng, 50_000, SHARING)
+        assert (counts == 1).mean() == pytest.approx(0.02, abs=0.005)
+
+    def test_median_and_cap(self):
+        rng = np.random.default_rng(0)
+        counts = sample_image_layer_counts(rng, 50_000, SHARING)
+        assert 7 <= np.median(counts) <= 9
+        assert counts.max() <= SHARING.max_layers
+        assert counts.min() >= 1
+
+
+class TestPlan:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return plan_images(RngTree(11).child("images"), 2_000, SHARING)
+
+    def test_csr_shape(self, plan):
+        assert plan.image_layer_offsets[0] == 0
+        assert plan.image_layer_offsets[-1] == plan.image_layer_ids.size
+        assert plan.n_images == 2_000
+
+    def test_all_ids_in_range(self, plan):
+        assert plan.image_layer_ids.min() >= 0
+        assert plan.image_layer_ids.max() < plan.n_layers_total
+
+    def test_no_duplicate_layers_within_image(self, plan):
+        offsets = plan.image_layer_offsets
+        for i in range(plan.n_images):
+            layers = plan.image_layer_ids[offsets[i] : offsets[i + 1]]
+            assert np.unique(layers).size == layers.size
+
+    def test_empty_layer_share(self, plan):
+        refs = np.bincount(plan.image_layer_ids, minlength=plan.n_layers_total)
+        assert refs[0] / plan.n_images == pytest.approx(
+            SHARING.empty_layer_share, abs=0.05
+        )
+
+    def test_every_image_has_private_layer(self, plan):
+        """The plan guarantees >= 1 private layer per image."""
+        private_base = 1 + plan.n_stack_layers
+        offsets = plan.image_layer_offsets
+        for i in range(plan.n_images):
+            layers = plan.image_layer_ids[offsets[i] : offsets[i + 1]]
+            assert (layers >= private_base).any()
+
+    def test_private_layers_used_once(self, plan):
+        refs = np.bincount(plan.image_layer_ids, minlength=plan.n_layers_total)
+        private_base = 1 + plan.n_stack_layers
+        assert (refs[private_base:] <= 1).all()
+
+    def test_stack_ranks_parallel_stack_layers(self, plan):
+        assert plan.stack_ranks.size == plan.n_stack_layers
+        # ranks are non-decreasing (stacks laid out in rank order)
+        assert (np.diff(plan.stack_ranks) >= 0).all()
+
+    def test_layer_owner_shape(self, plan):
+        assert plan.layer_owner.size == plan.n_layers_total
+        private_base = 1 + plan.n_stack_layers
+        assert (plan.layer_owner[:private_base] == -1).all()
+        owners = plan.layer_owner[private_base:]
+        assert owners.min() >= 0 and owners.max() < plan.n_images
+
+    def test_layer_owner_matches_membership(self, plan):
+        """Each private layer's owner image actually contains it."""
+        private_base = 1 + plan.n_stack_layers
+        offsets = plan.image_layer_offsets
+        for layer_id in range(private_base, min(private_base + 50, plan.n_layers_total)):
+            owner = plan.layer_owner[layer_id]
+            layers = plan.image_layer_ids[offsets[owner] : offsets[owner + 1]]
+            assert layer_id in layers
+
+    def test_base_first_ordering(self, plan):
+        """Stack layers precede private layers in each image's list."""
+        private_base = 1 + plan.n_stack_layers
+        offsets = plan.image_layer_offsets
+        for i in range(min(200, plan.n_images)):
+            layers = plan.image_layer_ids[offsets[i] : offsets[i + 1]]
+            kinds = np.where(layers >= private_base, 2, np.where(layers == 0, 1, 0))
+            assert (np.diff(kinds) >= 0).all(), f"image {i} not base-first: {kinds}"
+
+    def test_deterministic(self):
+        p1 = plan_images(RngTree(11).child("images"), 500, SHARING)
+        p2 = plan_images(RngTree(11).child("images"), 500, SHARING)
+        assert (p1.image_layer_ids == p2.image_layer_ids).all()

@@ -1,0 +1,162 @@
+"""Unit tests for layer structure sampling and occurrence dealing."""
+
+import numpy as np
+import pytest
+
+from repro.synth.config import LayerShapeConfig, SyntheticHubConfig
+from repro.synth.filepool import generate_file_pool
+from repro.synth.layergen import (
+    LayerStructure,
+    assemble_layers,
+    deal_layer_files,
+    generate_structure,
+    sample_layer_file_counts,
+)
+from repro.util.rng import RngTree
+
+SHAPE = LayerShapeConfig(
+    body_median=20.0, body_p90=200.0, image_size_sigma=0.0,
+    stack_body_median=50.0, stack_body_p90=300.0, max_files=1_000,
+)
+
+
+class TestFileCounts:
+    def test_atom_shares(self):
+        rng = np.random.default_rng(0)
+        counts = sample_layer_file_counts(rng, 50_000, SHAPE)
+        assert (counts == 0).mean() == pytest.approx(0.07, abs=0.01)
+        assert (counts == 1).mean() == pytest.approx(0.27, abs=0.01)
+
+    def test_cap_respected(self):
+        rng = np.random.default_rng(0)
+        counts = sample_layer_file_counts(rng, 20_000, SHAPE)
+        assert counts.max() <= SHAPE.max_files
+
+
+class TestStructure:
+    def test_canonical_empty_layer(self):
+        structure = generate_structure(RngTree(1).child("l"), 500, SHAPE)
+        assert structure.file_counts[0] == 0
+        assert structure.dir_counts[0] == 0
+        assert structure.max_depths[0] == 0
+
+    def test_dirs_at_least_depth(self):
+        structure = generate_structure(RngTree(1).child("l"), 2_000, SHAPE)
+        assert (structure.dir_counts >= structure.max_depths).all()
+
+    def test_nonempty_layers_have_dirs(self):
+        structure = generate_structure(RngTree(1).child("l"), 2_000, SHAPE)
+        nonempty = structure.file_counts > 0
+        assert (structure.dir_counts[nonempty] >= 1).all()
+
+    def test_stack_layers_bigger(self):
+        stack_layers = np.arange(1, 101)
+        structure = generate_structure(
+            RngTree(1).child("l"), 2_000, SHAPE,
+            stack_layers=stack_layers,
+            stack_ranks=np.arange(100),
+            n_stacks=100,
+        )
+        stack_mean = structure.file_counts[stack_layers].mean()
+        private_mean = structure.file_counts[101:].mean()
+        assert stack_mean > private_mean
+
+    def test_popular_stacks_biggest(self):
+        stack_layers = np.arange(1, 201)
+        structure = generate_structure(
+            RngTree(1).child("l"), 2_000, SHAPE,
+            stack_layers=stack_layers,
+            stack_ranks=np.arange(200),
+            n_stacks=200,
+            stack_rank_exp=0.8,
+        )
+        top20 = structure.file_counts[stack_layers[:20]].mean()
+        bottom20 = structure.file_counts[stack_layers[-20:]].mean()
+        assert top20 > bottom20
+
+    def test_requires_at_least_one_layer(self):
+        with pytest.raises(ValueError):
+            generate_structure(RngTree(1).child("l"), 0, SHAPE)
+
+    def test_mismatched_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            generate_structure(
+                RngTree(1).child("l"), 100, SHAPE,
+                stack_layers=np.array([1, 2]), stack_ranks=np.array([0]),
+            )
+
+    def test_offsets_consistent(self):
+        structure = generate_structure(RngTree(1).child("l"), 500, SHAPE)
+        offsets = structure.offsets()
+        assert offsets[0] == 0
+        assert offsets[-1] == structure.total_files
+        assert (np.diff(offsets) == structure.file_counts).all()
+
+
+class TestDealing:
+    @pytest.fixture(scope="class")
+    def dealt(self):
+        config = SyntheticHubConfig.small(seed=4)
+        tree = RngTree(4)
+        structure = generate_structure(tree.child("layers"), 800, SHAPE)
+        pool = generate_file_pool(
+            config.profiles, structure.total_files, tree.child("filepool")
+        )
+        ids = deal_layer_files(tree.child("layers"), pool, structure)
+        return pool, structure, ids
+
+    def test_every_occurrence_dealt_once(self, dealt):
+        pool, structure, ids = dealt
+        # the multiset of dealt ids equals the pool's copy counts exactly
+        assert (np.bincount(ids, minlength=pool.n) == pool.copy_counts).all()
+
+    def test_layer_boundaries_respected(self, dealt):
+        pool, structure, ids = dealt
+        assert ids.size == structure.total_files
+
+    def test_budget_mismatch_rejected(self, dealt):
+        pool, structure, _ = dealt
+        bad = LayerStructure(
+            file_counts=structure.file_counts[:-1],
+            dir_counts=structure.dir_counts[:-1],
+            max_depths=structure.max_depths[:-1],
+        )
+        with pytest.raises(ValueError):
+            deal_layer_files(RngTree(4).child("layers"), pool, bad)
+
+    def test_theming_produces_homogeneous_layers(self, dealt):
+        """Most layers should be dominated by a single type group."""
+        pool, structure, ids = dealt
+        offsets = structure.offsets()
+        dominant_shares = []
+        for k in range(structure.n_layers):
+            seg = ids[offsets[k] : offsets[k + 1]]
+            if seg.size < 10:
+                continue
+            groups = pool.group_ids[seg]
+            dominant_shares.append(np.bincount(groups).max() / seg.size)
+        assert np.median(dominant_shares) > 0.5
+
+
+class TestAssembly:
+    def test_cls_positive_and_bounded(self):
+        config = SyntheticHubConfig.small(seed=4)
+        tree = RngTree(4)
+        structure = generate_structure(tree.child("layers"), 400, SHAPE)
+        pool = generate_file_pool(
+            config.profiles, structure.total_files, tree.child("filepool")
+        )
+        ids = deal_layer_files(tree.child("layers"), pool, structure)
+        block = assemble_layers(tree.child("layers"), pool, structure, ids, SHAPE)
+        assert (block.cls > 0).all()
+        # CLS can't exceed FLS + framing by construction
+        fls = np.array(
+            [
+                pool.sizes[ids[block.file_offsets[k] : block.file_offsets[k + 1]]].sum()
+                for k in range(block.n_layers)
+            ]
+        )
+        framing = (block.file_counts + block.dir_counts) * (
+            SHAPE.tar_overhead_per_file // 12
+        ) + SHAPE.gzip_overhead
+        assert (block.cls <= fls + framing).all()

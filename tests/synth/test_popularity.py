@@ -1,0 +1,68 @@
+"""Unit tests for the popularity model."""
+
+import numpy as np
+import pytest
+
+from repro.synth.config import PopularityConfig
+from repro.synth.popularity import (
+    generate_pull_counts,
+    generate_repo_names,
+    sample_pull_counts,
+)
+from repro.util.rng import RngTree
+
+POP = PopularityConfig()
+
+
+class TestPullCounts:
+    @pytest.fixture(scope="class")
+    def pulls(self):
+        rng = np.random.default_rng(0)
+        return sample_pull_counts(rng, 100_000, POP)
+
+    def test_nonnegative(self, pulls):
+        assert pulls.min() >= 0
+
+    def test_median_near_paper(self, pulls):
+        assert 25 <= np.median(pulls) <= 60  # paper: 40
+
+    def test_p90_near_paper(self, pulls):
+        assert 200 <= np.percentile(pulls, 90) <= 500  # paper: 333
+
+    def test_low_pull_peak(self, pulls):
+        """Fig. 8(b): a mass of repos pulled 0-5 times."""
+        assert (pulls <= 5).mean() > 0.15
+
+    def test_second_peak_near_37(self, pulls):
+        """Fig. 8(b): the automation bump around 37 pulls."""
+        near = ((pulls >= 30) & (pulls <= 44)).mean()
+        far = ((pulls >= 50) & (pulls <= 64)).mean()
+        assert near > far
+
+    def test_heavy_tail(self, pulls):
+        assert pulls.max() > 10_000
+
+    def test_tail_capped(self, pulls):
+        assert pulls.max() <= POP.tail_cap
+
+
+class TestNames:
+    def test_top_repositories_first(self):
+        names = generate_repo_names(RngTree(0).child("pop"), 100, 10, POP)
+        assert names[0] == "nginx"
+        assert "google/cadvisor" in names
+
+    def test_unique_names(self):
+        names = generate_repo_names(RngTree(0).child("pop"), 500, 10, POP)
+        assert len(set(names)) == 500
+
+    def test_official_count(self):
+        names = generate_repo_names(RngTree(0).child("pop"), 500, 20, POP)
+        officials = [n for n in names if "/" not in n]
+        assert len(officials) == 20
+
+    def test_published_pull_counts_attached(self):
+        names = generate_repo_names(RngTree(0).child("pop"), 100, 10, POP)
+        pulls = generate_pull_counts(RngTree(0).child("pop"), names, POP)
+        assert pulls[names.index("nginx")] == 650_000_000
+        assert pulls[names.index("redis")] == 264_000_000

@@ -1,0 +1,81 @@
+"""Unit tests for the calibrated type-profile table."""
+
+import pytest
+
+from repro.filetypes.catalog import default_catalog
+from repro.synth.typeprofiles import (
+    RARE_PROFILE_NAME,
+    TypeProfile,
+    default_type_profiles,
+)
+
+
+class TestTable:
+    def test_shares_sum_to_one(self):
+        profiles = default_type_profiles()
+        assert sum(p.occ_share for p in profiles) == pytest.approx(1.0)
+
+    def test_every_named_profile_in_catalog(self):
+        catalog = default_catalog()
+        for profile in default_type_profiles():
+            if profile.name != RARE_PROFILE_NAME:
+                assert profile.name in catalog
+
+    def test_rare_profile_present(self):
+        names = [p.name for p in default_type_profiles()]
+        assert RARE_PROFILE_NAME in names
+
+    def test_paper_average_sizes(self):
+        by_name = {p.name: p for p in default_type_profiles()}
+        # §IV-C quotes these explicitly
+        assert by_name["elf"].avg_size == 312_000
+        assert by_name["zip_gzip"].avg_size == 67_000
+        assert by_name["bzip2"].avg_size == 199_000
+        assert by_name["tar"].avg_size == 466_000
+        assert by_name["xz"].avg_size == 534_000
+
+    def test_dedup_ordering_matches_fig27(self):
+        """Scripts dedup hardest, databases least (Fig. 27) — encoded as
+        copy medians + tail probabilities."""
+        by_name = {p.name: p for p in default_type_profiles()}
+        script = by_name["python_script"]
+        db = by_name["berkeley_db"]
+        assert script.copy_median > db.copy_median
+        assert script.copy_tail_p > db.copy_tail_p
+
+    def test_library_is_low_dedup(self):
+        """Libraries have the lowest dedup in Fig. 28 (53.5 %)."""
+        by_name = {p.name: p for p in default_type_profiles()}
+        assert by_name["library"].copy_median < by_name["elf"].copy_median
+
+    def test_empty_profile_has_zero_size(self):
+        by_name = {p.name: p for p in default_type_profiles()}
+        assert by_name["empty"].avg_size == 0
+
+
+class TestValidation:
+    def _valid_kwargs(self, **overrides):
+        kwargs = dict(
+            name="x", occ_share=0.1, avg_size=10.0, size_sigma=1.0,
+            copy_median=4.0, copy_sigma=0.5, copy_tail_p=0.1,
+            copy_tail_alpha=1.0, size_gamma=0.5, compress_ratio=2.0,
+        )
+        kwargs.update(overrides)
+        return kwargs
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"occ_share": -0.1},
+            {"occ_share": 1.5},
+            {"avg_size": -1.0},
+            {"copy_median": 0.5},
+            {"copy_tail_p": 2.0},
+            {"copy_tail_p": 0.1, "copy_tail_alpha": 0.0},
+            {"size_gamma": -1.0},
+            {"compress_ratio": 0.5},
+        ],
+    )
+    def test_rejects_invalid(self, bad):
+        with pytest.raises(ValueError):
+            TypeProfile(**self._valid_kwargs(**bad))

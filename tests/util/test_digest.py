@@ -1,0 +1,96 @@
+"""Unit tests for content-addressing helpers."""
+
+import hashlib
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.digest import (
+    DigestError,
+    format_digest,
+    is_digest,
+    parse_digest,
+    sha256_bytes,
+    sha256_stream,
+    short_digest,
+)
+
+
+class TestSha256Bytes:
+    def test_known_vector(self):
+        assert (
+            sha256_bytes(b"")
+            == "sha256:e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_matches_hashlib(self):
+        data = b"docker hub dataset"
+        assert sha256_bytes(data) == "sha256:" + hashlib.sha256(data).hexdigest()
+
+    @given(st.binary(max_size=1024))
+    def test_deterministic_and_wellformed(self, data):
+        d1, d2 = sha256_bytes(data), sha256_bytes(data)
+        assert d1 == d2
+        assert is_digest(d1)
+
+
+class TestSha256Stream:
+    def test_matches_bytes_hash(self):
+        data = b"x" * (3 << 20)  # spans multiple chunks
+        assert sha256_stream(io.BytesIO(data)) == sha256_bytes(data)
+
+    def test_consumes_from_current_position(self):
+        stream = io.BytesIO(b"skipme-rest")
+        stream.read(7)
+        assert sha256_stream(stream) == sha256_bytes(b"rest")
+
+
+class TestParseDigest:
+    def test_roundtrip(self):
+        digest = sha256_bytes(b"abc")
+        algo, hexpart = parse_digest(digest)
+        assert algo == "sha256"
+        assert len(hexpart) == 64
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "sha256", "sha256:", "sha256:xyz", "sha256:" + "a" * 63, "SHA256:" + "a" * 64],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(DigestError):
+            parse_digest(bad)
+
+    def test_is_digest_false_on_garbage(self):
+        assert not is_digest("not-a-digest")
+        assert is_digest(sha256_bytes(b"ok"))
+
+
+class TestFormatDigest:
+    def test_from_int_roundtrips(self):
+        digest = format_digest(42)
+        algo, hexpart = parse_digest(digest)
+        assert algo == "sha256"
+        assert int(hexpart, 16) == 42
+
+    def test_distinct_ints_distinct_digests(self):
+        assert format_digest(1) != format_digest(2)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(DigestError):
+            format_digest(-1)
+
+    def test_from_hex_string(self):
+        hexpart = "ab" * 32
+        assert format_digest(hexpart) == f"sha256:{hexpart}"
+
+
+class TestShortDigest:
+    def test_default_length(self):
+        digest = sha256_bytes(b"abc")
+        assert short_digest(digest) == parse_digest(digest)[1][:12]
+
+    def test_custom_length(self):
+        digest = sha256_bytes(b"abc")
+        assert len(short_digest(digest, 6)) == 6

@@ -1,0 +1,55 @@
+"""Unit tests for the deterministic RNG tree."""
+
+from repro.util.rng import RngTree, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+
+    def test_path_sensitive(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_root_sensitive(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_no_concatenation_collision(self):
+        # ("ab",) must differ from ("a", "b") — the separator guarantees it.
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+
+class TestRngTree:
+    def test_children_independent_of_request_order(self):
+        t1 = RngTree(7)
+        a_first = t1.child("a").generator().random(4)
+        t2 = RngTree(7)
+        _ = t2.child("b").generator().random(4)
+        a_second = t2.child("a").generator().random(4)
+        assert (a_first == a_second).all()
+
+    def test_same_node_restarts_stream(self):
+        node = RngTree(7).child("x")
+        assert (node.generator().random(3) == node.generator().random(3)).all()
+
+    def test_distinct_children_distinct_streams(self):
+        tree = RngTree(7)
+        a = tree.child("a").generator().random(8)
+        b = tree.child("b").generator().random(8)
+        assert not (a == b).all()
+
+    def test_nested_paths(self):
+        tree = RngTree(7)
+        assert (
+            tree.child("a", "b").derived_seed()
+            == tree.child("a").child("b").derived_seed()
+        )
+
+    def test_int_keys_supported(self):
+        tree = RngTree(7)
+        assert tree.child(0).derived_seed() != tree.child(1).derived_seed()
+
+    def test_child_requires_name(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RngTree(7).child()

@@ -1,0 +1,30 @@
+"""Unit tests for the Timer context manager."""
+
+import time
+
+from repro.util.timer import Timer
+
+
+def test_measures_elapsed_time():
+    with Timer() as t:
+        time.sleep(0.01)
+    assert t.elapsed >= 0.009
+
+
+def test_running_flag():
+    t = Timer()
+    assert not t.running()
+    with t:
+        assert t.running()
+    assert not t.running()
+
+
+def test_reusable():
+    t = Timer()
+    with t:
+        pass
+    first = t.elapsed
+    with t:
+        time.sleep(0.01)
+    assert t.elapsed >= 0.009
+    assert t.elapsed != first

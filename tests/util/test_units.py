@@ -1,0 +1,58 @@
+"""Unit tests for size parsing/formatting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.units import GiB, KiB, MiB, TiB, format_size, parse_size
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("0", 0),
+            ("512", 512),
+            ("4 MB", 4_000_000),
+            ("4MiB", 4 * MiB),
+            ("63 MB", 63_000_000),
+            ("1.5 GB", 1_500_000_000),
+            ("47 TB", 47_000_000_000_000),
+            ("2 KiB", 2 * KiB),
+            ("1 GiB", GiB),
+            ("1 TiB", TiB),
+            ("10 b", 10),
+        ],
+    )
+    def test_examples(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_numbers_pass_through(self):
+        assert parse_size(1234) == 1234
+        assert parse_size(12.6) == 13
+
+    @pytest.mark.parametrize("bad", ["", "MB", "12 XB", "1..2 MB", "-5 MB"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+
+class TestFormatSize:
+    def test_bytes(self):
+        assert format_size(512) == "512 B"
+
+    def test_decimal_units(self):
+        assert format_size(63_000_000) == "63.0 MB"
+        assert format_size(1_300_000_000) == "1.3 GB"
+
+    def test_binary_units(self):
+        assert format_size(4 * MiB, binary=True) == "4.0 MiB"
+
+    def test_negative(self):
+        assert format_size(-2_000_000) == "-2.0 MB"
+
+    @given(st.integers(min_value=0, max_value=10**17))
+    def test_roundtrip_within_precision(self, n):
+        text = format_size(n, precision=6)
+        parsed = parse_size(text)
+        assert parsed == pytest.approx(n, rel=1e-5, abs=1)
