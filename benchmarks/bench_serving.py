@@ -1,0 +1,84 @@
+"""Benchmark: registry serving under pull load — the serving baseline.
+
+Every future perf PR should move these numbers. Three regimes:
+
+* virtual closed loop on the simulated session — measures the *substrate*
+  (registry lookups, blob handling, metric accounting) with network time
+  simulated out; the printed LoadReport is the deterministic baseline;
+* the same workload through the GDSF pull-through proxy — how much the
+  §IV-B caching argument buys at the serving layer;
+* wall-clock closed loop over real localhost HTTP — the end-to-end number,
+  with the server's own /metrics accounting sanity-checked.
+"""
+
+import pytest
+
+from repro.cache import generate_trace
+from repro.cache.policies import GDSFCache
+from repro.downloader import CachingProxySession, SimulatedSession
+from repro.loadgen import LoadConfig, LoadGenerator, requests_from_trace
+from repro.registry.http import HTTPSession, RegistryHTTPServer
+from repro.synth import SyntheticHubConfig, generate_dataset, materialize_registry
+
+SEED = 2017
+
+
+@pytest.fixture(scope="module")
+def serving_world():
+    dataset = generate_dataset(SyntheticHubConfig.tiny(seed=SEED))
+    registry, truth = materialize_registry(dataset, fail_share=0.0, seed=SEED)
+    trace = generate_trace(dataset, 400, locality=0.2, seed=SEED)
+    ops = requests_from_trace(trace, dataset, truth)
+    return registry, ops
+
+
+class TestServingBaselines:
+    def test_closed_loop_simulated(self, serving_world, benchmark, capsys):
+        registry, ops = serving_world
+        generator = LoadGenerator(SimulatedSession(registry, seed=SEED))
+        report = benchmark.pedantic(
+            lambda: generator.run(ops, LoadConfig(workers=4, seed=SEED)),
+            rounds=1,
+            iterations=1,
+        )
+        with capsys.disabled():
+            print()
+            print(report.render())
+        assert report.requests == len(ops)
+        assert report.requests_per_s > 0
+        assert report.latency["blob"]["p99"] > 0
+
+    def test_closed_loop_through_proxy(self, serving_world, benchmark, capsys):
+        registry, ops = serving_world
+        proxy = CachingProxySession(
+            SimulatedSession(registry, seed=SEED),
+            GDSFCache(max(1, registry.blobs.total_bytes() // 5)),
+        )
+        generator = LoadGenerator(proxy)
+        report = benchmark.pedantic(
+            lambda: generator.run(ops + ops, LoadConfig(workers=4, seed=SEED)),
+            rounds=1,
+            iterations=1,
+        )
+        with capsys.disabled():
+            print()
+            print(report.render())
+        assert report.proxy_hit_ratio is not None
+        assert report.proxy_hit_ratio > 0
+
+    def test_http_closed_loop(self, serving_world, benchmark, capsys):
+        registry, ops = serving_world
+        with RegistryHTTPServer(registry) as server:
+            generator = LoadGenerator(HTTPSession(server.base_url))
+            report = benchmark.pedantic(
+                lambda: generator.run(ops[:200], LoadConfig(workers=8)),
+                rounds=1,
+                iterations=1,
+            )
+            metrics_text = server.metrics.render_prometheus()
+        with capsys.disabled():
+            print()
+            print(report.render())
+        assert report.timing == "wall"
+        assert report.requests_per_s > 0
+        assert "registry_http_requests_total" in metrics_text

@@ -9,6 +9,7 @@ Subcommands::
     repro ablate      hub.npz [--experiment a1|a2]
     repro pipeline    --scale tiny [--dataset out.npz] [--profiles out.jsonl]
     repro experiments --out EXPERIMENTS.md              # full paper-vs-measured
+    repro loadtest    --seed 3 [--proxy] [--http]       # serving load test
 """
 
 from __future__ import annotations
@@ -103,6 +104,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--print-and-exit",
         action="store_true",
         help="start, print the endpoint summary, and shut down (for scripts/tests)",
+    )
+
+    p = sub.add_parser(
+        "loadtest",
+        help="drive a synthetic pull workload against a materialized registry",
+    )
+    _add_seed(p)
+    p.add_argument("--scale", choices=["tiny", "small"], default="tiny")
+    p.add_argument("--requests", type=int, default=2_000, help="trace length")
+    p.add_argument("--granularity", choices=["image", "layer"], default="image")
+    p.add_argument("--mode", choices=["closed", "open"], default="closed")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument(
+        "--arrival-rate", type=float, default=200.0,
+        help="open-loop mean arrival rate (requests/s)",
+    )
+    p.add_argument(
+        "--proxy", action="store_true",
+        help="interpose a GDSF pull-through proxy in front of the registry",
+    )
+    p.add_argument(
+        "--proxy-capacity", type=float, default=0.2,
+        help="proxy cache capacity as a fraction of total registry bytes",
+    )
+    p.add_argument(
+        "--http", action="store_true",
+        help="serve over a real localhost HTTP server (wall-clock timing)",
+    )
+    p.add_argument("--json", action="store_true", help="emit the report as JSON")
+    p.add_argument(
+        "--metrics", action="store_true",
+        help="also dump server metrics in Prometheus text format",
     )
 
     return parser
@@ -402,6 +435,62 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.stop()
 
 
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.cache import generate_trace
+    from repro.cache.policies import GDSFCache
+    from repro.downloader import CachingProxySession, SimulatedSession
+    from repro.loadgen import LoadConfig, LoadGenerator, requests_from_trace
+    from repro.synth import SyntheticHubConfig, generate_dataset, materialize_registry
+
+    config = getattr(SyntheticHubConfig, args.scale)(seed=args.seed)
+    dataset = generate_dataset(config)
+    registry, truth = materialize_registry(dataset, fail_share=0.0, seed=args.seed)
+    trace = generate_trace(
+        dataset, args.requests, granularity=args.granularity,
+        locality=0.2, seed=args.seed,
+    )
+    ops = requests_from_trace(trace, dataset, truth)
+
+    session = SimulatedSession(registry, seed=args.seed)
+    if args.proxy:
+        capacity = max(1, int(registry.blobs.total_bytes() * args.proxy_capacity))
+        session = CachingProxySession(session, GDSFCache(capacity))
+
+    server = None
+    if args.http:
+        from repro.registry.http import HTTPSession, RegistryHTTPServer
+
+        server = RegistryHTTPServer(registry).start()
+        session = HTTPSession(server.base_url)
+    try:
+        report = LoadGenerator(session).run(
+            ops,
+            LoadConfig(
+                workers=args.workers,
+                mode=args.mode,
+                arrival_rate_rps=args.arrival_rate,
+                seed=args.seed,
+            ),
+        )
+        print(
+            f"workload: {trace.n_requests:,} {args.granularity} pulls -> "
+            f"{len(ops):,} registry requests "
+            f"({format_size(trace.total_bytes_requested())} requested)"
+        )
+        if args.json:
+            print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.render())
+        if args.metrics and server is not None:
+            print(server.metrics.render_prometheus(), end="")
+    finally:
+        if server is not None:
+            server.stop()
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
@@ -414,6 +503,7 @@ _COMMANDS = {
     "restructure": _cmd_restructure,
     "project": _cmd_project,
     "serve": _cmd_serve,
+    "loadtest": _cmd_loadtest,
 }
 
 

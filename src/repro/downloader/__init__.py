@@ -1,7 +1,12 @@
 """The downloader: fetch manifests and unique layers in parallel (§III-B)."""
 
 from repro.downloader.session import NetworkModel, SimulatedSession, TransientNetworkError
-from repro.downloader.downloader import DownloadedImage, Downloader, DownloadStats
+from repro.downloader.downloader import (
+    DownloadedImage,
+    Downloader,
+    DownloadStats,
+    RetryPolicy,
+)
 from repro.downloader.proxy import CachingProxySession, ProxyStats
 
 __all__ = [
@@ -11,6 +16,7 @@ __all__ = [
     "DownloadStats",
     "NetworkModel",
     "ProxyStats",
+    "RetryPolicy",
     "SimulatedSession",
     "TransientNetworkError",
 ]

@@ -14,10 +14,14 @@ Key behaviours reproduced from the paper's custom downloader:
 
 from __future__ import annotations
 
+import random
 import threading
+import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.model.manifest import Manifest
+from repro.obs import MetricsRegistry
 from repro.parallel.pool import ParallelConfig, parallel_map
 from repro.registry.blobstore import BlobStore, MemoryBlobStore
 from repro.registry.errors import (
@@ -41,6 +45,34 @@ class DownloadedImage:
     cached_layers: list[str] = field(default_factory=list)
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for transient failures.
+
+    Attempt ``k`` (0-based) sleeps ``min(max_delay, base * multiplier**k)``
+    scaled by a uniform draw from ``[1 - jitter, 1]`` — full-jitter style,
+    so retry herds desynchronize instead of re-colliding.
+    """
+
+    base_delay_s: float = 0.01
+    multiplier: float = 2.0
+    max_delay_s: float = 0.25
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int, draw: float) -> float:
+        """The sleep before retry *attempt*, given a uniform draw in [0, 1)."""
+        delay = min(self.max_delay_s, self.base_delay_s * self.multiplier**attempt)
+        return delay * (1.0 - self.jitter * draw)
+
+
 @dataclass
 class DownloadStats:
     attempted: int = 0
@@ -52,6 +84,7 @@ class DownloadStats:
     duplicate_layer_hits: int = 0
     layer_bytes_fetched: int = 0
     corrupt_blobs: int = 0
+    retries: int = 0
 
     @property
     def failed(self) -> int:
@@ -69,6 +102,7 @@ class DownloadStats:
             "duplicate_layer_hits": self.duplicate_layer_hits,
             "layer_bytes_fetched": self.layer_bytes_fetched,
             "corrupt_blobs": self.corrupt_blobs,
+            "retries": self.retries,
         }
 
 
@@ -83,6 +117,10 @@ class Downloader:
         parallel: ParallelConfig | None = None,
         tag: str = "latest",
         max_retries: int = 3,
+        retry_policy: RetryPolicy | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        seed: int = 0,
+        metrics: MetricsRegistry | None = None,
     ):
         self.session = session
         self.dest = dest if dest is not None else MemoryBlobStore()
@@ -91,6 +129,10 @@ class Downloader:
         if max_retries < 1:
             raise ValueError(f"max_retries must be >= 1, got {max_retries}")
         self.max_retries = max_retries
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._lock = threading.Lock()
         self._in_flight: set[str] = set()
         self.stats = DownloadStats()
@@ -99,11 +141,19 @@ class Downloader:
 
     def _with_retries(self, fn, *args):
         last: TransientNetworkError | None = None
-        for _ in range(self.max_retries):
+        for attempt in range(self.max_retries):
             try:
                 return fn(*args)
             except TransientNetworkError as exc:
                 last = exc
+                if attempt + 1 < self.max_retries:
+                    with self._lock:
+                        self.stats.retries += 1
+                        draw = self._rng.random()
+                    self.metrics.counter(
+                        "downloader_retries_total", "transient-failure retries"
+                    ).inc()
+                    self._sleep(self.retry_policy.delay(attempt, draw))
         assert last is not None
         raise last
 
@@ -124,6 +174,12 @@ class Downloader:
         try:
             blob = self._with_retries(self._get_verified_blob, digest)
             self.dest.put(blob)
+            self.metrics.counter(
+                "downloader_fetches_total", "unique layer fetches"
+            ).inc()
+            self.metrics.counter(
+                "downloader_fetch_bytes_total", "layer bytes fetched"
+            ).inc(len(blob))
             return digest, True, len(blob)
         finally:
             with self._lock:

@@ -6,6 +6,12 @@ byte-capacity cache of layer blobs under a pluggable policy from
 the *actual* pipeline rather than a trace simulation: repeated image pulls
 (clients re-pulling, CI rebuilding) hit the proxy instead of the upstream
 registry.
+
+Concurrent misses on the same digest are **single-flighted**: the first
+requester fetches from upstream while the rest wait and share its result,
+so a popular layer going cold never stampedes the upstream — the same
+purpose :class:`~repro.downloader.downloader.Downloader`'s in-flight set
+serves on the client side.
 """
 
 from __future__ import annotations
@@ -15,12 +21,15 @@ from dataclasses import dataclass
 
 from repro.cache.policies import CachePolicy, LRUCache
 from repro.model.manifest import Manifest
+from repro.obs import MetricsRegistry
 
 
 @dataclass
 class ProxyStats:
     blob_requests: int = 0
     blob_hits: int = 0
+    coalesced_hits: int = 0
+    evictions: int = 0
     bytes_served: int = 0
     bytes_from_upstream: int = 0
 
@@ -35,6 +44,17 @@ class ProxyStats:
         return 1.0 - self.bytes_from_upstream / self.bytes_served
 
 
+class _Flight:
+    """One in-progress upstream fetch that concurrent requesters share."""
+
+    __slots__ = ("event", "data", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.data: bytes | None = None
+        self.error: BaseException | None = None
+
+
 class CachingProxySession:
     """Session wrapper with a policy-managed blob cache.
 
@@ -43,12 +63,21 @@ class CachingProxySession:
     them is always safe.
     """
 
-    def __init__(self, upstream, policy: CachePolicy | None = None, *, capacity_bytes: int = 1 << 30):
+    def __init__(
+        self,
+        upstream,
+        policy: CachePolicy | None = None,
+        *,
+        capacity_bytes: int = 1 << 30,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.upstream = upstream
         self.policy = policy if policy is not None else LRUCache(capacity_bytes)
         self._blobs: dict[str, bytes] = {}
+        self._flights: dict[str, _Flight] = {}
         self._lock = threading.Lock()
         self.stats = ProxyStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     # -- pass-through ------------------------------------------------------------
 
@@ -64,23 +93,77 @@ class CachingProxySession:
     # -- the cached path -----------------------------------------------------------
 
     def get_blob(self, digest: str) -> bytes:
+        return self.fetch_blob(digest)[0]
+
+    def fetch_blob(self, digest: str) -> tuple[bytes, str]:
+        """Fetch a blob plus how it was served: ``"hit"`` (from cache),
+        ``"coalesced"`` (joined another requester's in-flight fetch), or
+        ``"miss"`` (fetched from upstream)."""
         with self._lock:
             self.stats.blob_requests += 1
             cached = self._blobs.get(digest)
             if cached is not None and self.policy.request(digest, len(cached)):
                 self.stats.blob_hits += 1
                 self.stats.bytes_served += len(cached)
-                return cached
-        blob = self.upstream.get_blob(digest)
+                self._count(outcome="hit")
+                return cached, "hit"
+            flight = self._flights.get(digest)
+            if flight is None:
+                flight = _Flight()
+                self._flights[digest] = flight
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            assert flight.data is not None
+            with self._lock:
+                self.stats.blob_hits += 1
+                self.stats.coalesced_hits += 1
+                self.stats.bytes_served += len(flight.data)
+                self._count(outcome="coalesced")
+            return flight.data, "coalesced"
+        try:
+            blob = self.upstream.get_blob(digest)
+        except BaseException as exc:
+            flight.error = exc
+            with self._lock:
+                del self._flights[digest]
+            flight.event.set()
+            raise
         with self._lock:
             self.stats.bytes_served += len(blob)
             self.stats.bytes_from_upstream += len(blob)
             if self.policy.request(digest, len(blob)) or digest in self.policy:
                 self._blobs[digest] = blob
             self._evict_dropped()
-        return blob
+            self._count(outcome="miss")
+            self.metrics.counter(
+                "proxy_upstream_bytes_total", "bytes fetched from upstream"
+            ).inc(len(blob))
+            self.metrics.gauge(
+                "proxy_cached_bytes", "bytes admitted by the cache policy"
+            ).set(self.policy.used)
+            flight.data = blob
+            del self._flights[digest]
+        flight.event.set()
+        return blob, "miss"
+
+    def _count(self, *, outcome: str) -> None:
+        """Metrics bump for one blob request (caller holds the lock)."""
+        self.metrics.counter(
+            "proxy_blob_requests_total", "blob requests by outcome", outcome=outcome
+        ).inc()
 
     def _evict_dropped(self) -> None:
         """Drop byte payloads the policy no longer tracks."""
-        for digest in [d for d in self._blobs if d not in self.policy]:
+        dropped = [d for d in self._blobs if d not in self.policy]
+        for digest in dropped:
             del self._blobs[digest]
+        if dropped:
+            self.stats.evictions += len(dropped)
+            self.metrics.counter(
+                "proxy_evictions_total", "payloads evicted by the policy"
+            ).inc(len(dropped))

@@ -1,0 +1,29 @@
+"""Load generation: turn pull traces into live registry request streams.
+
+``repro.cache`` simulates pull traces offline; this package *serves* them.
+A :class:`~repro.cache.trace.PullTrace` becomes a concrete stream of
+manifest GETs and cold-client layer GETs (:func:`requests_from_trace`),
+which :class:`LoadGenerator` drives against any session — simulated,
+caching-proxy, or real HTTP — in a closed loop (a fixed worker fleet pulls
+requests back-to-back) or an open loop (a seeded Poisson arrival schedule,
+where queueing delay counts against latency). The result is a
+:class:`LoadReport`: requests/s, byte throughput, per-operation latency
+percentiles, error counts, and proxy hit ratios — the serving-side numbers
+production registry studies (Anwar et al., FAST'18) report, measured here
+on our own registry.
+
+Virtual-time sessions run under a deterministic discrete-event executor, so
+the same seed always yields the same report — a stable baseline for perf
+work.
+"""
+
+from repro.loadgen.engine import LoadConfig, LoadGenerator, LoadReport
+from repro.loadgen.workload import PullOp, requests_from_trace
+
+__all__ = [
+    "LoadConfig",
+    "LoadGenerator",
+    "LoadReport",
+    "PullOp",
+    "requests_from_trace",
+]

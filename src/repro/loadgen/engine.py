@@ -1,0 +1,336 @@
+"""Closed- and open-loop load execution with virtual or wall-clock timing.
+
+Two executors share one accounting path (the metrics core):
+
+* **virtual** — a deterministic discrete-event simulation. Worker fleets
+  are modeled as servers with per-worker clocks; each operation's service
+  time comes from the session's :class:`~repro.downloader.session.
+  NetworkModel` (proxy hits are priced by a separate, faster hit model).
+  Requests still really execute against the registry — real manifests, real
+  blobs, real cache admissions — only *time* is simulated, so a fixed seed
+  reproduces the report bit-for-bit.
+* **wall** — real threads and ``perf_counter`` timing, for sessions with a
+  genuine network boundary (:class:`~repro.registry.http.HTTPSession`).
+
+Closed loop: each worker takes the next request as soon as it finishes the
+last (throughput-bounded — the paper's crawler behaved this way). Open
+loop: requests arrive on a seeded Poisson schedule regardless of worker
+state, so queueing delay shows up in latency — the regime where an
+underprovisioned registry falls over.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.downloader.proxy import CachingProxySession
+from repro.downloader.session import NetworkModel, TransientNetworkError
+from repro.loadgen.workload import PullOp
+from repro.obs import MetricsRegistry
+from repro.registry.errors import RegistryError
+from repro.util.units import format_size
+
+#: virtual-time cost of serving from the proxy's local cache: ~2 ms
+#: overhead, NVMe-ish bandwidth — an order of magnitude inside the upstream.
+DEFAULT_HIT_MODEL = NetworkModel(
+    request_overhead_s=0.002, bandwidth_bytes_per_s=500e6
+)
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """How to drive the request stream."""
+
+    workers: int = 4
+    mode: str = "closed"  # "closed" | "open"
+    arrival_rate_rps: float = 200.0  # open loop: mean Poisson arrival rate
+    seed: int = 0
+    timing: str = "auto"  # "auto" | "virtual" | "wall"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"need >= 1 worker, got {self.workers}")
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.timing not in ("auto", "virtual", "wall"):
+            raise ValueError(f"unknown timing {self.timing!r}")
+        if self.mode == "open" and self.arrival_rate_rps <= 0:
+            raise ValueError("open loop needs a positive arrival rate")
+
+
+@dataclass
+class LoadReport:
+    """What a load run measured. Durations are virtual or wall seconds
+    depending on the timing mode that ran."""
+
+    mode: str
+    timing: str
+    workers: int
+    requests: int = 0
+    errors: int = 0
+    bytes_total: int = 0
+    duration_s: float = 0.0
+    #: op kind -> {count, sum, mean, min, max, p50, p90, p99}
+    latency: dict[str, dict[str, float]] = field(default_factory=dict)
+    proxy_hit_ratio: float | None = None
+
+    @property
+    def requests_per_s(self) -> float:
+        return self.requests / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def bytes_per_s(self) -> float:
+        return self.bytes_total / self.duration_s if self.duration_s > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "timing": self.timing,
+            "workers": self.workers,
+            "requests": self.requests,
+            "errors": self.errors,
+            "bytes_total": self.bytes_total,
+            "duration_s": self.duration_s,
+            "requests_per_s": self.requests_per_s,
+            "bytes_per_s": self.bytes_per_s,
+            "latency": self.latency,
+            "proxy_hit_ratio": self.proxy_hit_ratio,
+        }
+
+    def render(self) -> str:
+        """A compact human-readable report."""
+        clock = "virtual" if self.timing == "virtual" else "wall"
+        lines = [
+            f"{self.mode}-loop load, {self.workers} workers, {clock} time:",
+            f"  requests   {self.requests:>12,}  ({self.errors} errors)",
+            f"  duration   {self.duration_s:>12.3f} s",
+            f"  throughput {self.requests_per_s:>12,.1f} req/s, "
+            f"{format_size(int(self.bytes_per_s))}/s",
+        ]
+        for kind in sorted(self.latency):
+            q = self.latency[kind]
+            lines.append(
+                f"  {kind:<9} p50 {q['p50'] * 1e3:8.2f} ms   "
+                f"p90 {q['p90'] * 1e3:8.2f} ms   "
+                f"p99 {q['p99'] * 1e3:8.2f} ms   "
+                f"max {q['max'] * 1e3:8.2f} ms"
+            )
+        if self.proxy_hit_ratio is not None:
+            lines.append(f"  proxy hit ratio {self.proxy_hit_ratio:6.1%}")
+        return "\n".join(lines)
+
+
+def _upstream_model(session) -> NetworkModel | None:
+    """The virtual cost model behind *session*, unwrapping proxy layers."""
+    seen = set()
+    while id(session) not in seen:
+        seen.add(id(session))
+        model = getattr(session, "model", None)
+        if isinstance(model, NetworkModel):
+            return model
+        session = getattr(session, "upstream", session)
+    return None
+
+
+class LoadGenerator:
+    """Drive a stream of :class:`PullOp` through a session, measuring as
+    it goes. One generator is reusable across runs; each run gets a fresh
+    metrics registry unless one was supplied."""
+
+    def __init__(
+        self,
+        session,
+        *,
+        metrics: MetricsRegistry | None = None,
+        hit_model: NetworkModel = DEFAULT_HIT_MODEL,
+    ):
+        self.session = session
+        self.metrics = metrics
+        self.hit_model = hit_model
+
+    # -- public entry ----------------------------------------------------------
+
+    def run(self, ops: list[PullOp], config: LoadConfig | None = None) -> LoadReport:
+        """Execute *ops* under *config* and return the measured report."""
+        config = config or LoadConfig()
+        model = _upstream_model(self.session)
+        timing = config.timing
+        if timing == "auto":
+            timing = "virtual" if model is not None else "wall"
+        if timing == "virtual" and model is None:
+            raise ValueError(
+                "virtual timing needs a session with a NetworkModel "
+                "(SimulatedSession or a proxy over one)"
+            )
+        metrics = self.metrics if self.metrics is not None else MetricsRegistry()
+        if timing == "virtual":
+            duration = self._run_virtual(ops, config, model, metrics)
+        else:
+            duration = self._run_wall(ops, config, metrics)
+        return self._report(config, timing, duration, metrics)
+
+    # -- virtual executor: deterministic discrete-event simulation -------------
+
+    def _run_virtual(
+        self,
+        ops: list[PullOp],
+        config: LoadConfig,
+        model: NetworkModel,
+        metrics: MetricsRegistry,
+    ) -> float:
+        arrivals = self._arrivals(len(ops), config)
+        workers = [(0.0, w) for w in range(config.workers)]
+        heapq.heapify(workers)
+        duration = 0.0
+        for i, op in enumerate(ops):
+            free_at, w = heapq.heappop(workers)
+            start = free_at if arrivals is None else max(free_at, arrivals[i])
+            nbytes, service_s = self._execute_virtual(op, model, metrics)
+            done = start + service_s
+            # closed loop: pure service time; open loop: queueing counts too
+            latency = service_s if arrivals is None else done - arrivals[i]
+            self._record(metrics, op.kind, nbytes, latency)
+            heapq.heappush(workers, (done, w))
+            duration = max(duration, done)
+        return duration
+
+    def _execute_virtual(
+        self, op: PullOp, model: NetworkModel, metrics: MetricsRegistry
+    ) -> tuple[int, float]:
+        """Really execute *op*; price its service time in virtual seconds."""
+        try:
+            if op.kind == "manifest":
+                manifest = self.session.get_manifest(op.repo, op.tag)
+                nbytes = len(manifest.to_json())
+                return nbytes, model.cost(nbytes)
+            if isinstance(self.session, CachingProxySession):
+                blob, outcome = self.session.fetch_blob(op.digest)
+                cost_model = model if outcome == "miss" else self.hit_model
+                return len(blob), cost_model.cost(len(blob))
+            blob = self.session.get_blob(op.digest)
+            return len(blob), model.cost(len(blob))
+        except (RegistryError, TransientNetworkError) as exc:
+            self._record_error(metrics, op.kind, exc)
+            return 0, model.request_overhead_s
+
+    # -- wall-clock executor: real threads --------------------------------------
+
+    def _run_wall(
+        self, ops: list[PullOp], config: LoadConfig, metrics: MetricsRegistry
+    ) -> float:
+        arrivals = self._arrivals(len(ops), config)
+        next_index = 0
+        index_lock = threading.Lock()
+        t0 = time.perf_counter()
+
+        def worker() -> None:
+            nonlocal next_index
+            while True:
+                with index_lock:
+                    i = next_index
+                    if i >= len(ops):
+                        return
+                    next_index += 1
+                op = ops[i]
+                if arrivals is not None:
+                    delay = t0 + arrivals[i] - time.perf_counter()
+                    if delay > 0:
+                        time.sleep(delay)
+                start = time.perf_counter()
+                try:
+                    if op.kind == "manifest":
+                        manifest = self.session.get_manifest(op.repo, op.tag)
+                        nbytes = len(manifest.to_json())
+                    else:
+                        nbytes = len(self.session.get_blob(op.digest))
+                except (RegistryError, TransientNetworkError) as exc:
+                    self._record_error(metrics, op.kind, exc)
+                    continue
+                finish = time.perf_counter()
+                # open loop measures from scheduled arrival (queueing counts)
+                began = t0 + arrivals[i] if arrivals is not None else start
+                self._record(metrics, op.kind, nbytes, finish - min(began, finish))
+
+        threads = [
+            threading.Thread(target=worker, daemon=True)
+            for _ in range(config.workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return time.perf_counter() - t0
+
+    # -- shared accounting -------------------------------------------------------
+
+    def _arrivals(self, n: int, config: LoadConfig) -> np.ndarray | None:
+        if config.mode != "open":
+            return None
+        rng = np.random.default_rng(config.seed)
+        gaps = rng.exponential(1.0 / config.arrival_rate_rps, size=n)
+        return np.cumsum(gaps)
+
+    def _record(
+        self, metrics: MetricsRegistry, kind: str, nbytes: int, latency_s: float
+    ) -> None:
+        metrics.counter("loadgen_requests_total", "completed requests", op=kind).inc()
+        metrics.counter("loadgen_bytes_total", "payload bytes served", op=kind).inc(
+            nbytes
+        )
+        metrics.histogram(
+            "loadgen_latency_seconds", "request latency", op=kind
+        ).observe(latency_s)
+
+    def _record_error(self, metrics: MetricsRegistry, kind: str, exc: Exception) -> None:
+        metrics.counter(
+            "loadgen_errors_total",
+            "failed requests",
+            op=kind,
+            error=type(exc).__name__,
+        ).inc()
+
+    def _report(
+        self,
+        config: LoadConfig,
+        timing: str,
+        duration: float,
+        metrics: MetricsRegistry,
+    ) -> LoadReport:
+        dump = metrics.to_dict()
+        requests = sum(
+            row["value"]
+            for row in dump.get("loadgen_requests_total", {}).get("series", [])
+        )
+        errors = sum(
+            row["value"]
+            for row in dump.get("loadgen_errors_total", {}).get("series", [])
+        )
+        nbytes = sum(
+            row["value"]
+            for row in dump.get("loadgen_bytes_total", {}).get("series", [])
+        )
+        latency = {
+            row["labels"]["op"]: {
+                k: row[k] for k in ("count", "mean", "min", "max", "p50", "p90", "p99")
+            }
+            for row in dump.get("loadgen_latency_seconds", {}).get("series", [])
+        }
+        hit_ratio = None
+        if isinstance(self.session, CachingProxySession):
+            hit_ratio = self.session.stats.hit_ratio
+        return LoadReport(
+            mode=config.mode,
+            timing=timing,
+            workers=config.workers,
+            requests=int(requests),
+            errors=int(errors),
+            bytes_total=int(nbytes),
+            duration_s=duration,
+            latency=latency,
+            proxy_hit_ratio=hit_ratio,
+        )

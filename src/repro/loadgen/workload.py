@@ -1,0 +1,80 @@
+"""Convert pull traces into concrete registry request streams.
+
+A trace speaks in dataset object ids; a registry speaks in repository names
+and blob digests. The bridge is the materializer's ground truth: image id →
+repository name (``dataset.repo_names``) and layer id → blob digest
+(``GroundTruth.layer_digest_by_index``).
+
+An image-granularity trace expands each pull the way a **cold client**
+would: one manifest GET, then one blob GET per referenced layer — the
+registry-side request pattern the paper's §IV-B caching argument is about.
+A layer-granularity trace is already the registry-side view and maps one
+request to one blob GET.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.trace import PullTrace
+from repro.model.dataset import HubDataset
+from repro.synth.materialize import GroundTruth
+
+
+@dataclass(frozen=True)
+class PullOp:
+    """One registry request: a manifest GET or a blob GET."""
+
+    kind: str  # "manifest" | "blob"
+    repo: str = ""
+    tag: str = ""
+    digest: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("manifest", "blob"):
+            raise ValueError(f"unknown op kind {self.kind!r}")
+        if self.kind == "manifest" and not self.repo:
+            raise ValueError("manifest ops need a repo")
+        if self.kind == "blob" and not self.digest:
+            raise ValueError("blob ops need a digest")
+
+
+def _repo_name(dataset: HubDataset, image_id: int) -> str:
+    if dataset.repo_names:
+        return dataset.repo_names[image_id]
+    return f"user/img{image_id}"  # the materializer's fallback naming
+
+
+def requests_from_trace(
+    trace: PullTrace,
+    dataset: HubDataset,
+    truth: GroundTruth,
+    *,
+    tag: str = "latest",
+) -> list[PullOp]:
+    """Expand *trace* into the request stream a registry would see.
+
+    ``dataset`` must be the dataset the trace was generated from and
+    ``truth`` the ground truth of materializing that same dataset, so ids
+    line up with real repositories and blobs.
+    """
+    ops: list[PullOp] = []
+    if trace.granularity == "image":
+        for image_id in trace.object_ids:
+            i = int(image_id)
+            ops.append(PullOp(kind="manifest", repo=_repo_name(dataset, i), tag=tag))
+            lo = int(dataset.image_layer_offsets[i])
+            hi = int(dataset.image_layer_offsets[i + 1])
+            for layer_id in dataset.image_layer_ids[lo:hi]:
+                ops.append(
+                    PullOp(
+                        kind="blob",
+                        digest=truth.layer_digest_by_index[int(layer_id)],
+                    )
+                )
+        return ops
+    for layer_id in trace.object_ids:
+        ops.append(
+            PullOp(kind="blob", digest=truth.layer_digest_by_index[int(layer_id)])
+        )
+    return ops

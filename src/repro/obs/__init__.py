@@ -1,0 +1,34 @@
+"""Observability: a thread-safe metrics core for the serving subsystem.
+
+Every hot path in the serving stack (the HTTP registry, the downloader, the
+caching proxy, the load generator) reports into the same small vocabulary:
+
+* :class:`Counter` — a monotone count (requests, retries, errors);
+* :class:`Gauge` — a point-in-time value (cached bytes, in-flight requests);
+* :class:`Histogram` — log-bucketed value distribution with p50/p90/p99/max
+  (request latency, object sizes);
+* :class:`MetricsRegistry` — labeled metric families with dict/JSON export
+  and Prometheus text-format rendering, plus a :meth:`~MetricsRegistry.timed`
+  context manager for wall-clock latency sections.
+
+The core has no dependencies and no background threads; recording a sample
+is a lock plus O(1) work, cheap enough to live inside the request path.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    timed,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "timed",
+]

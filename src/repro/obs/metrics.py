@@ -1,0 +1,388 @@
+"""Thread-safe counters, gauges, log-bucketed histograms, and a registry.
+
+Design notes:
+
+* Histograms are **log-bucketed**: bucket upper bounds grow geometrically
+  from ``min_bound`` by ``growth``, so six orders of magnitude of latency
+  (microseconds to minutes) fit in <100 integer counters with a bounded
+  relative quantile error of ``growth - 1``. Quantiles interpolate
+  log-linearly inside the winning bucket and are clamped to the observed
+  min/max, so degenerate distributions (all samples equal) report exactly.
+* Every metric object carries its own lock; the registry's lock only guards
+  family creation. Recording never allocates after the first touch of a
+  label set.
+* Exports are deterministic: families and label sets render in sorted order,
+  which keeps loadtest output byte-stable for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+import re
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name: {name!r}")
+    return name
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """A consistent point-in-time view of a histogram."""
+
+    count: int
+    sum: float
+    min: float
+    max: float
+    p50: float
+    p90: float
+    p99: float
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+        }
+
+
+class Histogram:
+    """Log-bucketed histogram with streaming quantiles.
+
+    Bucket ``i`` holds values in ``(bound[i-1], bound[i]]`` where
+    ``bound[i] = min_bound * growth**i``; values above the last bound land
+    in an overflow bucket, values at or below ``min_bound`` in the first.
+    Defaults cover 1 µs .. ~7 hours with ≤25 % relative quantile error —
+    sized for latencies in seconds, but any positive value works.
+    """
+
+    def __init__(
+        self,
+        *,
+        min_bound: float = 1e-6,
+        growth: float = 1.25,
+        n_buckets: int = 108,
+    ) -> None:
+        if min_bound <= 0 or growth <= 1 or n_buckets < 1:
+            raise ValueError(
+                f"need min_bound > 0, growth > 1, n_buckets >= 1; "
+                f"got {min_bound}, {growth}, {n_buckets}"
+            )
+        self._bounds = [min_bound * growth**i for i in range(n_buckets)]
+        self._counts = [0] * (n_buckets + 1)  # +1 overflow bucket
+        self._lock = threading.Lock()
+        self.count = 0
+        self.sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one sample (negative values clamp to the first bucket)."""
+        idx = bisect.bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self.count += 1
+            self.sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def min(self) -> float:
+        with self._lock:
+            return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        with self._lock:
+            return self._max if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile (0 <= q <= 1) from the buckets."""
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            return self._quantile_locked(q)
+
+    def _quantile_locked(self, q: float) -> float:
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for idx, n in enumerate(self._counts):
+            seen += n
+            if seen >= target and n:
+                if idx >= len(self._bounds):  # overflow bucket
+                    return self._max
+                upper = self._bounds[idx]
+                lower = self._bounds[idx - 1] if idx else upper / 2
+                frac = 1.0 - (seen - target) / n
+                est = lower * (upper / lower) ** frac  # log-linear
+                return min(max(est, self._min), self._max)
+        return self._max
+
+    def snapshot(self) -> HistogramSnapshot:
+        with self._lock:
+            return HistogramSnapshot(
+                count=self.count,
+                sum=self.sum,
+                min=self._min if self.count else 0.0,
+                max=self._max if self.count else 0.0,
+                p50=self._quantile_locked(0.50),
+                p90=self._quantile_locked(0.90),
+                p99=self._quantile_locked(0.99),
+            )
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs for non-empty buckets
+        (plus +inf), the shape Prometheus histogram samples take."""
+        with self._lock:
+            out: list[tuple[float, int]] = []
+            seen = 0
+            for idx, n in enumerate(self._counts[:-1]):
+                seen += n
+                if n:
+                    out.append((self._bounds[idx], seen))
+            out.append((math.inf, self.count))
+            return out
+
+
+@contextmanager
+def timed(histogram: Histogram):
+    """Observe the wall-clock seconds spent inside the ``with`` block."""
+    start = time.perf_counter()
+    try:
+        yield histogram
+    finally:
+        histogram.observe(time.perf_counter() - start)
+
+
+_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class _Family:
+    """All series of one metric name: one type, one label-key set."""
+
+    __slots__ = ("name", "mtype", "help", "label_names", "series")
+
+    def __init__(self, name: str, mtype: str, help: str, label_names: tuple[str, ...]):
+        self.name = name
+        self.mtype = mtype
+        self.help = help
+        self.label_names = label_names
+        self.series: dict[tuple[str, ...], Counter | Gauge | Histogram] = {}
+
+
+class MetricsRegistry:
+    """Labeled metric families, created on first touch.
+
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("requests_total", "served requests", endpoint="blob").inc()
+    >>> reg.histogram("latency_seconds", endpoint="blob").observe(0.012)
+    >>> print(reg.render_prometheus())  # doctest: +SKIP
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    # -- metric accessors -----------------------------------------------------
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        """The counter for *name* and this label set (created on demand)."""
+        return self._series(name, "counter", help, labels, Counter)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        """The gauge for *name* and this label set (created on demand)."""
+        return self._series(name, "gauge", help, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        min_bound: float = 1e-6,
+        growth: float = 1.25,
+        n_buckets: int = 108,
+        **labels: str,
+    ) -> Histogram:
+        """The histogram for *name* and this label set (created on demand)."""
+        factory = lambda: Histogram(  # noqa: E731
+            min_bound=min_bound, growth=growth, n_buckets=n_buckets
+        )
+        return self._series(name, "histogram", help, labels, factory)
+
+    @contextmanager
+    def timed(self, name: str, help: str = "", **labels: str):
+        """Time a ``with`` block into ``histogram(name, **labels)``."""
+        with timed(self.histogram(name, help, **labels)) as hist:
+            yield hist
+
+    def _series(self, name, mtype, help, labels, factory):
+        _check_name(name)
+        for key in labels:
+            if not _LABEL_RE.match(key):
+                raise ValueError(f"invalid label name: {key!r}")
+        label_names = tuple(sorted(labels))
+        label_values = tuple(str(labels[k]) for k in label_names)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, mtype, help, label_names)
+                self._families[name] = family
+            if family.mtype != mtype:
+                raise ValueError(
+                    f"{name!r} already registered as {family.mtype}, not {mtype}"
+                )
+            if family.label_names != label_names:
+                raise ValueError(
+                    f"{name!r} uses labels {family.label_names}, got {label_names}"
+                )
+            series = family.series.get(label_values)
+            if series is None:
+                series = factory()
+                family.series[label_values] = series
+            return series
+
+    # -- export ---------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, dict]:
+        """A deterministic nested-dict dump of every family and series."""
+        out: dict[str, dict] = {}
+        with self._lock:
+            families = sorted(self._families.values(), key=lambda f: f.name)
+        for family in families:
+            rows = []
+            for values in sorted(family.series):
+                metric = family.series[values]
+                row: dict = {"labels": dict(zip(family.label_names, values))}
+                if isinstance(metric, Histogram):
+                    row.update(metric.snapshot().to_dict())
+                else:
+                    row["value"] = metric.value
+                rows.append(row)
+            out[family.name] = {
+                "type": family.mtype,
+                "help": family.help,
+                "series": rows,
+            }
+        return out
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (v0.0.4)."""
+        lines: list[str] = []
+        with self._lock:
+            families = sorted(self._families.values(), key=lambda f: f.name)
+        for family in families:
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.mtype}")
+            for values in sorted(family.series):
+                metric = family.series[values]
+                labels = dict(zip(family.label_names, values))
+                if isinstance(metric, Histogram):
+                    for bound, cumulative in metric.cumulative_buckets():
+                        le = "+Inf" if math.isinf(bound) else _fmt(bound)
+                        lines.append(
+                            f"{family.name}_bucket"
+                            f"{_labelstr({**labels, 'le': le})} {cumulative}"
+                        )
+                    lines.append(
+                        f"{family.name}_sum{_labelstr(labels)} {_fmt(metric.sum)}"
+                    )
+                    lines.append(
+                        f"{family.name}_count{_labelstr(labels)} {metric.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{family.name}{_labelstr(labels)} {_fmt(metric.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _labelstr(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{v.replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"

@@ -9,7 +9,9 @@ across a genuine network boundary:
   (GET/HEAD/PUT, with ``Docker-Content-Digest``), blobs by digest, the blob
   upload protocol (``POST /blobs/uploads/`` → ``PATCH`` chunks → ``PUT``
   finalize with digest verification), ``tags/list``, a paginated
-  ``/v2/_catalog``, and the Hub web search at ``/search``;
+  ``/v2/_catalog``, the Hub web search at ``/search``, and per-endpoint
+  request counters / latency histograms exported in Prometheus text format
+  at ``/metrics``;
 * ``HTTPSession`` — the downloader-facing client with the same method
   surface (and error mapping) as
   :class:`~repro.downloader.session.SimulatedSession`;
@@ -25,12 +27,14 @@ from __future__ import annotations
 import json
 import re
 import threading
+import time
 import urllib.error
 import urllib.parse
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.model.manifest import MANIFEST_MEDIA_TYPE, Manifest
+from repro.obs import MetricsRegistry
 from repro.registry.errors import (
     AuthRequiredError,
     BlobNotFoundError,
@@ -56,6 +60,28 @@ _ERROR_MAP: list[tuple[type, int, str]] = [
     (ManifestNotFoundError, 404, "MANIFEST_UNKNOWN"),
     (BlobNotFoundError, 404, "BLOB_UNKNOWN"),
 ]
+
+
+def _endpoint_of(path: str) -> str:
+    """Classify a request path into a bounded endpoint label (metrics must
+    not explode cardinality with per-repo paths)."""
+    if path in ("/v2", "/v2/"):
+        return "ping"
+    if path == "/v2/_catalog":
+        return "catalog"
+    if path == "/search":
+        return "search"
+    if path == "/metrics":
+        return "metrics"
+    if _UPLOAD_START_RE.match(path) or _UPLOAD_RE.match(path):
+        return "upload"
+    if _MANIFEST_RE.match(path):
+        return "manifest"
+    if _BLOB_RE.match(path):
+        return "blob"
+    if _TAGS_RE.match(path):
+        return "tags"
+    return "other"
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -101,17 +127,46 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routing ---------------------------------------------------------------
 
+    def _observed(self, handler) -> None:
+        """Run one request handler under per-endpoint metrics accounting."""
+        metrics = self.server.metrics
+        endpoint = _endpoint_of(urllib.parse.urlparse(self.path).path)
+        start = time.perf_counter()
+        try:
+            handler()
+        finally:
+            metrics.counter(
+                "registry_http_requests_total",
+                "requests served, by endpoint and method",
+                endpoint=endpoint,
+                method=self.command,
+            ).inc()
+            metrics.histogram(
+                "registry_http_request_seconds",
+                "request handling latency",
+                endpoint=endpoint,
+            ).observe(time.perf_counter() - start)
+
     def do_GET(self) -> None:  # noqa: N802
-        self._route()
+        self._observed(self._route)
 
     def do_HEAD(self) -> None:  # noqa: N802
-        self._route()
+        self._observed(self._route)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._observed(self._post)
+
+    def do_PATCH(self) -> None:  # noqa: N802
+        self._observed(self._patch)
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._observed(self._put)
 
     def _body(self) -> bytes:
         length = int(self.headers.get("Content-Length", "0"))
         return self.rfile.read(length) if length else b""
 
-    def do_POST(self) -> None:  # noqa: N802
+    def _post(self) -> None:
         match = _UPLOAD_START_RE.match(urllib.parse.urlparse(self.path).path)
         if not match:
             self._send_json(404, {"errors": [{"code": "NOT_FOUND", "message": self.path}]})
@@ -123,7 +178,7 @@ class _Handler(BaseHTTPRequestHandler):
             {"Location": f"/v2/{match['name']}/blobs/uploads/{uuid}"},
         )
 
-    def do_PATCH(self) -> None:  # noqa: N802
+    def _patch(self) -> None:
         match = _UPLOAD_RE.match(urllib.parse.urlparse(self.path).path)
         if not match:
             self._send_json(404, {"errors": [{"code": "NOT_FOUND", "message": self.path}]})
@@ -143,7 +198,7 @@ class _Handler(BaseHTTPRequestHandler):
             },
         )
 
-    def do_PUT(self) -> None:  # noqa: N802
+    def _put(self) -> None:
         parsed = urllib.parse.urlparse(self.path)
         query = urllib.parse.parse_qs(parsed.query)
         registry = self.server.registry
@@ -219,6 +274,10 @@ class _Handler(BaseHTTPRequestHandler):
             if path == "/search":
                 self._search(query)
                 return
+            if path == "/metrics":
+                body = self.server.metrics.render_prometheus().encode()
+                self._send(200, body, "text/plain; version=0.0.4")
+                return
             match = _MANIFEST_RE.match(path)
             if match:
                 self._manifest(registry, match["name"], match["ref"])
@@ -284,13 +343,16 @@ class RegistryHTTPServer:
         search: HubSearchEngine | None = None,
         *,
         port: int = 0,
+        metrics: MetricsRegistry | None = None,
     ):
         self.registry = registry
         self.search = search if search is not None else HubSearchEngine(registry)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._httpd = ThreadingHTTPServer(("127.0.0.1", port), _Handler)
         # expose registry/search/uploads to handlers through the server object
         self._httpd.registry = registry  # type: ignore[attr-defined]
         self._httpd.search = self.search  # type: ignore[attr-defined]
+        self._httpd.metrics = self.metrics  # type: ignore[attr-defined]
         self._uploads: dict[str, bytearray] = {}
         self._uploads_lock = threading.Lock()
         self._httpd.start_upload = self._start_upload  # type: ignore[attr-defined]

@@ -116,6 +116,74 @@ class TestRetries:
         with pytest.raises(ValueError):
             Downloader(SimulatedSession(reg), max_retries=0)
 
+    def test_retries_counted_in_stats(self):
+        reg, manifests = build_registry()
+        model = NetworkModel(transient_failure_rate=0.3)
+        downloader = Downloader(
+            SimulatedSession(reg, model, seed=5), max_retries=20, sleep=lambda _: None
+        )
+        downloader.download_all(list(manifests))
+        assert downloader.stats.retries > 0
+        assert "retries" in downloader.stats.summary()
+        assert (
+            downloader.metrics.counter("downloader_retries_total").value
+            == downloader.stats.retries
+        )
+
+    def test_backoff_delays_grow_exponentially(self):
+        from repro.downloader.downloader import RetryPolicy
+
+        reg, _ = build_registry()
+        model = NetworkModel(transient_failure_rate=1.0)
+        slept: list[float] = []
+        downloader = Downloader(
+            SimulatedSession(reg, model, seed=5),
+            max_retries=5,
+            retry_policy=RetryPolicy(
+                base_delay_s=0.1, multiplier=2.0, max_delay_s=0.3, jitter=0.0
+            ),
+            sleep=slept.append,
+        )
+        assert downloader.download_image("user/a") is None
+        # manifest fetch: 5 attempts -> 4 backoffs, doubling then capped
+        assert slept == [0.1, 0.2, 0.3, 0.3]
+
+    def test_jitter_is_seeded_and_bounded(self):
+        from repro.downloader.downloader import RetryPolicy
+
+        reg, _ = build_registry()
+        model = NetworkModel(transient_failure_rate=1.0)
+
+        def run(seed: int) -> list[float]:
+            slept: list[float] = []
+            downloader = Downloader(
+                SimulatedSession(reg, model, seed=5),
+                max_retries=4,
+                retry_policy=RetryPolicy(
+                    base_delay_s=0.1, multiplier=2.0, max_delay_s=10.0, jitter=0.5
+                ),
+                sleep=slept.append,
+                seed=seed,
+            )
+            downloader.download_image("user/a")
+            return slept
+
+        assert run(7) == run(7)  # deterministic for a seed
+        assert run(7) != run(8)  # but the seed matters
+        for i, delay in enumerate(run(7)):
+            full = 0.1 * 2.0**i
+            assert full / 2 <= delay <= full
+
+    def test_retry_policy_validation(self):
+        from repro.downloader.downloader import RetryPolicy
+
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+
 
 class TestParallelModes:
     @pytest.mark.parametrize("workers", [1, 4])

@@ -1,5 +1,7 @@
 """Caching-proxy tests: repeated pulls stop hitting the upstream."""
 
+import threading
+
 import pytest
 
 from repro.cache.policies import LRUCache
@@ -63,3 +65,105 @@ class TestProxy:
         from repro.util.digest import sha256_bytes
 
         assert sha256_bytes(first) == digest
+
+    def test_fetch_blob_reports_outcome(self, upstream):
+        session, manifests = upstream
+        proxy = CachingProxySession(session)
+        digest = manifests["user/a"].layers[0].digest
+        _, outcome = proxy.fetch_blob(digest)
+        assert outcome == "miss"
+        _, outcome = proxy.fetch_blob(digest)
+        assert outcome == "hit"
+
+    def test_exports_metrics(self, upstream):
+        session, manifests = upstream
+        proxy = CachingProxySession(session)
+        digest = manifests["user/a"].layers[0].digest
+        proxy.get_blob(digest)
+        proxy.get_blob(digest)
+        text = proxy.metrics.render_prometheus()
+        assert 'proxy_blob_requests_total{outcome="miss"} 1' in text
+        assert 'proxy_blob_requests_total{outcome="hit"} 1' in text
+        assert "proxy_cached_bytes" in text
+
+    def test_eviction_metric_counts_drops(self, upstream):
+        session, manifests = upstream
+        proxy = CachingProxySession(session, LRUCache(1))  # admits nothing
+        digest = manifests["user/a"].layers[0].digest
+        proxy.get_blob(digest)
+        assert proxy.stats.evictions == 0  # never admitted, nothing to drop
+
+
+class _BlockingUpstream:
+    """Upstream whose get_blob stalls until released, counting every call."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.release = threading.Event()
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def get_blob(self, digest: str) -> bytes:
+        with self._lock:
+            self.calls += 1
+        self.release.wait(timeout=10)
+        return self.inner.get_blob(digest)
+
+
+class TestSingleFlight:
+    def test_concurrent_misses_fetch_upstream_once(self, upstream):
+        """The thundering-herd regression: N concurrent requesters for one
+        cold digest must produce exactly one upstream fetch."""
+        session, manifests = upstream
+        blocking = _BlockingUpstream(session)
+        proxy = CachingProxySession(blocking)
+        digest = manifests["user/a"].layers[0].digest
+        results: list[bytes] = []
+        lock = threading.Lock()
+
+        def puller():
+            blob = proxy.get_blob(digest)
+            with lock:
+                results.append(blob)
+
+        threads = [threading.Thread(target=puller) for _ in range(8)]
+        for t in threads:
+            t.start()
+        # wait for the leader to reach the upstream, then let everyone go
+        for _ in range(1000):
+            if blocking.calls:
+                break
+            threading.Event().wait(0.005)
+        blocking.release.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert blocking.calls == 1
+        assert len(results) == 8
+        assert len({bytes(r) for r in results}) == 1
+        assert proxy.stats.blob_requests == 8
+        # everyone but the leader was served without an upstream fetch,
+        # whether they coalesced onto the flight or hit the cache after it
+        assert proxy.stats.blob_hits == 7
+        assert proxy.stats.bytes_from_upstream == len(results[0])
+        assert proxy.stats.bytes_served == 8 * len(results[0])
+
+    def test_leader_failure_propagates_then_recovers(self, upstream):
+        session, manifests = upstream
+        digest = manifests["user/a"].layers[0].digest
+
+        class FlakyUpstream:
+            def __init__(self, inner):
+                self.inner = inner
+                self.fail_next = True
+
+            def get_blob(self, d):
+                if self.fail_next:
+                    self.fail_next = False
+                    raise ConnectionResetError("boom")
+                return self.inner.get_blob(d)
+
+        proxy = CachingProxySession(FlakyUpstream(session))
+        with pytest.raises(ConnectionResetError):
+            proxy.get_blob(digest)
+        # the failed flight must not wedge the digest: next call succeeds
+        assert proxy.get_blob(digest)

@@ -1,0 +1,77 @@
+"""Trace → request-stream conversion tests."""
+
+import pytest
+
+from repro.cache import generate_trace
+from repro.loadgen import PullOp, requests_from_trace
+from repro.synth import SyntheticHubConfig, generate_dataset, materialize_registry
+
+
+@pytest.fixture(scope="module")
+def world():
+    dataset = generate_dataset(SyntheticHubConfig.tiny(seed=7))
+    registry, truth = materialize_registry(dataset, fail_share=0.0, seed=7)
+    return dataset, registry, truth
+
+
+class TestPullOp:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PullOp(kind="delete")
+        with pytest.raises(ValueError):
+            PullOp(kind="manifest")
+        with pytest.raises(ValueError):
+            PullOp(kind="blob")
+
+
+class TestImageGranularity:
+    def test_cold_client_expansion(self, world):
+        dataset, _, truth = world
+        trace = generate_trace(dataset, 50, seed=1)
+        ops = requests_from_trace(trace, dataset, truth)
+        manifests = [op for op in ops if op.kind == "manifest"]
+        blobs = [op for op in ops if op.kind == "blob"]
+        assert len(manifests) == 50  # one manifest GET per pull
+        # each pull requests every layer of its image (cold client)
+        expected_blobs = sum(
+            int(dataset.image_layer_counts[int(i)]) for i in trace.object_ids
+        )
+        assert len(blobs) == expected_blobs
+
+    def test_ops_resolve_against_registry(self, world):
+        dataset, registry, truth = world
+        trace = generate_trace(dataset, 20, seed=2)
+        ops = requests_from_trace(trace, dataset, truth)
+        for op in ops[:40]:
+            if op.kind == "manifest":
+                manifest = registry.get_manifest(op.repo, op.tag)
+                assert manifest.layers
+            else:
+                assert registry.get_blob(op.digest)
+
+    def test_manifest_layers_match_blob_ops(self, world):
+        dataset, registry, truth = world
+        trace = generate_trace(dataset, 1, seed=3)
+        ops = requests_from_trace(trace, dataset, truth)
+        manifest = registry.get_manifest(ops[0].repo, ops[0].tag)
+        assert [op.digest for op in ops[1:]] == list(manifest.layer_digests)
+
+
+class TestLayerGranularity:
+    def test_one_blob_op_per_request(self, world):
+        dataset, registry, truth = world
+        trace = generate_trace(dataset, 80, granularity="layer", seed=4)
+        ops = requests_from_trace(trace, dataset, truth)
+        assert len(ops) == trace.n_requests
+        assert all(op.kind == "blob" for op in ops)
+        assert registry.get_blob(ops[0].digest)
+
+    def test_deterministic_for_seed(self, world):
+        dataset, _, truth = world
+        a = requests_from_trace(
+            generate_trace(dataset, 60, granularity="layer", seed=5), dataset, truth
+        )
+        b = requests_from_trace(
+            generate_trace(dataset, 60, granularity="layer", seed=5), dataset, truth
+        )
+        assert a == b

@@ -1,0 +1,196 @@
+"""Metrics-core tests: counters, gauges, histograms, registry, exports."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, timed
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_thread_safety(self):
+        c = Counter()
+        threads = [
+            threading.Thread(target=lambda: [c.inc() for _ in range(10_000)])
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 80_000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+
+class TestHistogram:
+    def test_empty_reports_zeros(self):
+        h = Histogram()
+        snap = h.snapshot()
+        assert snap.count == 0
+        assert snap.p50 == 0.0
+        assert snap.max == 0.0
+
+    def test_single_value_quantiles_exact(self):
+        h = Histogram()
+        h.observe(0.5)
+        snap = h.snapshot()
+        assert snap.p50 == snap.p99 == snap.max == 0.5
+
+    def test_quantiles_within_bucket_error(self):
+        h = Histogram(growth=1.25)
+        values = [i / 1000 for i in range(1, 1001)]  # 1ms .. 1s uniform
+        for v in values:
+            h.observe(v)
+        # log-bucketed: estimate within one bucket (±25%) of the true quantile
+        assert h.quantile(0.5) == pytest.approx(0.5, rel=0.25)
+        assert h.quantile(0.99) == pytest.approx(0.99, rel=0.25)
+        assert h.max == 1.0
+        assert h.min == 0.001
+        assert h.sum == pytest.approx(sum(values))
+
+    def test_overflow_and_underflow_clamp(self):
+        h = Histogram(min_bound=1e-3, growth=2.0, n_buckets=4)  # covers <= 8e-3
+        h.observe(1e-9)
+        h.observe(100.0)
+        assert h.count == 2
+        assert h.quantile(1.0) == 100.0
+        assert h.min == 1e-9
+
+    def test_quantile_monotone(self):
+        h = Histogram()
+        for i in range(1, 200):
+            h.observe(i * 0.01)
+        qs = [h.quantile(q / 20) for q in range(21)]
+        assert qs == sorted(qs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(growth=1.0)
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_timed_observes_elapsed(self):
+        h = Histogram()
+        with timed(h):
+            pass
+        assert h.count == 1
+        assert h.max > 0
+
+
+class TestRegistry:
+    def test_same_labels_same_metric(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits_total", endpoint="blob")
+        b = reg.counter("hits_total", endpoint="blob")
+        assert a is b
+        a.inc()
+        assert b.value == 1
+
+    def test_distinct_labels_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("hits_total", endpoint="blob").inc()
+        reg.counter("hits_total", endpoint="manifest").inc(2)
+        series = reg.to_dict()["hits_total"]["series"]
+        assert {row["labels"]["endpoint"]: row["value"] for row in series} == {
+            "blob": 1,
+            "manifest": 2,
+        }
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+
+    def test_label_key_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", a="1")
+        with pytest.raises(ValueError):
+            reg.counter("x_total", b="1")
+
+    def test_bad_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("bad name")
+        with pytest.raises(ValueError):
+            reg.counter("ok", **{"bad-label": "x"})
+
+    def test_timed_context_manager(self):
+        reg = MetricsRegistry()
+        with reg.timed("op_seconds", op="x"):
+            pass
+        assert reg.histogram("op_seconds", op="x").count == 1
+
+    def test_json_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc()
+        reg.histogram("b_seconds").observe(0.1)
+        doc = json.loads(reg.to_json())
+        assert doc["a_total"]["series"][0]["value"] == 1
+        assert doc["b_seconds"]["series"][0]["count"] == 1
+
+
+class TestPrometheusFormat:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("req_total", "requests served", endpoint="blob").inc(3)
+        reg.gauge("cached_bytes", "resident bytes").set(42)
+        text = reg.render_prometheus()
+        assert "# HELP req_total requests served" in text
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{endpoint="blob"} 3' in text
+        assert "# TYPE cached_bytes gauge" in text
+        assert "cached_bytes 42" in text
+
+    def test_histogram_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", "latency")
+        h.observe(0.001)
+        h.observe(0.001)
+        h.observe(10.0)
+        text = reg.render_prometheus()
+        assert "# TYPE lat_seconds histogram" in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_count 3" in text
+        assert "lat_seconds_sum" in text
+        # cumulative: every non-+Inf bucket count must be <= total
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("lat_seconds_bucket")
+        ]
+        assert counts == sorted(counts)
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", path='say "hi"').inc()
+        assert 'path="say \\"hi\\""' in reg.render_prometheus()
+
+    def test_deterministic_ordering(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total", x="2").inc()
+        reg.counter("b_total", x="1").inc()
+        reg.counter("a_total").inc()
+        text = reg.render_prometheus()
+        assert text.index("a_total") < text.index("b_total")
+        assert text.index('x="1"') < text.index('x="2"')

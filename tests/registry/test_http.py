@@ -1,6 +1,7 @@
 """HTTP registry tests: the v2 API over a real socket."""
 
 import json
+import urllib.error
 import urllib.request
 
 import pytest
@@ -112,6 +113,95 @@ class TestErrors:
         dead = HTTPSession("http://127.0.0.1:9")  # discard port, nothing listens
         with pytest.raises(RegistryError, match="connection failed"):
             dead.ping()
+
+
+class TestErrorPaths:
+    """Error-path coverage: malformed pushes, unknown uploads, auth mapping."""
+
+    def test_malformed_manifest_put_is_400(self, server):
+        request = urllib.request.Request(
+            f"{server.base_url}/v2/user/app/manifests/broken",
+            data=b"this is not json",
+            method="PUT",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request)
+        assert err.value.code == 400
+        doc = json.loads(err.value.read())
+        assert doc["errors"][0]["code"] == "MANIFEST_INVALID"
+
+    def test_manifest_put_missing_required_keys_is_400(self, server):
+        payload = {"schemaVersion": 2, "layers": [{"digest": "sha256:" + "0" * 64}]}
+        request = urllib.request.Request(
+            f"{server.base_url}/v2/user/app/manifests/broken",
+            data=json.dumps(payload).encode(),  # layer entry lacks "size"
+            method="PUT",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request)
+        assert err.value.code == 400
+
+    def test_blob_put_with_wrong_digest_is_400(self, server, session):
+        _, headers = session._fetch(
+            "/v2/library/blobs/uploads/", method="POST", data=b"", return_headers=True
+        )
+        location = headers["Location"]
+        request = urllib.request.Request(
+            f"{server.base_url}{location}?digest=sha256:{'0' * 64}",
+            data=b"payload bytes",
+            method="PUT",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request)
+        assert err.value.code == 400
+        doc = json.loads(err.value.read())
+        assert doc["errors"][0]["code"] == "DIGEST_INVALID"
+
+    def test_patch_to_unknown_upload_uuid_is_404(self, server):
+        request = urllib.request.Request(
+            f"{server.base_url}/v2/library/blobs/uploads/"
+            "00000000-0000-0000-0000-000000000000",
+            data=b"chunk",
+            method="PATCH",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request)
+        assert err.value.code == 404
+        doc = json.loads(err.value.read())
+        assert doc["errors"][0]["code"] == "BLOB_UPLOAD_UNKNOWN"
+
+    def test_401_maps_to_auth_required_error(self, session):
+        with pytest.raises(AuthRequiredError):
+            session.get_manifest("priv/x", "latest")
+
+    def test_tags_list_401_maps_too(self, session):
+        with pytest.raises(AuthRequiredError):
+            session.list_tags("priv/x")
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_export_per_endpoint(self, server, session):
+        session.get_manifest("user/app", "latest")
+        manifest = session.get_manifest("user/app", "latest")
+        session.get_blob(manifest.layers[0].digest)
+        body = urllib.request.urlopen(f"{server.base_url}/metrics").read().decode()
+        assert "# TYPE registry_http_requests_total counter" in body
+        assert 'endpoint="manifest"' in body
+        assert 'endpoint="blob"' in body
+        assert 'method="GET"' in body
+        assert "# TYPE registry_http_request_seconds histogram" in body
+        assert 'registry_http_request_seconds_bucket{endpoint="manifest",le="+Inf"}' in body
+
+    def test_errors_still_counted(self, server, session):
+        before = server.metrics.counter(
+            "registry_http_requests_total", endpoint="manifest", method="GET"
+        ).value
+        with pytest.raises(TagNotFoundError):
+            session.get_manifest("user/app", "no-such-tag")
+        after = server.metrics.counter(
+            "registry_http_requests_total", endpoint="manifest", method="GET"
+        ).value
+        assert after == before + 1
 
 
 class TestSearchOverHTTP:

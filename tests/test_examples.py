@@ -5,6 +5,7 @@ should fail the suite, not a user. Run as subprocesses so import paths and
 argument parsing are exercised exactly as documented.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -12,6 +13,16 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def _env() -> dict[str, str]:
+    """The subprocess env: PYTHONPATH made absolute so examples import
+    ``repro`` regardless of their working directory."""
+    env = os.environ.copy()
+    inherited = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = str(SRC) + (os.pathsep + inherited if inherited else "")
+    return env
 
 #: (script, extra args, strings that must appear in stdout)
 CASES = [
@@ -25,6 +36,7 @@ CASES = [
     ("restructure_study.py", ["--seed", "3"], ["carved layout", "file-level dedup"]),
     ("growth_projection.py", ["--seed", "3", "--days", "180"], ["repos", "file dedup"]),
     ("chunking_study.py", ["--seed", "3"], ["cdc-8k", "file-level dedup"]),
+    ("loadtest_study.py", ["--seed", "3", "--requests", "400"], ["req/s", "p99", "proxy hit ratio"]),
 ]
 
 
@@ -36,6 +48,7 @@ def test_example_runs(script, args, expected, tmp_path):
         text=True,
         timeout=600,
         cwd=tmp_path,
+        env=_env(),
     )
     assert result.returncode == 0, result.stderr[-2000:]
     for token in expected:
@@ -56,6 +69,7 @@ def test_run_all_experiments_writes_markdown(tmp_path):
         text=True,
         timeout=600,
         cwd=tmp_path,
+        env=_env(),
     )
     assert result.returncode == 0, result.stderr[-2000:]
     body = out.read_text()
