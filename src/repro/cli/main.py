@@ -10,6 +10,7 @@ Subcommands::
     repro pipeline    --scale tiny [--dataset out.npz] [--profiles out.jsonl]
     repro experiments --out EXPERIMENTS.md              # full paper-vs-measured
     repro loadtest    --seed 3 [--proxy] [--http]       # serving load test
+    repro chaos       --seed 7 --plan smoke             # fault-injected pipeline
 """
 
 from __future__ import annotations
@@ -137,6 +138,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="also dump server metrics in Prometheus text format",
     )
+
+    p = sub.add_parser(
+        "chaos",
+        help="run crawl->pull->loadgen under a fault plan and check the "
+        "resilience invariants (exit 1 on violation)",
+    )
+    p.add_argument("--seed", type=int, default=7, help="chaos seed")
+    p.add_argument(
+        "--plan", default="smoke",
+        help="fault plan name (none, smoke, storm)",
+    )
+    p.add_argument("--scale", choices=["tiny", "small"], default="tiny")
+    p.add_argument(
+        "--requests", type=int, default=400, help="loadgen trace length"
+    )
+    p.add_argument(
+        "--journal", type=Path,
+        help="checkpoint directory: the crawl and pull journal here, and a "
+        "rerun resumes instead of restarting",
+    )
+    p.add_argument(
+        "--kill-after", type=int,
+        help="simulate a crash after N pulls (requires --journal to resume)",
+    )
+    p.add_argument("--json", action="store_true", help="emit the report as JSON")
 
     return parser
 
@@ -491,6 +517,29 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import plan_names, run_chaos
+
+    if args.plan not in plan_names():
+        print(
+            f"unknown plan {args.plan!r}; known: {', '.join(plan_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    report = run_chaos(
+        seed=args.seed,
+        plan=args.plan,
+        scale=args.scale,
+        requests=args.requests,
+        journal_dir=args.journal,
+        kill_after=args.kill_after,
+    )
+    print(report.to_json() if args.json else report.render())
+    if args.kill_after is not None and report.partial:
+        return 0  # a simulated crash is not a violation; rerun to resume
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
@@ -504,6 +553,7 @@ _COMMANDS = {
     "project": _cmd_project,
     "serve": _cmd_serve,
     "loadtest": _cmd_loadtest,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -1,5 +1,6 @@
 """The crawler: enumerate every repository in the Hub (§III-A)."""
 
+from repro.crawler.checkpoint import CrawlCheckpoint
 from repro.crawler.crawler import CrawlResult, HubCrawler
 
-__all__ = ["CrawlResult", "HubCrawler"]
+__all__ = ["CrawlCheckpoint", "CrawlResult", "HubCrawler"]

@@ -51,23 +51,37 @@ class HubCrawler:
         self.search = search
         self.max_pages = max_pages
 
-    def crawl(self) -> CrawlResult:
+    def crawl(self, *, checkpoint=None) -> CrawlResult:
         """Run the full crawl: officials + paged "/" search, deduplicated.
 
         Deduplication preserves first-seen order, like the paper's list
         (the exact order only matters for reproducibility of downstream
         sampling).
+
+        With a :class:`~repro.crawler.checkpoint.CrawlCheckpoint`, state
+        is journaled after every page; a crawler killed mid-run resumes
+        from the next unfetched page with no re-counted rows, and a crawl
+        the checkpoint marks done returns the stored result untouched.
         """
         result = CrawlResult()
-        seen: set[str] = set()
-
-        for name in self.search.official_repositories():
-            if name not in seen:
-                seen.add(name)
-                result.repositories.append(name)
-        result.official_count = len(result.repositories)
-
         page_num = 1
+        if checkpoint is not None:
+            restored = checkpoint.load()
+            if restored is not None:
+                result, page_num, done = restored
+                if done:
+                    return result
+        seen: set[str] = set(result.repositories)
+
+        if not result.pages_fetched and not result.repositories:
+            for name in self.search.official_repositories():
+                if name not in seen:
+                    seen.add(name)
+                    result.repositories.append(name)
+            result.official_count = len(result.repositories)
+            if checkpoint is not None:
+                checkpoint.save(result, next_page=page_num, done=False)
+
         while True:
             if self.max_pages is not None and page_num > self.max_pages:
                 break
@@ -83,4 +97,8 @@ class HubCrawler:
             if not page.has_next:
                 break
             page_num += 1
+            if checkpoint is not None:
+                checkpoint.save(result, next_page=page_num, done=False)
+        if checkpoint is not None:
+            checkpoint.save(result, next_page=page_num, done=True)
         return result

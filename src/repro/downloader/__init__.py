@@ -1,22 +1,41 @@
 """The downloader: fetch manifests and unique layers in parallel (§III-B)."""
 
-from repro.downloader.session import NetworkModel, SimulatedSession, TransientNetworkError
+from repro.downloader.session import (
+    NetworkModel,
+    RateLimitedError,
+    SimulatedSession,
+    TransientNetworkError,
+)
+from repro.downloader.breaker import (
+    CircuitBreaker,
+    CircuitBreakerPool,
+    CircuitOpenError,
+)
 from repro.downloader.downloader import (
+    DeadlineExceededError,
     DownloadedImage,
     Downloader,
     DownloadStats,
     RetryPolicy,
 )
 from repro.downloader.proxy import CachingProxySession, ProxyStats
+from repro.downloader.resume import PullRunResult, download_with_checkpoint
 
 __all__ = [
     "CachingProxySession",
+    "CircuitBreaker",
+    "CircuitBreakerPool",
+    "CircuitOpenError",
+    "DeadlineExceededError",
     "DownloadedImage",
     "Downloader",
     "DownloadStats",
     "NetworkModel",
     "ProxyStats",
+    "PullRunResult",
+    "RateLimitedError",
     "RetryPolicy",
     "SimulatedSession",
     "TransientNetworkError",
+    "download_with_checkpoint",
 ]

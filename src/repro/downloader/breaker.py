@@ -1,0 +1,148 @@
+"""Per-host circuit breaker for the pull pipeline.
+
+When a registry host starts failing hard, hammering it with retries makes
+the outage worse and burns the crawl's time budget. The breaker watches
+consecutive transient failures and trips **open** at a threshold; while
+open, requests fast-fail without touching the host. After ``cooldown_s``
+it goes **half-open** and admits a limited number of probe requests: one
+success closes the circuit, one failure re-opens it and restarts the
+cooldown. The clock is injectable so virtual-time chaos runs stay
+deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.downloader.session import TransientNetworkError
+from repro.obs import MetricsRegistry
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitOpenError(TransientNetworkError):
+    """Fast-failed because the breaker is open (no request was sent)."""
+
+
+class CircuitBreaker:
+    """Closed → open → half-open failure containment for one host."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        cooldown_s: float = 1.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: MetricsRegistry | None = None,
+        host: str = "upstream",
+    ):
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        if half_open_probes < 1:
+            raise ValueError(f"half_open_probes must be >= 1, got {half_open_probes}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.half_open_probes = half_open_probes
+        self.host = host
+        self._clock = clock
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self.opens = 0
+        self.fast_failures = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        """Caller holds the lock: open → half-open once the cooldown ends."""
+        if self._state == OPEN and self._clock() - self._opened_at >= self.cooldown_s:
+            self._set_state(HALF_OPEN)
+            self._probes_in_flight = 0
+
+    def _set_state(self, state: str) -> None:
+        if state != self._state:
+            self._state = state
+            self.metrics.counter(
+                "breaker_transitions_total", "breaker state entries",
+                host=self.host, state=state,
+            ).inc()
+
+    def allow(self) -> bool:
+        """May a request go out now? Half-open admits only probe quota."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                return True
+            self.fast_failures += 1
+            self.metrics.counter(
+                "breaker_fast_failures_total", "requests shed while open",
+                host=self.host,
+            ).inc()
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == HALF_OPEN:
+                self._set_state(CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN or (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._set_state(OPEN)
+                self.opens += 1
+                self._opened_at = self._clock()
+
+    def stats(self) -> dict[str, float]:
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state,
+                "opens": self.opens,
+                "fast_failures": self.fast_failures,
+                "consecutive_failures": self._consecutive_failures,
+            }
+
+
+class CircuitBreakerPool:
+    """One breaker per host, created on first use with shared settings —
+    what a multi-registry crawler hangs its sessions on."""
+
+    def __init__(self, *, metrics: MetricsRegistry | None = None, **breaker_kwargs):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._kwargs = breaker_kwargs
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def for_host(self, host: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(host)
+            if breaker is None:
+                breaker = CircuitBreaker(host=host, metrics=self.metrics, **self._kwargs)
+                self._breakers[host] = breaker
+            return breaker
+
+    def hosts(self) -> list[str]:
+        with self._lock:
+            return sorted(self._breakers)

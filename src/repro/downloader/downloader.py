@@ -9,7 +9,13 @@ Key behaviours reproduced from the paper's custom downloader:
 * accounts failures: repositories that require authentication (13 % of the
   paper's failed population) and repositories without a ``latest`` tag
   (87 %) are recorded, not fatal;
-* retries transient network failures with bounded attempts.
+* retries transient network failures with bounded attempts, honouring a
+  server's ``Retry-After`` when it rate-limits;
+* quarantines blobs whose content does not hash to their digest — the
+  corrupt payload is never stored, the mismatch is logged, and the fetch
+  retries from upstream;
+* optionally trips a per-host circuit breaker and enforces a per-image
+  deadline budget, so one sick host cannot stall a 30-day crawl.
 """
 
 from __future__ import annotations
@@ -17,7 +23,8 @@ from __future__ import annotations
 import random
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from functools import partial
 from typing import Callable
 
 from repro.model.manifest import Manifest
@@ -29,8 +36,17 @@ from repro.registry.errors import (
     RegistryError,
     TagNotFoundError,
 )
-from repro.downloader.session import SimulatedSession, TransientNetworkError
+from repro.downloader.breaker import CircuitBreaker, CircuitOpenError
+from repro.downloader.session import (
+    RateLimitedError,
+    SimulatedSession,
+    TransientNetworkError,
+)
 from repro.util.digest import sha256_bytes
+
+
+class DeadlineExceededError(TransientNetworkError):
+    """The per-image deadline budget ran out before the fetch succeeded."""
 
 
 @dataclass
@@ -85,6 +101,9 @@ class DownloadStats:
     layer_bytes_fetched: int = 0
     corrupt_blobs: int = 0
     retries: int = 0
+    rate_limited: int = 0
+    breaker_fast_failures: int = 0
+    deadline_exceeded: int = 0
 
     @property
     def failed(self) -> int:
@@ -103,7 +122,16 @@ class DownloadStats:
             "layer_bytes_fetched": self.layer_bytes_fetched,
             "corrupt_blobs": self.corrupt_blobs,
             "retries": self.retries,
+            "rate_limited": self.rate_limited,
+            "breaker_fast_failures": self.breaker_fast_failures,
+            "deadline_exceeded": self.deadline_exceeded,
         }
+
+    @classmethod
+    def from_summary(cls, summary: dict[str, int]) -> "DownloadStats":
+        """Rebuild stats from a :meth:`summary` dict (checkpoint resume)."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: int(v) for k, v in summary.items() if k in known})
 
 
 class Downloader:
@@ -121,6 +149,9 @@ class Downloader:
         sleep: Callable[[float], None] = time.sleep,
         seed: int = 0,
         metrics: MetricsRegistry | None = None,
+        breaker: CircuitBreaker | None = None,
+        deadline_s: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
     ):
         self.session = session
         self.dest = dest if dest is not None else MemoryBlobStore()
@@ -128,36 +159,85 @@ class Downloader:
         self.tag = tag
         if max_retries < 1:
             raise ValueError(f"max_retries must be >= 1, got {max_retries}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {deadline_s}")
         self.max_retries = max_retries
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self._sleep = sleep
         self._rng = random.Random(seed)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.breaker = breaker
+        self.deadline_s = deadline_s
+        self._clock = clock
         self._lock = threading.Lock()
         self._in_flight: set[str] = set()
+        self._have: set[str] = set()
+        #: digest -> actual digests of quarantined (rejected) payloads
+        self.quarantine: dict[str, list[str]] = {}
         self.stats = DownloadStats()
 
     # -- low level ---------------------------------------------------------------
 
-    def _with_retries(self, fn, *args):
+    def _with_retries(self, fn, *args, deadline: float | None = None):
+        """Call *fn* with bounded retries on transient failures.
+
+        A rate-limit failure backs off for at least the server's
+        ``Retry-After``; an open circuit breaker consumes an attempt
+        without touching the host (the backoff sleep is when the cooldown
+        elapses); a deadline stops retrying the moment the budget is spent.
+        """
         last: TransientNetworkError | None = None
         for attempt in range(self.max_retries):
-            try:
-                return fn(*args)
-            except TransientNetworkError as exc:
-                last = exc
-                if attempt + 1 < self.max_retries:
+            if deadline is not None and self._clock() >= deadline:
+                with self._lock:
+                    self.stats.deadline_exceeded += 1
+                raise DeadlineExceededError(
+                    f"deadline budget spent after {attempt} attempts"
+                ) from last
+            min_delay = 0.0
+            if self.breaker is not None and not self.breaker.allow():
+                with self._lock:
+                    self.stats.breaker_fast_failures += 1
+                last = CircuitOpenError("circuit open; request not sent")
+            else:
+                try:
+                    result = fn(*args)
+                except RateLimitedError as exc:
+                    # the server is alive and told us its price: back off
+                    # without counting toward the breaker's failure streak
+                    last = exc
+                    min_delay = exc.retry_after_s
                     with self._lock:
-                        self.stats.retries += 1
-                        draw = self._rng.random()
+                        self.stats.rate_limited += 1
                     self.metrics.counter(
-                        "downloader_retries_total", "transient-failure retries"
+                        "downloader_rate_limited_total", "429 responses honoured"
                     ).inc()
-                    self._sleep(self.retry_policy.delay(attempt, draw))
+                except TransientNetworkError as exc:
+                    last = exc
+                    if self.breaker is not None:
+                        self.breaker.record_failure()
+                else:
+                    if self.breaker is not None:
+                        self.breaker.record_success()
+                    return result
+            if attempt + 1 < self.max_retries:
+                with self._lock:
+                    self.stats.retries += 1
+                    draw = self._rng.random()
+                self.metrics.counter(
+                    "downloader_retries_total", "transient-failure retries"
+                ).inc()
+                self._sleep(max(self.retry_policy.delay(attempt, draw), min_delay))
         assert last is not None
         raise last
 
-    def _fetch_layer(self, digest: str) -> tuple[str, bool, int]:
+    def mark_have(self, digests) -> None:
+        """Declare layers already safely stored by an earlier (checkpointed)
+        run: they count as duplicate hits, exactly as if ``dest`` held them."""
+        with self._lock:
+            self._have.update(digests)
+
+    def _fetch_layer(self, digest: str, deadline: float | None = None) -> tuple[str, bool, int]:
         """Fetch one layer into the destination store unless cached.
 
         Returns ``(digest, fetched, nbytes)``. The in-flight set prevents two
@@ -168,11 +248,11 @@ class Downloader:
         image sharing the layer), retrying like any transient fault.
         """
         with self._lock:
-            if self.dest.has(digest) or digest in self._in_flight:
+            if digest in self._have or self.dest.has(digest) or digest in self._in_flight:
                 return digest, False, 0
             self._in_flight.add(digest)
         try:
-            blob = self._with_retries(self._get_verified_blob, digest)
+            blob = self._with_retries(self._get_verified_blob, digest, deadline=deadline)
             self.dest.put(blob)
             self.metrics.counter(
                 "downloader_fetches_total", "unique layer fetches"
@@ -191,8 +271,12 @@ class Downloader:
         if actual != digest:
             with self._lock:
                 self.stats.corrupt_blobs += 1
+                self.quarantine.setdefault(digest, []).append(actual)
+            self.metrics.counter(
+                "downloader_corrupt_blobs_total", "payloads quarantined"
+            ).inc()
             raise TransientNetworkError(
-                f"blob {digest} arrived as {actual} (corrupt transfer)"
+                f"blob {digest} arrived as {actual} (corrupt transfer, quarantined)"
             )
         return blob
 
@@ -206,10 +290,15 @@ class Downloader:
         repositories are counted separately.
         """
         tag = tag if tag is not None else self.tag
+        deadline = (
+            self._clock() + self.deadline_s if self.deadline_s is not None else None
+        )
         with self._lock:
             self.stats.attempted += 1
         try:
-            manifest = self._with_retries(self.session.get_manifest, repo, tag)
+            manifest = self._with_retries(
+                self.session.get_manifest, repo, tag, deadline=deadline
+            )
         except AuthRequiredError:
             with self._lock:
                 self.stats.failed_auth += 1
@@ -225,11 +314,13 @@ class Downloader:
 
         image = DownloadedImage(repository=repo, manifest=manifest, tag=tag)
         # layers of one image fetched in parallel, as the paper's tool did
+        # (serial downloaders stay serial so seeded runs are deterministic)
+        layer_mode = "serial" if self.parallel.mode == "serial" else "thread"
         try:
             results = parallel_map(
-                self._fetch_layer,
+                partial(self._fetch_layer, deadline=deadline),
                 manifest.layer_digests,
-                ParallelConfig(mode="thread", chunk_size=1, min_parallel_items=4),
+                ParallelConfig(mode=layer_mode, chunk_size=1, min_parallel_items=4),
             )
         except (RegistryError, TransientNetworkError):
             # a layer that never arrives (or never verifies) fails the image

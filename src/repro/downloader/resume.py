@@ -1,0 +1,118 @@
+"""Journaled, resumable whole-crawl pulls.
+
+The paper pulled 355,319 images over ~30 days; a run like that dies and
+must pick up where it stopped without double-counting anything. This
+module drives a :class:`~repro.downloader.downloader.Downloader` over a
+repository list while journaling, per repository, the outcome plus the
+aggregate stats and the set of layer digests already fetched. On resume:
+
+* completed repositories are skipped (never re-attempted, never
+  re-counted);
+* the saved stats snapshot is restored wholesale, so `attempted /
+  succeeded / failed_*` pick up mid-sequence;
+* previously-fetched layer digests are declared via
+  :meth:`~repro.downloader.downloader.Downloader.mark_have`, so a layer
+  shared across the kill boundary still counts as a duplicate hit — the
+  resumed run's final summary is identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.downloader.downloader import DownloadedImage, Downloader, DownloadStats
+from repro.util.journal import JournalFile
+
+_VERSION = 1
+
+
+@dataclass
+class PullRunResult:
+    """What one (possibly partial) checkpointed pull run produced."""
+
+    images: list[DownloadedImage] = field(default_factory=list)
+    stats: DownloadStats = field(default_factory=DownloadStats)
+    #: repo -> "ok" | "failed_auth" | "failed_no_latest" | "failed_other"
+    outcomes: dict[str, str] = field(default_factory=dict)
+    resumed: bool = False
+    finished: bool = False
+
+    @property
+    def completed(self) -> int:
+        return len(self.outcomes)
+
+
+def _classify(before: DownloadStats, after: DownloadStats) -> str:
+    """Which outcome the last download_image call recorded (serial loop)."""
+    if after.succeeded > before.succeeded:
+        return "ok"
+    if after.failed_auth > before.failed_auth:
+        return "failed_auth"
+    if after.failed_no_latest > before.failed_no_latest:
+        return "failed_no_latest"
+    return "failed_other"
+
+
+def download_with_checkpoint(
+    downloader: Downloader,
+    repositories: list[str],
+    journal: JournalFile | None = None,
+    *,
+    flush_every: int = 1,
+    stop_after: int | None = None,
+) -> PullRunResult:
+    """Pull every repository, journaling progress after every
+    ``flush_every`` repositories; resumes from *journal* when it holds
+    state from an earlier run. ``stop_after`` aborts after that many
+    newly-processed repositories (testing hook: a simulated kill — the
+    journal stays behind for the next run).
+
+    Repositories are processed serially in list order so the journal's
+    outcome attribution is exact; layer-level parallelism inside each
+    image is unaffected.
+    """
+    if flush_every < 1:
+        raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+    result = PullRunResult()
+    state = journal.load() if journal is not None else None
+    if state is not None:
+        result.resumed = True
+        result.outcomes = dict(state["outcomes"])
+        downloader.stats = DownloadStats.from_summary(state["stats"])
+        downloader.mark_have(state["fetched"])
+    fetched: list[str] = list(state["fetched"]) if state is not None else []
+
+    def flush(finished: bool) -> None:
+        if journal is not None:
+            journal.save(
+                {
+                    "version": _VERSION,
+                    "outcomes": result.outcomes,
+                    "stats": downloader.stats.summary(),
+                    "fetched": fetched,
+                    "finished": finished,
+                }
+            )
+
+    processed = 0
+    dirty = False
+    for repo in repositories:
+        if repo in result.outcomes:
+            continue
+        if stop_after is not None and processed >= stop_after:
+            break
+        before = DownloadStats.from_summary(downloader.stats.summary())
+        image = downloader.download_image(repo)
+        result.outcomes[repo] = (
+            "ok" if image is not None else _classify(before, downloader.stats)
+        )
+        if image is not None:
+            result.images.append(image)
+            fetched.extend(image.fetched_layers)
+        processed += 1
+        if processed % flush_every == 0:
+            flush(finished=False)
+    result.finished = all(repo in result.outcomes for repo in repositories)
+    flush(finished=result.finished)
+    result.stats = downloader.stats
+    return result

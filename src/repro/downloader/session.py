@@ -19,14 +19,21 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.model.manifest import Manifest
 from repro.registry.registry import Registry
+from repro.util.rng import seeded_uniform
 
 
 class TransientNetworkError(Exception):
     """A retryable failure (connection reset, 5xx)."""
+
+
+class RateLimitedError(TransientNetworkError):
+    """A 429: retryable, but the server named its price (``Retry-After``)."""
+
+    def __init__(self, message: str = "rate limited", *, retry_after_s: float = 0.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 @dataclass(frozen=True)
@@ -59,8 +66,9 @@ class SimulatedSession:
         self.registry = registry
         self.model = model or NetworkModel()
         self.token = token
-        self._rng = np.random.default_rng(seed)
+        self._seed = seed
         self._lock = threading.Lock()
+        self._fail_counts: dict[tuple[str, str], int] = {}
         self.requests = 0
         self.bytes_transferred = 0
         self.virtual_seconds = 0.0
@@ -72,39 +80,44 @@ class SimulatedSession:
             self.bytes_transferred += nbytes
             self.virtual_seconds += self.model.cost(nbytes)
 
-    def _maybe_fail(self) -> None:
+    def _maybe_fail(self, op: str, key: str) -> None:
+        """Fail the ``k``-th request for ``(op, key)`` iff a draw that is a
+        pure function of ``(seed, op, key, k)`` lands under the configured
+        rate — so which requests fail never depends on how concurrent
+        threads interleaved their draws."""
         if self.model.transient_failure_rate <= 0:
             return
         with self._lock:
-            failed = self._rng.random() < self.model.transient_failure_rate
-        if failed:
+            k = self._fail_counts.get((op, key), 0)
+            self._fail_counts[(op, key)] = k + 1
+        if seeded_uniform(self._seed, "transient", op, key, k) < self.model.transient_failure_rate:
             with self._lock:
                 self.transient_failures += 1
                 self.virtual_seconds += self.model.request_overhead_s
-            raise TransientNetworkError("injected transient failure")
+            raise TransientNetworkError(f"injected transient failure ({op} {key})")
 
     # -- the registry API surface the downloader uses -------------------------
 
     def resolve_tag(self, repo: str, tag: str) -> str:
-        self._maybe_fail()
+        self._maybe_fail("manifest", f"{repo}:{tag}")
         digest = self.registry.resolve_tag(repo, tag, token=self.token)
         self._account(0)
         return digest
 
     def list_tags(self, repo: str) -> list[str]:
-        self._maybe_fail()
+        self._maybe_fail("tags", repo)
         tags = self.registry.list_tags(repo, token=self.token)
         self._account(sum(len(t) for t in tags))
         return tags
 
     def get_manifest(self, repo: str, reference: str) -> Manifest:
-        self._maybe_fail()
+        self._maybe_fail("manifest", f"{repo}:{reference}")
         manifest = self.registry.get_manifest(repo, reference, token=self.token)
         self._account(len(manifest.to_json()))
         return manifest
 
     def get_blob(self, digest: str) -> bytes:
-        self._maybe_fail()
+        self._maybe_fail("blob", digest)
         blob = self.registry.get_blob(digest)
         self._account(len(blob))
         return blob

@@ -1,0 +1,34 @@
+"""repro.faults: seeded, composable fault injection for the registry stack.
+
+The paper's 30-day crawl lived through real weather — sharded-search 5xx,
+rate limiting, flapping connections, bodies that arrived short. This
+package reproduces that weather on demand so the pipeline's resilience is
+a tested property instead of a hope:
+
+* :mod:`~repro.faults.rules` — declarative fault rules and schedules;
+* :mod:`~repro.faults.injector` — the deterministic per-request planner;
+* :mod:`~repro.faults.session` — middleware over any session surface;
+* :mod:`~repro.faults.plans` — named, repeatable chaos scenarios;
+* :mod:`~repro.faults.chaos` — the end-to-end harness behind
+  ``repro chaos``, with resilience invariants.
+"""
+
+from repro.faults.chaos import ChaosReport, Invariant, VirtualClock, run_chaos
+from repro.faults.injector import FaultInjector, RequestFaults
+from repro.faults.plans import build_plan, plan_names
+from repro.faults.rules import FaultRule, Schedule
+from repro.faults.session import FaultInjectingSession
+
+__all__ = [
+    "ChaosReport",
+    "FaultInjectingSession",
+    "FaultInjector",
+    "FaultRule",
+    "Invariant",
+    "RequestFaults",
+    "Schedule",
+    "VirtualClock",
+    "build_plan",
+    "plan_names",
+    "run_chaos",
+]

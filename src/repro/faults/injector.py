@@ -1,0 +1,158 @@
+"""The fault injector: deterministic, composable, metered.
+
+One :class:`FaultInjector` owns a rule list and decides, per request, what
+goes wrong. Determinism has two parts:
+
+* **Rate draws** are a pure function of ``(seed, rule, op, key, k)`` where
+  ``k`` counts how many times this exact ``(op, key)`` has been requested.
+  Retries of one object see an independent draw each attempt, but the
+  sequence for a given object never depends on what other threads did —
+  so a concurrent run injects exactly the same faults as a serial one.
+* **Schedules** key off a global request counter, which is deterministic
+  for serial (or virtual-time) execution; under real thread races the
+  window edges can shift by a few requests, which is fine for wall-clock
+  chaos and irrelevant for seeded regression runs (those run serially).
+
+Every fired rule bumps ``faults_injected_total{kind=...,op=...}`` in the
+injector's :class:`~repro.obs.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.downloader.session import RateLimitedError, TransientNetworkError
+from repro.faults.rules import DELAY_KINDS, ERROR_KINDS, FaultRule
+from repro.obs import MetricsRegistry
+from repro.util.rng import seeded_uniform
+
+
+@dataclass
+class RequestFaults:
+    """Everything the injector decided for one request.
+
+    ``error_kind``/``error`` — a failure to surface instead of a response
+    (already counted); ``latency_s`` — extra delay to account or sleep;
+    ``mutations`` — ``(rule, draw)`` pairs to run over a returned payload
+    via :meth:`apply_payload`.
+    """
+
+    error_kind: str | None = None
+    error: Exception | None = None
+    retry_after_s: float = 0.0
+    latency_s: float = 0.0
+    mutations: tuple[tuple[FaultRule, float], ...] = ()
+
+    def apply_payload(self, payload: bytes) -> bytes:
+        """Run the decided payload faults over *payload*."""
+        for rule, draw in self.mutations:
+            payload = _mutate(rule.kind, payload, draw)
+        return payload
+
+
+def _mutate(kind: str, payload: bytes, draw: float) -> bytes:
+    if not payload:
+        return payload
+    if kind == "truncate":
+        # keep 25-75 % of the body — enough to look plausible, never whole
+        return payload[: int(len(payload) * (0.25 + 0.5 * draw))]
+    # corrupt: flip one bit, position picked by the draw
+    bit = int(draw * len(payload) * 8) % (len(payload) * 8)
+    flipped = bytearray(payload)
+    flipped[bit // 8] ^= 1 << (bit % 8)
+    return bytes(flipped)
+
+
+class FaultInjector:
+    """Plan faults per request, deterministically, with metrics.
+
+    ``plan(op, key)`` is the single entry point: it advances the request
+    counter, evaluates every rule, and returns a :class:`RequestFaults`.
+    The first error-kind rule that fires wins (matching how a real stack
+    surfaces exactly one failure per request); latency and payload rules
+    compose freely on top of a surviving response.
+    """
+
+    def __init__(
+        self,
+        rules: list[FaultRule] | tuple[FaultRule, ...],
+        *,
+        seed: int = 0,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.rules = tuple(rules)
+        self.seed = seed
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        self._index = 0
+        self._key_counts: dict[tuple[str, str], int] = {}
+        self._injected: dict[str, int] = {}
+
+    @property
+    def request_count(self) -> int:
+        with self._lock:
+            return self._index
+
+    def stats(self) -> dict[str, int]:
+        """Injected fault counts by kind (deterministic key order)."""
+        with self._lock:
+            return {kind: self._injected[kind] for kind in sorted(self._injected)}
+
+    def kinds_injected(self) -> set[str]:
+        with self._lock:
+            return set(self._injected)
+
+    def plan(self, op: str, key: str) -> RequestFaults:
+        """Decide the faults for one request on *op* (e.g. ``"blob"``)
+        addressing *key* (e.g. a digest or ``repo:tag``)."""
+        with self._lock:
+            index = self._index
+            self._index += 1
+            k = self._key_counts.get((op, key), 0)
+            self._key_counts[(op, key)] = k + 1
+
+        faults = RequestFaults()
+        mutations: list[tuple[FaultRule, float]] = []
+        for j, rule in enumerate(self.rules):
+            if not rule.applies_to(op) or not rule.schedule.active(index):
+                continue
+            draw = seeded_uniform(self.seed, j, rule.kind, op, key, k)
+            if draw >= rule.rate:
+                continue
+            param = seeded_uniform(self.seed, j, rule.kind, op, key, k, "param")
+            if rule.kind in ERROR_KINDS:
+                if faults.error is not None:
+                    continue  # one failure per request; first rule wins
+                faults.error_kind = rule.kind
+                faults.error = _make_error(rule, op, key)
+                faults.retry_after_s = rule.retry_after_s
+            elif rule.kind in DELAY_KINDS:
+                faults.latency_s += rule.latency_s * (0.5 + 0.5 * param)
+            else:
+                mutations.append((rule, param))
+            self._count(rule.kind, op)
+        faults.mutations = tuple(mutations)
+        if faults.latency_s:
+            self.metrics.counter(
+                "fault_latency_injected_seconds_total", "injected delay"
+            ).inc(faults.latency_s)
+        return faults
+
+    def _count(self, kind: str, op: str) -> None:
+        with self._lock:
+            self._injected[kind] = self._injected.get(kind, 0) + 1
+        self.metrics.counter(
+            "faults_injected_total", "injected faults by kind and op",
+            kind=kind, op=op,
+        ).inc()
+
+
+def _make_error(rule: FaultRule, op: str, key: str) -> Exception:
+    if rule.kind == "rate_limit":
+        return RateLimitedError(
+            f"injected 429 for {op} {key}", retry_after_s=rule.retry_after_s
+        )
+    if rule.kind == "flap":
+        return TransientNetworkError(f"injected connection reset for {op} {key}")
+    return TransientNetworkError(f"injected 503 for {op} {key}")

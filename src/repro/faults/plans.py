@@ -1,0 +1,75 @@
+"""Named fault plans — repeatable chaos scenarios.
+
+A plan is just a rule list; naming a few canonical ones makes chaos runs a
+regression artifact (``repro chaos --seed 7 --plan smoke`` in CI) instead
+of a one-off. Rates are tuned so a seeded tiny-scale run exercises every
+fault kind yet still completes every pull within the downloader's retry
+budget — the point is to prove the stack *absorbs* this weather, not to
+prove that unplugging the network breaks things.
+"""
+
+from __future__ import annotations
+
+from repro.faults.rules import FaultRule, Schedule
+
+#: plan name -> builder returning a fresh rule list
+_PLANS = {}
+
+
+def _plan(name):
+    def register(fn):
+        _PLANS[name] = fn
+        return fn
+
+    return register
+
+
+@_plan("none")
+def _none() -> list[FaultRule]:
+    """No faults — a baseline for diffing reports against."""
+    return []
+
+
+@_plan("smoke")
+def _smoke() -> list[FaultRule]:
+    """A bit of everything, always on: the paper's everyday crawl weather.
+
+    Sharded-search 5xx, rate limiting with a price, slow requests, dropped
+    connections, and blob bodies that arrive short or bit-flipped.
+    """
+    return [
+        FaultRule(kind="server_error", rate=0.06),
+        FaultRule(kind="rate_limit", rate=0.04, retry_after_s=0.05),
+        FaultRule(kind="flap", rate=0.04),
+        FaultRule(kind="latency", rate=0.10, latency_s=0.25),
+        FaultRule(kind="truncate", rate=0.05, ops=("blob",)),
+        FaultRule(kind="corrupt", rate=0.05, ops=("blob",)),
+    ]
+
+
+@_plan("storm")
+def _storm() -> list[FaultRule]:
+    """A rough patch: an early 5xx burst, then flapping rate limits, with
+    heavier payload corruption throughout."""
+    return [
+        FaultRule(kind="server_error", rate=0.5, schedule=Schedule.burst(20, 60)),
+        FaultRule(kind="server_error", rate=0.04),
+        FaultRule(kind="rate_limit", rate=0.25, retry_after_s=0.1,
+                  schedule=Schedule.flapping(period=100, on=30)),
+        FaultRule(kind="flap", rate=0.06),
+        FaultRule(kind="latency", rate=0.15, latency_s=0.5),
+        FaultRule(kind="truncate", rate=0.08, ops=("blob",)),
+        FaultRule(kind="corrupt", rate=0.08, ops=("blob",)),
+    ]
+
+
+def plan_names() -> list[str]:
+    return sorted(_PLANS)
+
+
+def build_plan(name: str) -> list[FaultRule]:
+    """A fresh rule list for the named plan (raises on unknown names)."""
+    try:
+        return _PLANS[name]()
+    except KeyError:
+        raise ValueError(f"unknown fault plan {name!r}; known: {', '.join(plan_names())}") from None

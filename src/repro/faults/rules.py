@@ -1,0 +1,105 @@
+"""Fault rules and activation schedules.
+
+A :class:`FaultRule` describes one way a registry stack can misbehave —
+the failure modes the paper's 30-day crawl actually hit: transient 5xx,
+429 rate limiting, latency spikes, connections dropped mid-flight, and
+payloads that arrive truncated or bit-flipped. A rule fires on a request
+when (a) its :class:`Schedule` is active at that point in the request
+stream and (b) a deterministic per-request uniform draw lands under its
+``rate``. Rules carry no state; all sequencing lives in the injector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: fault kinds that surface as an error *instead of* a response
+ERROR_KINDS = ("server_error", "rate_limit", "flap")
+#: fault kinds that mangle a payload that *does* arrive
+PAYLOAD_KINDS = ("truncate", "corrupt")
+#: fault kinds that only slow a request down
+DELAY_KINDS = ("latency",)
+ALL_KINDS = ERROR_KINDS + PAYLOAD_KINDS + DELAY_KINDS
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """When in the request stream a rule is live.
+
+    * ``always`` — live for every request;
+    * ``burst`` — live for requests ``[start, start + length)``, a one-off
+      outage window;
+    * ``flapping`` — live for the first ``on`` requests of every ``period``
+      requests, a service that keeps going up and down.
+
+    Positions are the injector's global 0-based request index, so a
+    schedule describes *when during the run* trouble happens, independent
+    of which endpoint gets hit.
+    """
+
+    kind: str = "always"
+    start: int = 0
+    length: int = 0
+    period: int = 0
+    on: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("always", "burst", "flapping"):
+            raise ValueError(f"unknown schedule kind {self.kind!r}")
+        if self.kind == "burst" and (self.start < 0 or self.length <= 0):
+            raise ValueError("burst needs start >= 0 and length > 0")
+        if self.kind == "flapping" and not 0 < self.on <= self.period:
+            raise ValueError("flapping needs 0 < on <= period")
+
+    @classmethod
+    def always(cls) -> "Schedule":
+        return cls()
+
+    @classmethod
+    def burst(cls, start: int, length: int) -> "Schedule":
+        return cls(kind="burst", start=start, length=length)
+
+    @classmethod
+    def flapping(cls, period: int, on: int) -> "Schedule":
+        return cls(kind="flapping", period=period, on=on)
+
+    def active(self, index: int) -> bool:
+        """Is the schedule live at global request *index*?"""
+        if self.kind == "always":
+            return True
+        if self.kind == "burst":
+            return self.start <= index < self.start + self.length
+        return index % self.period < self.on
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One composable fault: what goes wrong, how often, where, and when.
+
+    ``ops`` restricts the rule to request kinds (session ops like
+    ``"manifest"``/``"blob"``/``"tags"``, or HTTP endpoint labels like
+    ``"search"``); ``("*",)`` matches everything. Kind-specific knobs:
+    ``retry_after_s`` (rate_limit), ``latency_s`` (latency — the spike
+    peak; actual injected delay is a deterministic draw in
+    ``[latency_s/2, latency_s]``).
+    """
+
+    kind: str
+    rate: float
+    ops: tuple[str, ...] = ("*",)
+    schedule: Schedule = field(default_factory=Schedule)
+    retry_after_s: float = 0.05
+    latency_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {ALL_KINDS}")
+        if not 0 <= self.rate <= 1:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if not self.ops:
+            raise ValueError("ops must not be empty")
+        if self.retry_after_s < 0 or self.latency_s < 0:
+            raise ValueError("durations must be non-negative")
+
+    def applies_to(self, op: str) -> bool:
+        return "*" in self.ops or op in self.ops

@@ -1,0 +1,73 @@
+"""A session wrapper that injects faults into the client-side pull path.
+
+Wraps anything with the session surface (``resolve_tag`` / ``list_tags`` /
+``get_manifest`` / ``get_blob``): :class:`~repro.downloader.session.
+SimulatedSession`, :class:`~repro.downloader.proxy.CachingProxySession`,
+or :class:`~repro.registry.http.HTTPSession`. Composition order matters
+and both orders are useful — faults *under* a caching proxy model a flaky
+upstream (the proxy shields clients), faults *over* it model a flaky
+last mile (every client request is exposed).
+
+Error faults raise before the upstream is touched (the request never got
+through); payload faults mangle bytes that did arrive — which is exactly
+what digest verification downstream must catch. Latency faults are
+accounted in ``injected_latency_s`` (and optionally really slept via the
+``sleep`` hook for wall-clock runs).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.faults.injector import FaultInjector, RequestFaults
+from repro.model.manifest import Manifest
+
+
+class FaultInjectingSession:
+    """Session middleware: every request consults a :class:`FaultInjector`."""
+
+    def __init__(self, upstream, injector: FaultInjector, *, sleep=None):
+        self.upstream = upstream
+        self.injector = injector
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self.injected_latency_s = 0.0
+
+    def _begin(self, op: str, key: str) -> RequestFaults:
+        faults = self.injector.plan(op, key)
+        if faults.latency_s:
+            with self._lock:
+                self.injected_latency_s += faults.latency_s
+            if self._sleep is not None:
+                self._sleep(faults.latency_s)
+        if faults.error is not None:
+            raise faults.error
+        return faults
+
+    # -- the session surface ---------------------------------------------------
+
+    def resolve_tag(self, repo: str, tag: str) -> str:
+        self._begin("manifest", f"{repo}:{tag}")
+        return self.upstream.resolve_tag(repo, tag)
+
+    def list_tags(self, repo: str) -> list[str]:
+        self._begin("tags", repo)
+        return self.upstream.list_tags(repo)
+
+    def get_manifest(self, repo: str, reference: str) -> Manifest:
+        self._begin("manifest", f"{repo}:{reference}")
+        return self.upstream.get_manifest(repo, reference)
+
+    def get_blob(self, digest: str) -> bytes:
+        faults = self._begin("blob", digest)
+        return faults.apply_payload(self.upstream.get_blob(digest))
+
+    # -- accounting ------------------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        out = dict(self.upstream.stats()) if hasattr(self.upstream, "stats") else {}
+        with self._lock:
+            out["injected_latency_s"] = self.injected_latency_s
+        for kind, count in self.injector.stats().items():
+            out[f"faults_{kind}"] = count
+        return out

@@ -24,8 +24,10 @@ return 401 unless a ``Bearer`` token is presented.
 
 from __future__ import annotations
 
+import http.client
 import json
 import re
+import socket
 import threading
 import time
 import urllib.error
@@ -89,6 +91,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     server: "RegistryHTTPServer"
     protocol_version = "HTTP/1.1"
+    _payload_faults = None
 
     # -- plumbing ------------------------------------------------------------
 
@@ -127,20 +130,64 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routing ---------------------------------------------------------------
 
+    def _inject_fault(self, endpoint: str) -> bool:
+        """Consult the server's fault injector (if any) for this request.
+
+        Returns True when a fault fully answered (or killed) the request;
+        payload faults are stashed on the handler for the blob branch to
+        apply. The ``/metrics`` endpoint is never faulted so observability
+        survives any storm.
+        """
+        self._payload_faults = None
+        injector = getattr(self.server, "fault_injector", None)
+        if injector is None or endpoint == "metrics":
+            return False
+        faults = injector.plan(endpoint, urllib.parse.urlparse(self.path).path)
+        if faults.latency_s:
+            time.sleep(faults.latency_s)
+        if faults.error_kind == "rate_limit":
+            self._send_json(
+                429,
+                {"errors": [{"code": "TOOMANYREQUESTS", "message": "injected rate limit"}]},
+                {"Retry-After": f"{faults.retry_after_s:.3f}"},
+            )
+            return True
+        if faults.error_kind is not None and faults.error_kind != "flap":
+            self._send_json(
+                503,
+                {"errors": [{"code": "UNAVAILABLE", "message": "injected server error"}]},
+            )
+            return True
+        if faults.error_kind == "flap":
+            # Kill the connection without a response: the client sees a
+            # reset / premature EOF, like a flapping upstream.
+            try:
+                self.connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self.close_connection = True
+            return True
+        if faults.mutations:
+            self._payload_faults = faults
+        return False
+
     def _observed(self, handler) -> None:
         """Run one request handler under per-endpoint metrics accounting."""
         metrics = self.server.metrics
         endpoint = _endpoint_of(urllib.parse.urlparse(self.path).path)
+        # count on receipt, not in the finally: a client that got its bytes
+        # must already observe the counter bumped (tests race on this)
+        metrics.counter(
+            "registry_http_requests_total",
+            "requests served, by endpoint and method",
+            endpoint=endpoint,
+            method=self.command,
+        ).inc()
         start = time.perf_counter()
         try:
-            handler()
+            if not self._inject_fault(endpoint):
+                handler()
         finally:
-            metrics.counter(
-                "registry_http_requests_total",
-                "requests served, by endpoint and method",
-                endpoint=endpoint,
-                method=self.command,
-            ).inc()
             metrics.histogram(
                 "registry_http_request_seconds",
                 "request handling latency",
@@ -285,6 +332,8 @@ class _Handler(BaseHTTPRequestHandler):
             match = _BLOB_RE.match(path)
             if match:
                 blob = registry.get_blob(match["digest"])
+                if self._payload_faults is not None:
+                    blob = self._payload_faults.apply_payload(blob)
                 self._send(200, blob, "application/octet-stream")
                 return
             match = _TAGS_RE.match(path)
@@ -344,15 +393,20 @@ class RegistryHTTPServer:
         *,
         port: int = 0,
         metrics: MetricsRegistry | None = None,
+        fault_injector=None,
     ):
         self.registry = registry
         self.search = search if search is not None else HubSearchEngine(registry)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: optional :class:`~repro.faults.injector.FaultInjector` consulted
+        #: per request (any object with a compatible ``plan(op, key)``).
+        self.fault_injector = fault_injector
         self._httpd = ThreadingHTTPServer(("127.0.0.1", port), _Handler)
         # expose registry/search/uploads to handlers through the server object
         self._httpd.registry = registry  # type: ignore[attr-defined]
         self._httpd.search = self.search  # type: ignore[attr-defined]
         self._httpd.metrics = self.metrics  # type: ignore[attr-defined]
+        self._httpd.fault_injector = fault_injector  # type: ignore[attr-defined]
         self._uploads: dict[str, bytearray] = {}
         self._uploads_lock = threading.Lock()
         self._httpd.start_upload = self._start_upload  # type: ignore[attr-defined]
@@ -433,6 +487,10 @@ class _HTTPBase:
         content_type: str | None = None,
         return_headers: bool = False,
     ):
+        # deferred: repro.downloader.session imports the registry package,
+        # so a module-level import here would be circular
+        from repro.downloader.session import TransientNetworkError
+
         request = urllib.request.Request(self.base_url + path, data=data, method=method)
         if self.token:
             request.add_header("Authorization", f"Bearer {self.token}")
@@ -445,7 +503,14 @@ class _HTTPBase:
         except urllib.error.HTTPError as exc:
             raise _error_from_response(exc) from None
         except urllib.error.URLError as exc:
+            # timeouts, refusals, resets wrapped by urllib -> retryable
+            if isinstance(exc.reason, (TimeoutError, OSError, http.client.HTTPException)):
+                raise TransientNetworkError(f"connection failed: {exc.reason}") from None
             raise RegistryError(f"connection failed: {exc.reason}") from None
+        except (http.client.HTTPException, TimeoutError, OSError) as exc:
+            # raw socket/http errors during the response read (a flapping
+            # server closing mid-body surfaces here, not as URLError)
+            raise TransientNetworkError(f"connection broke: {exc!r}") from None
         with self._lock:
             self.requests += 1
             self.bytes_transferred += len(body) + (len(data) if data else 0)
@@ -463,6 +528,20 @@ class _HTTPBase:
 
 def _error_from_response(exc: urllib.error.HTTPError) -> RegistryError:
     """Map a v2 error payload back onto the registry error hierarchy."""
+    from repro.downloader.session import RateLimitedError, TransientNetworkError
+
+    if exc.code == 429:
+        retry_after = (exc.headers.get("Retry-After") or "0") if exc.headers else "0"
+        try:
+            retry_after_s = float(retry_after)
+        except ValueError:
+            retry_after_s = 0.0
+        return RateLimitedError(
+            f"429 rate limited (Retry-After: {retry_after_s}s)",
+            retry_after_s=retry_after_s,
+        )
+    if exc.code >= 500:
+        return TransientNetworkError(f"server error {exc.code}")
     try:
         doc = json.loads(exc.read().decode())
         code = doc["errors"][0]["code"]

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.registry.registry import Registry
+from repro.util.rng import derive_seed
 
 
 @dataclass(frozen=True)
@@ -65,7 +66,9 @@ class HubSearchEngine:
         n_extra = int(round(len(matches) * (self.duplication_factor - 1.0)))
         if n_extra == 0 or not matches:
             return matches
-        rng = np.random.default_rng(self.seed ^ hash(query) % (2**32))
+        # hash(query) is PYTHONHASHSEED-salted and would shuffle differently
+        # every process; fold the query in with the stable seed tree instead
+        rng = np.random.default_rng(derive_seed(self.seed, "search", query))
         dup_idx = rng.integers(0, len(matches), size=n_extra)
         stream = matches + [matches[i] for i in dup_idx]
         # Shuffle so duplicates interleave across pages like a sharded index.

@@ -13,7 +13,8 @@ from repro.util.digest import (
     sha256_stream,
     short_digest,
 )
-from repro.util.rng import RngTree, derive_seed
+from repro.util.journal import JournalFile
+from repro.util.rng import RngTree, derive_seed, seeded_uniform
 from repro.util.timer import Timer
 from repro.util.units import (
     GiB,
@@ -27,6 +28,7 @@ from repro.util.units import (
 __all__ = [
     "DigestError",
     "GiB",
+    "JournalFile",
     "KiB",
     "MiB",
     "RngTree",
@@ -38,6 +40,7 @@ __all__ = [
     "is_digest",
     "parse_digest",
     "parse_size",
+    "seeded_uniform",
     "sha256_bytes",
     "sha256_stream",
     "short_digest",

@@ -1,0 +1,67 @@
+"""Crash-safe JSON state files for resumable long-running jobs.
+
+The paper's crawl ran for ~30 days; anything that long *will* be
+interrupted. A :class:`JournalFile` holds one JSON document on disk and
+updates it atomically (write to a temp file, then ``os.replace``), so a
+process killed mid-write never leaves a half-written checkpoint behind —
+the reader sees either the previous state or the new one, never garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+
+class JournalCorruptError(ValueError):
+    """The journal file exists but does not parse as a JSON object."""
+
+    def __init__(self, path: Path, reason: str):
+        super().__init__(f"corrupt journal {path}: {reason}")
+        self.path = path
+
+
+class JournalFile:
+    """One atomically-updated JSON document on disk.
+
+    >>> journal = JournalFile(tmp_path / "crawl.json")   # doctest: +SKIP
+    >>> journal.save({"next_page": 3})                   # doctest: +SKIP
+    >>> journal.load()                                   # doctest: +SKIP
+    {'next_page': 3}
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    @property
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def load(self) -> dict | None:
+        """The stored state, or None when no journal has been written yet."""
+        try:
+            text = self.path.read_text()
+        except FileNotFoundError:
+            return None
+        try:
+            state = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise JournalCorruptError(self.path, str(exc)) from None
+        if not isinstance(state, dict):
+            raise JournalCorruptError(self.path, f"expected object, got {type(state).__name__}")
+        return state
+
+    def save(self, state: dict) -> None:
+        """Atomically replace the stored state with *state*."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(state, sort_keys=True))
+        os.replace(tmp, self.path)
+
+    def delete(self) -> None:
+        """Remove the journal (no-op when absent)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass

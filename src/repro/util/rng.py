@@ -25,6 +25,16 @@ def derive_seed(root_seed: int, *path: str | int) -> int:
     return int.from_bytes(hasher.digest()[:8], "little")
 
 
+def seeded_uniform(root_seed: int, *path: str | int) -> float:
+    """A uniform draw in ``[0, 1)`` that is a pure function of its arguments.
+
+    Unlike a shared-state generator, the draw for one ``(seed, path)`` does
+    not depend on how many draws other threads made first — which makes
+    failure injection reproducible under any interleaving.
+    """
+    return derive_seed(root_seed, *path) / 2**64
+
+
 class RngTree:
     """A tree of named, independent NumPy generators rooted at one seed.
 

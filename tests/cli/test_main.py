@@ -153,3 +153,38 @@ class TestPipeline:
         layers, images = load_profiles_jsonl(profiles_out)
         assert dataset.n_layers == len(layers)
         assert dataset.n_images == len(images)
+
+
+class TestChaos:
+    def test_chaos_smoke_passes_and_is_deterministic(self, capsys):
+        argv = ["chaos", "--seed", "7", "--plan", "smoke", "--scale", "tiny",
+                "--requests", "80"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "all invariants hold" in first
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_chaos_json_output(self, capsys):
+        import json
+
+        assert main(
+            ["chaos", "--seed", "7", "--plan", "none", "--scale", "tiny",
+             "--requests", "40", "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["faults"] == {}
+
+    def test_chaos_unknown_plan_errors(self, capsys):
+        assert main(["chaos", "--plan", "hurricane"]) == 2
+        assert "unknown plan" in capsys.readouterr().err
+
+    def test_chaos_kill_and_resume(self, tmp_path, capsys):
+        argv = ["chaos", "--seed", "7", "--plan", "smoke", "--scale", "tiny",
+                "--requests", "80", "--journal", str(tmp_path)]
+        assert main(argv + ["--kill-after", "5"]) == 0
+        assert "[partial]" in capsys.readouterr().out
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "[resumed]" in out and "all invariants hold" in out

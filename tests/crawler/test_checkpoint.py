@@ -1,0 +1,158 @@
+"""Tests for crawl checkpointing and crawler edge cases."""
+
+import pytest
+
+from repro.crawler.checkpoint import CrawlCheckpoint
+from repro.crawler.crawler import HubCrawler
+from repro.registry.registry import Registry
+from repro.registry.search import HubSearchEngine, SearchPage
+from repro.util.journal import JournalFile
+
+
+@pytest.fixture
+def registry():
+    reg = Registry()
+    for i in range(180):
+        reg.create_repository(f"user{i % 20}/app{i}")
+    for name in ["nginx", "redis"]:
+        reg.create_repository(name)
+    return reg
+
+
+def engine(registry, **kwargs):
+    kwargs.setdefault("page_size", 25)
+    kwargs.setdefault("duplication_factor", 1.39)
+    kwargs.setdefault("seed", 3)
+    return HubSearchEngine(registry, **kwargs)
+
+
+class FakeSearch:
+    """A scriptable search engine: a list of pages, each a list of names."""
+
+    def __init__(self, pages, officials=()):
+        self.pages = pages
+        self.officials = list(officials)
+        self.fetched = []
+
+    def official_repositories(self):
+        return self.officials
+
+    def search(self, query, page=1):
+        self.fetched.append(page)
+        return SearchPage(
+            query=query,
+            page=page,
+            results=list(self.pages[page - 1]),
+            has_next=page < len(self.pages),
+        )
+
+
+class KilledMidCrawl(Exception):
+    pass
+
+
+class FlakySearch:
+    """Raises after serving ``die_after`` pages — a crawler crash."""
+
+    def __init__(self, inner, die_after):
+        self.inner = inner
+        self.die_after = die_after
+        self.served = 0
+
+    def official_repositories(self):
+        return self.inner.official_repositories()
+
+    def search(self, query, page=1):
+        if self.served >= self.die_after:
+            raise KilledMidCrawl(f"page {page}")
+        self.served += 1
+        return self.inner.search(query, page=page)
+
+
+class TestCheckpointResume:
+    def test_kill_and_resume_matches_uninterrupted(self, registry, tmp_path):
+        baseline = HubCrawler(engine(registry)).crawl()
+
+        checkpoint = CrawlCheckpoint(JournalFile(tmp_path / "crawl.json"))
+        with pytest.raises(KilledMidCrawl):
+            HubCrawler(FlakySearch(engine(registry), die_after=3)).crawl(
+                checkpoint=checkpoint
+            )
+
+        resumed = HubCrawler(engine(registry)).crawl(checkpoint=checkpoint)
+        assert resumed.summary() == baseline.summary()
+        assert resumed.repositories == baseline.repositories
+
+    def test_resume_refetches_no_pages(self, registry, tmp_path):
+        checkpoint = CrawlCheckpoint(JournalFile(tmp_path / "crawl.json"))
+        with pytest.raises(KilledMidCrawl):
+            HubCrawler(FlakySearch(engine(registry), die_after=3)).crawl(
+                checkpoint=checkpoint
+            )
+        search = engine(registry)
+        total_pages = search.page_count("/")
+        spy = FlakySearch(search, die_after=10_000)
+        HubCrawler(spy).crawl(checkpoint=checkpoint)
+        # pages 1-3 completed pre-kill; the resume starts at page 4
+        assert spy.served == total_pages - 3
+
+    def test_done_checkpoint_returns_stored_result(self, registry, tmp_path):
+        checkpoint = CrawlCheckpoint(JournalFile(tmp_path / "crawl.json"))
+        first = HubCrawler(engine(registry)).crawl(checkpoint=checkpoint)
+        spy = FlakySearch(engine(registry), die_after=0)  # any fetch would raise
+        again = HubCrawler(spy).crawl(checkpoint=checkpoint)
+        assert again.summary() == first.summary()
+        assert spy.served == 0
+
+    def test_checkpoint_round_trip(self, registry, tmp_path):
+        checkpoint = CrawlCheckpoint(JournalFile(tmp_path / "crawl.json"))
+        result = HubCrawler(engine(registry)).crawl(checkpoint=checkpoint)
+        restored, next_page, done = checkpoint.load()
+        assert done
+        assert restored.repositories == result.repositories
+        assert restored.summary() == result.summary()
+        assert next_page == result.pages_fetched
+
+
+class TestCrawlerEdgeCases:
+    def test_max_pages_truncation_accounting(self, registry):
+        """A capped crawl's accounting covers exactly the fetched pages."""
+        search = engine(registry, duplication_factor=1.0)
+        result = HubCrawler(search, max_pages=3).crawl(), search.search("/", 1)
+        capped, first_page = result
+        assert capped.pages_fetched == 3
+        assert capped.raw_result_count == 3 * len(first_page.results)
+        assert (
+            capped.distinct_count
+            == capped.official_count + capped.raw_result_count - capped.duplicate_count
+        )
+
+    def test_empty_search_index(self):
+        reg = Registry()
+        reg.create_repository("nginx")  # official only: no "/" matches
+        result = HubCrawler(HubSearchEngine(reg, seed=1)).crawl()
+        assert result.repositories == ["nginx"]
+        assert result.raw_result_count == 0
+        assert result.duplicate_count == 0
+        assert result.pages_fetched == 1  # one (empty) page confirms the end
+
+    def test_page_of_only_duplicates(self):
+        """A page where every row was already seen adds nothing but is
+        fully counted — the §III-A 634,412 → 457,627 arithmetic."""
+        pages = [
+            ["user/a", "user/b", "user/c"],
+            ["user/b", "user/a", "user/c"],  # 100% duplicates
+            ["user/d"],
+        ]
+        result = HubCrawler(FakeSearch(pages)).crawl()
+        assert result.repositories == ["user/a", "user/b", "user/c", "user/d"]
+        assert result.raw_result_count == 7
+        assert result.duplicate_count == 3
+        assert result.pages_fetched == 3
+
+    def test_officials_deduplicated_from_search(self):
+        pages = [["nginx", "user/a"]]  # the index also returns an official
+        result = HubCrawler(FakeSearch(pages, officials=["nginx"])).crawl()
+        assert result.repositories == ["nginx", "user/a"]
+        assert result.official_count == 1
+        assert result.duplicate_count == 1

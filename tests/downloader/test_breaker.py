@@ -1,0 +1,188 @@
+"""Unit tests for the per-host circuit breaker."""
+
+import pytest
+
+from repro.downloader.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    CircuitBreakerPool,
+    CircuitOpenError,
+)
+from repro.downloader.downloader import Downloader
+from repro.downloader.session import SimulatedSession, TransientNetworkError
+from repro.obs import MetricsRegistry
+from repro.registry.registry import Registry
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def tripped(clock, **kwargs) -> CircuitBreaker:
+    breaker = CircuitBreaker(failure_threshold=3, cooldown_s=1.0, clock=clock, **kwargs)
+    for _ in range(3):
+        breaker.record_failure()
+    return breaker
+
+
+class TestTransitions:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = CircuitBreaker(clock=clock)
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_at_threshold(self, clock):
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.fast_failures == 1
+
+    def test_success_resets_streak(self, clock):
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        for _ in range(10):
+            breaker.record_failure()
+            breaker.record_success()
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_after_cooldown(self, clock):
+        breaker = tripped(clock)
+        assert breaker.state == OPEN
+        clock.t = 1.0
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_admits_probe_quota_only(self, clock):
+        breaker = tripped(clock)
+        clock.t = 1.0
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # quota spent
+
+    def test_probe_success_closes(self, clock):
+        breaker = tripped(clock)
+        clock.t = 1.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self, clock):
+        breaker = tripped(clock)
+        clock.t = 1.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.t = 1.5  # old cooldown point: still open
+        assert breaker.state == OPEN
+        clock.t = 2.0
+        assert breaker.state == HALF_OPEN
+
+    def test_transition_metrics(self, clock):
+        metrics = MetricsRegistry()
+        breaker = tripped(clock, metrics=metrics, host="hub.docker.com")
+        clock.t = 1.0
+        breaker.allow()
+        breaker.record_success()
+        dump = metrics.to_dict()["breaker_transitions_total"]["series"]
+        states = {row["labels"]["state"]: row["value"] for row in dump}
+        assert states == {"open": 1, "half_open": 1, "closed": 1}
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=-1)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_probes=0)
+
+
+class TestPool:
+    def test_one_breaker_per_host(self):
+        pool = CircuitBreakerPool(failure_threshold=2)
+        a = pool.for_host("a.example")
+        assert pool.for_host("a.example") is a
+        assert pool.for_host("b.example") is not a
+        assert pool.hosts() == ["a.example", "b.example"]
+        assert a.failure_threshold == 2
+
+
+class TestDownloaderIntegration:
+    def test_open_breaker_consumes_attempts_without_calling_upstream(self, clock):
+        reg = Registry()
+        reg.create_repository("user/app")  # no manifest; never reached anyway
+        calls = []
+
+        class DeadSession(SimulatedSession):
+            def get_manifest(self, repo, reference):
+                calls.append(repo)
+                raise TransientNetworkError("down")
+
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=99.0, clock=clock)
+        downloader = Downloader(
+            DeadSession(reg),
+            max_retries=5,
+            breaker=breaker,
+            sleep=lambda s: None,
+            clock=clock,
+        )
+        assert downloader.download_image("user/app") is None
+        # two real attempts trip the breaker; the rest fast-fail
+        assert calls == ["user/app", "user/app"]
+        assert downloader.stats.breaker_fast_failures == 3
+        assert breaker.state == OPEN
+
+    def test_breaker_recovers_on_virtual_clock(self, clock):
+        """With sleeps advancing the shared clock, an open circuit cools
+        down mid-retry-loop and the pull succeeds."""
+        from repro.model.manifest import Manifest, ManifestLayerRef
+        from repro.registry.tarball import layer_from_files
+
+        reg = Registry()
+        layer, blob = layer_from_files([("f", b"data" * 100)])
+        reg.push_blob(blob)
+        manifest = Manifest(
+            layers=(ManifestLayerRef(digest=layer.digest, size=layer.compressed_size),)
+        )
+        reg.create_repository("user/app")
+        reg.push_manifest("user/app", "latest", manifest)
+
+        fail_first = [4]  # fail the first four manifest calls
+
+        class FlakySession(SimulatedSession):
+            def get_manifest(self, repo, reference):
+                if fail_first[0] > 0:
+                    fail_first[0] -= 1
+                    raise TransientNetworkError("down")
+                return super().get_manifest(repo, reference)
+
+        def sleep(seconds):
+            clock.t += seconds
+
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=0.05, clock=clock)
+        downloader = Downloader(
+            FlakySession(reg),
+            max_retries=10,
+            breaker=breaker,
+            sleep=sleep,
+            clock=clock,
+        )
+        image = downloader.download_image("user/app")
+        assert image is not None
+        assert breaker.state == CLOSED
+        assert downloader.stats.breaker_fast_failures > 0
+
+    def test_circuit_open_error_is_transient(self):
+        assert issubclass(CircuitOpenError, TransientNetworkError)

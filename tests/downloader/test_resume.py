@@ -1,0 +1,146 @@
+"""Tests for checkpointed, resumable whole-crawl pulls."""
+
+import pytest
+
+from repro.downloader.downloader import Downloader, DownloadStats
+from repro.downloader.resume import download_with_checkpoint
+from repro.downloader.session import SimulatedSession
+from repro.model.manifest import Manifest, ManifestLayerRef
+from repro.parallel.pool import ParallelConfig
+from repro.registry.registry import Registry
+from repro.registry.tarball import layer_from_files
+from repro.util.journal import JournalFile
+
+
+def build_registry(n_repos: int = 8):
+    """Repos sharing one base layer + an auth repo + a no-latest repo."""
+    reg = Registry()
+    base_layer, base_blob = layer_from_files([("base/os", b"\x7fELF" + b"b" * 400)])
+    reg.push_blob(base_blob)
+    base_ref = ManifestLayerRef(
+        digest=base_layer.digest, size=base_layer.compressed_size
+    )
+    repos = []
+    for i in range(n_repos):
+        own_layer, own_blob = layer_from_files([(f"app/bin{i}", bytes([65 + i]) * 120)])
+        reg.push_blob(own_blob)
+        manifest = Manifest(
+            layers=(
+                base_ref,
+                ManifestLayerRef(
+                    digest=own_layer.digest, size=own_layer.compressed_size
+                ),
+            )
+        )
+        name = f"user/app{i}"
+        reg.create_repository(name)
+        reg.push_manifest(name, "latest", manifest)
+        repos.append(name)
+    reg.create_repository("priv/x", requires_auth=True)
+    reg.push_manifest("priv/x", "latest", manifest)
+    reg.create_repository("old/y")
+    reg.push_manifest("old/y", "v1", manifest)
+    return reg, repos + ["priv/x", "old/y"]
+
+
+def make_downloader(reg) -> Downloader:
+    return Downloader(
+        SimulatedSession(reg),
+        parallel=ParallelConfig(mode="serial"),
+        sleep=lambda s: None,
+    )
+
+
+class TestStatsRoundTrip:
+    def test_from_summary_round_trips(self):
+        stats = DownloadStats(attempted=5, succeeded=3, retries=7, corrupt_blobs=1)
+        assert DownloadStats.from_summary(stats.summary()) == stats
+
+    def test_from_summary_ignores_derived_keys(self):
+        # summary() includes the derived "failed" total; from_summary must
+        # not choke on it
+        restored = DownloadStats.from_summary({"attempted": 2, "failed": 1})
+        assert restored.attempted == 2
+
+
+class TestCheckpointedRun:
+    def test_no_journal_behaves_like_download_all(self):
+        reg, repos = build_registry()
+        result = download_with_checkpoint(make_downloader(reg), repos)
+        assert result.finished and not result.resumed
+        assert len(result.images) == 8
+        assert result.outcomes["priv/x"] == "failed_auth"
+        assert result.outcomes["old/y"] == "failed_no_latest"
+        assert result.stats.attempted == 10
+
+    def test_kill_and_resume_matches_uninterrupted(self, tmp_path):
+        reg, repos = build_registry()
+        baseline = download_with_checkpoint(make_downloader(reg), repos)
+
+        journal = JournalFile(tmp_path / "pull.json")
+        reg2, _ = build_registry()
+        killed = download_with_checkpoint(
+            make_downloader(reg2), repos, journal, stop_after=4
+        )
+        assert not killed.finished
+        assert killed.completed == 4
+
+        reg3, _ = build_registry()  # fresh downloader: the killed process died
+        resumed = download_with_checkpoint(make_downloader(reg3), repos, journal)
+        assert resumed.finished and resumed.resumed
+        assert resumed.stats.summary() == baseline.stats.summary()
+        assert resumed.outcomes == baseline.outcomes
+
+    def test_resume_counts_cross_boundary_shared_layer_as_duplicate(self, tmp_path):
+        """The base layer is fetched before the kill; repos pulled after the
+        resume must count it as a duplicate hit, not refetch it."""
+        reg, repos = build_registry()
+        journal = JournalFile(tmp_path / "pull.json")
+        download_with_checkpoint(make_downloader(reg), repos, journal, stop_after=2)
+
+        reg2, _ = build_registry()
+        downloader = make_downloader(reg2)
+        result = download_with_checkpoint(downloader, repos, journal)
+        # base fetched once (pre-kill), every later repo hits the cache
+        assert result.stats.unique_layers_fetched == 9  # base + 8 own layers
+        assert result.stats.duplicate_layer_hits == 7
+        # the resumed process never refetched the pre-kill blobs
+        pre_kill = set(journal.load()["fetched"]) - {
+            d for img in result.images for d in img.fetched_layers
+        }
+        assert all(not downloader.dest.has(d) for d in pre_kill)
+
+    def test_completed_repos_never_reattempted(self, tmp_path):
+        reg, repos = build_registry()
+        journal = JournalFile(tmp_path / "pull.json")
+        download_with_checkpoint(make_downloader(reg), repos, journal, stop_after=3)
+
+        calls = []
+
+        class CountingSession(SimulatedSession):
+            def get_manifest(self, repo, reference):
+                calls.append(repo)
+                return super().get_manifest(repo, reference)
+
+        reg2, _ = build_registry()
+        downloader = Downloader(
+            CountingSession(reg2),
+            parallel=ParallelConfig(mode="serial"),
+            sleep=lambda s: None,
+        )
+        download_with_checkpoint(downloader, repos, journal)
+        assert set(calls).isdisjoint(repos[:3])
+
+    def test_finished_journal_is_a_noop_rerun(self, tmp_path):
+        reg, repos = build_registry()
+        journal = JournalFile(tmp_path / "pull.json")
+        first = download_with_checkpoint(make_downloader(reg), repos, journal)
+        again = download_with_checkpoint(make_downloader(reg), repos, journal)
+        assert again.finished and again.resumed
+        assert again.images == []
+        assert again.stats.summary() == first.stats.summary()
+
+    def test_flush_every_validated(self):
+        reg, repos = build_registry()
+        with pytest.raises(ValueError, match="flush_every"):
+            download_with_checkpoint(make_downloader(reg), repos, flush_every=0)

@@ -1,0 +1,174 @@
+"""Unit tests for the deterministic fault injector."""
+
+import threading
+
+from repro.downloader.session import RateLimitedError, TransientNetworkError
+from repro.faults.injector import FaultInjector, _mutate
+from repro.faults.rules import FaultRule, Schedule
+from repro.obs import MetricsRegistry
+
+
+def _plan_seq(injector, requests):
+    out = []
+    for op, key in requests:
+        faults = injector.plan(op, key)
+        out.append((faults.error_kind, round(faults.latency_s, 9), len(faults.mutations)))
+    return out
+
+
+REQUESTS = [("blob", f"sha256:{i % 7}") for i in range(50)] + [
+    ("manifest", f"user/app{i}:latest") for i in range(20)
+]
+
+RULES = [
+    FaultRule(kind="server_error", rate=0.2),
+    FaultRule(kind="rate_limit", rate=0.15, retry_after_s=0.05),
+    FaultRule(kind="latency", rate=0.3, latency_s=0.1),
+    FaultRule(kind="corrupt", rate=0.2, ops=("blob",)),
+]
+
+
+class TestDeterminism:
+    def test_same_seed_same_plans(self):
+        a = _plan_seq(FaultInjector(RULES, seed=11), REQUESTS)
+        b = _plan_seq(FaultInjector(RULES, seed=11), REQUESTS)
+        assert a == b
+
+    def test_different_seed_different_plans(self):
+        a = _plan_seq(FaultInjector(RULES, seed=11), REQUESTS)
+        b = _plan_seq(FaultInjector(RULES, seed=12), REQUESTS)
+        assert a != b
+
+    def test_draws_independent_of_interleaving(self):
+        """The faults one key sees must not depend on other threads' traffic.
+
+        Run the same per-key request sequences serially and split across
+        threads: every (op, key, visit-number) must get the same decision.
+        """
+
+        def collect(injector, keys):
+            seen = {}
+            lock = threading.Lock()
+
+            def worker(key):
+                for visit in range(4):
+                    faults = injector.plan("blob", key)
+                    with lock:
+                        seen[(key, visit)] = (faults.error_kind, len(faults.mutations))
+
+            threads = [threading.Thread(target=worker, args=(k,)) for k in keys]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            return seen
+
+        keys = [f"sha256:{i}" for i in range(8)]
+        serial = {}
+        injector = FaultInjector(RULES, seed=5)
+        for key in keys:
+            for visit in range(4):
+                faults = injector.plan("blob", key)
+                serial[(key, visit)] = (faults.error_kind, len(faults.mutations))
+        threaded = collect(FaultInjector(RULES, seed=5), keys)
+        assert serial == threaded
+
+
+class TestRuleSemantics:
+    def test_first_error_rule_wins(self):
+        rules = [
+            FaultRule(kind="server_error", rate=1.0),
+            FaultRule(kind="rate_limit", rate=1.0),
+        ]
+        injector = FaultInjector(rules, seed=0)
+        faults = injector.plan("blob", "sha256:x")
+        assert faults.error_kind == "server_error"
+        assert isinstance(faults.error, TransientNetworkError)
+        # the losing rule fired but is not counted as injected
+        assert injector.stats() == {"server_error": 1}
+
+    def test_rate_limit_carries_retry_after(self):
+        rules = [FaultRule(kind="rate_limit", rate=1.0, retry_after_s=0.7)]
+        faults = FaultInjector(rules, seed=0).plan("blob", "sha256:x")
+        assert isinstance(faults.error, RateLimitedError)
+        assert faults.error.retry_after_s == 0.7
+        assert faults.retry_after_s == 0.7
+
+    def test_rate_zero_never_fires(self):
+        injector = FaultInjector([FaultRule(kind="flap", rate=0.0)], seed=0)
+        for i in range(100):
+            assert injector.plan("blob", f"sha256:{i}").error is None
+        assert injector.stats() == {}
+
+    def test_rate_approximately_honoured(self):
+        injector = FaultInjector([FaultRule(kind="flap", rate=0.3)], seed=2)
+        fired = sum(
+            injector.plan("blob", f"sha256:{i}").error is not None for i in range(1000)
+        )
+        assert 240 <= fired <= 360
+
+    def test_schedule_gates_firing(self):
+        rules = [FaultRule(kind="flap", rate=1.0, schedule=Schedule.burst(5, 3))]
+        injector = FaultInjector(rules, seed=0)
+        outcomes = [
+            injector.plan("blob", f"sha256:{i}").error is not None for i in range(10)
+        ]
+        assert outcomes == [False] * 5 + [True] * 3 + [False] * 2
+
+    def test_ops_filter_respected(self):
+        rules = [FaultRule(kind="corrupt", rate=1.0, ops=("blob",))]
+        injector = FaultInjector(rules, seed=0)
+        assert injector.plan("manifest", "a:latest").mutations == ()
+        assert len(injector.plan("blob", "sha256:x").mutations) == 1
+
+    def test_latency_bounded_by_rule(self):
+        rules = [FaultRule(kind="latency", rate=1.0, latency_s=0.2)]
+        injector = FaultInjector(rules, seed=3)
+        for i in range(50):
+            latency = injector.plan("blob", f"sha256:{i}").latency_s
+            assert 0.1 <= latency <= 0.2
+
+    def test_metrics_counted(self):
+        metrics = MetricsRegistry()
+        injector = FaultInjector(
+            [FaultRule(kind="flap", rate=1.0)], seed=0, metrics=metrics
+        )
+        injector.plan("blob", "sha256:x")
+        injector.plan("blob", "sha256:y")
+        dump = metrics.to_dict()["faults_injected_total"]["series"]
+        assert sum(row["value"] for row in dump) == 2
+        assert injector.stats() == {"flap": 2}
+        assert injector.kinds_injected() == {"flap"}
+        assert injector.request_count == 2
+
+
+class TestPayloadMutation:
+    def test_truncate_shortens(self):
+        payload = bytes(range(200))
+        out = _mutate("truncate", payload, 0.5)
+        assert len(out) == 100
+        assert out == payload[:100]
+
+    def test_corrupt_flips_exactly_one_bit(self):
+        payload = bytes(200)
+        out = _mutate("corrupt", payload, 0.37)
+        assert len(out) == len(payload)
+        diff = [i for i in range(200) if out[i] != payload[i]]
+        assert len(diff) == 1
+        assert bin(out[diff[0]]).count("1") == 1
+
+    def test_empty_payload_untouched(self):
+        assert _mutate("truncate", b"", 0.5) == b""
+        assert _mutate("corrupt", b"", 0.5) == b""
+
+    def test_apply_payload_composes(self):
+        rules = [
+            FaultRule(kind="truncate", rate=1.0, ops=("blob",)),
+            FaultRule(kind="corrupt", rate=1.0, ops=("blob",)),
+        ]
+        faults = FaultInjector(rules, seed=1).plan("blob", "sha256:x")
+        assert len(faults.mutations) == 2
+        payload = bytes(range(256))
+        out = faults.apply_payload(payload)
+        assert out != payload[: len(out)]
+        assert len(out) < len(payload)

@@ -1,0 +1,37 @@
+"""Unit tests for the named fault plans."""
+
+import pytest
+
+from repro.faults.plans import build_plan, plan_names
+from repro.faults.rules import ERROR_KINDS, FaultRule
+
+
+class TestPlans:
+    def test_known_names(self):
+        assert {"none", "smoke", "storm"} <= set(plan_names())
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown fault plan"):
+            build_plan("hurricane")
+
+    def test_none_is_empty(self):
+        assert build_plan("none") == []
+
+    def test_plans_return_fresh_valid_rules(self):
+        for name in plan_names():
+            rules = build_plan(name)
+            assert all(isinstance(rule, FaultRule) for rule in rules)
+            assert build_plan(name) is not rules or rules == []
+
+    def test_smoke_covers_at_least_four_kinds(self):
+        kinds = {rule.kind for rule in build_plan("smoke")}
+        assert len(kinds) >= 4
+        assert kinds & set(ERROR_KINDS)
+
+    def test_payload_rules_scoped_to_blobs(self):
+        # corrupting a manifest body would just be a parse error; the
+        # interesting corruption target is content-addressed blobs
+        for name in ("smoke", "storm"):
+            for rule in build_plan(name):
+                if rule.kind in ("truncate", "corrupt"):
+                    assert rule.ops == ("blob",)

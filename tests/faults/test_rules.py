@@ -1,0 +1,57 @@
+"""Unit tests for fault rules and schedules."""
+
+import pytest
+
+from repro.faults.rules import ALL_KINDS, FaultRule, Schedule
+
+
+class TestSchedule:
+    def test_always_is_always_active(self):
+        sched = Schedule.always()
+        assert all(sched.active(i) for i in (0, 1, 7, 10_000))
+
+    def test_burst_window(self):
+        sched = Schedule.burst(10, 5)
+        assert not sched.active(9)
+        assert sched.active(10)
+        assert sched.active(14)
+        assert not sched.active(15)
+
+    def test_flapping_cycles(self):
+        sched = Schedule.flapping(period=10, on=3)
+        live = [i for i in range(25) if sched.active(i)]
+        assert live == [0, 1, 2, 10, 11, 12, 20, 21, 22]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown schedule kind"):
+            Schedule(kind="sometimes")
+        with pytest.raises(ValueError, match="burst"):
+            Schedule.burst(0, 0)
+        with pytest.raises(ValueError, match="flapping"):
+            Schedule.flapping(period=5, on=6)
+
+
+class TestFaultRule:
+    def test_known_kinds_construct(self):
+        for kind in ALL_KINDS:
+            assert FaultRule(kind=kind, rate=0.5).kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule(kind="meteor", rate=0.5)
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultRule(kind="latency", rate=1.5)
+        with pytest.raises(ValueError, match="rate"):
+            FaultRule(kind="latency", rate=-0.1)
+
+    def test_ops_filter(self):
+        rule = FaultRule(kind="corrupt", rate=1.0, ops=("blob",))
+        assert rule.applies_to("blob")
+        assert not rule.applies_to("manifest")
+        assert FaultRule(kind="corrupt", rate=1.0).applies_to("anything")
+
+    def test_durations_non_negative(self):
+        with pytest.raises(ValueError, match="durations"):
+            FaultRule(kind="rate_limit", rate=0.5, retry_after_s=-1)

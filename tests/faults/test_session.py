@@ -1,0 +1,104 @@
+"""Unit tests for the fault-injecting session middleware."""
+
+import pytest
+
+from repro.downloader.downloader import Downloader
+from repro.downloader.session import (
+    RateLimitedError,
+    SimulatedSession,
+    TransientNetworkError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.rules import FaultRule, Schedule
+from repro.faults.session import FaultInjectingSession
+from repro.model.manifest import Manifest, ManifestLayerRef
+from repro.parallel.pool import ParallelConfig
+from repro.registry.registry import Registry
+from repro.registry.tarball import layer_from_files
+from repro.util.digest import sha256_bytes
+
+
+def build_registry():
+    reg = Registry()
+    layer, blob = layer_from_files([("bin/app", b"\x7fELF" + b"x" * 500)])
+    reg.push_blob(blob)
+    manifest = Manifest(
+        layers=(ManifestLayerRef(digest=layer.digest, size=layer.compressed_size),)
+    )
+    reg.create_repository("user/app")
+    reg.push_manifest("user/app", "latest", manifest)
+    return reg, manifest, layer.digest
+
+
+def wrap(rules, seed=0, sleep=None):
+    reg, manifest, digest = build_registry()
+    session = FaultInjectingSession(
+        SimulatedSession(reg), FaultInjector(rules, seed=seed), sleep=sleep
+    )
+    return session, manifest, digest
+
+
+class TestErrorInjection:
+    def test_error_raised_before_upstream(self):
+        session, _, digest = wrap([FaultRule(kind="server_error", rate=1.0)])
+        with pytest.raises(TransientNetworkError):
+            session.get_blob(digest)
+        # the upstream never saw the request
+        assert session.upstream.stats()["requests"] == 0
+
+    def test_rate_limit_error_type(self):
+        session, _, _ = wrap([FaultRule(kind="rate_limit", rate=1.0, retry_after_s=0.3)])
+        with pytest.raises(RateLimitedError) as err:
+            session.get_manifest("user/app", "latest")
+        assert err.value.retry_after_s == 0.3
+
+    def test_clean_rules_pass_through(self):
+        session, manifest, digest = wrap([])
+        assert session.get_manifest("user/app", "latest") == manifest
+        assert sha256_bytes(session.get_blob(digest)) == digest
+        assert session.resolve_tag("user/app", "latest") == manifest.digest()
+        assert session.list_tags("user/app") == ["latest"]
+
+
+class TestPayloadInjection:
+    def test_blob_mutated(self):
+        session, _, digest = wrap([FaultRule(kind="corrupt", rate=1.0, ops=("blob",))])
+        blob = session.get_blob(digest)
+        assert sha256_bytes(blob) != digest
+
+    def test_downloader_quarantines_and_refetches(self):
+        """A one-request corrupt burst: the first fetch is quarantined, the
+        retry arrives clean, and the image completes."""
+        reg, manifest, digest = build_registry()
+        rules = [
+            FaultRule(kind="corrupt", rate=1.0, ops=("blob",),
+                      schedule=Schedule.burst(1, 1)),  # request 0 is the manifest
+        ]
+        session = FaultInjectingSession(SimulatedSession(reg), FaultInjector(rules))
+        downloader = Downloader(
+            session, parallel=ParallelConfig(mode="serial"), sleep=lambda s: None
+        )
+        image = downloader.download_image("user/app")
+        assert image is not None
+        assert downloader.stats.corrupt_blobs == 1
+        assert list(downloader.quarantine) == [digest]
+        assert sha256_bytes(downloader.dest.get(digest)) == digest
+
+
+class TestLatencyInjection:
+    def test_latency_accounted_and_slept(self):
+        slept = []
+        session, _, digest = wrap(
+            [FaultRule(kind="latency", rate=1.0, latency_s=0.2)], sleep=slept.append
+        )
+        session.get_blob(digest)
+        assert session.injected_latency_s > 0
+        assert slept == [session.injected_latency_s]
+
+    def test_stats_merge_upstream_and_faults(self):
+        session, _, digest = wrap([FaultRule(kind="latency", rate=1.0, latency_s=0.2)])
+        session.get_blob(digest)
+        stats = session.stats()
+        assert stats["requests"] == 1  # upstream's accounting
+        assert stats["faults_latency"] == 1
+        assert stats["injected_latency_s"] == session.injected_latency_s

@@ -8,6 +8,7 @@ import pytest
 
 from repro.crawler.crawler import HubCrawler
 from repro.downloader.downloader import Downloader
+from repro.downloader.session import TransientNetworkError
 from repro.registry.errors import AuthRequiredError, RegistryError, TagNotFoundError
 from repro.registry.http import HTTPSearchClient, HTTPSession, RegistryHTTPServer
 from repro.registry.registry import Registry
@@ -109,9 +110,10 @@ class TestErrors:
         with pytest.raises(urllib.error.HTTPError):
             urllib.request.urlopen(server.base_url + "/nope")
 
-    def test_connection_refused_maps_to_registry_error(self):
+    def test_connection_refused_maps_to_transient_error(self):
+        # a refused connection is retryable weather, not a protocol error
         dead = HTTPSession("http://127.0.0.1:9")  # discard port, nothing listens
-        with pytest.raises(RegistryError, match="connection failed"):
+        with pytest.raises(TransientNetworkError, match="connection failed"):
             dead.ping()
 
 

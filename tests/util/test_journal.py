@@ -1,0 +1,55 @@
+"""Unit tests for the atomic JSON journal."""
+
+import json
+
+import pytest
+
+from repro.util.journal import JournalCorruptError, JournalFile
+
+
+class TestJournalFile:
+    def test_missing_loads_as_none(self, tmp_path):
+        journal = JournalFile(tmp_path / "j.json")
+        assert not journal.exists
+        assert journal.load() is None
+
+    def test_round_trip(self, tmp_path):
+        journal = JournalFile(tmp_path / "j.json")
+        journal.save({"page": 3, "items": ["a", "b"]})
+        assert journal.exists
+        assert journal.load() == {"page": 3, "items": ["a", "b"]}
+
+    def test_creates_parent_dirs(self, tmp_path):
+        journal = JournalFile(tmp_path / "deep" / "er" / "j.json")
+        journal.save({"ok": 1})
+        assert journal.load() == {"ok": 1}
+
+    def test_save_replaces_whole_state(self, tmp_path):
+        journal = JournalFile(tmp_path / "j.json")
+        journal.save({"a": 1})
+        journal.save({"b": 2})
+        assert journal.load() == {"b": 2}
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        journal = JournalFile(tmp_path / "j.json")
+        journal.save({"a": 1})
+        assert [p.name for p in tmp_path.iterdir()] == ["j.json"]
+
+    def test_corrupt_json_raises(self, tmp_path):
+        path = tmp_path / "j.json"
+        path.write_text("{truncated")
+        with pytest.raises(JournalCorruptError):
+            JournalFile(path).load()
+
+    def test_non_dict_payload_raises(self, tmp_path):
+        path = tmp_path / "j.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(JournalCorruptError):
+            JournalFile(path).load()
+
+    def test_delete(self, tmp_path):
+        journal = JournalFile(tmp_path / "j.json")
+        journal.save({"a": 1})
+        journal.delete()
+        assert not journal.exists
+        journal.delete()  # idempotent

@@ -107,6 +107,56 @@ run under a deterministic virtual-time executor (same seed, same
 `repro loadtest --seed 3 [--proxy] [--open] [--http]`,
 `examples/loadtest_study.py`, and `benchmarks/bench_serving.py`.""",
     ),
+    (
+        "Fault injection & resilience",
+        """\
+`repro.faults` injects deterministic failures into any session or the live
+HTTP registry. A `FaultInjector` evaluates an ordered list of `FaultRule`s
+per request; every draw is a pure function of (seed, rule, op, key, visit
+count), so the same seed produces the same weather regardless of thread
+interleaving. Rule kinds: `server_error` (503), `rate_limit` (429 with a
+`Retry-After` header), `flap` (connection drop mid-request), `latency`
+(seeded delay up to `latency_s`), `truncate` and `corrupt` (payload
+mutation that must fail digest verification). Each rule fires at a `rate`,
+optionally only for some ops (`manifest`, `blob`, `tags`, `ping`), and
+under a `Schedule` — `always()`, one `burst(start, length)`, or periodic
+`flapping(period, active)`. Wrap a client with `FaultInjectingSession`
+(errors raised before the upstream is touched) or hand the injector to
+`RegistryHTTPServer(fault_injector=...)` to fault real HTTP responses;
+`/metrics` is never faulted. `build_plan("smoke")` bundles a mixed-weather
+plan; `plan_names()` lists the rest.
+
+The pull pipeline is hardened to survive that weather. `Downloader`
+verifies every blob digest and quarantines-and-refetches mismatches
+(`corrupt_blobs` in its stats; zero corrupted bytes are ever accepted),
+honors `Retry-After` on `RateLimitedError`, retries transient errors with
+seeded exponential backoff (`RetryPolicy`), enforces an optional
+per-image `deadline_s` budget, and routes attempts through a per-host
+`CircuitBreaker` — closed → open after `failure_threshold` consecutive
+failures, open → half-open after `cooldown_s` (a probe quota admits test
+requests; a probe success closes, a failure reopens). An open circuit
+consumes a retry attempt *without* touching the upstream and counts
+`breaker_fast_failures`.
+
+Long runs checkpoint through `JournalFile`, an atomic (tmp + rename) JSON
+journal. `HubCrawler.crawl(checkpoint=CrawlCheckpoint(...))` saves after
+every page (`repositories`, `raw_result_count`, `duplicate_count`,
+`pages_fetched`, `official_count`, `next_page`, `done`), so a killed crawl
+resumes at the exact page with no double-counted §III-A accounting.
+`download_with_checkpoint(...)` journals per-repo `outcomes`, the stats
+snapshot, the `fetched` digest list, and a `finished` bit; on resume it
+restores stats wholesale and marks fetched digests as already-have, so a
+layer pulled before the kill counts as a duplicate hit afterwards —
+kill + resume yields the same final summary as an uninterrupted run.
+
+`repro chaos --seed 7 --plan smoke` drives the whole stack — synthetic
+hub → checkpointed crawl → fault-injected checkpointed pull → loadgen —
+and asserts invariants (no corrupt blob accepted, accounting reconciles,
+every repo pulled, metrics agree); the exit code is 1 on any violation.
+`--kill-after N --journal DIR` simulates a crash; rerunning resumes and
+must converge to the uninterrupted report. The whole run is virtual-time
+deterministic: same seed, byte-identical report across processes.""",
+    ),
 ]
 
 
