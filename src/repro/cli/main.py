@@ -11,6 +11,7 @@ Subcommands::
     repro experiments --out EXPERIMENTS.md              # full paper-vs-measured
     repro loadtest    --seed 3 [--proxy] [--http]       # serving load test
     repro chaos       --seed 7 --plan smoke             # fault-injected pipeline
+    repro cluster     --replicas 3 --seed 7 [--overload]  # HA serving exercise
 """
 
 from __future__ import annotations
@@ -163,6 +164,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulate a crash after N pulls (requires --journal to resume)",
     )
     p.add_argument("--json", action="store_true", help="emit the report as JSON")
+
+    p = sub.add_parser(
+        "cluster",
+        help="replicated serving exercise: kill a replica, rot blobs at "
+        "rest, heal, and check the HA invariants (exit 1 on violation)",
+    )
+    p.add_argument("--seed", type=int, default=7, help="exercise seed")
+    p.add_argument("--replicas", type=int, default=3, help="replica count (>= 2)")
+    p.add_argument("--scale", choices=["tiny", "small"], default="tiny")
+    p.add_argument(
+        "--requests", type=int, default=120, help="pull-trace length (image pulls)"
+    )
+    p.add_argument(
+        "--kill-index", type=int, default=1, help="which replica dies mid-run"
+    )
+    p.add_argument(
+        "--corrupt-count", type=int, default=2,
+        help="blobs to bit-flip at rest on a surviving replica",
+    )
+    p.add_argument(
+        "--overload", action="store_true",
+        help="also run the open-loop overload exercise against a "
+        "limits-protected server",
+    )
+    p.add_argument("--json", action="store_true", help="emit the report(s) as JSON")
 
     return parser
 
@@ -540,6 +566,26 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.ha import run_cluster, run_overload
+
+    report = run_cluster(
+        seed=args.seed,
+        replicas=args.replicas,
+        scale=args.scale,
+        requests=args.requests,
+        kill_index=args.kill_index,
+        corrupt_count=args.corrupt_count,
+    )
+    print(report.to_json() if args.json else report.render())
+    ok = report.ok
+    if args.overload:
+        overload = run_overload(seed=args.seed)
+        print(overload.to_json() if args.json else overload.render())
+        ok = ok and overload.ok
+    return 0 if ok else 1
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
@@ -554,6 +600,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "loadtest": _cmd_loadtest,
     "chaos": _cmd_chaos,
+    "cluster": _cmd_cluster,
 }
 
 

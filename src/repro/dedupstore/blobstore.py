@@ -21,7 +21,7 @@ from typing import Iterator
 from repro.dedupstore.store import DedupLayerStore
 from repro.registry.blobstore import BlobStore, MemoryBlobStore
 from repro.registry.errors import BlobNotFoundError
-from repro.util.digest import sha256_bytes
+from repro.util.digest import parse_digest, sha256_bytes
 
 
 class DedupBlobStore(BlobStore):
@@ -46,6 +46,16 @@ class DedupBlobStore(BlobStore):
             self._raw.put(data)
         self._sizes[digest] = len(data)
         return digest
+
+    def put_at(self, digest: str, data: bytes) -> None:
+        parse_digest(digest)
+        # the bytes need not hash to *digest* (see the contract), so they
+        # can't go through chunk decomposition — keep them raw, and drop
+        # any decomposed copy the new bytes supersede
+        if self.layers.has_layer(digest):
+            self.layers.delete_layer(digest)
+        self._raw.put_at(digest, data)
+        self._sizes[digest] = len(data)
 
     def get(self, digest: str) -> bytes:
         if self.layers.has_layer(digest):

@@ -83,19 +83,40 @@ class CircuitBreaker:
 
     def allow(self) -> bool:
         """May a request go out now? Half-open admits only probe quota."""
+        return self.acquire()[0]
+
+    def acquire(self) -> tuple[bool, bool]:
+        """Atomic admission: ``(allowed, is_probe)``.
+
+        The two facts must come from one critical section — a caller that
+        checked ``state`` and then ``allow()``-ed separately could watch
+        the breaker flip between the calls and mistake a probe for normal
+        traffic (or vice versa). A caller whose probe ends with *no*
+        verdict — rate-limited, say: the host is alive but proved nothing
+        — must hand the slot back via :meth:`release_probe`, or the quota
+        leaks and a half-open breaker refuses traffic forever.
+        """
         with self._lock:
             self._maybe_half_open()
             if self._state == CLOSED:
-                return True
+                return True, False
             if self._state == HALF_OPEN and self._probes_in_flight < self.half_open_probes:
                 self._probes_in_flight += 1
-                return True
+                return True, True
             self.fast_failures += 1
             self.metrics.counter(
                 "breaker_fast_failures_total", "requests shed while open",
                 host=self.host,
             ).inc()
-            return False
+            return False, False
+
+    def release_probe(self) -> None:
+        """Return a half-open probe slot unused (the probe produced no
+        verdict). A no-op in any other state: a success already closed the
+        circuit and a failure re-opened it, resolving the slot either way."""
+        with self._lock:
+            if self._state == HALF_OPEN and self._probes_in_flight > 0:
+                self._probes_in_flight -= 1
 
     def record_success(self) -> None:
         with self._lock:

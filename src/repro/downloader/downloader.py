@@ -195,7 +195,10 @@ class Downloader:
                     f"deadline budget spent after {attempt} attempts"
                 ) from last
             min_delay = 0.0
-            if self.breaker is not None and not self.breaker.allow():
+            allowed, is_probe = (
+                self.breaker.acquire() if self.breaker is not None else (True, False)
+            )
+            if not allowed:
                 with self._lock:
                     self.stats.breaker_fast_failures += 1
                 last = CircuitOpenError("circuit open; request not sent")
@@ -205,8 +208,12 @@ class Downloader:
                 except RateLimitedError as exc:
                     # the server is alive and told us its price: back off
                     # without counting toward the breaker's failure streak
+                    # — and hand a half-open probe slot back, since this
+                    # attempt proved nothing about the host's health
                     last = exc
                     min_delay = exc.retry_after_s
+                    if is_probe:
+                        self.breaker.release_probe()
                     with self._lock:
                         self.stats.rate_limited += 1
                     self.metrics.counter(

@@ -9,18 +9,23 @@ a tested property instead of a hope:
 * :mod:`~repro.faults.injector` — the deterministic per-request planner;
 * :mod:`~repro.faults.session` — middleware over any session surface;
 * :mod:`~repro.faults.plans` — named, repeatable chaos scenarios;
+* :mod:`~repro.faults.atrest` — silent blob-store corruption (the fault
+  :class:`~repro.ha.scrub.BlobScrubber` exists to catch);
 * :mod:`~repro.faults.chaos` — the end-to-end harness behind
   ``repro chaos``, with resilience invariants.
 """
 
+from repro.faults.atrest import corrupt_at_rest, corrupt_some_at_rest
 from repro.faults.chaos import ChaosReport, Invariant, VirtualClock, run_chaos
 from repro.faults.injector import FaultInjector, RequestFaults
 from repro.faults.plans import build_plan, plan_names
-from repro.faults.rules import FaultRule, Schedule
 from repro.faults.session import FaultInjectingSession
+from repro.faults.rules import FaultRule, Schedule
 
 __all__ = [
     "ChaosReport",
+    "corrupt_at_rest",
+    "corrupt_some_at_rest",
     "FaultInjectingSession",
     "FaultInjector",
     "FaultRule",

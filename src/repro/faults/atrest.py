@@ -1,0 +1,62 @@
+"""At-rest storage corruption — the fault the scrubber exists for.
+
+The injector in :mod:`repro.faults.injector` mangles bytes *in flight*;
+this module mangles bytes *at rest*, inside a blob store, the way a bad
+disk or a buggy compaction would: the store still answers, the digest key
+still looks right, only the content has silently rotted. Detection is the
+job of :class:`~repro.ha.scrub.BlobScrubber` (at rest) and the serving
+path's digest verification (at read).
+
+Deterministic: which bit flips is a pure function of ``(seed, digest)``.
+"""
+
+from __future__ import annotations
+
+from repro.registry.blobstore import BlobStore
+from repro.util.rng import seeded_uniform
+
+
+def corrupt_at_rest(store: BlobStore, digest: str, *, seed: int = 0) -> bytes:
+    """Flip one deterministic bit of *digest*'s payload inside *store*.
+
+    Returns the corrupted bytes now stored. Raises
+    :class:`~repro.registry.errors.BlobNotFoundError` when the blob is
+    absent and ``ValueError`` for an empty blob (no bit to flip).
+    """
+    payload = store.get(digest)
+    if not payload:
+        raise ValueError(f"cannot corrupt empty blob {digest}")
+    draw = seeded_uniform(seed, "atrest", digest)
+    bit = int(draw * len(payload) * 8) % (len(payload) * 8)
+    rotted = bytearray(payload)
+    rotted[bit // 8] ^= 1 << (bit % 8)
+    data = bytes(rotted)
+    store.put_at(digest, data)
+    return data
+
+
+def corrupt_some_at_rest(
+    store: BlobStore, *, count: int = 1, seed: int = 0
+) -> list[str]:
+    """Rot *count* deterministic victims picked across the store's digests
+    (sorted order, seeded choice). Returns the corrupted digests."""
+    digests = sorted(store.digests())
+    if not digests:
+        return []
+    victims: list[str] = []
+    for i in range(min(count, len(digests))):
+        draw = seeded_uniform(seed, "atrest_pick", i)
+        pick = digests[int(draw * len(digests)) % len(digests)]
+        if pick in victims:
+            # deterministic linear probe to the next untouched digest
+            start = digests.index(pick)
+            for j in range(1, len(digests)):
+                candidate = digests[(start + j) % len(digests)]
+                if candidate not in victims:
+                    pick = candidate
+                    break
+            else:
+                break
+        corrupt_at_rest(store, pick, seed=seed)
+        victims.append(pick)
+    return victims

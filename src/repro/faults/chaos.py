@@ -43,7 +43,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plans import build_plan
 from repro.faults.session import FaultInjectingSession
 from repro.loadgen import LoadConfig, LoadGenerator, requests_from_trace
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, counter_total
 from repro.parallel.pool import ParallelConfig
 from repro.registry.search import HubSearchEngine
 from repro.util.digest import sha256_bytes
@@ -277,10 +277,7 @@ def _loadgen_ops(dataset, truth, requests: int, seed: int):
 
 
 def _metric_total(metrics: MetricsRegistry, name: str) -> int:
-    dump = metrics.to_dict()
-    return int(
-        sum(row["value"] for row in dump.get(name, {}).get("series", []))
-    )
+    return int(counter_total(metrics, name))
 
 
 def _check_invariants(

@@ -1,0 +1,55 @@
+"""repro.ha — server-side robustness: replicated serving with failover,
+overload protection, and self-healing storage.
+
+The paper's dataset exists only because Docker Hub kept answering 355k
+pulls through overload and partial failure. This package gives the
+reproduction's registry the same serving-side resilience:
+
+* :mod:`repro.ha.admission` — concurrency-limited admission gate with a
+  bounded queue, per-client token-bucket rate limiting, and load-shedding
+  accounting (wired into :class:`~repro.registry.http.RegistryHTTPServer`);
+* :mod:`repro.ha.health` — active liveness/readiness probing with
+  per-replica ejection and reinstatement;
+* :mod:`repro.ha.replica` — :class:`RegistryReplicaSet`: N registries over
+  independent blob stores with write fan-out and anti-entropy sync;
+* :mod:`repro.ha.frontend` — :class:`FailoverFrontend`: an HTTP load
+  balancer doing health-checked routing, retry-on-next-replica for
+  idempotent reads, and at-the-edge digest verification so a rotting
+  replica can never serve corrupt bytes;
+* :mod:`repro.ha.scrub` — :class:`BlobScrubber`: at-rest digest
+  re-verification with quarantine and peer repair;
+* :mod:`repro.ha.cluster` — the end-to-end harness behind
+  ``repro cluster``: replicated serving under loadgen traffic with
+  replica kills and at-rest corruption, checked against invariants.
+"""
+
+from repro.ha.admission import (
+    AdmissionGate,
+    AdmissionResult,
+    ServerLimits,
+    TokenBucketLimiter,
+)
+from repro.ha.cluster import ClusterReport, run_cluster, run_overload
+from repro.ha.frontend import FailoverFrontend
+from repro.ha.health import EJECTED, LIVE, HealthMonitor, ReplicaHealth
+from repro.ha.replica import RegistryReplicaSet, Replica
+from repro.ha.scrub import BlobScrubber, ScrubReport
+
+__all__ = [
+    "AdmissionGate",
+    "AdmissionResult",
+    "ServerLimits",
+    "TokenBucketLimiter",
+    "HealthMonitor",
+    "ReplicaHealth",
+    "LIVE",
+    "EJECTED",
+    "RegistryReplicaSet",
+    "Replica",
+    "FailoverFrontend",
+    "BlobScrubber",
+    "ScrubReport",
+    "ClusterReport",
+    "run_cluster",
+    "run_overload",
+]

@@ -1,0 +1,550 @@
+"""The cluster exercise: replicated serving under kills, rot, and overload.
+
+:func:`run_cluster` is the ``repro cluster`` CLI's engine — one seeded,
+end-to-end demonstration that the HA layer actually delivers what it
+promises. It materializes a synthetic hub, stamps it out over N replicas,
+puts the :class:`~repro.ha.frontend.FailoverFrontend` in front, and drives
+a pull workload through three deterministic phases:
+
+* **phase A (healthy)** — baseline traffic against the full set;
+* **phase B (degraded)** — one replica is *killed* mid-run (no drain, its
+  connections die) and another's store gets deterministic at-rest bit
+  flips; traffic continues through the frontend, which must fail reads
+  over and block every corrupt byte at the edge. A write lands while the
+  set is degraded, so the dead replica misses it;
+* **phase C (healed)** — the scrubber quarantines and repairs the rot,
+  the killed replica restarts, anti-entropy reconciles the missed write,
+  active probes reinstate the replica, and traffic confirms the set is
+  whole again.
+
+Phases run serially from one client thread, so every count in the report
+is a function of the seed alone — the report is a regression artifact.
+The **invariants** (zero corrupt blobs served, ≥99 % GET success after
+retries, all rot detected and repaired, replicas converged, the killed
+replica reinstated, the degraded-era write everywhere) gate the exit code.
+
+:func:`run_overload` is the companion stress: one server with real
+:class:`~repro.ha.admission.ServerLimits` under an open-loop arrival rate
+beyond its capacity, asserting it sheds with honest 503 + ``Retry-After``
+while accepted requests keep a bounded p99 — the registry bends, it does
+not break.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.faults import FaultInjector, FaultRule, corrupt_at_rest, corrupt_some_at_rest
+from repro.faults.chaos import Invariant
+from repro.ha.admission import AdmissionGate, ServerLimits, TokenBucketLimiter
+from repro.ha.frontend import FailoverFrontend
+from repro.ha.health import LIVE, HealthMonitor
+from repro.ha.replica import RegistryReplicaSet
+from repro.ha.scrub import BlobScrubber
+from repro.obs import MetricsRegistry, counter_total
+from repro.util.digest import sha256_bytes
+
+
+@dataclass
+class ClusterReport:
+    """What one :func:`run_cluster` exercise measured and asserted."""
+
+    seed: int
+    replicas: int
+    requests: int
+    #: phase name -> {attempted, succeeded, failed, corrupt, retries}
+    phases: dict[str, dict[str, int]] = field(default_factory=dict)
+    killed: str = ""
+    corrupted: list[str] = field(default_factory=list)
+    degraded_write: str = ""
+    scrub: dict = field(default_factory=dict)
+    sync: dict = field(default_factory=dict)
+    divergence: dict = field(default_factory=dict)
+    frontend: dict = field(default_factory=dict)
+    health: list[dict] = field(default_factory=list)
+    invariants: list[Invariant] = field(default_factory=list)
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(inv.ok for inv in self.invariants)
+
+    def totals(self) -> dict[str, int]:
+        out = {"attempted": 0, "succeeded": 0, "failed": 0, "corrupt": 0, "retries": 0}
+        for counts in self.phases.values():
+            for key in out:
+                out[key] += counts[key]
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "replicas": self.replicas,
+            "requests": self.requests,
+            "phases": self.phases,
+            "totals": self.totals(),
+            "killed": self.killed,
+            "corrupted": self.corrupted,
+            "degraded_write": self.degraded_write,
+            "scrub": self.scrub,
+            "sync": self.sync,
+            "divergence": self.divergence,
+            "frontend": self.frontend,
+            "health": self.health,
+            "invariants": [inv.to_dict() for inv in self.invariants],
+            "duration_s": self.duration_s,
+            "ok": self.ok,
+        }
+
+    def seeded_core(self) -> dict:
+        """The deterministic subset: identical for identical seeds.
+
+        Wall-clock artifacts (duration, per-replica URLs with ephemeral
+        ports) are excluded; everything here is a pure function of the
+        seed and the run parameters.
+        """
+        doc = self.to_dict()
+        for volatile in ("duration_s", "health", "frontend"):
+            doc.pop(volatile)
+        return doc
+
+    def to_json(self) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        totals = self.totals()
+        lines = [
+            f"cluster exercise: seed={self.seed}, {self.replicas} replicas, "
+            f"{self.requests} pulls",
+            f"  killed {self.killed} mid-run; corrupted "
+            f"{len(self.corrupted)} blob(s) at rest",
+        ]
+        for name, counts in self.phases.items():
+            lines.append(
+                f"  phase {name:<9} {counts['succeeded']:>5}/{counts['attempted']} ok, "
+                f"{counts['retries']} retries, {counts['corrupt']} corrupt served"
+            )
+        lines.append(
+            f"  frontend   {self.frontend.get('failovers', 0)} failovers, "
+            f"{self.frontend.get('corrupt_blocked', 0)} corrupt blocked, "
+            f"{self.frontend.get('refused', 0)} refused"
+        )
+        lines.append(
+            f"  scrub      {self.scrub.get('scanned', 0)} scanned, "
+            f"{self.scrub.get('corrupt', 0)} corrupt, "
+            f"{self.scrub.get('repaired', 0)} repaired"
+        )
+        lines.append(
+            f"  sync       {self.sync.get('blobs', 0)} blobs reconciled, "
+            f"{self.sync.get('corrupt_donors_skipped', 0)} corrupt donors refused"
+        )
+        success = totals["succeeded"] / totals["attempted"] if totals["attempted"] else 0
+        lines.append(f"  GET success {success:8.2%} after retries")
+        lines.append("invariants:")
+        for inv in self.invariants:
+            mark = "ok " if inv.ok else "FAIL"
+            lines.append(f"  [{mark}] {inv.name}: {inv.detail}")
+        lines.append(
+            "verdict: " + ("all invariants hold" if self.ok else "INVARIANT VIOLATED")
+        )
+        return "\n".join(lines)
+
+
+def _pull_phase(session, ops, *, max_attempts: int = 5) -> dict[str, int]:
+    """Run one phase of pulls through *session*, verifying every blob.
+
+    Each op is retried on transient/backpressure errors; a blob whose
+    bytes do not re-hash to its digest counts as ``corrupt`` — the number
+    the zero-corruption invariant is about. The frontend verifies at the
+    edge too; this client-side check is the independent ground truth.
+    """
+    from repro.downloader.session import RateLimitedError, TransientNetworkError
+    from repro.registry.errors import RegistryError
+
+    counts = {"attempted": 0, "succeeded": 0, "failed": 0, "corrupt": 0, "retries": 0}
+    for op in ops:
+        counts["attempted"] += 1
+        for attempt in range(max_attempts):
+            try:
+                if op.kind == "manifest":
+                    session.get_manifest(op.repo, op.tag)
+                else:
+                    blob = session.get_blob(op.digest)
+                    if sha256_bytes(blob) != op.digest:
+                        counts["corrupt"] += 1
+                counts["succeeded"] += 1
+                break
+            except RateLimitedError as exc:
+                counts["retries"] += 1
+                if attempt == max_attempts - 1:
+                    counts["failed"] += 1
+                else:
+                    time.sleep(min(exc.retry_after_s or 0.05, 0.25))
+            except (TransientNetworkError, RegistryError):
+                counts["retries"] += 1
+                if attempt == max_attempts - 1:
+                    counts["failed"] += 1
+                else:
+                    time.sleep(0.02)
+    return counts
+
+
+def run_cluster(
+    *,
+    seed: int = 7,
+    replicas: int = 3,
+    scale: str = "tiny",
+    requests: int = 120,
+    kill_index: int = 1,
+    corrupt_count: int = 2,
+) -> ClusterReport:
+    """The full kill/corrupt/heal exercise; see the module docstring."""
+    from repro.cache import generate_trace
+    from repro.loadgen import requests_from_trace
+    from repro.registry.http import HTTPSession
+    from repro.synth import SyntheticHubConfig, generate_dataset, materialize_registry
+
+    if replicas < 2:
+        raise ValueError(f"the exercise needs >= 2 replicas, got {replicas}")
+    if not 0 <= kill_index < replicas:
+        raise ValueError(f"kill_index {kill_index} out of range for {replicas} replicas")
+
+    t0 = time.perf_counter()
+    config = getattr(SyntheticHubConfig, scale)(seed=seed)
+    dataset = generate_dataset(config)
+    source, truth = materialize_registry(dataset, fail_share=0.0, seed=seed)
+    trace = generate_trace(
+        dataset, requests, granularity="image", locality=0.2, seed=seed
+    )
+    ops = requests_from_trace(trace, dataset, truth)
+    third = len(ops) // 3
+    phase_ops = {"A:healthy": ops[:third], "B:degraded": ops[third : 2 * third],
+                 "C:healed": ops[2 * third :]}
+
+    metrics = MetricsRegistry()
+    replica_set = RegistryReplicaSet.from_source(
+        source, replicas, metrics=metrics
+    ).start_all()
+    endpoints = replica_set.endpoints()
+    monitor = HealthMonitor(
+        endpoints, eject_after=2, reinstate_after=2, metrics=metrics
+    )
+    report = ClusterReport(seed=seed, replicas=replicas, requests=len(ops))
+    # the replica that rots: any survivor of the kill
+    corrupt_index = (kill_index + 1) % replicas
+
+    with FailoverFrontend(endpoints, monitor=monitor, metrics=metrics) as frontend:
+        session = HTTPSession(frontend.base_url, timeout=5.0)
+
+        report.phases["A:healthy"] = _pull_phase(session, phase_ops["A:healthy"])
+
+        killed = replica_set.kill(kill_index)
+        report.killed = killed.name
+        # rot blobs phase B is actually going to pull, so the frontend's
+        # edge verification is exercised, not just the scrubber; top up
+        # from arbitrary store digests if the phase is too small
+        store = replica_set.replicas[corrupt_index].registry.blobs
+        victims: list[str] = []
+        for op in phase_ops["B:degraded"]:
+            if op.kind == "blob" and op.digest not in victims and store.has(op.digest):
+                victims.append(op.digest)
+            if len(victims) >= corrupt_count:
+                break
+        for digest in victims:
+            corrupt_at_rest(store, digest, seed=seed)
+        if len(victims) < corrupt_count:
+            extra = corrupt_some_at_rest(
+                store, count=corrupt_count - len(victims), seed=seed
+            )
+            victims = list(dict.fromkeys(victims + extra))
+        report.corrupted = victims
+        # one active sweep records a first strike against the dead replica
+        # (eject_after=2); the second strike — and the ejection — comes
+        # passively from phase B's first failed-over read
+        monitor.probe_all()
+
+        report.phases["B:degraded"] = _pull_phase(session, phase_ops["B:degraded"])
+
+        # a write while one replica is down: the survivors take it, the
+        # dead one owes it to anti-entropy
+        payload = f"written-while-degraded seed={seed}".encode()
+        report.degraded_write = replica_set.put_blob(payload)
+
+        scrubber = BlobScrubber(metrics=metrics)
+        scrub_report = scrubber.scrub_replica_set(replica_set)
+        report.scrub = scrub_report.to_dict()
+
+        replica_set.restart(kill_index)
+        report.sync = replica_set.sync()
+        monitor.probe_until_live(killed.base_url)
+
+        report.phases["C:healed"] = _pull_phase(session, phase_ops["C:healed"])
+        # the degraded-era write must now be pullable through the frontend
+        healed_blob = session.get_blob(report.degraded_write)
+
+        report.divergence = replica_set.divergence()
+        report.frontend = dict(frontend.stats)
+        report.health = monitor.snapshot()
+
+    replica_set.stop_all()
+    report.duration_s = time.perf_counter() - t0
+    report.invariants = _cluster_invariants(report, monitor, killed.base_url, healed_blob)
+    return report
+
+
+def _cluster_invariants(
+    report: ClusterReport, monitor: HealthMonitor, killed_url: str, healed_blob: bytes
+) -> list[Invariant]:
+    out: list[Invariant] = []
+    totals = report.totals()
+
+    out.append(
+        Invariant(
+            name="zero_corrupt_served",
+            ok=totals["corrupt"] == 0,
+            detail=f"{totals['corrupt']} corrupt blobs reached a client "
+            f"({report.frontend.get('corrupt_blocked', 0)} blocked at the edge)",
+        )
+    )
+    success = totals["succeeded"] / totals["attempted"] if totals["attempted"] else 0.0
+    out.append(
+        Invariant(
+            name="get_success_after_retries",
+            ok=success >= 0.99,
+            detail=f"{totals['succeeded']}/{totals['attempted']} = {success:.2%} "
+            f"(needs >= 99%) with {totals['retries']} retries",
+        )
+    )
+    out.append(
+        Invariant(
+            name="rot_detected_and_repaired",
+            ok=(
+                report.scrub.get("corrupt", 0) == len(report.corrupted)
+                and report.scrub.get("unrepairable", 1) == 0
+            ),
+            detail=f"injected {len(report.corrupted)}, scrubber found "
+            f"{report.scrub.get('corrupt', 0)}, repaired "
+            f"{report.scrub.get('repaired', 0)}, unrepairable "
+            f"{report.scrub.get('unrepairable', 0)}",
+        )
+    )
+    out.append(
+        Invariant(
+            name="replicas_converged",
+            ok=report.divergence.get("missing_somewhere", -1) == 0,
+            detail=f"divergence after sync: {report.divergence}",
+        )
+    )
+    out.append(
+        Invariant(
+            name="killed_replica_reinstated",
+            ok=monitor.health(killed_url).state == LIVE,
+            detail=f"{report.killed} state={monitor.health(killed_url).state} "
+            f"after restart + probes",
+        )
+    )
+    out.append(
+        Invariant(
+            name="degraded_write_survived",
+            ok=sha256_bytes(healed_blob) == report.degraded_write,
+            detail=f"blob {report.degraded_write[:19]}… written during the "
+            f"outage pulls correctly after heal",
+        )
+    )
+    return out
+
+
+@dataclass
+class OverloadReport:
+    """What :func:`run_overload` measured on a limits-protected server."""
+
+    seed: int
+    requests: int
+    arrival_rate_rps: float
+    max_concurrent: int
+    completed: int = 0
+    shed_client: int = 0
+    shed_server: int = 0
+    rate_limited_server: int = 0
+    server_p99_s: float = 0.0
+    p99_bound_s: float = 0.0
+    duration_s: float = 0.0
+    invariants: list[Invariant] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(inv.ok for inv in self.invariants)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "requests": self.requests,
+            "arrival_rate_rps": self.arrival_rate_rps,
+            "max_concurrent": self.max_concurrent,
+            "completed": self.completed,
+            "shed_client": self.shed_client,
+            "shed_server": self.shed_server,
+            "rate_limited_server": self.rate_limited_server,
+            "server_p99_s": self.server_p99_s,
+            "p99_bound_s": self.p99_bound_s,
+            "duration_s": self.duration_s,
+            "invariants": [inv.to_dict() for inv in self.invariants],
+            "ok": self.ok,
+        }
+
+    def to_json(self) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        lines = [
+            f"overload exercise: seed={self.seed}, {self.requests} requests at "
+            f"{self.arrival_rate_rps:.0f}/s against {self.max_concurrent} slots",
+            f"  completed  {self.completed}",
+            f"  shed       {self.shed_server} by the server "
+            f"({self.shed_client} surfaced to clients as backpressure, "
+            f"{self.rate_limited_server} per-client 429s)",
+            f"  server p99 {self.server_p99_s * 1e3:.1f} ms "
+            f"(bound {self.p99_bound_s * 1e3:.1f} ms)",
+        ]
+        lines.append("invariants:")
+        for inv in self.invariants:
+            mark = "ok " if inv.ok else "FAIL"
+            lines.append(f"  [{mark}] {inv.name}: {inv.detail}")
+        lines.append(
+            "verdict: " + ("all invariants hold" if self.ok else "INVARIANT VIOLATED")
+        )
+        return "\n".join(lines)
+
+
+def run_overload(
+    *,
+    seed: int = 0,
+    requests: int = 400,
+    arrival_rate_rps: float = 400.0,
+    workers: int = 32,
+    max_concurrent: int = 4,
+    max_queue: int = 8,
+    queue_timeout_s: float = 0.05,
+    service_latency_s: float = 0.03,
+) -> OverloadReport:
+    """Open-loop overload against one limits-protected server.
+
+    A latency fault rule throttles the server's capacity to roughly
+    ``max_concurrent / service_latency_s`` requests per second; the
+    arrival rate is set well past that, so the gate *must* shed. The
+    invariants: sheds happened, they surfaced to clients as honest
+    backpressure (503 + ``Retry-After`` → ``RateLimitedError``), and the
+    server-side p99 across all handled requests stayed inside
+    ``queue_timeout + service + slack`` — overload bent throughput, not
+    latency.
+    """
+    from repro.cache import generate_trace
+    from repro.loadgen import LoadConfig, LoadGenerator, requests_from_trace
+    from repro.registry.http import HTTPSession, RegistryHTTPServer
+    from repro.synth import SyntheticHubConfig, generate_dataset, materialize_registry
+
+    t0 = time.perf_counter()
+    config = SyntheticHubConfig.tiny(seed=seed)
+    dataset = generate_dataset(config)
+    registry, truth = materialize_registry(dataset, fail_share=0.0, seed=seed)
+    trace = generate_trace(
+        dataset, requests, granularity="layer", locality=0.2, seed=seed
+    )
+    ops = requests_from_trace(trace, dataset, truth)
+
+    limits = ServerLimits(
+        gate=AdmissionGate(
+            max_concurrent=max_concurrent,
+            max_queue=max_queue,
+            queue_timeout_s=queue_timeout_s,
+            retry_after_s=queue_timeout_s,
+        ),
+        # generous per-client budget: this exercise is about the shared
+        # gate, not one hog (the loadgen is a single client address)
+        limiter=TokenBucketLimiter(rate_per_s=10_000.0, burst=10_000),
+    )
+    injector = FaultInjector(
+        [FaultRule(kind="latency", rate=1.0, latency_s=service_latency_s)],
+        seed=seed,
+    )
+    server = RegistryHTTPServer(
+        registry, fault_injector=injector, limits=limits
+    ).start()
+    try:
+        load = LoadGenerator(HTTPSession(server.base_url, timeout=10.0)).run(
+            ops,
+            LoadConfig(
+                workers=workers,
+                mode="open",
+                arrival_rate_rps=arrival_rate_rps,
+                seed=seed,
+                timing="wall",
+            ),
+        )
+        p99 = max(
+            server.metrics.histogram(
+                "registry_http_request_seconds", endpoint=endpoint
+            ).quantile(0.99)
+            for endpoint in ("blob", "manifest")
+        )
+        report = OverloadReport(
+            seed=seed,
+            requests=len(ops),
+            arrival_rate_rps=arrival_rate_rps,
+            max_concurrent=max_concurrent,
+            completed=load.requests,
+            shed_client=load.shed,
+            shed_server=int(
+                counter_total(server.metrics, "registry_http_rejected_total")
+            ),
+            rate_limited_server=int(
+                counter_total(
+                    server.metrics, "registry_http_rejected_total",
+                    reason="rate_limited",
+                )
+            ),
+            server_p99_s=p99,
+            # queue wait + the latency spike's peak + handling slack; the
+            # histogram's log buckets overshoot by at most one growth step
+            p99_bound_s=queue_timeout_s + service_latency_s + 0.25,
+        )
+    finally:
+        server.stop()
+    report.duration_s = time.perf_counter() - t0
+
+    report.invariants = [
+        Invariant(
+            name="server_shed_under_overload",
+            ok=report.shed_server > 0,
+            detail=f"{report.shed_server} requests shed by the gate",
+        ),
+        Invariant(
+            name="shed_is_honest_backpressure",
+            ok=report.shed_client > 0,
+            detail=f"{report.shed_client} sheds surfaced as RateLimitedError "
+            f"(503/429 + Retry-After), not silent failures",
+        ),
+        Invariant(
+            name="accepted_p99_bounded",
+            ok=report.server_p99_s <= report.p99_bound_s,
+            detail=f"server p99 {report.server_p99_s * 1e3:.1f} ms vs bound "
+            f"{report.p99_bound_s * 1e3:.1f} ms",
+        ),
+        Invariant(
+            name="work_still_completed",
+            ok=report.completed > 0,
+            detail=f"{report.completed} requests completed despite the storm",
+        ),
+        Invariant(
+            name="accounting_reconciles",
+            ok=report.completed + load.errors == len(ops),
+            detail=f"{report.completed} completed + {load.errors} failed "
+            f"== {len(ops)} issued",
+        ),
+    ]
+    return report

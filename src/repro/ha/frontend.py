@@ -1,0 +1,351 @@
+"""The failover frontend: one stable address over N flaky replicas.
+
+A load-balancing HTTP proxy for the Docker Registry v2 API:
+
+* **routing** — idempotent reads (GET/HEAD) round-robin over the replicas
+  the :class:`~repro.ha.health.HealthMonitor` calls live; writes pin to
+  the first live replica (the v2 upload protocol is a stateful session in
+  one server's memory — bouncing a PATCH to a different replica would
+  orphan it), with anti-entropy propagating the result later;
+* **failover** — a connection error, timeout, or 5xx on a read moves to
+  the next replica within the same client request, so a replica dying
+  mid-run costs clients nothing; failures feed the monitor as passive
+  health evidence;
+* **edge integrity** — blob GET responses are re-hashed against the digest
+  in the URL *before* a byte is forwarded; a mismatch (a rotted replica
+  the scrubber has not reached yet) is treated exactly like a failed
+  replica: blocked, counted, next candidate tried. Zero corrupt bytes are
+  ever served through the frontend — the invariant ``repro cluster``
+  asserts;
+* **honest refusal** — when every candidate is down or shedding, clients
+  get 503 + ``Retry-After`` (backpressure they can act on), not a hang.
+
+Error responses that are *answers* (404, 401, 400…) forward as-is; only
+infrastructure failures (connection refused, timeout, 5xx, 429) fail over.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.ha.health import HealthMonitor
+from repro.obs import MetricsRegistry
+from repro.util.digest import sha256_bytes
+
+_BLOB_PATH_RE = re.compile(r"^/v2/.+/blobs/(?P<digest>sha256:[0-9a-f]+)$")
+
+#: request headers forwarded upstream
+_FORWARD_REQUEST_HEADERS = ("Authorization", "Content-Type", "X-Client-Id")
+#: response headers forwarded back to the client
+_FORWARD_RESPONSE_HEADERS = (
+    "Content-Type",
+    "Docker-Content-Digest",
+    "Location",
+    "Range",
+    "Retry-After",
+)
+
+
+class _UpstreamAnswer:
+    """A response (success or authoritative error) from one replica."""
+
+    __slots__ = ("status", "headers", "body")
+
+    def __init__(self, status: int, headers: dict, body: bytes):
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+
+class _FrontendHandler(BaseHTTPRequestHandler):
+    server: ThreadingHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    # -- plumbing ---------------------------------------------------------------
+
+    @property
+    def frontend(self) -> "FailoverFrontend":
+        return self.server.frontend  # type: ignore[attr-defined]
+
+    def _respond(self, answer: _UpstreamAnswer, *, head: bool = False) -> None:
+        self.send_response(answer.status)
+        self.send_header("Content-Length", str(len(answer.body)))
+        for key, value in answer.headers.items():
+            self.send_header(key, value)
+        self.end_headers()
+        if not head:
+            self.wfile.write(answer.body)
+
+    def _refuse(self, message: str, *, retry_after_s: float) -> None:
+        body = json.dumps(
+            {"errors": [{"code": "UNAVAILABLE", "message": message}]}
+        ).encode()
+        self._respond(
+            _UpstreamAnswer(
+                503,
+                {
+                    "Content-Type": "application/json",
+                    "Retry-After": f"{retry_after_s:.3f}",
+                },
+                body,
+            )
+        )
+
+    def _request_headers(self) -> dict[str, str]:
+        out = {}
+        for name in _FORWARD_REQUEST_HEADERS:
+            value = self.headers.get(name)
+            if value is not None:
+                out[name] = value
+        return out
+
+    # -- verbs -------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802
+        self.frontend._handle_read(self, head=False)
+
+    def do_HEAD(self) -> None:  # noqa: N802
+        self.frontend._handle_read(self, head=True)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self.frontend._handle_write(self, "POST")
+
+    def do_PATCH(self) -> None:  # noqa: N802
+        self.frontend._handle_write(self, "PATCH")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self.frontend._handle_write(self, "PUT")
+
+
+class FailoverFrontend:
+    """Health-checked, digest-verifying load balancer over registry replicas."""
+
+    def __init__(
+        self,
+        endpoints: list[str],
+        *,
+        monitor: HealthMonitor | None = None,
+        port: int = 0,
+        timeout_s: float = 2.0,
+        retry_after_s: float = 0.25,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if not endpoints:
+            raise ValueError("frontend needs at least one replica endpoint")
+        self.endpoints = list(endpoints)
+        self.monitor = monitor if monitor is not None else HealthMonitor(endpoints)
+        self.timeout_s = timeout_s
+        self.retry_after_s = retry_after_s
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._httpd = ThreadingHTTPServer(("127.0.0.1", port), _FrontendHandler)
+        self._httpd.frontend = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+        self._rr_lock = threading.Lock()
+        self._rr = 0
+        self.stats = {
+            "reads": 0,
+            "writes": 0,
+            "failovers": 0,
+            "corrupt_blocked": 0,
+            "refused": 0,
+        }
+        self._stats_lock = threading.Lock()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def base_url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def start(self) -> "FailoverFrontend":
+        if self._thread is not None:
+            raise RuntimeError("frontend already started")
+        self._thread = threading.Thread(target=self._httpd.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join()
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "FailoverFrontend":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- accounting --------------------------------------------------------------
+
+    def _bump(self, key: str, n: int = 1) -> None:
+        with self._stats_lock:
+            self.stats[key] += n
+
+    # -- candidate selection -----------------------------------------------------
+
+    def _read_candidates(self) -> list[str]:
+        """Live replicas, round-robin rotated; all of them as a last gasp
+        when the monitor has ejected everything (stale verdicts beat a
+        guaranteed refusal)."""
+        live = self.monitor.live()
+        pool = live if live else list(self.endpoints)
+        with self._rr_lock:
+            start = self._rr % len(pool)
+            self._rr += 1
+        return pool[start:] + pool[:start]
+
+    def _write_primary(self) -> str:
+        live = self.monitor.live()
+        return live[0] if live else self.endpoints[0]
+
+    # -- the forwarding core -----------------------------------------------------
+
+    def _attempt(
+        self,
+        base: str,
+        path: str,
+        *,
+        method: str,
+        headers: dict[str, str],
+        body: bytes | None = None,
+    ) -> _UpstreamAnswer:
+        """One upstream try. Raises OSError-ish on infrastructure failure;
+        returns an answer (which may be an authoritative error or a shed)."""
+        request = urllib.request.Request(base + path, data=body, method=method)
+        for key, value in headers.items():
+            request.add_header(key, value)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                return _UpstreamAnswer(
+                    response.status,
+                    self._pick_headers(response.headers),
+                    response.read(),
+                )
+        except urllib.error.HTTPError as exc:
+            return _UpstreamAnswer(
+                exc.code, self._pick_headers(exc.headers), exc.read()
+            )
+
+    @staticmethod
+    def _pick_headers(headers) -> dict[str, str]:
+        out = {}
+        for name in _FORWARD_RESPONSE_HEADERS:
+            value = headers.get(name) if headers is not None else None
+            if value is not None:
+                out[name] = value
+        return out
+
+    @staticmethod
+    def _failover_worthy(status: int) -> bool:
+        """5xx and 429 mean *this replica* can't answer right now — another
+        replica might. Everything else is the registry's actual answer."""
+        return status >= 500 or status == 429
+
+    def _handle_read(self, handler: _FrontendHandler, *, head: bool) -> None:
+        self._bump("reads")
+        path = handler.path
+        headers = handler._request_headers()
+        blob_match = _BLOB_PATH_RE.match(path.split("?")[0])
+        candidates = self._read_candidates()
+        shed_answer: _UpstreamAnswer | None = None
+        for i, base in enumerate(candidates):
+            if i > 0:
+                self._bump("failovers")
+                self.metrics.counter(
+                    "frontend_failovers_total", "reads retried on another replica"
+                ).inc()
+            try:
+                answer = self._attempt(
+                    base, path, method="HEAD" if head else "GET", headers=headers
+                )
+            except (urllib.error.URLError, TimeoutError, OSError) as exc:
+                self.monitor.record_failure(base, f"forward failed: {exc}")
+                continue
+            if self._failover_worthy(answer.status):
+                shed_answer = answer
+                # shedding is not sickness: don't count it toward ejection,
+                # but a hard 5xx without Retry-After is
+                if answer.status >= 500 and "Retry-After" not in answer.headers:
+                    self.monitor.record_failure(base, f"upstream {answer.status}")
+                continue
+            if (
+                blob_match is not None
+                and not head
+                and answer.status == 200
+                and sha256_bytes(answer.body) != blob_match["digest"]
+            ):
+                self._bump("corrupt_blocked")
+                self.metrics.counter(
+                    "frontend_corrupt_blocked_total",
+                    "corrupt blob responses blocked at the edge",
+                ).inc()
+                self.monitor.record_failure(base, "served corrupt blob")
+                continue
+            self.monitor.record_success(base)
+            self._count_outcome("forwarded")
+            handler._respond(answer, head=head)
+            return
+        if shed_answer is not None:
+            # every replica is shedding: relay the backpressure honestly
+            if "Retry-After" not in shed_answer.headers:
+                shed_answer.headers["Retry-After"] = f"{self.retry_after_s:.3f}"
+            self._bump("refused")
+            self._count_outcome("all_shedding")
+            handler._respond(shed_answer, head=head)
+            return
+        self._bump("refused")
+        self._count_outcome("no_replica")
+        handler._refuse("no replica available", retry_after_s=self.retry_after_s)
+
+    def _handle_write(self, handler: _FrontendHandler, method: str) -> None:
+        self._bump("writes")
+        length_header = handler.headers.get("Content-Length")
+        if length_header is None:
+            handler._respond(
+                _UpstreamAnswer(
+                    411,
+                    {"Content-Type": "application/json"},
+                    json.dumps(
+                        {"errors": [{"code": "LENGTH_REQUIRED",
+                                     "message": "Content-Length required"}]}
+                    ).encode(),
+                )
+            )
+            return
+        body = handler.rfile.read(int(length_header))
+        headers = handler._request_headers()
+        base = self._write_primary()
+        try:
+            answer = self._attempt(
+                base, handler.path, method=method, headers=headers, body=body
+            )
+        except (urllib.error.URLError, TimeoutError, OSError) as exc:
+            self.monitor.record_failure(base, f"write forward failed: {exc}")
+            self._bump("refused")
+            self._count_outcome("write_failed")
+            handler._refuse(
+                "write primary unavailable", retry_after_s=self.retry_after_s
+            )
+            return
+        self.monitor.record_success(base)
+        self._count_outcome("forwarded")
+        handler._respond(answer)
+
+    def _count_outcome(self, outcome: str) -> None:
+        self.metrics.counter(
+            "frontend_requests_total", "requests by outcome", outcome=outcome
+        ).inc()

@@ -1,0 +1,257 @@
+"""A set of registry replicas over independent blob stores.
+
+Each :class:`Replica` is a full :class:`~repro.registry.Registry` (its own
+repositories, manifests, and blob store) plus the
+:class:`~repro.registry.http.RegistryHTTPServer` serving it. The set
+provides the three things replication is for:
+
+* **stamp-out** — :meth:`RegistryReplicaSet.from_source` clones one
+  materialized registry N ways (independent stores, so one replica's disk
+  rot cannot touch another's bytes);
+* **write fan-out** — :meth:`put_blob` / :meth:`push_manifest` apply a
+  write to every replica that is up, and remember what the down ones
+  missed;
+* **anti-entropy** — :meth:`sync` reconciles divergence after crashes and
+  repairs: every repository, tag, manifest, and blob ends up everywhere,
+  with blob content digest-verified before it is copied (a corrupt source
+  copy must not propagate).
+
+Replica processes are modeled as servers that can be *killed* (ungraceful,
+connections die) and *restarted* on the same port with the same storage —
+the in-memory upload sessions are lost, exactly like a real crash.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.obs import MetricsRegistry
+from repro.registry.blobstore import BlobStore, MemoryBlobStore
+from repro.registry.registry import Registry
+from repro.util.digest import sha256_bytes
+
+
+class Replica:
+    """One registry replica and its (restartable) HTTP server."""
+
+    def __init__(self, name: str, registry: Registry, *, server_factory=None):
+        self.name = name
+        self.registry = registry
+        #: called as ``server_factory(registry, port)`` -> RegistryHTTPServer
+        self._server_factory = server_factory or self._default_factory
+        self.server = None
+        self._port = 0  # pinned after the first start so restarts reuse it
+        self.kills = 0
+
+    @staticmethod
+    def _default_factory(registry: Registry, port: int):
+        from repro.registry.http import RegistryHTTPServer
+
+        return RegistryHTTPServer(registry, port=port)
+
+    @property
+    def alive(self) -> bool:
+        return self.server is not None
+
+    @property
+    def base_url(self) -> str:
+        if self._port == 0:
+            raise RuntimeError(f"replica {self.name} was never started")
+        return f"http://127.0.0.1:{self._port}"
+
+    def start(self):
+        if self.server is not None:
+            raise RuntimeError(f"replica {self.name} already running")
+        self.server = self._server_factory(self.registry, self._port).start()
+        self._port = self.server.port
+        return self
+
+    def stop(self) -> None:
+        """Graceful: drain in-flight requests, then close."""
+        if self.server is not None:
+            self.server.stop()
+            self.server = None
+
+    def kill(self) -> None:
+        """Crash: no drain, in-flight requests die, upload sessions vanish."""
+        if self.server is not None:
+            kill = getattr(self.server, "kill", None)
+            (kill or self.server.stop)()
+            self.server = None
+            self.kills += 1
+
+    def restart(self):
+        """Bring a killed/stopped replica back on its original port."""
+        return self.start()
+
+
+class RegistryReplicaSet:
+    """N replicas plus the write fan-out and anti-entropy between them."""
+
+    def __init__(self, replicas: list[Replica], *, metrics: MetricsRegistry | None = None):
+        if not replicas:
+            raise ValueError("a replica set needs at least one replica")
+        self.replicas = list(replicas)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_source(
+        cls,
+        source: Registry,
+        n: int,
+        *,
+        store_factory: Callable[[int], BlobStore] | None = None,
+        server_factory=None,
+        metrics: MetricsRegistry | None = None,
+    ) -> "RegistryReplicaSet":
+        """Clone *source* into *n* replicas over independent blob stores.
+
+        ``store_factory(i)`` supplies replica *i*'s store (default: a fresh
+        :class:`MemoryBlobStore` each — fully independent failure domains).
+        """
+        if n < 1:
+            raise ValueError(f"need >= 1 replica, got {n}")
+        factory = store_factory or (lambda i: MemoryBlobStore())
+        replicas = []
+        for i in range(n):
+            registry = Registry(blobstore=factory(i))
+            source.copy_into(registry)
+            replicas.append(
+                Replica(f"replica-{i}", registry, server_factory=server_factory)
+            )
+        return cls(replicas, metrics=metrics)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start_all(self) -> "RegistryReplicaSet":
+        for replica in self.replicas:
+            if not replica.alive:
+                replica.start()
+        return self
+
+    def stop_all(self) -> None:
+        for replica in self.replicas:
+            replica.stop()
+
+    def kill(self, index: int) -> Replica:
+        replica = self.replicas[index]
+        replica.kill()
+        return replica
+
+    def restart(self, index: int) -> Replica:
+        replica = self.replicas[index]
+        if not replica.alive:
+            replica.restart()
+        return replica
+
+    def endpoints(self) -> list[str]:
+        """Base URLs of every replica (started at least once), in order."""
+        return [replica.base_url for replica in self.replicas]
+
+    def live_replicas(self) -> list[Replica]:
+        return [replica for replica in self.replicas if replica.alive]
+
+    # -- write fan-out -----------------------------------------------------------
+
+    def put_blob(self, data: bytes) -> str:
+        """Store a blob on every live replica; returns its digest.
+
+        Down replicas miss the write — that is what :meth:`sync` repairs
+        when they return.
+        """
+        digest = ""
+        for replica in self.live_replicas():
+            digest = replica.registry.push_blob(data)
+        if not digest:
+            raise RuntimeError("no live replica to accept the write")
+        self.metrics.counter(
+            "replicaset_blob_writes_total", "blob writes fanned out"
+        ).inc()
+        return digest
+
+    def push_manifest(self, repo: str, tag: str, manifest) -> str:
+        """Fan a manifest (and the repo, on first sight) to live replicas."""
+        digest = ""
+        for replica in self.live_replicas():
+            registry = replica.registry
+            if repo not in registry.catalog():
+                registry.create_repository(repo)
+            digest = registry.push_manifest(repo, tag, manifest)
+        if not digest:
+            raise RuntimeError("no live replica to accept the write")
+        self.metrics.counter(
+            "replicaset_manifest_writes_total", "manifest writes fanned out"
+        ).inc()
+        return digest
+
+    # -- anti-entropy -------------------------------------------------------------
+
+    def sync(self) -> dict[str, int]:
+        """Reconcile every replica to the union of all replicas' contents.
+
+        Registry metadata (repositories, tags, manifests) is unioned via
+        :meth:`Registry.copy_into` pairwise; blobs are copied only after
+        the source copy re-hashes to its digest, so a rotted replica can
+        never infect a healthy one — its bad copy is simply not a donor,
+        and (if some replica holds a good copy) gets overwritten.
+        """
+        with self._lock:
+            registries = [replica.registry for replica in self.replicas]
+            meta = {"repositories": 0, "manifests": 0, "blobs": 0}
+            for src in registries:
+                for dst in registries:
+                    if src is dst:
+                        continue
+                    moved = src.copy_into(dst, blobs=False)
+                    for key in ("repositories", "manifests"):
+                        meta[key] += moved[key]
+            blob_copies, bad_donors = self._sync_blobs(registries)
+            meta["blobs"] = blob_copies
+            meta["corrupt_donors_skipped"] = bad_donors
+        self.metrics.counter(
+            "replicaset_sync_blob_copies_total", "blobs moved by anti-entropy"
+        ).inc(blob_copies)
+        return meta
+
+    def _sync_blobs(self, registries: list[Registry]) -> tuple[int, int]:
+        """Copy verified blob content until every store holds the union."""
+        union: set[str] = set()
+        for registry in registries:
+            union.update(registry.blobs.digests())
+        copies = 0
+        bad_donors = 0
+        for digest in sorted(union):
+            donor: bytes | None = None
+            holders = []
+            for registry in registries:
+                if not registry.blobs.has(digest):
+                    continue
+                holders.append(registry)
+                if donor is None:
+                    data = registry.blobs.get(digest)
+                    if sha256_bytes(data) == digest:
+                        donor = data
+                    else:
+                        bad_donors += 1
+            if donor is None:
+                continue  # nobody holds a good copy; the scrubber's problem
+            for registry in registries:
+                if not registry.blobs.has(digest):
+                    registry.blobs.put_at(digest, donor)
+                    copies += 1
+        return copies, bad_donors
+
+    # -- introspection -----------------------------------------------------------
+
+    def divergence(self) -> dict[str, int]:
+        """How far apart the replicas are (0 everywhere == converged)."""
+        digest_sets = [set(r.registry.blobs.digests()) for r in self.replicas]
+        union = set().union(*digest_sets)
+        intersection = set.intersection(*digest_sets) if digest_sets else set()
+        return {
+            "union_blobs": len(union),
+            "common_blobs": len(intersection),
+            "missing_somewhere": len(union - intersection),
+        }

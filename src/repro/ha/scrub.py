@@ -1,0 +1,161 @@
+"""The blob scrubber: at-rest integrity re-verification with peer repair.
+
+Content addressing makes corruption *detectable* — a blob either hashes to
+its key or it does not — but only if somebody actually re-hashes the bytes.
+Serving-path verification catches rot the moment a client asks; the
+scrubber catches it *before* anyone asks, walking every store and
+re-verifying every digest, so a bit flipped in January does not wait until
+a June pull to surface.
+
+On a mismatch the scrubber:
+
+1. **quarantines** — the rotted bytes are pulled out of the store (never
+   addressable again) and remembered with the digest they actually hash
+   to, the same quarantine discipline the downloader applies in flight;
+2. **repairs** — a healthy copy is searched for across the peer stores
+   (re-verified before use — a corrupt peer is not a donor) and written
+   back, making the damage invisible to clients;
+3. **reports** — every count lands in the :class:`ScrubReport` and the
+   metrics registry, because a scrubber that fixes things silently is a
+   scrubber nobody can trust.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.obs import MetricsRegistry
+from repro.registry.blobstore import BlobStore
+from repro.util.digest import sha256_bytes
+
+
+@dataclass
+class ScrubReport:
+    """What one scrub pass found, per store and overall."""
+
+    scanned: int = 0
+    clean: int = 0
+    corrupt: int = 0
+    repaired: int = 0
+    unrepairable: int = 0
+    #: digest -> actual digest of the quarantined bytes
+    quarantined: dict[str, str] = field(default_factory=dict)
+    #: per-store breakdown: store label -> {scanned, corrupt, repaired}
+    stores: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when every store verified clean after repairs."""
+        return self.corrupt == self.repaired
+
+    def merge(self, other: "ScrubReport") -> "ScrubReport":
+        self.scanned += other.scanned
+        self.clean += other.clean
+        self.corrupt += other.corrupt
+        self.repaired += other.repaired
+        self.unrepairable += other.unrepairable
+        self.quarantined.update(other.quarantined)
+        self.stores.update(other.stores)
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "scanned": self.scanned,
+            "clean": self.clean,
+            "corrupt": self.corrupt,
+            "repaired": self.repaired,
+            "unrepairable": self.unrepairable,
+            "quarantined": dict(sorted(self.quarantined.items())),
+            "ok": self.ok,
+        }
+
+
+class BlobScrubber:
+    """Walk blob stores re-verifying digests; quarantine and repair rot."""
+
+    def __init__(self, *, metrics: MetricsRegistry | None = None):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        #: every quarantine ever made by this scrubber: digest -> actuals
+        self.quarantine: dict[str, list[str]] = {}
+
+    # -- one store ---------------------------------------------------------------
+
+    def scrub_store(
+        self,
+        store: BlobStore,
+        *,
+        peers: list[BlobStore] | tuple[BlobStore, ...] = (),
+        label: str = "store",
+    ) -> ScrubReport:
+        """Re-verify every blob in *store*, repairing from *peers*.
+
+        A mismatching blob is deleted (quarantined) and, when some peer
+        holds a copy that re-hashes correctly, written back verified. The
+        walk snapshots the digest list up front, so repairs during the
+        pass do not disturb iteration.
+        """
+        report = ScrubReport()
+        for digest in sorted(store.digests()):
+            report.scanned += 1
+            data = store.get(digest)
+            actual = sha256_bytes(data)
+            if actual == digest:
+                report.clean += 1
+                continue
+            report.corrupt += 1
+            report.quarantined[digest] = actual
+            with self._lock:
+                self.quarantine.setdefault(digest, []).append(actual)
+            store.delete(digest)
+            self.metrics.counter(
+                "scrub_corrupt_total", "at-rest digest mismatches found",
+                store=label,
+            ).inc()
+            donor = self._find_donor(digest, peers)
+            if donor is not None:
+                store.put_at(digest, donor)
+                report.repaired += 1
+                self.metrics.counter(
+                    "scrub_repaired_total", "corrupt blobs repaired from a peer",
+                    store=label,
+                ).inc()
+            else:
+                report.unrepairable += 1
+                self.metrics.counter(
+                    "scrub_unrepairable_total",
+                    "corrupt blobs with no healthy copy anywhere",
+                    store=label,
+                ).inc()
+        self.metrics.counter(
+            "scrub_scanned_total", "blobs re-verified at rest", store=label
+        ).inc(report.scanned)
+        report.stores[label] = {
+            "scanned": report.scanned,
+            "corrupt": report.corrupt,
+            "repaired": report.repaired,
+        }
+        return report
+
+    @staticmethod
+    def _find_donor(digest: str, peers) -> bytes | None:
+        for peer in peers:
+            if not peer.has(digest):
+                continue
+            data = peer.get(digest)
+            if sha256_bytes(data) == digest:
+                return data
+        return None
+
+    # -- a whole replica set -----------------------------------------------------
+
+    def scrub_replica_set(self, replica_set) -> ScrubReport:
+        """Scrub every replica's store, each repairing from the others."""
+        stores = [replica.registry.blobs for replica in replica_set.replicas]
+        names = [replica.name for replica in replica_set.replicas]
+        total = ScrubReport()
+        for i, store in enumerate(stores):
+            peers = stores[:i] + stores[i + 1 :]
+            total.merge(self.scrub_store(store, peers=peers, label=names[i]))
+        return total

@@ -31,7 +31,7 @@ import numpy as np
 from repro.downloader.proxy import CachingProxySession
 from repro.downloader.session import NetworkModel, TransientNetworkError
 from repro.loadgen.workload import PullOp
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, counter_total
 from repro.registry.errors import RegistryError
 from repro.util.units import format_size
 
@@ -77,7 +77,15 @@ class LoadReport:
     duration_s: float = 0.0
     #: op kind -> {count, sum, mean, min, max, p50, p90, p99}
     latency: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: error class name -> count; separates shed traffic (RateLimitedError —
+    #: the server said "not now" with a price) from genuine failures
+    errors_by_type: dict[str, int] = field(default_factory=dict)
     proxy_hit_ratio: float | None = None
+
+    @property
+    def shed(self) -> int:
+        """Requests refused with backpressure (429/503 + Retry-After)."""
+        return self.errors_by_type.get("RateLimitedError", 0)
 
     @property
     def requests_per_s(self) -> float:
@@ -94,6 +102,7 @@ class LoadReport:
             "workers": self.workers,
             "requests": self.requests,
             "errors": self.errors,
+            "errors_by_type": dict(sorted(self.errors_by_type.items())),
             "bytes_total": self.bytes_total,
             "duration_s": self.duration_s,
             "requests_per_s": self.requests_per_s,
@@ -120,6 +129,12 @@ class LoadReport:
                 f"p99 {q['p99'] * 1e3:8.2f} ms   "
                 f"max {q['max'] * 1e3:8.2f} ms"
             )
+        if self.errors_by_type:
+            parts = ", ".join(
+                f"{kind} x{count}"
+                for kind, count in sorted(self.errors_by_type.items())
+            )
+            lines.append(f"  errors     {parts}")
         if self.proxy_hit_ratio is not None:
             lines.append(f"  proxy hit ratio {self.proxy_hit_ratio:6.1%}")
         return "\n".join(lines)
@@ -302,18 +317,13 @@ class LoadGenerator:
         metrics: MetricsRegistry,
     ) -> LoadReport:
         dump = metrics.to_dict()
-        requests = sum(
-            row["value"]
-            for row in dump.get("loadgen_requests_total", {}).get("series", [])
-        )
-        errors = sum(
-            row["value"]
-            for row in dump.get("loadgen_errors_total", {}).get("series", [])
-        )
-        nbytes = sum(
-            row["value"]
-            for row in dump.get("loadgen_bytes_total", {}).get("series", [])
-        )
+        requests = counter_total(metrics, "loadgen_requests_total")
+        errors = counter_total(metrics, "loadgen_errors_total")
+        nbytes = counter_total(metrics, "loadgen_bytes_total")
+        errors_by_type: dict[str, int] = {}
+        for row in dump.get("loadgen_errors_total", {}).get("series", []):
+            kind = row["labels"].get("error", "unknown")
+            errors_by_type[kind] = errors_by_type.get(kind, 0) + int(row["value"])
         latency = {
             row["labels"]["op"]: {
                 k: row[k] for k in ("count", "mean", "min", "max", "p50", "p90", "p99")
@@ -332,5 +342,6 @@ class LoadGenerator:
             bytes_total=int(nbytes),
             duration_s=duration,
             latency=latency,
+            errors_by_type=errors_by_type,
             proxy_hit_ratio=hit_ratio,
         )

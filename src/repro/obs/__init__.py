@@ -21,6 +21,7 @@ from repro.obs.metrics import (
     Histogram,
     HistogramSnapshot,
     MetricsRegistry,
+    counter_total,
     timed,
 )
 
@@ -30,5 +31,6 @@ __all__ = [
     "Histogram",
     "HistogramSnapshot",
     "MetricsRegistry",
+    "counter_total",
     "timed",
 ]

@@ -386,3 +386,20 @@ def _labelstr(labels: dict[str, str]) -> str:
         for k, v in sorted(labels.items())
     )
     return "{" + inner + "}"
+
+
+def counter_total(registry: MetricsRegistry, name: str, **labels: str) -> float:
+    """Sum a counter/gauge family across its series.
+
+    ``labels`` filters: only series whose label set includes every given
+    ``key=value`` pair contribute. A family that was never touched sums to
+    0 — absence of traffic, not an error. This is the one blessed way to
+    read a total back out of a registry; reports should use it instead of
+    hand-rolling ``to_dict()`` walks.
+    """
+    total = 0.0
+    for row in registry.to_dict().get(name, {}).get("series", []):
+        row_labels = row.get("labels", {})
+        if all(row_labels.get(k) == v for k, v in labels.items()):
+            total += row.get("value", row.get("count", 0))
+    return total

@@ -44,6 +44,14 @@ class BlobStore(abc.ABC):
         """Remove a blob (raises BlobNotFoundError when absent). Used by
         registry garbage collection."""
 
+    @abc.abstractmethod
+    def put_at(self, digest: str, data: bytes) -> None:
+        """Store *data* under *digest* WITHOUT verifying the content hashes
+        to it. Two legitimate users: replica repair/sync writing bytes that
+        were already digest-verified in hand (no point re-hashing twice per
+        hop), and fault injection planting at-rest corruption for the
+        scrubber to find. Everything else should use :meth:`put`."""
+
     def get_verified(self, digest: str) -> bytes:
         """Fetch and re-hash; raises DigestMismatchError on corruption."""
         data = self.get(digest)
@@ -91,6 +99,10 @@ class MemoryBlobStore(BlobStore):
         parse_digest(digest)
         if self._blobs.pop(digest, None) is None:
             raise BlobNotFoundError(digest)
+
+    def put_at(self, digest: str, data: bytes) -> None:
+        parse_digest(digest)
+        self._blobs[digest] = data
 
 
 class DiskBlobStore(BlobStore):
@@ -140,6 +152,13 @@ class DiskBlobStore(BlobStore):
             path.unlink()
         except FileNotFoundError:
             raise BlobNotFoundError(digest) from None
+
+    def put_at(self, digest: str, data: bytes) -> None:
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_bytes(data)
+        tmp.rename(path)
 
     def digests(self) -> Iterator[str]:
         for algo_dir in sorted(self.root.iterdir()):

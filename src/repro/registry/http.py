@@ -9,9 +9,20 @@ across a genuine network boundary:
   (GET/HEAD/PUT, with ``Docker-Content-Digest``), blobs by digest, the blob
   upload protocol (``POST /blobs/uploads/`` → ``PATCH`` chunks → ``PUT``
   finalize with digest verification), ``tags/list``, a paginated
-  ``/v2/_catalog``, the Hub web search at ``/search``, and per-endpoint
-  request counters / latency histograms exported in Prometheus text format
-  at ``/metrics``;
+  ``/v2/_catalog``, the Hub web search at ``/search``, a ``/healthz``
+  readiness probe, and per-endpoint request counters / latency histograms
+  exported in Prometheus text format at ``/metrics``;
+
+The server protects itself under load when given a
+:class:`~repro.ha.admission.ServerLimits`: a concurrency-limited admission
+gate with a bounded queue sheds excess traffic with 503 + ``Retry-After``
+(accepted requests keep a bounded p99 instead of queueing without limit),
+a per-client token bucket 429s any one client hammering the shared gate,
+request bodies are bounded (411 without ``Content-Length``, 413 past
+``max_body_bytes``), abandoned upload sessions expire on a TTL, and
+``stop()`` drains gracefully — in-flight requests finish while new ones
+are refused. ``/metrics`` and ``/healthz`` bypass the gate so
+observability and health checking survive any storm.
 * ``HTTPSession`` — the downloader-facing client with the same method
   surface (and error mapping) as
   :class:`~repro.downloader.session.SimulatedSession`;
@@ -34,6 +45,7 @@ import urllib.error
 import urllib.parse
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
 
 from repro.model.manifest import MANIFEST_MEDIA_TYPE, Manifest
 from repro.obs import MetricsRegistry
@@ -64,11 +76,20 @@ _ERROR_MAP: list[tuple[type, int, str]] = [
 ]
 
 
+#: endpoints that must answer even while shedding or draining
+_UNGATED_ENDPOINTS = ("metrics", "healthz")
+
+#: body cap applied when the server carries no ServerLimits
+_DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
 def _endpoint_of(path: str) -> str:
     """Classify a request path into a bounded endpoint label (metrics must
     not explode cardinality with per-repo paths)."""
     if path in ("/v2", "/v2/"):
         return "ping"
+    if path == "/healthz":
+        return "healthz"
     if path == "/v2/_catalog":
         return "catalog"
     if path == "/search":
@@ -84,6 +105,27 @@ def _endpoint_of(path: str) -> str:
     if _TAGS_RE.match(path):
         return "tags"
     return "other"
+
+
+class _RequestRejected(Exception):
+    """A request refused before (or instead of) normal handling."""
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        retry_after_s: float | None = None,
+        reason: str | None = None,
+    ):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.retry_after_s = retry_after_s
+        #: bounded label for the shed metric (defaults to the error code)
+        self.reason = reason if reason is not None else code.lower()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -171,8 +213,65 @@ class _Handler(BaseHTTPRequestHandler):
             self._payload_faults = faults
         return False
 
+    def _client_id(self) -> str:
+        """Who is asking — an explicit ``X-Client-Id`` (loadgen's virtual
+        clients) or the connection's source address."""
+        return self.headers.get("X-Client-Id") or self.client_address[0]
+
+    def _admit(self, endpoint: str):
+        """Run the server's overload-protection gauntlet for this request.
+
+        Returns the admission gate to ``release()`` afterwards (None when
+        ungated); raises :class:`_RequestRejected` to shed. Order matters:
+        drain refusal first (the server is going away), then the per-client
+        limiter (one hog must not reach the shared gate), then the gate.
+        """
+        owner = getattr(self.server, "owner", None)
+        if owner is None or endpoint in _UNGATED_ENDPOINTS:
+            return None
+        if owner.draining:
+            raise _RequestRejected(
+                503, "UNAVAILABLE", "server is draining",
+                retry_after_s=1.0, reason="draining",
+            )
+        limits = owner.limits
+        if limits is None:
+            return None
+        if limits.limiter is not None and not limits.limiter.allow(self._client_id()):
+            raise _RequestRejected(
+                429, "TOOMANYREQUESTS", "client over rate limit",
+                retry_after_s=limits.limiter.retry_after(self._client_id()),
+                reason="rate_limited",
+            )
+        if limits.gate is not None:
+            result = limits.gate.try_acquire(timeout_s=limits.request_deadline_s)
+            if not result.admitted:
+                raise _RequestRejected(
+                    503, "UNAVAILABLE", f"overloaded ({result.outcome})",
+                    retry_after_s=result.retry_after_s, reason=result.outcome,
+                )
+            return limits.gate
+        return None
+
+    def _reject(self, rejected: _RequestRejected, endpoint: str) -> None:
+        extra = {}
+        if rejected.retry_after_s is not None:
+            extra["Retry-After"] = f"{rejected.retry_after_s:.3f}"
+        self.server.metrics.counter(
+            "registry_http_rejected_total",
+            "requests shed or refused before handling",
+            endpoint=endpoint,
+            reason=rejected.reason,
+        ).inc()
+        self._send_json(
+            rejected.status,
+            {"errors": [{"code": rejected.code, "message": rejected.message}]},
+            extra,
+        )
+
     def _observed(self, handler) -> None:
-        """Run one request handler under per-endpoint metrics accounting."""
+        """Run one request handler under admission control and per-endpoint
+        metrics accounting."""
         metrics = self.server.metrics
         endpoint = _endpoint_of(urllib.parse.urlparse(self.path).path)
         # count on receipt, not in the finally: a client that got its bytes
@@ -183,10 +282,26 @@ class _Handler(BaseHTTPRequestHandler):
             endpoint=endpoint,
             method=self.command,
         ).inc()
+        owner = getattr(self.server, "owner", None)
         start = time.perf_counter()
         try:
-            if not self._inject_fault(endpoint):
-                handler()
+            try:
+                gate = self._admit(endpoint)
+            except _RequestRejected as rejected:
+                self._reject(rejected, endpoint)
+                return
+            if owner is not None:
+                owner._request_began()
+            try:
+                if not self._inject_fault(endpoint):
+                    handler()
+            except _RequestRejected as rejected:
+                self._reject(rejected, endpoint)
+            finally:
+                if gate is not None:
+                    gate.release()
+                if owner is not None:
+                    owner._request_ended()
         finally:
             metrics.histogram(
                 "registry_http_request_seconds",
@@ -210,7 +325,39 @@ class _Handler(BaseHTTPRequestHandler):
         self._observed(self._put)
 
     def _body(self) -> bytes:
-        length = int(self.headers.get("Content-Length", "0"))
+        """Read the request body, bounded.
+
+        A body-bearing request without ``Content-Length`` is a 411 (reading
+        until EOF on a keep-alive connection would hang; trusting zero
+        would silently drop the payload), and a declared length past the
+        server's ``max_body_bytes`` is a 413 — refused before a byte of it
+        is read.
+        """
+        header = self.headers.get("Content-Length")
+        if header is None:
+            raise _RequestRejected(
+                411, "LENGTH_REQUIRED", "Content-Length required",
+                reason="length_required",
+            )
+        try:
+            length = int(header)
+            if length < 0:
+                raise ValueError(header)
+        except ValueError:
+            raise _RequestRejected(
+                400, "BAD_REQUEST", f"bad Content-Length: {header!r}",
+                reason="bad_length",
+            ) from None
+        owner = getattr(self.server, "owner", None)
+        max_bytes = _DEFAULT_MAX_BODY_BYTES
+        if owner is not None and owner.limits is not None:
+            max_bytes = owner.limits.max_body_bytes
+        if length > max_bytes:
+            raise _RequestRejected(
+                413, "PAYLOAD_TOO_LARGE",
+                f"body of {length} bytes exceeds limit of {max_bytes}",
+                reason="body_too_large",
+            )
         return self.rfile.read(length) if length else b""
 
     def _post(self) -> None:
@@ -315,6 +462,9 @@ class _Handler(BaseHTTPRequestHandler):
             if path == "/v2/" or path == "/v2":
                 self._send_json(200, {})
                 return
+            if path == "/healthz":
+                self._healthz()
+                return
             if path == "/v2/_catalog":
                 self._catalog(query)
                 return
@@ -344,6 +494,16 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(404, {"errors": [{"code": "NOT_FOUND", "message": path}]})
         except RegistryError as exc:
             self._send_error(exc)
+
+    def _healthz(self) -> None:
+        """Readiness: 200 while serving, 503 while draining (a frontend
+        must stop routing here before the socket actually closes)."""
+        owner = getattr(self.server, "owner", None)
+        draining = owner is not None and owner.draining
+        doc = {"ready": not draining}
+        if owner is not None and owner.limits is not None and owner.limits.gate is not None:
+            doc.update(owner.limits.gate.stats())
+        self._send_json(503 if draining else 200, doc)
 
     def _manifest(self, registry: Registry, name: str, ref: str) -> None:
         manifest = registry.get_manifest(name, ref, token=self._token())
@@ -394,6 +554,8 @@ class RegistryHTTPServer:
         port: int = 0,
         metrics: MetricsRegistry | None = None,
         fault_injector=None,
+        limits: "ServerLimits | None" = None,
+        clock: Callable[[], float] = time.monotonic,
     ):
         self.registry = registry
         self.search = search if search is not None else HubSearchEngine(registry)
@@ -401,44 +563,103 @@ class RegistryHTTPServer:
         #: optional :class:`~repro.faults.injector.FaultInjector` consulted
         #: per request (any object with a compatible ``plan(op, key)``).
         self.fault_injector = fault_injector
+        #: optional :class:`~repro.ha.admission.ServerLimits` (duck-typed so
+        #: the registry package never imports :mod:`repro.ha` at module load)
+        self.limits = limits
+        self._clock = clock
+        self.draining = False
         self._httpd = ThreadingHTTPServer(("127.0.0.1", port), _Handler)
         # expose registry/search/uploads to handlers through the server object
         self._httpd.registry = registry  # type: ignore[attr-defined]
         self._httpd.search = self.search  # type: ignore[attr-defined]
         self._httpd.metrics = self.metrics  # type: ignore[attr-defined]
         self._httpd.fault_injector = fault_injector  # type: ignore[attr-defined]
-        self._uploads: dict[str, bytearray] = {}
+        self._httpd.owner = self  # type: ignore[attr-defined]
+        #: upload id -> (buffer, created-at); age-GCed so abandoned PATCH
+        #: sessions cannot grow memory forever
+        self._uploads: dict[str, tuple[bytearray, float]] = {}
         self._uploads_lock = threading.Lock()
         self._httpd.start_upload = self._start_upload  # type: ignore[attr-defined]
         self._httpd.append_upload = self._append_upload  # type: ignore[attr-defined]
         self._httpd.finish_upload = self._finish_upload  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
+
+    # -- in-flight accounting (for graceful drain) -------------------------------
+
+    def _request_began(self) -> None:
+        with self._inflight_cond:
+            self._inflight += 1
+
+    def _request_ended(self) -> None:
+        with self._inflight_cond:
+            self._inflight -= 1
+            self._inflight_cond.notify_all()
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_cond:
+            return self._inflight
 
     # -- blob upload sessions ---------------------------------------------------
+
+    @property
+    def upload_ttl_s(self) -> float:
+        return self.limits.upload_ttl_s if self.limits is not None else 300.0
 
     def _start_upload(self) -> str:
         import uuid as uuid_module
 
+        self.gc_uploads()
         upload_id = str(uuid_module.uuid4())
         with self._uploads_lock:
-            self._uploads[upload_id] = bytearray()
+            self._uploads[upload_id] = (bytearray(), self._clock())
         return upload_id
 
     def _append_upload(self, upload_id: str, chunk: bytes) -> int | None:
         with self._uploads_lock:
-            buffer = self._uploads.get(upload_id)
-            if buffer is None:
+            entry = self._uploads.get(upload_id)
+            if entry is None:
                 return None
-            buffer.extend(chunk)
-            return len(buffer)
+            entry[0].extend(chunk)
+            return len(entry[0])
 
     def _finish_upload(self, upload_id: str, final_chunk: bytes) -> bytes | None:
         with self._uploads_lock:
-            buffer = self._uploads.pop(upload_id, None)
-            if buffer is None:
+            entry = self._uploads.pop(upload_id, None)
+            if entry is None:
                 return None
-            buffer.extend(final_chunk)
-            return bytes(buffer)
+            entry[0].extend(final_chunk)
+            return bytes(entry[0])
+
+    def gc_uploads(self, *, now: float | None = None) -> int:
+        """Expire upload sessions older than the TTL; returns how many.
+
+        Runs opportunistically on each new upload start (uploads are the
+        only way the table grows, so the table stays bounded without a
+        background sweeper); also callable directly with an explicit *now*
+        for deterministic tests.
+        """
+        now = now if now is not None else self._clock()
+        ttl = self.upload_ttl_s
+        with self._uploads_lock:
+            stale = [
+                uid for uid, (_, created) in self._uploads.items()
+                if now - created >= ttl
+            ]
+            for uid in stale:
+                del self._uploads[uid]
+        if stale:
+            self.metrics.counter(
+                "registry_uploads_expired_total",
+                "abandoned upload sessions expired by TTL",
+            ).inc(len(stale))
+        return len(stale)
+
+    def upload_count(self) -> int:
+        with self._uploads_lock:
+            return len(self._uploads)
 
     @property
     def port(self) -> int:
@@ -456,6 +677,29 @@ class RegistryHTTPServer:
         return self
 
     def stop(self) -> None:
+        """Graceful shutdown: refuse new requests, let in-flight requests
+        finish (bounded by the limits' drain timeout), then close."""
+        self.draining = True
+        if self._thread is not None:
+            timeout_s = (
+                self.limits.drain_timeout_s if self.limits is not None else 5.0
+            )
+            deadline = time.monotonic() + timeout_s
+            with self._inflight_cond:
+                while self._inflight > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._inflight_cond.wait(remaining)
+            self._httpd.shutdown()
+            self._thread.join()
+            self._thread = None
+        self._httpd.server_close()
+
+    def kill(self) -> None:
+        """Ungraceful shutdown — the crash case. No drain: in-flight
+        requests may die mid-response and clients see resets, which is
+        exactly what a failover frontend must absorb."""
         if self._thread is not None:
             self._httpd.shutdown()
             self._thread.join()
@@ -530,14 +774,16 @@ def _error_from_response(exc: urllib.error.HTTPError) -> RegistryError:
     """Map a v2 error payload back onto the registry error hierarchy."""
     from repro.downloader.session import RateLimitedError, TransientNetworkError
 
-    if exc.code == 429:
-        retry_after = (exc.headers.get("Retry-After") or "0") if exc.headers else "0"
+    retry_after = exc.headers.get("Retry-After") if exc.headers else None
+    if exc.code == 429 or (exc.code == 503 and retry_after is not None):
+        # 429, or 503 carrying a Retry-After (an overloaded server load-
+        # shedding with a price): back off for what the server asked
         try:
-            retry_after_s = float(retry_after)
+            retry_after_s = float(retry_after or "0")
         except ValueError:
             retry_after_s = 0.0
         return RateLimitedError(
-            f"429 rate limited (Retry-After: {retry_after_s}s)",
+            f"{exc.code} backpressure (Retry-After: {retry_after_s}s)",
             retry_after_s=retry_after_s,
         )
     if exc.code >= 500:

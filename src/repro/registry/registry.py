@@ -77,6 +77,43 @@ class Registry:
     def push_blob(self, data: bytes) -> str:
         return self.blobs.put(data)
 
+    # -- replication -------------------------------------------------------------
+
+    def copy_into(self, other: "Registry", *, blobs: bool = True) -> dict[str, int]:
+        """Copy this registry's full contents into *other* (idempotent).
+
+        Used to stamp out replicas: repositories keep their auth flags and
+        pull counts, manifests land verbatim, and blobs transfer without
+        re-hashing (they were content-addressed on the way in). Existing
+        repositories in *other* are updated in place, so the same call
+        doubles as a crude one-way sync. Returns transfer accounting.
+
+        ``blobs=False`` copies metadata only — anti-entropy sync uses it
+        so blob transfer can go through its own digest-verified path.
+        """
+        repos = manifests = nblobs = 0
+        for repo in self._repos.values():
+            if repo.name in other._repos:
+                target = other._repos[repo.name]
+            else:
+                target = other.create_repository(
+                    repo.name,
+                    pull_count=repo.pull_count,
+                    requires_auth=repo.requires_auth,
+                )
+                repos += 1
+            target.tags.update(repo.tags)
+        for digest, data in self._manifests.items():
+            if digest not in other._manifests:
+                other._manifests[digest] = data
+                manifests += 1
+        if blobs:
+            for digest in self.blobs.digests():
+                if not other.blobs.has(digest):
+                    other.blobs.put_at(digest, self.blobs.get(digest))
+                    nblobs += 1
+        return {"repositories": repos, "manifests": manifests, "blobs": nblobs}
+
     # -- deletion + garbage collection ------------------------------------------
 
     def delete_tag(self, repo_name: str, tag: str) -> None:

@@ -186,3 +186,102 @@ class TestDownloaderIntegration:
 
     def test_circuit_open_error_is_transient(self):
         assert issubclass(CircuitOpenError, TransientNetworkError)
+
+
+class TestHalfOpenProbeAccounting:
+    """Regression: a half-open probe that ends with *no* verdict (e.g. a
+    429) used to leak its probe slot, leaving the breaker stuck half-open
+    and refusing all traffic forever."""
+
+    def test_acquire_is_atomic_about_probehood(self, clock):
+        breaker = CircuitBreaker(clock=clock)
+        assert breaker.acquire() == (True, False)  # closed: not a probe
+        breaker = tripped(clock)
+        clock.t = 1.0
+        assert breaker.acquire() == (True, True)  # half-open: the probe
+        assert breaker.acquire() == (False, False)  # quota spent
+
+    def test_release_probe_returns_the_slot(self, clock):
+        breaker = tripped(clock)
+        clock.t = 1.0
+        allowed, is_probe = breaker.acquire()
+        assert allowed and is_probe
+        assert not breaker.acquire()[0]
+        breaker.release_probe()
+        # the slot is usable again: the breaker is not bricked
+        assert breaker.acquire() == (True, True)
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_release_probe_is_a_noop_after_a_verdict(self, clock):
+        breaker = tripped(clock)
+        clock.t = 1.0
+        breaker.acquire()
+        breaker.record_success()  # verdict: closed
+        breaker.release_probe()  # late release must not corrupt state
+        assert breaker.state == CLOSED
+        assert breaker.acquire() == (True, False)
+
+    def test_concurrent_acquire_admits_exactly_one_probe(self, clock):
+        import threading
+
+        breaker = tripped(clock)
+        clock.t = 1.0
+        results = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            results.append(breaker.acquire())
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sum(1 for allowed, is_probe in results if allowed) == 1
+        assert sum(1 for allowed, is_probe in results if is_probe) == 1
+
+    def test_rate_limited_probe_does_not_brick_the_downloader(self, clock):
+        """End to end: the breaker trips, cools down, and its single probe
+        hits a 429. The downloader must hand the slot back so the retry
+        can probe again and close the circuit."""
+        from repro.downloader.session import RateLimitedError
+        from repro.model.manifest import Manifest, ManifestLayerRef
+        from repro.registry.tarball import layer_from_files
+
+        reg = Registry()
+        layer, blob = layer_from_files([("f", b"data" * 100)])
+        reg.push_blob(blob)
+        manifest = Manifest(
+            layers=(ManifestLayerRef(digest=layer.digest, size=layer.compressed_size),)
+        )
+        reg.create_repository("user/app")
+        reg.push_manifest("user/app", "latest", manifest)
+
+        script = ["down", "down", "rate-limited"]  # then healthy
+
+        class MoodySession(SimulatedSession):
+            def get_manifest(self, repo, reference):
+                if script:
+                    mood = script.pop(0)
+                    if mood == "down":
+                        raise TransientNetworkError("down")
+                    raise RateLimitedError("busy", retry_after_s=0.01)
+                return super().get_manifest(repo, reference)
+
+        def sleep(seconds):
+            clock.t += seconds
+
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=0.05, clock=clock)
+        downloader = Downloader(
+            MoodySession(reg),
+            max_retries=10,
+            breaker=breaker,
+            sleep=sleep,
+            clock=clock,
+        )
+        image = downloader.download_image("user/app")
+        assert image is not None
+        assert breaker.state == CLOSED
+        assert downloader.stats.rate_limited == 1

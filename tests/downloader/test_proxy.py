@@ -167,3 +167,60 @@ class TestSingleFlight:
             proxy.get_blob(digest)
         # the failed flight must not wedge the digest: next call succeeds
         assert proxy.get_blob(digest)
+
+    def test_waiters_get_the_leaders_error_not_a_hang(self, upstream):
+        """If the leader's upstream fetch raises, every coalesced waiter
+        must be woken with that error — not left waiting on a flight that
+        will never complete — and the flight must be torn down so the next
+        request retries upstream."""
+        session, manifests = upstream
+        digest = manifests["user/a"].layers[0].digest
+
+        class ExplodingUpstream:
+            def __init__(self, inner):
+                self.inner = inner
+                self.release = threading.Event()
+                self.calls = 0
+                self.explode = True
+                self._lock = threading.Lock()
+
+            def get_blob(self, d):
+                with self._lock:
+                    self.calls += 1
+                self.release.wait(timeout=10)
+                if self.explode:
+                    self.explode = False
+                    raise ConnectionResetError("upstream died mid-flight")
+                return self.inner.get_blob(d)
+
+        exploding = ExplodingUpstream(session)
+        proxy = CachingProxySession(exploding)
+        outcomes: list[BaseException | bytes] = []
+        lock = threading.Lock()
+
+        def puller():
+            try:
+                blob = proxy.get_blob(digest)
+            except BaseException as exc:  # noqa: BLE001 - recording verbatim
+                with lock:
+                    outcomes.append(exc)
+            else:
+                with lock:
+                    outcomes.append(blob)
+
+        threads = [threading.Thread(target=puller) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for _ in range(1000):
+            if exploding.calls:
+                break
+            threading.Event().wait(0.005)
+        exploding.release.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(outcomes) == 6  # nobody hung
+        assert all(isinstance(o, ConnectionResetError) for o in outcomes)
+        assert exploding.calls == 1  # one flight, one upstream touch
+        # the flight is gone: a fresh request goes upstream and succeeds
+        assert proxy.get_blob(digest)
+        assert exploding.calls == 2

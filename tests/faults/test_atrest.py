@@ -1,0 +1,76 @@
+"""Tests for deterministic at-rest blob corruption."""
+
+import pytest
+
+from repro.faults import corrupt_at_rest, corrupt_some_at_rest
+from repro.registry.blobstore import MemoryBlobStore
+from repro.registry.errors import BlobNotFoundError
+from repro.util.digest import sha256_bytes
+
+
+def store_with(*payloads: bytes) -> MemoryBlobStore:
+    store = MemoryBlobStore()
+    for payload in payloads:
+        store.put(payload)
+    return store
+
+
+class TestCorruptAtRest:
+    def test_flips_exactly_one_bit(self):
+        data = b"some layer content"
+        store = store_with(data)
+        digest = sha256_bytes(data)
+        rotted = corrupt_at_rest(store, digest, seed=1)
+        assert store.get(digest) == rotted
+        assert rotted != data
+        diff = [a ^ b for a, b in zip(rotted, data)]
+        assert sum(bin(d).count("1") for d in diff) == 1
+
+    def test_digest_key_no_longer_matches_the_content(self):
+        data = b"some layer content"
+        store = store_with(data)
+        digest = sha256_bytes(data)
+        corrupt_at_rest(store, digest, seed=1)
+        assert sha256_bytes(store.get(digest)) != digest
+
+    def test_deterministic_per_seed_and_digest(self):
+        data = b"some layer content"
+        digest = sha256_bytes(data)
+        one = corrupt_at_rest(store_with(data), digest, seed=7)
+        two = corrupt_at_rest(store_with(data), digest, seed=7)
+        other_seed = corrupt_at_rest(store_with(data), digest, seed=8)
+        assert one == two
+        assert one != other_seed
+
+    def test_missing_blob_raises(self):
+        with pytest.raises(BlobNotFoundError):
+            corrupt_at_rest(MemoryBlobStore(), "sha256:" + "0" * 64)
+
+    def test_empty_blob_raises(self):
+        store = MemoryBlobStore()
+        digest = store.put(b"")
+        with pytest.raises(ValueError):
+            corrupt_at_rest(store, digest)
+
+
+class TestCorruptSomeAtRest:
+    def test_corrupts_count_distinct_victims(self):
+        store = store_with(b"a", b"bb", b"ccc", b"dddd")
+        victims = corrupt_some_at_rest(store, count=3, seed=2)
+        assert len(victims) == 3
+        assert len(set(victims)) == 3
+        for digest in victims:
+            assert sha256_bytes(store.get(digest)) != digest
+
+    def test_count_capped_at_store_size(self):
+        store = store_with(b"a", b"bb")
+        assert len(corrupt_some_at_rest(store, count=10, seed=0)) == 2
+
+    def test_empty_store_is_a_noop(self):
+        assert corrupt_some_at_rest(MemoryBlobStore(), count=3) == []
+
+    def test_deterministic_victim_selection(self):
+        payloads = (b"a", b"bb", b"ccc", b"dddd", b"eeeee")
+        first = corrupt_some_at_rest(store_with(*payloads), count=2, seed=5)
+        second = corrupt_some_at_rest(store_with(*payloads), count=2, seed=5)
+        assert first == second

@@ -1,0 +1,75 @@
+"""End-to-end tests for the cluster exercise and the overload exercise.
+
+These spin up real HTTP servers, so the exercise runs once (module-scoped
+fixture, small request count) and the tests assert against the reports.
+The heavier configuration runs in CI's cluster-smoke job.
+
+The exercise needs 3 replicas: with fewer, killing one leaves the
+corrupted replica as the only live copy and the degraded phase cannot
+serve the rotted blob from a healthy peer.
+"""
+
+import json
+
+import pytest
+
+from repro.ha.cluster import run_cluster, run_overload
+
+
+@pytest.fixture(scope="module")
+def reports():
+    first = run_cluster(seed=5, replicas=3, requests=12, corrupt_count=1)
+    second = run_cluster(seed=5, replicas=3, requests=12, corrupt_count=1)
+    return first, second
+
+
+class TestClusterExercise:
+    def test_survives_kill_and_corruption(self, reports):
+        report, _ = reports
+        assert report.ok, report.render()
+        names = {inv.name for inv in report.invariants}
+        assert "zero_corrupt_served" in names
+        assert "rot_detected_and_repaired" in names
+        totals = report.totals()
+        assert totals["corrupt"] == 0
+        assert totals["succeeded"] / max(1, totals["attempted"]) >= 0.99
+
+    def test_report_is_deterministic_for_a_fixed_seed(self, reports):
+        first, second = reports
+        assert first.ok and second.ok
+        assert json.dumps(first.seeded_core(), sort_keys=True) == json.dumps(
+            second.seeded_core(), sort_keys=True
+        )
+
+    def test_report_surface(self, reports):
+        report, _ = reports
+        doc = report.to_dict()
+        assert doc["seed"] == 5
+        assert doc["replicas"] == 3
+        assert set(report.phases) == {"A:healthy", "B:degraded", "C:healed"}
+        assert report.degraded_write.startswith("sha256:")
+        rendered = report.render()
+        assert "cluster exercise" in rendered
+        assert "invariants" in rendered
+        json.loads(report.to_json())
+
+
+class TestOverloadExercise:
+    def test_sheds_and_bounds_latency(self):
+        report = run_overload(
+            seed=2,
+            requests=120,
+            arrival_rate_rps=600.0,
+            workers=16,
+            max_concurrent=2,
+            max_queue=4,
+            queue_timeout_s=0.04,
+            service_latency_s=0.02,
+        )
+        assert report.ok, report.render()
+        assert report.shed_server > 0
+        assert report.completed > 0
+        assert report.server_p99_s <= report.p99_bound_s
+        doc = report.to_dict()
+        assert doc["ok"] is True
+        assert "overload exercise" in report.render()

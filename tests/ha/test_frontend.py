@@ -1,0 +1,173 @@
+"""Integration tests for the failover frontend (real sockets)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.ha.frontend import FailoverFrontend
+from repro.ha.health import HealthMonitor
+from repro.ha.replica import RegistryReplicaSet
+from repro.model.manifest import Manifest, ManifestLayerRef
+from repro.registry.registry import Registry
+from repro.util.digest import sha256_bytes
+
+BLOB = b"the one true layer"
+
+
+def seeded_registry() -> Registry:
+    registry = Registry()
+    digest = registry.push_blob(BLOB)
+    registry.create_repository("library/app")
+    manifest = Manifest(layers=(ManifestLayerRef(digest=digest, size=len(BLOB)),))
+    registry.push_manifest("library/app", "latest", manifest)
+    return registry
+
+
+@pytest.fixture
+def cluster():
+    replica_set = RegistryReplicaSet.from_source(seeded_registry(), 2).start_all()
+    monitor = HealthMonitor(replica_set.endpoints(), eject_after=2)
+    frontend = FailoverFrontend(
+        replica_set.endpoints(), monitor=monitor, timeout_s=2.0
+    ).start()
+    yield replica_set, monitor, frontend
+    frontend.stop()
+    replica_set.stop_all()
+
+
+def get(url: str) -> tuple[int, bytes, dict]:
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return response.status, response.read(), dict(response.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read(), dict(exc.headers or {})
+
+
+class TestHappyPath:
+    def test_blob_get_forwards(self, cluster):
+        _, _, frontend = cluster
+        digest = sha256_bytes(BLOB)
+        status, body, _ = get(f"{frontend.base_url}/v2/library/app/blobs/{digest}")
+        assert status == 200
+        assert body == BLOB
+
+    def test_manifest_get_forwards_with_headers(self, cluster):
+        _, _, frontend = cluster
+        status, body, headers = get(
+            f"{frontend.base_url}/v2/library/app/manifests/latest"
+        )
+        assert status == 200
+        assert "Docker-Content-Digest" in headers
+        assert Manifest.from_json(body).layer_digests
+
+    def test_reads_round_robin_across_replicas(self, cluster):
+        replica_set, _, frontend = cluster
+        for _ in range(4):
+            get(f"{frontend.base_url}/v2/")
+        counts = [
+            replica.server.metrics.to_dict()
+            .get("registry_http_requests_total", {})
+            .get("series", [])
+            for replica in replica_set.replicas
+        ]
+        served = [sum(row["value"] for row in rows) for rows in counts]
+        assert all(n > 0 for n in served)
+
+    def test_authoritative_404_forwards_without_failover(self, cluster):
+        _, _, frontend = cluster
+        status, _, _ = get(f"{frontend.base_url}/v2/library/app/manifests/nope")
+        assert status == 404
+        assert frontend.stats["failovers"] == 0
+
+
+class TestFailover:
+    def test_read_survives_a_killed_replica(self, cluster):
+        replica_set, _, frontend = cluster
+        replica_set.kill(0)
+        digest = sha256_bytes(BLOB)
+        for _ in range(4):
+            status, body, _ = get(
+                f"{frontend.base_url}/v2/library/app/blobs/{digest}"
+            )
+            assert status == 200
+            assert body == BLOB
+        assert frontend.stats["failovers"] >= 1
+
+    def test_killed_replica_gets_ejected_passively(self, cluster):
+        replica_set, monitor, frontend = cluster
+        replica_set.kill(0)
+        for _ in range(6):
+            get(f"{frontend.base_url}/v2/")
+        dead_url = replica_set.replicas[0].base_url
+        assert dead_url not in monitor.live()
+
+    def test_all_replicas_down_is_a_503_with_retry_after(self, cluster):
+        replica_set, _, frontend = cluster
+        replica_set.kill(0)
+        replica_set.kill(1)
+        status, body, headers = get(f"{frontend.base_url}/v2/")
+        assert status == 503
+        assert "Retry-After" in headers
+        assert json.loads(body)["errors"][0]["code"] == "UNAVAILABLE"
+
+
+class TestEdgeIntegrity:
+    def test_corrupt_blob_is_blocked_and_served_from_the_peer(self, cluster):
+        replica_set, _, frontend = cluster
+        digest = sha256_bytes(BLOB)
+        replica_set.replicas[0].registry.blobs.put_at(digest, b"rotten bytes!")
+        for _ in range(4):
+            status, body, _ = get(
+                f"{frontend.base_url}/v2/library/app/blobs/{digest}"
+            )
+            assert status == 200
+            assert body == BLOB  # never the rot
+        assert frontend.stats["corrupt_blocked"] >= 1
+
+    def test_corruption_everywhere_is_a_refusal_not_a_corrupt_body(self, cluster):
+        replica_set, _, frontend = cluster
+        digest = sha256_bytes(BLOB)
+        for replica in replica_set.replicas:
+            replica.registry.blobs.put_at(digest, b"rotten bytes!")
+        status, body, _ = get(f"{frontend.base_url}/v2/library/app/blobs/{digest}")
+        assert status == 503
+        assert body != b"rotten bytes!"
+
+
+class TestWrites:
+    def test_push_through_the_frontend_lands_on_the_primary(self, cluster):
+        from repro.registry.http import HTTPSession
+
+        replica_set, _, frontend = cluster
+        session = HTTPSession(frontend.base_url, timeout=5.0)
+        digest = session.push_blob(b"fresh upload")
+        primary = replica_set.replicas[0]
+        assert primary.registry.blobs.has(digest)
+
+    def test_write_without_content_length_is_411(self, cluster):
+        import http.client
+
+        _, _, frontend = cluster
+        conn = http.client.HTTPConnection("127.0.0.1", frontend.port, timeout=5)
+        conn.putrequest("POST", "/v2/library/app/blobs/uploads/")
+        conn.endheaders()
+        response = conn.getresponse()
+        assert response.status == 411
+        conn.close()
+
+
+class TestSurface:
+    def test_needs_at_least_one_endpoint(self):
+        with pytest.raises(ValueError):
+            FailoverFrontend([])
+
+    def test_context_manager(self):
+        replica_set = RegistryReplicaSet.from_source(seeded_registry(), 2).start_all()
+        try:
+            with FailoverFrontend(replica_set.endpoints()) as frontend:
+                status, _, _ = get(f"{frontend.base_url}/v2/")
+                assert status == 200
+        finally:
+            replica_set.stop_all()

@@ -1,0 +1,100 @@
+"""Unit tests for replica health tracking (scripted probes, no sockets)."""
+
+import pytest
+
+from repro.ha.health import EJECTED, LIVE, HealthMonitor
+
+
+def scripted_monitor(verdicts: dict[str, list[bool]], **kwargs) -> HealthMonitor:
+    """A monitor whose probe replays per-url verdict scripts (last value
+    repeats once the script runs out)."""
+
+    def probe(url: str, timeout_s: float):
+        script = verdicts[url]
+        ok = script.pop(0) if len(script) > 1 else script[0]
+        return ok, "scripted"
+
+    return HealthMonitor(list(verdicts), probe=probe, **kwargs)
+
+
+class TestEjection:
+    def test_ejects_after_consecutive_probe_failures(self):
+        monitor = scripted_monitor({"a": [False], "b": [True]}, eject_after=2)
+        monitor.probe_all()
+        assert monitor.live() == ["a", "b"]  # one strike is not enough
+        monitor.probe_all()
+        assert monitor.live() == ["b"]
+        assert monitor.health("a").state == EJECTED
+        assert monitor.health("a").ejections == 1
+
+    def test_passive_failures_count_toward_ejection(self):
+        monitor = scripted_monitor({"a": [True]}, eject_after=2)
+        monitor.record_failure("a", "connection refused")
+        monitor.record_failure("a", "connection refused")
+        assert monitor.live() == []
+        assert monitor.health("a").last_error == "connection refused"
+
+    def test_success_resets_the_streak(self):
+        monitor = scripted_monitor({"a": [True]}, eject_after=2)
+        monitor.record_failure("a")
+        monitor.record_success("a")
+        monitor.record_failure("a")
+        assert monitor.live() == ["a"]
+
+
+class TestReinstatement:
+    def test_only_probe_successes_reinstate(self):
+        monitor = scripted_monitor({"a": [False]}, eject_after=1, reinstate_after=2)
+        monitor.probe_all()
+        assert monitor.health("a").state == EJECTED
+        # passive success must not reinstate (no traffic routes there anyway)
+        monitor.record_success("a")
+        monitor.record_success("a")
+        assert monitor.health("a").state == EJECTED
+
+    def test_probes_reinstate_after_threshold(self):
+        monitor = scripted_monitor(
+            {"a": [False, True, True]}, eject_after=1, reinstate_after=2
+        )
+        monitor.probe_all()
+        assert monitor.health("a").state == EJECTED
+        monitor.probe_all()
+        assert monitor.health("a").state == EJECTED  # one good probe: not yet
+        monitor.probe_all()
+        assert monitor.health("a").state == LIVE
+        assert monitor.health("a").reinstatements == 1
+
+    def test_probe_until_live(self):
+        monitor = scripted_monitor(
+            {"a": [False, True, True]}, eject_after=1, reinstate_after=2
+        )
+        monitor.probe_all()
+        assert monitor.probe_until_live("a")
+        assert monitor.health("a").state == LIVE
+
+    def test_probe_until_live_gives_up_on_failure(self):
+        monitor = scripted_monitor({"a": [False]}, eject_after=1)
+        monitor.probe_all()
+        assert not monitor.probe_until_live("a")
+
+
+class TestSurface:
+    def test_snapshot_and_order(self):
+        monitor = scripted_monitor({"a": [True], "b": [True]})
+        snap = monitor.snapshot()
+        assert [row["url"] for row in snap] == ["a", "b"]
+        assert all(row["state"] == LIVE for row in snap)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HealthMonitor(["a"], eject_after=0)
+        with pytest.raises(ValueError):
+            HealthMonitor(["a"], reinstate_after=0)
+
+    def test_metrics_gauge_tracks_state(self):
+        from repro.obs import counter_total
+
+        monitor = scripted_monitor({"a": [False]}, eject_after=1)
+        monitor.probe_all()
+        assert counter_total(monitor.metrics, "replica_ejections_total") == 1
+        assert counter_total(monitor.metrics, "replica_live", replica="a") == 0

@@ -1,0 +1,105 @@
+"""Unit tests for the at-rest blob scrubber."""
+
+from repro.faults import corrupt_at_rest
+from repro.ha.replica import RegistryReplicaSet
+from repro.ha.scrub import BlobScrubber
+from repro.obs import counter_total
+from repro.registry.blobstore import MemoryBlobStore
+from repro.util.digest import sha256_bytes
+
+
+def store_with(*payloads: bytes) -> MemoryBlobStore:
+    store = MemoryBlobStore()
+    for payload in payloads:
+        store.put(payload)
+    return store
+
+
+class TestScrubStore:
+    def test_clean_store_stays_untouched(self):
+        store = store_with(b"a", b"bb", b"ccc")
+        report = BlobScrubber().scrub_store(store)
+        assert report.scanned == 3
+        assert report.clean == 3
+        assert report.corrupt == 0
+        assert report.ok
+
+    def test_corrupt_blob_is_quarantined_and_repaired_from_peer(self):
+        data = b"the payload"
+        store = store_with(data)
+        peer = store_with(data)
+        digest = sha256_bytes(data)
+        corrupt_at_rest(store, digest, seed=1)
+        scrubber = BlobScrubber()
+        report = scrubber.scrub_store(store, peers=[peer], label="primary")
+        assert report.corrupt == 1
+        assert report.repaired == 1
+        assert report.ok
+        assert store.get(digest) == data  # repaired in place
+        assert digest in report.quarantined
+        assert digest in scrubber.quarantine
+        assert counter_total(
+            scrubber.metrics, "scrub_repaired_total", store="primary"
+        ) == 1
+
+    def test_unrepairable_without_a_healthy_peer(self):
+        data = b"the payload"
+        store = store_with(data)
+        digest = sha256_bytes(data)
+        corrupt_at_rest(store, digest, seed=1)
+        report = BlobScrubber().scrub_store(store)
+        assert report.corrupt == 1
+        assert report.unrepairable == 1
+        assert not report.ok
+        # quarantined: the rotted bytes are no longer addressable
+        assert not store.has(digest)
+
+    def test_a_corrupt_peer_is_not_a_donor(self):
+        data = b"the payload"
+        digest = sha256_bytes(data)
+        store = store_with(data)
+        corrupt_at_rest(store, digest, seed=1)
+        bad_peer = MemoryBlobStore()
+        bad_peer.put_at(digest, b"also rotten")
+        good_peer = store_with(data)
+        report = BlobScrubber().scrub_store(store, peers=[bad_peer, good_peer])
+        assert report.repaired == 1
+        assert store.get(digest) == data
+
+
+class TestScrubReplicaSet:
+    def test_replicas_repair_each_other(self):
+        from tests.ha.test_replica import fake_factory, seeded_registry
+
+        replica_set = RegistryReplicaSet.from_source(
+            seeded_registry(), 3, server_factory=fake_factory
+        )
+        digest = next(iter(replica_set.replicas[0].registry.blobs.digests()))
+        original = replica_set.replicas[0].registry.blobs.get(digest)
+        corrupt_at_rest(replica_set.replicas[1].registry.blobs, digest, seed=3)
+        report = BlobScrubber().scrub_replica_set(replica_set)
+        assert report.corrupt == 1
+        assert report.repaired == 1
+        assert report.ok
+        assert replica_set.replicas[1].registry.blobs.get(digest) == original
+        assert set(report.stores) == {"replica-0", "replica-1", "replica-2"}
+
+
+class TestReportSurface:
+    def test_merge_accumulates(self):
+        data = b"zz"
+        store = store_with(data)
+        corrupt_at_rest(store, sha256_bytes(data), seed=0)
+        scrubber = BlobScrubber()
+        one = scrubber.scrub_store(store_with(b"a"), label="a")
+        two = scrubber.scrub_store(store, label="b")
+        merged = one.merge(two)
+        assert merged.scanned == 2
+        assert merged.corrupt == 1
+        assert set(merged.stores) == {"a", "b"}
+
+    def test_to_dict_round_trips(self):
+        report = BlobScrubber().scrub_store(store_with(b"a"))
+        doc = report.to_dict()
+        assert doc["scanned"] == 1
+        assert doc["ok"] is True

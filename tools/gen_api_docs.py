@@ -157,6 +157,63 @@ every repo pulled, metrics agree); the exit code is 1 on any violation.
 must converge to the uninterrupted report. The whole run is virtual-time
 deterministic: same seed, byte-identical report across processes.""",
     ),
+    (
+        "Operating a replicated registry",
+        """\
+`repro.ha` turns the single registry server into a small highly-available
+deployment. `RegistryReplicaSet.from_source(registry, n)` stamps out *n*
+`RegistryHTTPServer` replicas over **independent** blob stores (separate
+failure domains), fans writes out to every live replica, and reconciles
+divergence with `sync()` — a pairwise anti-entropy pass that unions
+metadata and copies missing blobs only through digest-verified donors, so
+a rotted copy is never propagated (`corrupt_donors_skipped`).
+
+Clients talk to one address: `FailoverFrontend`, an HTTP load balancer
+that round-robins reads across live replicas and retries idempotent GETs
+on the next replica when one answers with a connection error or a hard
+5xx (404s and auth errors are authoritative and forwarded as-is). The
+frontend re-hashes every blob body against the digest in the URL before
+forwarding — a corrupt copy is blocked at the edge, counted
+(`frontend_corrupt_blocked_total`), and fetched from a healthy peer
+instead; zero corrupt bytes ever reach a client. Writes stick to one
+primary, because upload sessions are per-server state. Liveness is
+tracked by a `HealthMonitor`: active probes (`/v2/` + `/healthz`) and
+passive data-path failures both count toward ejection after
+`eject_after` consecutive strikes, but an ejected replica is reinstated
+*only* by `reinstate_after` consecutive **probe** successes — passive
+evidence can't vouch for a replica that receives no traffic.
+
+Each replica protects itself under overload. `ServerLimits` bundles an
+`AdmissionGate` (bounded concurrency + bounded wait queue; excess sheds
+`503` with an honest `Retry-After`), a per-client `TokenBucketLimiter`
+(`429`, keyed on `X-Client-Id` or source address), a `max_body_bytes`
+cap (`411` without a `Content-Length`, `413` past the cap, refused
+before the body is read), and a TTL that garbage-collects abandoned
+upload sessions. `stop()` drains gracefully: readiness (`/healthz`)
+flips to 503 so the frontend routes away, in-flight requests finish,
+then the socket closes. `/metrics` and `/healthz` bypass every limit.
+
+At-rest rot is the scrubber's job: `BlobScrubber.scrub_replica_set(...)`
+re-hashes every stored blob, quarantines mismatches (the bad bytes stop
+being addressable), and repairs each from a digest-verified peer copy,
+reporting `scanned/corrupt/repaired/unrepairable`. Inject the fault it
+exists for with `repro.faults.corrupt_at_rest` /
+`corrupt_some_at_rest` (deterministic single-bit flips).
+
+`repro cluster --replicas 3 --seed 7` exercises the whole story: phase A
+serves healthy traffic, then one replica is killed and blobs on another
+are rotted at rest; phase B must keep answering through failover with
+the corruption blocked at the edge; the scrubber repairs the rot, the
+killed replica restarts, anti-entropy converges it, probes reinstate it;
+phase C verifies the healed cluster (including a blob written during the
+outage). The run asserts invariants — zero corrupt blobs served, ≥99%
+GET success after retries, rot detected *and* repaired, replicas
+converged, the dead replica reinstated — and exits 1 on any violation;
+the seeded core of the report is byte-identical across runs. Add
+`--overload` for the second exercise: open-loop arrivals far past
+capacity against a limits-protected server, asserting the server sheds
+rather than melts and the p99 of handled requests stays bounded.""",
+    ),
 ]
 
 
