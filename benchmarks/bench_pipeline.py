@@ -1,5 +1,6 @@
 """Benchmarks for the §III pipeline: dataset totals (Table-1-style) plus the
-throughput of generation, download, and analysis."""
+throughput of generation, download, and analysis — including the sharded
+layer-analysis path and its persistent profile cache."""
 
 import pytest
 
@@ -68,3 +69,53 @@ class TestPipelineThroughput:
         # §III-B failure split: no-latest dominates auth
         assert stats.failed_no_latest > stats.failed_auth
         assert stats.failed / stats.attempted == pytest.approx(0.239, abs=0.08)
+
+
+class TestShardedAnalysis:
+    def test_warm_cache_analysis(self, benchmark, tmp_path, capsys):
+        """Sharded analysis with the profile cache: the warm re-analysis is
+        what longitudinal re-runs pay, and should extract nothing."""
+        from repro.analyzer.analyzer import Analyzer
+        from repro.analyzer.cache import ProfileCache
+        from repro.crawler.crawler import HubCrawler
+        from repro.downloader.downloader import Downloader
+        from repro.downloader.session import SimulatedSession
+        from repro.parallel.pool import ParallelConfig
+        from repro.registry.search import HubSearchEngine
+        from repro.synth.materialize import materialize_registry
+        from repro.util.timer import Timer
+
+        config = SyntheticHubConfig.tiny(seed=3)
+        registry, _ = materialize_registry(
+            generate_dataset(config),
+            fail_share=config.fail_share,
+            fail_auth_share=config.fail_auth_share,
+            seed=config.seed,
+        )
+        crawl = HubCrawler(HubSearchEngine(registry, seed=config.seed)).crawl()
+        downloader = Downloader(SimulatedSession(registry, seed=config.seed))
+        images = downloader.download_all(crawl.repositories)
+        parallel = ParallelConfig(mode="thread", chunk_size=8, min_parallel_items=0)
+
+        def analyze():
+            analyzer = Analyzer(
+                downloader.dest,
+                parallel=parallel,
+                cache=ProfileCache(tmp_path / "cache"),
+            )
+            return analyzer.analyze(images)
+
+        with Timer() as cold_t:
+            cold = analyze()
+        warm = benchmark.pedantic(analyze, rounds=1, iterations=1)
+
+        stats = warm.cache_stats
+        skip = stats["hits"] / (stats["hits"] + stats["misses"])
+        with capsys.disabled():
+            print()
+            print("sharded analysis  cold vs warm profile cache (tiny scale)")
+            print(f"  layers                 {cold.n_layers}")
+            print(f"  cold extract+profile   {cold_t.elapsed:.3f}s")
+            print(f"  warm (cache) re-run    skip {skip:.1%}")
+        assert skip >= 0.9
+        assert warm.dataset.layer_fls.tolist() == cold.dataset.layer_fls.tolist()

@@ -1,6 +1,7 @@
 """The analyzer: decompress layers, build layer/image profiles (§III-C)."""
 
 from repro.analyzer.analyzer import AnalysisResult, Analyzer
+from repro.analyzer.cache import ProfileCache, ProfileCacheStats
 from repro.analyzer.extract import extract_and_profile
 from repro.analyzer.profiles import (
     DirectoryRecord,
@@ -8,6 +9,14 @@ from repro.analyzer.profiles import (
     ImageProfile,
     LayerProfile,
     ProfileStore,
+    layer_profile_from_json,
+    layer_profile_to_json,
+)
+from repro.analyzer.shard import (
+    LayerShard,
+    ShardProfileResult,
+    build_shards,
+    profile_shard,
 )
 
 __all__ = [
@@ -17,6 +26,14 @@ __all__ = [
     "FileRecord",
     "ImageProfile",
     "LayerProfile",
+    "LayerShard",
+    "ProfileCache",
+    "ProfileCacheStats",
     "ProfileStore",
+    "ShardProfileResult",
+    "build_shards",
     "extract_and_profile",
+    "layer_profile_from_json",
+    "layer_profile_to_json",
+    "profile_shard",
 ]

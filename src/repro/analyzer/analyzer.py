@@ -3,18 +3,29 @@
 Mirrors §III-C's two-phase structure: layers are extracted/profiled once
 (in parallel — extraction and hashing are the CPU cost), image profiles are
 then assembled from manifest metadata plus pointers to the layer profiles.
+
+The layer phase is sharded: unique digests (minus profile-cache hits) are
+partitioned into size-balanced batches (:func:`~repro.analyzer.shard
+.build_shards`), dispatched through :func:`~repro.parallel.pool.map_shards`
+to the module-level worker :func:`~repro.analyzer.shard.profile_shard` —
+picklable, so ``mode="process"`` genuinely fans extraction out over cores —
+and merged back deterministically in first-seen digest order, so serial,
+thread, and process runs produce byte-identical datasets.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 
-from repro.analyzer.extract import extract_and_profile
-from repro.analyzer.profiles import ImageProfile, ProfileStore
+from repro.analyzer.cache import ProfileCache
+from repro.analyzer.profiles import ImageProfile, LayerProfile, ProfileStore
+from repro.analyzer.shard import build_shards, profile_shard
 from repro.downloader.downloader import DownloadedImage
 from repro.filetypes.catalog import TypeCatalog, default_catalog
 from repro.model.dataset import HubDataset
-from repro.parallel.pool import ParallelConfig, parallel_map
+from repro.obs import MetricsRegistry
+from repro.parallel.pool import ParallelConfig, map_shards
 from repro.registry.blobstore import BlobStore
 
 
@@ -26,12 +37,15 @@ class AnalysisResult:
     (missing, corrupt gzip, malformed tar); ``skipped_images`` the images
     that referenced them. At 1.8 M real-world layers some breakage is a
     certainty, and a 30-day analysis job must survive it.
+    ``cache_stats`` is the profile-cache accounting for this run (all
+    zeros when no cache was configured).
     """
 
     store: ProfileStore
     dataset: HubDataset
     failed_layers: dict[str, str] = None  # type: ignore[assignment]
     skipped_images: list[str] = None  # type: ignore[assignment]
+    cache_stats: dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.failed_layers is None:
@@ -49,7 +63,14 @@ class AnalysisResult:
 
 
 class Analyzer:
-    """Profiles downloaded images from a local blob store."""
+    """Profiles downloaded images from a local blob store.
+
+    With a :class:`~repro.analyzer.cache.ProfileCache`, layers whose
+    profiles are already cached (same digest, same catalog version) skip
+    extraction entirely — on an unchanged corpus a warm run re-extracts
+    nothing, mirroring the paper's layer-dedup observation that most
+    layers recur.
+    """
 
     def __init__(
         self,
@@ -57,12 +78,21 @@ class Analyzer:
         *,
         catalog: TypeCatalog | None = None,
         parallel: ParallelConfig | None = None,
+        cache: ProfileCache | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.blobs = blobs
         self.catalog = catalog or default_catalog()
-        # extraction is CPU-bound, but profiles must come back ordered;
-        # threads still help because gzip/hashlib release the GIL.
+        # extraction is CPU-bound; threads still help because gzip/hashlib
+        # release the GIL, processes scale it across cores for real.
         self.parallel = parallel or ParallelConfig(mode="thread", chunk_size=8)
+        if cache is not None and cache.catalog_version != self.catalog.version():
+            raise ValueError(
+                f"profile cache was built for catalog {cache.catalog_version}, "
+                f"this analyzer runs {self.catalog.version()}"
+            )
+        self.cache = cache
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     def analyze(
         self,
@@ -85,19 +115,13 @@ class Analyzer:
                     seen.add(digest)
                     unique_digests.append(digest)
 
-        def _profile(digest: str):
-            try:
-                return extract_and_profile(digest, self.blobs.get(digest), self.catalog)
-            except Exception as exc:  # corrupt gzip/tar, missing blob, ...
-                return (digest, f"{type(exc).__name__}: {exc}")
-
-        failed: dict[str, str] = {}
-        for result in parallel_map(_profile, unique_digests, self.parallel):
-            if isinstance(result, tuple):
-                digest, error = result
-                failed[digest] = error
-            else:
-                store.add_layer(result)
+        profiles, failed = self._profile_layers(unique_digests)
+        # deterministic merge: layers enter the store in first-seen digest
+        # order, whatever shard (or cache) produced them
+        for digest in unique_digests:
+            profile = profiles.get(digest)
+            if profile is not None:
+                store.add_layer(profile)
 
         pull_counts = pull_counts or {}
         skipped: list[str] = []
@@ -118,4 +142,67 @@ class Analyzer:
             dataset=store.to_dataset(),
             failed_layers=failed,
             skipped_images=skipped,
+            cache_stats=(
+                self.cache.stats.to_dict()
+                if self.cache is not None
+                else {"hits": 0, "misses": 0, "stores": 0, "discarded": 0}
+            ),
         )
+
+    # -- layer phase ----------------------------------------------------------
+
+    def _profile_layers(
+        self, digests: list[str]
+    ) -> tuple[dict[str, LayerProfile], dict[str, str]]:
+        """Resolve every digest to a profile (cache first, then sharded
+        extraction) or a failure reason."""
+        profiles: dict[str, LayerProfile] = {}
+        failed: dict[str, str] = {}
+
+        to_profile: list[str] = []
+        for digest in digests:
+            cached = self.cache.get(digest) if self.cache is not None else None
+            if cached is not None:
+                profiles[digest] = cached
+            else:
+                to_profile.append(digest)
+        if self.cache is not None:
+            hits = len(digests) - len(to_profile)
+            self.metrics.counter(
+                "analyzer_cache_hits_total", "layers served from the profile cache"
+            ).inc(hits)
+            self.metrics.counter(
+                "analyzer_cache_misses_total", "layers that required extraction"
+            ).inc(len(to_profile))
+        if not to_profile:
+            return profiles, failed
+
+        n_shards = max(1, math.ceil(len(to_profile) / self.parallel.chunk_size))
+        shards, missing = build_shards(
+            self.blobs, to_profile, n_shards, catalog=self.catalog
+        )
+        failed.update(missing)
+
+        for outcome in map_shards(
+            profile_shard, shards, self.parallel, metrics=self.metrics
+        ):
+            if not outcome.ok:
+                # the whole shard died (broken pool, unpicklable result);
+                # every layer it carried is accounted for, not lost
+                for digest in shards[outcome.index].digests:
+                    failed[digest] = f"shard failed: {outcome.error}"
+                continue
+            result = outcome.value
+            failed.update(result.failures)
+            for profile in result.profiles:
+                profiles[profile.digest] = profile
+                if self.cache is not None:
+                    self.cache.put(profile)
+
+        self.metrics.counter(
+            "analyzer_layers_profiled_total", "layers extracted and profiled"
+        ).inc(len(to_profile) - sum(1 for d in to_profile if d in failed))
+        self.metrics.counter(
+            "analyzer_layers_failed_total", "layers that failed extraction"
+        ).inc(sum(1 for d in to_profile if d in failed))
+        return profiles, failed

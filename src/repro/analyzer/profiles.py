@@ -69,6 +69,44 @@ class ImageProfile:
     pull_count: int = 0
 
 
+def layer_profile_to_json(profile: LayerProfile) -> dict:
+    """The canonical JSON document for one layer profile (the JSONL dump
+    format and the profile cache's payload)."""
+    return {
+        "kind": "layer",
+        "digest": profile.digest,
+        "cls": profile.compressed_size,
+        "fls": profile.files_size,
+        "file_count": profile.file_count,
+        "dir_count": profile.directory_count,
+        "max_depth": profile.max_depth,
+        "files": [
+            [f.path, f.digest, f.size, f.type_code] for f in profile.files
+        ],
+        "dirs": [[d.path, d.depth, d.file_count] for d in profile.directories],
+    }
+
+
+def layer_profile_from_json(doc: dict) -> LayerProfile:
+    """Rebuild a :class:`LayerProfile` from :func:`layer_profile_to_json`."""
+    return LayerProfile(
+        digest=doc["digest"],
+        compressed_size=doc["cls"],
+        files_size=doc["fls"],
+        file_count=doc["file_count"],
+        directory_count=doc["dir_count"],
+        max_depth=doc["max_depth"],
+        files=[
+            FileRecord(path=p, digest=d, size=s, type_code=t)
+            for p, d, s, t in doc["files"]
+        ],
+        directories=[
+            DirectoryRecord(path=p, depth=d, file_count=c)
+            for p, d, c in doc["dirs"]
+        ],
+    )
+
+
 class ProfileStore:
     """Accumulates profiles; converts to the columnar dataset.
 

@@ -9,6 +9,7 @@ Subcommands::
     repro ablate      hub.npz [--experiment a1|a2]
     repro pipeline    --scale tiny [--dataset out.npz] [--profiles out.jsonl]
     repro experiments --out EXPERIMENTS.md              # full paper-vs-measured
+    repro bench       [--tiny] [--out BENCH_pipeline.json]  # parallel/cache bench
     repro loadtest    --seed 3 [--proxy] [--http]       # serving load test
     repro chaos       --seed 7 --plan smoke             # fault-injected pipeline
     repro cluster     --replicas 3 --seed 7 [--overload]  # HA serving exercise
@@ -74,6 +75,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", choices=["tiny", "small"], default="tiny")
     p.add_argument("--dataset", type=Path, help="write the measured dataset (.npz)")
     p.add_argument("--profiles", type=Path, help="write layer/image profiles (.jsonl)")
+    p.add_argument(
+        "--cache", type=Path,
+        help="profile-cache directory: reruns over an unchanged corpus skip "
+        "layer extraction entirely",
+    )
 
     p = sub.add_parser("experiments", help="regenerate the EXPERIMENTS.md record")
     _add_seed(p)
@@ -107,6 +113,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="start, print the endpoint summary, and shut down (for scripts/tests)",
     )
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark the pipeline's analysis phase: "
+        "serial/thread/process x cold/warm profile cache; writes "
+        "BENCH_pipeline.json",
+    )
+    _add_seed(p)
+    p.add_argument(
+        "--scales", default="tiny,mid",
+        help="comma-separated hub scales to measure (tiny,mid,small)",
+    )
+    p.add_argument(
+        "--modes", default="serial,thread,process",
+        help="comma-separated parallel modes to measure",
+    )
+    p.add_argument(
+        "--workers", type=int, help="pool workers (default: cpu count)"
+    )
+    p.add_argument(
+        "--repeats", type=int, default=1,
+        help="timings per matrix cell; the fastest is kept",
+    )
+    p.add_argument(
+        "--tiny", action="store_true",
+        help="tiny scale only — the CI smoke configuration",
+    )
+    p.add_argument(
+        "--out", type=Path, default=Path("BENCH_pipeline.json"),
+        help="where to write the JSON record",
+    )
+    p.add_argument("--json", action="store_true", help="print the record as JSON")
 
     p = sub.add_parser(
         "loadtest",
@@ -345,7 +383,9 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     from repro.synth import SyntheticHubConfig
 
     config = getattr(SyntheticHubConfig, args.scale)(seed=args.seed)
-    result = run_materialized_pipeline(config, compute_figures=False)
+    result = run_materialized_pipeline(
+        config, compute_figures=False, cache_dir=args.cache
+    )
     crawl = result.crawl.summary()
     stats = result.download_stats
     print(
@@ -364,6 +404,12 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         f"{totals.n_file_occurrences:,} files, "
         f"{format_size(totals.uncompressed_bytes)} uncompressed"
     )
+    if args.cache:
+        stats = result.analysis.cache_stats
+        print(
+            f"cache: {stats['hits']:,} hits / {stats['misses']:,} misses "
+            f"({stats['discarded']} discarded) at {args.cache}"
+        )
     if args.dataset:
         save_dataset(result.dataset, args.dataset)
         print(f"wrote dataset: {args.dataset}")
@@ -487,6 +533,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.stop()
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.core.bench import BENCH_SCALES, render_bench, run_pipeline_bench
+
+    scales = ("tiny",) if args.tiny else tuple(
+        s.strip() for s in args.scales.split(",") if s.strip()
+    )
+    modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+    for scale in scales:
+        if scale not in BENCH_SCALES:
+            print(
+                f"unknown scale {scale!r}; known: {', '.join(BENCH_SCALES)}",
+                file=sys.stderr,
+            )
+            return 2
+    doc = run_pipeline_bench(
+        scales=scales,
+        modes=modes,
+        seed=args.seed,
+        workers=args.workers,
+        repeats=args.repeats,
+        out=args.out,
+    )
+    print(json_module.dumps(doc, indent=2, sort_keys=True) if args.json
+          else render_bench(doc))
+    print(f"wrote {args.out}")
+    return 0 if doc["summary"]["all_identical_to_serial"] else 1
+
+
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     import json as json_module
 
@@ -598,6 +674,7 @@ _COMMANDS = {
     "restructure": _cmd_restructure,
     "project": _cmd_project,
     "serve": _cmd_serve,
+    "bench": _cmd_bench,
     "loadtest": _cmd_loadtest,
     "chaos": _cmd_chaos,
     "cluster": _cmd_cluster,

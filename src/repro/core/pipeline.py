@@ -16,8 +16,11 @@ Two entry points:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.analyzer.analyzer import AnalysisResult, Analyzer
+from repro.analyzer.cache import ProfileCache
+from repro.obs import MetricsRegistry
 from repro.core.figures import FigureResult, compute_all_figures
 from repro.crawler.crawler import CrawlResult, HubCrawler
 from repro.downloader.downloader import Downloader, DownloadStats
@@ -67,11 +70,17 @@ def run_materialized_pipeline(
     network: NetworkModel | None = None,
     parallel: ParallelConfig | None = None,
     compute_figures: bool = True,
+    cache_dir: str | Path | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> MaterializedPipelineResult:
     """Generate → materialize → crawl → download → analyze, on real bytes.
 
     Use :meth:`SyntheticHubConfig.tiny` (default) or ``small``; larger
     configs would build every tarball for real and take accordingly long.
+    ``cache_dir`` enables the persistent profile cache there — rerunning
+    against an unchanged corpus skips extraction for every cached layer
+    (see ``analysis.cache_stats``). ``metrics`` collects the pool and
+    cache counters of the analysis phase.
     """
     config = config or SyntheticHubConfig.tiny()
     template = generate_dataset(config)
@@ -92,7 +101,12 @@ def run_materialized_pipeline(
     pull_counts = {
         repo.name: repo.pull_count for repo in registry.repositories()
     }
-    analyzer = Analyzer(downloader.dest, parallel=parallel)
+    analyzer = Analyzer(
+        downloader.dest,
+        parallel=parallel,
+        cache=ProfileCache(cache_dir) if cache_dir is not None else None,
+        metrics=metrics,
+    )
     analysis = analyzer.analyze(images, pull_counts)
 
     figures = compute_all_figures(analysis.dataset) if compute_figures else []
@@ -122,6 +136,7 @@ def run_http_pipeline(
     *,
     parallel: ParallelConfig | None = None,
     compute_figures: bool = True,
+    cache_dir: str | Path | None = None,
 ) -> MaterializedPipelineResult:
     """The materialized pipeline, but over a real HTTP socket.
 
@@ -149,7 +164,11 @@ def run_http_pipeline(
         downloader = Downloader(HTTPSession(server.base_url), parallel=parallel)
         images = downloader.download_all(crawl.repositories)
         pull_counts = {r.name: r.pull_count for r in registry.repositories()}
-        analyzer = Analyzer(downloader.dest, parallel=parallel)
+        analyzer = Analyzer(
+            downloader.dest,
+            parallel=parallel,
+            cache=ProfileCache(cache_dir) if cache_dir is not None else None,
+        )
         analysis = analyzer.analyze(images, pull_counts)
     figures = compute_all_figures(analysis.dataset) if compute_figures else []
     return MaterializedPipelineResult(

@@ -23,7 +23,8 @@ from __future__ import annotations
 import random
 import threading
 import time
-from dataclasses import dataclass, field, fields
+import warnings
+from dataclasses import dataclass, field, fields, replace
 from functools import partial
 from typing import Callable
 
@@ -170,6 +171,7 @@ class Downloader:
         self.deadline_s = deadline_s
         self._clock = clock
         self._lock = threading.Lock()
+        self._warned_process_mode = False
         self._in_flight: set[str] = set()
         self._have: set[str] = set()
         #: digest -> actual digests of quarantined (rejected) payloads
@@ -348,10 +350,32 @@ class Downloader:
 
     # -- whole crawl ---------------------------------------------------------------------
 
+    def _map_config(self) -> ParallelConfig:
+        """The config for repo-level fan-out; ``process`` coerces to
+        ``thread``.
+
+        Downloading is I/O-bound, so processes buy nothing — and worse,
+        ``self.download_image`` is a bound method (unpicklable), and each
+        worker process would mutate its *own copy* of ``self.stats`` /
+        ``self.dest``, silently losing every count and blob at join time.
+        """
+        if self.parallel.mode != "process":
+            return self.parallel
+        if not self._warned_process_mode:
+            self._warned_process_mode = True
+            warnings.warn(
+                "Downloader is I/O-bound and keeps per-process state "
+                "(stats, blob cache, locks); ParallelConfig(mode='process') "
+                "is coerced to mode='thread'",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return replace(self.parallel, mode="thread")
+
     def download_all(self, repositories: list[str]) -> list[DownloadedImage]:
         """Download every repository's latest image; failures are recorded
         in :attr:`stats` and omitted from the result."""
-        images = parallel_map(self.download_image, repositories, self.parallel)
+        images = parallel_map(self.download_image, repositories, self._map_config())
         return [img for img in images if img is not None]
 
     def download_all_tags(self, repo: str) -> list[DownloadedImage]:
@@ -376,5 +400,5 @@ class Downloader:
     def download_all_versions(self, repositories: list[str]) -> list[DownloadedImage]:
         """Download every tag of every repository, in parallel across
         repositories."""
-        nested = parallel_map(self.download_all_tags, repositories, self.parallel)
+        nested = parallel_map(self.download_all_tags, repositories, self._map_config())
         return [img for group in nested for img in group]

@@ -205,6 +205,28 @@ class TypeCatalog:
                 table[code] = int(ftype.group)
         return table
 
+    def version(self) -> str:
+        """Content hash of the named-type spec (codes, names, groups,
+        figure labels, commonality).
+
+        Any change to the catalog that could alter a profile's type codes
+        changes this string, which is exactly what the analyzer's profile
+        cache keys on: bump the catalog, and every cached profile computed
+        under the old taxonomy silently misses instead of serving stale
+        codes. Synthetic rare types are excluded — they are derived
+        deterministically from their code and never affect classification
+        of existing entries.
+        """
+        import hashlib
+        import json
+
+        spec = [
+            [t.code, t.name, int(t.group), t.figure_label, t.common]
+            for t in self.named_types()
+        ]
+        payload = json.dumps(spec, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
     # -- rare (non-common) types ----------------------------------------------
 
     def rare_type(self, index: int) -> FileType:

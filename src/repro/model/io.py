@@ -16,10 +16,10 @@ from typing import Iterator
 import numpy as np
 
 from repro.analyzer.profiles import (
-    DirectoryRecord,
-    FileRecord,
     ImageProfile,
     LayerProfile,
+    layer_profile_from_json,
+    layer_profile_to_json,
 )
 from repro.model.dataset import HubDataset
 
@@ -66,39 +66,10 @@ def load_dataset(path: str | Path) -> HubDataset:
 # -- profile JSONL -----------------------------------------------------------
 
 
-def _layer_to_json(profile: LayerProfile) -> dict:
-    return {
-        "kind": "layer",
-        "digest": profile.digest,
-        "cls": profile.compressed_size,
-        "fls": profile.files_size,
-        "file_count": profile.file_count,
-        "dir_count": profile.directory_count,
-        "max_depth": profile.max_depth,
-        "files": [
-            [f.path, f.digest, f.size, f.type_code] for f in profile.files
-        ],
-        "dirs": [[d.path, d.depth, d.file_count] for d in profile.directories],
-    }
-
-
-def _layer_from_json(doc: dict) -> LayerProfile:
-    return LayerProfile(
-        digest=doc["digest"],
-        compressed_size=doc["cls"],
-        files_size=doc["fls"],
-        file_count=doc["file_count"],
-        directory_count=doc["dir_count"],
-        max_depth=doc["max_depth"],
-        files=[
-            FileRecord(path=p, digest=d, size=s, type_code=t)
-            for p, d, s, t in doc["files"]
-        ],
-        directories=[
-            DirectoryRecord(path=p, depth=d, file_count=c)
-            for p, d, c in doc["dirs"]
-        ],
-    )
+# layer profile <-> JSON lives next to the dataclasses themselves
+# (repro.analyzer.profiles); the aliases keep this module's vocabulary.
+_layer_to_json = layer_profile_to_json
+_layer_from_json = layer_profile_from_json
 
 
 def _image_to_json(profile: ImageProfile) -> dict:

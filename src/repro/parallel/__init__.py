@@ -3,15 +3,23 @@
 The paper's tooling downloaded and analyzed images with heavy parallelism
 (30 days of wall-clock even so). This package provides the worker-pool
 primitives the downloader and analyzer build on: ordered parallel map with
-chunking, bounded thread/process pools, and deterministic reductions.
+chunking, sharded dispatch with per-shard error capture and pool metrics,
+bounded thread/process pools, and deterministic reductions.
 """
 
-from repro.parallel.pool import ParallelConfig, parallel_map
+from repro.parallel.pool import (
+    ParallelConfig,
+    ShardOutcome,
+    map_shards,
+    parallel_map,
+)
 from repro.parallel.partition import chunk_indices, partition_work
 
 __all__ = [
     "ParallelConfig",
+    "ShardOutcome",
     "chunk_indices",
+    "map_shards",
     "parallel_map",
     "partition_work",
 ]

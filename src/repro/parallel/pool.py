@@ -7,15 +7,25 @@ Design rules (per the optimization guides this project follows):
 * work is chunked to amortize task-dispatch overhead (important for the
   millions of small layer-profile tasks);
 * ``serial`` mode short-circuits the pool entirely — used by tests and as
-  the automatic fallback for small inputs, where pool startup dominates.
+  the automatic fallback for small inputs, where pool startup dominates;
+* worker counts are capped by the number of tasks actually dispatched —
+  two chunks never justify ``cpu_count`` processes;
+* anything handed to a ``process`` pool must be picklable: module-level
+  functions and plain-data tasks, never closures or bound methods. The
+  shard API (:func:`map_shards`) exists so callers can ship batches of
+  work as data and get failures back as data instead of a dead pool.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
+import traceback
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Sequence, TypeVar
+from typing import Any, Callable, Sequence, TypeVar
+
+from repro.obs import MetricsRegistry
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -46,10 +56,14 @@ class ParallelConfig:
         if self.chunk_size <= 0:
             raise ValueError(f"chunk size must be positive, got {self.chunk_size}")
 
-    def effective_workers(self) -> int:
-        if self.workers is not None:
-            return self.workers
-        return max(1, os.cpu_count() or 1)
+    def effective_workers(self, n_tasks: int | None = None) -> int:
+        """Workers to actually start: the configured (or CPU) count, capped
+        at *n_tasks* when given — idle workers are pure startup cost, and a
+        process each costs a fork."""
+        base = self.workers if self.workers is not None else max(1, os.cpu_count() or 1)
+        if n_tasks is not None:
+            return max(1, min(base, n_tasks))
+        return base
 
 
 def _apply_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> list[R]:
@@ -82,9 +96,168 @@ def parallel_map(
     executor_cls = (
         ThreadPoolExecutor if config.mode == "thread" else ProcessPoolExecutor
     )
-    with executor_cls(max_workers=config.effective_workers()) as pool:
+    with executor_cls(max_workers=config.effective_workers(len(chunks))) as pool:
         chunk_results = list(pool.map(_apply_chunk, [fn] * len(chunks), chunks))
     out: list[R] = []
     for result in chunk_results:
         out.extend(result)
     return out
+
+
+# -- sharded dispatch ---------------------------------------------------------
+
+
+@dataclass
+class ShardOutcome:
+    """What happened to one dispatched shard.
+
+    Exactly one of ``value``/``error`` is set: a shard whose worker raised
+    (or whose result could not cross the process boundary) reports the
+    error as data instead of killing its siblings. ``elapsed_s`` is the
+    worker-side busy time, the input to the utilization metric.
+    """
+
+    index: int
+    value: Any | None
+    error: str | None
+    elapsed_s: float
+    n_items: int
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _run_shard(fn: Callable[[T], R], index: int, shard: T) -> tuple[int, R | None, str | None, float]:
+    """Worker-side wrapper: time the shard and capture its failure as data.
+
+    Module-level on purpose — it must pickle into a process pool.
+    """
+    start = time.perf_counter()
+    try:
+        value = fn(shard)
+        return index, value, None, time.perf_counter() - start
+    except Exception as exc:  # noqa: BLE001 — shard failures are data
+        detail = "".join(
+            traceback.format_exception_only(type(exc), exc)
+        ).strip()
+        return index, None, detail, time.perf_counter() - start
+
+
+def _shard_len(shard: object) -> int:
+    try:
+        return len(shard)  # type: ignore[arg-type]
+    except TypeError:
+        return 1
+
+
+def map_shards(
+    fn: Callable[[T], R],
+    shards: Sequence[T],
+    config: ParallelConfig | None = None,
+    *,
+    metrics: MetricsRegistry | None = None,
+) -> list[ShardOutcome]:
+    """Dispatch *fn* over pre-partitioned *shards*, capturing per-shard
+    failures, and return outcomes in input order.
+
+    Unlike :func:`parallel_map`, an exception inside one shard does not
+    propagate: it comes back as ``ShardOutcome.error`` so the caller can
+    account for the shard's items and keep the rest of the run. ``fn`` must
+    be a module-level (picklable) callable for ``mode="process"``.
+
+    With a ``metrics`` registry, records shards dispatched/completed/failed,
+    items processed, per-shard busy seconds, and pool-level gauges —
+    workers started, worker utilization (busy time / workers x wall time),
+    and items/sec for the dispatch as a whole.
+    """
+    config = config or ParallelConfig()
+    shards = list(shards)
+    if not shards:
+        return []
+    n_items = sum(_shard_len(shard) for shard in shards)
+    workers = config.effective_workers(len(shards))
+    run_serial = (
+        config.mode == "serial"
+        or n_items < config.min_parallel_items
+        or workers == 1
+    )
+    if run_serial:
+        workers = 1
+
+    if metrics is not None:
+        metrics.counter(
+            "parallel_shards_dispatched_total", "shards handed to the pool",
+            mode=config.mode,
+        ).inc(len(shards))
+        metrics.gauge(
+            "parallel_pool_workers", "workers started for the last dispatch",
+            mode=config.mode,
+        ).set(workers)
+
+    wall = time.perf_counter()
+    if run_serial:
+        raw = [_run_shard(fn, i, shard) for i, shard in enumerate(shards)]
+    else:
+        executor_cls = (
+            ThreadPoolExecutor if config.mode == "thread" else ProcessPoolExecutor
+        )
+        with executor_cls(max_workers=workers) as pool:
+            futures: list[Future] = [
+                pool.submit(_run_shard, fn, i, shard)
+                for i, shard in enumerate(shards)
+            ]
+            raw = []
+            for i, future in enumerate(futures):
+                try:
+                    raw.append(future.result())
+                except Exception as exc:  # unpicklable result, broken pool, ...
+                    detail = "".join(
+                        traceback.format_exception_only(type(exc), exc)
+                    ).strip()
+                    raw.append((i, None, detail, 0.0))
+    wall = time.perf_counter() - wall
+
+    outcomes = [
+        ShardOutcome(
+            index=index,
+            value=value,
+            error=error,
+            elapsed_s=elapsed,
+            n_items=_shard_len(shards[index]),
+        )
+        for index, value, error, elapsed in raw
+    ]
+    outcomes.sort(key=lambda o: o.index)
+
+    if metrics is not None:
+        busy = 0.0
+        for outcome in outcomes:
+            busy += outcome.elapsed_s
+            metrics.histogram(
+                "parallel_shard_seconds", "worker-side busy time per shard",
+                mode=config.mode,
+            ).observe(outcome.elapsed_s)
+            name = (
+                "parallel_shards_completed_total"
+                if outcome.ok
+                else "parallel_shards_failed_total"
+            )
+            metrics.counter(name, "shard outcomes", mode=config.mode).inc()
+            if outcome.ok:
+                metrics.counter(
+                    "parallel_items_total", "items processed by shard workers",
+                    mode=config.mode,
+                ).inc(outcome.n_items)
+        if wall > 0:
+            metrics.gauge(
+                "parallel_worker_utilization",
+                "busy time / (workers x wall time) of the last dispatch",
+                mode=config.mode,
+            ).set(min(1.0, busy / (workers * wall)))
+            metrics.gauge(
+                "parallel_items_per_second",
+                "items/sec over the last dispatch's wall time",
+                mode=config.mode,
+            ).set(n_items / wall)
+    return outcomes

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.analyzer.analyzer import Analyzer
+from repro.analyzer.cache import ProfileCache
 from repro.downloader.downloader import Downloader
 from repro.downloader.session import SimulatedSession
 from repro.parallel.pool import ParallelConfig
@@ -72,16 +73,101 @@ class TestAnalysis:
 
 
 class TestParallelConsistency:
-    def test_serial_and_threaded_agree(self, materialized):
+    def _run(self, materialized, parallel, cache=None):
         registry, truth = materialized
         repos = sorted(truth.images)[:10]
+        downloader = Downloader(SimulatedSession(registry), parallel=parallel)
+        images = downloader.download_all(repos)
+        return Analyzer(downloader.dest, parallel=parallel, cache=cache).analyze(
+            images
+        )
 
-        def run(parallel):
-            downloader = Downloader(SimulatedSession(registry), parallel=parallel)
-            images = downloader.download_all(repos)
-            return Analyzer(downloader.dest, parallel=parallel).analyze(images)
-
-        serial = run(ParallelConfig(mode="serial"))
-        threaded = run(ParallelConfig(mode="thread", workers=4, min_parallel_items=0))
+    def test_serial_and_threaded_agree(self, materialized):
+        serial = self._run(materialized, ParallelConfig(mode="serial"))
+        threaded = self._run(
+            materialized,
+            ParallelConfig(mode="thread", workers=4, min_parallel_items=0),
+        )
         assert serial.n_layers == threaded.n_layers
         assert serial.dataset.layer_fls.tolist() == threaded.dataset.layer_fls.tolist()
+
+    def test_process_mode_end_to_end(self, materialized):
+        """Regression: profiling used to hand a closure to the pool, so
+        ``mode="process"`` — the documented mode for CPU-bound extraction —
+        died with PicklingError before analyzing a single layer. It must now
+        run end to end and agree with serial byte for byte."""
+        serial = self._run(materialized, ParallelConfig(mode="serial"))
+        # the downloader warns that it coerces process->thread for itself;
+        # the analyzer behind it must genuinely run the process pool
+        with pytest.warns(RuntimeWarning, match="coerced"):
+            process = self._run(
+                materialized,
+                ParallelConfig(
+                    mode="process", workers=2, chunk_size=4, min_parallel_items=0
+                ),
+            )
+        assert process.failed_layers == {}
+        assert process.n_layers == serial.n_layers
+        assert process.n_images == serial.n_images
+        assert (
+            process.dataset.layer_fls.tolist() == serial.dataset.layer_fls.tolist()
+        )
+        assert (
+            process.dataset.file_sizes.tolist() == serial.dataset.file_sizes.tolist()
+        )
+
+
+class TestProfileCacheIntegration:
+    def test_warm_run_skips_every_extraction(self, materialized, tmp_path):
+        serial = ParallelConfig(mode="serial")
+        cold = self._analyze(materialized, serial, ProfileCache(tmp_path))
+        assert cold.cache_stats["hits"] == 0
+        assert cold.cache_stats["stores"] == cold.n_layers
+
+        warm = self._analyze(materialized, serial, ProfileCache(tmp_path))
+        assert warm.cache_stats["misses"] == 0
+        assert warm.cache_stats["hits"] == warm.n_layers
+        assert warm.dataset.layer_fls.tolist() == cold.dataset.layer_fls.tolist()
+
+    def test_warm_process_run_agrees(self, materialized, tmp_path):
+        process = ParallelConfig(
+            mode="process", workers=2, chunk_size=4, min_parallel_items=0
+        )
+        cold = self._analyze(materialized, process, ProfileCache(tmp_path))
+        warm = self._analyze(materialized, process, ProfileCache(tmp_path))
+        assert warm.cache_stats["misses"] == 0
+        assert warm.dataset.layer_fls.tolist() == cold.dataset.layer_fls.tolist()
+
+    def test_corrupt_entry_reprofiled(self, materialized, tmp_path):
+        from repro.faults import corrupt_at_rest
+
+        cache = ProfileCache(tmp_path)
+        cold = self._analyze(materialized, ParallelConfig(mode="serial"), cache)
+        victim = cold.store.layers()[0].digest
+        corrupt_at_rest(cache.store, cache.key(victim))
+
+        warm_cache = ProfileCache(tmp_path)
+        warm = self._analyze(
+            materialized, ParallelConfig(mode="serial"), warm_cache
+        )
+        assert warm.cache_stats["discarded"] == 1
+        assert warm.cache_stats["misses"] == 1  # only the victim re-extracts
+        assert warm.cache_stats["stores"] == 1  # and its slot is rewritten
+        assert warm.dataset.layer_fls.tolist() == cold.dataset.layer_fls.tolist()
+        assert ProfileCache(tmp_path).get(victim) is not None
+
+    def test_catalog_mismatch_rejected(self, materialized, tmp_path):
+        registry, _ = materialized
+        downloader = Downloader(SimulatedSession(registry))
+        with pytest.raises(ValueError, match="catalog"):
+            Analyzer(
+                downloader.dest,
+                cache=ProfileCache(tmp_path, catalog_version="stale"),
+            )
+
+    def _analyze(self, materialized, parallel, cache):
+        registry, truth = materialized
+        downloader = Downloader(SimulatedSession(registry))
+        images = downloader.download_all(sorted(truth.images)[:10])
+        analyzer = Analyzer(downloader.dest, parallel=parallel, cache=cache)
+        return analyzer.analyze(images)

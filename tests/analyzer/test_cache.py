@@ -1,0 +1,100 @@
+"""Profile-cache semantics: hits, invalidation, and corruption recovery."""
+
+import pytest
+
+from repro.analyzer.cache import ProfileCache
+from repro.analyzer.extract import extract_and_profile
+from repro.faults import corrupt_at_rest
+from repro.registry.blobstore import MemoryBlobStore
+from repro.registry.tarball import layer_from_files
+
+
+@pytest.fixture()
+def profile():
+    layer, blob = layer_from_files(
+        [("etc/conf", b"key=value\n" * 20), ("bin/run", b"\x7fELF" + b"x" * 99)]
+    )
+    return extract_and_profile(layer.digest, blob)
+
+
+class TestRoundtrip:
+    def test_put_then_get(self, tmp_path, profile):
+        cache = ProfileCache(tmp_path)
+        assert cache.get(profile.digest) is None
+        cache.put(profile)
+        got = cache.get(profile.digest)
+        assert got == profile
+        assert cache.stats.to_dict() == {
+            "hits": 1, "misses": 1, "stores": 1, "discarded": 0,
+        }
+
+    def test_persists_across_instances(self, tmp_path, profile):
+        ProfileCache(tmp_path).put(profile)
+        assert ProfileCache(tmp_path).get(profile.digest) == profile
+
+    def test_memory_store_backend(self, profile):
+        cache = ProfileCache(MemoryBlobStore())
+        cache.put(profile)
+        assert cache.get(profile.digest) == profile
+
+    def test_hit_ratio(self, tmp_path, profile):
+        cache = ProfileCache(tmp_path)
+        cache.put(profile)
+        cache.get(profile.digest)
+        cache.get(profile.digest)
+        cache.get("sha256:absent")
+        assert cache.stats.hit_ratio == pytest.approx(2 / 3)
+
+
+class TestInvalidation:
+    def test_catalog_version_bump_misses(self, tmp_path, profile):
+        """A new type taxonomy must never be served old profiles."""
+        old = ProfileCache(tmp_path, catalog_version="catalog-v1")
+        old.put(profile)
+        new = ProfileCache(tmp_path, catalog_version="catalog-v2")
+        assert new.get(profile.digest) is None
+        # the old generation's entry is untouched, just unreachable
+        assert old.get(profile.digest) == profile
+
+    def test_keys_differ_across_versions(self, tmp_path, profile):
+        a = ProfileCache(tmp_path, catalog_version="a")
+        b = ProfileCache(tmp_path, catalog_version="b")
+        assert a.key(profile.digest) != b.key(profile.digest)
+
+    def test_default_version_is_default_catalog(self, tmp_path):
+        from repro.filetypes.catalog import default_catalog
+
+        assert ProfileCache(tmp_path).catalog_version == default_catalog().version()
+
+
+class TestCorruption:
+    def test_corrupt_entry_discarded_and_deleted(self, tmp_path, profile):
+        cache = ProfileCache(tmp_path)
+        cache.put(profile)
+        corrupt_at_rest(cache.store, cache.key(profile.digest))
+        assert cache.get(profile.digest) is None
+        assert cache.stats.discarded == 1
+        # the dead entry was deleted: the next lookup is a clean miss
+        assert cache.get(profile.digest) is None
+        assert cache.stats.discarded == 1
+
+    def test_reprofiled_entry_serves_again(self, tmp_path, profile):
+        cache = ProfileCache(tmp_path)
+        cache.put(profile)
+        corrupt_at_rest(cache.store, cache.key(profile.digest))
+        assert cache.get(profile.digest) is None
+        cache.put(profile)  # the re-profile path rewrites the slot
+        assert cache.get(profile.digest) == profile
+
+    def test_wrong_digest_inside_entry_discarded(self, tmp_path, profile):
+        """An entry whose body belongs to another layer is rot, not a hit."""
+        cache = ProfileCache(tmp_path)
+        cache.store.put_at(cache.key("sha256:other"), cache._encode(profile))
+        assert cache.get("sha256:other") is None
+        assert cache.stats.discarded == 1
+
+    def test_garbage_entry_discarded(self, tmp_path, profile):
+        cache = ProfileCache(tmp_path)
+        cache.store.put_at(cache.key(profile.digest), b"not a cache frame")
+        assert cache.get(profile.digest) is None
+        assert cache.stats.discarded == 1

@@ -1,0 +1,134 @@
+"""Unit tests for the picklable layer-profiling shard worker."""
+
+import pickle
+
+import pytest
+
+from repro.analyzer.shard import LayerShard, build_shards, profile_shard
+from repro.registry.blobstore import DiskBlobStore, MemoryBlobStore
+from repro.registry.tarball import layer_from_files
+
+
+def make_store(n: int = 4) -> tuple[MemoryBlobStore, list[str]]:
+    store = MemoryBlobStore()
+    digests = []
+    for i in range(n):
+        _, blob = layer_from_files(
+            [(f"app/file{i}", b"#!" + bytes([65 + i]) * (50 * (i + 1)))]
+        )
+        digests.append(store.put(blob))
+    return store, digests
+
+
+class TestLayerShard:
+    def test_requires_exactly_one_transport(self):
+        with pytest.raises(ValueError):
+            LayerShard(index=0, digests=("sha256:x",))
+        with pytest.raises(ValueError):
+            LayerShard(
+                index=0, digests=("sha256:x",), blobs=(b"a",), blob_root="/tmp"
+            )
+
+    def test_blobs_must_align_with_digests(self):
+        with pytest.raises(ValueError):
+            LayerShard(index=0, digests=("sha256:x", "sha256:y"), blobs=(b"a",))
+
+    def test_len_is_digest_count(self):
+        shard = LayerShard(index=0, digests=("sha256:x",), blobs=(b"a",))
+        assert len(shard) == 1
+
+
+class TestProfileShard:
+    def test_profiles_every_layer_in_order(self):
+        store, digests = make_store(3)
+        shard = LayerShard(
+            index=5,
+            digests=tuple(digests),
+            blobs=tuple(store.get(d) for d in digests),
+        )
+        result = profile_shard(shard)
+        assert result.index == 5
+        assert [p.digest for p in result.profiles] == digests
+        assert result.failures == {}
+
+    def test_bad_layer_is_captured_not_raised(self):
+        store, digests = make_store(2)
+        rotten = store.put(b"not a gzip stream at all")
+        shard = LayerShard(
+            index=0,
+            digests=(digests[0], rotten, digests[1]),
+            blobs=(store.get(digests[0]), store.get(rotten), store.get(digests[1])),
+        )
+        result = profile_shard(shard)
+        assert [p.digest for p in result.profiles] == digests
+        assert set(result.failures) == {rotten}
+        assert ":" in result.failures[rotten]  # "ExcType: detail" shape
+
+    def test_reads_from_disk_root(self, tmp_path):
+        mem, digests = make_store(2)
+        disk = DiskBlobStore(tmp_path)
+        for digest in digests:
+            disk.put_at(digest, mem.get(digest))
+        shard = LayerShard(
+            index=0, digests=tuple(digests), blob_root=str(tmp_path)
+        )
+        result = profile_shard(shard)
+        assert [p.digest for p in result.profiles] == digests
+
+    def test_shard_and_worker_pickle(self, tmp_path):
+        """The whole point: everything crossing the pool boundary pickles."""
+        mem, digests = make_store(2)
+        disk = DiskBlobStore(tmp_path)
+        for digest in digests:
+            disk.put_at(digest, mem.get(digest))
+        shard = LayerShard(
+            index=0, digests=tuple(digests), blob_root=str(tmp_path)
+        )
+        assert pickle.loads(pickle.dumps(shard)) == shard
+        assert pickle.loads(pickle.dumps(profile_shard)) is profile_shard
+        result = profile_shard(shard)
+        assert pickle.loads(pickle.dumps(result)).index == result.index
+
+
+class TestBuildShards:
+    def test_covers_every_digest_exactly_once(self):
+        store, digests = make_store(7)
+        shards, failures = build_shards(store, digests, 3)
+        assert failures == {}
+        assert len(shards) <= 3
+        shipped = [d for shard in shards for d in shard.digests]
+        assert sorted(shipped) == sorted(digests)
+        assert [shard.index for shard in shards] == list(range(len(shards)))
+
+    def test_missing_blob_reported_not_shipped(self):
+        store, digests = make_store(2)
+        shards, failures = build_shards(store, digests + ["sha256:ghost"], 2)
+        assert set(failures) == {"sha256:ghost"}
+        shipped = [d for shard in shards for d in shard.digests]
+        assert sorted(shipped) == sorted(digests)
+
+    def test_memory_store_ships_bytes(self):
+        store, digests = make_store(2)
+        shards, _ = build_shards(store, digests, 1)
+        assert shards[0].blobs is not None and shards[0].blob_root is None
+
+    def test_disk_store_ships_root_path(self, tmp_path):
+        mem, digests = make_store(2)
+        disk = DiskBlobStore(tmp_path)
+        for digest in digests:
+            disk.put_at(digest, mem.get(digest))
+        shards, _ = build_shards(disk, digests, 1)
+        assert shards[0].blob_root == str(disk.root)
+        assert shards[0].blobs is None
+
+    def test_default_catalog_not_shipped(self):
+        from repro.filetypes.catalog import default_catalog
+
+        store, digests = make_store(2)
+        shards, _ = build_shards(store, digests, 1, catalog=default_catalog())
+        assert shards[0].catalog is None
+
+    def test_rejects_nonpositive_shard_count(self):
+        store, digests = make_store(1)
+        with pytest.raises(ValueError):
+            build_shards(store, digests, 0)

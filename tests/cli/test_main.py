@@ -27,6 +27,8 @@ class TestParser:
             ["ablate", "x.npz", "--experiment", "a1"],
             ["pipeline", "--scale", "tiny"],
             ["experiments", "--out", "E.md"],
+            ["bench", "--tiny", "--out", "B.json"],
+            ["bench", "--scales", "tiny,mid", "--workers", "2"],
         ],
     )
     def test_accepts_documented_forms(self, argv):
@@ -153,6 +155,32 @@ class TestPipeline:
         layers, images = load_profiles_jsonl(profiles_out)
         assert dataset.n_layers == len(layers)
         assert dataset.n_images == len(images)
+
+
+class TestBench:
+    def test_bench_tiny_writes_artifact(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_pipeline.json"
+        assert main(
+            ["bench", "--tiny", "--modes", "serial,process", "--seed", "5",
+             "--out", str(out)]
+        ) == 0
+        doc = json.loads(out.read_text())
+        assert [s["scale"] for s in doc["scales"]] == ["tiny"]
+        assert doc["summary"]["all_identical_to_serial"] is True
+        assert doc["summary"]["min_warm_extraction_skip_fraction"] >= 0.9
+        cells = {(r["mode"], r["cache"]) for r in doc["scales"][0]["runs"]}
+        assert cells == {
+            ("serial", "cold"), ("serial", "warm"),
+            ("process", "cold"), ("process", "warm"),
+        }
+        stdout = capsys.readouterr().out
+        assert "pipeline bench" in stdout and f"wrote {out}" in stdout
+
+    def test_bench_unknown_scale_errors(self, capsys):
+        assert main(["bench", "--scales", "galactic"]) == 2
+        assert "unknown scale" in capsys.readouterr().err
 
 
 class TestChaos:

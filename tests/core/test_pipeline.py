@@ -60,6 +60,35 @@ class TestMaterializedPipeline:
         assert stats.failed / stats.attempted == pytest.approx(0.239, abs=0.07)
 
 
+class TestPipelineCache:
+    def test_warm_run_skips_extraction(self, tmp_path):
+        """Rerunning the pipeline over an unchanged corpus with the same
+        cache directory must serve (at least) 90 % of layers from the
+        profile cache — here it is all of them."""
+        config = SyntheticHubConfig.tiny(seed=77)
+        cache_dir = tmp_path / "profile-cache"
+
+        cold = run_materialized_pipeline(
+            config, compute_figures=False, cache_dir=cache_dir
+        )
+        stats = cold.analysis.cache_stats
+        assert stats["hits"] == 0
+        assert stats["stores"] == cold.analysis.n_layers
+
+        warm = run_materialized_pipeline(
+            config, compute_figures=False, cache_dir=cache_dir
+        )
+        wstats = warm.analysis.cache_stats
+        assert wstats["hits"] / (wstats["hits"] + wstats["misses"]) >= 0.9
+        assert wstats["misses"] == 0
+        assert (
+            warm.dataset.layer_fls.tolist() == cold.dataset.layer_fls.tolist()
+        )
+        assert (
+            warm.dataset.file_sizes.tolist() == cold.dataset.file_sizes.tolist()
+        )
+
+
 class TestColumnarPipeline:
     def test_runs_at_small_scale(self):
         res = run_columnar_pipeline(SyntheticHubConfig.small(seed=5))

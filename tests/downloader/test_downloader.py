@@ -195,3 +195,42 @@ class TestParallelModes:
         )
         images = downloader.download_all(sorted(manifests))
         assert [img.repository for img in images] == sorted(manifests)
+
+
+class TestProcessModeCoercion:
+    """The downloader is I/O-bound and keeps per-process state (stats, the
+    blob dedup cache, locks): a real process pool would shred its
+    accounting. ``mode="process"`` is therefore coerced to threads, loudly."""
+
+    def process_config(self) -> ParallelConfig:
+        return ParallelConfig(
+            mode="process", workers=2, min_parallel_items=0, chunk_size=1
+        )
+
+    def test_warns_once_and_downloads(self):
+        reg, manifests = build_registry()
+        downloader = Downloader(SimulatedSession(reg), parallel=self.process_config())
+        with pytest.warns(RuntimeWarning, match="coerced to mode='thread'"):
+            images = downloader.download_all(sorted(manifests))
+        assert [img.repository for img in images] == sorted(manifests)
+
+        import warnings
+
+        with warnings.catch_warnings():  # second batch: no repeat warning
+            warnings.simplefilter("error")
+            downloader.download_all(sorted(manifests))
+
+    def test_stats_survive_process_config(self):
+        """With a genuine process pool each worker would mutate its own copy
+        of ``stats`` and the parent would see zeros; coercion keeps the
+        accounting in-process and intact."""
+        reg, manifests = build_registry()
+        downloader = Downloader(SimulatedSession(reg), parallel=self.process_config())
+        with pytest.warns(RuntimeWarning):
+            downloader.download_all(list(manifests) + ["priv/x", "old/y"])
+        stats = downloader.stats
+        assert stats.attempted == 5
+        assert stats.succeeded == 3
+        assert stats.failed == 2
+        assert stats.unique_layers_fetched == 4
+        assert stats.duplicate_layer_hits == 2

@@ -6,11 +6,23 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.parallel.pool import ParallelConfig, parallel_map
+from repro.obs import MetricsRegistry
+from repro.parallel.pool import ParallelConfig, map_shards, parallel_map
 
 
 def square(x: int) -> int:
     return x * x
+
+
+def shard_sum(shard: list[int]) -> int:
+    """Module-level so process pools can pickle it."""
+    return sum(shard)
+
+
+def shard_boom(shard: list[int]) -> int:
+    if 13 in shard:
+        raise ValueError("unlucky shard")
+    return sum(shard)
 
 
 class TestConfig:
@@ -28,6 +40,15 @@ class TestConfig:
 
     def test_effective_workers_default_positive(self):
         assert ParallelConfig().effective_workers() >= 1
+
+    def test_effective_workers_capped_by_task_count(self):
+        assert ParallelConfig(workers=8).effective_workers(3) == 3
+
+    def test_effective_workers_uncapped_without_task_count(self):
+        assert ParallelConfig(workers=8).effective_workers() == 8
+
+    def test_effective_workers_never_below_one(self):
+        assert ParallelConfig(workers=8).effective_workers(0) == 1
 
 
 class TestSerialEquivalence:
@@ -91,6 +112,61 @@ class TestErrors:
         config = ParallelConfig(mode="thread", workers=2, chunk_size=4, min_parallel_items=0)
         with pytest.raises(RuntimeError, match="unlucky"):
             parallel_map(boom, list(range(20)), config)
+
+
+class TestMapShards:
+    def config(self, mode: str) -> ParallelConfig:
+        return ParallelConfig(mode=mode, workers=2, min_parallel_items=0)
+
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_values_in_input_order(self, mode):
+        outcomes = map_shards(shard_sum, [[1, 2], [3], [4, 5, 6]], self.config(mode))
+        assert [o.index for o in outcomes] == [0, 1, 2]
+        assert [o.value for o in outcomes] == [3, 3, 15]
+        assert all(o.ok for o in outcomes)
+        assert [o.n_items for o in outcomes] == [2, 1, 3]
+
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_failed_shard_does_not_kill_siblings(self, mode):
+        outcomes = map_shards(shard_boom, [[1, 2], [13], [4]], self.config(mode))
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert outcomes[1].value is None
+        assert "unlucky shard" in outcomes[1].error
+        assert [o.value for o in outcomes if o.ok] == [3, 4]
+
+    def test_empty_input(self):
+        assert map_shards(shard_sum, []) == []
+
+    def test_serial_fallback_below_min_items(self):
+        config = ParallelConfig(mode="thread", workers=4, min_parallel_items=100)
+        outcomes = map_shards(shard_sum, [[1], [2]], config)
+        assert [o.value for o in outcomes] == [1, 2]
+
+    def test_metrics_recorded(self):
+        metrics = MetricsRegistry()
+        map_shards(
+            shard_boom,
+            [[1, 2, 3], [13], [5, 6]],
+            self.config("thread"),
+            metrics=metrics,
+        )
+        assert metrics.counter(
+            "parallel_shards_dispatched_total", mode="thread"
+        ).value == 3
+        assert metrics.counter(
+            "parallel_shards_completed_total", mode="thread"
+        ).value == 2
+        assert metrics.counter(
+            "parallel_shards_failed_total", mode="thread"
+        ).value == 1
+        # only successful shards' items count as processed
+        assert metrics.counter("parallel_items_total", mode="thread").value == 5
+        assert metrics.gauge("parallel_pool_workers", mode="thread").value == 2
+        utilization = metrics.gauge(
+            "parallel_worker_utilization", mode="thread"
+        ).value
+        assert 0.0 <= utilization <= 1.0
+        assert metrics.gauge("parallel_items_per_second", mode="thread").value > 0
 
 
 @settings(max_examples=20, deadline=None)

@@ -214,6 +214,54 @@ the seeded core of the report is byte-identical across runs. Add
 capacity against a limits-protected server, asserting the server sheds
 rather than melts and the p99 of handled requests stays bounded.""",
     ),
+    (
+        "Parallel analysis & the profile cache",
+        """\
+Layer profiling — gunzip, tar walk, per-file hashing and typing — is the
+pipeline's CPU cost, and it is sharded. `Analyzer` partitions the unique
+layer digests into size-balanced batches (`repro.analyzer.build_shards`,
+weighted by compressed blob size via `partition_work`), dispatches them
+through `repro.parallel.map_shards` to the module-level worker
+`profile_shard`, and merges the results back in first-seen digest order —
+so `serial`, `thread`, and `process` runs produce byte-identical
+datasets. Everything crossing the pool boundary is plain picklable data
+(`LayerShard` in, `ShardProfileResult` out): a `DiskBlobStore` ships only
+its root path and each worker reads its own shard locally; in-memory
+stores ship the compressed bytes. Failures stay data too — a corrupt
+layer lands in `ShardProfileResult.failures`, a dead shard comes back as
+`ShardOutcome.error`, and the analyzer accounts every affected digest in
+`failed_layers` instead of losing the run.
+
+Picking a mode: `serial` for anything tiny (and the automatic fallback
+below `min_parallel_items` or when one worker would be started);
+`thread` for I/O-heavy paths — it is the `Downloader`'s mode, which
+coerces `mode="process"` to threads with a `RuntimeWarning` because its
+stats and dedup cache are per-process state; `process` for CPU-bound
+extraction at scale, where the pickling rules above are what make it
+actually work. `ParallelConfig.effective_workers(n_tasks)` caps workers
+at the number of dispatched chunks. With a `MetricsRegistry`,
+`map_shards` records shards dispatched/completed/failed, items
+processed, per-shard busy seconds, worker utilization, and items/sec.
+
+`ProfileCache` makes re-analysis nearly free: a disk-backed,
+content-addressed map of `(layer digest, catalog version) →
+LayerProfile` under any `BlobStore` (crash-safe tmp+rename on disk by
+default). Entries are self-verifying (magic + checksum + embedded
+digest); a corrupt entry is discarded, counted, deleted, and simply
+re-profiled — inject that rot with `repro.faults.corrupt_at_rest` on
+`cache.store`. Bumping the type catalog changes
+`TypeCatalog.version()`, so every stale entry silently misses rather
+than serving profiles typed under a dead taxonomy. Wire it in with
+`Analyzer(cache=ProfileCache(dir))`, `run_materialized_pipeline(...,
+cache_dir=...)`, or `repro pipeline --cache DIR`; a warm run over an
+unchanged corpus skips every extraction (`analysis.cache_stats`).
+
+`repro bench` measures all of it: the materialized pipeline's analysis
+phase across {serial, thread, process} × {cold, warm cache} at two or
+three scales, written to `BENCH_pipeline.json` with per-cell throughput,
+the warm-run extraction-skip fraction, and an identical-to-serial check
+per cell. `--tiny` is the CI smoke form.""",
+    ),
 ]
 
 
