@@ -9,24 +9,19 @@ profiled once should never pay extraction again. The cache maps
 
 where the catalog version is :meth:`TypeCatalog.version`: change the type
 taxonomy and every old entry silently misses instead of serving profiles
-typed under a dead catalog. Keys are themselves content addresses
-(``sha256`` of the composite key), so any :class:`BlobStore` works as the
-backing store — by default a :class:`DiskBlobStore`, giving crash-safe
-(tmp + rename) persistent entries shared across runs and processes.
+typed under a dead catalog.
 
-Entries are self-verifying: the payload embeds a checksum over the profile
-document, and a corrupt entry (bad frame, bad checksum, bad JSON, wrong
-digest inside) is discarded and counted, never returned — the layer is
-simply re-profiled and the entry rewritten. Inject the fault this guards
-against with :func:`repro.faults.corrupt_at_rest` on :attr:`ProfileCache
-.store`.
+Keying, framing, and corrupt-discard-delete semantics are the shared
+:class:`~repro.util.entrycache.SelfVerifyingCache` machinery (also behind
+:class:`~repro.scan.cache.ScanCache`); the helpers there write byte-for-byte
+what this module always wrote, so pre-refactor cache directories keep
+serving. Inject the rot this guards against with
+:func:`repro.faults.corrupt_at_rest` on :attr:`ProfileCache.store`.
 """
 
 from __future__ import annotations
 
 import json
-import threading
-from dataclasses import dataclass
 from pathlib import Path
 
 from repro.analyzer.profiles import (
@@ -36,39 +31,16 @@ from repro.analyzer.profiles import (
 )
 from repro.filetypes.catalog import TypeCatalog, default_catalog
 from repro.obs import MetricsRegistry
-from repro.registry.blobstore import BlobStore, DiskBlobStore
-from repro.util.digest import sha256_bytes
+from repro.registry.blobstore import BlobStore
+from repro.util.entrycache import EntryCacheStats, SelfVerifyingCache
 
 _MAGIC = b"repro-profile-cache/v1"
 
-
-@dataclass
-class ProfileCacheStats:
-    """Hit/miss accounting for one cache instance."""
-
-    hits: int = 0
-    misses: int = 0
-    stores: int = 0
-    discarded: int = 0
-
-    @property
-    def lookups(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_ratio(self) -> float:
-        return self.hits / self.lookups if self.lookups else 0.0
-
-    def to_dict(self) -> dict[str, int]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "stores": self.stores,
-            "discarded": self.discarded,
-        }
+#: historical name — the profile cache predates the shared stats record.
+ProfileCacheStats = EntryCacheStats
 
 
-class ProfileCache:
+class ProfileCache(SelfVerifyingCache):
     """Persistent (layer digest, catalog version) -> profile cache.
 
     ``root_or_store`` is either a directory (a :class:`DiskBlobStore` is
@@ -78,6 +50,9 @@ class ProfileCache:
     (tests, forward-compat migrations).
     """
 
+    MAGIC = _MAGIC
+    METRIC_PREFIX = "profile_cache"
+
     def __init__(
         self,
         root_or_store: str | Path | BlobStore,
@@ -86,84 +61,24 @@ class ProfileCache:
         catalog_version: str | None = None,
         metrics: MetricsRegistry | None = None,
     ):
-        if isinstance(root_or_store, BlobStore):
-            self.store: BlobStore = root_or_store
-        else:
-            self.store = DiskBlobStore(root_or_store)
-        if catalog_version is not None:
-            self.catalog_version = catalog_version
-        else:
-            self.catalog_version = (catalog or default_catalog()).version()
-        self.metrics = metrics
-        self.stats = ProfileCacheStats()
-        self._lock = threading.Lock()
+        if catalog_version is None:
+            catalog_version = (catalog or default_catalog()).version()
+        super().__init__(root_or_store, version=catalog_version, metrics=metrics)
 
-    # -- keying ---------------------------------------------------------------
+    @property
+    def catalog_version(self) -> str:
+        """The type-taxonomy generation this cache's entries were typed under."""
+        return self.version
 
-    def key(self, layer_digest: str) -> str:
-        """The backing-store address for one layer's entry."""
-        composite = f"{_MAGIC.decode()}:{self.catalog_version}:{layer_digest}"
-        return sha256_bytes(composite.encode())
+    # -- codec hooks ----------------------------------------------------------
 
-    # -- entry codec ----------------------------------------------------------
-
-    def _encode(self, profile: LayerProfile) -> bytes:
-        body = json.dumps(
+    def _encode_body(self, profile: LayerProfile) -> bytes:
+        return json.dumps(
             layer_profile_to_json(profile), separators=(",", ":"), sort_keys=True
         ).encode()
-        checksum = sha256_bytes(body).encode()
-        return _MAGIC + b"\n" + checksum + b"\n" + body
 
-    def _decode(self, payload: bytes, layer_digest: str) -> LayerProfile:
-        magic, checksum, body = payload.split(b"\n", 2)
-        if magic != _MAGIC:
-            raise ValueError(f"bad cache frame: {magic[:32]!r}")
-        if sha256_bytes(body).encode() != checksum:
-            raise ValueError("cache entry checksum mismatch")
-        profile = layer_profile_from_json(json.loads(body))
-        if profile.digest != layer_digest:
-            raise ValueError(
-                f"cache entry holds {profile.digest}, wanted {layer_digest}"
-            )
-        return profile
+    def _decode_body(self, body: bytes) -> LayerProfile:
+        return layer_profile_from_json(json.loads(body))
 
-    # -- cache protocol -------------------------------------------------------
-
-    def get(self, layer_digest: str) -> LayerProfile | None:
-        """The cached profile, or None on miss.
-
-        A corrupt entry counts as a miss *and* is deleted so the rewrite
-        after re-profiling starts from a clean slot.
-        """
-        key = self.key(layer_digest)
-        try:
-            payload = self.store.get(key)
-        except Exception:  # noqa: BLE001 — absent entry, unreadable shard, ...
-            self._count("misses")
-            return None
-        try:
-            profile = self._decode(payload, layer_digest)
-        except Exception:  # noqa: BLE001 — any rot means the entry is dead
-            self._count("discarded")
-            self._count("misses")
-            try:
-                self.store.delete(key)
-            except Exception:  # noqa: BLE001 — best-effort cleanup
-                pass
-            return None
-        self._count("hits")
-        return profile
-
-    def put(self, profile: LayerProfile) -> None:
-        """Write one profile's entry (idempotent; last writer wins)."""
-        self.store.put_at(self.key(profile.digest), self._encode(profile))
-        self._count("stores")
-
-    def _count(self, field_name: str) -> None:
-        with self._lock:
-            setattr(self.stats, field_name, getattr(self.stats, field_name) + 1)
-        if self.metrics is not None:
-            self.metrics.counter(
-                f"profile_cache_{field_name}_total",
-                "profile cache accounting",
-            ).inc()
+    def _digest_of(self, profile: LayerProfile) -> str:
+        return profile.digest

@@ -13,6 +13,7 @@ Subcommands::
     repro loadtest    --seed 3 [--proxy] [--http]       # serving load test
     repro chaos       --seed 7 --plan smoke             # fault-injected pipeline
     repro cluster     --replicas 3 --seed 7 [--overload]  # HA serving exercise
+    repro scan        --scale tiny [--cache DIR] [--selfcheck]  # dedup CVE scan
 """
 
 from __future__ import annotations
@@ -227,6 +228,35 @@ def build_parser() -> argparse.ArgumentParser:
         "limits-protected server",
     )
     p.add_argument("--json", action="store_true", help="emit the report(s) as JSON")
+
+    p = sub.add_parser(
+        "scan",
+        help="dedup-aware vulnerability scan: extract each unique layer "
+        "once, aggregate exposure up the lineage DAG",
+    )
+    _add_seed(p)
+    p.add_argument("--scale", choices=["tiny", "small"], default="tiny")
+    p.add_argument(
+        "--mode", choices=["serial", "thread", "process"], default="thread",
+        help="parallel mode for layer extraction",
+    )
+    p.add_argument("--workers", type=int, help="pool workers (default: cpu count)")
+    p.add_argument(
+        "--cache", type=Path,
+        help="scan-cache directory: reruns under the same CVE feed version "
+        "perform zero extractions",
+    )
+    p.add_argument(
+        "--db-revision", type=int, default=1,
+        help="synthetic CVE feed revision; bumping it invalidates the cache",
+    )
+    p.add_argument("--json", action="store_true", help="emit the report as JSON")
+    p.add_argument("--out", type=Path, help="also write the JSON report here")
+    p.add_argument(
+        "--selfcheck", action="store_true",
+        help="run the invariant exercise (all modes, cold+warm) and exit 1 "
+        "on any violation — the CI scan-smoke job",
+    )
 
     return parser
 
@@ -662,6 +692,65 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_scan(args: argparse.Namespace) -> int:
+    from repro.parallel.pool import ParallelConfig
+    from repro.scan import DedupScanner, ScanCache, run_scan_exercise, targets_from_truth
+    from repro.synth import (
+        LineageConfig,
+        PackageModel,
+        SyntheticCveDatabase,
+        SyntheticHubConfig,
+        generate_dataset,
+        generate_lineage,
+        materialize_registry,
+    )
+
+    if args.selfcheck:
+        report = run_scan_exercise(seed=args.seed, scale=args.scale,
+                                   workers=args.workers)
+        print(report.to_json() if args.json else report.render())
+        return 0 if report.ok else 1
+
+    config = getattr(SyntheticHubConfig, args.scale)(seed=args.seed)
+    dataset = generate_dataset(config)
+    registry, truth = materialize_registry(
+        dataset,
+        fail_share=config.fail_share,
+        fail_auth_share=config.fail_auth_share,
+        seed=config.seed,
+    )
+    targets = targets_from_truth(registry, truth)
+    lineage = generate_lineage(
+        [t.name for t in targets],
+        [t.pull_count for t in targets],
+        LineageConfig(seed=args.seed),
+    )
+    db = SyntheticCveDatabase(seed=args.seed, revision=args.db_revision)
+    cache = ScanCache(args.cache, db_version=db.version()) if args.cache else None
+    scanner = DedupScanner(
+        registry.blobs,
+        db,
+        PackageModel(seed=args.seed),
+        parallel=ParallelConfig(
+            mode=args.mode, workers=args.workers, chunk_size=8, min_parallel_items=0
+        ),
+        cache=cache,
+        metrics=None,
+    )
+    report = scanner.scan(targets, lineage)
+    print(report.to_json() if args.json else report.render())
+    if args.out:
+        args.out.write_text(report.to_json() + "\n")
+        print(f"wrote {args.out}")
+    if cache is not None:
+        stats = cache.stats
+        print(
+            f"cache: {stats.hits:,} hits / {stats.misses:,} misses "
+            f"({stats.discarded} discarded) at {args.cache}"
+        )
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
@@ -678,6 +767,7 @@ _COMMANDS = {
     "loadtest": _cmd_loadtest,
     "chaos": _cmd_chaos,
     "cluster": _cmd_cluster,
+    "scan": _cmd_scan,
 }
 
 

@@ -15,6 +15,11 @@ a benchmark that got a different answer faster measures nothing.
 The cold/warm pair quantifies the profile cache: a warm run on an
 unchanged corpus should skip (close to) 100 % of extractions, the
 repeat-analysis analogue of the paper's §V-A layer-sharing saving.
+
+The document also carries one dedup-scan cell (``scan`` key): a cold and
+a warm :class:`~repro.scan.scanner.DedupScanner` pass over the smallest
+scale, timing unique-layer extraction throughput and checking that the
+warm pass extracts nothing.
 """
 
 from __future__ import annotations
@@ -38,7 +43,7 @@ from repro.synth.hubgen import generate_dataset
 from repro.synth.materialize import materialize_registry
 from repro.util.timer import Timer
 
-BENCH_FORMAT_VERSION = 1
+BENCH_FORMAT_VERSION = 2
 
 #: scales the harness knows how to build, smallest first. ``mid`` is a
 #: bench-only preset: tiny's layer shape at 4x the image count, so the
@@ -240,6 +245,111 @@ def _clear_tree(path: Path) -> None:
     shutil.rmtree(path, ignore_errors=True)
 
 
+@dataclass
+class ScanBench:
+    """Cold/warm throughput of one dedup-aware vulnerability scan."""
+
+    scale: str
+    mode: str
+    n_images: int
+    n_unique_layers: int
+    cold_s: float
+    warm_s: float
+    cold_layers_per_s: float
+    warm_extractions: int
+    savings_ratio: float
+    findings_identical: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "scale": self.scale,
+            "mode": self.mode,
+            "n_images": self.n_images,
+            "n_unique_layers": self.n_unique_layers,
+            "cold_s": round(self.cold_s, 6),
+            "warm_s": round(self.warm_s, 6),
+            "cold_layers_per_s": round(self.cold_layers_per_s, 3),
+            "warm_extractions": self.warm_extractions,
+            "savings_ratio": round(self.savings_ratio, 4),
+            "findings_identical": self.findings_identical,
+        }
+
+
+def bench_scan(
+    scale: str = "tiny",
+    *,
+    seed: int = 2017,
+    mode: str = "thread",
+    workers: int | None = None,
+) -> ScanBench:
+    """Time a cold then a warm :class:`DedupScanner` pass over one hub."""
+    from repro.obs import counter_total
+    from repro.scan.cache import ScanCache
+    from repro.scan.scanner import DedupScanner, targets_from_truth
+    from repro.synth.lineage import (
+        LineageConfig,
+        PackageModel,
+        SyntheticCveDatabase,
+        generate_lineage,
+    )
+
+    config = _scale_config(scale, seed)
+    dataset = generate_dataset(config)
+    registry, truth = materialize_registry(
+        dataset,
+        fail_share=config.fail_share,
+        fail_auth_share=config.fail_auth_share,
+        seed=config.seed,
+    )
+    targets = targets_from_truth(registry, truth)
+    lineage = generate_lineage(
+        [t.name for t in targets],
+        [t.pull_count for t in targets],
+        LineageConfig(seed=seed),
+    )
+    db = SyntheticCveDatabase(seed=seed)
+    model = PackageModel(seed=seed)
+    parallel = ParallelConfig(
+        mode=mode, workers=workers, chunk_size=8, min_parallel_items=0
+    )
+
+    def scan(cache: ScanCache, metrics: MetricsRegistry):
+        scanner = DedupScanner(
+            registry.blobs, db, model,
+            parallel=parallel, cache=cache, metrics=metrics,
+        )
+        with Timer() as t:
+            report = scanner.scan(targets, lineage)
+        return report, t.elapsed
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cold_report, cold_s = scan(ScanCache(tmp, db_version=db.version()),
+                                   MetricsRegistry())
+        warm_metrics = MetricsRegistry()
+        warm_report, warm_s = scan(ScanCache(tmp, db_version=db.version()),
+                                   warm_metrics)
+        warm_extractions = int(
+            counter_total(warm_metrics, "scan_layers_extracted_total")
+        )
+
+    return ScanBench(
+        scale=scale,
+        mode=mode,
+        n_images=cold_report.n_images,
+        n_unique_layers=cold_report.n_unique_layers,
+        cold_s=cold_s,
+        warm_s=warm_s,
+        cold_layers_per_s=(
+            cold_report.n_unique_layers / cold_s if cold_s > 0 else 0.0
+        ),
+        warm_extractions=warm_extractions,
+        savings_ratio=cold_report.savings_ratio,
+        findings_identical=(
+            cold_report.findings_json() == warm_report.findings_json()
+        ),
+    )
+
+
 def run_pipeline_bench(
     *,
     scales: tuple[str, ...] = _DEFAULT_SCALES,
@@ -272,6 +382,8 @@ def run_pipeline_bench(
                 return run
         return None
 
+    scan = bench_scan(scales[0], seed=seed, workers=workers)
+
     largest = results[-1]
     serial_cold = cell(largest, "serial", "cold")
     process_cold = cell(largest, "process", "cold")
@@ -288,6 +400,7 @@ def run_pipeline_bench(
         "workers": workers,
         "repeats": repeats,
         "scales": [bench.to_dict() for bench in results],
+        "scan": scan.to_dict(),
         "summary": {
             "all_identical_to_serial": all(
                 run.identical_to_serial for bench in results for run in bench.runs
@@ -302,6 +415,7 @@ def run_pipeline_bench(
             "min_warm_extraction_skip_fraction": (
                 round(min(warm_skips), 4) if warm_skips else None
             ),
+            "scan_warm_zero_extractions": scan.warm_extractions == 0,
         },
     }
     if out is not None:
@@ -329,6 +443,18 @@ def render_bench(doc: dict) -> str:
                 f"{run['layers_per_s']:10.1f} layers/s  "
                 f"skip {run['extraction_skip_fraction']:6.1%}  [{check}]"
             )
+    scan = doc.get("scan")
+    if scan is not None:
+        check = "ok" if scan["findings_identical"] else "MISMATCH"
+        lines.append(
+            f"  scan ({scan['scale']}/{scan['mode']}): "
+            f"{scan['n_unique_layers']} unique layers, "
+            f"cold {scan['cold_s']:.3f}s "
+            f"({scan['cold_layers_per_s']:.1f} layers/s), "
+            f"warm {scan['warm_s']:.3f}s "
+            f"({scan['warm_extractions']} extractions), "
+            f"dedup {scan['savings_ratio']:.2f}x  [{check}]"
+        )
     summary = doc["summary"]
     if summary["process_vs_serial_cold_speedup"] is not None:
         lines.append(

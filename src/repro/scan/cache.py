@@ -1,0 +1,71 @@
+"""A disk-backed, content-addressed cache of layer scan results.
+
+The scanning analogue of :class:`~repro.analyzer.cache.ProfileCache`,
+built on the same shared framing
+(:class:`~repro.util.entrycache.SelfVerifyingCache`). The cache maps
+
+    (layer digest, CVE-feed version)  ->  LayerScanRecord
+
+so a layer scanned once under one feed generation is never extracted or
+matched again — and a new feed drop (a bumped
+:meth:`~repro.synth.lineage.SyntheticCveDatabase.version`) silently
+misses every old entry instead of serving stale verdicts. Entries are
+self-verifying (magic + checksum + embedded digest); corrupt entries are
+discarded, counted, deleted, and simply re-scanned. Inject that rot with
+:func:`repro.faults.corrupt_at_rest` on :attr:`ScanCache.store`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs import MetricsRegistry
+from repro.registry.blobstore import BlobStore
+from repro.scan.records import LayerScanRecord, record_from_json, record_to_json
+from repro.util.entrycache import EntryCacheStats, SelfVerifyingCache
+
+_MAGIC = b"repro-scan-cache/v1"
+
+#: the scan cache shares the common stats record.
+ScanCacheStats = EntryCacheStats
+
+
+class ScanCache(SelfVerifyingCache):
+    """Persistent (layer digest, CVE-feed version) -> scan-record cache.
+
+    ``root_or_store`` is either a directory (a DiskBlobStore is created
+    under it) or any ready-made :class:`BlobStore`. ``db_version`` is the
+    feed generation the cached verdicts are valid for — pass
+    ``SyntheticCveDatabase.version()``.
+    """
+
+    MAGIC = _MAGIC
+    METRIC_PREFIX = "scan_cache"
+
+    def __init__(
+        self,
+        root_or_store: str | Path | BlobStore,
+        *,
+        db_version: str,
+        metrics: MetricsRegistry | None = None,
+    ):
+        super().__init__(root_or_store, version=db_version, metrics=metrics)
+
+    @property
+    def db_version(self) -> str:
+        """The CVE-feed generation this cache's verdicts are valid for."""
+        return self.version
+
+    # -- codec hooks ----------------------------------------------------------
+
+    def _encode_body(self, record: LayerScanRecord) -> bytes:
+        return json.dumps(
+            record_to_json(record), separators=(",", ":"), sort_keys=True
+        ).encode()
+
+    def _decode_body(self, body: bytes) -> LayerScanRecord:
+        return record_from_json(json.loads(body))
+
+    def _digest_of(self, record: LayerScanRecord) -> str:
+        return record.digest

@@ -1,0 +1,59 @@
+"""The scanner's per-layer result record and its JSON codec.
+
+A :class:`LayerScanRecord` is what scanning one unique layer produces —
+the package inventory extracted from its bytes plus every vulnerability
+the CVE feed matched against it. It is the scan cache's payload, so the
+codec here is the cache's on-disk body format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.synth.lineage import SEVERITIES, Vulnerability
+
+
+@dataclass(frozen=True)
+class LayerScanRecord:
+    """One unique layer's scan result, valid for one CVE-feed version."""
+
+    digest: str
+    compressed_size: int
+    packages: tuple[tuple[str, str], ...]
+    vulns: tuple[Vulnerability, ...]
+
+    @property
+    def n_packages(self) -> int:
+        return len(self.packages)
+
+    def severity_counts(self) -> dict[str, int]:
+        counts = {severity: 0 for severity in SEVERITIES}
+        for vuln in self.vulns:
+            counts[vuln.severity] += 1
+        return counts
+
+
+def record_to_json(record: LayerScanRecord) -> dict:
+    """The canonical JSON document for one layer scan record."""
+    return {
+        "kind": "layer_scan",
+        "digest": record.digest,
+        "compressed_size": record.compressed_size,
+        "packages": [[name, version] for name, version in record.packages],
+        "vulns": [
+            [v.id, v.package, v.version, v.severity] for v in record.vulns
+        ],
+    }
+
+
+def record_from_json(doc: dict) -> LayerScanRecord:
+    """Rebuild a :class:`LayerScanRecord` from :func:`record_to_json`."""
+    return LayerScanRecord(
+        digest=doc["digest"],
+        compressed_size=doc["compressed_size"],
+        packages=tuple((name, version) for name, version in doc["packages"]),
+        vulns=tuple(
+            Vulnerability(id=i, package=p, version=v, severity=s)
+            for i, p, v, s in doc["vulns"]
+        ),
+    )

@@ -1,0 +1,214 @@
+"""The scan report: exposure rollups plus the dedup-savings accounting.
+
+Everything here is deterministic data — no wall-clock timings — so a
+report is byte-identical for a fixed seed across serial, thread, and
+process scans (the property ``repro scan --selfcheck`` asserts). Timing
+lives in the obs metrics and the bench harness instead.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.synth.lineage import SEVERITIES
+
+
+@dataclass(frozen=True)
+class ImageExposure:
+    """One image's aggregated vulnerability exposure.
+
+    ``by_severity`` is aligned with :data:`~repro.synth.lineage.SEVERITIES`.
+    ``n_inherited`` counts vulnerabilities present in a base image (an
+    ancestor in the lineage DAG) but not introduced by this image's own
+    layers; ``n_introduced`` the converse. ``partial`` flags images with
+    at least one layer that failed to scan — their exposure is a lower
+    bound, never silently complete.
+    """
+
+    name: str
+    official: bool
+    parent: str | None
+    depth: int
+    pull_count: int
+    n_layers: int
+    n_scanned_layers: int
+    partial: bool
+    n_vulns: int
+    n_inherited: int
+    n_introduced: int
+    by_severity: tuple[int, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "official": self.official,
+            "parent": self.parent,
+            "depth": self.depth,
+            "pull_count": self.pull_count,
+            "n_layers": self.n_layers,
+            "n_scanned_layers": self.n_scanned_layers,
+            "partial": self.partial,
+            "n_vulns": self.n_vulns,
+            "n_inherited": self.n_inherited,
+            "n_introduced": self.n_introduced,
+            "by_severity": dict(zip(SEVERITIES, self.by_severity)),
+        }
+
+
+@dataclass(frozen=True)
+class TypeRollup:
+    """Exposure aggregated over one repository type (official/community)."""
+
+    label: str
+    n_images: int
+    n_vulns_total: int
+    mean_vulns_per_image: float
+    by_severity: tuple[int, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "n_images": self.n_images,
+            "n_vulns_total": self.n_vulns_total,
+            "mean_vulns_per_image": round(self.mean_vulns_per_image, 4),
+            "by_severity": dict(zip(SEVERITIES, self.by_severity)),
+        }
+
+
+@dataclass(frozen=True)
+class DecileRollup:
+    """Exposure aggregated over one popularity decile (0 = most pulled)."""
+
+    decile: int
+    n_images: int
+    mean_vulns_per_image: float
+    max_vulns: int
+    images_with_critical: int
+
+    def to_dict(self) -> dict:
+        return {
+            "decile": self.decile,
+            "n_images": self.n_images,
+            "mean_vulns_per_image": round(self.mean_vulns_per_image, 4),
+            "max_vulns": self.max_vulns,
+            "images_with_critical": self.images_with_critical,
+        }
+
+
+@dataclass
+class ScanReport:
+    """Everything one dedup-aware scan produced.
+
+    The dedup-savings block is the headline: ``naive_layer_scans`` is what
+    an O(images x layers) scanner would have extracted,
+    ``unique_layer_scans`` what this scanner actually did (== the number
+    of unique digests), and ``savings_ratio`` their quotient — the §IV/§V
+    layer-sharing result turned into scan throughput.
+    """
+
+    db_version: str
+    n_images: int
+    n_unique_layers: int
+    naive_layer_scans: int
+    unique_layer_scans: int
+    n_extracted: int
+    n_cache_hits: int
+    n_failed_layers: int
+    severity_totals: dict[str, int] = field(default_factory=dict)
+    n_unique_vulns: int = 0
+    images: list[ImageExposure] = field(default_factory=list)
+    by_type: list[TypeRollup] = field(default_factory=list)
+    by_decile: list[DecileRollup] = field(default_factory=list)
+    failed_layers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def scans_avoided(self) -> int:
+        return self.naive_layer_scans - self.unique_layer_scans
+
+    @property
+    def savings_ratio(self) -> float:
+        if self.unique_layer_scans == 0:
+            return 1.0
+        return self.naive_layer_scans / self.unique_layer_scans
+
+    def top_images(self, n: int = 10) -> list[ImageExposure]:
+        """The *n* most exposed images (deterministic tie-break by name)."""
+        return sorted(self.images, key=lambda e: (-e.n_vulns, e.name))[:n]
+
+    def to_dict(self) -> dict:
+        return {
+            "db_version": self.db_version,
+            "n_images": self.n_images,
+            "n_unique_layers": self.n_unique_layers,
+            "dedup_savings": {
+                "naive_layer_scans": self.naive_layer_scans,
+                "unique_layer_scans": self.unique_layer_scans,
+                "scans_avoided": self.scans_avoided,
+                "savings_ratio": round(self.savings_ratio, 4),
+            },
+            "cache": {
+                "extracted": self.n_extracted,
+                "hits": self.n_cache_hits,
+            },
+            "n_failed_layers": self.n_failed_layers,
+            "failed_layers": dict(sorted(self.failed_layers.items())),
+            "severity_totals": {
+                severity: self.severity_totals.get(severity, 0)
+                for severity in SEVERITIES
+            },
+            "n_unique_vulns": self.n_unique_vulns,
+            "by_type": [rollup.to_dict() for rollup in self.by_type],
+            "by_decile": [rollup.to_dict() for rollup in self.by_decile],
+            "images": [exposure.to_dict() for exposure in self.images],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def findings_dict(self) -> dict:
+        """:meth:`to_dict` minus the per-run ``cache`` block.
+
+        Extracted-vs-cached is a property of the *run* (a warm rerun does
+        less work), not of the corpus; everything else — exposure, rollups,
+        savings — must be byte-identical however the layers were resolved.
+        """
+        doc = self.to_dict()
+        del doc["cache"]
+        return doc
+
+    def findings_json(self) -> str:
+        return json.dumps(self.findings_dict(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        """A human-readable summary of the scan."""
+        lines = [
+            f"scan: {self.n_images:,} images over {self.n_unique_layers:,} "
+            f"unique layers (CVE feed {self.db_version})",
+            f"  dedup savings: {self.unique_layer_scans:,} unique-layer scans "
+            f"vs {self.naive_layer_scans:,} naive per-image scans "
+            f"-> {self.savings_ratio:.2f}x ({self.scans_avoided:,} avoided)",
+            f"  cache: {self.n_extracted:,} extracted, "
+            f"{self.n_cache_hits:,} served from cache, "
+            f"{self.n_failed_layers} failed",
+            "  vulnerabilities (unique): "
+            + ", ".join(
+                f"{severity} {self.severity_totals.get(severity, 0):,}"
+                for severity in SEVERITIES
+            ),
+        ]
+        for rollup in self.by_type:
+            lines.append(
+                f"  {rollup.label:<9} {rollup.n_images:>5,} images, "
+                f"mean {rollup.mean_vulns_per_image:6.1f} vulns/image"
+            )
+        top = self.top_images(5)
+        if top:
+            lines.append("  most exposed:")
+            for exposure in top:
+                flag = " (partial)" if exposure.partial else ""
+                lines.append(
+                    f"    {exposure.name:<24} {exposure.n_vulns:>5,} vulns "
+                    f"({exposure.n_inherited:,} inherited){flag}"
+                )
+        return "\n".join(lines)

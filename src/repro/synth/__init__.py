@@ -22,6 +22,17 @@ from repro.synth.config import LayerShapeConfig, PopularityConfig, SharingConfig
 from repro.synth.content import synthesize_file_bytes
 from repro.synth.filepool import FilePool, generate_file_pool
 from repro.synth.hubgen import generate_dataset
+from repro.synth.lineage import (
+    SEVERITIES,
+    ImageLineage,
+    ImageNode,
+    LineageConfig,
+    PackageModel,
+    SyntheticCveDatabase,
+    Vulnerability,
+    generate_lineage,
+    is_official,
+)
 from repro.synth.materialize import GroundTruth, materialize_registry
 from repro.synth.typeprofiles import TypeProfile, default_type_profiles
 
@@ -29,6 +40,13 @@ __all__ = [
     "CalibrationRow",
     "FilePool",
     "GroundTruth",
+    "ImageLineage",
+    "ImageNode",
+    "LineageConfig",
+    "PackageModel",
+    "SEVERITIES",
+    "SyntheticCveDatabase",
+    "Vulnerability",
     "calibration_report",
     "failed_rows",
     "LayerShapeConfig",
@@ -39,6 +57,8 @@ __all__ = [
     "default_type_profiles",
     "generate_dataset",
     "generate_file_pool",
+    "generate_lineage",
+    "is_official",
     "materialize_registry",
     "synthesize_file_bytes",
 ]

@@ -1,0 +1,402 @@
+"""Synthetic image lineage, package inventories, and a versioned CVE feed.
+
+The paper's central dedup finding (§IV/§V: most layers recur across images)
+has a natural security consumer — scan each *unique* layer once instead of
+once per image — and "Vulnerability Analysis of 2500 Docker Hub Images"
+(PAPERS.md) supplies the shape of the workload this module synthesizes:
+
+* a **parent/child image DAG** (:func:`generate_lineage`): official images
+  (no ``/`` in the repository name) act as bases, community images inherit
+  from popular parents, and exposure aggregates *up* the DAG — a child is
+  exposed to everything its base ships;
+* **per-layer package inventories** (:class:`PackageModel`): which
+  ``name@version`` packages a layer carries, a pure function of
+  ``(seed, layer digest)`` so the same digest always yields the same
+  inventory in every process — the property that makes dedup-aware
+  scanning sound;
+* a **versioned synthetic CVE database**
+  (:class:`SyntheticCveDatabase`): vulnerabilities keyed by
+  ``package@version`` with severities, closed-form per lookup, with a
+  :meth:`~SyntheticCveDatabase.version` string that changes whenever the
+  feed revision or parameters do — the scan cache's invalidation key.
+
+Every draw routes through :func:`repro.util.rng.derive_seed` /
+:func:`~repro.util.rng.seeded_uniform` — pure functions of their
+arguments, never salted ``hash()`` — so scan reports are byte-identical
+across processes and under process-mode parallelism.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.util.digest import sha256_bytes
+from repro.util.rng import derive_seed, seeded_uniform
+
+#: vulnerability severities, most severe first (report ordering follows this).
+SEVERITIES = ("critical", "high", "medium", "low")
+
+
+def is_official(name: str) -> bool:
+    """Docker Hub convention: official repositories have no namespace."""
+    return "/" not in name
+
+
+# -- lineage DAG ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LineageConfig:
+    """Knobs for :func:`generate_lineage`; all draws derive from ``seed``."""
+
+    seed: int = 2017
+    #: probability an official image is a root (no parent) — think ``debian``
+    #: vs ``python`` (which itself builds on an official base).
+    official_root_fraction: float = 0.5
+    #: probability a community image is a root.
+    community_root_fraction: float = 0.1
+    #: multiplicative weight boost for official images as parent candidates.
+    official_parent_bias: float = 8.0
+    #: parents are drawn from at most this many of the most-basic candidates.
+    max_parent_candidates: int = 64
+
+    def __post_init__(self) -> None:
+        for field_name in ("official_root_fraction", "community_root_fraction"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field_name} must be in [0, 1], got {value}")
+        if self.official_parent_bias <= 0:
+            raise ValueError("official_parent_bias must be positive")
+        if self.max_parent_candidates < 1:
+            raise ValueError("max_parent_candidates must be >= 1")
+
+
+@dataclass(frozen=True)
+class ImageNode:
+    """One repository's place in the lineage DAG."""
+
+    name: str
+    parent: str | None
+    official: bool
+    depth: int  # 0 for roots
+
+
+@dataclass(frozen=True)
+class ImageLineage:
+    """A validated parent/child forest over a hub's repositories.
+
+    ``nodes`` keeps the input name order. Acyclicity is by construction:
+    a parent always precedes its child in the basicness ordering.
+    """
+
+    nodes: tuple[ImageNode, ...]
+
+    @cached_property
+    def _by_name(self) -> dict[str, ImageNode]:
+        return {node.name: node for node in self.nodes}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def node(self, name: str) -> ImageNode:
+        return self._by_name[name]
+
+    def parent_of(self, name: str) -> str | None:
+        return self._by_name[name].parent
+
+    def ancestors(self, name: str) -> list[str]:
+        """Base chain of *name*, nearest parent first."""
+        out: list[str] = []
+        parent = self._by_name[name].parent
+        while parent is not None:
+            out.append(parent)
+            parent = self._by_name[parent].parent
+        return out
+
+    def roots(self) -> list[str]:
+        return [node.name for node in self.nodes if node.parent is None]
+
+    def children_of(self, name: str) -> list[str]:
+        return [node.name for node in self.nodes if node.parent == name]
+
+    def topological(self) -> list[str]:
+        """Names in parent-before-child order (stable within a depth)."""
+        rank = {node.name: i for i, node in enumerate(self.nodes)}
+        return [
+            node.name
+            for node in sorted(
+                self.nodes, key=lambda n: (n.depth, rank[n.name])
+            )
+        ]
+
+    @property
+    def max_depth(self) -> int:
+        return max((node.depth for node in self.nodes), default=0)
+
+    def validate(self) -> None:
+        """Raise ValueError on dangling parents or cycles."""
+        for node in self.nodes:
+            if node.parent is not None and node.parent not in self._by_name:
+                raise ValueError(
+                    f"{node.name} names unknown parent {node.parent!r}"
+                )
+        for node in self.nodes:
+            seen = {node.name}
+            parent = node.parent
+            while parent is not None:
+                if parent in seen:
+                    raise ValueError(f"lineage cycle through {parent!r}")
+                seen.add(parent)
+                parent = self._by_name[parent].parent
+
+
+def generate_lineage(
+    names: list[str],
+    pull_counts: list[int] | None = None,
+    config: LineageConfig | None = None,
+) -> ImageLineage:
+    """Generate a seeded parent/child DAG over existing hub repositories.
+
+    Candidates are ordered by *basicness* — official first, then by pulls,
+    then by name — and every image picks its parent from the strictly more
+    basic prefix (acyclic by construction), weighted toward official and
+    popular images. All draws are pure functions of ``(config.seed, name)``,
+    so the DAG is byte-identical across processes and indifferent to the
+    order in which images are examined.
+    """
+    config = config or LineageConfig()
+    if len(set(names)) != len(names):
+        raise ValueError("repository names must be unique")
+    pulls = list(pull_counts) if pull_counts is not None else [0] * len(names)
+    if len(pulls) != len(names):
+        raise ValueError(f"{len(pulls)} pull counts for {len(names)} names")
+
+    by_basicness = sorted(
+        range(len(names)),
+        key=lambda i: (not is_official(names[i]), -pulls[i], names[i]),
+    )
+    rank_of = {names[i]: r for r, i in enumerate(by_basicness)}
+
+    parent_by_name: dict[str, str | None] = {}
+    for i, name in enumerate(names):
+        official = is_official(name)
+        rank = rank_of[name]
+        root_fraction = (
+            config.official_root_fraction
+            if official
+            else config.community_root_fraction
+        )
+        if rank == 0 or seeded_uniform(config.seed, "lineage-root", name) < root_fraction:
+            parent_by_name[name] = None
+            continue
+        # draw a parent from the most basic candidates strictly above us
+        n_candidates = min(rank, config.max_parent_candidates)
+        weights = []
+        for slot in range(n_candidates):
+            candidate = names[by_basicness[slot]]
+            bias = config.official_parent_bias if is_official(candidate) else 1.0
+            weights.append(bias / (1.0 + slot))
+        total = sum(weights)
+        u = seeded_uniform(config.seed, "lineage-parent", name) * total
+        acc = 0.0
+        pick = n_candidates - 1
+        for slot, weight in enumerate(weights):
+            acc += weight
+            if u < acc:
+                pick = slot
+                break
+        parent_by_name[name] = names[by_basicness[pick]]
+
+    depth_by_name: dict[str, int] = {}
+
+    def depth(name: str) -> int:
+        cached = depth_by_name.get(name)
+        if cached is not None:
+            return cached
+        chain: list[str] = []
+        cursor: str | None = name
+        while cursor is not None and cursor not in depth_by_name:
+            chain.append(cursor)
+            cursor = parent_by_name[cursor]
+        base = depth_by_name[cursor] if cursor is not None else -1
+        for step, link in enumerate(reversed(chain), start=1):
+            depth_by_name[link] = base + step
+        return depth_by_name[name]
+
+    lineage = ImageLineage(
+        nodes=tuple(
+            ImageNode(
+                name=name,
+                parent=parent_by_name[name],
+                official=is_official(name),
+                depth=depth(name),
+            )
+            for name in names
+        )
+    )
+    lineage.validate()
+    return lineage
+
+
+# -- per-layer package inventories ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class PackageModel:
+    """Deterministic per-layer package inventories.
+
+    The inventory for a digest is a pure function of ``(seed, digest)``:
+    package count ~ truncated exponential around ``mean_packages``, names
+    drawn from a pool of ``pool_size`` synthetic packages, and each
+    package pinned to one of a few plausible versions (so the same
+    ``name@version`` recurs across layers, which is what gives the CVE
+    feed cross-layer reach). Frozen and picklable — it ships inside scan
+    shards to process-pool workers.
+    """
+
+    seed: int = 2017
+    pool_size: int = 400
+    mean_packages: float = 14.0
+    max_packages: int = 80
+    versions_per_package: int = 3
+
+    def __post_init__(self) -> None:
+        if self.pool_size < 1 or self.max_packages < 1:
+            raise ValueError("pool_size and max_packages must be >= 1")
+        if self.mean_packages <= 0:
+            raise ValueError("mean_packages must be positive")
+        if self.versions_per_package < 1:
+            raise ValueError("versions_per_package must be >= 1")
+
+    def packages_for_layer(self, digest: str) -> tuple[tuple[str, str], ...]:
+        """The ``(name, version)`` inventory of one layer digest, sorted."""
+        u = seeded_uniform(self.seed, "pkg-count", digest)
+        count = min(self.max_packages, int(-self.mean_packages * math.log1p(-u)))
+        picks: dict[int, str] = {}
+        for slot in range(count):
+            pid = derive_seed(self.seed, "pkg-id", digest, slot) % self.pool_size
+            if pid in picks:
+                continue  # deterministic collision: slightly smaller inventory
+            vslot = (
+                derive_seed(self.seed, "pkg-vslot", digest, pid)
+                % self.versions_per_package
+            )
+            patch = derive_seed(self.seed, "pkg-patch", pid, vslot) % 10
+            picks[pid] = f"{1 + pid % 4}.{vslot}.{patch}"
+        return tuple(
+            sorted((f"pkg-{pid:04d}", version) for pid, version in picks.items())
+        )
+
+
+# -- the synthetic CVE database -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Vulnerability:
+    """One CVE hit: the advisory id and the package@version it afflicts."""
+
+    id: str
+    package: str
+    version: str
+    severity: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """Identity for dedup across layers/images."""
+        return (self.id, self.package, self.version)
+
+
+@dataclass(frozen=True)
+class SyntheticCveDatabase:
+    """A closed-form vulnerability feed keyed by ``package@version``.
+
+    No enumeration, no storage: whether (and how) a package version is
+    vulnerable is a pure function of ``(seed, revision, package, version)``,
+    so any process answers identically. :meth:`version` folds every
+    parameter into a stable string — bump ``revision`` (a new feed drop)
+    and every cached scan result keyed on the old version silently misses.
+    """
+
+    seed: int = 97
+    revision: int = 1
+    vuln_rate: float = 0.35
+    max_vulns_per_package: int = 3
+    severity_weights: tuple[float, ...] = (0.07, 0.20, 0.41, 0.32)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.vuln_rate <= 1.0:
+            raise ValueError(f"vuln_rate must be in [0, 1], got {self.vuln_rate}")
+        if self.max_vulns_per_package < 1:
+            raise ValueError("max_vulns_per_package must be >= 1")
+        if len(self.severity_weights) != len(SEVERITIES):
+            raise ValueError(
+                f"need {len(SEVERITIES)} severity weights, "
+                f"got {len(self.severity_weights)}"
+            )
+        if any(w < 0 for w in self.severity_weights) or not any(
+            self.severity_weights
+        ):
+            raise ValueError("severity weights must be non-negative, not all zero")
+
+    def version(self) -> str:
+        """A stable identifier for this feed generation (the cache key)."""
+        payload = ":".join(
+            str(part)
+            for part in (
+                self.seed,
+                self.revision,
+                self.vuln_rate,
+                self.max_vulns_per_package,
+                *self.severity_weights,
+            )
+        )
+        digest = sha256_bytes(f"repro-cvedb/v1:{payload}".encode())
+        return f"cvedb-r{self.revision}-{digest[len('sha256:'):][:12]}"
+
+    def vulnerabilities(self, package: str, version: str) -> tuple[Vulnerability, ...]:
+        """Every advisory afflicting ``package@version`` (possibly none)."""
+        gate = seeded_uniform(
+            self.seed, "cve-gate", self.revision, package, version
+        )
+        if gate >= self.vuln_rate:
+            return ()
+        count = 1 + (
+            derive_seed(self.seed, "cve-count", self.revision, package, version)
+            % self.max_vulns_per_package
+        )
+        out = []
+        for i in range(count):
+            year = 2014 + (
+                derive_seed(self.seed, "cve-year", self.revision, package, version, i)
+                % 10
+            )
+            number = 1000 + (
+                derive_seed(self.seed, "cve-num", self.revision, package, version, i)
+                % 99000
+            )
+            out.append(
+                Vulnerability(
+                    id=f"CVE-{year}-{number}",
+                    package=package,
+                    version=version,
+                    severity=self._severity(package, version, i),
+                )
+            )
+        return tuple(out)
+
+    def _severity(self, package: str, version: str, index: int) -> str:
+        total = sum(self.severity_weights)
+        u = (
+            seeded_uniform(
+                self.seed, "cve-sev", self.revision, package, version, index
+            )
+            * total
+        )
+        acc = 0.0
+        for severity, weight in zip(SEVERITIES, self.severity_weights):
+            acc += weight
+            if u < acc:
+                return severity
+        return SEVERITIES[-1]

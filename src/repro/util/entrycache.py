@@ -1,0 +1,186 @@
+"""Self-verifying cache-entry framing shared by disk-backed caches.
+
+Factored out of :mod:`repro.analyzer.cache` so every content-addressed
+cache in the system — the layer :class:`~repro.analyzer.cache.ProfileCache`
+and the vulnerability :class:`~repro.scan.cache.ScanCache` — speaks the same
+at-rest dialect instead of re-inventing it:
+
+* the backing-store **key** is itself a content address:
+  ``sha256(f"{magic}:{version}:{digest}")``, so any
+  :class:`~repro.registry.blobstore.BlobStore` works as the backing store
+  and bumping the version string silently invalidates every old entry;
+* the **entry** is framed ``magic + b"\\n" + checksum + b"\\n" + body``,
+  where the checksum covers the body, and the decoded value must embed the
+  digest it was looked up under;
+* a corrupt entry (bad frame, bad checksum, bad body, wrong digest inside)
+  is **discarded, counted, and deleted** — never returned — so the caller
+  simply recomputes and the rewrite starts from a clean slot. Inject the
+  fault this guards against with :func:`repro.faults.corrupt_at_rest` on
+  the cache's ``store``.
+
+The framing helpers (:func:`encode_entry` / :func:`decode_entry` /
+:func:`entry_key`) are byte-for-byte what ``ProfileCache`` always wrote, so
+existing on-disk profile caches keep working across this refactor.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.obs import MetricsRegistry
+from repro.registry.blobstore import BlobStore, DiskBlobStore
+from repro.util.digest import sha256_bytes
+
+
+def entry_key(magic: bytes, version: str, digest: str) -> str:
+    """The backing-store address for one digest's entry."""
+    composite = f"{magic.decode()}:{version}:{digest}"
+    return sha256_bytes(composite.encode())
+
+
+def encode_entry(magic: bytes, body: bytes) -> bytes:
+    """Frame *body* as a self-verifying entry: magic, checksum, payload."""
+    checksum = sha256_bytes(body).encode()
+    return magic + b"\n" + checksum + b"\n" + body
+
+
+def decode_entry(magic: bytes, payload: bytes) -> bytes:
+    """Unframe an entry, verifying magic and checksum; raises ValueError."""
+    head, checksum, body = payload.split(b"\n", 2)
+    if head != magic:
+        raise ValueError(f"bad cache frame: {head[:32]!r}")
+    if sha256_bytes(body).encode() != checksum:
+        raise ValueError("cache entry checksum mismatch")
+    return body
+
+
+@dataclass
+class EntryCacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    discarded: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "discarded": self.discarded,
+        }
+
+
+class SelfVerifyingCache:
+    """Base class for persistent ``(digest, version) -> value`` caches.
+
+    Subclasses set :attr:`MAGIC` (the frame tag, which also namespaces the
+    keys) and :attr:`METRIC_PREFIX` (for the obs counters), and implement
+    the three codec hooks: :meth:`_encode_body`, :meth:`_decode_body`, and
+    :meth:`_digest_of`. ``root_or_store`` is either a directory (a
+    :class:`DiskBlobStore` is created under it) or any ready-made
+    :class:`BlobStore`.
+    """
+
+    MAGIC: bytes = b"repro-entry-cache/v1"
+    METRIC_PREFIX: str = "entry_cache"
+
+    def __init__(
+        self,
+        root_or_store: str | Path | BlobStore,
+        *,
+        version: str,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if isinstance(root_or_store, BlobStore):
+            self.store: BlobStore = root_or_store
+        else:
+            self.store = DiskBlobStore(root_or_store)
+        self.version = version
+        self.metrics = metrics
+        self.stats = EntryCacheStats()
+        self._lock = threading.Lock()
+
+    # -- codec hooks ----------------------------------------------------------
+
+    def _encode_body(self, value: Any) -> bytes:
+        """Serialize one value to the entry body."""
+        raise NotImplementedError
+
+    def _decode_body(self, body: bytes) -> Any:
+        """Rebuild a value from an entry body (raise on malformed bodies)."""
+        raise NotImplementedError
+
+    def _digest_of(self, value: Any) -> str:
+        """The digest a value claims to describe (the embedded-digest check)."""
+        raise NotImplementedError
+
+    # -- keying / framing -----------------------------------------------------
+
+    def key(self, digest: str) -> str:
+        """The backing-store address for one digest's entry."""
+        return entry_key(self.MAGIC, self.version, digest)
+
+    def _encode(self, value: Any) -> bytes:
+        return encode_entry(self.MAGIC, self._encode_body(value))
+
+    def _decode(self, payload: bytes, digest: str) -> Any:
+        value = self._decode_body(decode_entry(self.MAGIC, payload))
+        if self._digest_of(value) != digest:
+            raise ValueError(
+                f"cache entry holds {self._digest_of(value)}, wanted {digest}"
+            )
+        return value
+
+    # -- cache protocol -------------------------------------------------------
+
+    def get(self, digest: str) -> Any | None:
+        """The cached value, or None on miss.
+
+        A corrupt entry counts as a miss *and* is deleted so the rewrite
+        after recomputation starts from a clean slot.
+        """
+        key = self.key(digest)
+        try:
+            payload = self.store.get(key)
+        except Exception:  # noqa: BLE001 — absent entry, unreadable shard, ...
+            self._count("misses")
+            return None
+        try:
+            value = self._decode(payload, digest)
+        except Exception:  # noqa: BLE001 — any rot means the entry is dead
+            self._count("discarded")
+            self._count("misses")
+            try:
+                self.store.delete(key)
+            except Exception:  # noqa: BLE001 — best-effort cleanup
+                pass
+            return None
+        self._count("hits")
+        return value
+
+    def put(self, value: Any) -> None:
+        """Write one value's entry (idempotent; last writer wins)."""
+        self.store.put_at(self.key(self._digest_of(value)), self._encode(value))
+        self._count("stores")
+
+    def _count(self, field_name: str) -> None:
+        with self._lock:
+            setattr(self.stats, field_name, getattr(self.stats, field_name) + 1)
+        if self.metrics is not None:
+            self.metrics.counter(
+                f"{self.METRIC_PREFIX}_{field_name}_total",
+                f"{self.METRIC_PREFIX} accounting",
+            ).inc()

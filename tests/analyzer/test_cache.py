@@ -67,6 +67,42 @@ class TestInvalidation:
         assert ProfileCache(tmp_path).catalog_version == default_catalog().version()
 
 
+class TestOnDiskFormat:
+    """Pins the at-rest dialect: the shared-framing refactor (and anything
+    after it) must keep existing profile caches readable."""
+
+    def test_frame_is_magic_newline_checksum_newline_body(self, tmp_path, profile):
+        import json
+
+        from repro.util.digest import sha256_bytes
+
+        cache = ProfileCache(tmp_path)
+        cache.put(profile)
+        payload = cache.store.get(cache.key(profile.digest))
+        magic, checksum, body = payload.split(b"\n", 2)
+        assert magic == b"repro-profile-cache/v1"
+        assert checksum == sha256_bytes(body).encode()
+        assert json.loads(body)["digest"] == profile.digest
+
+    def test_key_derivation_pinned(self):
+        from repro.util.digest import sha256_bytes
+
+        digest = "sha256:" + "ab" * 32
+        cache = ProfileCache(MemoryBlobStore(), catalog_version="cat-v1")
+        expected = sha256_bytes(
+            f"repro-profile-cache/v1:cat-v1:{digest}".encode()
+        )
+        assert cache.key(digest) == expected
+
+    def test_shared_framing_base(self):
+        """ProfileCache and ScanCache sit on one entry-framing helper."""
+        from repro.scan.cache import ScanCache
+        from repro.util.entrycache import SelfVerifyingCache
+
+        assert issubclass(ProfileCache, SelfVerifyingCache)
+        assert issubclass(ScanCache, SelfVerifyingCache)
+
+
 class TestCorruption:
     def test_corrupt_entry_discarded_and_deleted(self, tmp_path, profile):
         cache = ProfileCache(tmp_path)

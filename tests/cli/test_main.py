@@ -29,6 +29,9 @@ class TestParser:
             ["experiments", "--out", "E.md"],
             ["bench", "--tiny", "--out", "B.json"],
             ["bench", "--scales", "tiny,mid", "--workers", "2"],
+            ["scan", "--scale", "tiny", "--cache", "C", "--db-revision", "2"],
+            ["scan", "--selfcheck", "--json"],
+            ["scan", "--mode", "process", "--workers", "2", "--out", "S.json"],
         ],
     )
     def test_accepts_documented_forms(self, argv):
@@ -181,6 +184,34 @@ class TestBench:
     def test_bench_unknown_scale_errors(self, capsys):
         assert main(["bench", "--scales", "galactic"]) == 2
         assert "unknown scale" in capsys.readouterr().err
+
+
+class TestScan:
+    def test_scan_cold_then_warm_same_findings(self, tmp_path, capsys):
+        import json
+
+        cache = tmp_path / "scans"
+        out = tmp_path / "scan.json"
+        argv = ["scan", "--scale", "tiny", "--seed", "5", "--mode", "serial",
+                "--cache", str(cache), "--out", str(out)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "dedup savings" in cold and "0 served from cache" in cold
+        doc = json.loads(out.read_text())
+        assert doc["dedup_savings"]["unique_layer_scans"] == doc["n_unique_layers"]
+        assert doc["dedup_savings"]["savings_ratio"] >= 1.0
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "0 extracted" in warm  # the cache answered every layer
+        warm_doc = json.loads(out.read_text())
+        del doc["cache"], warm_doc["cache"]
+        assert warm_doc == doc
+
+    def test_scan_selfcheck_passes(self, capsys):
+        assert main(["scan", "--selfcheck", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "selfcheck: PASS" in out
 
 
 class TestChaos:

@@ -1,0 +1,114 @@
+"""ScanCache semantics: roundtrip, feed invalidation, corruption recovery."""
+
+import pytest
+
+from repro.faults import corrupt_at_rest
+from repro.registry.blobstore import MemoryBlobStore
+from repro.scan.cache import ScanCache
+from repro.scan.records import LayerScanRecord, record_from_json, record_to_json
+from repro.synth.lineage import Vulnerability
+
+DIGEST = "sha256:" + "ab" * 32
+FEED = "cvedb-r1-feedfeedfeed"
+
+
+@pytest.fixture()
+def record():
+    return LayerScanRecord(
+        digest=DIGEST,
+        compressed_size=123,
+        packages=(("pkg-0001", "1.0.0"), ("pkg-0002", "2.1.3")),
+        vulns=(
+            Vulnerability("CVE-2016-1001", "pkg-0001", "1.0.0", "high"),
+            Vulnerability("CVE-2019-2002", "pkg-0002", "2.1.3", "low"),
+        ),
+    )
+
+
+class TestRecordCodec:
+    def test_roundtrip(self, record):
+        assert record_from_json(record_to_json(record)) == record
+
+    def test_severity_counts(self, record):
+        counts = record.severity_counts()
+        assert counts["high"] == 1 and counts["low"] == 1
+        assert counts["critical"] == 0
+        assert record.n_packages == 2
+
+
+class TestRoundtrip:
+    def test_put_then_get(self, tmp_path, record):
+        cache = ScanCache(tmp_path, db_version=FEED)
+        assert cache.get(DIGEST) is None
+        cache.put(record)
+        assert cache.get(DIGEST) == record
+        assert cache.stats.to_dict() == {
+            "hits": 1, "misses": 1, "stores": 1, "discarded": 0,
+        }
+
+    def test_persists_across_instances(self, tmp_path, record):
+        ScanCache(tmp_path, db_version=FEED).put(record)
+        assert ScanCache(tmp_path, db_version=FEED).get(DIGEST) == record
+
+    def test_memory_store_backend(self, record):
+        cache = ScanCache(MemoryBlobStore(), db_version=FEED)
+        cache.put(record)
+        assert cache.get(DIGEST) == record
+
+
+class TestInvalidation:
+    def test_new_feed_version_misses(self, tmp_path, record):
+        """Verdicts from an old CVE feed must never be served as current."""
+        old = ScanCache(tmp_path, db_version="cvedb-r1-aaaa")
+        old.put(record)
+        new = ScanCache(tmp_path, db_version="cvedb-r2-bbbb")
+        assert new.get(DIGEST) is None
+        # the old generation's entry is untouched, just unreachable
+        assert old.get(DIGEST) == record
+
+    def test_keys_differ_across_feed_versions(self, tmp_path):
+        a = ScanCache(tmp_path, db_version="a")
+        b = ScanCache(tmp_path, db_version="b")
+        assert a.key(DIGEST) != b.key(DIGEST)
+
+    def test_key_namespace_differs_from_profile_cache(self, tmp_path):
+        """Scan and profile caches can share one store without colliding."""
+        from repro.analyzer.cache import ProfileCache
+
+        scan = ScanCache(tmp_path, db_version="v")
+        profile = ProfileCache(tmp_path, catalog_version="v")
+        assert scan.key(DIGEST) != profile.key(DIGEST)
+
+
+class TestCorruption:
+    def test_corrupt_entry_discarded_and_deleted(self, tmp_path, record):
+        cache = ScanCache(tmp_path, db_version=FEED)
+        cache.put(record)
+        corrupt_at_rest(cache.store, cache.key(DIGEST))
+        assert cache.get(DIGEST) is None
+        assert cache.stats.discarded == 1
+        # the dead entry was deleted: the next lookup is a clean miss
+        assert cache.get(DIGEST) is None
+        assert cache.stats.discarded == 1
+
+    def test_rescanned_entry_serves_again(self, tmp_path, record):
+        cache = ScanCache(tmp_path, db_version=FEED)
+        cache.put(record)
+        corrupt_at_rest(cache.store, cache.key(DIGEST))
+        assert cache.get(DIGEST) is None
+        cache.put(record)  # the re-scan path rewrites the slot
+        assert cache.get(DIGEST) == record
+        assert cache.stats.hits == 1
+
+    def test_wrong_digest_inside_entry_discarded(self, tmp_path, record):
+        """An entry whose body belongs to another layer is rot, not a hit."""
+        cache = ScanCache(tmp_path, db_version=FEED)
+        cache.store.put_at(cache.key("sha256:other"), cache._encode(record))
+        assert cache.get("sha256:other") is None
+        assert cache.stats.discarded == 1
+
+    def test_garbage_entry_discarded(self, tmp_path):
+        cache = ScanCache(tmp_path, db_version=FEED)
+        cache.store.put_at(cache.key(DIGEST), b"not a cache frame")
+        assert cache.get(DIGEST) is None
+        assert cache.stats.discarded == 1

@@ -1,0 +1,185 @@
+"""DedupScanner semantics: extract-once, cache reuse, lineage aggregation."""
+
+import pytest
+
+import repro.scan.shard as shard_mod
+from repro.obs import MetricsRegistry, counter_total
+from repro.parallel.pool import ParallelConfig
+from repro.registry.blobstore import MemoryBlobStore
+from repro.scan.cache import ScanCache
+from repro.scan.scanner import DedupScanner, ScanTarget
+from repro.synth.lineage import (
+    ImageLineage,
+    ImageNode,
+    PackageModel,
+    SyntheticCveDatabase,
+)
+
+SERIAL = ParallelConfig(mode="serial", chunk_size=2, min_parallel_items=0)
+
+
+@pytest.fixture()
+def corpus():
+    """Three blobs, three images sharing them: 5 naive scans, 3 unique."""
+    store = MemoryBlobStore()
+    a = store.put(b"base layer: os userland " * 40)
+    b = store.put(b"middle layer: runtime " * 40)
+    c = store.put(b"app layer: code " * 40)
+    targets = [
+        ScanTarget("debian", (a,), pull_count=9000),
+        ScanTarget("acme/web", (a, b), pull_count=500),
+        ScanTarget("acme/api", (a, c), pull_count=300),
+    ]
+    return store, targets, (a, b, c)
+
+
+def make_scanner(store, *, cache=None, metrics=None, parallel=SERIAL, db=None):
+    return DedupScanner(
+        store,
+        db or SyntheticCveDatabase(seed=8, vuln_rate=1.0),
+        PackageModel(seed=4),
+        parallel=parallel,
+        cache=cache,
+        metrics=metrics if metrics is not None else MetricsRegistry(),
+    )
+
+
+def spy_on_extractions(monkeypatch):
+    calls = []
+    real = shard_mod.extract_packages
+
+    def spy(digest, blob, model):
+        calls.append(digest)
+        return real(digest, blob, model)
+
+    monkeypatch.setattr(shard_mod, "extract_packages", spy)
+    return calls
+
+
+class TestExtractOnce:
+    def test_cold_run_extracts_each_unique_digest_exactly_once(
+        self, corpus, monkeypatch
+    ):
+        store, targets, digests = corpus
+        calls = spy_on_extractions(monkeypatch)
+        metrics = MetricsRegistry()
+        report = make_scanner(store, metrics=metrics).scan(targets)
+        assert sorted(calls) == sorted(digests)  # once each, despite sharing
+        assert report.unique_layer_scans == 3
+        assert report.naive_layer_scans == 5
+        assert report.scans_avoided == 2
+        assert report.savings_ratio == pytest.approx(5 / 3)
+        assert counter_total(metrics, "scan_layers_extracted_total") == 3
+
+    def test_warm_run_extracts_nothing(self, corpus, tmp_path, monkeypatch):
+        store, targets, _ = corpus
+        db = SyntheticCveDatabase(seed=8, vuln_rate=1.0)
+        cold_cache = ScanCache(tmp_path, db_version=db.version())
+        cold = make_scanner(store, cache=cold_cache, db=db).scan(targets)
+
+        calls = spy_on_extractions(monkeypatch)
+        warm_metrics = MetricsRegistry()
+        warm_cache = ScanCache(tmp_path, db_version=db.version())
+        warm = make_scanner(
+            store, cache=warm_cache, metrics=warm_metrics, db=db
+        ).scan(targets)
+        assert calls == []
+        assert counter_total(warm_metrics, "scan_layers_extracted_total") == 0
+        assert counter_total(warm_metrics, "scan_layers_cached_total") == 3
+        assert warm.findings_json() == cold.findings_json()
+
+    def test_feed_revision_bump_scans_cold_again(
+        self, corpus, tmp_path, monkeypatch
+    ):
+        store, targets, digests = corpus
+        r1 = SyntheticCveDatabase(seed=8, revision=1, vuln_rate=1.0)
+        make_scanner(
+            store, cache=ScanCache(tmp_path, db_version=r1.version()), db=r1
+        ).scan(targets)
+
+        calls = spy_on_extractions(monkeypatch)
+        r2 = SyntheticCveDatabase(seed=8, revision=2, vuln_rate=1.0)
+        make_scanner(
+            store, cache=ScanCache(tmp_path, db_version=r2.version()), db=r2
+        ).scan(targets)
+        assert sorted(calls) == sorted(digests)  # old verdicts never reused
+
+    def test_cache_feed_mismatch_rejected(self, corpus, tmp_path):
+        store, _, _ = corpus
+        cache = ScanCache(tmp_path, db_version="cvedb-r9-stale")
+        with pytest.raises(ValueError, match="feed"):
+            make_scanner(store, cache=cache)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_report_identical_to_serial(self, corpus, mode):
+        store, targets, _ = corpus
+        serial = make_scanner(store).scan(targets)
+        other = make_scanner(
+            store,
+            parallel=ParallelConfig(
+                mode=mode, workers=2, chunk_size=1, min_parallel_items=0
+            ),
+        ).scan(targets)
+        assert other.to_json() == serial.to_json()
+
+
+class TestLineageAggregation:
+    def test_child_inherits_base_image_vulns(self, corpus):
+        store, _, (a, b, _) = corpus
+        targets = [
+            ScanTarget("debian", (a,), pull_count=9000),
+            ScanTarget("acme/web", (b,), pull_count=500),  # no shared layer
+        ]
+        lineage = ImageLineage(
+            nodes=(
+                ImageNode("debian", parent=None, official=True, depth=0),
+                ImageNode("acme/web", parent="debian", official=False, depth=1),
+            )
+        )
+        report = make_scanner(store).scan(targets, lineage)
+        base, child = report.images
+        assert base.name == "debian" and child.parent == "debian"
+        assert base.n_inherited == 0
+        # the child is exposed to everything its base ships
+        assert child.n_inherited == base.n_vulns > 0
+        assert child.n_vulns == child.n_introduced + child.n_inherited
+        assert child.depth == 1
+
+    def test_without_lineage_nothing_is_inherited(self, corpus):
+        store, targets, _ = corpus
+        report = make_scanner(store).scan(targets)
+        assert all(e.n_inherited == 0 for e in report.images)
+        assert all(e.parent is None for e in report.images)
+
+    def test_rollups_split_official_and_community(self, corpus):
+        store, targets, _ = corpus
+        report = make_scanner(store).scan(targets)
+        by_label = {r.label: r for r in report.by_type}
+        assert by_label["official"].n_images == 1
+        assert by_label["community"].n_images == 2
+        assert report.by_decile  # popularity deciles present
+        assert sum(r.n_images for r in report.by_decile) == 3
+
+
+class TestFailuresAsData:
+    def test_corrupt_blob_is_a_failed_layer_not_a_crash(self, corpus):
+        store, targets, (a, _, _) = corpus
+        rotted = bytearray(store.get(a))
+        rotted[0] ^= 0xFF
+        store.put_at(a, bytes(rotted))  # at-rest rot: digest no longer matches
+        report = make_scanner(store).scan(targets)
+        assert a in report.failed_layers
+        assert "DigestMismatchError" in report.failed_layers[a]
+        assert report.n_failed_layers == 1
+        # every image carries the rotted base layer, so every one is partial
+        assert all(exposure.partial for exposure in report.images)
+
+    def test_missing_blob_is_a_failed_layer(self, corpus):
+        store, targets, (a, _, _) = corpus
+        store.delete(a)
+        report = make_scanner(store).scan(targets)
+        assert a in report.failed_layers
+        assert report.images[0].partial  # debian is (a,) only
+        assert report.images[0].n_scanned_layers == 0

@@ -1,0 +1,186 @@
+"""Lineage DAG, package model, and synthetic CVE feed semantics."""
+
+import pytest
+
+from repro.synth.lineage import (
+    SEVERITIES,
+    ImageLineage,
+    ImageNode,
+    LineageConfig,
+    PackageModel,
+    SyntheticCveDatabase,
+    generate_lineage,
+    is_official,
+)
+
+NAMES = [
+    "debian", "alpine", "python", "nginx",
+    "acme/web", "acme/api", "acme/worker",
+    "team/ml", "team/etl", "solo/hobby",
+]
+PULLS = [9000, 8000, 7000, 6000, 500, 400, 300, 200, 100, 10]
+
+
+class TestOfficial:
+    def test_official_has_no_namespace(self):
+        assert is_official("debian")
+        assert not is_official("acme/web")
+
+
+class TestGenerateLineage:
+    def test_deterministic(self):
+        a = generate_lineage(NAMES, PULLS, LineageConfig(seed=11))
+        b = generate_lineage(NAMES, PULLS, LineageConfig(seed=11))
+        assert a == b
+
+    def test_seed_changes_the_dag(self):
+        a = generate_lineage(NAMES, PULLS, LineageConfig(seed=11))
+        b = generate_lineage(NAMES, PULLS, LineageConfig(seed=12))
+        # same nodes, (almost surely) different wiring
+        assert {n.name for n in a.nodes} == {n.name for n in b.nodes}
+        assert a != b
+
+    def test_acyclic_and_validates(self):
+        lineage = generate_lineage(NAMES, PULLS, LineageConfig(seed=3))
+        lineage.validate()
+        # every ancestor chain terminates
+        for node in lineage.nodes:
+            chain = lineage.ancestors(node.name)
+            assert node.name not in chain
+
+    def test_most_basic_image_is_a_root(self):
+        lineage = generate_lineage(NAMES, PULLS, LineageConfig(seed=5))
+        assert lineage.parent_of("debian") is None
+        assert lineage.node("debian").depth == 0
+
+    def test_parents_are_strictly_more_basic(self):
+        pulls = {name: p for name, p in zip(NAMES, PULLS)}
+        lineage = generate_lineage(NAMES, PULLS, LineageConfig(seed=5))
+
+        def basicness(name):
+            return (not is_official(name), -pulls[name], name)
+
+        for node in lineage.nodes:
+            if node.parent is not None:
+                assert basicness(node.parent) < basicness(node.name)
+
+    def test_depth_is_parent_depth_plus_one(self):
+        lineage = generate_lineage(NAMES, PULLS, LineageConfig(seed=7))
+        for node in lineage.nodes:
+            if node.parent is None:
+                assert node.depth == 0
+            else:
+                assert node.depth == lineage.node(node.parent).depth + 1
+
+    def test_input_order_does_not_matter(self):
+        """Draws key on names, not indices: shuffling the input reshuffles
+        ``nodes`` but every image keeps the same parent."""
+        forward = generate_lineage(NAMES, PULLS, LineageConfig(seed=9))
+        backward = generate_lineage(
+            NAMES[::-1], PULLS[::-1], LineageConfig(seed=9)
+        )
+        for name in NAMES:
+            assert forward.parent_of(name) == backward.parent_of(name)
+
+    def test_topological_puts_parents_first(self):
+        lineage = generate_lineage(NAMES, PULLS, LineageConfig(seed=13))
+        order = {name: i for i, name in enumerate(lineage.topological())}
+        for node in lineage.nodes:
+            if node.parent is not None:
+                assert order[node.parent] < order[node.name]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            generate_lineage(["a", "a"])
+
+    def test_mismatched_pulls_rejected(self):
+        with pytest.raises(ValueError, match="pull counts"):
+            generate_lineage(["a", "b"], [1])
+
+    def test_validate_catches_dangling_parent(self):
+        bad = ImageLineage(
+            nodes=(ImageNode("a", parent="ghost", official=True, depth=1),)
+        )
+        with pytest.raises(ValueError, match="unknown parent"):
+            bad.validate()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LineageConfig(official_root_fraction=1.5)
+        with pytest.raises(ValueError):
+            LineageConfig(official_parent_bias=0.0)
+
+
+class TestPackageModel:
+    def test_deterministic_and_sorted(self):
+        model = PackageModel(seed=4)
+        inv = model.packages_for_layer("sha256:" + "ab" * 32)
+        assert inv == model.packages_for_layer("sha256:" + "ab" * 32)
+        assert list(inv) == sorted(inv)
+
+    def test_different_digests_differ(self):
+        model = PackageModel(seed=4)
+        a = model.packages_for_layer("sha256:" + "aa" * 32)
+        b = model.packages_for_layer("sha256:" + "bb" * 32)
+        assert a != b
+
+    def test_inventory_respects_caps(self):
+        model = PackageModel(seed=4, max_packages=5, pool_size=50)
+        for i in range(20):
+            inv = model.packages_for_layer(f"sha256:{i:064x}")
+            assert len(inv) <= 5
+            for name, version in inv:
+                assert name.startswith("pkg-")
+                assert version.count(".") == 2
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PackageModel(mean_packages=0)
+
+
+class TestSyntheticCveDatabase:
+    def test_lookup_deterministic(self):
+        db = SyntheticCveDatabase(seed=8)
+        assert db.vulnerabilities("pkg-0001", "1.0.0") == db.vulnerabilities(
+            "pkg-0001", "1.0.0"
+        )
+
+    def test_severities_valid_and_ids_shaped(self):
+        db = SyntheticCveDatabase(seed=8, vuln_rate=1.0)
+        vulns = db.vulnerabilities("pkg-0002", "2.1.3")
+        assert vulns  # rate 1.0 always fires
+        for v in vulns:
+            assert v.severity in SEVERITIES
+            assert v.id.startswith("CVE-")
+            assert v.package == "pkg-0002"
+
+    def test_version_changes_on_revision(self):
+        assert (
+            SyntheticCveDatabase(revision=1).version()
+            != SyntheticCveDatabase(revision=2).version()
+        )
+
+    def test_version_changes_on_parameters(self):
+        assert (
+            SyntheticCveDatabase(vuln_rate=0.3).version()
+            != SyntheticCveDatabase(vuln_rate=0.4).version()
+        )
+
+    def test_revision_changes_the_feed(self):
+        """A new feed drop re-rolls which versions are afflicted."""
+        r1 = SyntheticCveDatabase(seed=8, revision=1, vuln_rate=0.5)
+        r2 = SyntheticCveDatabase(seed=8, revision=2, vuln_rate=0.5)
+        probes = [(f"pkg-{i:04d}", "1.0.0") for i in range(50)]
+        assert [r1.vulnerabilities(*p) for p in probes] != [
+            r2.vulnerabilities(*p) for p in probes
+        ]
+
+    def test_vuln_rate_zero_is_silent(self):
+        db = SyntheticCveDatabase(vuln_rate=0.0)
+        assert db.vulnerabilities("pkg-0003", "1.0.0") == ()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticCveDatabase(vuln_rate=1.5)
+        with pytest.raises(ValueError):
+            SyntheticCveDatabase(severity_weights=(1.0,))

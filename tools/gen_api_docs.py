@@ -262,6 +262,56 @@ three scales, written to `BENCH_pipeline.json` with per-cell throughput,
 the warm-run extraction-skip fraction, and an identical-to-serial check
 per cell. `--tiny` is the CI smoke form.""",
     ),
+    (
+        "Lineage & dedup-aware vulnerability scanning",
+        """\
+`repro.synth.lineage` models what the hub generator alone does not: that
+images *descend* from base images. `generate_lineage(names, pulls)` builds
+a seeded parent/child DAG over the materialized repositories — nodes are
+ranked by "basicness" (official images first, then by popularity; an
+official repo has no `/` in its name), every image's parent is drawn from
+the strictly-more-basic prefix of that ranking (acyclic by construction,
+biased toward officials by `LineageConfig.official_parent_bias`), and
+`ImageLineage` answers `parent_of` / `ancestors` / `children_of` /
+`topological`. Alongside it live `PackageModel` — a per-layer synthetic
+package inventory, a pure function of the layer digest — and
+`SyntheticCveDatabase`, a closed-form CVE feed: `vulnerabilities(pkg,
+version)` is a pure function of (seed, revision, package, version), so
+the feed needs no storage and `version()` is a stable string that changes
+whenever `revision` (or any parameter) does. Every draw anywhere in the
+model goes through `derive_seed`/`seeded_uniform`, so results are
+independent of evaluation order and process count.
+
+`repro.scan` applies the paper's layer-sharing result to security
+scanning. A naive scanner extracts every layer of every image —
+O(images × layers); `DedupScanner` collects the *unique* digests in
+first-seen order and extracts each exactly once, sharded and
+size-balanced through the same `map_shards` machinery as the analyzer
+(failures come back as data, a dead shard accounts all its digests).
+Results are memoized in `ScanCache`, a disk-backed content-addressed map
+keyed by `(layer digest, CVE-feed version)` — the same self-verifying
+entry framing as `ProfileCache` (both sit on
+`repro.util.entrycache.SelfVerifyingCache`: magic + checksum + embedded
+digest; corrupt entries are discarded, counted, deleted, and re-scanned),
+so a warm rerun over an unchanged corpus performs **zero** extractions,
+while a CVE-feed `revision` bump misses cleanly and rescans.
+
+Exposure then aggregates up the lineage DAG: an image is exposed to its
+own layers' vulnerabilities plus everything its ancestors ship —
+`ImageExposure` splits `n_inherited` from `n_introduced`, and the
+`ScanReport` rolls exposure up by severity, by official/community, and
+by popularity decile, alongside the headline dedup block:
+`unique_layer_scans` (== number of unique digests), `naive_layer_scans`,
+and `savings_ratio = naive / unique`. Reports are deterministic —
+serial, thread, and process scans of the same seed are byte-identical
+(`findings_json()` additionally strips the per-run cache-work counters,
+so cold and warm runs compare equal too).
+
+`repro scan --scale tiny --cache DIR` runs it; `--db-revision` bumps the
+feed; `--selfcheck` runs the invariant exercise (all modes cold, then a
+warm rerun) and exits 1 on any violation — that is the CI `scan-smoke`
+job, and `repro bench` carries a scan cold/warm throughput cell.""",
+    ),
 ]
 
 
