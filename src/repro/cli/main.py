@@ -210,7 +210,10 @@ def build_parser() -> argparse.ArgumentParser:
         "rest, heal, and check the HA invariants (exit 1 on violation)",
     )
     p.add_argument("--seed", type=int, default=7, help="exercise seed")
-    p.add_argument("--replicas", type=int, default=3, help="replica count (>= 2)")
+    p.add_argument(
+        "--replicas", type=int, default=None,
+        help="replica count (default 3; 6 with --sharded)",
+    )
     p.add_argument("--scale", choices=["tiny", "small"], default="tiny")
     p.add_argument(
         "--requests", type=int, default=120, help="pull-trace length (image pulls)"
@@ -221,6 +224,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--corrupt-count", type=int, default=2,
         help="blobs to bit-flip at rest on a surviving replica",
+    )
+    p.add_argument(
+        "--sharded", action="store_true",
+        help="shard the digest space instead of full replication: "
+        "consistent-hash k-of-N placement, hinted handoff, live "
+        "join/leave rebalancing, and the two extra shard invariants",
+    )
+    p.add_argument(
+        "--k", type=int, default=2,
+        help="replication factor per blob (with --sharded; k < replicas)",
+    )
+    p.add_argument(
+        "--vnodes", type=int, default=32,
+        help="virtual nodes per replica on the hash ring (with --sharded)",
     )
     p.add_argument(
         "--overload", action="store_true",
@@ -673,16 +690,30 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
-    from repro.ha import run_cluster, run_overload
+    from repro.ha import run_cluster, run_overload, run_sharded_cluster
 
-    report = run_cluster(
-        seed=args.seed,
-        replicas=args.replicas,
-        scale=args.scale,
-        requests=args.requests,
-        kill_index=args.kill_index,
-        corrupt_count=args.corrupt_count,
+    replicas = args.replicas if args.replicas is not None else (
+        6 if args.sharded else 3
     )
+    if args.sharded:
+        report = run_sharded_cluster(
+            seed=args.seed,
+            replicas=replicas,
+            k=args.k,
+            vnodes=args.vnodes,
+            scale=args.scale,
+            requests=args.requests,
+            corrupt_count=args.corrupt_count,
+        )
+    else:
+        report = run_cluster(
+            seed=args.seed,
+            replicas=replicas,
+            scale=args.scale,
+            requests=args.requests,
+            kill_index=args.kill_index,
+            corrupt_count=args.corrupt_count,
+        )
     print(report.to_json() if args.json else report.render())
     ok = report.ok
     if args.overload:

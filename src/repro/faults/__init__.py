@@ -15,8 +15,13 @@ a tested property instead of a hope:
   ``repro chaos``, with resilience invariants.
 """
 
-from repro.faults.atrest import corrupt_at_rest, corrupt_some_at_rest
+from repro.faults.atrest import (
+    corrupt_at_rest,
+    corrupt_shard_at_rest,
+    corrupt_some_at_rest,
+)
 from repro.faults.chaos import ChaosReport, Invariant, VirtualClock, run_chaos
+from repro.faults.events import EVENT_KINDS, ShardEvent, plan_shard_events
 from repro.faults.injector import FaultInjector, RequestFaults
 from repro.faults.plans import build_plan, plan_names
 from repro.faults.session import FaultInjectingSession
@@ -24,7 +29,10 @@ from repro.faults.rules import FaultRule, Schedule
 
 __all__ = [
     "ChaosReport",
+    "EVENT_KINDS",
+    "ShardEvent",
     "corrupt_at_rest",
+    "corrupt_shard_at_rest",
     "corrupt_some_at_rest",
     "FaultInjectingSession",
     "FaultInjector",
@@ -35,5 +43,6 @@ __all__ = [
     "VirtualClock",
     "build_plan",
     "plan_names",
+    "plan_shard_events",
     "run_chaos",
 ]

@@ -12,6 +12,8 @@ Deterministic: which bit flips is a pure function of ``(seed, digest)``.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.registry.blobstore import BlobStore
 from repro.util.rng import seeded_uniform
 
@@ -57,6 +59,41 @@ def corrupt_some_at_rest(
                     break
             else:
                 break
+        corrupt_at_rest(store, pick, seed=seed)
+        victims.append(pick)
+    return victims
+
+
+def corrupt_shard_at_rest(
+    store: BlobStore,
+    owned: Iterable[str],
+    *,
+    count: int = 1,
+    seed: int = 0,
+    exclude: Iterable[str] = (),
+) -> list[str]:
+    """Rot *count* deterministic victims among the *owned* digests present
+    in *store* — shard-scoped corruption for a sharded cluster.
+
+    Sharded fault runs must aim rot at blobs a specific replica actually
+    *owns* (a stray or a hint hold is transient and repair assertions on it
+    race with GC). ``exclude`` drops digests the scenario needs healthy
+    elsewhere — e.g. blobs co-owned by a replica the run has already
+    killed, where rotting the last live copy would make "readable while
+    one owner lives" unsatisfiable by design rather than by bug.
+
+    Returns the corrupted digests (possibly fewer than *count*)."""
+    blocked = set(exclude)
+    candidates = sorted(
+        digest for digest in owned if store.has(digest) and digest not in blocked
+    )
+    victims: list[str] = []
+    for i in range(min(count, len(candidates))):
+        pool = [digest for digest in candidates if digest not in victims]
+        if not pool:
+            break
+        draw = seeded_uniform(seed, "shard_atrest_pick", i)
+        pick = pool[int(draw * len(pool)) % len(pool)]
         corrupt_at_rest(store, pick, seed=seed)
         victims.append(pick)
     return victims

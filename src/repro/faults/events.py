@@ -1,0 +1,63 @@
+"""Seeded membership/fault event plans for sharded cluster runs.
+
+The replicated cluster exercise hard-codes its victims (kill replica 0,
+rot replica 1): with full copies everywhere, who gets hit barely matters.
+Sharding changes that — each fault lands on *specific shards*, and a
+badly drawn pair of targets (kill one owner, rot the other) can make an
+availability invariant unsatisfiable by construction instead of testing
+the repair machinery. A :func:`plan_shard_events` draw is:
+
+* **seeded** — targets are a pure function of ``(seed, member names)``,
+  so a rerun replays the exact same weather;
+* **distinct** — kill, corrupt, flap, and leave each hit a different
+  replica, so every fault's blast radius is attributable;
+* **shard-aware by construction** — the consumer resolves each target
+  replica to the digests it owns (via the placement map) when aiming
+  at-rest corruption or asserting repairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.rng import derive_seed
+
+#: event kinds a sharded run schedules, in the order they fire
+EVENT_KINDS = ("kill", "corrupt", "flap", "join", "leave")
+
+
+@dataclass(frozen=True)
+class ShardEvent:
+    """One scheduled disturbance: *kind* aimed at *target* (join has none)."""
+
+    kind: str
+    target: str = ""
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "target": self.target}
+
+
+def plan_shard_events(nodes: list[str] | tuple[str, ...], *, seed: int = 0) -> list[ShardEvent]:
+    """Draw one event of each kind with pairwise-distinct targets.
+
+    Needs at least 4 nodes (kill, corrupt, flap, and leave must not
+    collide). The draw shuffles members by ``derive_seed(seed, "event",
+    name)`` and assigns kinds down the shuffled order, so any two runs
+    with the same seed and membership pick identical victims.
+    """
+    if len(nodes) < 4:
+        raise ValueError(
+            f"a shard event plan needs >= 4 nodes for distinct targets, "
+            f"got {len(nodes)}"
+        )
+    if len(set(nodes)) != len(nodes):
+        raise ValueError(f"duplicate node names in {nodes!r}")
+    order = sorted(nodes, key=lambda name: derive_seed(seed, "event", name))
+    kill, corrupt, flap, leave = order[:4]
+    return [
+        ShardEvent(kind="kill", target=kill),
+        ShardEvent(kind="corrupt", target=corrupt),
+        ShardEvent(kind="flap", target=flap),
+        ShardEvent(kind="join"),
+        ShardEvent(kind="leave", target=leave),
+    ]

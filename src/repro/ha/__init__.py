@@ -18,9 +18,18 @@ reproduction's registry the same serving-side resilience:
   replica can never serve corrupt bytes;
 * :mod:`repro.ha.scrub` — :class:`BlobScrubber`: at-rest digest
   re-verification with quarantine and peer repair;
+* :mod:`repro.ha.ring` — :class:`HashRing` and the bounded k-owner
+  placement: seeded consistent hashing over the digest space, so N
+  replicas hold ~N/k replicas' worth of *unique* bytes instead of 1x;
+* :mod:`repro.ha.sharded` — :class:`ShardedReplicaSet`: quorum writes
+  with hinted handoff, shard-aware anti-entropy, and live join/leave
+  rebalancing that moves only the blobs whose owner set changed;
 * :mod:`repro.ha.cluster` — the end-to-end harness behind
   ``repro cluster``: replicated serving under loadgen traffic with
-  replica kills and at-rest corruption, checked against invariants.
+  replica kills and at-rest corruption, checked against invariants;
+* :mod:`repro.ha.shardcluster` — the same discipline for the sharded
+  cluster (``repro cluster --sharded``), adding availability-under-
+  partial-ownership and placement-matches-ring invariants.
 """
 
 from repro.ha.admission import (
@@ -33,7 +42,15 @@ from repro.ha.cluster import ClusterReport, run_cluster, run_overload
 from repro.ha.frontend import FailoverFrontend
 from repro.ha.health import EJECTED, LIVE, HealthMonitor, ReplicaHealth
 from repro.ha.replica import RegistryReplicaSet, Replica
+from repro.ha.ring import (
+    HashRing,
+    PlacementDiff,
+    compute_placement,
+    placement_diff,
+)
 from repro.ha.scrub import BlobScrubber, ScrubReport
+from repro.ha.sharded import HandoffHint, RebalanceReport, ShardedReplicaSet
+from repro.ha.shardcluster import ShardedClusterReport, run_sharded_cluster
 
 __all__ = [
     "AdmissionGate",
@@ -50,6 +67,15 @@ __all__ = [
     "BlobScrubber",
     "ScrubReport",
     "ClusterReport",
+    "HashRing",
+    "PlacementDiff",
+    "compute_placement",
+    "placement_diff",
+    "HandoffHint",
+    "RebalanceReport",
+    "ShardedReplicaSet",
+    "ShardedClusterReport",
     "run_cluster",
     "run_overload",
+    "run_sharded_cluster",
 ]

@@ -61,6 +61,8 @@ class ClusterReport:
     scrub: dict = field(default_factory=dict)
     sync: dict = field(default_factory=dict)
     divergence: dict = field(default_factory=dict)
+    #: per-replica blob footprint + capacity ratio (full replication: ~1.0)
+    placement: dict = field(default_factory=dict)
     frontend: dict = field(default_factory=dict)
     health: list[dict] = field(default_factory=list)
     invariants: list[Invariant] = field(default_factory=list)
@@ -90,6 +92,7 @@ class ClusterReport:
             "scrub": self.scrub,
             "sync": self.sync,
             "divergence": self.divergence,
+            "placement": self.placement,
             "frontend": self.frontend,
             "health": self.health,
             "invariants": [inv.to_dict() for inv in self.invariants],
@@ -141,6 +144,14 @@ class ClusterReport:
             f"  sync       {self.sync.get('blobs', 0)} blobs reconciled, "
             f"{self.sync.get('corrupt_donors_skipped', 0)} corrupt donors refused"
         )
+        if self.placement:
+            lines.append(
+                f"  placement  k={self.placement.get('k', '?')}/"
+                f"{self.placement.get('replicas', '?')} replicas, "
+                f"imbalance {self.placement.get('imbalance', 0):.2f}, "
+                f"capacity x{self.placement.get('capacity_ratio', 0):.2f} "
+                f"of one replica's disk"
+            )
         success = totals["succeeded"] / totals["attempted"] if totals["attempted"] else 0
         lines.append(f"  GET success {success:8.2%} after retries")
         lines.append("invariants:")
@@ -286,6 +297,7 @@ def run_cluster(
         healed_blob = session.get_blob(report.degraded_write)
 
         report.divergence = replica_set.divergence()
+        report.placement = replica_set.placement_report()
         report.frontend = dict(frontend.stats)
         report.health = monitor.snapshot()
 

@@ -2,11 +2,20 @@
 
 A load-balancing HTTP proxy for the Docker Registry v2 API:
 
-* **routing** — idempotent reads (GET/HEAD) round-robin over the replicas
-  the :class:`~repro.ha.health.HealthMonitor` calls live; writes pin to
-  the first live replica (the v2 upload protocol is a stateful session in
-  one server's memory — bouncing a PATCH to a different replica would
-  orphan it), with anti-entropy propagating the result later;
+* **routing** — idempotent reads (GET/HEAD) spread over the replicas the
+  :class:`~repro.ha.health.HealthMonitor` calls live, each request
+  starting at a *seeded* offset (``derive_seed(seed, "read", n)``) so the
+  load is uniform without any replica being a permanent first choice;
+  writes pin to the first live replica (the v2 upload protocol is a
+  stateful session in one server's memory — bouncing a PATCH to a
+  different replica would orphan it), with anti-entropy propagating the
+  result later;
+* **shard awareness** — given a ``route`` callable (digest → owner URLs +
+  spare URLs, from a :class:`~repro.ha.sharded.ShardedReplicaSet`), blob
+  GETs go to the blob's owners in ring order, then to spares (the hinted-
+  handoff successor). In that mode a 404 from one candidate is *not* the
+  keyspace's answer — the next owner may hold the shard — so it fails
+  over too, and only becomes the response when every candidate misses;
 * **failover** — a connection error, timeout, or 5xx on a read moves to
   the next replica within the same client request, so a replica dying
   mid-run costs clients nothing; failures feed the monitor as passive
@@ -32,10 +41,12 @@ import threading
 import urllib.error
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
 
 from repro.ha.health import HealthMonitor
 from repro.obs import MetricsRegistry
 from repro.util.digest import sha256_bytes
+from repro.util.rng import derive_seed
 
 _BLOB_PATH_RE = re.compile(r"^/v2/.+/blobs/(?P<digest>sha256:[0-9a-f]+)$")
 
@@ -136,6 +147,8 @@ class FailoverFrontend:
         port: int = 0,
         timeout_s: float = 2.0,
         retry_after_s: float = 0.25,
+        seed: int = 0,
+        route: Callable[[str], tuple[list[str], list[str]]] | None = None,
         metrics: MetricsRegistry | None = None,
     ):
         if not endpoints:
@@ -144,12 +157,15 @@ class FailoverFrontend:
         self.monitor = monitor if monitor is not None else HealthMonitor(endpoints)
         self.timeout_s = timeout_s
         self.retry_after_s = retry_after_s
+        self.seed = seed
+        #: optional shard router: digest -> (owner URLs in ring order, spares)
+        self.route = route
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._httpd = ThreadingHTTPServer(("127.0.0.1", port), _FrontendHandler)
         self._httpd.frontend = self  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
-        self._rr_lock = threading.Lock()
-        self._rr = 0
+        self._read_lock = threading.Lock()
+        self._read_count = 0
         self.stats = {
             "reads": 0,
             "writes": 0,
@@ -198,15 +214,38 @@ class FailoverFrontend:
     # -- candidate selection -----------------------------------------------------
 
     def _read_candidates(self) -> list[str]:
-        """Live replicas, round-robin rotated; all of them as a last gasp
-        when the monitor has ejected everything (stale verdicts beat a
-        guaranteed refusal)."""
+        """Live replicas rotated by a seeded per-request offset; all of
+        them as a last gasp when the monitor has ejected everything (stale
+        verdicts beat a guaranteed refusal).
+
+        The offset is ``derive_seed(seed, "read", n)`` for the n-th read —
+        uniform over the pool however its size shifts. A plain incrementing
+        cursor is *not*: every ejection/reinstatement changes ``len(pool)``
+        under the cursor, and the modulo can re-synchronize so one replica
+        ends up permanently first in line (a hot spot that lasts until the
+        next membership change)."""
         live = self.monitor.live()
         pool = live if live else list(self.endpoints)
-        with self._rr_lock:
-            start = self._rr % len(pool)
-            self._rr += 1
+        with self._read_lock:
+            count = self._read_count
+            self._read_count += 1
+        start = derive_seed(self.seed, "read", count) % len(pool)
         return pool[start:] + pool[:start]
+
+    def _blob_candidates(self, digest: str) -> list[str]:
+        """Shard-routed candidates: owners in ring order, then spares.
+
+        Monitor-ejected candidates sink to the back rather than drop out —
+        for a sharded blob they are still the only places the bytes can
+        be, so trying them last beats refusing outright."""
+        owners, spares = self.route(digest)
+        ordered = owners + [url for url in spares if url not in owners]
+        if not ordered:
+            return self._read_candidates()
+        live = set(self.monitor.live())
+        return [u for u in ordered if u in live] + [
+            u for u in ordered if u not in live
+        ]
 
     def _write_primary(self) -> str:
         live = self.monitor.live()
@@ -260,8 +299,13 @@ class FailoverFrontend:
         path = handler.path
         headers = handler._request_headers()
         blob_match = _BLOB_PATH_RE.match(path.split("?")[0])
-        candidates = self._read_candidates()
+        routed = blob_match is not None and self.route is not None
+        if routed:
+            candidates = self._blob_candidates(blob_match["digest"])
+        else:
+            candidates = self._read_candidates()
         shed_answer: _UpstreamAnswer | None = None
+        miss_answer: _UpstreamAnswer | None = None
         for i, base in enumerate(candidates):
             if i > 0:
                 self._bump("failovers")
@@ -282,6 +326,14 @@ class FailoverFrontend:
                 if answer.status >= 500 and "Retry-After" not in answer.headers:
                     self.monitor.record_failure(base, f"upstream {answer.status}")
                 continue
+            if routed and answer.status == 404:
+                # under sharding, one candidate not holding the blob is
+                # normal (it may have handed it off, or rebalancing is in
+                # flight) — not replica sickness, and not the final answer
+                # until every owner and spare has missed
+                miss_answer = answer
+                self.monitor.record_success(base)
+                continue
             if (
                 blob_match is not None
                 and not head
@@ -301,11 +353,17 @@ class FailoverFrontend:
             return
         if shed_answer is not None:
             # every replica is shedding: relay the backpressure honestly
+            # (preferred over a 404 fallback — a shedder might hold the blob)
             if "Retry-After" not in shed_answer.headers:
                 shed_answer.headers["Retry-After"] = f"{self.retry_after_s:.3f}"
             self._bump("refused")
             self._count_outcome("all_shedding")
             handler._respond(shed_answer, head=head)
+            return
+        if miss_answer is not None:
+            # every owner and spare answered 404: the keyspace's real answer
+            self._count_outcome("forwarded")
+            handler._respond(miss_answer, head=head)
             return
         self._bump("refused")
         self._count_outcome("no_replica")

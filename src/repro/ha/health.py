@@ -121,6 +121,19 @@ class HealthMonitor:
         with self._lock:
             return [r.to_dict() for r in self._replicas.values()]
 
+    # -- membership --------------------------------------------------------------
+
+    def track(self, url: str) -> None:
+        """Start watching a replica that joined after construction."""
+        with self._lock:
+            if url not in self._replicas:
+                self._replicas[url] = ReplicaHealth(url=url)
+
+    def untrack(self, url: str) -> None:
+        """Forget a replica that left the cluster."""
+        with self._lock:
+            self._replicas.pop(url, None)
+
     # -- evidence ---------------------------------------------------------------
 
     def _gauge(self, replica: ReplicaHealth) -> None:
@@ -132,7 +145,9 @@ class HealthMonitor:
     def record_failure(self, url: str, detail: str = "") -> None:
         """Passive evidence from the data path (a forward failed)."""
         with self._lock:
-            replica = self._replicas[url]
+            replica = self._replicas.get(url)
+            if replica is None:
+                return  # not tracked (e.g. routed to by name before join registered)
             replica.consecutive_failures += 1
             replica.consecutive_probe_successes = 0
             replica.last_error = detail
@@ -147,7 +162,10 @@ class HealthMonitor:
     def record_success(self, url: str) -> None:
         """Passive evidence from the data path (a forward succeeded)."""
         with self._lock:
-            replica = self._replicas[url]
+            replica = self._replicas.get(url)
+            if replica is None:
+                # a successful forward proves a real replica: adopt it
+                replica = self._replicas[url] = ReplicaHealth(url=url)
             replica.consecutive_failures = 0
             if replica.state == LIVE:
                 replica.last_error = ""

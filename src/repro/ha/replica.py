@@ -199,20 +199,27 @@ class RegistryReplicaSet:
         """
         with self._lock:
             registries = [replica.registry for replica in self.replicas]
-            meta = {"repositories": 0, "manifests": 0, "blobs": 0}
-            for src in registries:
-                for dst in registries:
-                    if src is dst:
-                        continue
-                    moved = src.copy_into(dst, blobs=False)
-                    for key in ("repositories", "manifests"):
-                        meta[key] += moved[key]
+            meta = self._sync_metadata(registries)
+            meta["blobs"] = 0
             blob_copies, bad_donors = self._sync_blobs(registries)
             meta["blobs"] = blob_copies
             meta["corrupt_donors_skipped"] = bad_donors
         self.metrics.counter(
             "replicaset_sync_blob_copies_total", "blobs moved by anti-entropy"
         ).inc(blob_copies)
+        return meta
+
+    @staticmethod
+    def _sync_metadata(registries: list[Registry]) -> dict[str, int]:
+        """Union repositories, tags, and manifests pairwise (no blobs)."""
+        meta = {"repositories": 0, "manifests": 0}
+        for src in registries:
+            for dst in registries:
+                if src is dst:
+                    continue
+                moved = src.copy_into(dst, blobs=False)
+                for key in ("repositories", "manifests"):
+                    meta[key] += moved[key]
         return meta
 
     def _sync_blobs(self, registries: list[Registry]) -> tuple[int, int]:
@@ -244,6 +251,35 @@ class RegistryReplicaSet:
         return copies, bad_donors
 
     # -- introspection -----------------------------------------------------------
+
+    def placement_report(self) -> dict:
+        """Per-replica blob footprint. Full replication means k == N:
+        every replica owns every blob, so ``capacity_ratio`` (unique bytes
+        over the largest per-replica footprint) converges on 1.0 — the
+        number sharding exists to beat."""
+        per_replica = {}
+        sizes: dict[str, int] = {}
+        for replica in sorted(self.replicas, key=lambda r: r.name):
+            store = replica.registry.blobs
+            per_replica[replica.name] = {
+                "blobs": store.count(),
+                "bytes": store.total_bytes(),
+            }
+            for digest in store.digests():
+                sizes.setdefault(digest, store.size(digest))
+        unique = sum(sizes.values())
+        loads = [entry["bytes"] for entry in per_replica.values()]
+        max_bytes = max(loads) if loads else 0
+        mean_bytes = sum(loads) / len(loads) if loads else 0
+        return {
+            "replicas": len(self.replicas),
+            "k": len(self.replicas),
+            "per_replica": per_replica,
+            "unique_bytes": unique,
+            "max_replica_bytes": max_bytes,
+            "imbalance": max_bytes / mean_bytes if mean_bytes else 0.0,
+            "capacity_ratio": unique / max_bytes if max_bytes else 0.0,
+        }
 
     def divergence(self) -> dict[str, int]:
         """How far apart the replicas are (0 everywhere == converged)."""

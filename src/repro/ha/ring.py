@@ -1,0 +1,265 @@
+"""Consistent-hash placement of the digest space over registry replicas.
+
+The paper's dataset is ~47 TB of layer blobs — no single replica (or
+full-copy replica set) can hold it, which is why real registries shard
+the digest keyspace. This module is the placement authority for
+:class:`~repro.ha.sharded.ShardedReplicaSet`:
+
+* :class:`HashRing` — classic consistent hashing with virtual nodes.
+  Every token is ``derive_seed(seed, "vnode", node, i)``, so the ring is
+  a pure function of ``(seed, member names, vnodes)``: two processes (or
+  two reruns) that agree on membership agree on every placement without
+  exchanging a byte. A blob's position is ``derive_seed(seed, "blob",
+  digest)`` and its *walk* is the distinct-node order clockwise from
+  there; adding or removing one node disturbs only the ranges adjacent
+  to that node's tokens.
+* :func:`compute_placement` — the replication-factor-k assignment with
+  **bounded byte load**. Pure ring walks balance *key counts* but layer
+  blobs are wildly size-skewed (one 10 MB layer can be a fifth of a tiny
+  hub), so walking alone leaves some replica holding far more than its
+  fair share and the aggregate-capacity win of sharding evaporates.
+  Light blobs (the long tail) place on their first k walk nodes —
+  minimal-churn classic consistent hashing; heavy blobs (each a
+  meaningful chunk of one replica's fair share) greedily pick the
+  least-loaded nodes of their walk, largest first. Both halves are pure
+  functions of ``(members, {digest: size}, k, seed)``.
+* :func:`placement_diff` — exactly which digests change owners between
+  two placements; live rebalancing moves those blobs and nothing else,
+  and the sharded cluster exercise asserts that.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.util.rng import derive_seed
+
+#: virtual nodes per replica; enough to split the keyspace finely at the
+#: replica counts this repo exercises (tokens are cheap: N * vnodes ints)
+DEFAULT_VNODES = 32
+#: a blob is "heavy" when it exceeds this share of one replica's fair
+#: byte load (k * total / n) — heavy blobs place by load, not by range
+DEFAULT_HEAVY_SHARE = 0.1
+
+
+class HashRing:
+    """Seeded consistent-hash ring over named nodes with virtual nodes.
+
+    The ring knows *ranges*; it deliberately does not know blob sizes.
+    Size-aware k-owner assignment is :func:`compute_placement`, which
+    consumes the ring's walks.
+    """
+
+    def __init__(
+        self,
+        nodes: list[str] | tuple[str, ...],
+        *,
+        k: int = 2,
+        vnodes: int = DEFAULT_VNODES,
+        seed: int = 0,
+    ):
+        if k < 1:
+            raise ValueError(f"replication factor k must be >= 1, got {k}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        if len(set(nodes)) != len(nodes):
+            raise ValueError(f"duplicate node names in {nodes!r}")
+        if len(nodes) < k:
+            raise ValueError(f"need >= k={k} nodes, got {len(nodes)}")
+        self.k = k
+        self.vnodes = vnodes
+        self.seed = seed
+        self._nodes: set[str] = set(nodes)
+        self._tokens: list[tuple[int, str]] = []
+        self._rebuild()
+
+    # -- membership --------------------------------------------------------------
+
+    def _rebuild(self) -> None:
+        tokens = []
+        for node in self._nodes:
+            for i in range(self.vnodes):
+                tokens.append((derive_seed(self.seed, "vnode", node, i), node))
+        tokens.sort()
+        self._tokens = tokens
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """Current members, sorted (the ring itself has no member order)."""
+        return tuple(sorted(self._nodes))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add(self, node: str) -> None:
+        """Join *node*; only ranges adjacent to its tokens change hands."""
+        if node in self._nodes:
+            raise ValueError(f"node already on the ring: {node!r}")
+        self._nodes.add(node)
+        self._rebuild()
+
+    def remove(self, node: str) -> None:
+        """Retire *node*; its ranges fall to the next tokens clockwise."""
+        if node not in self._nodes:
+            raise ValueError(f"node not on the ring: {node!r}")
+        if len(self._nodes) - 1 < self.k:
+            raise ValueError(
+                f"removing {node!r} would leave {len(self._nodes) - 1} nodes, "
+                f"fewer than k={self.k}"
+            )
+        self._nodes.discard(node)
+        self._rebuild()
+
+    # -- placement primitives ----------------------------------------------------
+
+    def point(self, digest: str) -> int:
+        """The blob's position on the 64-bit ring."""
+        return derive_seed(self.seed, "blob", digest)
+
+    def walk(self, digest: str, *, limit: int | None = None) -> tuple[str, ...]:
+        """Distinct nodes clockwise from the blob's point (all of them, or
+        the first *limit*). ``walk(d)[:k]`` is the classic owner set."""
+        want = len(self._nodes) if limit is None else min(limit, len(self._nodes))
+        start = bisect.bisect_left(self._tokens, (self.point(digest), ""))
+        out: list[str] = []
+        n = len(self._tokens)
+        for j in range(n):
+            node = self._tokens[(start + j) % n][1]
+            if node not in out:
+                out.append(node)
+                if len(out) == want:
+                    break
+        return tuple(out)
+
+    def owners(self, digest: str) -> tuple[str, ...]:
+        """The first k distinct walk nodes — pure range-based ownership."""
+        return self.walk(digest, limit=self.k)
+
+    def successors(self, digest: str, exclude: tuple[str, ...] | list[str],
+                   *, limit: int = 1) -> tuple[str, ...]:
+        """The next *limit* walk nodes after *exclude* — where hinted
+        handoff parks a write when an owner is down."""
+        out = [node for node in self.walk(digest) if node not in exclude]
+        return tuple(out[:limit])
+
+    def to_dict(self) -> dict:
+        return {
+            "nodes": list(self.nodes),
+            "k": self.k,
+            "vnodes": self.vnodes,
+            "seed": self.seed,
+        }
+
+
+def compute_placement(
+    ring: HashRing,
+    sizes: dict[str, int],
+    *,
+    heavy_share: float = DEFAULT_HEAVY_SHARE,
+) -> dict[str, tuple[str, ...]]:
+    """Assign every digest its k owners, bounding per-replica byte load.
+
+    Light blobs (≤ ``heavy_share`` of one replica's fair byte load) take
+    their first k walk nodes. Heavy blobs, largest first, take the k
+    least-loaded nodes of their walk (ties broken by walk order), so one
+    monster layer cannot sink a replica. The result is a pure function of
+    ``(ring membership, sizes, k, seed, heavy_share)`` — recomputing after
+    a join/leave and diffing against the old map yields exactly the blobs
+    rebalancing must move.
+    """
+    if not 0 < heavy_share <= 1:
+        raise ValueError(f"heavy_share must be in (0, 1], got {heavy_share}")
+    total = sum(sizes.values())
+    fair = ring.k * total / len(ring) if len(ring) else 0
+    threshold = heavy_share * fair
+    placement: dict[str, tuple[str, ...]] = {}
+    load: dict[str, int] = {node: 0 for node in ring.nodes}
+    heavy: list[str] = []
+    for digest in sorted(sizes):
+        if sizes[digest] > threshold:
+            heavy.append(digest)
+            continue
+        owners = ring.owners(digest)
+        placement[digest] = owners
+        for node in owners:
+            load[node] += sizes[digest]
+    for digest in sorted(heavy, key=lambda d: (-sizes[d], d)):
+        walk = ring.walk(digest)
+        owners = sorted(walk, key=lambda node: (load[node], walk.index(node)))[: ring.k]
+        placement[digest] = tuple(sorted(owners, key=walk.index))
+        for node in owners:
+            load[node] += sizes[digest]
+    return placement
+
+
+def place_one(
+    ring: HashRing,
+    digest: str,
+    size: int,
+    *,
+    load: dict[str, int],
+    total_bytes: int,
+    heavy_share: float = DEFAULT_HEAVY_SHARE,
+) -> tuple[str, ...]:
+    """Place one *new* blob against the current byte loads.
+
+    For a light blob this equals what :func:`compute_placement` would
+    pick for it (first k walk nodes), so incremental writes stay
+    consistent with a later full recompute; a heavy new blob goes to the
+    least-loaded walk nodes and may be refined at the next rebalance.
+    """
+    fair = ring.k * max(total_bytes, 1) / len(ring)
+    if size <= heavy_share * fair:
+        return ring.owners(digest)
+    walk = ring.walk(digest)
+    owners = sorted(walk, key=lambda node: (load.get(node, 0), walk.index(node)))[: ring.k]
+    return tuple(sorted(owners, key=walk.index))
+
+
+@dataclass
+class PlacementDiff:
+    """What changed between two placement maps."""
+
+    #: digest -> (old owner set, new owner set); only digests that changed
+    changed: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = field(
+        default_factory=dict
+    )
+    unchanged: int = 0
+    #: digests present only in the new placement (fresh writes)
+    added: tuple[str, ...] = ()
+    #: digests present only in the old placement (garbage-collected)
+    dropped: tuple[str, ...] = ()
+
+    @property
+    def moved(self) -> tuple[str, ...]:
+        return tuple(sorted(self.changed))
+
+    def to_dict(self) -> dict:
+        return {
+            "moved": list(self.moved),
+            "unchanged": self.unchanged,
+            "added": list(self.added),
+            "dropped": list(self.dropped),
+        }
+
+
+def placement_diff(
+    before: dict[str, tuple[str, ...]], after: dict[str, tuple[str, ...]]
+) -> PlacementDiff:
+    """Digest-level diff of two placements (owner *sets*; order ignored)."""
+    diff = PlacementDiff()
+    for digest, new_owners in after.items():
+        old_owners = before.get(digest)
+        if old_owners is None:
+            diff.added += (digest,)
+        elif set(old_owners) != set(new_owners):
+            diff.changed[digest] = (old_owners, new_owners)
+        else:
+            diff.unchanged += 1
+    diff.dropped = tuple(sorted(set(before) - set(after)))
+    diff.added = tuple(sorted(diff.added))
+    return diff

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 from repro.obs import MetricsRegistry
 from repro.registry.blobstore import BlobStore
@@ -87,6 +88,7 @@ class BlobScrubber:
         store: BlobStore,
         *,
         peers: list[BlobStore] | tuple[BlobStore, ...] = (),
+        peer_resolver: Callable[[str], Sequence[BlobStore]] | None = None,
         label: str = "store",
     ) -> ScrubReport:
         """Re-verify every blob in *store*, repairing from *peers*.
@@ -95,6 +97,10 @@ class BlobScrubber:
         holds a copy that re-hashes correctly, written back verified. The
         walk snapshots the digest list up front, so repairs during the
         pass do not disturb iteration.
+
+        ``peer_resolver(digest)`` overrides the static *peers* list per
+        digest — a sharded cluster resolves each blob to its co-owners
+        (plus any hint holder) instead of every store in the fleet.
         """
         report = ScrubReport()
         for digest in sorted(store.digests()):
@@ -113,7 +119,8 @@ class BlobScrubber:
                 "scrub_corrupt_total", "at-rest digest mismatches found",
                 store=label,
             ).inc()
-            donor = self._find_donor(digest, peers)
+            donor_pool = peer_resolver(digest) if peer_resolver is not None else peers
+            donor = self._find_donor(digest, donor_pool)
             if donor is not None:
                 store.put_at(digest, donor)
                 report.repaired += 1
@@ -158,4 +165,37 @@ class BlobScrubber:
         for i, store in enumerate(stores):
             peers = stores[:i] + stores[i + 1 :]
             total.merge(self.scrub_store(store, peers=peers, label=names[i]))
+        return total
+
+    # -- a sharded cluster -------------------------------------------------------
+
+    def scrub_sharded_set(self, sharded) -> ScrubReport:
+        """Scrub each replica's shards, repairing from the blob's own
+        owner set (a :class:`~repro.ha.sharded.ShardedReplicaSet`).
+
+        Donors for a rotted copy are the digest's *other* owners first,
+        then every remaining store (a hint holder or a not-yet-rebalanced
+        copy can legitimately hold the only good bytes)."""
+        total = ScrubReport()
+        for replica in sharded.replicas:
+            own_store = replica.registry.blobs
+
+            def resolve(digest: str, *, _self=own_store) -> list[BlobStore]:
+                owners = [
+                    sharded.replica(name).registry.blobs
+                    for name in sharded.owner_names(digest)
+                    if name in {r.name for r in sharded.replicas}
+                ]
+                rest = [
+                    r.registry.blobs
+                    for r in sharded.replicas
+                    if r.registry.blobs not in owners
+                ]
+                return [s for s in owners + rest if s is not _self]
+
+            total.merge(
+                self.scrub_store(
+                    own_store, peer_resolver=resolve, label=replica.name
+                )
+            )
         return total

@@ -1,0 +1,639 @@
+"""Sharded registry serving: each blob lives on its k ring owners only.
+
+:class:`~repro.ha.replica.RegistryReplicaSet` fans every write to every
+replica — N full copies, so aggregate capacity never grows with N and a
+partial failure degrades the whole keyspace uniformly. This module turns
+the same replicas into a *sharded* cluster:
+
+* **placement** — a :class:`~repro.ha.ring.HashRing` plus
+  :func:`~repro.ha.ring.compute_placement` assign every blob digest to
+  exactly k of the N replicas (k < N), so aggregate unique capacity is
+  ~N/k of one replica's disk instead of 1×. Registry *metadata*
+  (repositories, tags, manifests) still replicates everywhere — it is
+  tiny, and any replica must be able to answer a manifest request;
+* **quorum writes with hinted handoff** — :meth:`ShardedReplicaSet.put_blob`
+  writes to the blob's live owners; when an owner is down the bytes park
+  on the next ring successor with a hint (Dynamo-style sloppy quorum),
+  and the write succeeds only when a majority of k copies are durable
+  somewhere. :meth:`deliver_hints` repatriates parked copies when the
+  owner returns;
+* **shard-aware anti-entropy** — :meth:`sync` repairs each blob across its
+  *owner set* (digest-verified donors, like the replicated set) and
+  garbage-collects stray copies that survived handoff or rebalancing;
+* **live rebalancing** — :meth:`join` and :meth:`leave` recompute the
+  placement for the new membership and move *only* the blobs whose owner
+  set changed (every arrival re-verified by digest), returning a
+  :class:`RebalanceReport` whose ``touched`` set the cluster exercise
+  asserts against the placement diff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.ha.replica import Replica, RegistryReplicaSet
+from repro.ha.ring import (
+    DEFAULT_HEAVY_SHARE,
+    DEFAULT_VNODES,
+    HashRing,
+    compute_placement,
+    place_one,
+    placement_diff,
+)
+from repro.obs import MetricsRegistry
+from repro.registry.blobstore import BlobStore, MemoryBlobStore
+from repro.registry.registry import Registry
+from repro.util.digest import sha256_bytes
+
+
+@dataclass(frozen=True)
+class HandoffHint:
+    """A write parked on *holder* until *owed* (a down owner) returns."""
+
+    owed: str
+    holder: str
+    digest: str
+
+    def to_dict(self) -> dict:
+        return {"owed": self.owed, "holder": self.holder, "digest": self.digest}
+
+
+@dataclass
+class RebalanceReport:
+    """What one membership change actually moved."""
+
+    kind: str  # "join" | "leave"
+    node: str
+    #: digests whose owner set changed between the old and new placement
+    moved: tuple[str, ...] = ()
+    #: digests physically touched (copied to a new owner / removed from an
+    #: old one) — rebalancing is minimal iff touched ⊆ moved
+    touched: tuple[str, ...] = ()
+    unchanged: int = 0
+    copies_written: int = 0
+    bytes_moved: int = 0
+    copies_removed: int = 0
+
+    @property
+    def minimal(self) -> bool:
+        """True when only owner-set-changed blobs were touched."""
+        return set(self.touched) <= set(self.moved)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "node": self.node,
+            "moved": len(self.moved),
+            "touched": len(self.touched),
+            "unchanged": self.unchanged,
+            "copies_written": self.copies_written,
+            "bytes_moved": self.bytes_moved,
+            "copies_removed": self.copies_removed,
+            "minimal": self.minimal,
+        }
+
+
+class ShardedReplicaSet(RegistryReplicaSet):
+    """N replicas, each holding only the shards the ring assigns it.
+
+    Lifecycle (start/stop/kill/restart) and metadata fan-out come from
+    :class:`RegistryReplicaSet`; blob placement, quorum writes, hinted
+    handoff, shard-aware sync, and rebalancing live here.
+    """
+
+    def __init__(
+        self,
+        replicas: list[Replica],
+        *,
+        k: int = 2,
+        vnodes: int = DEFAULT_VNODES,
+        seed: int = 0,
+        heavy_share: float = DEFAULT_HEAVY_SHARE,
+        store_factory: Callable[[int], BlobStore] | None = None,
+        server_factory=None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        super().__init__(replicas, metrics=metrics)
+        names = [replica.name for replica in replicas]
+        self.ring = HashRing(names, k=k, vnodes=vnodes, seed=seed)
+        self.heavy_share = heavy_share
+        self._store_factory = store_factory or (lambda i: MemoryBlobStore())
+        self._server_factory = server_factory
+        #: digest -> byte size, for every blob the cluster has ever accepted
+        self._sizes: dict[str, int] = {}
+        #: the placement authority: digest -> owner names
+        self._placement: dict[str, tuple[str, ...]] = {}
+        self._hints: list[HandoffHint] = []
+        self._next_index = len(replicas)
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_source(
+        cls,
+        source: Registry,
+        n: int,
+        *,
+        k: int = 2,
+        vnodes: int = DEFAULT_VNODES,
+        seed: int = 0,
+        heavy_share: float = DEFAULT_HEAVY_SHARE,
+        store_factory: Callable[[int], BlobStore] | None = None,
+        server_factory=None,
+        metrics: MetricsRegistry | None = None,
+    ) -> "ShardedReplicaSet":
+        """Shard *source* over *n* replicas with replication factor *k*.
+
+        Metadata is cloned everywhere; each blob lands on its k owners
+        only. Requires k <= n (the HashRing enforces it).
+        """
+        if n < 1:
+            raise ValueError(f"need >= 1 replica, got {n}")
+        factory = store_factory or (lambda i: MemoryBlobStore())
+        replicas = []
+        for i in range(n):
+            registry = Registry(blobstore=factory(i))
+            source.copy_into(registry, blobs=False)
+            replicas.append(
+                Replica(f"replica-{i}", registry, server_factory=server_factory)
+            )
+        sharded = cls(
+            replicas,
+            k=k,
+            vnodes=vnodes,
+            seed=seed,
+            heavy_share=heavy_share,
+            store_factory=store_factory,
+            server_factory=server_factory,
+            metrics=metrics,
+        )
+        sharded._sizes = {
+            digest: source.blobs.size(digest) for digest in source.blobs.digests()
+        }
+        sharded._placement = compute_placement(
+            sharded.ring, sharded._sizes, heavy_share=heavy_share
+        )
+        by_name = {replica.name: replica for replica in replicas}
+        for digest, owners in sharded._placement.items():
+            data = source.blobs.get(digest)
+            for owner in owners:
+                by_name[owner].registry.blobs.put_at(digest, data)
+        return sharded
+
+    # -- lookups -----------------------------------------------------------------
+
+    def replica(self, name: str) -> Replica:
+        for replica in self.replicas:
+            if replica.name == name:
+                return replica
+        raise KeyError(f"no replica named {name!r}")
+
+    def placement(self) -> dict[str, tuple[str, ...]]:
+        return dict(self._placement)
+
+    def owner_names(self, digest: str) -> tuple[str, ...]:
+        """The blob's owners per the placement map (ring walk for an
+        unknown digest — what a read router should assume)."""
+        owners = self._placement.get(digest)
+        return owners if owners is not None else self.ring.owners(digest)
+
+    def hints(self) -> list[HandoffHint]:
+        return list(self._hints)
+
+    def route(self, digest: str) -> tuple[list[str], list[str]]:
+        """(owner URLs in ring order, spare URLs) for a blob read.
+
+        Spares are the next ring successor plus any current hint holder —
+        where the bytes can be while an owner is down. Replicas that were
+        never started have no URL and are skipped.
+        """
+        owners = self.owner_names(digest)
+        spare_names = list(self.ring.successors(digest, owners, limit=1))
+        for hint in self._hints:
+            if hint.digest == digest and hint.holder not in spare_names:
+                spare_names.append(hint.holder)
+
+        def urls(names) -> list[str]:
+            out = []
+            for name in names:
+                try:
+                    out.append(self.replica(name).base_url)
+                except (KeyError, RuntimeError):
+                    continue
+            return out
+
+        return urls(owners), urls(spare_names)
+
+    # -- writes ------------------------------------------------------------------
+
+    def put_blob(self, data: bytes, *, quorum: int | None = None) -> str:
+        """Store a blob on its k owners; sloppy quorum with hinted handoff.
+
+        Live owners take the write directly. For each dead owner the bytes
+        park on the next live ring successor with a :class:`HandoffHint`.
+        The write succeeds when at least *quorum* (default: majority of k)
+        distinct replicas hold a durable copy; otherwise RuntimeError.
+        """
+        digest = sha256_bytes(data)
+        owners = self._placement.get(digest)
+        if owners is None:
+            load = self._owned_bytes()
+            owners = place_one(
+                self.ring,
+                digest,
+                len(data),
+                load=load,
+                total_bytes=sum(self._sizes.values()),
+                heavy_share=self.heavy_share,
+            )
+            self._placement[digest] = owners
+        self._sizes[digest] = len(data)
+        need = quorum if quorum is not None else self.ring.k // 2 + 1
+        durable: list[str] = []
+        down: list[str] = []
+        for owner in owners:
+            replica = self.replica(owner)
+            if replica.alive:
+                replica.registry.push_blob(data)
+                durable.append(owner)
+            else:
+                down.append(owner)
+        for owner in down:
+            successor = self._live_successor(digest, exclude=owners + tuple(durable))
+            if successor is None:
+                continue
+            successor_replica = self.replica(successor)
+            successor_replica.registry.blobs.put_at(digest, data)
+            self._hints.append(
+                HandoffHint(owed=owner, holder=successor, digest=digest)
+            )
+            durable.append(successor)
+            self.metrics.counter(
+                "sharded_hinted_handoffs_total", "writes parked on a successor"
+            ).inc()
+        if len(durable) < need:
+            raise RuntimeError(
+                f"write quorum not met for {digest}: {len(durable)} durable "
+                f"copies < {need} required"
+            )
+        self.metrics.counter(
+            "sharded_blob_writes_total", "quorum blob writes accepted"
+        ).inc()
+        return digest
+
+    def _live_successor(self, digest: str, *, exclude: tuple[str, ...]) -> str | None:
+        for name in self.ring.walk(digest):
+            if name in exclude:
+                continue
+            if self.replica(name).alive:
+                return name
+        return None
+
+    # -- hinted handoff ----------------------------------------------------------
+
+    def deliver_hints(self) -> dict[str, int]:
+        """Repatriate parked writes to owners that came back.
+
+        A delivered copy is re-verified against its digest before the
+        owner accepts it; the parked copy is then dropped unless the
+        holder happens to own the blob too. Corrupt parked copies are
+        discarded (the co-owners are the durable source of truth)."""
+        delivered = corrupt = pending = 0
+        remaining: list[HandoffHint] = []
+        for hint in self._hints:
+            try:
+                owed = self.replica(hint.owed)
+                holder = self.replica(hint.holder)
+            except KeyError:
+                continue  # a party left the cluster; rebalancing re-placed it
+            if not owed.alive or not holder.alive:
+                pending += 1
+                remaining.append(hint)
+                continue
+            data = holder.registry.blobs.get(hint.digest)
+            if sha256_bytes(data) != hint.digest:
+                corrupt += 1
+            else:
+                owed.registry.blobs.put_at(hint.digest, data)
+                delivered += 1
+            if hint.holder not in self.owner_names(hint.digest):
+                if holder.registry.blobs.has(hint.digest):
+                    holder.registry.blobs.delete(hint.digest)
+        self._hints = remaining
+        self.metrics.counter(
+            "sharded_hints_delivered_total", "parked writes repatriated"
+        ).inc(delivered)
+        return {"delivered": delivered, "pending": pending, "corrupt_dropped": corrupt}
+
+    # -- shard-aware anti-entropy ------------------------------------------------
+
+    def sync(self) -> dict[str, int]:
+        """Reconcile metadata everywhere and every blob onto its owner set.
+
+        Hints are delivered first; then each digest is repaired across its
+        owners from a digest-verified donor (a rotted copy is never a
+        donor), and stray copies on non-owners — leftovers of handoff or
+        rebalancing — are garbage-collected.
+        """
+        with self._lock:
+            registries = [replica.registry for replica in self.replicas]
+            hints = self.deliver_hints()
+            meta = self._sync_metadata(registries)
+            placed, strays, bad_donors = self._sync_shards()
+        self.metrics.counter(
+            "replicaset_sync_blob_copies_total", "blobs moved by anti-entropy"
+        ).inc(placed)
+        return {
+            **meta,
+            "blobs": placed,
+            "strays_removed": strays,
+            "corrupt_donors_skipped": bad_donors,
+            "hints_delivered": hints["delivered"],
+            "hints_pending": hints["pending"],
+        }
+
+    def _union_digests(self) -> set[str]:
+        union: set[str] = set(self._placement)
+        for replica in self.replicas:
+            union.update(replica.registry.blobs.digests())
+        return union
+
+    def _sync_shards(self) -> tuple[int, int, int]:
+        placed = strays = bad_donors = 0
+        hint_holds = {(hint.digest, hint.holder) for hint in self._hints}
+        for digest in sorted(self._union_digests()):
+            owners = self._placement.get(digest)
+            if owners is None:
+                # a blob that appeared outside put_blob (direct store write):
+                # adopt it at its observed size
+                holder = next(
+                    (r for r in self.replicas if r.registry.blobs.has(digest)), None
+                )
+                if holder is None:
+                    continue
+                self._sizes[digest] = holder.registry.blobs.size(digest)
+                owners = place_one(
+                    self.ring,
+                    digest,
+                    self._sizes[digest],
+                    load=self._owned_bytes(),
+                    total_bytes=sum(self._sizes.values()),
+                    heavy_share=self.heavy_share,
+                )
+                self._placement[digest] = owners
+            donor: bytes | None = None
+            holders: list[Replica] = []
+            # owners first: repair should come from inside the shard
+            ordered = [self.replica(name) for name in owners] + [
+                replica for replica in self.replicas if replica.name not in owners
+            ]
+            for replica in ordered:
+                if not replica.registry.blobs.has(digest):
+                    continue
+                holders.append(replica)
+                if donor is None:
+                    data = replica.registry.blobs.get(digest)
+                    if sha256_bytes(data) == digest:
+                        donor = data
+                    else:
+                        bad_donors += 1
+            holder_names = {replica.name for replica in holders}
+            if donor is not None:
+                for name in owners:
+                    if name not in holder_names:
+                        self.replica(name).registry.blobs.put_at(digest, donor)
+                        placed += 1
+            for replica in holders:
+                if replica.name in owners:
+                    continue
+                if (digest, replica.name) in hint_holds:
+                    continue  # parked for a still-down owner; not a stray
+                replica.registry.blobs.delete(digest)
+                strays += 1
+        return placed, strays, bad_donors
+
+    # -- rebalancing -------------------------------------------------------------
+
+    def join(
+        self, name: str | None = None, *, replica: Replica | None = None
+    ) -> tuple[Replica, RebalanceReport]:
+        """Add a replica and move exactly the blobs whose owners changed.
+
+        The joiner gets a metadata clone from a live replica, starts
+        serving, enters the ring, and receives its shards (each arrival
+        re-verified by digest). Existing replicas drop the copies the new
+        placement takes away from them.
+        """
+        if replica is None:
+            name = name or f"replica-{self._next_index}"
+            registry = Registry(blobstore=self._store_factory(self._next_index))
+            replica = Replica(name, registry, server_factory=self._server_factory)
+        donors = self.live_replicas()
+        if donors:
+            donors[0].registry.copy_into(replica.registry, blobs=False)
+        self._next_index += 1
+        self.replicas.append(replica)
+        if not replica.alive:
+            replica.start()
+        self.ring.add(replica.name)
+        report = self._apply_placement(kind="join", node=replica.name)
+        return replica, report
+
+    def leave(self, name: str, *, graceful: bool = True) -> RebalanceReport:
+        """Retire a replica, handing its shards to the new owners first.
+
+        Graceful: the leaver keeps serving while it donates, then stops.
+        Ungraceful (``graceful=False``, or the leaver is already dead):
+        the surviving owners are the donors — exactly the k-1 redundancy
+        sharding promises.
+        """
+        leaver = self.replica(name)  # raises KeyError on unknown names
+        self.ring.remove(name)
+        # hints held by the leaver move with it: deliver or re-park
+        for hint in list(self._hints):
+            if hint.holder != name:
+                continue
+            self._hints.remove(hint)
+            if not (graceful and leaver.alive):
+                continue
+            data = leaver.registry.blobs.get(hint.digest)
+            if sha256_bytes(data) != hint.digest:
+                continue
+            owed = self.replica(hint.owed)
+            if owed.alive:
+                owed.registry.blobs.put_at(hint.digest, data)
+            else:
+                successor = self._live_successor(
+                    hint.digest, exclude=(name, hint.owed)
+                )
+                if successor is not None:
+                    self.replica(successor).registry.blobs.put_at(hint.digest, data)
+                    self._hints.append(
+                        HandoffHint(
+                            owed=hint.owed, holder=successor, digest=hint.digest
+                        )
+                    )
+        report = self._apply_placement(
+            kind="leave", node=name, exclude_donor=None if graceful else name
+        )
+        if leaver.alive:
+            leaver.stop()
+        self.replicas.remove(leaver)
+        return report
+
+    def _apply_placement(
+        self, *, kind: str, node: str, exclude_donor: str | None = None
+    ) -> RebalanceReport:
+        """Recompute placement for current membership and migrate the diff."""
+        new_placement = compute_placement(
+            self.ring, self._sizes, heavy_share=self.heavy_share
+        )
+        diff = placement_diff(self._placement, new_placement)
+        report = RebalanceReport(
+            kind=kind, node=node, moved=diff.moved, unchanged=diff.unchanged
+        )
+        touched: set[str] = set()
+        for digest in diff.moved:
+            old_owners, new_owners = diff.changed[digest]
+            donor: bytes | None = None
+            # old owners donate first (a leaver still donates gracefully);
+            # any other holder — a hint holder, say — is the fallback
+            candidates = list(old_owners) + [
+                replica.name
+                for replica in self.replicas
+                if replica.name not in old_owners
+            ]
+            for donor_name in candidates:
+                if donor_name == exclude_donor:
+                    continue
+                try:
+                    donor_replica = self.replica(donor_name)
+                except KeyError:
+                    continue
+                # a dead node's disk is unreachable from the data path; a
+                # later sync() repairs anything rebalancing couldn't reach
+                if not donor_replica.alive:
+                    continue
+                if not donor_replica.registry.blobs.has(digest):
+                    continue
+                data = donor_replica.registry.blobs.get(digest)
+                if sha256_bytes(data) == digest:  # verified before it travels
+                    donor = data
+                    break
+            for name in new_owners:
+                target = self.replica(name)
+                if not target.alive:
+                    continue
+                if target.registry.blobs.has(digest) or donor is None:
+                    continue
+                target.registry.blobs.put_at(digest, donor)
+                report.copies_written += 1
+                report.bytes_moved += len(donor)
+                touched.add(digest)
+            for name in old_owners:
+                if name in new_owners:
+                    continue
+                try:
+                    old_replica = self.replica(name)
+                except KeyError:
+                    continue
+                if not old_replica.alive:
+                    continue
+                if old_replica.registry.blobs.has(digest):
+                    old_replica.registry.blobs.delete(digest)
+                    report.copies_removed += 1
+                    touched.add(digest)
+        report.touched = tuple(sorted(touched))
+        self._placement = new_placement
+        self.metrics.counter(
+            "sharded_rebalance_bytes_total", "bytes moved by rebalancing", kind=kind
+        ).inc(report.bytes_moved)
+        return report
+
+    # -- introspection -----------------------------------------------------------
+
+    def _owned_bytes(self) -> dict[str, int]:
+        load = {name: 0 for name in self.ring.nodes}
+        for digest, owners in self._placement.items():
+            for name in owners:
+                if name in load:
+                    load[name] += self._sizes.get(digest, 0)
+        return load
+
+    def divergence(self) -> dict[str, int]:
+        """Placement conformance (0/0 == converged): owner copies missing,
+        and stray copies parked on non-owners (pending hints excluded)."""
+        hint_holds = {(hint.digest, hint.holder) for hint in self._hints}
+        missing = strays = 0
+        union = self._union_digests()
+        for digest in union:
+            owners = set(self.owner_names(digest))
+            for replica in self.replicas:
+                holds = replica.registry.blobs.has(digest)
+                if replica.name in owners:
+                    missing += 0 if holds else 1
+                elif holds and (digest, replica.name) not in hint_holds:
+                    strays += 1
+        return {
+            "union_blobs": len(union),
+            "owners_missing": missing,
+            "strays": strays,
+        }
+
+    def audit_placement(self) -> dict:
+        """Physical truth vs the ring: does every store hold exactly what
+        a from-scratch placement computation says it should?"""
+        expected = compute_placement(
+            self.ring, self._sizes, heavy_share=self.heavy_share
+        )
+        hint_holds = {(hint.digest, hint.holder) for hint in self._hints}
+        missing: list[str] = []
+        strays: list[str] = []
+        for digest in sorted(self._union_digests()):
+            owners = set(expected.get(digest, ()))
+            for replica in self.replicas:
+                holds = replica.registry.blobs.has(digest)
+                if replica.name in owners and not holds:
+                    missing.append(f"{digest}@{replica.name}")
+                elif (
+                    replica.name not in owners
+                    and holds
+                    and (digest, replica.name) not in hint_holds
+                ):
+                    strays.append(f"{digest}@{replica.name}")
+        return {
+            "blobs": len(expected),
+            "missing": missing,
+            "strays": strays,
+            "matches_ring": not missing and not strays,
+        }
+
+    def placement_report(self) -> dict:
+        """Per-replica shard load and the capacity story sharding buys.
+
+        ``capacity_ratio`` is unique bytes over the largest per-replica
+        byte footprint: how many times more *distinct* data this cluster
+        holds than full replication could at equal per-replica disk.
+        """
+        per_replica = {}
+        for replica in sorted(self.replicas, key=lambda r: r.name):
+            store = replica.registry.blobs
+            per_replica[replica.name] = {
+                "blobs": store.count(),
+                "bytes": store.total_bytes(),
+            }
+        unique = sum(self._sizes.get(digest, 0) for digest in self._union_digests())
+        loads = [entry["bytes"] for entry in per_replica.values()]
+        max_bytes = max(loads) if loads else 0
+        mean_bytes = sum(loads) / len(loads) if loads else 0
+        return {
+            "replicas": len(self.replicas),
+            "k": self.ring.k,
+            "vnodes": self.ring.vnodes,
+            "per_replica": per_replica,
+            "unique_bytes": unique,
+            "max_replica_bytes": max_bytes,
+            "imbalance": max_bytes / mean_bytes if mean_bytes else 0.0,
+            "capacity_ratio": unique / max_bytes if max_bytes else 0.0,
+        }

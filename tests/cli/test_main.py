@@ -32,11 +32,22 @@ class TestParser:
             ["scan", "--scale", "tiny", "--cache", "C", "--db-revision", "2"],
             ["scan", "--selfcheck", "--json"],
             ["scan", "--mode", "process", "--workers", "2", "--out", "S.json"],
+            ["cluster", "--replicas", "3", "--seed", "7"],
+            ["cluster", "--sharded", "--k", "2", "--vnodes", "16"],
         ],
     )
     def test_accepts_documented_forms(self, argv):
         args = build_parser().parse_args(argv)
         assert args.command == argv[0]
+
+    def test_cluster_replica_default_defers_to_handler(self):
+        """--replicas defaults to None so the handler can pick 3 or 6
+        depending on --sharded."""
+        args = build_parser().parse_args(["cluster"])
+        assert args.replicas is None
+        assert args.sharded is False
+        sharded = build_parser().parse_args(["cluster", "--sharded"])
+        assert sharded.k == 2 and sharded.vnodes == 32
 
 
 class TestGenerateInfo:

@@ -103,9 +103,9 @@ class TestCompareGranularities:
     def test_chunking_finds_intra_file_redundancy(self):
         """Two files sharing a long prefix: invisible to file dedup,
         visible to chunking."""
-        import os
+        import random
 
-        prefix = os.urandom(200_000)
+        prefix = random.Random(7).randbytes(200_000)
         files = [prefix + b"tail-one", prefix + b"tail-two"]
         results = {r.scheme: r for r in compare_granularities(files)}
         # the theoretical ceiling here is 50 % (one prefix copy eliminated)

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.faults import corrupt_at_rest, corrupt_some_at_rest
+from repro.faults import (
+    corrupt_at_rest,
+    corrupt_shard_at_rest,
+    corrupt_some_at_rest,
+)
 from repro.registry.blobstore import MemoryBlobStore
 from repro.registry.errors import BlobNotFoundError
 from repro.util.digest import sha256_bytes
@@ -73,4 +77,40 @@ class TestCorruptSomeAtRest:
         payloads = (b"a", b"bb", b"ccc", b"dddd", b"eeeee")
         first = corrupt_some_at_rest(store_with(*payloads), count=2, seed=5)
         second = corrupt_some_at_rest(store_with(*payloads), count=2, seed=5)
+        assert first == second
+
+
+class TestCorruptShardAtRest:
+    def test_victims_come_from_the_owned_set_only(self):
+        store = store_with(b"a", b"bb", b"ccc", b"dddd")
+        owned = sorted(store.digests())[:2]
+        victims = corrupt_shard_at_rest(store, owned, count=5, seed=3)
+        assert victims
+        assert set(victims) <= set(owned)
+        for digest in victims:
+            assert sha256_bytes(store.get(digest)) != digest
+        for digest in set(store.digests()) - set(owned):
+            assert sha256_bytes(store.get(digest)) == digest
+
+    def test_excluded_digests_stay_healthy(self):
+        store = store_with(b"a", b"bb", b"ccc")
+        owned = sorted(store.digests())
+        shielded = owned[0]
+        victims = corrupt_shard_at_rest(
+            store, owned, count=10, seed=3, exclude=[shielded]
+        )
+        assert shielded not in victims
+        assert sha256_bytes(store.get(shielded)) == shielded
+
+    def test_absent_owned_digests_are_skipped(self):
+        store = store_with(b"a")
+        ghost = "sha256:" + "f" * 64
+        victims = corrupt_shard_at_rest(store, [ghost], count=1, seed=0)
+        assert victims == []
+
+    def test_deterministic(self):
+        payloads = (b"a", b"bb", b"ccc", b"dddd")
+        owned = sorted(store_with(*payloads).digests())
+        first = corrupt_shard_at_rest(store_with(*payloads), owned, count=2, seed=5)
+        second = corrupt_shard_at_rest(store_with(*payloads), owned, count=2, seed=5)
         assert first == second

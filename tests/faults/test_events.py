@@ -1,0 +1,43 @@
+"""Unit tests for seeded per-shard event plans."""
+
+import pytest
+
+from repro.faults.events import EVENT_KINDS, ShardEvent, plan_shard_events
+
+NODES = [f"replica-{i}" for i in range(6)]
+
+
+class TestPlanShardEvents:
+    def test_one_event_per_kind_in_order(self):
+        events = plan_shard_events(NODES, seed=7)
+        assert tuple(event.kind for event in events) == EVENT_KINDS
+
+    def test_targets_are_distinct_members(self):
+        events = plan_shard_events(NODES, seed=7)
+        targets = [event.target for event in events if event.target]
+        assert len(targets) == 4
+        assert len(set(targets)) == 4
+        assert all(target in NODES for target in targets)
+        assert next(e for e in events if e.kind == "join").target == ""
+
+    def test_seeded_and_order_independent(self):
+        a = plan_shard_events(NODES, seed=7)
+        b = plan_shard_events(list(reversed(NODES)), seed=7)
+        assert a == b
+
+    def test_seed_changes_the_draw(self):
+        draws = {tuple(e.target for e in plan_shard_events(NODES, seed=s))
+                 for s in range(10)}
+        assert len(draws) > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_shard_events(NODES[:3], seed=7)
+        with pytest.raises(ValueError):
+            plan_shard_events(["a", "a", "b", "c"], seed=7)
+
+    def test_to_dict(self):
+        assert ShardEvent(kind="kill", target="x").to_dict() == {
+            "kind": "kill",
+            "target": "x",
+        }

@@ -53,6 +53,18 @@ class TestClusterExercise:
         assert "invariants" in rendered
         json.loads(report.to_json())
 
+    def test_placement_section(self, reports):
+        """Full replication reports k == N and capacity_ratio ~= 1."""
+        report, _ = reports
+        placement = report.to_dict()["placement"]
+        assert placement["replicas"] == 3 and placement["k"] == 3
+        assert len(placement["per_replica"]) == 3
+        for stats in placement["per_replica"].values():
+            assert stats["blobs"] > 0 and stats["bytes"] > 0
+        assert placement["imbalance"] == pytest.approx(1.0)
+        assert placement["capacity_ratio"] == pytest.approx(1.0)
+        assert "placement" in report.render()
+
 
 class TestOverloadExercise:
     def test_sheds_and_bounds_latency(self):

@@ -75,6 +75,52 @@ class TestHappyPath:
         served = [sum(row["value"] for row in rows) for rows in counts]
         assert all(n > 0 for n in served)
 
+
+class TestReadDistribution:
+    def test_seeded_offset_spreads_first_choice_uniformly(self):
+        """No replica may be the permanent first candidate (the hot spot a
+        plain round-robin cursor re-creates after pool-size changes)."""
+        frontend = FailoverFrontend(
+            [f"http://127.0.0.1:{9000 + i}" for i in range(4)], seed=7
+        )
+        first = {url: 0 for url in frontend.endpoints}
+        for _ in range(400):
+            first[frontend._read_candidates()[0]] += 1
+        share = [count / 400 for count in first.values()]
+        # uniform would be 0.25 each; allow generous sampling slack
+        assert min(share) > 0.15, f"hot-spotted distribution: {first}"
+        assert max(share) < 0.35, f"hot-spotted distribution: {first}"
+        frontend.stop()
+
+    def test_offset_stays_uniform_when_the_pool_shrinks(self):
+        """The failure mode of the old cursor: after len(pool) changes the
+        modulo can re-synchronize onto one replica. The seeded offset must
+        stay uniform over the survivors."""
+        endpoints = [f"http://127.0.0.1:{9000 + i}" for i in range(4)]
+        frontend = FailoverFrontend(endpoints, seed=7)
+        for _ in range(100):
+            frontend._read_candidates()
+        for url in endpoints[2:]:  # two replicas die: pool 4 -> 2
+            for _ in range(frontend.monitor.eject_after):
+                frontend.monitor.record_failure(url, "down")
+        first = {url: 0 for url in endpoints[:2]}
+        for _ in range(200):
+            first[frontend._read_candidates()[0]] += 1
+        assert all(count > 60 for count in first.values()), first
+        frontend.stop()
+
+    def test_same_seed_same_rotation(self):
+        endpoints = [f"http://127.0.0.1:{9000 + i}" for i in range(4)]
+        a = FailoverFrontend(endpoints, seed=7)
+        b = FailoverFrontend(endpoints, seed=7)
+        try:
+            assert [a._read_candidates() for _ in range(20)] == [
+                b._read_candidates() for _ in range(20)
+            ]
+        finally:
+            a.stop()
+            b.stop()
+
     def test_authoritative_404_forwards_without_failover(self, cluster):
         _, _, frontend = cluster
         status, _, _ = get(f"{frontend.base_url}/v2/library/app/manifests/nope")
@@ -156,6 +202,74 @@ class TestWrites:
         response = conn.getresponse()
         assert response.status == 411
         conn.close()
+
+
+class TestShardRouting:
+    """Blob reads through a route callable (shard-aware frontend)."""
+
+    @pytest.fixture
+    def sharded_front(self):
+        from repro.ha.sharded import ShardedReplicaSet
+
+        source = Registry()
+        blobs = [f"shard blob {i}".encode() for i in range(12)]
+        refs = []
+        for data in blobs:
+            digest = source.push_blob(data)
+            refs.append(ManifestLayerRef(digest=digest, size=len(data)))
+        source.create_repository("library/app")
+        source.push_manifest("library/app", "latest", Manifest(layers=tuple(refs)))
+        cluster = ShardedReplicaSet.from_source(source, 4, k=2, seed=7).start_all()
+        frontend = FailoverFrontend(
+            cluster.endpoints(), seed=7, route=cluster.route, timeout_s=2.0
+        ).start()
+        yield cluster, frontend, blobs
+        frontend.stop()
+        cluster.stop_all()
+
+    def test_every_blob_readable_despite_partial_placement(self, sharded_front):
+        cluster, frontend, blobs = sharded_front
+        # each blob lives on only 2 of 4 replicas; unrouted reads would 404
+        # half the time — routing must find the owners every time
+        for data in blobs:
+            digest = sha256_bytes(data)
+            status, body, _ = get(
+                f"{frontend.base_url}/v2/library/app/blobs/{digest}"
+            )
+            assert status == 200
+            assert body == data
+
+    def test_blob_readable_while_one_owner_is_down(self, sharded_front):
+        cluster, frontend, blobs = sharded_front
+        digest = sha256_bytes(blobs[0])
+        owner = cluster.owner_names(digest)[0]
+        cluster.replica(owner).kill()
+        status, body, _ = get(f"{frontend.base_url}/v2/library/app/blobs/{digest}")
+        assert status == 200
+        assert body == blobs[0]
+
+    def test_missing_everywhere_is_a_404_not_a_503(self, sharded_front):
+        _, frontend, _ = sharded_front
+        absent = "sha256:" + "0" * 64
+        status, _, _ = get(f"{frontend.base_url}/v2/library/app/blobs/{absent}")
+        assert status == 404
+
+    def test_owner_miss_fails_over_to_a_holder(self, sharded_front):
+        cluster, frontend, blobs = sharded_front
+        digest = sha256_bytes(blobs[1])
+        first_owner = cluster.owner_names(digest)[0]
+        # the first owner lost its copy (say, a botched rebalance) — the
+        # 404 it returns must not end the read while a co-owner holds it
+        cluster.replica(first_owner).registry.blobs.delete(digest)
+        status, body, _ = get(f"{frontend.base_url}/v2/library/app/blobs/{digest}")
+        assert status == 200
+        assert body == blobs[1]
+
+    def test_manifest_reads_stay_unrouted(self, sharded_front):
+        _, frontend, _ = sharded_front
+        status, body, _ = get(f"{frontend.base_url}/v2/library/app/manifests/latest")
+        assert status == 200
+        assert Manifest.from_json(body).layer_digests
 
 
 class TestSurface:

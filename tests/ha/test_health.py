@@ -78,6 +78,100 @@ class TestReinstatement:
         assert not monitor.probe_until_live("a")
 
 
+class TestFlapping:
+    """A replica that keeps going up and down must not thrash the pool.
+
+    The probe scripts are driven by :meth:`Schedule.flapping` — the same
+    on/off pattern the fault injector uses — so these tests pin down how
+    the monitor digests a genuinely flapping upstream: strikes eject it,
+    only sustained probe successes bring it back, and a reinstatement
+    threshold above one keeps an alternating replica parked.
+    """
+
+    def test_passive_strikes_from_flapping_traffic_eject(self):
+        from repro.faults import Schedule
+
+        schedule = Schedule.flapping(period=4, on=1)  # up 1 in every 4
+        monitor = scripted_monitor({"a": [True]}, eject_after=2)
+        for index in range(8):
+            if schedule.active(index):  # fault active == request failed
+                monitor.record_failure("a", "flap")
+            else:
+                monitor.record_success("a")
+        # period 4 / on 1 never yields 2 consecutive failures...
+        assert monitor.health("a").state == LIVE
+        for index in range(8):
+            if Schedule.flapping(period=4, on=3).active(index):
+                monitor.record_failure("a", "flap")
+            else:
+                monitor.record_success("a")
+        # ...but on 3 of 4 does, and the strike threshold fires.
+        assert monitor.health("a").state == EJECTED
+
+    def test_flapping_probes_do_not_oscillate(self):
+        """Alternating pass/fail probes never reach reinstate_after=2
+        consecutive passes: once ejected, the replica stays parked
+        instead of bouncing in and out of the pool."""
+        monitor = scripted_monitor(
+            {"a": [False, False, True, False, True, False, True, False]},
+            eject_after=2,
+            reinstate_after=2,
+        )
+        states = []
+        for _ in range(8):
+            monitor.probe_all()
+            states.append(monitor.health("a").state)
+        assert states[0] == LIVE  # first strike only
+        assert all(state == EJECTED for state in states[1:])
+        assert monitor.health("a").ejections == 1
+        assert monitor.health("a").reinstatements == 0
+
+    def test_recovery_after_flap_needs_consecutive_probe_passes(self):
+        monitor = scripted_monitor(
+            {"a": [False, False, True, True, True]},
+            eject_after=2,
+            reinstate_after=2,
+        )
+        monitor.probe_all()
+        monitor.probe_all()
+        assert monitor.health("a").state == EJECTED
+        # passive successes (e.g. a hinted-handoff delivery touching the
+        # replica) must not short-circuit the probe requirement
+        monitor.record_success("a")
+        monitor.record_success("a")
+        assert monitor.health("a").state == EJECTED
+        monitor.probe_all()
+        assert monitor.health("a").state == EJECTED  # one pass: not yet
+        monitor.probe_all()
+        assert monitor.health("a").state == LIVE
+        assert monitor.live() == ["a"]
+
+
+class TestMembership:
+    def test_track_adopts_a_joiner(self):
+        monitor = scripted_monitor({"a": [True]})
+        monitor.track("b")
+        assert monitor.health("b").state == LIVE
+        monitor.track("b")  # idempotent
+        assert len(monitor.snapshot()) == 2
+
+    def test_untrack_forgets_a_leaver(self):
+        monitor = scripted_monitor({"a": [True], "b": [True]})
+        monitor.untrack("b")
+        assert [row["url"] for row in monitor.snapshot()] == ["a"]
+        monitor.untrack("b")  # idempotent
+
+    def test_unknown_url_evidence_is_tolerated(self):
+        """Passive evidence can race membership changes: a failure for a
+        departed replica is dropped, a success auto-adopts (the frontend
+        clearly reached it, so it belongs in the pool)."""
+        monitor = scripted_monitor({"a": [True]})
+        monitor.record_failure("ghost", "connection refused")
+        assert [row["url"] for row in monitor.snapshot()] == ["a"]
+        monitor.record_success("joiner")
+        assert monitor.health("joiner").state == LIVE
+
+
 class TestSurface:
     def test_snapshot_and_order(self):
         monitor = scripted_monitor({"a": [True], "b": [True]})

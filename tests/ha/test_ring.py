@@ -1,0 +1,175 @@
+"""Unit tests for the consistent-hash ring and bounded placement."""
+
+import pytest
+
+from repro.ha.ring import (
+    HashRing,
+    compute_placement,
+    place_one,
+    placement_diff,
+)
+
+NODES = [f"replica-{i}" for i in range(6)]
+
+
+def sized(n: int, *, big: int = 0) -> dict[str, int]:
+    """A deterministic digest->size population (optionally with giants)."""
+    sizes = {f"sha256:{i:064x}": 100 + (i * 37) % 900 for i in range(n)}
+    for i in range(big):
+        sizes[f"sha256:b{i:063x}"] = 1_000_000
+    return sizes
+
+
+class TestRing:
+    def test_owner_count_and_distinctness(self):
+        ring = HashRing(NODES, k=2, seed=7)
+        owners = ring.owners("sha256:" + "ab" * 32)
+        assert len(owners) == 2
+        assert len(set(owners)) == 2
+        assert all(owner in NODES for owner in owners)
+
+    def test_deterministic_and_order_independent(self):
+        a = HashRing(NODES, k=2, seed=7)
+        b = HashRing(list(reversed(NODES)), k=2, seed=7)
+        for i in range(50):
+            digest = f"sha256:{i:064x}"
+            assert a.owners(digest) == b.owners(digest)
+
+    def test_seed_changes_the_ring(self):
+        a = HashRing(NODES, k=2, seed=7)
+        b = HashRing(NODES, k=2, seed=8)
+        digests = [f"sha256:{i:064x}" for i in range(100)]
+        assert any(a.owners(d) != b.owners(d) for d in digests)
+
+    def test_walk_covers_all_nodes(self):
+        ring = HashRing(NODES, k=2, seed=7)
+        walk = ring.walk("sha256:" + "cd" * 32)
+        assert sorted(walk) == sorted(NODES)
+        assert walk[:2] == ring.owners("sha256:" + "cd" * 32)
+
+    def test_successors_skip_excluded(self):
+        ring = HashRing(NODES, k=2, seed=7)
+        digest = "sha256:" + "ef" * 32
+        owners = ring.owners(digest)
+        (successor,) = ring.successors(digest, owners, limit=1)
+        assert successor not in owners
+
+    def test_join_moves_only_adjacent_ranges(self):
+        ring = HashRing(NODES, k=2, seed=7)
+        digests = [f"sha256:{i:064x}" for i in range(400)]
+        before = {d: ring.owners(d) for d in digests}
+        ring.add("replica-6")
+        changed = [d for d in digests if set(before[d]) != set(ring.owners(d))]
+        # a 7th node should take roughly 2/7 of blob-owner slots, not all
+        assert 0 < len(changed) < len(digests) * 0.6
+        # every change involves the joiner
+        assert all("replica-6" in ring.owners(d) for d in changed)
+
+    def test_remove_restores_previous_owners(self):
+        ring = HashRing(NODES, k=2, seed=7)
+        digests = [f"sha256:{i:064x}" for i in range(100)]
+        before = {d: ring.owners(d) for d in digests}
+        ring.add("replica-6")
+        ring.remove("replica-6")
+        assert {d: ring.owners(d) for d in digests} == before
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing(NODES, k=0)
+        with pytest.raises(ValueError):
+            HashRing(NODES, vnodes=0)
+        with pytest.raises(ValueError):
+            HashRing(["a", "a"], k=1)
+        with pytest.raises(ValueError):
+            HashRing(["a"], k=2)
+        ring = HashRing(["a", "b"], k=2)
+        with pytest.raises(ValueError):
+            ring.add("a")
+        with pytest.raises(ValueError):
+            ring.remove("c")
+        with pytest.raises(ValueError):
+            ring.remove("a")  # would leave fewer than k nodes
+
+    def test_to_dict(self):
+        doc = HashRing(NODES, k=2, vnodes=16, seed=3).to_dict()
+        assert doc == {"nodes": sorted(NODES), "k": 2, "vnodes": 16, "seed": 3}
+
+
+class TestBoundedPlacement:
+    def test_every_blob_gets_k_distinct_owners(self):
+        ring = HashRing(NODES, k=2, seed=7)
+        placement = compute_placement(ring, sized(300, big=3))
+        for owners in placement.values():
+            assert len(owners) == 2
+            assert len(set(owners)) == 2
+
+    def test_byte_load_is_bounded_despite_giants(self):
+        # three giants (2 copies each = one per replica when balanced):
+        # pure range placement would stack them wherever the ring says
+        sizes = sized(200, big=3)
+        ring = HashRing(NODES, k=2, seed=7)
+        placement = compute_placement(ring, sizes)
+        load = {node: 0 for node in NODES}
+        for digest, owners in placement.items():
+            for owner in owners:
+                load[owner] += sizes[digest]
+        unique = sum(sizes.values())
+        # capacity ratio: unique bytes vs the biggest single footprint
+        assert unique / max(load.values()) >= 2.5
+
+    def test_pure_function_of_inputs(self):
+        sizes = sized(150, big=2)
+        a = compute_placement(HashRing(NODES, k=2, seed=7), sizes)
+        b = compute_placement(HashRing(NODES, k=2, seed=7), sizes)
+        assert a == b
+
+    def test_light_blob_matches_ring_owners(self):
+        sizes = sized(200, big=2)
+        ring = HashRing(NODES, k=2, seed=7)
+        placement = compute_placement(ring, sizes)
+        light = min(sizes, key=sizes.get)
+        assert placement[light] == ring.owners(light)
+
+    def test_place_one_light_agrees_with_recompute(self):
+        sizes = sized(100, big=1)
+        ring = HashRing(NODES, k=2, seed=7)
+        placement = compute_placement(ring, sizes)
+        load = {node: 0 for node in NODES}
+        for digest, owners in placement.items():
+            for owner in owners:
+                load[owner] += sizes[digest]
+        new_digest = "sha256:" + "99" * 32
+        owners = place_one(
+            ring, new_digest, 50, load=load, total_bytes=sum(sizes.values())
+        )
+        extended = dict(sizes)
+        extended[new_digest] = 50
+        assert compute_placement(ring, extended)[new_digest] == owners
+
+    def test_heavy_share_validation(self):
+        ring = HashRing(NODES, k=2, seed=7)
+        with pytest.raises(ValueError):
+            compute_placement(ring, sized(10), heavy_share=0.0)
+
+
+class TestPlacementDiff:
+    def test_identifies_changed_added_dropped(self):
+        before = {"a": ("x", "y"), "b": ("x", "z"), "c": ("y", "z")}
+        after = {"a": ("y", "x"), "b": ("x", "w"), "d": ("w", "z")}
+        diff = placement_diff(before, after)
+        assert diff.moved == ("b",)  # a only reordered; sets are compared
+        assert diff.unchanged == 1
+        assert diff.added == ("d",)
+        assert diff.dropped == ("c",)
+        doc = diff.to_dict()
+        assert doc["moved"] == ["b"]
+
+    def test_join_diff_is_the_rebalance_workload(self):
+        sizes = sized(300, big=3)
+        ring = HashRing(NODES, k=2, seed=7)
+        before = compute_placement(ring, sizes)
+        ring.add("replica-6")
+        after = compute_placement(ring, sizes)
+        diff = placement_diff(before, after)
+        assert not diff.added and not diff.dropped
+        assert 0 < len(diff.moved) < len(sizes)

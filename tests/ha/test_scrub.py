@@ -103,3 +103,62 @@ class TestReportSurface:
         doc = report.to_dict()
         assert doc["scanned"] == 1
         assert doc["ok"] is True
+
+
+class TestScrubShardedSet:
+    def _sharded(self):
+        from repro.ha.sharded import ShardedReplicaSet
+        from repro.registry.registry import Registry
+
+        source = Registry()
+        for i in range(20):
+            source.push_blob(f"shard payload {i}".encode())
+        return ShardedReplicaSet.from_source(source, 4, k=2, seed=7)
+
+    def test_rot_repaired_from_the_co_owner(self):
+        sharded = self._sharded()
+        digest = next(iter(sharded.placement()))
+        owners = sharded.owner_names(digest)
+        victim = sharded.replica(owners[0])
+        corrupt_at_rest(victim.registry.blobs, digest, seed=3)
+        report = BlobScrubber().scrub_sharded_set(sharded)
+        assert report.corrupt == 1
+        assert report.repaired == 1
+        assert report.ok
+        assert victim.registry.blobs.get(digest) == sharded.replica(
+            owners[1]
+        ).registry.blobs.get(digest)
+
+    def test_rot_on_every_owner_is_unrepairable(self):
+        sharded = self._sharded()
+        digest = next(iter(sharded.placement()))
+        for name in sharded.owner_names(digest):
+            corrupt_at_rest(sharded.replica(name).registry.blobs, digest, seed=3)
+        report = BlobScrubber().scrub_sharded_set(sharded)
+        assert report.corrupt == 2
+        assert report.repaired == 0
+        assert report.unrepairable == 2
+        assert not report.ok
+
+    def test_per_store_breakdown_uses_replica_names(self):
+        sharded = self._sharded()
+        report = BlobScrubber().scrub_sharded_set(sharded)
+        assert set(report.stores) == {r.name for r in sharded.replicas}
+        # sharding means each replica scans only its shard, not the union
+        union = len(sharded.placement())
+        assert all(entry["scanned"] < union for entry in report.stores.values())
+
+
+class TestPeerResolver:
+    def test_resolver_overrides_static_peers(self):
+        data = b"resolved payload"
+        digest = sha256_bytes(data)
+        store = store_with(data)
+        good_peer = store_with(data)
+        decoy = store_with()  # would be the static peer; holds nothing
+        corrupt_at_rest(store, digest, seed=1)
+        report = BlobScrubber().scrub_store(
+            store, peers=[decoy], peer_resolver=lambda d: [good_peer]
+        )
+        assert report.repaired == 1
+        assert store.get(digest) == data

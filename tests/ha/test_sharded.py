@@ -1,0 +1,231 @@
+"""Unit/integration tests for the sharded replica set (no frontend)."""
+
+import pytest
+
+from repro.ha.sharded import ShardedReplicaSet
+from repro.model.manifest import Manifest, ManifestLayerRef
+from repro.registry.registry import Registry
+from repro.util.digest import sha256_bytes
+
+
+def seeded_registry(n_blobs: int = 24) -> Registry:
+    registry = Registry()
+    refs = []
+    for i in range(n_blobs):
+        data = bytes([i % 256]) * (100 + i * 37)
+        digest = registry.push_blob(data)
+        refs.append(ManifestLayerRef(digest=digest, size=len(data)))
+    registry.create_repository("library/app")
+    registry.push_manifest("library/app", "latest", Manifest(layers=tuple(refs)))
+    return registry
+
+
+@pytest.fixture
+def sharded():
+    cluster = ShardedReplicaSet.from_source(
+        seeded_registry(), 4, k=2, seed=7
+    ).start_all()
+    yield cluster
+    cluster.stop_all()
+
+
+class TestPlacement:
+    def test_each_blob_on_exactly_its_owners(self, sharded):
+        for digest, owners in sharded.placement().items():
+            assert len(owners) == 2
+            for replica in sharded.replicas:
+                holds = replica.registry.blobs.has(digest)
+                assert holds == (replica.name in owners)
+
+    def test_metadata_is_everywhere(self, sharded):
+        for replica in sharded.replicas:
+            assert replica.registry.catalog() == ["library/app"]
+            assert replica.registry.manifest_count() == 1
+
+    def test_aggregate_capacity_beats_full_replication(self, sharded):
+        report = sharded.placement_report()
+        assert report["k"] == 2
+        assert report["replicas"] == 4
+        # k=2 over N=4 halves every replica's footprint vs full copies
+        assert report["capacity_ratio"] > 1.5
+        assert report["unique_bytes"] > report["max_replica_bytes"]
+
+    def test_divergence_zero_when_fresh(self, sharded):
+        divergence = sharded.divergence()
+        assert divergence["owners_missing"] == 0
+        assert divergence["strays"] == 0
+
+    def test_audit_matches_ring(self, sharded):
+        assert sharded.audit_placement()["matches_ring"] is True
+
+    def test_route_owners_and_spare(self, sharded):
+        digest = next(iter(sharded.placement()))
+        owners, spares = sharded.route(digest)
+        assert len(owners) == 2
+        assert len(spares) == 1
+        assert not set(owners) & set(spares)
+
+
+class TestQuorumWrites:
+    def test_write_lands_on_owners_only(self, sharded):
+        digest = sharded.put_blob(b"fresh payload")
+        owners = sharded.owner_names(digest)
+        for replica in sharded.replicas:
+            assert replica.registry.blobs.has(digest) == (replica.name in owners)
+
+    def test_write_with_dead_owner_parks_a_hint(self, sharded):
+        # find a payload whose owner set includes replica-0, then kill it
+        for i in range(200):
+            payload = f"hinted {i}".encode()
+            if "replica-0" in sharded.owner_names(sha256_bytes(payload)):
+                break
+        else:
+            pytest.fail("no payload owned by replica-0 in 200 tries")
+        sharded.kill(0)
+        digest = sharded.put_blob(payload)
+        hints = sharded.hints()
+        assert len(hints) == 1
+        assert hints[0].owed == "replica-0"
+        assert hints[0].digest == digest
+        holder = sharded.replica(hints[0].holder)
+        assert holder.registry.blobs.has(digest)
+
+    def test_hint_delivery_repatriates_and_cleans_up(self, sharded):
+        for i in range(200):
+            payload = f"hinted {i}".encode()
+            if "replica-0" in sharded.owner_names(sha256_bytes(payload)):
+                break
+        sharded.kill(0)
+        digest = sharded.put_blob(payload)
+        holder_name = sharded.hints()[0].holder
+        sharded.restart(0)
+        result = sharded.deliver_hints()
+        assert result["delivered"] == 1
+        assert sharded.hints() == []
+        assert sharded.replica("replica-0").registry.blobs.has(digest)
+        holder = sharded.replica(holder_name)
+        if holder_name not in sharded.owner_names(digest):
+            assert not holder.registry.blobs.has(digest)
+
+    def test_quorum_failure_raises(self, sharded):
+        digest_owners = None
+        for i in range(200):
+            payload = f"doomed {i}".encode()
+            owners = sharded.owner_names(sha256_bytes(payload))
+            digest_owners = owners
+            break
+        # kill everything: no owner, no successor, no quorum
+        for i in range(len(sharded.replicas)):
+            sharded.kill(i)
+        with pytest.raises(RuntimeError, match="quorum"):
+            sharded.put_blob(b"doomed 0")
+        assert digest_owners is not None
+
+
+class TestSync:
+    def test_sync_repairs_a_missing_owner_copy(self, sharded):
+        digest = next(iter(sharded.placement()))
+        owners = sharded.owner_names(digest)
+        victim = sharded.replica(owners[0])
+        victim.registry.blobs.delete(digest)
+        report = sharded.sync()
+        assert report["blobs"] >= 1
+        assert victim.registry.blobs.has(digest)
+
+    def test_sync_removes_strays(self, sharded):
+        digest = next(iter(sharded.placement()))
+        owners = set(sharded.owner_names(digest))
+        outsider = next(
+            r for r in sharded.replicas if r.name not in owners
+        )
+        data = sharded.replica(next(iter(owners))).registry.blobs.get(digest)
+        outsider.registry.blobs.put_at(digest, data)
+        report = sharded.sync()
+        assert report["strays_removed"] == 1
+        assert not outsider.registry.blobs.has(digest)
+
+    def test_sync_refuses_corrupt_donor(self, sharded):
+        digest = next(iter(sharded.placement()))
+        owners = sharded.owner_names(digest)
+        first, second = (sharded.replica(name) for name in owners)
+        good = first.registry.blobs.get(digest)
+        first.registry.blobs.put_at(digest, b"rot")
+        second.registry.blobs.delete(digest)
+        report = sharded.sync()
+        assert report["corrupt_donors_skipped"] >= 1
+        # nobody held a good copy, so the rot must not have propagated
+        assert second.registry.blobs.has(digest) is False or (
+            second.registry.blobs.get(digest) == good
+        )
+
+
+class TestRebalance:
+    def test_join_moves_only_changed_owner_sets(self, sharded):
+        before = sharded.placement()
+        joiner, report = sharded.join()
+        assert report.kind == "join"
+        assert report.minimal, "rebalance touched blobs outside the diff"
+        after = sharded.placement()
+        untouched = set(before) - set(report.moved)
+        for digest in untouched:
+            assert set(before[digest]) == set(after[digest])
+        # the joiner actually received shards
+        assert joiner.registry.blobs.count() > 0
+        assert sharded.divergence()["owners_missing"] == 0
+        assert sharded.audit_placement()["matches_ring"] is True
+
+    def test_join_clones_metadata(self, sharded):
+        joiner, _ = sharded.join()
+        assert joiner.registry.catalog() == ["library/app"]
+
+    def test_leave_hands_shards_off_first(self, sharded):
+        name = sharded.replicas[1].name
+        owned_before = [
+            digest
+            for digest, owners in sharded.placement().items()
+            if name in owners
+        ]
+        report = sharded.leave(name)
+        assert report.kind == "leave"
+        assert report.minimal
+        assert all(r.name != name for r in sharded.replicas)
+        assert sharded.divergence()["owners_missing"] == 0
+        # every blob the leaver owned is still fully replicated
+        for digest in owned_before:
+            holders = [
+                r.name
+                for r in sharded.replicas
+                if r.registry.blobs.has(digest)
+            ]
+            assert len(holders) == 2
+
+    def test_leave_below_k_is_refused(self):
+        cluster = ShardedReplicaSet.from_source(seeded_registry(8), 2, k=2, seed=7)
+        with pytest.raises(ValueError):
+            cluster.leave("replica-0")
+
+    def test_join_then_leave_roundtrip_restores_placement(self, sharded):
+        before = sharded.placement()
+        joiner, _ = sharded.join()
+        sharded.leave(joiner.name)
+        after = sharded.placement()
+        assert {d: set(o) for d, o in before.items()} == {
+            d: set(o) for d, o in after.items()
+        }
+        assert sharded.audit_placement()["matches_ring"] is True
+
+
+class TestSurface:
+    def test_from_source_validates(self):
+        with pytest.raises(ValueError):
+            ShardedReplicaSet.from_source(seeded_registry(4), 0)
+        with pytest.raises(ValueError):
+            ShardedReplicaSet.from_source(seeded_registry(4), 2, k=3)
+
+    def test_push_manifest_fans_to_all(self, sharded):
+        data = b"layer for manifest"
+        digest = sharded.put_blob(data)
+        manifest = Manifest(layers=(ManifestLayerRef(digest=digest, size=len(data)),))
+        sharded.push_manifest("library/app", "v2", manifest)
+        for replica in sharded.replicas:
+            assert "v2" in replica.registry.list_tags("library/app")

@@ -215,6 +215,64 @@ capacity against a limits-protected server, asserting the server sheds
 rather than melts and the p99 of handled requests stays bounded.""",
     ),
     (
+        "Sharding the digest space",
+        """\
+Full replication buys availability at N× the storage bill. The Docker
+Hub corpus is ~1 PB *deduplicated* — no single box holds it — so
+`repro.ha.ring` + `repro.ha.sharded` place each blob on **k of N**
+replicas instead of all of them, keeping the failover story while the
+cluster's unique capacity grows like N/k.
+
+`HashRing(members, seed=...)` hashes `vnodes` virtual tokens per member
+(`derive_seed(seed, "vnode", name, i)`) onto a ring; a blob's point is
+`derive_seed(seed, "blob", digest)` and its **owner set** is the first k
+distinct members walking clockwise. The ring is a pure function of
+`(seed, members)`: every process that knows both computes identical
+placement, no coordination service needed. `compute_placement` bounds
+the load the walk alone can't: blobs above a size cutoff are placed
+largest-first onto the least-loaded of their walk candidates, which is
+what holds the measured `capacity_ratio` (unique bytes over the largest
+per-replica footprint) near the N/k ideal instead of letting one hot
+token eat the gain. `placement_diff(old, new)` returns exactly the blobs
+whose owner set changed — the contract live rebalancing is audited
+against.
+
+`ShardedReplicaSet.from_source(registry, n, k=2, seed=...)` stamps out
+the servers and copies each blob to its k owners only. Writes go through
+`put_blob`: attempt all k owners, succeed at quorum (`k//2 + 1`), and
+park a **hinted handoff** on the ring successor for any dead owner —
+`deliver_hints()` repatriates the bytes (digest-verified) when the owner
+returns, and `sync()` runs shard-aware anti-entropy: every blob's owner
+set converges, strays (copies on non-owners that aren't parked hints)
+are collected, corrupt donors are skipped. `join(name)` / `leave(name)`
+rebalance live: recompute the ring, move only the `placement_diff`
+blobs, verify every move by digest (leave refuses to drop below k
+holders — it hands off first, then retires). `audit_placement()` checks
+the disk against the ring and is asserted in the exercise.
+
+The `FailoverFrontend` stays the single client address: constructed with
+`route=cluster.route`, blob GETs try the k owners in ring order (spares
+— ring successor, hint holders — after), and a routed 404 is
+failover-worthy rather than authoritative, because any single owner may
+legitimately lack the blob mid-rebalance. Reads stay uniform via a
+seeded per-request offset (`derive_seed(seed, "read", n)`), which also
+keeps replay runs byte-identical. The scrubber gains the same awareness:
+`scrub_sharded_set` repairs a rotted copy from the blob's *co-owners*
+(falling back to any holder), not from replicas that never stored it.
+
+`repro cluster --sharded --replicas 6 --k 2 --seed 7` runs the sharded
+exercise: phase A healthy traffic; phase B kills one replica and rots
+blobs on another — served through surviving owners, a degraded write
+parks a hint; phase C flaps a third replica under traffic; phase D joins
+a fresh replica and retires another while pulls continue. On top of the
+six full-replication invariants it asserts: every blob stays readable
+while ≥1 owner lives; placement matches the ring after rebalancing;
+join/leave moved only the owner-set diff; and the capacity ratio clears
+`0.83 × N/k` (measured ≈2.86 at N=6, k=2 — against 1.0 for full
+replication). Exit 1 on any violation; the seeded report core is
+byte-identical across runs.""",
+    ),
+    (
         "Parallel analysis & the profile cache",
         """\
 Layer profiling — gunzip, tar walk, per-file hashing and typing — is the
