@@ -1,0 +1,229 @@
+"""Benchmarks for the streaming columnar engine and the vectorized analyzer.
+
+Two stories:
+
+* ``TestColumnarEngine`` — §IV/§V statistics over the bench dataset via the
+  in-memory single-partial path and via bounded chunks, printing files/sec
+  and checking the reports agree byte for byte.
+* ``TestAnalyzerVectorization`` — the before/after cell for the
+  ``ProfileStore.to_dataset`` / ``extract_insights`` work: the naive
+  per-record Counter walk against the shipped vectorized
+  ``extract_insights`` (the real win — lazy basename tallies plus
+  integer ``bincount``/``argsort`` ranking), and the factorization
+  strategy comparison behind ``to_dataset`` — the fused dict walk that
+  shipped versus the ``np.unique``-over-strings candidate that was
+  measured and rejected. Negative results stay executable so the next
+  person doesn't re-ship the slow version.
+"""
+
+from collections import Counter, defaultdict
+from posixpath import basename
+
+import numpy as np
+
+from repro.analyzer.insights import extract_insights
+from repro.analyzer.profiles import FileRecord, LayerProfile, ProfileStore
+from repro.core.colstream import report_from_chunks, report_from_dataset
+from repro.synth.streamgen import chunks_from_dataset
+from repro.util.timer import Timer
+
+
+class TestColumnarEngine:
+    def test_in_memory_report(self, bench_dataset, benchmark, capsys):
+        """The monolithic reference: one partial over the whole dataset."""
+        report = benchmark.pedantic(
+            report_from_dataset, args=(bench_dataset,), rounds=1, iterations=1
+        )
+        n = bench_dataset.n_file_occurrences
+        with capsys.disabled():
+            print()
+            print("columnar  in-memory report over the bench dataset")
+            print(f"  occurrences            {n:,}")
+            print(f"  unique files           {report.doc['totals']['unique_files']:,}")
+
+    def test_streaming_report_matches(self, bench_dataset, benchmark, capsys):
+        """Chunked streaming analysis: bounded memory, identical answer."""
+        reference = report_from_dataset(bench_dataset)
+
+        def stream():
+            return report_from_chunks(
+                chunks_from_dataset(bench_dataset, chunk_occurrences=1_000_000)
+            )
+
+        with Timer() as t:
+            report = stream()
+        benchmark.pedantic(stream, rounds=1, iterations=1)
+        n = bench_dataset.n_file_occurrences
+        with capsys.disabled():
+            print()
+            print("columnar  streaming (1M-occurrence chunks) vs in-memory")
+            print(f"  occurrences            {n:,}")
+            print(f"  streaming pass         {t.elapsed:.3f}s "
+                  f"({n / t.elapsed:,.0f} files/s)")
+            print(f"  byte-identical         "
+                  f"{report.to_json() == reference.to_json()}")
+        assert report.to_json() == reference.to_json()
+
+
+# -- the pre-vectorization analyzer code, kept as the before/after baseline ----
+
+
+def _naive_to_dataset_arrays(store: ProfileStore):
+    file_id_by_digest: dict[str, int] = {}
+    file_sizes: list[int] = []
+    file_types: list[int] = []
+    layer_file_ids: list[int] = []
+    layer_offsets = [0]
+    for profile in store.layers():
+        for record in profile.files:
+            fid = file_id_by_digest.get(record.digest)
+            if fid is None:
+                fid = len(file_sizes)
+                file_id_by_digest[record.digest] = fid
+                file_sizes.append(record.size)
+                file_types.append(record.type_code)
+            layer_file_ids.append(fid)
+        layer_offsets.append(len(layer_file_ids))
+    return (
+        np.asarray(file_sizes, dtype=np.int64),
+        np.asarray(file_types, dtype=np.int32),
+        np.asarray(layer_offsets, dtype=np.int64),
+        np.asarray(layer_file_ids, dtype=np.int64),
+    )
+
+
+def _naive_copy_counting(store: ProfileStore):
+    copies: Counter[str] = Counter()
+    sizes: dict[str, int] = {}
+    names: dict[str, Counter[str]] = defaultdict(Counter)
+    for layer in store.layers():
+        for record in layer.files:
+            copies[record.digest] += 1
+            sizes[record.digest] = record.size
+            names[record.digest][basename(record.path)] += 1
+    return copies.most_common(5)
+
+
+def _big_store(n_layers: int = 600, files_per_layer: int = 400) -> ProfileStore:
+    rng = np.random.default_rng(41)
+    store = ProfileStore()
+    digests = [f"sha256:f{i:06d}" for i in range(20_000)]
+    names = ["a.txt", "lib.so", "__init__.py", "LICENSE", "mod.pyc"]
+    for li in range(n_layers):
+        picks = rng.integers(0, len(digests), size=files_per_layer)
+        files = [
+            FileRecord(
+                path=f"usr/share/{names[int(p) % 5]}",
+                digest=digests[int(p)],
+                size=0 if p % 11 == 0 else int(p) % 4096,
+                type_code=int(p) % 40,
+            )
+            for p in picks
+        ]
+        store.add_layer(
+            LayerProfile(
+                digest=f"sha256:layer{li:05d}",
+                compressed_size=1000,
+                files_size=sum(f.size for f in files),
+                file_count=len(files),
+                directory_count=3,
+                max_depth=5,
+                files=files,
+            )
+        )
+    return store
+
+
+def _string_unique_to_dataset_arrays(store: ProfileStore):
+    """The rejected candidate: full-NumPy factorize via ``np.unique`` over
+    the digest *strings*. Measured ~5x slower than the fused dict walk at
+    10⁶ occurrences — NumPy has to sort the string column, while the dict
+    hashes each digest once. Kept so the comparison stays executable."""
+    profiles = store.layers()
+    occ_digests = np.asarray([r.digest for p in profiles for r in p.files])
+    occ_sizes = np.fromiter(
+        (r.size for p in profiles for r in p.files),
+        dtype=np.int64, count=occ_digests.size,
+    )
+    occ_types = np.fromiter(
+        (r.type_code for p in profiles for r in p.files),
+        dtype=np.int32, count=occ_digests.size,
+    )
+    offsets = np.zeros(len(profiles) + 1, dtype=np.int64)
+    np.cumsum([len(p.files) for p in profiles], out=offsets[1:])
+    _, first_idx, inverse = np.unique(
+        occ_digests, return_index=True, return_inverse=True
+    )
+    order = np.argsort(first_idx, kind="stable")
+    rank = np.empty(order.size, dtype=np.int64)
+    rank[order] = np.arange(order.size, dtype=np.int64)
+    ids = rank[inverse.reshape(-1)]
+    first_seen = first_idx[order]
+    return occ_sizes[first_seen], occ_types[first_seen], offsets, ids
+
+
+class TestAnalyzerVectorization:
+    def test_to_dataset_factorize_strategies(self, benchmark, capsys):
+        """The shipped fused walk vs the rejected string-``np.unique`` path.
+
+        ``to_dataset`` reads Python objects, so one fused pass that only
+        touches ``size``/``type_code`` on first-seen digests is the floor;
+        this cell keeps the evidence honest by timing the full-NumPy
+        candidate alongside it.
+        """
+        store = _big_store()
+        with Timer() as naive_t:
+            sizes, types, offsets, ids = _naive_to_dataset_arrays(store)
+        dataset = benchmark.pedantic(store.to_dataset, rounds=1, iterations=1)
+        n = int(offsets[-1])
+        with Timer() as fast_t:
+            again = store.to_dataset()
+        with Timer() as rejected_t:
+            r_sizes, r_types, r_offsets, r_ids = (
+                _string_unique_to_dataset_arrays(store)
+            )
+        with capsys.disabled():
+            print()
+            print("analyzer  ProfileStore.to_dataset factorization strategies")
+            print(f"  occurrences            {n:,}")
+            print(f"  per-record dict walk   {naive_t.elapsed:.3f}s "
+                  f"({n / naive_t.elapsed:,.0f} files/s)")
+            print(f"  shipped to_dataset     {fast_t.elapsed:.3f}s "
+                  f"({n / fast_t.elapsed:,.0f} files/s)")
+            print(f"  np.unique on strings   {rejected_t.elapsed:.3f}s "
+                  f"({n / rejected_t.elapsed:,.0f} files/s) "
+                  f"[rejected: {rejected_t.elapsed / fast_t.elapsed:.1f}x "
+                  f"slower than shipped]")
+        # all three factorizes agree element for element
+        for got in (
+            (dataset.file_sizes, dataset.file_types,
+             dataset.layer_file_offsets, dataset.layer_file_ids),
+            (r_sizes, r_types, r_offsets, r_ids),
+        ):
+            assert np.array_equal(got[0], sizes)
+            assert np.array_equal(got[1], types)
+            assert np.array_equal(got[2], offsets)
+            assert np.array_equal(got[3], ids)
+        assert np.array_equal(again.layer_file_ids, ids)
+        # the shipped walk must beat the rejected full-NumPy candidate
+        assert fast_t.elapsed < rejected_t.elapsed
+
+    def test_insights_before_after(self, benchmark, capsys):
+        """Vectorized copy ranking vs the per-record Counter walk."""
+        store = _big_store()
+        with Timer() as naive_t:
+            naive_top = _naive_copy_counting(store)
+        insights = benchmark.pedantic(
+            extract_insights, args=(store,), rounds=1, iterations=1
+        )
+        with Timer() as fast_t:
+            extract_insights(store)
+        with capsys.disabled():
+            print()
+            print("analyzer  extract_insights before/after vectorization")
+            print(f"  naive Counter walk     {naive_t.elapsed:.3f}s")
+            print(f"  vectorized             {fast_t.elapsed:.3f}s "
+                  f"[{naive_t.elapsed / fast_t.elapsed:.1f}x]")
+        assert [
+            (r.digest, r.copies) for r in insights.top_repeated_files
+        ] == [(d, c) for d, c in naive_top]

@@ -9,7 +9,7 @@ Subcommands::
     repro ablate      hub.npz [--experiment a1|a2]
     repro pipeline    --scale tiny [--dataset out.npz] [--profiles out.jsonl]
     repro experiments --out EXPERIMENTS.md              # full paper-vs-measured
-    repro bench       [--tiny] [--out BENCH_pipeline.json]  # parallel/cache bench
+    repro bench       [--tiny] [--columnar] [--out BENCH_pipeline.json]  # perf bench
     repro loadtest    --seed 3 [--proxy] [--http]       # serving load test
     repro chaos       --seed 7 --plan smoke             # fault-injected pipeline
     repro cluster     --replicas 3 --seed 7 [--overload]  # HA serving exercise
@@ -140,6 +140,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--tiny", action="store_true",
         help="tiny scale only — the CI smoke configuration",
+    )
+    p.add_argument(
+        "--columnar", action="store_true",
+        help="benchmark the streaming columnar engine instead of the "
+        "materialized analyzer (mode x cold/warm over a spilled chunk store)",
+    )
+    p.add_argument(
+        "--columnar-scales", default=None,
+        help="comma-separated columnar scales (tiny,mid,small,10m,full); "
+        "default mid,10m — with --tiny, just tiny",
+    )
+    p.add_argument(
+        "--chunk-occurrences", type=int, default=None,
+        help="occurrence budget per spilled chunk (columnar only)",
+    )
+    p.add_argument(
+        "--no-in-memory-check", action="store_true",
+        help="skip the streaming-vs-in-memory equivalence pass (columnar "
+        "only; for scales that only fit chunked)",
     )
     p.add_argument(
         "--out", type=Path, default=Path("BENCH_pipeline.json"),
@@ -583,12 +602,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json as json_module
 
-    from repro.core.bench import BENCH_SCALES, render_bench, run_pipeline_bench
+    from repro.core.bench import (
+        BENCH_SCALES,
+        COLUMNAR_SCALES,
+        DEFAULT_COLUMNAR_SCALES,
+        render_bench,
+        run_columnar_bench,
+        run_pipeline_bench,
+    )
+
+    modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+    if args.columnar:
+        if args.columnar_scales:
+            scales = tuple(
+                s.strip() for s in args.columnar_scales.split(",") if s.strip()
+            )
+        else:
+            scales = ("tiny",) if args.tiny else DEFAULT_COLUMNAR_SCALES
+        for scale in scales:
+            if scale not in COLUMNAR_SCALES:
+                print(
+                    f"unknown columnar scale {scale!r}; known: "
+                    f"{', '.join(COLUMNAR_SCALES)}",
+                    file=sys.stderr,
+                )
+                return 2
+        doc = run_columnar_bench(
+            scales=scales,
+            modes=modes,
+            seed=args.seed,
+            workers=args.workers,
+            repeats=args.repeats,
+            chunk_occurrences=args.chunk_occurrences,
+            check_in_memory=not args.no_in_memory_check,
+            out=args.out,
+        )
+        print(json_module.dumps(doc, indent=2, sort_keys=True) if args.json
+              else render_bench(doc))
+        print(f"wrote {args.out}")
+        ok = (
+            doc["summary"]["all_identical_to_serial"]
+            and doc["summary"]["all_in_memory_identical"]
+        )
+        return 0 if ok else 1
 
     scales = ("tiny",) if args.tiny else tuple(
         s.strip() for s in args.scales.split(",") if s.strip()
     )
-    modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
     for scale in scales:
         if scale not in BENCH_SCALES:
             print(

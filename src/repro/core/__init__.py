@@ -10,6 +10,16 @@
   motivates (uncompressed small layers, popularity caching).
 """
 
+from repro.core.colstream import (
+    ColumnarPartial,
+    ColumnarReport,
+    finalize_report,
+    merge_partials,
+    partial_from_chunk,
+    report_from_chunks,
+    report_from_dataset,
+    streaming_report,
+)
 from repro.core.figures import FIGURES, FigureResult, compute_all_figures, compute_figure
 from repro.core.paper_targets import PAPER_TARGETS, paper_value
 from repro.core.pipeline import (
@@ -30,7 +40,9 @@ from repro.core.report import render_experiments_markdown, render_report
 
 __all__ = [
     "FIGURES",
+    "ColumnarPartial",
     "ColumnarPipelineResult",
+    "ColumnarReport",
     "FigureResult",
     "GrowthProjection",
     "MaterializedPipelineResult",
@@ -38,10 +50,16 @@ __all__ = [
     "PAPER_TARGETS",
     "compute_all_figures",
     "compute_figure",
+    "finalize_report",
+    "merge_partials",
     "paper_value",
+    "partial_from_chunk",
     "project_growth",
     "render_experiments_markdown",
     "render_report",
+    "report_from_chunks",
+    "report_from_dataset",
+    "streaming_report",
     "run_columnar_pipeline",
     "run_http_pipeline",
     "run_materialized_pipeline",

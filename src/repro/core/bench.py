@@ -20,6 +20,17 @@ The document also carries one dedup-scan cell (``scan`` key): a cold and
 a warm :class:`~repro.scan.scanner.DedupScanner` pass over the smallest
 scale, timing unique-layer extraction throughput and checking that the
 warm pass extracts nothing.
+
+``repro bench --columnar`` runs the streaming columnar family instead
+(``columnar`` key): each scale spills the chunked synthetic hub once, then
+times :func:`~repro.core.colstream.streaming_report` over the store for
+every mode, cold (fresh store, page cache empty-ish) and warm (second pass
+over the same store). Every cell's serialized report is byte-compared to
+the serial reference, and — because the whole point is that streaming is a
+pure refactor of the monolithic computation — each scale also checks the
+streaming report against the in-memory :func:`report_from_dataset` answer.
+Format version 3 adds this family plus per-run ``effective_workers`` and
+``cpu_count``.
 """
 
 from __future__ import annotations
@@ -43,7 +54,7 @@ from repro.synth.hubgen import generate_dataset
 from repro.synth.materialize import materialize_registry
 from repro.util.timer import Timer
 
-BENCH_FORMAT_VERSION = 2
+BENCH_FORMAT_VERSION = 3
 
 #: scales the harness knows how to build, smallest first. ``mid`` is a
 #: bench-only preset: tiny's layer shape at 4x the image count, so the
@@ -53,6 +64,12 @@ BENCH_SCALES = ("tiny", "mid", "small")
 
 _DEFAULT_SCALES = ("tiny", "mid")
 _DEFAULT_MODES = ("serial", "thread", "process")
+
+#: columnar-only scales on top of :data:`BENCH_SCALES`. ``10m`` crosses the
+#: issue's 10⁷-occurrence bar (~10.2 M file occurrences); ``full`` is the
+#: whole bench preset (~38 M occurrences, ~0.7 % of paper image count).
+COLUMNAR_SCALES = BENCH_SCALES + ("10m", "full")
+DEFAULT_COLUMNAR_SCALES = ("mid", "10m")
 
 
 def _scale_config(scale: str, seed: int) -> SyntheticHubConfig:
@@ -70,6 +87,25 @@ def _scale_config(scale: str, seed: int) -> SyntheticHubConfig:
     return getattr(SyntheticHubConfig, scale)(seed=seed)
 
 
+def _columnar_scale_config(scale: str, seed: int) -> SyntheticHubConfig:
+    if scale == "10m":
+        return replace(SyntheticHubConfig.bench(seed=seed), n_images=800)
+    if scale == "full":
+        return SyntheticHubConfig.bench(seed=seed)
+    if scale not in BENCH_SCALES:
+        raise ValueError(
+            f"unknown columnar scale {scale!r}; expected one of {COLUMNAR_SCALES}"
+        )
+    return _scale_config(scale, seed)
+
+
+def _pool_workers(metrics: MetricsRegistry, mode: str) -> int:
+    """Read back how many workers the last dispatch actually started."""
+    from repro.obs import counter_total
+
+    return int(counter_total(metrics, "parallel_pool_workers", mode=mode))
+
+
 @dataclass
 class BenchRun:
     """One cell of the mode x cache matrix."""
@@ -85,6 +121,8 @@ class BenchRun:
     cache_stats: dict[str, int]
     extraction_skip_fraction: float
     identical_to_serial: bool
+    effective_workers: int  # from the parallel_pool_workers gauge
+    cpu_count: int
 
     def to_dict(self) -> dict:
         return {
@@ -99,6 +137,8 @@ class BenchRun:
             "cache_stats": self.cache_stats,
             "extraction_skip_fraction": round(self.extraction_skip_fraction, 4),
             "identical_to_serial": self.identical_to_serial,
+            "effective_workers": self.effective_workers,
+            "cpu_count": self.cpu_count,
         }
 
 
@@ -174,17 +214,18 @@ def bench_scale(
         parallel = ParallelConfig(
             mode=mode, workers=workers, chunk_size=8, min_parallel_items=0
         )
+        metrics = MetricsRegistry()
         analyzer = Analyzer(
             downloader.dest,
             parallel=parallel,
             cache=cache,
-            metrics=MetricsRegistry(),
+            metrics=metrics,
         )
         with Timer() as t:
             analysis = analyzer.analyze(images, pull_counts)
-        return analysis, t.elapsed
+        return analysis, t.elapsed, metrics
 
-    reference_analysis, _ = analyze("serial", None)
+    reference_analysis, _, _ = analyze("serial", None)
     reference = _fingerprint(reference_analysis)
     bench = ScaleBench(
         scale=scale,
@@ -204,7 +245,7 @@ def bench_scale(
                 for _ in range(repeats):
                     if cache_state == "cold" and cache_dir.exists():
                         _clear_tree(cache_dir)
-                    analysis, elapsed = analyze(mode, ProfileCache(cache_dir))
+                    analysis, elapsed, metrics = analyze(mode, ProfileCache(cache_dir))
                     totals = analysis.dataset.totals()
                     stats = analysis.cache_stats
                     lookups = stats["hits"] + stats["misses"]
@@ -228,6 +269,8 @@ def bench_scale(
                             stats["hits"] / lookups if lookups else 0.0
                         ),
                         identical_to_serial=_fingerprint(analysis) == reference,
+                        effective_workers=_pool_workers(metrics, mode),
+                        cpu_count=os.cpu_count() or 1,
                     )
                     if best is None or run.analyze_s < best.analyze_s:
                         best = run
@@ -350,6 +393,228 @@ def bench_scan(
     )
 
 
+@dataclass
+class ColumnarRun:
+    """One cell of the columnar mode x store-temperature matrix."""
+
+    mode: str
+    cache: str  # "cold" | "warm"
+    analyze_s: float
+    n_chunks: int
+    n_occurrences: int
+    files_per_s: float
+    identical_to_serial: bool
+    effective_workers: int
+    cpu_count: int
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "cache": self.cache,
+            "analyze_s": round(self.analyze_s, 6),
+            "n_chunks": self.n_chunks,
+            "n_occurrences": self.n_occurrences,
+            "files_per_s": round(self.files_per_s, 3),
+            "identical_to_serial": self.identical_to_serial,
+            "effective_workers": self.effective_workers,
+            "cpu_count": self.cpu_count,
+        }
+
+
+@dataclass
+class ColumnarScaleBench:
+    """Streaming columnar analysis measured at one hub scale."""
+
+    scale: str
+    n_layers: int
+    n_chunks: int
+    n_occurrences: int
+    chunk_occurrences: int
+    generate_spill_s: float
+    store_bytes: int
+    in_memory_identical: bool | None  # None when the check was skipped
+    runs: list[ColumnarRun] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "scale": self.scale,
+            "n_layers": self.n_layers,
+            "n_chunks": self.n_chunks,
+            "n_occurrences": self.n_occurrences,
+            "chunk_occurrences": self.chunk_occurrences,
+            "generate_spill_s": round(self.generate_spill_s, 6),
+            "store_bytes": self.store_bytes,
+            "in_memory_identical": self.in_memory_identical,
+            "runs": [run.to_dict() for run in self.runs],
+        }
+
+
+def bench_columnar(
+    scale: str,
+    *,
+    seed: int = 2017,
+    modes: tuple[str, ...] = _DEFAULT_MODES,
+    workers: int | None = None,
+    repeats: int = 1,
+    chunk_occurrences: int | None = None,
+    check_in_memory: bool = True,
+) -> ColumnarScaleBench:
+    """Run the streaming columnar matrix at one scale.
+
+    Generates and spills the chunked hub once (timed as setup, not as a
+    cell), then times :func:`streaming_report` per mode: ``cold`` is the
+    first pass over the freshly written store, ``warm`` the best of
+    *repeats* further passes. Every cell byte-compares its serialized
+    report to the serial cold reference; with *check_in_memory* the scale
+    additionally proves the streaming answer equals the monolithic
+    :func:`report_from_dataset` one — that comparison regenerates the hub
+    as a full in-memory dataset, so switch it off for scales that only fit
+    chunked.
+    """
+    from repro.core.colstream import report_from_dataset, streaming_report
+    from repro.synth.hubgen import generate_dataset
+    from repro.synth.streamgen import (
+        DEFAULT_CHUNK_OCCURRENCES,
+        iter_dataset_chunks,
+        open_chunk_store,
+        spill_chunks,
+    )
+
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if scale not in COLUMNAR_SCALES:
+        raise ValueError(
+            f"unknown columnar scale {scale!r}; expected one of {COLUMNAR_SCALES}"
+        )
+    config = _columnar_scale_config(scale, seed)
+    budget = chunk_occurrences or DEFAULT_CHUNK_OCCURRENCES
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = Path(tmp) / "chunks"
+        with Timer() as setup_t:
+            spill_chunks(
+                iter_dataset_chunks(config, chunk_occurrences=budget), store
+            )
+        specs = open_chunk_store(store)
+        store_bytes = sum(p.stat().st_size for p in store.iterdir())
+        n_occurrences = sum(s.n_occurrences for s in specs)
+
+        def run_report(mode: str):
+            metrics = MetricsRegistry()
+            parallel = ParallelConfig(
+                mode=mode, workers=workers, min_parallel_items=0
+            )
+            with Timer() as t:
+                report = streaming_report(
+                    specs, parallel=parallel, metrics=metrics
+                )
+            return report.to_json(), t.elapsed, _pool_workers(metrics, mode)
+
+        reference, _, _ = run_report("serial")
+        bench = ColumnarScaleBench(
+            scale=scale,
+            n_layers=specs[-1].layer_end if specs else 0,
+            n_chunks=len(specs),
+            n_occurrences=n_occurrences,
+            chunk_occurrences=budget,
+            generate_spill_s=setup_t.elapsed,
+            store_bytes=store_bytes,
+            in_memory_identical=None,
+        )
+        for mode in modes:
+            for cache_state in ("cold", "warm"):
+                best: ColumnarRun | None = None
+                for _ in range(1 if cache_state == "cold" else repeats):
+                    got, elapsed, eff = run_report(mode)
+                    run = ColumnarRun(
+                        mode=mode,
+                        cache=cache_state,
+                        analyze_s=elapsed,
+                        n_chunks=len(specs),
+                        n_occurrences=n_occurrences,
+                        files_per_s=(
+                            n_occurrences / elapsed if elapsed > 0 else 0.0
+                        ),
+                        identical_to_serial=got == reference,
+                        effective_workers=eff,
+                        cpu_count=os.cpu_count() or 1,
+                    )
+                    if best is None or run.analyze_s < best.analyze_s:
+                        best = run
+                assert best is not None
+                bench.runs.append(best)
+
+    if check_in_memory:
+        dataset = generate_dataset(config)
+        bench.in_memory_identical = (
+            report_from_dataset(dataset).to_json() == reference
+        )
+    return bench
+
+
+def run_columnar_bench(
+    *,
+    scales: tuple[str, ...] = DEFAULT_COLUMNAR_SCALES,
+    modes: tuple[str, ...] = _DEFAULT_MODES,
+    seed: int = 2017,
+    workers: int | None = None,
+    repeats: int = 1,
+    chunk_occurrences: int | None = None,
+    check_in_memory: bool = True,
+    out: str | Path | None = None,
+) -> dict:
+    """Benchmark the streaming columnar engine and write the v3 record."""
+    results = [
+        bench_columnar(
+            scale,
+            seed=seed,
+            modes=modes,
+            workers=workers,
+            repeats=repeats,
+            chunk_occurrences=chunk_occurrences,
+            check_in_memory=check_in_memory,
+        )
+        for scale in scales
+    ]
+    largest = results[-1]
+    warm_best = {
+        run.mode: run.files_per_s
+        for run in largest.runs
+        if run.cache == "warm"
+    }
+    serial_warm = warm_best.get("serial", 0.0)
+    process_warm = warm_best.get("process", 0.0)
+    doc = {
+        "version": BENCH_FORMAT_VERSION,
+        "seed": seed,
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "repeats": repeats,
+        "columnar": [bench.to_dict() for bench in results],
+        "summary": {
+            "all_identical_to_serial": all(
+                run.identical_to_serial
+                for bench in results
+                for run in bench.runs
+            ),
+            "all_in_memory_identical": all(
+                bench.in_memory_identical in (True, None) for bench in results
+            ),
+            "largest_scale": largest.scale,
+            "largest_n_occurrences": largest.n_occurrences,
+            "largest_warm_files_per_s": {
+                mode: round(v, 3) for mode, v in sorted(warm_best.items())
+            },
+            "process_vs_serial_warm_speedup": (
+                round(process_warm / serial_warm, 3) if serial_warm > 0 else None
+            ),
+        },
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc
+
+
 def run_pipeline_bench(
     *,
     scales: tuple[str, ...] = _DEFAULT_SCALES,
@@ -424,12 +689,13 @@ def run_pipeline_bench(
 
 
 def render_bench(doc: dict) -> str:
-    """A human-readable table of a :func:`run_pipeline_bench` document."""
+    """A human-readable table of a :func:`run_pipeline_bench` or
+    :func:`run_columnar_bench` document."""
     lines = [
         f"pipeline bench (seed {doc['seed']}, {doc['cpu_count']} cpus, "
         f"workers {doc['workers'] or 'auto'})"
     ]
-    for bench in doc["scales"]:
+    for bench in doc.get("scales", []):
         lines.append(
             f"  {bench['scale']}: {bench['n_images']} images / "
             f"{bench['n_layers']} layers "
@@ -455,19 +721,43 @@ def render_bench(doc: dict) -> str:
             f"({scan['warm_extractions']} extractions), "
             f"dedup {scan['savings_ratio']:.2f}x  [{check}]"
         )
+    for bench in doc.get("columnar", []):
+        mem = bench["in_memory_identical"]
+        mem_note = (
+            "in-memory ok" if mem else
+            ("in-memory check skipped" if mem is None else "IN-MEMORY MISMATCH")
+        )
+        lines.append(
+            f"  columnar/{bench['scale']}: {bench['n_occurrences']:,} occurrences "
+            f"in {bench['n_chunks']} chunks "
+            f"({bench['store_bytes'] / 1e6:.1f} MB store, "
+            f"spill {bench['generate_spill_s']:.2f}s)  [{mem_note}]"
+        )
+        for run in bench["runs"]:
+            check = "ok" if run["identical_to_serial"] else "MISMATCH"
+            lines.append(
+                f"    {run['mode']:>7}/{run['cache']:<4} "
+                f"{run['analyze_s']:8.3f}s  "
+                f"{run['files_per_s']:12,.0f} files/s  "
+                f"workers {run['effective_workers']:>2}  [{check}]"
+            )
     summary = doc["summary"]
-    if summary["process_vs_serial_cold_speedup"] is not None:
-        lines.append(
-            f"  process/serial cold speedup: "
-            f"{summary['process_vs_serial_cold_speedup']:.2f}x"
-        )
-    if summary["min_warm_extraction_skip_fraction"] is not None:
-        lines.append(
-            f"  min warm extraction skip: "
-            f"{summary['min_warm_extraction_skip_fraction']:.1%}"
-        )
+    speedup = summary.get("process_vs_serial_cold_speedup")
+    if speedup is not None:
+        lines.append(f"  process/serial cold speedup: {speedup:.2f}x")
+    warm_speedup = summary.get("process_vs_serial_warm_speedup")
+    if warm_speedup is not None:
+        lines.append(f"  process/serial warm speedup: {warm_speedup:.2f}x")
+    min_skip = summary.get("min_warm_extraction_skip_fraction")
+    if min_skip is not None:
+        lines.append(f"  min warm extraction skip: {min_skip:.1%}")
     lines.append(
         "  results identical to serial: "
         + ("yes" if summary["all_identical_to_serial"] else "NO")
     )
+    if "all_in_memory_identical" in summary:
+        lines.append(
+            "  streaming identical to in-memory: "
+            + ("yes" if summary["all_in_memory_identical"] else "NO")
+        )
     return "\n".join(lines)

@@ -16,6 +16,7 @@ from repro.dedup.chunking import (
     gear_chunks,
 )
 from repro.dedup.engine import FileDedupReport, file_dedup_report
+from repro.dedup.streaming import FileDedupState, merge_dedup_states
 from repro.dedup.versions import VersionAnalysis, analyze_versions
 from repro.dedup.layer_sharing import LayerSharingReport, layer_sharing_report
 from repro.dedup.growth import GrowthPoint, dedup_growth
@@ -26,6 +27,7 @@ __all__ = [
     "ChunkDedupResult",
     "CrossDuplicateReport",
     "FileDedupReport",
+    "FileDedupState",
     "GrowthPoint",
     "LayerSharingReport",
     "TypeDedupRow",
@@ -38,5 +40,6 @@ __all__ = [
     "dedup_growth",
     "file_dedup_report",
     "fixed_chunks",
+    "merge_dedup_states",
     "gear_chunks",
 ]

@@ -1,0 +1,159 @@
+"""Mergeable file-dedup partials for the streaming columnar engine (§V-B).
+
+:func:`~repro.dedup.engine.file_dedup_report` needs the whole occurrence
+array resident to bincount repeats. At paper scale (10⁹ occurrences) that is
+the memory wall, so the streaming engine folds per-chunk partials instead:
+each chunk contributes its ``np.unique`` (ids, counts, first-seen sizes),
+and partials merge by sorted concatenation — unique ids are kept sorted, so
+a merge is one concatenate + one ``np.unique`` with summed counts. The
+merged state answers every §V-B statistic *exactly* (not approximately):
+repeat percentiles come from the true multiset of per-unique-file copy
+counts, identical to what the in-memory report computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class FileDedupState:
+    """A partial (or fully merged) view of the unique-file universe.
+
+    ``unique_ids`` is sorted ascending; ``counts``/``sizes`` are parallel.
+    All arithmetic stays in int64 (occurrence totals and byte totals are far
+    below 2⁶³), so merging in any grouping yields bit-identical state.
+    """
+
+    unique_ids: np.ndarray  # int64, sorted
+    counts: np.ndarray  # int64 — occurrences of each unique file *seen so far*
+    sizes: np.ndarray  # int64 — unique-file sizes (same for every sighting)
+    n_occurrences: int
+    total_bytes: int  # capacity of all occurrences seen
+
+    @classmethod
+    def empty(cls) -> "FileDedupState":
+        return cls(
+            unique_ids=np.zeros(0, dtype=np.int64),
+            counts=np.zeros(0, dtype=np.int64),
+            sizes=np.zeros(0, dtype=np.int64),
+            n_occurrences=0,
+            total_bytes=0,
+        )
+
+    @classmethod
+    def from_occurrences(
+        cls, file_ids: np.ndarray, occ_sizes: np.ndarray
+    ) -> "FileDedupState":
+        """Collapse one chunk's occurrence columns to a partial."""
+        if file_ids.size == 0:
+            return cls.empty()
+        unique_ids, first, counts = np.unique(
+            file_ids, return_index=True, return_counts=True
+        )
+        return cls(
+            unique_ids=unique_ids.astype(np.int64),
+            counts=counts.astype(np.int64),
+            sizes=occ_sizes[first].astype(np.int64),
+            n_occurrences=int(file_ids.size),
+            total_bytes=int(occ_sizes.sum()),
+        )
+
+    @property
+    def n_unique(self) -> int:
+        return int(self.unique_ids.size)
+
+    @property
+    def unique_bytes(self) -> int:
+        return int(self.sizes.sum())
+
+    def merge(self, other: "FileDedupState") -> "FileDedupState":
+        """Fold two partials: union ids, sum counts, keep one size each."""
+        if other.n_unique == 0:
+            merged = self
+        elif self.n_unique == 0:
+            merged = other
+        else:
+            ids = np.concatenate([self.unique_ids, other.unique_ids])
+            counts = np.concatenate([self.counts, other.counts])
+            sizes = np.concatenate([self.sizes, other.sizes])
+            unique_ids, first, inverse = np.unique(
+                ids, return_index=True, return_inverse=True
+            )
+            summed = np.zeros(unique_ids.size, dtype=np.int64)
+            np.add.at(summed, inverse, counts)
+            return FileDedupState(
+                unique_ids=unique_ids,
+                counts=summed,
+                sizes=sizes[first],
+                n_occurrences=self.n_occurrences + other.n_occurrences,
+                total_bytes=self.total_bytes + other.total_bytes,
+            )
+        return FileDedupState(
+            unique_ids=merged.unique_ids,
+            counts=merged.counts,
+            sizes=merged.sizes,
+            n_occurrences=self.n_occurrences + other.n_occurrences,
+            total_bytes=self.total_bytes + other.total_bytes,
+        )
+
+    # -- the §V-B answers -----------------------------------------------------
+
+    def repeat_percentile(self, q: float) -> int:
+        """Exact inverted-CDF percentile of copies-per-unique-file —
+        the same convention as :class:`~repro.stats.cdf.EmpiricalCDF`."""
+        if self.n_unique == 0:
+            raise ValueError("no unique files observed")
+        return int(np.percentile(self.counts, q, method="inverted_cdf"))
+
+    def summary(self) -> dict:
+        """The §V-B numbers, keyed like ``FileDedupReport.summary()``.
+
+        Derived purely from merged integers, so the streaming and in-memory
+        engines agree byte-for-byte on the serialized form.
+        """
+        if self.n_unique == 0:
+            raise ValueError("no file occurrences to deduplicate")
+        n_unique = self.n_unique
+        unique_bytes = self.unique_bytes
+        max_at = int(np.argmax(self.counts))  # sorted ids -> lowest id wins ties
+        multi = int(np.count_nonzero(self.counts > 1))
+        return {
+            "occurrences": self.n_occurrences,
+            "unique_files": n_unique,
+            "total_bytes": self.total_bytes,
+            "unique_bytes": unique_bytes,
+            "unique_fraction": n_unique / self.n_occurrences,
+            "count_ratio": self.n_occurrences / n_unique,
+            "capacity_ratio": (
+                self.total_bytes / unique_bytes if unique_bytes else 0.0
+            ),
+            "eliminated_capacity_fraction": (
+                1.0 - unique_bytes / self.total_bytes if self.total_bytes else 0.0
+            ),
+            "multi_copy_fraction": multi / n_unique,
+            "median_copies": self.repeat_percentile(50),
+            "p90_copies": self.repeat_percentile(90),
+            "max_repeat": int(self.counts[max_at]),
+            "max_repeat_is_empty": bool(self.sizes[max_at] == 0),
+        }
+
+
+def merge_dedup_states(states: list[FileDedupState]) -> FileDedupState:
+    """Fold partials pairwise (balanced tree), left to right.
+
+    The result is order-insensitive — ids are a set union and counts are
+    integer sums — but folding as a tree keeps each concatenate near-linear
+    instead of quadratic when thousands of chunks merge.
+    """
+    if not states:
+        return FileDedupState.empty()
+    level = list(states)
+    while len(level) > 1:
+        level = [
+            level[i].merge(level[i + 1]) if i + 1 < len(level) else level[i]
+            for i in range(0, len(level), 2)
+        ]
+    return level[0]

@@ -46,6 +46,21 @@ class Histogram:
     overflow: int
 
     @classmethod
+    def empty(cls, edges: np.ndarray) -> "Histogram":
+        """The merge identity: zero counts over *edges*."""
+        edges = np.asarray(edges, dtype=np.float64)
+        if edges.ndim != 1 or edges.size < 2:
+            raise ValueError("edges must be a 1-D array of at least two values")
+        if np.any(np.diff(edges) <= 0):
+            raise ValueError("edges must be strictly increasing")
+        return cls(
+            edges=edges,
+            counts=np.zeros(edges.size - 1, dtype=np.int64),
+            underflow=0,
+            overflow=0,
+        )
+
+    @classmethod
     def from_values(cls, values: np.ndarray, edges: np.ndarray) -> "Histogram":
         values = np.asarray(values)
         edges = np.asarray(edges, dtype=np.float64)
@@ -66,6 +81,43 @@ class Histogram:
     def total(self) -> int:
         """All values seen, including under/overflow."""
         return int(self.counts.sum()) + self.underflow + self.overflow
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Exact bucket-wise sum of two histograms over the same binning.
+
+        Mergeability is what makes the binned histogram a valid *partial
+        aggregate*: chunked/streaming analyses histogram each chunk
+        independently and fold the pieces, and because both operands count
+        the same closed-form buckets the fold is exact — ``a.merge(b)``
+        equals ``from_values(concat(a_values, b_values), edges)`` for any
+        split of the sample. Raises ``ValueError`` when the bases differ
+        (different edge arrays would silently misbin, so that is an error,
+        not a best-effort rebin).
+        """
+        if self.edges.shape != other.edges.shape or not np.array_equal(
+            self.edges, other.edges
+        ):
+            raise ValueError(
+                "cannot merge histograms with mismatched bases: "
+                f"{self.edges.size - 1} bins on [{self.edges[0]}, {self.edges[-1]}] "
+                f"vs {other.edges.size - 1} bins on "
+                f"[{other.edges[0]}, {other.edges[-1]}]"
+            )
+        return Histogram(
+            edges=self.edges,
+            counts=self.counts + other.counts,
+            underflow=self.underflow + other.underflow,
+            overflow=self.overflow + other.overflow,
+        )
+
+    def as_dict(self) -> dict:
+        """A JSON-able rendering (edges as floats, counts as ints)."""
+        return {
+            "edges": [float(e) for e in self.edges],
+            "counts": [int(c) for c in self.counts],
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+        }
 
     def mode_bin(self) -> tuple[float, float, int]:
         """Return ``(lo, hi, count)`` for the fullest bin."""

@@ -21,7 +21,17 @@ from repro.synth.calibration import CalibrationRow, calibration_report, failed_r
 from repro.synth.config import LayerShapeConfig, PopularityConfig, SharingConfig, SyntheticHubConfig
 from repro.synth.content import synthesize_file_bytes
 from repro.synth.filepool import FilePool, generate_file_pool
-from repro.synth.hubgen import generate_dataset
+from repro.synth.hubgen import BuiltHub, build_hub, generate_dataset
+from repro.synth.streamgen import (
+    DEFAULT_CHUNK_OCCURRENCES,
+    ChunkSpec,
+    DatasetChunk,
+    chunks_from_dataset,
+    iter_dataset_chunks,
+    open_chunk_store,
+    plan_layer_chunks,
+    spill_chunks,
+)
 from repro.synth.lineage import (
     SEVERITIES,
     ImageLineage,
@@ -37,7 +47,11 @@ from repro.synth.materialize import GroundTruth, materialize_registry
 from repro.synth.typeprofiles import TypeProfile, default_type_profiles
 
 __all__ = [
+    "BuiltHub",
     "CalibrationRow",
+    "ChunkSpec",
+    "DEFAULT_CHUNK_OCCURRENCES",
+    "DatasetChunk",
     "FilePool",
     "GroundTruth",
     "ImageLineage",
@@ -49,6 +63,12 @@ __all__ = [
     "Vulnerability",
     "calibration_report",
     "failed_rows",
+    "build_hub",
+    "chunks_from_dataset",
+    "iter_dataset_chunks",
+    "open_chunk_store",
+    "plan_layer_chunks",
+    "spill_chunks",
     "LayerShapeConfig",
     "PopularityConfig",
     "SharingConfig",

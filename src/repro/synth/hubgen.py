@@ -16,6 +16,8 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.filetypes.catalog import TypeCatalog, default_catalog
@@ -23,7 +25,12 @@ from repro.model.dataset import HubDataset
 from repro.synth.config import SyntheticHubConfig
 from repro.synth.filepool import generate_file_pool
 from repro.synth.imagegen import ImagePlan, plan_images
-from repro.synth.layergen import assemble_layers, deal_layer_files, generate_structure
+from repro.synth.layergen import (
+    LayerBlock,
+    assemble_layers,
+    deal_layer_files,
+    generate_structure,
+)
 from repro.synth.popularity import generate_pull_counts, generate_repo_names
 from repro.util.rng import RngTree
 
@@ -56,14 +63,58 @@ def _prune_unreferenced_layers(
     )
 
 
-def generate_dataset(
+@dataclass
+class BuiltHub:
+    """The generator's columnar components, before dataset assembly.
+
+    This is :func:`generate_dataset` stopped one step short of packaging a
+    :class:`~repro.model.dataset.HubDataset` — the streaming generator
+    (:mod:`repro.synth.streamgen`) consumes the same components but yields
+    them as bounded layer-range chunks instead, so both paths are
+    byte-identical by construction.
+    """
+
+    file_sizes: np.ndarray  # int64 [n_files]
+    file_types: np.ndarray  # int32 [n_files]
+    layers: LayerBlock
+    image_layer_offsets: np.ndarray  # int64 [n_images + 1]
+    image_layer_ids: np.ndarray  # int64
+    repo_names: list[str]
+    pull_counts: np.ndarray  # int64 [n_images]
+
+    @property
+    def n_layers(self) -> int:
+        return self.layers.n_layers
+
+    def to_dataset(self) -> HubDataset:
+        dataset = HubDataset(
+            file_sizes=self.file_sizes,
+            file_types=self.file_types,
+            layer_file_offsets=self.layers.file_offsets,
+            layer_file_ids=self.layers.file_ids,
+            layer_cls=self.layers.cls,
+            layer_dir_counts=self.layers.dir_counts,
+            layer_max_depths=self.layers.max_depths,
+            image_layer_offsets=self.image_layer_offsets,
+            image_layer_ids=self.image_layer_ids,
+            repo_names=self.repo_names,
+            pull_counts=self.pull_counts,
+        )
+        dataset.validate()
+        return dataset
+
+
+def build_hub(
     config: SyntheticHubConfig, catalog: TypeCatalog | None = None
-) -> HubDataset:
-    """Generate a calibrated columnar Docker Hub dataset.
+) -> BuiltHub:
+    """Run every generation stage and return the raw columnar components.
 
     Deterministic in ``config.seed``; every subsystem draws from an
     independent named RNG stream, so tweaking one stage's parameters never
-    reshuffles another stage's output.
+    reshuffles another stage's output. The occurrence multisets minted by
+    the file pool are dropped before returning — dealing consumed them —
+    so the peak beyond the returned arrays is one transient occurrence
+    array, not two.
     """
     catalog = catalog or default_catalog()
     tree = RngTree(config.seed)
@@ -103,24 +154,29 @@ def generate_dataset(
     )
     ids = deal_layer_files(layer_tree, pool, structure)
     layers = assemble_layers(layer_tree, pool, structure, ids, config.layer_shape)
+    # dealing consumed the occurrence multisets; free them so the builder's
+    # residency is one occurrence-sized array (the dealt ids), not two
+    pool.occurrences_by_group = {}
 
     names = generate_repo_names(
         tree.child("popularity"), config.n_images, config.n_official, config.popularity
     )
     pulls = generate_pull_counts(tree.child("popularity"), names, config.popularity)
 
-    dataset = HubDataset(
+    return BuiltHub(
         file_sizes=pool.sizes,
         file_types=pool.type_codes,
-        layer_file_offsets=layers.file_offsets,
-        layer_file_ids=layers.file_ids,
-        layer_cls=layers.cls,
-        layer_dir_counts=layers.dir_counts,
-        layer_max_depths=layers.max_depths,
+        layers=layers,
         image_layer_offsets=plan.image_layer_offsets,
         image_layer_ids=image_layer_ids,
         repo_names=names,
         pull_counts=pulls,
     )
-    dataset.validate()
-    return dataset
+
+
+def generate_dataset(
+    config: SyntheticHubConfig, catalog: TypeCatalog | None = None
+) -> HubDataset:
+    """Generate a calibrated columnar Docker Hub dataset (see
+    :func:`build_hub` for the staging; this packages its components)."""
+    return build_hub(config, catalog).to_dataset()

@@ -1,0 +1,353 @@
+"""Chunked dataset generation: the synthetic hub as a stream of layer ranges.
+
+``generate_dataset`` mints the whole hub into one in-memory ``HubDataset``,
+and every analysis over it gathers occurrence-sized temporaries (sizes,
+types, repeat counts, full sorts). That caps the reachable scale at what one
+address space holds several times over. This module keeps the *generation*
+stages exactly as they are — they are already vectorized, and dealing is
+inherently global (the occurrence multiset is shuffled across all layers) —
+but hands the result out as bounded :class:`DatasetChunk` slices over
+contiguous layer ranges, so the *analysis* side
+(:mod:`repro.core.colstream`) never materializes more than one chunk of
+occurrence data per worker.
+
+Guarantees:
+
+* **Byte-identity in aggregate.** Chunks come from the same ``RngTree``
+  streams as :func:`~repro.synth.hubgen.generate_dataset`; concatenating
+  every chunk's arrays reproduces the monolithic dataset's arrays exactly,
+  at any chunk size (``tests/synth/test_streamgen.py`` pins this).
+* **Bounded chunks.** Each chunk covers whole layers and at most
+  ``chunk_occurrences`` file occurrences (unless a single layer alone
+  exceeds the budget — a chunk is never smaller than one layer).
+* **Picklable dispatch.** :func:`spill_chunks` writes each chunk to an
+  ``.npz`` and returns :class:`ChunkSpec` handles — plain-data, cheap to
+  pickle — so ``repro.parallel.map_shards`` can fan chunk analysis out to
+  a process pool without shipping arrays through the pickle channel.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.filetypes.catalog import TypeCatalog
+from repro.model.dataset import HubDataset
+from repro.synth.config import SyntheticHubConfig
+from repro.synth.hubgen import build_hub
+
+#: Default occurrence budget per chunk: ~24 MB of chunk arrays (three
+#: 8-byte columns plus the int32 type column) — small enough that a full
+#: process pool of workers stays well under a laptop's memory.
+DEFAULT_CHUNK_OCCURRENCES = 1_000_000
+
+_MANIFEST_NAME = "chunks.json"
+_STORE_FORMAT = 1
+
+
+@dataclass
+class DatasetChunk:
+    """A contiguous layer range of the hub, with its occurrence columns.
+
+    ``file_offsets`` is a *local* CSR (starts at 0); ``file_ids`` are global
+    unique-file ids, and ``occ_sizes``/``occ_types`` are the per-occurrence
+    gathers of the universe's size/type columns — carried inline so a chunk
+    is self-contained and analysis never needs the full file universe.
+    ``layer_ref_counts`` is the image→layer reference count for each layer
+    in the range (the §V-A sharing signal, computed once at build time from
+    the image CSR and sliced per chunk).
+    """
+
+    index: int
+    layer_start: int  # global id of the first layer in the range
+    layer_end: int  # one past the last layer
+    file_offsets: np.ndarray  # int64 [n_layers + 1], local (offsets[0] == 0)
+    file_ids: np.ndarray  # int64 [n_occurrences]
+    occ_sizes: np.ndarray  # int64 [n_occurrences]
+    occ_types: np.ndarray  # int32 [n_occurrences]
+    layer_cls: np.ndarray  # int64 [n_layers]
+    layer_dir_counts: np.ndarray  # int64 [n_layers]
+    layer_max_depths: np.ndarray  # int64 [n_layers]
+    layer_ref_counts: np.ndarray  # int64 [n_layers]
+
+    @property
+    def n_layers(self) -> int:
+        return int(self.file_offsets.size - 1)
+
+    @property
+    def n_occurrences(self) -> int:
+        return int(self.file_ids.size)
+
+    def __len__(self) -> int:
+        return self.n_occurrences
+
+    def validate(self) -> None:
+        if self.layer_end - self.layer_start != self.n_layers:
+            raise ValueError("layer range disagrees with CSR length")
+        if self.file_offsets[0] != 0 or self.file_offsets[-1] != self.file_ids.size:
+            raise ValueError("chunk CSR must be local (start 0, end n_occurrences)")
+        if np.any(np.diff(self.file_offsets) < 0):
+            raise ValueError("chunk offsets must be non-decreasing")
+        for name in ("occ_sizes", "occ_types"):
+            if getattr(self, name).size != self.file_ids.size:
+                raise ValueError(f"{name} must parallel file_ids")
+        for name in ("layer_cls", "layer_dir_counts", "layer_max_depths",
+                     "layer_ref_counts"):
+            if getattr(self, name).size != self.n_layers:
+                raise ValueError(f"{name} must have one entry per layer")
+
+
+def plan_layer_chunks(
+    layer_file_counts: np.ndarray, chunk_occurrences: int
+) -> list[tuple[int, int]]:
+    """Split layers into contiguous ``[start, end)`` ranges of at most
+    *chunk_occurrences* occurrences each.
+
+    Greedy left-to-right: a range closes when adding the next layer would
+    overflow the budget. A layer bigger than the whole budget gets a range
+    of its own (chunks hold whole layers — splitting a layer would break
+    per-layer aggregates). Zero-occurrence layers (the canonical empty
+    layer) ride along for free.
+    """
+    if chunk_occurrences <= 0:
+        raise ValueError(
+            f"chunk occurrence budget must be positive, got {chunk_occurrences}"
+        )
+    counts = np.asarray(layer_file_counts, dtype=np.int64)
+    n_layers = int(counts.size)
+    if n_layers == 0:
+        return []
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    budget = 0
+    for i in range(n_layers):
+        c = int(counts[i])
+        if i > start and budget + c > chunk_occurrences:
+            ranges.append((start, i))
+            start = i
+            budget = 0
+        budget += c
+    ranges.append((start, n_layers))
+    return ranges
+
+
+def _slice_chunk(
+    index: int,
+    start: int,
+    end: int,
+    *,
+    file_offsets: np.ndarray,
+    file_ids: np.ndarray,
+    file_sizes: np.ndarray,
+    file_types: np.ndarray,
+    layer_cls: np.ndarray,
+    layer_dir_counts: np.ndarray,
+    layer_max_depths: np.ndarray,
+    layer_ref_counts: np.ndarray,
+) -> DatasetChunk:
+    lo = int(file_offsets[start])
+    hi = int(file_offsets[end])
+    ids = file_ids[lo:hi]
+    return DatasetChunk(
+        index=index,
+        layer_start=start,
+        layer_end=end,
+        file_offsets=file_offsets[start : end + 1] - lo,
+        file_ids=ids,
+        occ_sizes=file_sizes[ids],
+        occ_types=file_types[ids],
+        layer_cls=layer_cls[start:end],
+        layer_dir_counts=layer_dir_counts[start:end],
+        layer_max_depths=layer_max_depths[start:end],
+        layer_ref_counts=layer_ref_counts[start:end],
+    )
+
+
+def iter_dataset_chunks(
+    config: SyntheticHubConfig,
+    catalog: TypeCatalog | None = None,
+    *,
+    chunk_occurrences: int = DEFAULT_CHUNK_OCCURRENCES,
+) -> Iterator[DatasetChunk]:
+    """Generate the hub and yield it as layer-range chunks.
+
+    Runs the exact :func:`~repro.synth.hubgen.build_hub` stages (same RNG
+    streams, same arrays), then slices — so the stream is byte-identical in
+    aggregate to :func:`~repro.synth.hubgen.generate_dataset` while never
+    assembling a :class:`HubDataset` or its occurrence-sized cached gathers.
+    """
+    hub = build_hub(config, catalog)
+    refs = np.bincount(
+        hub.image_layer_ids, minlength=hub.n_layers
+    ).astype(np.int64)
+    layers = hub.layers
+    for index, (start, end) in enumerate(
+        plan_layer_chunks(layers.file_counts, chunk_occurrences)
+    ):
+        yield _slice_chunk(
+            index, start, end,
+            file_offsets=layers.file_offsets,
+            file_ids=layers.file_ids,
+            file_sizes=hub.file_sizes,
+            file_types=hub.file_types,
+            layer_cls=layers.cls,
+            layer_dir_counts=layers.dir_counts,
+            layer_max_depths=layers.max_depths,
+            layer_ref_counts=refs,
+        )
+
+
+def chunks_from_dataset(
+    dataset: HubDataset,
+    *,
+    chunk_occurrences: int = DEFAULT_CHUNK_OCCURRENCES,
+) -> Iterator[DatasetChunk]:
+    """Slice an existing in-memory dataset into the same chunk shape.
+
+    The equivalence harness uses this to prove the chunked pipeline is a
+    pure refactor of the monolithic one; it also lets a loaded ``.npz``
+    dataset flow through the streaming analysis.
+    """
+    refs = dataset.layer_ref_counts
+    for index, (start, end) in enumerate(
+        plan_layer_chunks(dataset.layer_file_counts, chunk_occurrences)
+    ):
+        yield _slice_chunk(
+            index, start, end,
+            file_offsets=dataset.layer_file_offsets,
+            file_ids=dataset.layer_file_ids,
+            file_sizes=dataset.file_sizes,
+            file_types=dataset.file_types,
+            layer_cls=dataset.layer_cls,
+            layer_dir_counts=dataset.layer_dir_counts,
+            layer_max_depths=dataset.layer_max_depths,
+            layer_ref_counts=refs,
+        )
+
+
+# -- the spilled chunk store ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChunkSpec:
+    """A picklable handle to one spilled chunk.
+
+    This is what crosses the process boundary: a path plus shape metadata,
+    a few hundred bytes however large the chunk. ``__len__`` reports the
+    occurrence count so ``map_shards`` accounting (items/sec, utilization)
+    measures file occurrences, not chunk counts.
+    """
+
+    index: int
+    path: str
+    layer_start: int
+    layer_end: int
+    n_occurrences: int
+
+    def __len__(self) -> int:
+        return self.n_occurrences
+
+    def load(self) -> DatasetChunk:
+        with np.load(self.path) as data:
+            chunk = DatasetChunk(
+                index=self.index,
+                layer_start=self.layer_start,
+                layer_end=self.layer_end,
+                file_offsets=data["file_offsets"],
+                file_ids=data["file_ids"],
+                occ_sizes=data["occ_sizes"],
+                occ_types=data["occ_types"],
+                layer_cls=data["layer_cls"],
+                layer_dir_counts=data["layer_dir_counts"],
+                layer_max_depths=data["layer_max_depths"],
+                layer_ref_counts=data["layer_ref_counts"],
+            )
+        chunk.validate()
+        return chunk
+
+
+def spill_chunks(
+    chunks: Iterable[DatasetChunk], directory: str | Path
+) -> list[ChunkSpec]:
+    """Write *chunks* to ``chunk-NNNNN.npz`` files plus a manifest.
+
+    Consumes the iterator chunk by chunk — with
+    :func:`iter_dataset_chunks` upstream, occurrence data flows straight
+    from the generator to disk. Returns the specs in chunk order.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    specs: list[ChunkSpec] = []
+    for chunk in chunks:
+        chunk.validate()
+        path = directory / f"chunk-{chunk.index:05d}.npz"
+        np.savez(
+            path,
+            file_offsets=chunk.file_offsets,
+            file_ids=chunk.file_ids,
+            occ_sizes=chunk.occ_sizes,
+            occ_types=chunk.occ_types,
+            layer_cls=chunk.layer_cls,
+            layer_dir_counts=chunk.layer_dir_counts,
+            layer_max_depths=chunk.layer_max_depths,
+            layer_ref_counts=chunk.layer_ref_counts,
+        )
+        specs.append(
+            ChunkSpec(
+                index=chunk.index,
+                path=str(path),
+                layer_start=chunk.layer_start,
+                layer_end=chunk.layer_end,
+                n_occurrences=chunk.n_occurrences,
+            )
+        )
+    manifest = {
+        "format": _STORE_FORMAT,
+        "chunks": [
+            {
+                "index": s.index,
+                "file": Path(s.path).name,
+                "layer_start": s.layer_start,
+                "layer_end": s.layer_end,
+                "n_occurrences": s.n_occurrences,
+            }
+            for s in specs
+        ],
+    }
+    (directory / _MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    )
+    return specs
+
+
+def open_chunk_store(directory: str | Path) -> list[ChunkSpec]:
+    """Reopen a spilled chunk store's specs from its manifest."""
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST_NAME
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no chunk manifest at {manifest_path}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format") != _STORE_FORMAT:
+        raise ValueError(
+            f"unsupported chunk store format {manifest.get('format')!r} "
+            f"(this build reads format {_STORE_FORMAT})"
+        )
+    specs = [
+        ChunkSpec(
+            index=entry["index"],
+            path=str(directory / entry["file"]),
+            layer_start=entry["layer_start"],
+            layer_end=entry["layer_end"],
+            n_occurrences=entry["n_occurrences"],
+        )
+        for entry in manifest["chunks"]
+    ]
+    specs.sort(key=lambda s: s.index)
+    missing = [s.path for s in specs if not Path(s.path).exists()]
+    if missing:
+        raise FileNotFoundError(f"chunk store missing files: {missing[:3]}")
+    return specs

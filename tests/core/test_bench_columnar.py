@@ -1,0 +1,87 @@
+"""Bench harness: columnar family smoke plus the v3 per-run worker fields."""
+
+import pytest
+
+from repro.core.bench import (
+    BENCH_FORMAT_VERSION,
+    COLUMNAR_SCALES,
+    bench_columnar,
+    render_bench,
+    run_columnar_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def columnar_doc(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_pipeline.json"
+    return run_columnar_bench(
+        scales=("tiny",),
+        modes=("serial", "thread"),
+        seed=2017,
+        workers=2,
+        out=out,
+    ), out
+
+
+def test_format_version_is_v3():
+    assert BENCH_FORMAT_VERSION == 3
+
+
+def test_columnar_doc_shape(columnar_doc):
+    doc, out = columnar_doc
+    assert doc["version"] == 3
+    assert out.exists()
+    assert isinstance(doc["cpu_count"], int) and doc["cpu_count"] >= 1
+    (scale,) = doc["columnar"]
+    assert scale["scale"] == "tiny"
+    assert scale["n_chunks"] >= 1
+    assert scale["n_occurrences"] > 0
+    assert scale["in_memory_identical"] is True
+    modes = {(run["mode"], run["cache"]) for run in scale["runs"]}
+    assert modes == {
+        ("serial", "cold"), ("serial", "warm"),
+        ("thread", "cold"), ("thread", "warm"),
+    }
+
+
+def test_columnar_runs_report_throughput_and_workers(columnar_doc):
+    doc, _ = columnar_doc
+    for run in doc["columnar"][0]["runs"]:
+        assert run["files_per_s"] > 0
+        assert run["identical_to_serial"] is True
+        assert run["effective_workers"] >= 1
+        assert run["cpu_count"] >= 1
+
+
+def test_columnar_summary_flags(columnar_doc):
+    doc, _ = columnar_doc
+    summary = doc["summary"]
+    assert summary["all_identical_to_serial"] is True
+    assert summary["all_in_memory_identical"] is True
+    assert summary["largest_scale"] == "tiny"
+    assert "serial" in summary["largest_warm_files_per_s"]
+
+
+def test_render_columnar(columnar_doc):
+    doc, _ = columnar_doc
+    text = render_bench(doc)
+    assert "columnar/tiny" in text
+    assert "files/s" in text
+    assert "streaming identical to in-memory: yes" in text
+
+
+def test_unknown_scale_rejected():
+    with pytest.raises(ValueError, match="columnar scale"):
+        bench_columnar("galactic")
+    assert "10m" in COLUMNAR_SCALES
+
+
+def test_skipping_in_memory_check_marks_none():
+    bench = bench_columnar(
+        "tiny", modes=("serial",), check_in_memory=False
+    )
+    assert bench.in_memory_identical is None
+    doc = run_columnar_bench(
+        scales=("tiny",), modes=("serial",), check_in_memory=False
+    )
+    assert doc["summary"]["all_in_memory_identical"] is True  # None = skipped

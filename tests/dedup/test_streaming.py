@@ -1,0 +1,74 @@
+"""Mergeable file-dedup partials: exactness against the in-memory engine."""
+
+import numpy as np
+import pytest
+
+from repro.dedup import FileDedupState, file_dedup_report, merge_dedup_states
+from repro.synth import SyntheticHubConfig, generate_dataset
+
+
+def _whole_state(dataset) -> FileDedupState:
+    return FileDedupState.from_occurrences(
+        dataset.layer_file_ids, dataset.occurrence_sizes
+    )
+
+
+class TestMergeAlgebra:
+    def test_split_merge_equals_whole(self):
+        rng = np.random.default_rng(3)
+        ids = rng.integers(0, 50, size=4_000).astype(np.int64)
+        sizes = (ids * 7 % 13).astype(np.int64)  # size is a function of id
+        whole = FileDedupState.from_occurrences(ids, sizes)
+        for n_parts in (2, 7, 40):
+            bounds = np.linspace(0, ids.size, n_parts + 1).astype(int)
+            parts = [
+                FileDedupState.from_occurrences(
+                    ids[a:b], sizes[a:b]
+                )
+                for a, b in zip(bounds, bounds[1:])
+            ]
+            merged = merge_dedup_states(parts)
+            assert np.array_equal(merged.unique_ids, whole.unique_ids)
+            assert np.array_equal(merged.counts, whole.counts)
+            assert np.array_equal(merged.sizes, whole.sizes)
+            assert merged.summary() == whole.summary()
+
+    def test_empty_is_identity(self):
+        ids = np.array([3, 3, 5], dtype=np.int64)
+        sizes = np.array([10, 10, 0], dtype=np.int64)
+        state = FileDedupState.from_occurrences(ids, sizes)
+        merged = FileDedupState.empty().merge(state)
+        assert np.array_equal(merged.unique_ids, state.unique_ids)
+        assert merged.n_occurrences == state.n_occurrences
+        assert merge_dedup_states([]).n_unique == 0
+
+    def test_summary_requires_observations(self):
+        with pytest.raises(ValueError):
+            FileDedupState.empty().summary()
+
+
+class TestAgainstEngine:
+    def test_matches_in_memory_report(self):
+        dataset = generate_dataset(SyntheticHubConfig.tiny(seed=2017))
+        state = _whole_state(dataset)
+        report = file_dedup_report(dataset)
+        summary = state.summary()
+        assert summary["occurrences"] == report.n_occurrences
+        assert summary["unique_files"] == report.n_unique
+        assert summary["unique_bytes"] == report.unique_bytes
+        assert summary["count_ratio"] == pytest.approx(report.count_ratio)
+        assert summary["capacity_ratio"] == pytest.approx(report.capacity_ratio)
+        assert summary["median_copies"] == report.repeat_cdf.median()
+        assert summary["p90_copies"] == report.repeat_cdf.percentile(90)
+        assert summary["max_repeat"] == report.max_repeat
+        assert summary["max_repeat_is_empty"] == report.max_repeat_is_empty
+
+    def test_chunked_matches_in_memory_report(self):
+        dataset = generate_dataset(SyntheticHubConfig.tiny(seed=9))
+        ids = dataset.layer_file_ids
+        sizes = dataset.occurrence_sizes
+        thirds = np.array_split(np.arange(ids.size), 3)
+        merged = merge_dedup_states(
+            [FileDedupState.from_occurrences(ids[i], sizes[i]) for i in thirds]
+        )
+        assert merged.summary() == _whole_state(dataset).summary()

@@ -67,9 +67,83 @@ class TestHistogram:
         assert hist.bin_centers().tolist() == [1.0, 3.0]
 
 
+class TestMerge:
+    EDGES = np.array([0.0, 5.0, 10.0, 20.0])
+
+    def test_merge_is_exact_bucket_sum(self):
+        a = Histogram.from_values(np.array([-2, 1, 6, 25]), edges=self.EDGES)
+        b = Histogram.from_values(np.array([2, 3, 12, 30, -1]), edges=self.EDGES)
+        merged = a.merge(b)
+        assert merged.counts.tolist() == (a.counts + b.counts).tolist()
+        assert merged.underflow == a.underflow + b.underflow
+        assert merged.overflow == a.overflow + b.overflow
+        assert merged.total == a.total + b.total
+
+    def test_merge_equals_histogram_of_concatenation(self):
+        rng = np.random.default_rng(7)
+        values = rng.integers(-5, 40, size=500)
+        whole = Histogram.from_values(values, edges=self.EDGES)
+        for split in (0, 1, 250, 499, 500):
+            parts = Histogram.from_values(values[:split], edges=self.EDGES).merge(
+                Histogram.from_values(values[split:], edges=self.EDGES)
+            )
+            assert parts.counts.tolist() == whole.counts.tolist()
+            assert (parts.underflow, parts.overflow) == (
+                whole.underflow,
+                whole.overflow,
+            )
+
+    def test_empty_is_the_merge_identity(self):
+        a = Histogram.from_values(np.array([1, 6, 15]), edges=self.EDGES)
+        merged = Histogram.empty(self.EDGES).merge(a)
+        assert merged.counts.tolist() == a.counts.tolist()
+        assert merged.total == a.total
+
+    def test_mismatched_bases_error(self):
+        a = Histogram.empty(np.array([0.0, 1.0, 2.0]))
+        b = Histogram.empty(np.array([0.0, 1.0, 3.0]))
+        c = Histogram.empty(np.array([0.0, 1.0]))
+        with pytest.raises(ValueError, match="mismatched bases"):
+            a.merge(b)
+        with pytest.raises(ValueError, match="mismatched bases"):
+            a.merge(c)
+
+    def test_empty_validates_edges(self):
+        with pytest.raises(ValueError):
+            Histogram.empty(np.array([1.0]))
+        with pytest.raises(ValueError):
+            Histogram.empty(np.array([1.0, 1.0]))
+
+    def test_as_dict_round_numbers(self):
+        hist = Histogram.from_values(np.array([-1, 1, 6, 99]), edges=self.EDGES)
+        doc = hist.as_dict()
+        assert doc["edges"] == [0.0, 5.0, 10.0, 20.0]
+        assert doc["counts"] == [1, 1, 0]
+        assert doc["underflow"] == 1 and doc["overflow"] == 1
+        assert all(isinstance(c, int) for c in doc["counts"])
+
+
 @given(
     st.lists(st.floats(min_value=0, max_value=1000, allow_nan=False), min_size=1, max_size=300)
 )
 def test_total_conservation(values):
     hist = Histogram.from_values(np.array(values), edges=np.array([0.0, 250.0, 500.0, 1000.0]))
     assert hist.total == len(values)
+
+
+@given(
+    st.lists(st.integers(min_value=-10, max_value=1100), min_size=0, max_size=200),
+    st.integers(min_value=0, max_value=200),
+)
+def test_merge_invariant_under_split(values, split):
+    """merge(from_values(a), from_values(b)) == from_values(a + b) always."""
+    edges = np.array([0.0, 250.0, 500.0, 1000.0])
+    split = min(split, len(values))
+    arr = np.array(values, dtype=np.int64)
+    whole = Histogram.from_values(arr, edges=edges)
+    merged = Histogram.from_values(arr[:split], edges=edges).merge(
+        Histogram.from_values(arr[split:], edges=edges)
+    )
+    assert merged.counts.tolist() == whole.counts.tolist()
+    assert merged.underflow == whole.underflow
+    assert merged.overflow == whole.overflow

@@ -1,0 +1,159 @@
+"""Chunked generation: byte-identity in aggregate, chunk planning, spill store."""
+
+import numpy as np
+import pytest
+
+from repro.synth import SyntheticHubConfig, generate_dataset
+from repro.synth.streamgen import (
+    chunks_from_dataset,
+    iter_dataset_chunks,
+    open_chunk_store,
+    plan_layer_chunks,
+    spill_chunks,
+)
+
+
+def _reassemble(chunks):
+    """Concatenate a chunk stream back into global CSR arrays."""
+    offsets = [np.zeros(1, dtype=np.int64)]
+    ids, sizes, types, cls, refs = [], [], [], [], []
+    base = 0
+    for chunk in chunks:
+        chunk.validate()
+        offsets.append(chunk.file_offsets[1:] + base)
+        base += int(chunk.file_offsets[-1])
+        ids.append(chunk.file_ids)
+        sizes.append(chunk.occ_sizes)
+        types.append(chunk.occ_types)
+        cls.append(chunk.layer_cls)
+        refs.append(chunk.layer_ref_counts)
+    return (
+        np.concatenate(offsets),
+        np.concatenate(ids),
+        np.concatenate(sizes),
+        np.concatenate(types),
+        np.concatenate(cls),
+        np.concatenate(refs),
+    )
+
+
+class TestPlanLayerChunks:
+    def test_respects_budget_with_whole_layers(self):
+        counts = np.array([3, 4, 2, 5, 1])
+        ranges = plan_layer_chunks(counts, 6)
+        # greedy: 3 | 4+2 | 5+1 — a range closes when the next layer overflows
+        assert ranges == [(0, 1), (1, 3), (3, 5)]
+        for start, end in ranges:
+            assert start < end
+        assert ranges[0][0] == 0 and ranges[-1][1] == counts.size
+
+    def test_oversized_layer_gets_own_range(self):
+        ranges = plan_layer_chunks(np.array([2, 100, 3]), 10)
+        assert (1, 2) in ranges
+
+    def test_zero_layers(self):
+        assert plan_layer_chunks(np.array([], dtype=np.int64), 10) == []
+
+    def test_empty_layers_ride_free(self):
+        ranges = plan_layer_chunks(np.array([0, 0, 0]), 5)
+        assert ranges == [(0, 3)]
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            plan_layer_chunks(np.array([1]), 0)
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("seed", [2017, 99])
+    @pytest.mark.parametrize("preset", ["tiny", "small"])
+    def test_chunked_generation_matches_monolithic(self, seed, preset):
+        config = getattr(SyntheticHubConfig, preset)(seed=seed)
+        dataset = generate_dataset(config)
+        chunks = list(iter_dataset_chunks(config, chunk_occurrences=10_000))
+        offsets, ids, sizes, types, cls, refs = _reassemble(chunks)
+        assert np.array_equal(offsets, dataset.layer_file_offsets)
+        assert np.array_equal(ids, dataset.layer_file_ids)
+        assert np.array_equal(sizes, dataset.occurrence_sizes)
+        assert np.array_equal(types, dataset.occurrence_types)
+        assert np.array_equal(cls, dataset.layer_cls)
+        assert np.array_equal(refs, dataset.layer_ref_counts)
+
+    def test_chunk_indices_and_ranges_are_contiguous(self):
+        config = SyntheticHubConfig.tiny(seed=5)
+        chunks = list(iter_dataset_chunks(config, chunk_occurrences=500))
+        assert [c.index for c in chunks] == list(range(len(chunks)))
+        assert chunks[0].layer_start == 0
+        for prev, cur in zip(chunks, chunks[1:]):
+            assert cur.layer_start == prev.layer_end
+
+    def test_single_chunk_when_budget_exceeds_dataset(self):
+        config = SyntheticHubConfig.tiny(seed=5)
+        dataset = generate_dataset(config)
+        chunks = list(
+            iter_dataset_chunks(config, chunk_occurrences=10**9)
+        )
+        assert len(chunks) == 1
+        assert chunks[0].n_occurrences == dataset.n_file_occurrences
+        assert chunks[0].n_layers == dataset.n_layers
+
+    def test_layer_zero_is_empty_and_chunked_first(self):
+        config = SyntheticHubConfig.tiny(seed=5)
+        first = next(iter_dataset_chunks(config, chunk_occurrences=100))
+        assert first.layer_start == 0
+        # layer 0 is the canonical empty layer: zero files in the first slot
+        assert first.file_offsets[1] - first.file_offsets[0] == 0
+
+    def test_dataset_slicing_matches_generator_slicing(self):
+        config = SyntheticHubConfig.tiny(seed=8)
+        dataset = generate_dataset(config)
+        from_gen = list(iter_dataset_chunks(config, chunk_occurrences=700))
+        from_ds = list(chunks_from_dataset(dataset, chunk_occurrences=700))
+        assert len(from_gen) == len(from_ds)
+        for a, b in zip(from_gen, from_ds):
+            assert (a.layer_start, a.layer_end) == (b.layer_start, b.layer_end)
+            assert np.array_equal(a.file_ids, b.file_ids)
+            assert np.array_equal(a.occ_sizes, b.occ_sizes)
+            assert np.array_equal(a.file_offsets, b.file_offsets)
+
+
+class TestSpillStore:
+    def test_round_trip(self, tmp_path):
+        config = SyntheticHubConfig.tiny(seed=3)
+        chunks = list(iter_dataset_chunks(config, chunk_occurrences=800))
+        specs = spill_chunks(chunks, tmp_path)
+        reopened = open_chunk_store(tmp_path)
+        assert [s.index for s in reopened] == [s.index for s in specs]
+        for spec, chunk in zip(reopened, chunks):
+            assert len(spec) == chunk.n_occurrences
+            loaded = spec.load()
+            assert np.array_equal(loaded.file_ids, chunk.file_ids)
+            assert np.array_equal(loaded.occ_sizes, chunk.occ_sizes)
+            assert np.array_equal(loaded.occ_types, chunk.occ_types)
+            assert np.array_equal(loaded.layer_ref_counts, chunk.layer_ref_counts)
+
+    def test_open_missing_store(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            open_chunk_store(tmp_path / "nope")
+
+    def test_open_detects_missing_chunk_file(self, tmp_path):
+        config = SyntheticHubConfig.tiny(seed=3)
+        specs = spill_chunks(
+            iter_dataset_chunks(config, chunk_occurrences=800), tmp_path
+        )
+        assert len(specs) > 1
+        (tmp_path / "chunk-00001.npz").unlink()
+        with pytest.raises(FileNotFoundError, match="missing"):
+            open_chunk_store(tmp_path)
+
+    def test_open_rejects_unknown_format(self, tmp_path):
+        import json
+
+        spill_chunks(
+            iter_dataset_chunks(SyntheticHubConfig.tiny(seed=3)), tmp_path
+        )
+        manifest = tmp_path / "chunks.json"
+        doc = json.loads(manifest.read_text())
+        doc["format"] = 99
+        manifest.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="format"):
+            open_chunk_store(tmp_path)

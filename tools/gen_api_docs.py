@@ -370,6 +370,52 @@ feed; `--selfcheck` runs the invariant exercise (all modes cold, then a
 warm rerun) and exits 1 on any violation — that is the CI `scan-smoke`
 job, and `repro bench` carries a scan cold/warm throughput cell.""",
     ),
+    (
+        "Streaming columnar analysis",
+        """\
+The in-memory `HubDataset` tops out where RAM does. `repro.synth.streamgen`
++ `repro.core.colstream` reproduce the §IV/§V statistics over 10⁷+ file
+occurrences in bounded-memory chunks instead: generation yields
+layer-range `DatasetChunk`s (local file CSR, occurrence sizes and type
+codes, per-layer CLS/dirs/depths/image-ref counts) cut by
+`plan_layer_chunks` — greedy whole-layer ranges under an occurrence
+budget — and `iter_dataset_chunks(config)` replays the exact same
+staged RNG streams as `generate_dataset`, so the chunk stream
+concatenates **byte-identically** to the monolithic arrays at any chunk
+size (`tests/synth/test_streamgen.py` pins this). `spill_chunks` /
+`open_chunk_store` park a chunk stream on disk as `.npz` files plus a
+manifest, giving analysis a picklable `ChunkSpec` handle per chunk.
+
+`colstream` folds each chunk into a `ColumnarPartial` — occurrence/type
+tallies, log-bucketed `repro.stats.Histogram`s (mergeable bucket-wise
+via `Histogram.merge`, which refuses mismatched bases), a
+`FileDedupState` (sorted unique file ids + counts + sizes, merged with
+`np.unique` over concatenations), and layer-sharing tallies — and
+`merge_partials` folds partials in a balanced tree. Every merged
+quantity is an int64 integer, so merging is bit-exact under any
+grouping; floats are derived only in `finalize_report`, from the same
+merged integers, by the same expressions. The consequence is the
+engine's contract: serial, thread, and process runs over any chunking
+produce a byte-identical `ColumnarReport.to_json()` — equal to the
+single-partial in-memory result from `report_from_dataset` — because
+the report document deliberately carries no engine metadata (no chunk
+count, no worker count). `streaming_report(specs, parallel=...)`
+dispatches specs through the same `repro.parallel.map_shards` as the
+analyzer; a failed shard raises instead of silently dropping a chunk.
+
+`repro bench --columnar` measures it: per scale, one generation+spill
+pass, then {serial, thread, process} × {cold, warm} passes over the
+store reporting files/sec, an identical-to-serial check per cell, an
+optional in-memory equivalence check, and per-run `effective_workers` /
+`cpu_count` (format v3 of `BENCH_pipeline.json`). The `10m` scale
+(~10.2 M occurrences, ~200 MB spilled) is the ≥10⁷ acceptance point;
+`full` (~38 M) is the paper-shaped run. Related but separate:
+`ProfileStore.to_dataset` deliberately keeps a fused single-pass dict
+factorize (NumPy string `np.unique` measured ~5x slower;
+`benchmarks/bench_colstream.py` keeps the comparison executable), while
+`extract_insights` runs on integer codes + `bincount` with lazy
+basename tallies, ~3x over the per-record `Counter` walk.""",
+    ),
 ]
 
 
