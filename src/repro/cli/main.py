@@ -13,6 +13,7 @@ Subcommands::
     repro loadtest    --seed 3 [--proxy] [--http]       # serving load test
     repro chaos       --seed 7 --plan smoke             # fault-injected pipeline
     repro cluster     --replicas 3 --seed 7 [--overload]  # HA serving exercise
+    repro churn       --epochs 6 [--sharded] [--kill-after 3]  # GC-under-churn
     repro scan        --scale tiny [--cache DIR] [--selfcheck]  # dedup CVE scan
 """
 
@@ -264,6 +265,44 @@ def build_parser() -> argparse.ArgumentParser:
         "limits-protected server",
     )
     p.add_argument("--json", action="store_true", help="emit the report(s) as JSON")
+
+    p = sub.add_parser(
+        "churn",
+        help="evolve a replicated hub under seeded churn with journaled "
+        "crash-resumable garbage collection; check the GC invariants "
+        "(exit 1 on violation)",
+    )
+    p.add_argument("--seed", type=int, default=7, help="churn seed")
+    p.add_argument("--epochs", type=int, default=6, help="churn epochs to run")
+    p.add_argument(
+        "--replicas", type=int, default=None,
+        help="replica count (default 3; 4 with --sharded)",
+    )
+    p.add_argument("--scale", choices=["tiny", "small"], default="tiny")
+    p.add_argument(
+        "--sharded", action="store_true",
+        help="run over the consistent-hash sharded cluster instead of "
+        "full replication (adds the placement-conformance invariant)",
+    )
+    p.add_argument(
+        "--k", type=int, default=2,
+        help="replication factor per blob (with --sharded; k < replicas)",
+    )
+    p.add_argument(
+        "--vnodes", type=int, default=32,
+        help="virtual nodes per replica on the hash ring (with --sharded)",
+    )
+    p.add_argument(
+        "--kill-after", type=int,
+        help="kill the GC sweep after N deletions at the crash epoch (a "
+        "replica crashes with it) and demand the resumed report be "
+        "byte-identical to the uninterrupted reference",
+    )
+    p.add_argument(
+        "--kill-index", type=int, default=1,
+        help="which replica crashes with the interrupted sweep",
+    )
+    p.add_argument("--json", action="store_true", help="emit the report as JSON")
 
     p = sub.add_parser(
         "scan",
@@ -783,6 +822,24 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_churn(args: argparse.Namespace) -> int:
+    from repro.ha import run_churn
+
+    report = run_churn(
+        seed=args.seed,
+        epochs=args.epochs,
+        replicas=args.replicas,
+        sharded=args.sharded,
+        k=args.k,
+        vnodes=args.vnodes,
+        scale=args.scale,
+        kill_after=args.kill_after,
+        kill_index=args.kill_index,
+    )
+    print(report.to_json() if args.json else report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_scan(args: argparse.Namespace) -> int:
     from repro.parallel.pool import ParallelConfig
     from repro.scan import DedupScanner, ScanCache, run_scan_exercise, targets_from_truth
@@ -858,6 +915,7 @@ _COMMANDS = {
     "loadtest": _cmd_loadtest,
     "chaos": _cmd_chaos,
     "cluster": _cmd_cluster,
+    "churn": _cmd_churn,
     "scan": _cmd_scan,
 }
 

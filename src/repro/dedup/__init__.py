@@ -17,7 +17,7 @@ from repro.dedup.chunking import (
 )
 from repro.dedup.engine import FileDedupReport, file_dedup_report
 from repro.dedup.streaming import FileDedupState, merge_dedup_states
-from repro.dedup.versions import VersionAnalysis, analyze_versions
+from repro.dedup.versions import VersionAnalysis, analyze_versions, tag_sort_key
 from repro.dedup.layer_sharing import LayerSharingReport, layer_sharing_report
 from repro.dedup.growth import GrowthPoint, dedup_growth
 from repro.dedup.cross import CrossDuplicateReport, cross_duplicate_report
@@ -33,6 +33,7 @@ __all__ = [
     "TypeDedupRow",
     "VersionAnalysis",
     "analyze_versions",
+    "tag_sort_key",
     "compare_granularities",
     "cross_duplicate_report",
     "dedup_by_figure_label",

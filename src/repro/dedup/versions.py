@@ -23,13 +23,22 @@ from repro.downloader.downloader import DownloadedImage
 from repro.stats.cdf import EmpiricalCDF
 
 
-def _tag_order(tag: str) -> tuple[int, str]:
-    """Sort tags oldest-first: v1 < v2 < ... < latest."""
+def tag_sort_key(tag: str) -> tuple[int, str]:
+    """Sort tags oldest-first: v1 < v2 < ... < latest.
+
+    ``latest`` sorts after every version tag; unrecognized tags sit between
+    the numbered versions and ``latest``. Shared with the churn engine
+    (:mod:`repro.synth.churn`), which prunes and retargets version tags in
+    exactly this order."""
     if tag == "latest":
         return (1_000_000, tag)
     if tag.startswith("v") and tag[1:].isdigit():
         return (int(tag[1:]), tag)
     return (500_000, tag)
+
+
+#: historical private alias, kept for in-module callers
+_tag_order = tag_sort_key
 
 
 @dataclass(frozen=True)

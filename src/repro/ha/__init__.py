@@ -29,7 +29,11 @@ reproduction's registry the same serving-side resilience:
   replica kills and at-rest corruption, checked against invariants;
 * :mod:`repro.ha.shardcluster` — the same discipline for the sharded
   cluster (``repro cluster --sharded``), adding availability-under-
-  partial-ownership and placement-matches-ring invariants.
+  partial-ownership and placement-matches-ring invariants;
+* :mod:`repro.ha.churn` — the ``repro churn`` harness: seeded temporal
+  churn over the cluster with journaled crash-resumable garbage
+  collection, checked against the no-resurrection / no-live-deletion /
+  byte-identical-resume invariants.
 """
 
 from repro.ha.admission import (
@@ -38,6 +42,7 @@ from repro.ha.admission import (
     ServerLimits,
     TokenBucketLimiter,
 )
+from repro.ha.churn import ChurnReport, ReplicaSetWriter, VirtualClock, run_churn
 from repro.ha.cluster import ClusterReport, run_cluster, run_overload
 from repro.ha.frontend import FailoverFrontend
 from repro.ha.health import EJECTED, LIVE, HealthMonitor, ReplicaHealth
@@ -66,7 +71,10 @@ __all__ = [
     "FailoverFrontend",
     "BlobScrubber",
     "ScrubReport",
+    "ChurnReport",
     "ClusterReport",
+    "ReplicaSetWriter",
+    "VirtualClock",
     "HashRing",
     "PlacementDiff",
     "compute_placement",
@@ -75,6 +83,7 @@ __all__ = [
     "RebalanceReport",
     "ShardedReplicaSet",
     "ShardedClusterReport",
+    "run_churn",
     "run_cluster",
     "run_overload",
     "run_sharded_cluster",

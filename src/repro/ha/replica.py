@@ -105,18 +105,22 @@ class RegistryReplicaSet:
         store_factory: Callable[[int], BlobStore] | None = None,
         server_factory=None,
         metrics: MetricsRegistry | None = None,
+        clock: Callable[[], float] | None = None,
     ) -> "RegistryReplicaSet":
         """Clone *source* into *n* replicas over independent blob stores.
 
         ``store_factory(i)`` supplies replica *i*'s store (default: a fresh
         :class:`MemoryBlobStore` each — fully independent failure domains).
+        ``clock`` is shared by every replica registry — the churn exercise
+        injects one virtual clock so write stamps and tombstones agree
+        across the fleet.
         """
         if n < 1:
             raise ValueError(f"need >= 1 replica, got {n}")
         factory = store_factory or (lambda i: MemoryBlobStore())
         replicas = []
         for i in range(n):
-            registry = Registry(blobstore=factory(i))
+            registry = Registry(blobstore=factory(i), clock=clock)
             source.copy_into(registry)
             replicas.append(
                 Replica(f"replica-{i}", registry, server_factory=server_factory)
@@ -191,15 +195,19 @@ class RegistryReplicaSet:
     def sync(self) -> dict[str, int]:
         """Reconcile every replica to the union of all replicas' contents.
 
-        Registry metadata (repositories, tags, manifests) is unioned via
-        :meth:`Registry.copy_into` pairwise; blobs are copied only after
-        the source copy re-hashes to its digest, so a rotted replica can
-        never infect a healthy one — its bad copy is simply not a donor,
-        and (if some replica holds a good copy) gets overwritten.
+        Registry metadata (repositories, tags, manifests) is merged via
+        :meth:`Registry.copy_into` pairwise — last-writer-wins against the
+        tombstones every deletion leaves, so a replica that slept through a
+        `delete_tag` or a GC sweep converges to the deletion instead of
+        resurrecting it; blobs are copied only after the source copy
+        re-hashes to its digest, so a rotted replica can never infect a
+        healthy one — its bad copy is simply not a donor, and (if some
+        replica holds a good copy) gets overwritten.
         """
         with self._lock:
             registries = [replica.registry for replica in self.replicas]
             meta = self._sync_metadata(registries)
+            meta.update(self._enforce_tombstones(registries))
             meta["blobs"] = 0
             blob_copies, bad_donors = self._sync_blobs(registries)
             meta["blobs"] = blob_copies
@@ -208,6 +216,32 @@ class RegistryReplicaSet:
             "replicaset_sync_blob_copies_total", "blobs moved by anti-entropy"
         ).inc(blob_copies)
         return meta
+
+    def _enforce_tombstones(self, registries: list[Registry]) -> dict[str, int]:
+        """Apply merged deletion markers on every replica; deletion wins.
+
+        Returns removal accounting; ``resurrections_prevented`` counts the
+        blob copies a union sync would have brought back from the dead.
+        """
+        removed = {
+            "repositories_removed": 0,
+            "tags_removed": 0,
+            "manifests_removed": 0,
+            "resurrections_prevented": 0,
+        }
+        for registry in registries:
+            local = registry.apply_tombstones()
+            removed["repositories_removed"] += local["repositories_removed"]
+            removed["tags_removed"] += local["tags_removed"]
+            removed["manifests_removed"] += local["manifests_removed"]
+            removed["resurrections_prevented"] += local["blobs_removed"]
+            registry.expire_tombstones()
+        if removed["resurrections_prevented"]:
+            self.metrics.counter(
+                "gc_resurrections_prevented_total",
+                "tombstoned blobs caught before anti-entropy copy-back",
+            ).inc(removed["resurrections_prevented"])
+        return removed
 
     @staticmethod
     def _sync_metadata(registries: list[Registry]) -> dict[str, int]:
@@ -230,6 +264,11 @@ class RegistryReplicaSet:
         copies = 0
         bad_donors = 0
         for digest in sorted(union):
+            # deletion wins over copy-back: a digest whose tombstone
+            # dominates its last push is not replicated, period. (Metadata
+            # sync merged the markers onto every registry already.)
+            if registries and registries[0].blob_deleted(digest):
+                continue
             donor: bytes | None = None
             holders = []
             for registry in registries:

@@ -40,6 +40,8 @@ class ScrubReport:
     corrupt: int = 0
     repaired: int = 0
     unrepairable: int = 0
+    #: swept blobs removed instead of repaired (deletion wins over repair)
+    tombstoned_removed: int = 0
     #: digest -> actual digest of the quarantined bytes
     quarantined: dict[str, str] = field(default_factory=dict)
     #: per-store breakdown: store label -> {scanned, corrupt, repaired}
@@ -56,6 +58,7 @@ class ScrubReport:
         self.corrupt += other.corrupt
         self.repaired += other.repaired
         self.unrepairable += other.unrepairable
+        self.tombstoned_removed += other.tombstoned_removed
         self.quarantined.update(other.quarantined)
         self.stores.update(other.stores)
         return self
@@ -67,6 +70,7 @@ class ScrubReport:
             "corrupt": self.corrupt,
             "repaired": self.repaired,
             "unrepairable": self.unrepairable,
+            "tombstoned_removed": self.tombstoned_removed,
             "quarantined": dict(sorted(self.quarantined.items())),
             "ok": self.ok,
         }
@@ -89,6 +93,7 @@ class BlobScrubber:
         *,
         peers: list[BlobStore] | tuple[BlobStore, ...] = (),
         peer_resolver: Callable[[str], Sequence[BlobStore]] | None = None,
+        tombstoned: Callable[[str], bool] | None = None,
         label: str = "store",
     ) -> ScrubReport:
         """Re-verify every blob in *store*, repairing from *peers*.
@@ -101,9 +106,22 @@ class BlobScrubber:
         ``peer_resolver(digest)`` overrides the static *peers* list per
         digest — a sharded cluster resolves each blob to its co-owners
         (plus any hint holder) instead of every store in the fleet.
+
+        ``tombstoned(digest)`` marks digests the garbage collector swept:
+        those are *removed*, never repaired — "my peer still has a copy"
+        is exactly the resurrection bug tombstones exist to stop.
         """
         report = ScrubReport()
         for digest in sorted(store.digests()):
+            if tombstoned is not None and tombstoned(digest):
+                store.delete(digest)
+                report.tombstoned_removed += 1
+                self.metrics.counter(
+                    "scrub_tombstoned_removed_total",
+                    "swept blobs removed instead of repaired",
+                    store=label,
+                ).inc()
+                continue
             report.scanned += 1
             data = store.get(digest)
             actual = sha256_bytes(data)
@@ -158,13 +176,25 @@ class BlobScrubber:
     # -- a whole replica set -----------------------------------------------------
 
     def scrub_replica_set(self, replica_set) -> ScrubReport:
-        """Scrub every replica's store, each repairing from the others."""
+        """Scrub every replica's store, each repairing from the others.
+
+        Each store's scrub consults its own registry's tombstones first:
+        a swept blob found at rest (a replica that missed the sync) is
+        removed, not lovingly repaired back to life."""
         stores = [replica.registry.blobs for replica in replica_set.replicas]
         names = [replica.name for replica in replica_set.replicas]
+        registries = [replica.registry for replica in replica_set.replicas]
         total = ScrubReport()
         for i, store in enumerate(stores):
             peers = stores[:i] + stores[i + 1 :]
-            total.merge(self.scrub_store(store, peers=peers, label=names[i]))
+            total.merge(
+                self.scrub_store(
+                    store,
+                    peers=peers,
+                    tombstoned=registries[i].blob_deleted,
+                    label=names[i],
+                )
+            )
         return total
 
     # -- a sharded cluster -------------------------------------------------------
@@ -195,7 +225,10 @@ class BlobScrubber:
 
             total.merge(
                 self.scrub_store(
-                    own_store, peer_resolver=resolve, label=replica.name
+                    own_store,
+                    peer_resolver=resolve,
+                    tombstoned=replica.registry.blob_deleted,
+                    label=replica.name,
                 )
             )
         return total

@@ -113,6 +113,7 @@ class ShardedReplicaSet(RegistryReplicaSet):
         store_factory: Callable[[int], BlobStore] | None = None,
         server_factory=None,
         metrics: MetricsRegistry | None = None,
+        clock: Callable[[], float] | None = None,
     ):
         super().__init__(replicas, metrics=metrics)
         names = [replica.name for replica in replicas]
@@ -120,6 +121,7 @@ class ShardedReplicaSet(RegistryReplicaSet):
         self.heavy_share = heavy_share
         self._store_factory = store_factory or (lambda i: MemoryBlobStore())
         self._server_factory = server_factory
+        self._clock = clock
         #: digest -> byte size, for every blob the cluster has ever accepted
         self._sizes: dict[str, int] = {}
         #: the placement authority: digest -> owner names
@@ -142,6 +144,7 @@ class ShardedReplicaSet(RegistryReplicaSet):
         store_factory: Callable[[int], BlobStore] | None = None,
         server_factory=None,
         metrics: MetricsRegistry | None = None,
+        clock: Callable[[], float] | None = None,
     ) -> "ShardedReplicaSet":
         """Shard *source* over *n* replicas with replication factor *k*.
 
@@ -153,7 +156,7 @@ class ShardedReplicaSet(RegistryReplicaSet):
         factory = store_factory or (lambda i: MemoryBlobStore())
         replicas = []
         for i in range(n):
-            registry = Registry(blobstore=factory(i))
+            registry = Registry(blobstore=factory(i), clock=clock)
             source.copy_into(registry, blobs=False)
             replicas.append(
                 Replica(f"replica-{i}", registry, server_factory=server_factory)
@@ -167,6 +170,7 @@ class ShardedReplicaSet(RegistryReplicaSet):
             store_factory=store_factory,
             server_factory=server_factory,
             metrics=metrics,
+            clock=clock,
         )
         sharded._sizes = {
             digest: source.blobs.size(digest) for digest in source.blobs.digests()
@@ -340,6 +344,14 @@ class ShardedReplicaSet(RegistryReplicaSet):
             registries = [replica.registry for replica in self.replicas]
             hints = self.deliver_hints()
             meta = self._sync_metadata(registries)
+            meta.update(self._enforce_tombstones(registries))
+            # swept digests leave the placement map *before* shard repair,
+            # or the owner walk would adopt and re-place the dead digest
+            if registries:
+                reference = registries[0]
+                for digest in list(self._placement):
+                    if reference.blob_deleted(digest):
+                        self.forget_blob(digest)
             placed, strays, bad_donors = self._sync_shards()
         self.metrics.counter(
             "replicaset_sync_blob_copies_total", "blobs moved by anti-entropy"
@@ -352,6 +364,16 @@ class ShardedReplicaSet(RegistryReplicaSet):
             "hints_delivered": hints["delivered"],
             "hints_pending": hints["pending"],
         }
+
+    def forget_blob(self, digest: str) -> None:
+        """Drop a swept digest from placement, size, and hint accounting.
+
+        The owner-set-aware half of deletion: once the garbage collector
+        sweeps a digest, the ring must stop claiming owners for it or
+        anti-entropy would faithfully re-place the corpse."""
+        self._placement.pop(digest, None)
+        self._sizes.pop(digest, None)
+        self._hints = [hint for hint in self._hints if hint.digest != digest]
 
     def _union_digests(self) -> set[str]:
         union: set[str] = set(self._placement)
@@ -427,7 +449,9 @@ class ShardedReplicaSet(RegistryReplicaSet):
         """
         if replica is None:
             name = name or f"replica-{self._next_index}"
-            registry = Registry(blobstore=self._store_factory(self._next_index))
+            registry = Registry(
+                blobstore=self._store_factory(self._next_index), clock=self._clock
+            )
             replica = Replica(name, registry, server_factory=self._server_factory)
         donors = self.live_replicas()
         if donors:

@@ -16,6 +16,14 @@ from repro.registry.errors import (
     RepositoryNotFoundError,
     TagNotFoundError,
 )
+from repro.registry.gc import (
+    ClusterGCTarget,
+    GarbageCollector,
+    GCInterrupted,
+    GCReport,
+    Tombstones,
+    collect_cluster_garbage,
+)
 from repro.registry.http import HTTPSearchClient, HTTPSession, RegistryHTTPServer
 from repro.registry.registry import Registry
 from repro.registry.search import HubSearchEngine, SearchPage
@@ -29,8 +37,12 @@ __all__ = [
     "AuthRequiredError",
     "BlobNotFoundError",
     "BlobStore",
+    "ClusterGCTarget",
     "DigestMismatchError",
     "DiskBlobStore",
+    "GCInterrupted",
+    "GCReport",
+    "GarbageCollector",
     "HTTPSearchClient",
     "HTTPSession",
     "HubSearchEngine",
@@ -42,6 +54,8 @@ __all__ = [
     "RepositoryNotFoundError",
     "SearchPage",
     "TagNotFoundError",
+    "Tombstones",
+    "collect_cluster_garbage",
     "build_layer_tarball",
     "extract_layer_tarball",
     "layer_from_files",

@@ -63,6 +63,7 @@ from repro.registry.search import HubSearchEngine, SearchPage
 _MANIFEST_RE = re.compile(r"^/v2/(?P<name>.+)/manifests/(?P<ref>[^/]+)$")
 _BLOB_RE = re.compile(r"^/v2/(?P<name>.+)/blobs/(?P<digest>sha256:[^/]+)$")
 _TAGS_RE = re.compile(r"^/v2/(?P<name>.+)/tags/list$")
+_TAG_RE = re.compile(r"^/v2/(?P<name>.+)/tags/(?P<tag>[^/]+)$")
 _UPLOAD_START_RE = re.compile(r"^/v2/(?P<name>.+)/blobs/uploads/$")
 _UPLOAD_RE = re.compile(r"^/v2/(?P<name>.+)/blobs/uploads/(?P<uuid>[0-9a-f-]+)$")
 
@@ -102,7 +103,7 @@ def _endpoint_of(path: str) -> str:
         return "manifest"
     if _BLOB_RE.match(path):
         return "blob"
-    if _TAGS_RE.match(path):
+    if _TAGS_RE.match(path) or _TAG_RE.match(path):
         return "tags"
     return "other"
 
@@ -324,6 +325,9 @@ class _Handler(BaseHTTPRequestHandler):
     def do_PUT(self) -> None:  # noqa: N802
         self._observed(self._put)
 
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._observed(self._delete)
+
     def _body(self) -> bytes:
         """Read the request body, bounded.
 
@@ -452,6 +456,30 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         self._send_json(404, {"errors": [{"code": "NOT_FOUND", "message": self.path}]})
+
+    def _delete(self) -> None:
+        """``DELETE /v2/<name>/manifests/<ref>`` and ``/v2/<name>/tags/<tag>``.
+
+        Both answer 202 (the v2 convention for accepted deletions): the tag
+        mapping is gone immediately, the bytes await garbage collection."""
+        path = urllib.parse.urlparse(self.path).path
+        registry = self.server.registry
+        try:
+            match = _MANIFEST_RE.match(path)
+            if match:
+                result = registry.delete_manifest(
+                    match["name"], match["ref"], token=self._token()
+                )
+                self._send_json(202, result)
+                return
+            match = _TAG_RE.match(path)
+            if match and match["tag"] != "list":
+                registry.delete_tag(match["name"], match["tag"], token=self._token())
+                self._send_json(202, {"untagged": 1})
+                return
+            self._send_json(404, {"errors": [{"code": "NOT_FOUND", "message": path}]})
+        except RegistryError as exc:
+            self._send_error(exc)
 
     def _route(self) -> None:
         parsed = urllib.parse.urlparse(self.path)
@@ -832,6 +860,20 @@ class HTTPSession(_HTTPBase):
     def list_tags(self, repo: str) -> list[str]:
         body = self._fetch(f"/v2/{self._quote(repo)}/tags/list")
         return list(json.loads(body)["tags"])
+
+    # -- delete side -----------------------------------------------------------
+
+    def delete_manifest(self, repo: str, reference: str) -> dict:
+        """``DELETE /v2/<name>/manifests/<ref>``; returns untag accounting."""
+        body = self._fetch(
+            f"/v2/{self._quote(repo)}/manifests/{reference}", method="DELETE"
+        )
+        return json.loads(body)
+
+    def delete_tag(self, repo: str, tag: str) -> dict:
+        """``DELETE /v2/<name>/tags/<tag>``; returns untag accounting."""
+        body = self._fetch(f"/v2/{self._quote(repo)}/tags/{tag}", method="DELETE")
+        return json.loads(body)
 
     # -- push side -------------------------------------------------------------
 

@@ -18,6 +18,7 @@ Two outputs:
 """
 
 from repro.synth.calibration import CalibrationRow, calibration_report, failed_rows
+from repro.synth.churn import ChurnDelta, ChurnEngine, ChurnParams, RegistryWriter
 from repro.synth.config import LayerShapeConfig, PopularityConfig, SharingConfig, SyntheticHubConfig
 from repro.synth.content import synthesize_file_bytes
 from repro.synth.filepool import FilePool, generate_file_pool
@@ -47,6 +48,10 @@ from repro.synth.materialize import GroundTruth, materialize_registry
 from repro.synth.typeprofiles import TypeProfile, default_type_profiles
 
 __all__ = [
+    "ChurnDelta",
+    "ChurnEngine",
+    "ChurnParams",
+    "RegistryWriter",
     "BuiltHub",
     "CalibrationRow",
     "ChunkSpec",

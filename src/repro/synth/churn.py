@@ -1,0 +1,319 @@
+"""Seeded temporal evolution of a built hub: the churn engine.
+
+The paper measures dedup on one static snapshot; the longitudinal story —
+version pushes, tag churn, repo death — is what "Revisiting Dockerfiles in
+Open Source Software Over Time" (PAPERS.md) shows actually matters, and
+what registry garbage collection has to survive. This module evolves a
+materialized hub over simulated epochs as a **pure function of
+``(seed, epochs, params)``**: every decision is a
+:func:`~repro.util.rng.seeded_uniform` draw keyed
+``(seed, "churn", epoch, op, repo)``, so two engines pointed at identical
+registries replay identical histories.
+
+Per epoch, each repository may:
+
+* **push a version** — the current ``latest`` is archived under the next
+  ``v<n>`` tag (the :func:`repro.dedup.versions.tag_sort_key` ordering) and
+  ``latest`` moves to a new manifest that shares every base layer and
+  replaces the top layer with a fresh seeded blob — exactly the shape
+  :func:`repro.synth.materialize.materialize_registry` gives version
+  histories. Histories are pruned to ``max_versions`` (oldest tag deleted).
+* **retarget** — the oldest version tag is repointed at its successor's
+  manifest, the classic "rebuild an old tag from a newer base".
+* **delete a tag** — the oldest version tag is removed outright.
+* **die** — community repositories that are *leaves* of the
+  :func:`repro.synth.lineage.generate_lineage` DAG (nothing builds on
+  them; official images are exempt) disappear with all their tags.
+
+Each epoch emits a :class:`ChurnDelta` — tags added/removed/retargeted,
+repos dropped, manifests and blobs newly orphaned with byte totals — so
+downstream consumers (incremental analysis, the GC invariant harness) can
+work from deltas instead of re-diffing snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.dedup.versions import tag_sort_key
+from repro.model.manifest import Manifest, ManifestLayerRef
+from repro.registry.errors import RepositoryNotFoundError
+from repro.synth.lineage import ImageLineage, LineageConfig, generate_lineage
+from repro.util.rng import RngTree, derive_seed, seeded_uniform
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.registry.registry import Registry
+
+
+@dataclass(frozen=True)
+class ChurnParams:
+    """Per-epoch churn probabilities and shape knobs (all seeded draws)."""
+
+    #: chance a repository with a ``latest`` tag pushes a new version
+    push_rate: float = 0.25
+    #: chance the oldest version tag is repointed at its successor
+    retarget_rate: float = 0.08
+    #: chance the oldest version tag is deleted outright
+    tag_delete_rate: float = 0.12
+    #: chance a community leaf repository dies this epoch
+    repo_death_rate: float = 0.05
+    #: version tags kept per repository; older ones are pruned
+    max_versions: int = 4
+    #: size of the fresh top layer a version push introduces
+    layer_bytes: int = 512
+
+    def to_dict(self) -> dict:
+        return {
+            "push_rate": self.push_rate,
+            "retarget_rate": self.retarget_rate,
+            "tag_delete_rate": self.tag_delete_rate,
+            "repo_death_rate": self.repo_death_rate,
+            "max_versions": self.max_versions,
+            "layer_bytes": self.layer_bytes,
+        }
+
+
+@dataclass
+class ChurnDelta:
+    """What one epoch did to the hub — the unit of incremental analysis."""
+
+    epoch: int
+    tags_added: list[tuple[str, str, str]] = field(default_factory=list)
+    tags_removed: list[tuple[str, str]] = field(default_factory=list)
+    tags_retargeted: list[tuple[str, str, str]] = field(default_factory=list)
+    repos_dropped: list[str] = field(default_factory=list)
+    manifests_added: list[str] = field(default_factory=list)
+    manifests_orphaned: list[str] = field(default_factory=list)
+    blobs_added: list[str] = field(default_factory=list)
+    blobs_orphaned: list[str] = field(default_factory=list)
+    bytes_orphaned: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "tags_added": [list(t) for t in self.tags_added],
+            "tags_removed": [list(t) for t in self.tags_removed],
+            "tags_retargeted": [list(t) for t in self.tags_retargeted],
+            "repos_dropped": list(self.repos_dropped),
+            "manifests_added": list(self.manifests_added),
+            "manifests_orphaned": list(self.manifests_orphaned),
+            "blobs_added": list(self.blobs_added),
+            "blobs_orphaned": list(self.blobs_orphaned),
+            "bytes_orphaned": self.bytes_orphaned,
+        }
+
+
+class RegistryWriter:
+    """Applies churn operations directly to one :class:`Registry`."""
+
+    def __init__(self, registry: "Registry"):
+        self.registry = registry
+
+    def push_blob(self, data: bytes) -> str:
+        return self.registry.push_blob(data)
+
+    def push_manifest(self, repo: str, tag: str, manifest: Manifest) -> str:
+        try:
+            self.registry.repository(repo)
+        except RepositoryNotFoundError:
+            self.registry.create_repository(repo)
+        return self.registry.push_manifest(repo, tag, manifest)
+
+    def delete_tag(self, repo: str, tag: str) -> None:
+        self.registry.delete_tag(repo, tag)
+
+    def delete_repository(self, repo: str) -> None:
+        self.registry.delete_repository(repo)
+
+
+def _is_version_tag(tag: str) -> bool:
+    return tag.startswith("v") and tag[1:].isdigit()
+
+
+class ChurnEngine:
+    """Evolves a hub snapshot epoch by epoch through a writer.
+
+    The engine owns its own view of the hub (tag maps and manifest
+    contents, captured once from a registry) and pushes every mutation
+    through a *writer* — a single registry, or a replica set fanning the
+    same operations to every live replica. State never reads back from the
+    written registry, so the op stream is a pure function of the snapshot,
+    the seed, and the params no matter what faults the target suffers.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        params: ChurnParams | None = None,
+        tags: dict[str, dict[str, str]],
+        manifests: dict[str, Manifest],
+        pulls: dict[str, int] | None = None,
+    ):
+        self.seed = seed
+        self.params = params or ChurnParams()
+        self._repos = {name: dict(t) for name, t in tags.items()}
+        self._manifests = dict(manifests)
+        self._pulls = dict(pulls or {})
+        self._blob_sizes: dict[str, int] = {}
+        for manifest in self._manifests.values():
+            for ref in manifest.layers:
+                self._blob_sizes[ref.digest] = ref.size
+        names = sorted(self._repos)
+        self._lineage: ImageLineage = generate_lineage(
+            names,
+            [self._pulls.get(n, 0) for n in names],
+            LineageConfig(seed=derive_seed(seed, "churn", "lineage")),
+        )
+
+    @classmethod
+    def from_registry(
+        cls,
+        registry: "Registry",
+        *,
+        seed: int = 0,
+        params: ChurnParams | None = None,
+    ) -> "ChurnEngine":
+        tags = {repo.name: dict(repo.tags) for repo in registry.repositories()}
+        manifests: dict[str, Manifest] = {}
+        for digest in registry.manifest_digests():
+            data = registry.manifest_bytes_or_none(digest)
+            if data is not None:
+                manifests[digest] = Manifest.from_json(data)
+        pulls = {repo.name: repo.pull_count for repo in registry.repositories()}
+        return cls(seed=seed, params=params, tags=tags, manifests=manifests, pulls=pulls)
+
+    # -- current state ---------------------------------------------------------
+
+    def live_tags(self) -> dict[str, dict[str, str]]:
+        """Snapshot of every repository's tag → manifest digest map."""
+        return {name: dict(tags) for name, tags in self._repos.items()}
+
+    def manifest(self, digest: str) -> Manifest:
+        return self._manifests[digest]
+
+    def blob_size(self, digest: str) -> int:
+        return self._blob_sizes[digest]
+
+    def _live_refs(self) -> tuple[set[str], set[str]]:
+        """(live manifest digests, live blob digests) under current tags."""
+        live_manifests: set[str] = set()
+        for tags in self._repos.values():
+            live_manifests.update(tags.values())
+        live_blobs: set[str] = set()
+        for digest in live_manifests:
+            live_blobs.update(self._manifests[digest].layer_digests)
+        return live_manifests, live_blobs
+
+    def _version_tags(self, name: str) -> list[str]:
+        return sorted(
+            (t for t in self._repos[name] if _is_version_tag(t)), key=tag_sort_key
+        )
+
+    def _is_droppable(self, name: str) -> bool:
+        """Community leaves only: nothing still alive builds on them."""
+        if "/" not in name:  # official images never die
+            return False
+        children = self._lineage.children_of(name)
+        return not any(child in self._repos for child in children)
+
+    # -- one epoch -------------------------------------------------------------
+
+    def _draw(self, epoch: int, op: str, name: str) -> float:
+        return seeded_uniform(self.seed, "churn", epoch, op, name)
+
+    def _payload(self, epoch: int, name: str, version: int) -> bytes:
+        rng = (
+            RngTree(self.seed)
+            .child("churn", epoch, "layer", name, version)
+            .generator()
+        )
+        return rng.bytes(self.params.layer_bytes)
+
+    def _push_version(self, writer, epoch: int, name: str, delta: ChurnDelta) -> None:
+        tags = self._repos[name]
+        old_latest = tags["latest"]
+        base = self._manifests[old_latest]
+        if not base.layers:
+            return
+        next_n = max(
+            (int(t[1:]) for t in tags if _is_version_tag(t)), default=0
+        ) + 1
+        payload = self._payload(epoch, name, next_n)
+        blob_digest = writer.push_blob(payload)
+        layers = list(base.layers)
+        layers[-1] = ManifestLayerRef(digest=blob_digest, size=len(payload))
+        manifest = Manifest(
+            layers=tuple(layers),
+            config={**base.config, "churn": [name, epoch, next_n]},
+        )
+        # the outgoing latest is archived under the next version number,
+        # then latest moves to the fresh build — same tag shapes as
+        # materialize_registry's version histories.
+        archive = f"v{next_n}"
+        writer.push_manifest(name, archive, base)
+        new_digest = writer.push_manifest(name, "latest", manifest)
+        tags[archive] = old_latest
+        tags["latest"] = new_digest
+        self._manifests[new_digest] = manifest
+        self._blob_sizes[blob_digest] = len(payload)
+        delta.tags_added.append((name, archive, old_latest))
+        delta.tags_retargeted.append((name, "latest", new_digest))
+        delta.manifests_added.append(new_digest)
+        delta.blobs_added.append(blob_digest)
+        # prune history beyond max_versions, oldest first
+        versions = self._version_tags(name)
+        while len(versions) > self.params.max_versions:
+            doomed = versions.pop(0)
+            writer.delete_tag(name, doomed)
+            del tags[doomed]
+            delta.tags_removed.append((name, doomed))
+
+    def evolve_epoch(self, writer, epoch: int) -> ChurnDelta:
+        """Apply one epoch of churn through *writer*; returns its delta."""
+        p = self.params
+        before_manifests, before_blobs = self._live_refs()
+        delta = ChurnDelta(epoch=epoch)
+        for name in sorted(self._repos):
+            tags = self._repos[name]
+            if "latest" in tags and self._draw(epoch, "push", name) < p.push_rate:
+                self._push_version(writer, epoch, name, delta)
+            versions = self._version_tags(name)
+            if len(versions) >= 2 and self._draw(epoch, "retarget", name) < p.retarget_rate:
+                oldest, successor = versions[0], versions[1]
+                target_digest = tags[successor]
+                if tags[oldest] != target_digest:
+                    writer.push_manifest(name, oldest, self._manifests[target_digest])
+                    tags[oldest] = target_digest
+                    delta.tags_retargeted.append((name, oldest, target_digest))
+            versions = self._version_tags(name)
+            if versions and self._draw(epoch, "untag", name) < p.tag_delete_rate:
+                doomed = versions[0]
+                writer.delete_tag(name, doomed)
+                del tags[doomed]
+                delta.tags_removed.append((name, doomed))
+            if self._is_droppable(name) and self._draw(epoch, "death", name) < p.repo_death_rate:
+                writer.delete_repository(name)
+                del self._repos[name]
+                self._pulls.pop(name, None)
+                delta.repos_dropped.append(name)
+        after_manifests, after_blobs = self._live_refs()
+        # a manifest pushed this epoch was live the moment it was tagged —
+        # if its repo died (or its tag churned away) before the epoch
+        # closed, it is orphaned even though the before-snapshot never saw
+        # it, so epoch-internal additions join the "was live" side.
+        added_blob_refs: set[str] = set()
+        for mdigest in delta.manifests_added:
+            added_blob_refs.update(self._manifests[mdigest].layer_digests)
+        delta.manifests_orphaned = sorted(
+            (before_manifests | set(delta.manifests_added)) - after_manifests
+        )
+        orphaned = (before_blobs | added_blob_refs) - after_blobs
+        delta.blobs_orphaned = sorted(orphaned)
+        delta.bytes_orphaned = sum(self._blob_sizes[d] for d in orphaned)
+        return delta
+
+    def run(self, writer, epochs: int) -> list[ChurnDelta]:
+        """Evolve ``epochs`` epochs (numbered from 1); returns all deltas."""
+        return [self.evolve_epoch(writer, epoch) for epoch in range(1, epochs + 1)]

@@ -34,6 +34,8 @@ class TestParser:
             ["scan", "--mode", "process", "--workers", "2", "--out", "S.json"],
             ["cluster", "--replicas", "3", "--seed", "7"],
             ["cluster", "--sharded", "--k", "2", "--vnodes", "16"],
+            ["churn", "--seed", "7", "--epochs", "5", "--kill-after", "3"],
+            ["churn", "--sharded", "--k", "2", "--vnodes", "16", "--json"],
         ],
     )
     def test_accepts_documented_forms(self, argv):
@@ -48,6 +50,11 @@ class TestParser:
         assert args.sharded is False
         sharded = build_parser().parse_args(["cluster", "--sharded"])
         assert sharded.k == 2 and sharded.vnodes == 32
+
+    def test_churn_defaults(self):
+        args = build_parser().parse_args(["churn"])
+        assert args.replicas is None and args.kill_after is None
+        assert args.epochs == 6 and args.seed == 7 and args.kill_index == 1
 
 
 class TestGenerateInfo:

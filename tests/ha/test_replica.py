@@ -179,3 +179,67 @@ class TestAntiEntropy:
         assert "user/solo" in other.catalog()
         assert other.get_manifest("user/solo", "latest").digest() == manifest.digest()
         assert other.blobs.has(digest)
+
+
+class TickingClock:
+    """Strictly monotonic test clock so deletions out-stamp earlier pushes.
+
+    Starts in the future (the `seeded_registry` fixture stamps with real
+    wall time) so a deletion always beats the seed pushes — the same trick
+    `repro.ha.churn.VirtualClock` uses."""
+
+    def __init__(self, t: float = 2_000_000_000.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        self.t += 1.0
+        return self.t
+
+
+class TestDeletionWins:
+    """Anti-entropy must converge to deletions, not resurrect them."""
+
+    def _set(self, n=2):
+        clock = TickingClock()
+        replica_set = RegistryReplicaSet.from_source(
+            seeded_registry(), n, server_factory=fake_factory, clock=clock
+        ).start_all()
+        return replica_set, clock
+
+    def test_sync_reconciles_a_tag_deletion(self):
+        replica_set, _clock = self._set()
+        replica_set.replicas[0].registry.delete_tag("library/app", "latest")
+        stats = replica_set.sync()
+        assert stats["tags_removed"] >= 1
+        for replica in replica_set.replicas:
+            assert "latest" not in replica.registry.repository("library/app").tags
+
+    def test_sync_does_not_resurrect_a_swept_blob(self):
+        replica_set, clock = self._set()
+        r0, r1 = (replica.registry for replica in replica_set.replicas)
+        r0.delete_tag("library/app", "latest")
+        digest = next(iter(r0.blobs.digests()))
+        # GC swept the blob on replica 0; replica 1 slept through it
+        r0.blobs.delete(digest)
+        r0.blob_tombstones.add(digest, clock())
+        stats = replica_set.sync()
+        assert stats["resurrections_prevented"] == 1
+        for replica in replica_set.replicas:
+            assert not replica.registry.blobs.has(digest)
+            assert replica.registry.blob_deleted(digest)
+
+    def test_newer_push_beats_the_deletion(self):
+        replica_set, clock = self._set()
+        r0 = replica_set.replicas[0].registry
+        r0.delete_tag("library/app", "latest")
+        digest = next(iter(r0.blobs.digests()))
+        r0.blobs.delete(digest)
+        r0.blob_tombstones.add(digest, clock())
+        replica_set.sync()
+        # the same bytes are pushed again, later: the push wins now
+        assert replica_set.put_blob(b"layer-bytes") == digest
+        stats = replica_set.sync()
+        assert stats["resurrections_prevented"] == 0
+        for replica in replica_set.replicas:
+            assert replica.registry.blobs.has(digest)
+            assert not replica.registry.blob_deleted(digest)

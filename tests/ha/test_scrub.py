@@ -84,6 +84,29 @@ class TestScrubReplicaSet:
         assert replica_set.replicas[1].registry.blobs.get(digest) == original
         assert set(report.stores) == {"replica-0", "replica-1", "replica-2"}
 
+    def test_tombstoned_blob_is_removed_not_repaired(self):
+        """A GC-swept blob found at rest is the resurrection bug in
+        waiting: the scrub removes it instead of repairing from a peer."""
+        from tests.ha.test_replica import fake_factory, seeded_registry
+
+        replica_set = RegistryReplicaSet.from_source(
+            seeded_registry(), 2, server_factory=fake_factory
+        )
+        r0, r1 = (replica.registry for replica in replica_set.replicas)
+        digest = next(iter(r0.blobs.digests()))
+        r0.delete_tag("library/app", "latest")
+        r1.delete_tag("library/app", "latest")
+        # the sweep ran on replica 0 and its tombstone replicated, but
+        # replica 1's copy is still on disk
+        r0.blobs.delete(digest)
+        swept_at = max(r0.blob_times.get(digest, 0.0), r1.blob_times[digest]) + 1
+        r0.blob_tombstones.add(digest, swept_at)
+        r1.blob_tombstones.add(digest, swept_at)
+        report = BlobScrubber().scrub_replica_set(replica_set)
+        assert report.tombstoned_removed == 1
+        assert report.to_dict()["tombstoned_removed"] == 1
+        assert not r1.blobs.has(digest)
+
 
 class TestReportSurface:
     def test_merge_accumulates(self):

@@ -8,8 +8,23 @@ from repro.registry.errors import (
     RepositoryNotFoundError,
     TagNotFoundError,
 )
+from repro.registry.gc import GarbageCollector, GCInterrupted, Tombstones
 from repro.registry.registry import Registry
 from repro.registry.tarball import layer_from_files
+from repro.util.journal import JournalFile
+
+
+class Clock:
+    """Settable test clock shared by a registry and its collector."""
+
+    def __init__(self, t: float = 1_000.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, seconds: float) -> None:
+        self.t += seconds
 
 
 def push(reg: Registry, repo: str, tag: str, files) -> Manifest:
@@ -119,3 +134,205 @@ class TestBlobDelete:
         assert not store.has(digest)
         with pytest.raises(BlobNotFoundError):
             store.delete(digest)
+
+
+def push_image(reg: Registry, repo: str, tag: str, payloads: list[bytes]) -> Manifest:
+    """Push a manifest whose layers are exactly *payloads* (one blob each)."""
+    layers = []
+    for payload in payloads:
+        digest = reg.push_blob(payload)
+        layers.append(ManifestLayerRef(digest=digest, size=len(payload)))
+    manifest = Manifest(layers=tuple(layers))
+    if repo not in reg.catalog():
+        reg.create_repository(repo)
+    reg.push_manifest(repo, tag, manifest)
+    return manifest
+
+
+class TestGarbageCollector:
+    """The journaled two-phase collector (repro.registry.gc)."""
+
+    def test_cross_repo_shared_blob_survives(self):
+        clock = Clock()
+        reg = Registry(clock=clock)
+        shared = b"base layer shared by both repos"
+        m_a = push_image(reg, "u/a", "latest", [shared, b"only-in-a"])
+        m_b = push_image(reg, "u/b", "latest", [shared, b"only-in-b"])
+        reg.delete_tag("u/a", "latest")
+
+        report = GarbageCollector(reg, clock=clock).collect()
+        assert report.manifests_deleted == 1
+        assert report.swept == 1  # only-in-a; the shared base is still live
+        assert reg.has_blob(m_a.layers[0].digest)
+        assert not reg.has_blob(m_a.layers[1].digest)
+
+        reg.delete_tag("u/b", "latest")
+        second = GarbageCollector(reg, clock=clock).collect()
+        assert second.swept == 2  # shared base + only-in-b
+        assert not reg.has_blob(m_b.layers[0].digest)
+
+    def test_manifest_with_many_tags_needs_all_gone(self):
+        clock = Clock()
+        reg = Registry(clock=clock)
+        manifest = push_image(reg, "u/a", "latest", [b"payload"])
+        reg.repository("u/a").tags["stable"] = manifest.digest()
+        reg.delete_tag("u/a", "latest")
+
+        report = GarbageCollector(reg, clock=clock).collect()
+        assert report.manifests_deleted == 0 and report.swept == 0
+
+        reg.delete_tag("u/a", "stable")
+        report = GarbageCollector(reg, clock=clock).collect()
+        assert report.manifests_deleted == 1 and report.swept == 1
+
+    def test_grace_protects_just_pushed_unreferenced_blob(self):
+        """An upload session just finalized a blob no manifest references
+        yet — the naive sweep's classic victim. The grace window holds it,
+        then reclaims it once it has been dead past the window."""
+        clock = Clock()
+        reg = Registry(clock=clock)
+        digest = reg.push_blob(b"finalized but not yet referenced")
+        gc = GarbageCollector(reg, grace_s=100.0, clock=clock)
+
+        young = gc.collect()
+        assert young.swept == 0
+        assert young.candidates == 1 and young.protected_young == 1
+        assert reg.has_blob(digest)
+
+        clock.advance(101.0)
+        aged = gc.collect()
+        assert aged.swept == 1 and aged.swept_digests == (digest,)
+        assert not reg.has_blob(digest)
+
+    def test_protected_callback_pins_inflight_uploads(self):
+        clock = Clock()
+        reg = Registry(clock=clock)
+        digest = reg.push_blob(b"held by an upload session")
+        pinned = {digest}
+        gc = GarbageCollector(reg, clock=clock, protected=lambda: set(pinned))
+
+        held = gc.collect()
+        assert held.swept == 0 and held.protected_inflight == 1
+
+        pinned.clear()
+        released = gc.collect()
+        assert released.swept == 1
+        assert not reg.has_blob(digest)
+
+    def test_crash_resume_report_is_byte_identical(self, tmp_path):
+        def build(clock):
+            reg = Registry(clock=clock)
+            for i in range(4):
+                push_image(reg, f"u/r{i}", "latest", [b"blob-%d" % i * 40])
+                reg.delete_repository(f"u/r{i}")
+            return reg
+
+        ref_clock = Clock()
+        reference = GarbageCollector(build(ref_clock), clock=ref_clock).collect()
+        assert reference.swept == 4
+
+        clock = Clock()
+        reg = build(clock)
+        journal = JournalFile(tmp_path / "gc.json")
+        with pytest.raises(GCInterrupted) as exc:
+            GarbageCollector(reg, clock=clock, journal=journal).collect(kill_after=2)
+        assert exc.value.deletions == 2
+        assert journal.load()["phase"] == "sweep"
+
+        # a FRESH collector on the same journal: continuity lives on disk
+        resumed = GarbageCollector(reg, clock=clock, journal=journal).collect()
+        assert resumed.resumed is True
+        assert resumed.core() == reference.core()
+        assert journal.load()["phase"] == "idle"
+        for digest in resumed.swept_digests:
+            assert not reg.has_blob(digest)
+            assert digest in reg.blob_tombstones
+
+    def test_resume_skips_blob_revived_mid_sweep(self, tmp_path):
+        clock = Clock()
+        reg = Registry(clock=clock)
+        manifests = [
+            push_image(reg, f"u/r{i}", "latest", [b"revive-%d" % i * 30])
+            for i in range(3)
+        ]
+        for i in range(3):
+            reg.delete_tag(f"u/r{i}", "latest")
+        journal = JournalFile(tmp_path / "gc.json")
+        with pytest.raises(GCInterrupted):
+            GarbageCollector(reg, clock=clock, journal=journal).collect(kill_after=1)
+
+        pending = sorted(
+            set(journal.load()["pending"]) - set(journal.load()["swept"])
+        )
+        revived_digest = pending[0]
+        revived = next(
+            m for m in manifests if m.layers[0].digest == revived_digest
+        )
+        clock.advance(1.0)
+        reg.create_repository("u/r9")
+        reg.push_manifest("u/r9", "latest", revived)
+
+        resumed = GarbageCollector(reg, clock=clock, journal=journal).collect()
+        assert revived_digest not in resumed.swept_digests
+        assert reg.has_blob(revived_digest)
+        assert resumed.swept == 2  # the interrupted one + the other pending
+
+    def test_idle_pass_after_convergence_sweeps_nothing(self, tmp_path):
+        clock = Clock()
+        reg = Registry(clock=clock)
+        push_image(reg, "u/a", "latest", [b"doomed"])
+        reg.delete_repository("u/a")
+        journal = JournalFile(tmp_path / "gc.json")
+        first = GarbageCollector(reg, clock=clock, journal=journal).collect()
+        assert first.swept == 1
+        clock.advance(10.0)
+        second = GarbageCollector(reg, clock=clock, journal=journal).collect()
+        assert (second.swept, second.manifests_deleted, second.bytes_reclaimed) == (
+            0, 0, 0,
+        )
+
+    def test_sweep_leaves_ttl_tombstones_that_expire(self):
+        clock = Clock()
+        reg = Registry(clock=clock)
+        manifest = push_image(reg, "u/a", "latest", [b"marked"])
+        reg.delete_repository("u/a")
+        gc = GarbageCollector(reg, clock=clock, tombstone_ttl_s=50.0)
+        report = gc.collect()
+        assert report.tombstones_added == 1
+        digest = manifest.layers[0].digest
+        assert reg.blob_deleted(digest)
+        assert reg.expire_tombstones(clock() + 51.0) > 0
+        assert digest not in reg.blob_tombstones
+
+
+class TestTombstones:
+    def test_newest_marker_wins_on_merge(self):
+        a, b = Tombstones(), Tombstones()
+        a.add("k", 10.0)
+        b.add("k", 20.0)
+        b.add("other", 5.0)
+        assert a.merge(b) == 2
+        assert a.time_of("k") == 20.0
+        a.add("k", 15.0)  # stale add never moves the marker back
+        assert a.time_of("k") == 20.0
+
+    def test_contains_respects_ttl(self):
+        tombs = Tombstones(ttl_s=100.0)
+        tombs.add("k", 0.0)
+        assert tombs.contains("k", now=99.0)
+        assert not tombs.contains("k", now=100.0)
+        assert tombs.expire(100.0) == 1
+        assert "k" not in tombs
+
+    def test_discard_on_fresh_push(self):
+        clock = Clock()
+        reg = Registry(clock=clock)
+        manifest = push_image(reg, "u/a", "latest", [b"reborn"])
+        digest = manifest.layers[0].digest
+        reg.delete_repository("u/a")
+        GarbageCollector(reg, clock=clock).collect()
+        assert reg.blob_deleted(digest)
+        clock.advance(1.0)
+        reg.push_blob(b"reborn")
+        assert not reg.blob_deleted(digest)
+        assert digest not in reg.blob_tombstones

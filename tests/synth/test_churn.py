@@ -1,0 +1,122 @@
+"""Churn engine tests: seeded temporal evolution of a built hub."""
+
+import pytest
+
+from repro.synth.churn import ChurnEngine, ChurnParams, RegistryWriter
+from repro.synth.config import SyntheticHubConfig
+from repro.synth.hubgen import generate_dataset
+from repro.synth.materialize import materialize_registry
+
+
+@pytest.fixture(scope="module")
+def hub_registry():
+    dataset = generate_dataset(SyntheticHubConfig.tiny(seed=7))
+    registry, _truth = materialize_registry(dataset, fail_share=0.0, seed=7)
+    return registry
+
+
+def _engine(registry, **kwargs) -> ChurnEngine:
+    kwargs.setdefault("seed", 7)
+    return ChurnEngine.from_registry(registry, **kwargs)
+
+
+class NullWriter:
+    """Accepts the op stream without a registry behind it, returning the
+    digests the engine needs (a blob's sha256, a manifest's digest)."""
+
+    def __init__(self):
+        self.ops = []
+
+    def push_blob(self, data):
+        import hashlib
+
+        digest = "sha256:" + hashlib.sha256(data).hexdigest()
+        self.ops.append(("blob", digest))
+        return digest
+
+    def push_manifest(self, repo, tag, manifest):
+        self.ops.append(("manifest", repo, tag, manifest.digest()))
+        return manifest.digest()
+
+    def delete_tag(self, repo, tag):
+        self.ops.append(("del_tag", repo, tag))
+
+    def delete_repository(self, repo):
+        self.ops.append(("del_repo", repo))
+
+
+class TestDeterminism:
+    def test_same_seed_replays_identical_history(self, hub_registry):
+        runs = []
+        for _ in range(2):
+            engine = _engine(hub_registry)
+            deltas = engine.run(NullWriter(), 3)
+            runs.append([d.to_dict() for d in deltas])
+        assert runs[0] == runs[1]
+
+    def test_different_seed_diverges(self, hub_registry):
+        a = _engine(hub_registry, seed=7).run(NullWriter(), 2)
+        b = _engine(hub_registry, seed=8).run(NullWriter(), 2)
+        assert [d.to_dict() for d in a] != [d.to_dict() for d in b]
+
+    def test_stream_is_independent_of_the_written_registry(self, hub_registry):
+        """The engine never reads back from its writer, so the op stream is
+        a pure function of (snapshot, seed, params)."""
+        recorder_a, recorder_b = NullWriter(), NullWriter()
+        _engine(hub_registry).run(recorder_a, 2)
+        _engine(hub_registry).run(recorder_b, 2)
+        assert recorder_a.ops == recorder_b.ops and recorder_a.ops
+
+
+class TestDeltaAccounting:
+    def test_orphan_bytes_match_orphan_sizes(self, hub_registry):
+        engine = _engine(hub_registry)
+        for delta in engine.run(NullWriter(), 4):
+            assert delta.bytes_orphaned == sum(
+                engine.blob_size(d) for d in delta.blobs_orphaned
+            )
+
+    def test_orphans_are_actually_unreferenced(self, hub_registry):
+        engine = _engine(hub_registry)
+        for delta in engine.run(NullWriter(), 4):
+            live = set()
+            for tags in engine.live_tags().values():
+                for digest in tags.values():
+                    live.update(engine.manifest(digest).layer_digests)
+            assert not (set(delta.blobs_orphaned) & live)
+
+    def test_tags_removed_are_gone_from_live_state(self, hub_registry):
+        engine = _engine(hub_registry)
+        deltas = engine.run(NullWriter(), 3)
+        tags = engine.live_tags()
+        for delta in deltas:
+            for repo in delta.repos_dropped:
+                assert repo not in tags
+
+    def test_officials_never_die(self, hub_registry):
+        engine = _engine(
+            hub_registry, params=ChurnParams(repo_death_rate=1.0)
+        )
+        deltas = engine.run(NullWriter(), 3)
+        for delta in deltas:
+            assert all("/" in name for name in delta.repos_dropped)
+
+
+class TestWriterMirrorsEngine:
+    def test_registry_converges_to_engine_state(self, hub_registry):
+        """Replaying the stream against the materialized hub leaves the
+        registry's tag maps exactly equal to the engine's view."""
+        dataset = generate_dataset(SyntheticHubConfig.tiny(seed=7))
+        target, _truth = materialize_registry(dataset, fail_share=0.0, seed=7)
+        engine = _engine(hub_registry)
+        engine.run(RegistryWriter(target), 3)
+        observed = {repo.name: dict(repo.tags) for repo in target.repositories()}
+        assert observed == engine.live_tags()
+
+    def test_version_history_is_pruned(self, hub_registry):
+        params = ChurnParams(push_rate=1.0, tag_delete_rate=0.0, max_versions=2)
+        engine = _engine(hub_registry, params=params)
+        engine.run(NullWriter(), 5)
+        for tags in engine.live_tags().values():
+            versions = [t for t in tags if t.startswith("v") and t[1:].isdigit()]
+            assert len(versions) <= 2

@@ -273,6 +273,60 @@ replication). Exit 1 on any violation; the seeded report core is
 byte-identical across runs.""",
     ),
     (
+        "Churn and garbage collection",
+        """\
+A registry that only ever grows never faces its hardest problem:
+deletion in a replicated system that actively resurrects missing data.
+`repro.synth.churn` supplies the forcing function — `ChurnEngine`
+evolves a materialized hub over simulated epochs as a pure function of
+`(seed, epochs, params)`: version pushes that archive `latest` under the
+next `v<n>` tag, retargets, tag deletions, and community leaf-repo
+death, each epoch emitting a `ChurnDelta` (tags added/removed/
+retargeted, repos dropped, blobs/manifests newly orphaned with byte
+totals). The engine owns its view of the hub and never reads back from
+the written registry, so the op stream is identical no matter what
+faults the target suffers. `DELETE /v2/<name>/manifests/<ref>` and
+`DELETE /v2/<name>/tags/<tag>` expose tag removal over HTTP (202: the
+mapping is gone now, the bytes await GC), with per-endpoint metrics like
+every other verb.
+
+Reclamation is `repro.registry.gc`. `GarbageCollector` runs a two-phase
+grace-window mark-and-sweep: mark snapshots live manifests (every tag
+target) and live blobs (every layer of a live manifest) and stamps
+everything else with the time it was *first observed dead*; sweep
+deletes candidates only once they have been dead — and un-pushed —
+longer than `grace_s`, with a liveness re-check immediately before each
+delete. A just-finalized upload no manifest references yet survives
+(`protected_young`), as do digests pinned by an in-flight upload
+session's `protected` callback (`protected_inflight`). Every deletion is
+journaled through `JournalFile` *before* the next one starts, so a crash
+mid-sweep resumes idempotently: bytes are accounted from mark-time
+sizes, and `GCReport.core()` of a killed-then-resumed pass is
+byte-identical to an uninterrupted run. Each swept digest leaves a TTL'd
+`Tombstones` marker; anti-entropy merges markers newest-wins, replicas
+refuse to copy back a digest whose tombstone dominates its push stamp
+(deletion wins over resurrection; a genuinely newer push wins over the
+deletion), and `expire_tombstones()` bounds the marker set.
+`ClusterGCTarget` sweeps every copy the live replicas hold and forgets
+swept digests from the sharded placement map.
+
+`repro churn --seed 7 --epochs 6 [--sharded] [--kill-after 3]` runs the
+whole story on a live cluster: a hub is materialized, replicated (or
+sharded k-of-N), and churned for N epochs on a shared virtual clock
+while a cluster-wide GC pass runs each epoch, anti-entropy syncs after
+it, and a frontend availability sweep reads tagged manifests and their
+blobs (digest-verified) throughout. `--kill-after N` interrupts the
+sweep mid-flight at the crash epoch *and* kills a replica; a fresh
+collector must resume from the journal to a byte-identical report.
+Invariants asserted (exit 1 on violation): tagged blobs always readable,
+zero live-blob deletions, zero post-sync resurrections, reclaimed bytes
+equal to the engine's orphan accounting, orphaned manifests reclaimed,
+the grace window protecting the in-flight upload until release,
+idempotence after convergence, every replica's metadata converged to the
+engine's surviving state, tombstones expiring, and (sharded) placement
+conformance after sweeps.""",
+    ),
+    (
         "Parallel analysis & the profile cache",
         """\
 Layer profiling — gunzip, tar walk, per-file hashing and typing — is the
