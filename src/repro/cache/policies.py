@@ -23,7 +23,19 @@ from collections import OrderedDict
 
 
 class CachePolicy(abc.ABC):
-    """A byte-capacity cache."""
+    """A byte-capacity cache.
+
+    Invariants every policy holds after any request sequence:
+
+    * ``used <= capacity``;
+    * ``used == sum(contents().values())``;
+    * an object larger than ``capacity`` is never admitted;
+    * ``key in policy`` iff ``key in policy.contents()``.
+
+    ``evictions`` counts keys the policy dropped to make room — callers
+    holding per-key payloads (the caching proxy) watch it to know when to
+    reconcile their side tables without scanning on every request.
+    """
 
     name: str = "base"
 
@@ -32,6 +44,7 @@ class CachePolicy(abc.ABC):
             raise ValueError(f"capacity must be positive, got {capacity_bytes}")
         self.capacity = int(capacity_bytes)
         self.used = 0
+        self.evictions = 0
 
     @abc.abstractmethod
     def request(self, key: int, size: int) -> bool:
@@ -41,6 +54,10 @@ class CachePolicy(abc.ABC):
     @abc.abstractmethod
     def __contains__(self, key: int) -> bool:
         ...
+
+    @abc.abstractmethod
+    def contents(self) -> dict[int, int]:
+        """Currently cached ``key -> size`` (a fresh dict, safe to mutate)."""
 
     def _check_size(self, size: int) -> None:
         if size < 0:
@@ -57,6 +74,9 @@ class FIFOCache(CachePolicy):
     def __contains__(self, key: int) -> bool:
         return key in self._entries
 
+    def contents(self) -> dict[int, int]:
+        return dict(self._entries)
+
     def request(self, key: int, size: int) -> bool:
         self._check_size(size)
         if key in self._entries:
@@ -66,6 +86,7 @@ class FIFOCache(CachePolicy):
         while self.used + size > self.capacity:
             _, evicted = self._entries.popitem(last=False)
             self.used -= evicted
+            self.evictions += 1
         self._entries[key] = size
         self.used += size
         return False
@@ -81,6 +102,9 @@ class LRUCache(CachePolicy):
     def __contains__(self, key: int) -> bool:
         return key in self._entries
 
+    def contents(self) -> dict[int, int]:
+        return dict(self._entries)
+
     def request(self, key: int, size: int) -> bool:
         self._check_size(size)
         if key in self._entries:
@@ -91,6 +115,7 @@ class LRUCache(CachePolicy):
         while self.used + size > self.capacity:
             _, evicted = self._entries.popitem(last=False)
             self.used -= evicted
+            self.evictions += 1
         self._entries[key] = size
         self.used += size
         return False
@@ -111,6 +136,9 @@ class LFUCache(CachePolicy):
     def __contains__(self, key: int) -> bool:
         return key in self._sizes
 
+    def contents(self) -> dict[int, int]:
+        return dict(self._sizes)
+
     def _push(self, key: int) -> None:
         self._tick += 1
         heapq.heappush(self._heap, (self._freq[key], self._tick, key))
@@ -122,6 +150,7 @@ class LFUCache(CachePolicy):
             if key in self._sizes and self._freq[key] == freq:
                 self.used -= self._sizes.pop(key)
                 del self._freq[key]
+                self.evictions += 1
                 return
 
     def request(self, key: int, size: int) -> bool:
@@ -158,6 +187,9 @@ class GDSFCache(CachePolicy):
     def __contains__(self, key: int) -> bool:
         return key in self._sizes
 
+    def contents(self) -> dict[int, int]:
+        return dict(self._sizes)
+
     def _priority(self, key: int, size: int) -> float:
         return self._clock + self._freq[key] / max(1, size)
 
@@ -173,6 +205,7 @@ class GDSFCache(CachePolicy):
                 self.used -= self._sizes.pop(key)
                 del self._freq[key]
                 del self._prio[key]
+                self.evictions += 1
                 return
 
     def request(self, key: int, size: int) -> bool:
@@ -205,18 +238,21 @@ class StaticTopCache(CachePolicy):
 
     def __init__(self, capacity_bytes: int, preload: list[tuple[int, int]] = ()):
         super().__init__(capacity_bytes)
-        self._keys: set[int] = set()
+        self._sizes: dict[int, int] = {}
         for key, size in preload:
-            if self.used + size <= self.capacity:
-                self._keys.add(key)
+            if key not in self._sizes and self.used + size <= self.capacity:
+                self._sizes[key] = size
                 self.used += size
 
     def __contains__(self, key: int) -> bool:
-        return key in self._keys
+        return key in self._sizes
+
+    def contents(self) -> dict[int, int]:
+        return dict(self._sizes)
 
     def request(self, key: int, size: int) -> bool:
         self._check_size(size)
-        return key in self._keys
+        return key in self._sizes
 
 
 _POLICIES = {

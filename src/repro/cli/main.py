@@ -15,6 +15,7 @@ Subcommands::
     repro cluster     --replicas 3 --seed 7 [--overload]  # HA serving exercise
     repro churn       --epochs 6 [--sharded] [--kill-after 3]  # GC-under-churn
     repro scan        --scale tiny [--cache DIR] [--selfcheck]  # dedup CVE scan
+    repro tiers       [--smoke] [--out tiers.json]             # tiered cache sweep
 """
 
 from __future__ import annotations
@@ -331,6 +332,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--selfcheck", action="store_true",
         help="run the invariant exercise (all modes, cold+warm) and exit 1 "
         "on any violation — the CI scan-smoke job",
+    )
+
+    p = sub.add_parser(
+        "tiers",
+        help="sweep the tiered cache hierarchy (per-client caches -> edge "
+        "proxy fleet -> sharded origin) in virtual time",
+    )
+    _add_seed(p)
+    p.add_argument("--scale", choices=["tiny", "small", "bench"], default="small")
+    p.add_argument(
+        "--clients", type=int, default=1_000_000,
+        help="distinct clients (each appears at least once)",
+    )
+    p.add_argument(
+        "--requests", type=int, default=1_200_000, help="total image pulls"
+    )
+    p.add_argument("--edges", type=int, default=32, help="edge proxy count")
+    p.add_argument("--shards", type=int, default=4, help="origin shard count")
+    p.add_argument(
+        "--client-gb", type=float, default=2.0,
+        help="per-client cache capacity in GiB (no-eviction local store)",
+    )
+    p.add_argument(
+        "--fracs", default="0.01,0.05,0.20",
+        help="edge cache sizes as comma-separated fractions of the working set",
+    )
+    p.add_argument(
+        "--policies", default="lru,lfu,gdsf,static-top",
+        help="comma-separated edge replacement policies",
+    )
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="run the reduced sweep + invariant exercise (determinism, "
+        "offload monotonicity, live HTTP 304/206) and exit 1 on any "
+        "violation — the CI tiers-smoke job",
+    )
+    p.add_argument("--json", action="store_true", help="emit the report as JSON")
+    p.add_argument("--out", type=Path, help="also write the JSON report here")
+    p.add_argument(
+        "--bench-out", type=Path,
+        help="merge the sweep into this BENCH_pipeline.json as its "
+        "'tiers' section",
     )
 
     return parser
@@ -899,6 +942,51 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tiers(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.synth import SyntheticHubConfig, generate_dataset
+    from repro.tiers import TiersConfig, run_tiers_exercise, simulate_tiers
+    from repro.tiers.exercise import smoke_config
+    from repro.tiers.sim import render_report
+
+    dataset = generate_dataset(getattr(SyntheticHubConfig, args.scale)(seed=args.seed))
+    if args.smoke:
+        exercise = run_tiers_exercise(dataset, smoke_config(seed=args.seed))
+        report = exercise.report
+    else:
+        exercise = None
+        config = TiersConfig(
+            n_clients=args.clients,
+            n_requests=args.requests,
+            n_edges=args.edges,
+            n_shards=args.shards,
+            client_capacity_bytes=int(args.client_gb * (1 << 30)),
+            edge_capacity_fracs=tuple(float(x) for x in args.fracs.split(",")),
+            policies=tuple(p for p in args.policies.split(",") if p),
+            seed=args.seed,
+        )
+        report = simulate_tiers(dataset, config)
+    if args.json:
+        doc = exercise.to_dict() if exercise is not None else report.to_dict()
+        print(json_module.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render_report(report))
+        if exercise is not None:
+            print(f"invariants: {'ok' if exercise.ok else 'FAILED'}")
+            for violation in exercise.violations:
+                print(f"  violation: {violation}")
+    if args.out:
+        args.out.write_text(report.to_json() + "\n")
+        print(f"wrote {args.out}")
+    if args.bench_out:
+        from repro.core.bench import attach_tiers_section
+
+        attach_tiers_section(args.bench_out, report.to_dict())
+        print(f"merged tiers section into {args.bench_out}")
+    return 0 if exercise is None or exercise.ok else 1
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
@@ -917,6 +1005,7 @@ _COMMANDS = {
     "cluster": _cmd_cluster,
     "churn": _cmd_churn,
     "scan": _cmd_scan,
+    "tiers": _cmd_tiers,
 }
 
 

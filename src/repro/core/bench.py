@@ -31,6 +31,11 @@ pure refactor of the monolithic computation — each scale also checks the
 streaming report against the in-memory :func:`report_from_dataset` answer.
 Format version 3 adds this family plus per-run ``effective_workers`` and
 ``cpu_count``.
+
+Format version 4 adds the ``tiers`` section: the tiered cache hierarchy
+sweep from ``repro tiers --bench-out`` (per-tier hit ratios, origin
+offload, and virtual-time p99 per (edge capacity x policy) cell), merged
+into the document by :func:`attach_tiers_section`.
 """
 
 from __future__ import annotations
@@ -54,7 +59,7 @@ from repro.synth.hubgen import generate_dataset
 from repro.synth.materialize import materialize_registry
 from repro.util.timer import Timer
 
-BENCH_FORMAT_VERSION = 3
+BENCH_FORMAT_VERSION = 4
 
 #: scales the harness knows how to build, smallest first. ``mid`` is a
 #: bench-only preset: tiny's layer shape at 4x the image count, so the
@@ -685,6 +690,25 @@ def run_pipeline_bench(
     }
     if out is not None:
         Path(out).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc
+
+
+def attach_tiers_section(path: Path | str, tiers_doc: dict) -> dict:
+    """Merge a tiered-cache sweep report into a BENCH_pipeline.json.
+
+    Loads the existing document (or starts a fresh stub when *path* does
+    not exist yet), sets its ``tiers`` key, and stamps the current
+    ``BENCH_FORMAT_VERSION`` — the sweep is part of the versioned bench
+    record, not a side file. Returns the merged document.
+    """
+    path = Path(path)
+    if path.exists():
+        doc = json.loads(path.read_text())
+    else:
+        doc = {"seed": tiers_doc.get("config", {}).get("seed"), "cpu_count": os.cpu_count()}
+    doc["tiers"] = tiers_doc
+    doc["version"] = BENCH_FORMAT_VERSION
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     return doc
 
 

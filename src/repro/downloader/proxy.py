@@ -26,19 +26,56 @@ from repro.obs import MetricsRegistry
 
 @dataclass
 class ProxyStats:
+    """Offload accounting with one request-weighted and one byte-weighted
+    view, defined so the two can be compared without ambiguity:
+
+    * ``blob_requests`` — every :meth:`CachingProxySession.fetch_blob` call.
+    * ``blob_hits`` — requests served from bytes the proxy **already held**
+      when the request arrived (true cache hits). Coalesced followers are
+      *not* cache hits: their bytes crossed the upstream link for this very
+      request group.
+    * ``coalesced_hits`` — requests that joined another requester's
+      in-flight upstream fetch. Disjoint from ``blob_hits``.
+    * ``evictions`` — cached payloads dropped because the policy evicted
+      their key (undercounting this leaks memory; see ``_reconcile``).
+    * ``bytes_served`` — payload bytes returned to clients, all outcomes.
+    * ``bytes_from_upstream`` — payload bytes fetched over the upstream
+      link (exactly one transfer per miss flight, paid by the leader).
+
+    ``hit_ratio`` is request-weighted cache effectiveness;
+    ``offload_ratio`` is request-weighted upstream relief (hits plus
+    coalesced joins); ``upstream_bytes_saved`` is the byte-weighted
+    equivalent of ``offload_ratio``. With uniform object sizes
+    ``offload_ratio == upstream_bytes_saved`` by construction — the
+    invariant the single-flight accounting test pins.
+    """
+
     blob_requests: int = 0
     blob_hits: int = 0
     coalesced_hits: int = 0
     evictions: int = 0
     bytes_served: int = 0
     bytes_from_upstream: int = 0
+    manifest_requests: int = 0
+    manifest_revalidations_304: int = 0
 
     @property
     def hit_ratio(self) -> float:
+        """Fraction of blob requests served from already-held bytes."""
         return self.blob_hits / self.blob_requests if self.blob_requests else 0.0
 
     @property
+    def offload_ratio(self) -> float:
+        """Fraction of blob requests that cost no upstream round-trip of
+        their own: cache hits plus coalesced joins."""
+        if self.blob_requests == 0:
+            return 0.0
+        return (self.blob_hits + self.coalesced_hits) / self.blob_requests
+
+    @property
     def upstream_bytes_saved(self) -> float:
+        """Byte-weighted offload: the fraction of served bytes that did not
+        require an upstream transfer (``1 - upstream/served``)."""
         if self.bytes_served == 0:
             return 0.0
         return 1.0 - self.bytes_from_upstream / self.bytes_served
@@ -75,7 +112,11 @@ class CachingProxySession:
         self.policy = policy if policy is not None else LRUCache(capacity_bytes)
         self._blobs: dict[str, bytes] = {}
         self._flights: dict[str, _Flight] = {}
+        #: (repo, reference) -> (manifest, etag) for conditional refresh
+        self._manifests: dict[tuple[str, str], tuple[Manifest, str | None]] = {}
         self._lock = threading.Lock()
+        #: policy evictions already reconciled into ``_blobs``
+        self._evictions_seen = self.policy.evictions
         self.stats = ProxyStats()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
 
@@ -85,7 +126,43 @@ class CachingProxySession:
         return self.upstream.resolve_tag(repo, tag)
 
     def get_manifest(self, repo: str, reference: str) -> Manifest:
-        return self.upstream.get_manifest(repo, reference)
+        """Fetch a manifest, revalidating a cached copy when the upstream
+        supports conditional GETs.
+
+        Manifests are mutable (a tag can move), so the proxy never serves a
+        cached manifest without asking upstream first. Against an upstream
+        exposing ``get_manifest_conditional`` (``HTTPSession``,
+        ``SimulatedSession``) the ask is an ``If-None-Match`` carrying the
+        cached copy's ETag: a ``304`` costs one round-trip and zero payload
+        bytes. Other upstreams get the old full pass-through.
+        """
+        conditional = getattr(self.upstream, "get_manifest_conditional", None)
+        with self._lock:
+            self.stats.manifest_requests += 1
+            entry = self._manifests.get((repo, reference))
+        if conditional is None:
+            return self.upstream.get_manifest(repo, reference)
+        etag = entry[1] if entry is not None else None
+        manifest, new_etag = conditional(repo, reference, etag=etag)
+        if manifest is None:
+            # 304: upstream confirmed the cached copy is current
+            assert entry is not None
+            with self._lock:
+                self.stats.manifest_revalidations_304 += 1
+            self.metrics.counter(
+                "proxy_manifest_requests_total",
+                "manifest requests by outcome",
+                outcome="revalidated_304",
+            ).inc()
+            return entry[0]
+        with self._lock:
+            self._manifests[(repo, reference)] = (manifest, new_etag)
+        self.metrics.counter(
+            "proxy_manifest_requests_total",
+            "manifest requests by outcome",
+            outcome="refreshed",
+        ).inc()
+        return manifest
 
     def list_tags(self, repo: str) -> list[str]:
         return self.upstream.list_tags(repo)
@@ -98,11 +175,27 @@ class CachingProxySession:
     def fetch_blob(self, digest: str) -> tuple[bytes, str]:
         """Fetch a blob plus how it was served: ``"hit"`` (from cache),
         ``"coalesced"`` (joined another requester's in-flight fetch), or
-        ``"miss"`` (fetched from upstream)."""
+        ``"miss"`` (fetched from upstream).
+
+        Bytes the proxy still holds are **always** served locally, even if
+        the policy dropped the digest since admission (it is re-offered to
+        the policy, which may re-admit it): blobs are content-addressed, so
+        held bytes are correct by construction and refetching them would
+        silently inflate every offload number. After any policy interaction
+        the payload table is reconciled with the policy, so an eviction
+        never leaves its payload (or its memory) behind — on hit paths as
+        well as miss paths.
+        """
         with self._lock:
             self.stats.blob_requests += 1
             cached = self._blobs.get(digest)
-            if cached is not None and self.policy.request(digest, len(cached)):
+            if cached is not None:
+                # Re-offering counts the touch for the policy's bookkeeping
+                # (recency/frequency) and re-admits the digest if the policy
+                # had meanwhile evicted it. Either way the bytes are here:
+                # serve them without an upstream round-trip.
+                self.policy.request(digest, len(cached))
+                self._reconcile()
                 self.stats.blob_hits += 1
                 self.stats.bytes_served += len(cached)
                 self._count(outcome="hit")
@@ -120,7 +213,6 @@ class CachingProxySession:
                 raise flight.error
             assert flight.data is not None
             with self._lock:
-                self.stats.blob_hits += 1
                 self.stats.coalesced_hits += 1
                 self.stats.bytes_served += len(flight.data)
                 self._count(outcome="coalesced")
@@ -136,9 +228,10 @@ class CachingProxySession:
         with self._lock:
             self.stats.bytes_served += len(blob)
             self.stats.bytes_from_upstream += len(blob)
-            if self.policy.request(digest, len(blob)) or digest in self.policy:
+            self.policy.request(digest, len(blob))
+            if digest in self.policy:
                 self._blobs[digest] = blob
-            self._evict_dropped()
+            self._reconcile()
             self._count(outcome="miss")
             self.metrics.counter(
                 "proxy_upstream_bytes_total", "bytes fetched from upstream"
@@ -157,8 +250,13 @@ class CachingProxySession:
             "proxy_blob_requests_total", "blob requests by outcome", outcome=outcome
         ).inc()
 
-    def _evict_dropped(self) -> None:
-        """Drop byte payloads the policy no longer tracks."""
+    def _reconcile(self) -> None:
+        """Drop byte payloads the policy no longer tracks (caller holds the
+        lock). Gated on the policy's eviction counter so the common no-
+        eviction request costs O(1), not a table scan."""
+        if self.policy.evictions == self._evictions_seen:
+            return
+        self._evictions_seen = self.policy.evictions
         dropped = [d for d in self._blobs if d not in self.policy]
         for digest in dropped:
             del self._blobs[digest]

@@ -116,6 +116,25 @@ class SimulatedSession:
         self._account(len(manifest.to_json()))
         return manifest
 
+    def get_manifest_conditional(
+        self, repo: str, reference: str, *, etag: str | None = None
+    ) -> tuple[Manifest | None, str | None]:
+        """Conditional manifest GET, mirroring
+        :meth:`~repro.registry.http.HTTPSession.get_manifest_conditional`:
+        ``(None, etag)`` models a 304 — one request-overhead of virtual time,
+        zero payload bytes — while a changed (or unknown) tag pays the full
+        manifest transfer. The ETag is the manifest digest, as the HTTP
+        server quotes it.
+        """
+        self._maybe_fail("manifest", f"{repo}:{reference}")
+        manifest = self.registry.get_manifest(repo, reference, token=self.token)
+        digest = manifest.digest()
+        if etag is not None and etag.strip().strip('"') == digest:
+            self._account(0)
+            return None, etag
+        self._account(len(manifest.to_json()))
+        return manifest, f'"{digest}"'
+
     def get_blob(self, digest: str) -> bytes:
         self._maybe_fail("blob", digest)
         blob = self.registry.get_blob(digest)

@@ -61,6 +61,7 @@ from repro.registry.registry import Registry
 from repro.registry.search import HubSearchEngine, SearchPage
 
 _MANIFEST_RE = re.compile(r"^/v2/(?P<name>.+)/manifests/(?P<ref>[^/]+)$")
+_RANGE_RE = re.compile(r"^bytes=(?P<start>\d*)-(?P<end>\d*)$")
 _BLOB_RE = re.compile(r"^/v2/(?P<name>.+)/blobs/(?P<digest>sha256:[^/]+)$")
 _TAGS_RE = re.compile(r"^/v2/(?P<name>.+)/tags/list$")
 _TAG_RE = re.compile(r"^/v2/(?P<name>.+)/tags/(?P<tag>[^/]+)$")
@@ -509,10 +510,7 @@ class _Handler(BaseHTTPRequestHandler):
                 return
             match = _BLOB_RE.match(path)
             if match:
-                blob = registry.get_blob(match["digest"])
-                if self._payload_faults is not None:
-                    blob = self._payload_faults.apply_payload(blob)
-                self._send(200, blob, "application/octet-stream")
+                self._blob(registry, match["digest"])
                 return
             match = _TAGS_RE.match(path)
             if match:
@@ -534,14 +532,90 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(503 if draining else 200, doc)
 
     def _manifest(self, registry: Registry, name: str, ref: str) -> None:
+        """Manifest GET/HEAD with conditional-request support.
+
+        Every response carries an ``ETag`` equal to the manifest's content
+        digest (quoted, as HTTP demands). A request whose ``If-None-Match``
+        names that digest gets a ``304`` with an empty body — the revalidation
+        that lets a proxy keep a tag fresh for one round-trip and zero payload
+        bytes.
+        """
         manifest = registry.get_manifest(name, ref, token=self._token())
-        body = manifest.to_json()
-        self._send(
-            200,
-            body,
-            MANIFEST_MEDIA_TYPE,
-            {"Docker-Content-Digest": manifest.digest()},
+        digest = manifest.digest()
+        extra = {"Docker-Content-Digest": digest, "ETag": f'"{digest}"'}
+        given = self.headers.get("If-None-Match")
+        if given is not None:
+            matched = given.strip().strip('"') == digest
+            self.server.metrics.counter(
+                "registry_http_conditional_total",
+                "conditional manifest requests by outcome",
+                outcome="not_modified" if matched else "modified",
+            ).inc()
+            if matched:
+                self._send(304, b"", MANIFEST_MEDIA_TYPE, extra)
+                return
+        self._send(200, manifest.to_json(), MANIFEST_MEDIA_TYPE, extra)
+
+    def _blob(self, registry: Registry, digest: str) -> None:
+        """Blob GET/HEAD, honoring single-range ``Range`` requests.
+
+        ``bytes=a-b`` / ``bytes=a-`` / ``bytes=-n`` get a ``206`` with
+        ``Content-Range``; a range past the end gets ``416`` with the
+        ``bytes */<size>`` hint; anything the regex rejects (multi-range,
+        garbage) is ignored per RFC 7233 and answered with the full 200.
+        """
+        blob = registry.get_blob(digest)
+        if self._payload_faults is not None:
+            blob = self._payload_faults.apply_payload(blob)
+        header = self.headers.get("Range")
+        if header is not None and self._blob_range(blob, header):
+            return
+        self._send(200, blob, "application/octet-stream", {"Accept-Ranges": "bytes"})
+
+    def _blob_range(self, blob: bytes, header: str) -> bool:
+        """Answer one ``Range`` request (206 or 416); False to fall back to
+        a full 200 when the header should be ignored."""
+        match = _RANGE_RE.match(header.strip())
+        if not match or (match["start"] == "" and match["end"] == ""):
+            return False
+        total = len(blob)
+        if match["start"] == "":
+            # suffix form: the last N bytes (N == 0 is unsatisfiable)
+            n = int(match["end"])
+            start = total - n if 0 < n else total
+            start = max(0, start) if start < total else start
+            end = total - 1
+        else:
+            start = int(match["start"])
+            if match["end"] != "":
+                end = int(match["end"])
+                if end < start:
+                    return False  # inverted range: ignore, serve full body
+                end = min(end, total - 1)
+            else:
+                end = total - 1
+        range_counter = lambda outcome: self.server.metrics.counter(  # noqa: E731
+            "registry_http_range_total",
+            "range blob requests by outcome",
+            outcome=outcome,
         )
+        if start >= total:
+            range_counter("unsatisfiable").inc()
+            self._send(
+                416, b"", "application/octet-stream",
+                {"Content-Range": f"bytes */{total}"},
+            )
+            return True
+        part = blob[start : end + 1]
+        range_counter("partial").inc()
+        self._send(
+            206, part, "application/octet-stream",
+            {
+                "Content-Range": f"bytes {start}-{end}/{total}",
+                "Accept-Ranges": "bytes",
+            },
+        )
+        return True
 
     def _catalog(self, query: dict) -> None:
         repos = self.server.registry.catalog()
@@ -758,6 +832,8 @@ class _HTTPBase:
         data: bytes | None = None,
         content_type: str | None = None,
         return_headers: bool = False,
+        headers: dict[str, str] | None = None,
+        not_modified_ok: bool = False,
     ):
         # deferred: repro.downloader.session imports the registry package,
         # so a module-level import here would be circular
@@ -768,11 +844,21 @@ class _HTTPBase:
             request.add_header("Authorization", f"Bearer {self.token}")
         if content_type:
             request.add_header("Content-Type", content_type)
+        for key, value in (headers or {}).items():
+            request.add_header(key, value)
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 body = response.read()
                 headers = dict(response.headers)
         except urllib.error.HTTPError as exc:
+            if exc.code == 304 and not_modified_ok:
+                # urllib surfaces 304 as an "error"; for a conditional GET it
+                # is the good outcome — nothing changed, no body to read
+                with self._lock:
+                    self.requests += 1
+                if return_headers:
+                    return None, dict(exc.headers or {})
+                return None
             raise _error_from_response(exc) from None
         except urllib.error.URLError as exc:
             # timeouts, refusals, resets wrapped by urllib -> retryable
@@ -816,6 +902,9 @@ def _error_from_response(exc: urllib.error.HTTPError) -> RegistryError:
         )
     if exc.code >= 500:
         return TransientNetworkError(f"server error {exc.code}")
+    if exc.code == 416:
+        hint = exc.headers.get("Content-Range", "") if exc.headers else ""
+        return RegistryError(f"range not satisfiable ({hint})")
     try:
         doc = json.loads(exc.read().decode())
         code = doc["errors"][0]["code"]
@@ -852,10 +941,56 @@ class HTTPSession(_HTTPBase):
         body = self._fetch(f"/v2/{self._quote(repo)}/manifests/{reference}")
         return Manifest.from_json(body)
 
+    def get_manifest_conditional(
+        self, repo: str, reference: str, *, etag: str | None = None
+    ) -> tuple[Manifest | None, str | None]:
+        """Conditional manifest GET: ``(manifest, etag)``.
+
+        When *etag* (from a previous call) still names the current manifest,
+        the server answers 304 and this returns ``(None, etag)`` — the caller
+        keeps its cached copy and paid no payload bytes. Otherwise the fresh
+        manifest and its new ETag come back.
+        """
+        extra = {"If-None-Match": etag} if etag else None
+        body, response_headers = self._fetch(
+            f"/v2/{self._quote(repo)}/manifests/{reference}",
+            headers=extra,
+            not_modified_ok=True,
+            return_headers=True,
+        )
+        new_etag = response_headers.get("ETag")
+        if body is None:
+            return None, new_etag if new_etag else etag
+        return Manifest.from_json(body), new_etag
+
     def get_blob(self, digest: str) -> bytes:
         # blob fetch needs a repository scope in the URL; any name works for
         # a shared-blob registry — use the library namespace
         return self._fetch(f"/v2/library/blobs/{digest}")
+
+    def get_blob_range(
+        self, digest: str, start: int, end: int | None = None
+    ) -> tuple[bytes, int]:
+        """Single-range blob read: ``(payload, total_blob_size)``.
+
+        *end* is inclusive, HTTP-style; ``None`` reads to the end of the
+        blob. The total size comes from the 206's ``Content-Range`` (or the
+        body length if the server ignored the range and sent a full 200).
+        A range past the end surfaces the server's 416 as a
+        :class:`~repro.registry.errors.RegistryError`.
+        """
+        spec = f"bytes={start}-" if end is None else f"bytes={start}-{end}"
+        body, response_headers = self._fetch(
+            f"/v2/library/blobs/{digest}",
+            headers={"Range": spec},
+            return_headers=True,
+        )
+        content_range = response_headers.get("Content-Range", "")
+        if "/" in content_range:
+            total = int(content_range.rsplit("/", 1)[1])
+        else:
+            total = len(body)
+        return body, total
 
     def list_tags(self, repo: str) -> list[str]:
         body = self._fetch(f"/v2/{self._quote(repo)}/tags/list")

@@ -1,0 +1,22 @@
+"""Tiered cache hierarchy simulation (client -> edge -> sharded origin)."""
+
+from repro.tiers.exercise import ExerciseReport, run_tiers_exercise
+from repro.tiers.sim import (
+    DEFAULT_EDGE_FRACS,
+    DEFAULT_POLICIES,
+    TIERS_REPORT_VERSION,
+    TiersConfig,
+    TiersReport,
+    simulate_tiers,
+)
+
+__all__ = [
+    "DEFAULT_EDGE_FRACS",
+    "DEFAULT_POLICIES",
+    "TIERS_REPORT_VERSION",
+    "ExerciseReport",
+    "TiersConfig",
+    "TiersReport",
+    "run_tiers_exercise",
+    "simulate_tiers",
+]

@@ -1,0 +1,165 @@
+"""The ``tiers-smoke`` exercise: a reduced sweep plus invariant gating.
+
+Runs a small tiered simulation twice and a real-HTTP revalidation loop, and
+checks the invariants the CI job gates on:
+
+* **determinism** — the seeded report is byte-identical across reruns;
+* **coverage** — the simulation really saw the configured distinct-client
+  population, and shard counts add up;
+* **monotonicity** — for every policy, origin offload does not *decrease*
+  when every edge cache grows from the smallest to the largest swept size;
+* **revalidation** — the live HTTP layer actually serves ``304`` manifest
+  revalidations and ``206`` ranged blob reads, observed from both the
+  server's metrics and the client's accounting.
+
+Any violated invariant lands in ``violations``; the CLI exits non-zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import counter_total
+from repro.registry.errors import AuthRequiredError
+from repro.tiers.sim import TiersConfig, TiersReport, simulate_tiers
+
+
+@dataclass
+class ExerciseReport:
+    report: TiersReport
+    http_counters: dict[str, float] = field(default_factory=dict)
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "violations": list(self.violations),
+            "http_counters": dict(self.http_counters),
+            "report": self.report.to_dict(),
+        }
+
+
+def _check_monotone_offload(report: TiersReport, violations: list[str]) -> None:
+    n = report.config.n_requests
+    fracs = sorted(report.config.edge_capacity_fracs)
+    if len(fracs) < 2:
+        return
+    for policy in report.config.policies:
+        by_frac = {
+            cell.edge_capacity_frac: cell.origin_offload(n)
+            for cell in report.cells
+            if cell.policy == policy
+        }
+        smallest, largest = by_frac[fracs[0]], by_frac[fracs[-1]]
+        if largest + 1e-12 < smallest:
+            violations.append(
+                f"origin offload shrank as {policy} edge caches grew: "
+                f"{smallest:.4f} @ {fracs[0]:.0%} -> {largest:.4f} @ {fracs[-1]:.0%}"
+            )
+
+
+def _check_report(report: TiersReport, rerun: TiersReport, violations: list[str]) -> None:
+    if report.to_json() != rerun.to_json():
+        violations.append("seeded rerun produced a different report (nondeterminism)")
+    if report.n_distinct_clients != report.config.n_clients:
+        violations.append(
+            f"expected {report.config.n_clients} distinct clients, "
+            f"saw {report.n_distinct_clients}"
+        )
+    if report.manifest_revalidations_304 <= 0:
+        violations.append("no manifest 304 revalidations in the workload")
+    for cell in report.cells:
+        if sum(cell.origin_shard_requests) != cell.origin_requests:
+            violations.append(
+                f"shard counts disagree with origin total in cell "
+                f"({cell.policy}, {cell.edge_capacity_frac:.0%})"
+            )
+    _check_monotone_offload(report, violations)
+
+
+def _exercise_http(violations: list[str]) -> dict[str, float]:
+    """Drive the real 304/206 paths: a caching proxy revalidating a
+    manifest over HTTP, and a ranged blob read, verified on both ends."""
+    from repro.downloader.proxy import CachingProxySession
+    from repro.registry.http import HTTPSession, RegistryHTTPServer
+    from repro.synth.config import SyntheticHubConfig
+    from repro.synth.hubgen import generate_dataset
+    from repro.synth.materialize import materialize_registry
+
+    dataset = generate_dataset(SyntheticHubConfig.tiny(seed=5))
+    registry, _ = materialize_registry(dataset, fail_share=0.0, seed=5)
+    with RegistryHTTPServer(registry) as server:
+        session = HTTPSession(server.base_url)
+        repo = tag = None
+        for candidate in registry.catalog():
+            try:
+                tags = session.list_tags(candidate)
+            except AuthRequiredError:
+                continue
+            if tags:
+                repo, tag = candidate, tags[0]
+                break
+        if repo is None:
+            violations.append("no public repository to exercise over HTTP")
+            return {}
+        proxy = CachingProxySession(session)
+        first = proxy.get_manifest(repo, tag)
+        again = proxy.get_manifest(repo, tag)
+        if again != first:
+            violations.append("revalidated manifest differs from the original")
+        if proxy.stats.manifest_revalidations_304 < 1:
+            violations.append("proxy recorded no 304 revalidation")
+
+        digest = first.layers[0].digest
+        full = session.get_blob(digest)
+        half = max(1, len(full) // 2)
+        part, total = session.get_blob_range(digest, 0, half - 1)
+        if part != full[:half] or total != len(full):
+            violations.append("ranged blob read returned wrong bytes")
+
+        counters = {
+            "registry_http_conditional_not_modified": counter_total(
+                server.metrics, "registry_http_conditional_total",
+                outcome="not_modified",
+            ),
+            "registry_http_range_partial": counter_total(
+                server.metrics, "registry_http_range_total", outcome="partial"
+            ),
+        }
+    if counters["registry_http_conditional_not_modified"] < 1:
+        violations.append("server served no 304 (conditional counter is zero)")
+    if counters["registry_http_range_partial"] < 1:
+        violations.append("server served no 206 (range counter is zero)")
+    return counters
+
+
+def smoke_config(seed: int = 2017) -> TiersConfig:
+    """The reduced sweep the CI job runs: small enough for seconds, large
+    enough that every tier and both swept dimensions do real work."""
+    return TiersConfig(
+        n_clients=20_000,
+        n_requests=60_000,
+        n_edges=4,
+        n_shards=2,
+        client_capacity_bytes=1 << 30,
+        edge_capacity_fracs=(0.02, 0.20),
+        policies=("lru", "gdsf", "static-top"),
+        seed=seed,
+    )
+
+
+def run_tiers_exercise(dataset, config: TiersConfig | None = None) -> ExerciseReport:
+    """Run the reduced sweep + live-HTTP checks; see the module docstring."""
+    config = config if config is not None else smoke_config()
+    violations: list[str] = []
+    report = simulate_tiers(dataset, config)
+    rerun = simulate_tiers(dataset, config)
+    _check_report(report, rerun, violations)
+    http_counters = _exercise_http(violations)
+    return ExerciseReport(
+        report=report, http_counters=http_counters, violations=violations
+    )

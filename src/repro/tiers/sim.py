@@ -1,0 +1,460 @@
+"""Virtual-time simulation of the tiered pull hierarchy at paper scale.
+
+The paper's dataset is the artifact of ~10⁶ distinct users pulling through
+Docker's default client-side store, and §VI argues a *single* registry-side
+cache captures most of the re-reference traffic. This module models the full
+hierarchy those users actually sit in:
+
+1. **client tier** — one cache per distinct client, fill-until-full with
+   *no eviction*: Docker's local image store keeps every pulled layer until
+   the disk fills (there is no automatic GC), so a client cache admits
+   first-pulls in arrival order until its capacity is spent and then stops.
+   This tier is exactly vectorizable (first occurrence of each
+   ``(client, image)`` pair + a per-client prefix-sum admission rule), which
+   is what makes 10⁶ clients tractable in one numpy pass.
+2. **edge tier** — a fleet of pull-through proxies running the real
+   :mod:`repro.cache.policies` replacement policies; each client is pinned
+   to one edge by a seeded region hash, exactly how a geo CDN assigns POPs.
+3. **origin** — the sharded registry: distinct objects place onto shards by
+   the consistent-hash ring from :mod:`repro.ha.ring`, so the report can
+   show how residual misses spread over shards.
+
+Manifest freshness is modeled the way the HTTP layer now implements it
+(:meth:`~repro.registry.http.HTTPSession.get_manifest_conditional`): every
+pull revalidates the tag at the origin, but only the *first* pull of an
+image through a given edge pays the manifest body — every later one is a
+``304`` costing one request overhead and zero payload bytes.
+
+Everything is seeded and runs in virtual time: the same config produces a
+byte-identical report, which the ``tiers-smoke`` CI job pins.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cache.policies import CachePolicy, make_policy
+from repro.cache.simulate import simulate as simulate_single_tier
+from repro.cache.simulate import static_top_policy
+from repro.cache.trace import PullTrace, generate_trace
+from repro.ha.ring import HashRing
+from repro.model.dataset import HubDataset
+
+TIERS_REPORT_VERSION = 1
+
+DEFAULT_POLICIES = ("lru", "lfu", "gdsf", "static-top")
+DEFAULT_EDGE_FRACS = (0.01, 0.05, 0.20)
+
+#: virtual-time cost model, per tier. Client hits read the local SSD;
+#: edge hits ride the metro network (the loadgen's DEFAULT_HIT_MODEL);
+#: origin fetches pay the crawler-grade WAN model from SimulatedSession.
+CLIENT_HIT_OVERHEAD_S = 0.0005
+CLIENT_HIT_BANDWIDTH = 2e9
+EDGE_HIT_OVERHEAD_S = 0.002
+EDGE_HIT_BANDWIDTH = 500e6
+ORIGIN_OVERHEAD_S = 0.080
+ORIGIN_BANDWIDTH = 30e6
+#: nominal manifest body size for the one full fetch per (edge, image)
+MANIFEST_BYTES = 2048
+
+
+@dataclass(frozen=True)
+class TiersConfig:
+    """Knobs of one tiered simulation.
+
+    ``n_clients`` distinct clients issue ``n_requests`` image pulls: every
+    client appears at least once (the paper's user base is defined by
+    having pulled *something*), and the surplus requests are drawn from a
+    Zipf over clients so a heavy-user tail exists, then the arrival order
+    is shuffled. ``edge_capacity_fracs`` size each edge cache as a fraction
+    of the trace's working set; the sweep crosses them with ``policies``.
+    """
+
+    n_clients: int = 1_000_000
+    n_requests: int = 1_200_000
+    n_edges: int = 32
+    n_shards: int = 4
+    client_capacity_bytes: int = 2 << 30
+    edge_capacity_fracs: tuple[float, ...] = DEFAULT_EDGE_FRACS
+    policies: tuple[str, ...] = DEFAULT_POLICIES
+    locality: float = 0.2
+    temper: float = 0.5
+    heavy_user_zipf: float = 1.5
+    seed: int = 2017
+
+    def __post_init__(self) -> None:
+        if self.n_requests < self.n_clients:
+            raise ValueError(
+                f"need n_requests >= n_clients so every client appears: "
+                f"{self.n_requests} < {self.n_clients}"
+            )
+        if self.n_edges < 1 or self.n_shards < 1:
+            raise ValueError("need at least one edge and one shard")
+
+    def to_dict(self) -> dict:
+        return {
+            "n_clients": self.n_clients,
+            "n_requests": self.n_requests,
+            "n_edges": self.n_edges,
+            "n_shards": self.n_shards,
+            "client_capacity_bytes": self.client_capacity_bytes,
+            "edge_capacity_fracs": list(self.edge_capacity_fracs),
+            "policies": list(self.policies),
+            "locality": self.locality,
+            "temper": self.temper,
+            "heavy_user_zipf": self.heavy_user_zipf,
+            "seed": self.seed,
+        }
+
+
+@dataclass(frozen=True)
+class TierCell:
+    """One (policy, edge capacity) cell of the sweep."""
+
+    policy: str
+    edge_capacity_frac: float
+    edge_capacity_bytes: int
+    edge_requests: int
+    edge_hits: int
+    origin_requests: int
+    origin_bytes: int
+    origin_shard_requests: tuple[int, ...]
+    p99_virtual_s: float
+    mean_virtual_s: float
+    single_tier_hit_ratio: float
+
+    @property
+    def edge_hit_ratio(self) -> float:
+        return self.edge_hits / self.edge_requests if self.edge_requests else 0.0
+
+    def origin_offload(self, n_requests: int) -> float:
+        """Fraction of all pulls that never reached the origin for bytes."""
+        return 1.0 - self.origin_requests / n_requests if n_requests else 0.0
+
+    def to_dict(self, n_requests: int) -> dict:
+        return {
+            "policy": self.policy,
+            "edge_capacity_frac": self.edge_capacity_frac,
+            "edge_capacity_bytes": self.edge_capacity_bytes,
+            "edge_requests": self.edge_requests,
+            "edge_hits": self.edge_hits,
+            "edge_hit_ratio": self.edge_hit_ratio,
+            "origin_requests": self.origin_requests,
+            "origin_bytes": self.origin_bytes,
+            "origin_offload": self.origin_offload(n_requests),
+            "origin_shard_requests": list(self.origin_shard_requests),
+            "p99_virtual_s": self.p99_virtual_s,
+            "mean_virtual_s": self.mean_virtual_s,
+            "single_tier_hit_ratio": self.single_tier_hit_ratio,
+        }
+
+
+@dataclass(frozen=True)
+class TiersReport:
+    """The full sweep result; ``to_json`` is byte-identical per config."""
+
+    config: TiersConfig
+    n_distinct_clients: int
+    n_objects: int
+    working_set_bytes: int
+    total_bytes_requested: int
+    client_hits: int
+    client_byte_hits: int
+    manifest_revalidations_304: int
+    manifest_full_fetches: int
+    cells: tuple[TierCell, ...] = field(default_factory=tuple)
+
+    @property
+    def client_hit_ratio(self) -> float:
+        n = self.config.n_requests
+        return self.client_hits / n if n else 0.0
+
+    def to_dict(self) -> dict:
+        n = self.config.n_requests
+        return {
+            "version": TIERS_REPORT_VERSION,
+            "config": self.config.to_dict(),
+            "workload": {
+                "n_requests": n,
+                "n_distinct_clients": self.n_distinct_clients,
+                "n_objects": self.n_objects,
+                "working_set_bytes": self.working_set_bytes,
+                "total_bytes_requested": self.total_bytes_requested,
+                "manifest_revalidations_304": self.manifest_revalidations_304,
+                "manifest_full_fetches": self.manifest_full_fetches,
+            },
+            "client_tier": {
+                "capacity_bytes": self.config.client_capacity_bytes,
+                "hits": self.client_hits,
+                "hit_ratio": self.client_hit_ratio,
+                "byte_hits": self.client_byte_hits,
+            },
+            "cells": [cell.to_dict(n) for cell in self.cells],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+# -- workload construction ---------------------------------------------------------
+
+
+def _assign_clients(
+    rng: np.random.Generator, n_clients: int, n_requests: int, zipf_a: float
+) -> np.ndarray:
+    """Client id per request: every client exactly once, surplus drawn from
+    a Zipf heavy-user tail, arrival order shuffled. The distinct-client
+    count is therefore exactly ``n_clients`` by construction."""
+    base = np.arange(n_clients, dtype=np.int64)
+    extra_n = n_requests - n_clients
+    if extra_n > 0:
+        extra = (rng.zipf(zipf_a, size=extra_n).astype(np.int64) - 1) % n_clients
+        clients = np.concatenate([base, extra])
+    else:
+        clients = base
+    rng.shuffle(clients)
+    return clients
+
+
+def _edge_of(clients: np.ndarray, n_edges: int, seed: int) -> np.ndarray:
+    """Seeded region hash pinning each client to one edge (murmur fmix)."""
+    x = clients.astype(np.uint64) + np.uint64((seed * 0x9E3779B97F4A7C15) & (2**64 - 1))
+    x ^= x >> np.uint64(33)
+    x *= np.uint64(0xFF51AFD7ED558CCD)
+    x ^= x >> np.uint64(33)
+    x *= np.uint64(0xC4CEB9FE1A85EC53)
+    x ^= x >> np.uint64(33)
+    return (x % np.uint64(n_edges)).astype(np.int64)
+
+
+def _client_tier_hits(
+    clients: np.ndarray,
+    object_ids: np.ndarray,
+    request_sizes: np.ndarray,
+    n_objects: int,
+    capacity: int,
+) -> np.ndarray:
+    """Boolean hit mask for the no-eviction client tier, fully vectorized.
+
+    A request hits iff its ``(client, object)`` pair occurred before AND the
+    pair's first occurrence was admitted. Admission is the prefix rule: a
+    client admits first-pulls in arrival order while its cumulative admitted
+    bytes stay within capacity, then never again (full disk, no GC).
+    """
+    key = clients * np.int64(n_objects) + object_ids
+    uniq, first_idx, inverse = np.unique(key, return_index=True, return_inverse=True)
+    # walk first occurrences in arrival order, grouped by client
+    rank = np.argsort(first_idx)  # uniq slots ordered by first-occurrence time
+    fo_pos = first_idx[rank]
+    fo_clients = clients[fo_pos]
+    fo_sizes = request_sizes[fo_pos].astype(np.int64)
+    by_client = np.argsort(fo_clients, kind="stable")
+    grouped_sizes = fo_sizes[by_client]
+    grouped_clients = fo_clients[by_client]
+    cum = np.cumsum(grouped_sizes)
+    starts = np.flatnonzero(np.r_[True, grouped_clients[1:] != grouped_clients[:-1]])
+    base = np.zeros(grouped_clients.size, dtype=np.int64)
+    if starts.size > 1:
+        base[starts[1:]] = cum[starts[1:] - 1]
+    base = np.maximum.accumulate(base)
+    admitted_grouped = (cum - base) <= capacity
+    admitted_rank = np.empty(rank.size, dtype=bool)
+    admitted_rank[by_client] = admitted_grouped
+    admitted_uniq = np.empty(uniq.size, dtype=bool)
+    admitted_uniq[rank] = admitted_rank
+    seen_before = np.arange(key.size, dtype=np.int64) != first_idx[inverse]
+    return seen_before & admitted_uniq[inverse]
+
+
+def _first_pair_mask(a: np.ndarray, b: np.ndarray, b_cardinality: int) -> np.ndarray:
+    """True where ``(a, b)`` occurs for the first time."""
+    key = a * np.int64(b_cardinality) + b
+    _, first_idx = np.unique(key, return_index=True)
+    mask = np.zeros(key.size, dtype=bool)
+    mask[first_idx] = True
+    return mask
+
+
+def _shard_of_objects(n_objects: int, n_shards: int, seed: int) -> np.ndarray:
+    """Object id -> origin shard index via the consistent-hash ring."""
+    ring = HashRing(
+        [f"shard-{i}" for i in range(n_shards)], k=1, seed=seed
+    )
+    index = {f"shard-{i}": i for i in range(n_shards)}
+    return np.array(
+        [index[ring.owners(f"sha256:{obj:064x}")[0]] for obj in range(n_objects)],
+        dtype=np.int64,
+    )
+
+
+def _edge_policies(
+    name: str, capacity: int, n_edges: int, trace: PullTrace
+) -> list[CachePolicy]:
+    if name == "static-top":
+        return [static_top_policy(trace, capacity) for _ in range(n_edges)]
+    return [make_policy(name, capacity) for _ in range(n_edges)]
+
+
+def _p99(latencies: np.ndarray) -> float:
+    """Exact order-statistic p99 — index arithmetic, no interpolation, so
+    reruns are byte-identical."""
+    ordered = np.sort(latencies)
+    return float(ordered[min(ordered.size - 1, math.ceil(0.99 * ordered.size) - 1)])
+
+
+# -- the simulation ----------------------------------------------------------------
+
+
+def simulate_tiers(dataset: HubDataset, config: TiersConfig) -> TiersReport:
+    """Run the full client -> edge -> sharded-origin sweep on one dataset."""
+    rng = np.random.default_rng(config.seed)
+    trace = generate_trace(
+        dataset,
+        config.n_requests,
+        granularity="image",
+        locality=config.locality,
+        temper=config.temper,
+        seed=config.seed,
+    )
+    object_ids = trace.object_ids
+    sizes_by_object = trace.object_sizes
+    request_sizes = sizes_by_object[object_ids].astype(np.int64)
+    n = object_ids.size
+    working_set = trace.working_set_bytes()
+
+    clients = _assign_clients(
+        rng, config.n_clients, n, config.heavy_user_zipf
+    )
+    edges = _edge_of(clients, config.n_edges, config.seed)
+
+    client_hit = _client_tier_hits(
+        clients, object_ids, request_sizes,
+        trace.n_objects, config.client_capacity_bytes,
+    )
+    client_hits = int(client_hit.sum())
+    client_byte_hits = int(request_sizes[client_hit].sum())
+
+    # manifest accounting is capacity-independent: every pull revalidates at
+    # the origin; only the first (edge, image) sighting pays the body
+    first_manifest = _first_pair_mask(edges, object_ids, trace.n_objects)
+    manifest_full = int(first_manifest.sum())
+    manifest_304 = n - manifest_full
+
+    # the post-client-tier miss stream feeding the edge fleet
+    miss_positions = np.flatnonzero(~client_hit)
+    miss_edges = edges[miss_positions].tolist()
+    miss_objects = object_ids[miss_positions].tolist()
+    miss_sizes = request_sizes[miss_positions].tolist()
+
+    shard_of = _shard_of_objects(trace.n_objects, config.n_shards, config.seed)
+
+    # latency components shared by every cell
+    base_latency = np.full(n, ORIGIN_OVERHEAD_S)
+    base_latency[first_manifest] += MANIFEST_BYTES / ORIGIN_BANDWIDTH
+    base_latency[client_hit] += (
+        CLIENT_HIT_OVERHEAD_S + request_sizes[client_hit] / CLIENT_HIT_BANDWIDTH
+    )
+
+    cells: list[TierCell] = []
+    for frac in config.edge_capacity_fracs:
+        capacity = max(1, int(frac * working_set))
+        for policy_name in config.policies:
+            policies = _edge_policies(
+                policy_name, capacity, config.n_edges, trace
+            )
+            edge_hit = np.zeros(len(miss_positions), dtype=bool)
+            for j, (e, obj, size) in enumerate(
+                zip(miss_edges, miss_objects, miss_sizes)
+            ):
+                edge_hit[j] = policies[e].request(obj, size)
+
+            origin_mask = ~edge_hit
+            origin_objs = np.asarray(miss_objects, dtype=np.int64)[origin_mask]
+            origin_sizes = np.asarray(miss_sizes, dtype=np.int64)[origin_mask]
+            shard_requests = np.bincount(
+                shard_of[origin_objs], minlength=config.n_shards
+            )
+
+            latency = base_latency.copy()
+            hit_pos = miss_positions[edge_hit]
+            miss_pos = miss_positions[origin_mask]
+            latency[hit_pos] += (
+                EDGE_HIT_OVERHEAD_S + request_sizes[hit_pos] / EDGE_HIT_BANDWIDTH
+            )
+            latency[miss_pos] += (
+                EDGE_HIT_OVERHEAD_S
+                + request_sizes[miss_pos] / EDGE_HIT_BANDWIDTH
+                + ORIGIN_OVERHEAD_S
+                + request_sizes[miss_pos] / ORIGIN_BANDWIDTH
+            )
+
+            single = simulate_single_tier(
+                trace,
+                static_top_policy(trace, capacity)
+                if policy_name == "static-top"
+                else make_policy(policy_name, capacity),
+            )
+            cells.append(
+                TierCell(
+                    policy=policy_name,
+                    edge_capacity_frac=float(frac),
+                    edge_capacity_bytes=capacity,
+                    edge_requests=len(miss_positions),
+                    edge_hits=int(edge_hit.sum()),
+                    origin_requests=int(origin_mask.sum()),
+                    origin_bytes=int(origin_sizes.sum()),
+                    origin_shard_requests=tuple(int(x) for x in shard_requests),
+                    p99_virtual_s=_p99(latency),
+                    mean_virtual_s=float(latency.mean()),
+                    single_tier_hit_ratio=single.hit_ratio,
+                )
+            )
+
+    return TiersReport(
+        config=config,
+        n_distinct_clients=int(np.unique(clients).size),
+        n_objects=trace.n_objects,
+        working_set_bytes=working_set,
+        total_bytes_requested=int(request_sizes.sum()),
+        client_hits=client_hits,
+        client_byte_hits=client_byte_hits,
+        manifest_revalidations_304=manifest_304,
+        manifest_full_fetches=manifest_full,
+        cells=tuple(cells),
+    )
+
+
+def render_report(report: TiersReport) -> str:
+    """Human-readable sweep table."""
+    lines = []
+    doc = report.to_dict()
+    w = doc["workload"]
+    lines.append(
+        f"{w['n_requests']:,} pulls from {w['n_distinct_clients']:,} distinct "
+        f"clients over {report.config.n_edges} edges / "
+        f"{report.config.n_shards} origin shards"
+    )
+    lines.append(
+        f"client tier: hit {report.client_hit_ratio:6.2%} "
+        f"(capacity {report.config.client_capacity_bytes:,} B/client, no eviction)"
+    )
+    lines.append(
+        f"manifests: {w['manifest_revalidations_304']:,} revalidated via 304, "
+        f"{w['manifest_full_fetches']:,} full fetches"
+    )
+    lines.append(
+        f"{'policy':>11} {'edge cap':>9} {'edge hit':>9} {'offload':>9} "
+        f"{'1-tier hit':>10} {'p99 (s)':>9}"
+    )
+    n = report.config.n_requests
+    for cell in report.cells:
+        lines.append(
+            f"{cell.policy:>11} {cell.edge_capacity_frac:>8.0%} "
+            f"{cell.edge_hit_ratio:>9.2%} {cell.origin_offload(n):>9.2%} "
+            f"{cell.single_tier_hit_ratio:>10.2%} {cell.p99_virtual_s:>9.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Cross-policy invariant suite.
+
+For arbitrary seeded request sequences, every policy must hold, after every
+single request:
+
+* ``used <= capacity``;
+* ``used`` equals the sum of the sizes of the keys it contains;
+* an object larger than the capacity is never admitted;
+* ``__contains__`` agrees with ``contents()`` (membership == accounting);
+* ``evictions`` only ever grows, and for admit-on-miss policies it matches
+  the number of keys that left the cache.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.policies import (
+    FIFOCache,
+    GDSFCache,
+    LFUCache,
+    LRUCache,
+    StaticTopCache,
+    make_policy,
+)
+
+POLICY_NAMES = ["fifo", "lru", "lfu", "gdsf", "static-top"]
+
+
+def _make(name: str, capacity: int, workload: list[tuple[int, int]]):
+    if name == "static-top":
+        # preload with the workload's most-requested keys, like the oracle
+        counts: dict[int, int] = {}
+        sizes: dict[int, int] = {}
+        for key, size in workload:
+            counts[key] = counts.get(key, 0) + 1
+            sizes[key] = size
+        order = sorted(counts, key=lambda k: (-counts[k], k))
+        return StaticTopCache(capacity, preload=[(k, sizes[k]) for k in order])
+    return make_policy(name, capacity)
+
+
+def _workload(seed: int, n: int, n_objects: int, max_size: int) -> list[tuple[int, int]]:
+    """Zipf-flavored keys with stable per-key sizes, plus oversized objects."""
+    rng = np.random.default_rng(seed)
+    keys = rng.zipf(1.3, size=n) % n_objects
+    size_of = (rng.integers(1, max_size, size=n_objects)).astype(np.int64)
+    # a few keys are larger than any sane capacity — never admissible
+    giants = rng.choice(n_objects, size=max(1, n_objects // 20), replace=False)
+    size_of[giants] = max_size * 1000
+    return [(int(k), int(size_of[k])) for k in keys]
+
+
+@pytest.mark.parametrize("name", POLICY_NAMES)
+@pytest.mark.parametrize("seed", [0, 7, 2017])
+class TestPolicyInvariants:
+    def test_accounting_holds_after_every_request(self, name, seed):
+        workload = _workload(seed, n=600, n_objects=80, max_size=400)
+        capacity = 1200
+        policy = _make(name, capacity, workload)
+        prev_evictions = policy.evictions
+        seen_keys = set()
+        for i, (key, size) in enumerate(workload):
+            hit = policy.request(key, size)
+            contents = policy.contents()
+            # used <= capacity, always
+            assert policy.used <= policy.capacity, f"req {i}: over capacity"
+            # used equals the sum of contained sizes
+            assert policy.used == sum(contents.values()), f"req {i}: used drift"
+            # membership agrees with accounting, both directions
+            for k in contents:
+                assert k in policy
+            assert key in policy or key not in contents
+            # an oversized object is never admitted
+            if size > capacity:
+                assert key not in policy, f"req {i}: admitted oversized key"
+                assert not hit or name == "static-top"
+            # a hit means the key really is (still) cached
+            if hit:
+                assert key in policy
+            # evictions counter is monotone
+            assert policy.evictions >= prev_evictions
+            prev_evictions = policy.evictions
+            seen_keys.add(key)
+
+    def test_evictions_match_departures(self, name, seed):
+        """Admissions minus residents == evictions (admit-on-miss policies)."""
+        workload = _workload(seed, n=400, n_objects=60, max_size=300)
+        capacity = 900
+        policy = _make(name, capacity, workload)
+        if name == "static-top":
+            before = policy.contents()
+            for key, size in workload:
+                policy.request(key, size)
+            # admission-only: nothing enters, nothing leaves
+            assert policy.contents() == before
+            assert policy.evictions == 0
+            return
+        admissions = 0
+        for key, size in workload:
+            resident_before = key in policy
+            policy.request(key, size)
+            if not resident_before and key in policy:
+                admissions += 1
+        assert admissions - len(policy.contents()) == policy.evictions
+
+    def test_contents_is_a_copy(self, name, seed):
+        workload = _workload(seed, n=50, n_objects=10, max_size=100)
+        policy = _make(name, 500, workload)
+        for key, size in workload:
+            policy.request(key, size)
+        snapshot = policy.contents()
+        snapshot.clear()
+        assert policy.used == sum(policy.contents().values())
+
+
+class TestPolicyEdgeCases:
+    @pytest.mark.parametrize("cls", [FIFOCache, LRUCache, LFUCache, GDSFCache])
+    def test_exact_fit_admitted(self, cls):
+        policy = cls(100)
+        assert policy.request(1, 100) is False
+        assert 1 in policy
+        assert policy.used == 100
+
+    @pytest.mark.parametrize("cls", [FIFOCache, LRUCache, LFUCache, GDSFCache])
+    def test_oversized_rejected_without_collateral_eviction(self, cls):
+        policy = cls(100)
+        policy.request(1, 60)
+        policy.request(2, 101)  # cannot ever fit
+        assert 2 not in policy
+        assert 1 in policy  # nothing was evicted to chase an impossible fit
+        assert policy.evictions == 0
+
+    @pytest.mark.parametrize("cls", [FIFOCache, LRUCache, LFUCache, GDSFCache])
+    def test_zero_sized_objects_are_legal(self, cls):
+        policy = cls(10)
+        assert policy.request(1, 0) is False
+        assert policy.request(1, 0) is True
+        assert policy.used == 0
+
+    def test_static_top_preload_respects_capacity_and_dedup(self):
+        policy = StaticTopCache(100, preload=[(1, 60), (1, 60), (2, 50), (3, 40)])
+        contents = policy.contents()
+        assert contents == {1: 60, 3: 40}  # 2 didn't fit; 1 not double-counted
+        assert policy.used == 100

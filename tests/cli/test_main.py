@@ -36,6 +36,9 @@ class TestParser:
             ["cluster", "--sharded", "--k", "2", "--vnodes", "16"],
             ["churn", "--seed", "7", "--epochs", "5", "--kill-after", "3"],
             ["churn", "--sharded", "--k", "2", "--vnodes", "16", "--json"],
+            ["tiers", "--smoke", "--json"],
+            ["tiers", "--scale", "tiny", "--clients", "1000", "--requests", "2000"],
+            ["tiers", "--fracs", "0.01,0.2", "--policies", "lru,gdsf", "--out", "T.json"],
         ],
     )
     def test_accepts_documented_forms(self, argv):
@@ -265,3 +268,56 @@ class TestChaos:
         assert main(argv) == 0
         out = capsys.readouterr().out
         assert "[resumed]" in out and "all invariants hold" in out
+
+
+class TestTiers:
+    def test_tiers_reduced_run_writes_report(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "tiers.json"
+        argv = [
+            "tiers", "--scale", "tiny", "--seed", "5",
+            "--clients", "2000", "--requests", "6000",
+            "--edges", "4", "--shards", "2",
+            "--fracs", "0.02,0.2", "--policies", "lru,gdsf",
+            "--out", str(out),
+        ]
+        assert main(argv) == 0
+        printed = capsys.readouterr().out
+        assert "distinct" in printed
+        doc = json.loads(out.read_text())
+        assert doc["workload"]["n_distinct_clients"] == 2000
+        assert len(doc["cells"]) == 4
+
+    def test_tiers_rerun_is_byte_identical(self, tmp_path):
+        argv = [
+            "tiers", "--scale", "tiny", "--seed", "5",
+            "--clients", "1500", "--requests", "4000",
+            "--edges", "2", "--shards", "2",
+            "--fracs", "0.05", "--policies", "lru",
+        ]
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        assert main(argv + ["--out", str(first)]) == 0
+        assert main(argv + ["--out", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_tiers_bench_out_merges_v4_section(self, tmp_path, capsys):
+        import json
+
+        from repro.core.bench import BENCH_FORMAT_VERSION
+
+        bench = tmp_path / "BENCH_pipeline.json"
+        bench.write_text(json.dumps({"version": 3, "seed": 1, "scales": []}))
+        argv = [
+            "tiers", "--scale", "tiny", "--seed", "5",
+            "--clients", "1000", "--requests", "2500",
+            "--edges", "2", "--shards", "2",
+            "--fracs", "0.05", "--policies", "lru",
+            "--bench-out", str(bench),
+        ]
+        assert main(argv) == 0
+        doc = json.loads(bench.read_text())
+        assert doc["version"] == BENCH_FORMAT_VERSION == 4
+        assert doc["scales"] == []  # existing content survives the merge
+        assert doc["tiers"]["workload"]["n_distinct_clients"] == 1000

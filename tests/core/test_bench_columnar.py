@@ -1,4 +1,4 @@
-"""Bench harness: columnar family smoke plus the v3 per-run worker fields."""
+"""Bench harness: columnar family smoke plus the per-run worker fields."""
 
 import pytest
 
@@ -23,13 +23,13 @@ def columnar_doc(tmp_path_factory):
     ), out
 
 
-def test_format_version_is_v3():
-    assert BENCH_FORMAT_VERSION == 3
+def test_format_version_is_v4():
+    assert BENCH_FORMAT_VERSION == 4
 
 
 def test_columnar_doc_shape(columnar_doc):
     doc, out = columnar_doc
-    assert doc["version"] == 3
+    assert doc["version"] == 4
     assert out.exists()
     assert isinstance(doc["cpu_count"], int) and doc["cpu_count"] >= 1
     (scale,) = doc["columnar"]

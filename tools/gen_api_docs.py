@@ -470,6 +470,46 @@ factorize (NumPy string `np.unique` measured ~5x slower;
 `extract_insights` runs on integer codes + `bincount` with lazy
 basename tallies, ~3x over the per-record `Counter` walk.""",
     ),
+    (
+        "Tiered serving",
+        """\
+The paper's pull traffic is the product of ~10⁶ distinct clients, each
+behind Docker's no-GC local store, reaching the registry through shared
+infrastructure. `repro.tiers` simulates that full hierarchy in seeded
+virtual time: a **client tier** of one fill-until-full, no-eviction cache
+per client (vectorized as a first-occurrence + per-client prefix-sum
+admission rule, so 10⁶ clients are one numpy pass), an **edge tier** of
+pull-through proxies running the real `repro.cache.policies` replacement
+policies with each client pinned to an edge by a seeded region hash, and
+the **sharded origin** placed by the `repro.ha.ring` consistent-hash
+ring. `simulate_tiers(dataset, TiersConfig(...))` sweeps edge capacity ×
+policy and reports per-tier hit ratio, origin offload, per-shard residual
+load, and exact order-statistic p99 virtual latency per cell, with the
+§VI single-tier hit ratio as the baseline column; the same config is
+byte-identical on rerun.
+
+The cheap-revalidation protocol the simulation assumes is implemented in
+the real HTTP layer. `RegistryHTTPServer` stamps every manifest response
+with an `ETag` (the content digest) and answers a matching
+`If-None-Match` with `304` and zero payload bytes; blob GETs honor
+single-range `Range` headers (`206` + `Content-Range`, `416` past the
+end, full `200` for malformed forms). `HTTPSession.get_manifest_conditional`
+and `get_blob_range` are the client side, `SimulatedSession` mirrors the
+conditional API in virtual time, and `CachingProxySession.get_manifest`
+uses it automatically — a cached tag costs one round trip to refresh.
+Proxy blob accounting is precise: `ProxyStats.hit_ratio` counts only
+requests served from already-held bytes, `offload_ratio` adds coalesced
+joins, `upstream_bytes_saved` is the byte-weighted view, and payloads are
+reconciled against the policy's eviction counter so an evicted key never
+strands bytes.
+
+`repro tiers` runs the sweep (defaults: 10⁶ clients, 1.2 M pulls);
+`--smoke` runs the reduced sweep plus the invariant exercise —
+determinism, offload monotone in edge capacity, live HTTP 304/206 —
+and exits 1 on any violation (the CI `tiers-smoke` job);
+`--bench-out BENCH_pipeline.json` merges the sweep into the bench record
+as its `tiers` section (format v4).""",
+    ),
 ]
 
 
